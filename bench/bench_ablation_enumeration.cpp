@@ -1,0 +1,76 @@
+// Ablation — anycast site-enumeration methods (paper §7):
+//   * the paper's traceroute + rDNS + RTT-range + country-IPGeo pipeline,
+//   * iGreedy's latency-disc enumeration (which the paper found weaker),
+//   * Verfploeter-style full catchment census (the upper bound: it sees
+//     every network, not just probe-hosting ones).
+#include "harness.hpp"
+
+#include <set>
+
+#include "ranycast/geoloc/igreedy.hpp"
+#include "ranycast/geoloc/pipeline.hpp"
+#include "ranycast/verfploeter/census.hpp"
+
+using namespace ranycast;
+
+int main() {
+  bench::print_header("Ablation - site enumeration methods",
+                      "sec 7 (iGreedy comparison) + Verfploeter-style census");
+  auto laboratory = bench::default_lab();
+  const auto& ns = laboratory.add_deployment(cdn::catalog::imperva_ns());
+  const Ipv4Addr ip = ns.deployment.regions()[0].service_ip;
+  const std::size_t deployed = ns.deployment.sites().size();
+
+  // --- the paper's pipeline ---
+  std::vector<geoloc::TraceObservation> observations;
+  std::vector<geoloc::IgreedyMeasurement> measurements;
+  for (const atlas::Probe* p : laboratory.census().retained()) {
+    if (auto trace = laboratory.traceroute(*p, ip)) {
+      measurements.push_back({p->reported_city, trace->rtt.ms});
+      observations.push_back(geoloc::TraceObservation{p, std::move(*trace), 0});
+    }
+  }
+  std::vector<CityId> published;
+  for (const cdn::Site& s : ns.deployment.sites()) published.push_back(s.city);
+  const geoloc::RdnsOracle oracle{{}, &laboratory.world().graph, &laboratory.registry(),
+                                  {{value(ns.deployment.asn()), "incapdns.net"}}};
+  const auto pipeline = geoloc::enumerate_sites(
+      observations, published, oracle,
+      {&laboratory.db(0), &laboratory.db(1), &laboratory.db(2)}, {});
+
+  // --- iGreedy ---
+  const auto ig = geoloc::igreedy(measurements);
+
+  // --- Verfploeter-style census (ground-truth catchments) ---
+  const auto census = verfploeter::full_census(laboratory, ns, 0);
+
+  analysis::TextTable table({"method", "sites found", "of deployed", "notes"});
+  table.add_row({"traceroute pipeline", analysis::fmt_count(pipeline.site_regions.size()),
+                 analysis::fmt_pct(static_cast<double>(pipeline.site_regions.size()) /
+                                   static_cast<double>(deployed)),
+                 "rDNS + RTT-range + country IPGeo"});
+  table.add_row({"iGreedy", analysis::fmt_count(ig.instance_count()),
+                 analysis::fmt_pct(static_cast<double>(ig.instance_count()) /
+                                   static_cast<double>(deployed)),
+                 "latency-disc lower bound"});
+  table.add_row({"Verfploeter census", analysis::fmt_count(census.by_site.size()),
+                 analysis::fmt_pct(static_cast<double>(census.by_site.size()) /
+                                   static_cast<double>(deployed)),
+                 "every AS, requires operating the anycast"});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper shape (sec 7): iGreedy mapped fewer sites than the traceroute\n"
+              "pipeline; a full census sees the most because vantage points miss sites\n"
+              "that only catch probe-free networks\n\n");
+
+  // Sampling-error curve: probe-platform estimate vs census.
+  std::printf("catchment-estimate error (total variation vs census) by probe count:\n");
+  for (const std::size_t n : {50u, 100u, 250u, 500u, 1000u, 2500u, 5000u, 10000u}) {
+    const auto estimate = verfploeter::probe_estimate(laboratory, ns, 0, n, 11);
+    std::printf("  %5zu probes: %.3f (distinct ASes sampled: %zu)\n", n,
+                verfploeter::total_variation(census, estimate), estimate.total);
+  }
+  std::printf("\nexpected: monotone decrease with a residual floor - the probe census's\n"
+              "geographic skew (sec 3.1) never fully vanishes, which is why the paper\n"
+              "aggregates by <city,AS> group\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation — site failure and catchment stability.
+//
+// Two operational properties behind the paper's conclusions: (1) §4.5's
+// global reachability makes regional anycast robust (a failed site's
+// clients spill to the remaining regional sites, no DNS change needed);
+// (2) §4.4's two-month observation that site partitions are stable — in
+// the model, catchments must be pinned by policy and geography, not by the
+// arbitrary tie-break standing in for BGP's route-selection uncertainty.
+#include "harness.hpp"
+
+#include <map>
+
+#include "ranycast/resilience/failover.hpp"
+#include "ranycast/resilience/stability.hpp"
+
+using namespace ranycast;
+
+int main() {
+  bench::print_header("Ablation - site failure and catchment stability",
+                      "sec 4.4 (partition stability) and sec 4.5 (robustness)");
+  auto laboratory = bench::small_lab();
+  const auto& gaz = geo::Gazetteer::world();
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+
+  // ---- fail each of a handful of busy sites ----
+  std::map<std::uint16_t, int> load;
+  for (const atlas::Probe* p : laboratory.census().retained()) {
+    const auto answer = laboratory.dns_lookup(*p, im6, dns::QueryMode::Ldns);
+    const bgp::Route* r = im6.route_for(p->asn, answer.region);
+    if (r != nullptr) load[value(r->origin_site)]++;
+  }
+  std::vector<std::pair<int, std::uint16_t>> busiest;
+  for (const auto& [site, count] : load) busiest.emplace_back(count, site);
+  std::sort(busiest.rbegin(), busiest.rend());
+
+  analysis::TextTable table({"failed site", "affected", "survive", "p50 before", "p50 after",
+                             "p90 before", "p90 after", "in-area failover"});
+  for (std::size_t i = 0; i < 5 && i < busiest.size(); ++i) {
+    const SiteId victim{busiest[i].second};
+    const auto report = resilience::fail_site(laboratory, im6, victim);
+    table.add_row({std::string(gaz.city(report.failed_city).iata),
+                   analysis::fmt_count(report.affected_probes),
+                   analysis::fmt_pct(report.survival_rate()),
+                   analysis::fmt_ms(report.before_p50_ms), analysis::fmt_ms(report.after_p50_ms),
+                   analysis::fmt_ms(report.before_p90_ms), analysis::fmt_ms(report.after_p90_ms),
+                   report.still_served == 0
+                       ? std::string("-")
+                       : analysis::fmt_pct(static_cast<double>(report.failover_in_region) /
+                                           static_cast<double>(report.still_served))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: 100%% survival (anycast reconverges), bounded latency cost,\n"
+              "and failover mostly inside the failed site's geographic area\n\n");
+
+  // ---- catchment stability across tie-break seeds ----
+  analysis::TextTable stability({"region", "ASes", "stable", "pairwise agreement"});
+  for (std::size_t r = 0; r < im6.deployment.regions().size(); ++r) {
+    const auto report = resilience::catchment_stability(laboratory, im6.deployment, r, 5);
+    stability.add_row({im6.deployment.regions()[r].name,
+                       analysis::fmt_count(report.ases_observed),
+                       analysis::fmt_pct(report.stable_fraction()),
+                       analysis::fmt_pct(report.mean_pairwise_agreement)});
+  }
+  std::printf("%s\n", stability.render().c_str());
+  std::printf("paper: the same sites announced the same prefixes for two months; here\n"
+              "the large stable fraction shows catchments pinned by policy/geography,\n"
+              "the rest is the sec 5.3 'route-selection uncertainty'\n");
+  return 0;
+}

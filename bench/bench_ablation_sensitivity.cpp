@@ -1,0 +1,106 @@
+// Ablation — sensitivity of the headline result to the simulator's knobs.
+//
+// The paper's conclusion (regional anycast cuts tail latency vs global
+// anycast) should be a property of the *mechanism*, not of one lucky
+// parameterization. This bench re-runs the Imperva-6 vs Imperva-NS NA/EMEA
+// p90 comparison while varying: world seed, tier-1 count, resolver mix, and
+// geolocation-database error rate.
+#include "harness.hpp"
+
+using namespace ranycast;
+
+namespace {
+
+struct Headline {
+  double na_regional_p90, na_global_p90;
+  double emea_regional_p90, emea_global_p90;
+};
+
+Headline measure(const lab::LabConfig& config) {
+  auto laboratory = lab::Lab::create(config);
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  const auto& ns = laboratory.add_deployment(cdn::catalog::imperva_ns());
+  std::array<std::vector<double>, geo::kAreaCount> reg, glob;
+  for (const auto& group : atlas::group_probes(laboratory.census().retained())) {
+    const auto r = atlas::group_median(group, [&](const atlas::Probe* p) {
+      const auto answer = laboratory.dns_lookup(*p, im6, dns::QueryMode::Ldns);
+      const auto rtt = laboratory.ping(*p, answer.address);
+      return rtt ? std::optional<double>(rtt->ms) : std::nullopt;
+    });
+    const auto g = atlas::group_median(group, [&](const atlas::Probe* p) {
+      const auto rtt = laboratory.ping(*p, ns.deployment.regions()[0].service_ip);
+      return rtt ? std::optional<double>(rtt->ms) : std::nullopt;
+    });
+    if (r) reg[static_cast<int>(group.area)].push_back(*r);
+    if (g) glob[static_cast<int>(group.area)].push_back(*g);
+  }
+  const auto na = static_cast<int>(geo::Area::NA);
+  const auto emea = static_cast<int>(geo::Area::EMEA);
+  return Headline{analysis::percentile(reg[na], 90), analysis::percentile(glob[na], 90),
+                  analysis::percentile(reg[emea], 90), analysis::percentile(glob[emea], 90)};
+}
+
+lab::LabConfig small_config() {
+  lab::LabConfig config;
+  config.world.stub_count = 1200;
+  config.census.total_probes = 5000;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation - sensitivity of the regional-vs-global headline",
+                      "robustness of Table 3's NA/EMEA p90 reduction");
+  analysis::TextTable table({"variant", "NA p90 reg", "NA p90 glob", "EMEA p90 reg",
+                             "EMEA p90 glob", "regional wins"});
+  auto add = [&](const char* label, const lab::LabConfig& config) {
+    const Headline h = measure(config);
+    const bool wins = h.na_regional_p90 < h.na_global_p90 &&
+                      h.emea_regional_p90 < h.emea_global_p90;
+    table.add_row({label, analysis::fmt_ms(h.na_regional_p90),
+                   analysis::fmt_ms(h.na_global_p90), analysis::fmt_ms(h.emea_regional_p90),
+                   analysis::fmt_ms(h.emea_global_p90), wins ? "yes" : "NO"});
+  };
+
+  add("baseline", small_config());
+
+  for (const std::uint64_t seed : {7ull, 99ull, 4242ull}) {
+    auto config = small_config();
+    config.world.seed = seed;
+    config.seed = seed;
+    add(("world seed " + std::to_string(seed)).c_str(), config);
+  }
+  {
+    auto config = small_config();
+    config.world.tier1_count = 12;
+    add("12 tier-1 carriers", config);
+  }
+  {
+    auto config = small_config();
+    config.world.tier1_count = 36;
+    config.world.tier1_city_coverage = 0.30;
+    add("36 tier-1 carriers", config);
+  }
+  {
+    auto config = small_config();
+    config.census.resolver_local_prob = 0.40;  // many more public resolvers
+    config.census.resolver_public_ecs_prob = 0.20;
+    add("40% local resolvers", config);
+  }
+  {
+    auto config = small_config();
+    for (auto& db : config.geo_dbs) db.wrong_country_prob *= 4.0;
+    add("4x geo-DB error", config);
+  }
+  {
+    auto config = small_config();
+    config.world.stub_foreign_registration_prob = 0.10;
+    add("10% foreign-registered stubs", config);
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: 'regional wins' holds across every variant - the mechanism\n"
+              "(bounding catchment geography) does not depend on tuning\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Figure 2 — client and site partitions of the three regional anycast
+// configurations (Edgio-3, Edgio-4, Imperva-6).
+//
+// First block per network: how probes in each geographic area distribute
+// over the regional IPs DNS returns (the paper's first-row maps). Second
+// block: the fraction of countries whose probes all receive a single
+// regional IP (paper: 81.7% / 84.7% / 79.3%). Third block: the site
+// partition uncovered by the traceroute pipeline (second-row maps),
+// including cross-region ("MIXED") sites. Also verifies §4.5 global
+// reachability of all regional prefixes.
+#include "harness.hpp"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "ranycast/analysis/ascii_map.hpp"
+#include "ranycast/geoloc/pipeline.hpp"
+
+using namespace ranycast;
+
+namespace {
+
+void study_network(lab::Lab& laboratory, const lab::DeploymentHandle& handle,
+                   const std::string& cdn_domain) {
+  const auto& gaz = geo::Gazetteer::world();
+  const auto& dep = handle.deployment;
+  const auto retained = laboratory.census().retained();
+  std::printf("---- %s (%zu regions, %zu sites) ----\n", dep.name().c_str(),
+              dep.regions().size(), dep.sites().size());
+
+  // Client partition: per area, distribution over returned regions.
+  std::map<std::size_t, std::array<std::size_t, geo::kAreaCount>> by_region;
+  std::map<std::string, std::set<std::size_t>> regions_per_country;
+  for (const atlas::Probe* p : retained) {
+    const auto answer = laboratory.dns_lookup(*p, handle, dns::QueryMode::Ldns);
+    auto& counts = by_region.try_emplace(answer.region).first->second;
+    counts[static_cast<int>(p->area())]++;
+    regions_per_country[std::string(gaz.country_code(p->reported_city))].insert(answer.region);
+  }
+  analysis::TextTable client_table({"regional IP", "EMEA", "NA", "LatAm", "APAC"});
+  for (const auto& [region, counts] : by_region) {
+    client_table.add_row({dep.regions()[region].name,
+                          analysis::fmt_count(counts[0]), analysis::fmt_count(counts[1]),
+                          analysis::fmt_count(counts[2]), analysis::fmt_count(counts[3])});
+  }
+  std::printf("client partition (probes per area receiving each regional IP):\n%s\n",
+              client_table.render().c_str());
+
+  std::size_t single = 0;
+  for (const auto& [iso2, regions] : regions_per_country) {
+    if (regions.size() == 1) ++single;
+  }
+  std::printf("countries receiving exactly one regional IP: %s (%zu of %zu)\n",
+              analysis::fmt_pct(static_cast<double>(single) /
+                                static_cast<double>(regions_per_country.size()))
+                  .c_str(),
+              single, regions_per_country.size());
+  std::printf("paper: Edgio-3 81.7%%, Edgio-4 84.7%%, Imperva-6 79.3%%\n\n");
+
+  // Site partition via the traceroute + p-hop pipeline.
+  std::vector<geoloc::TraceObservation> observations;
+  for (const atlas::Probe* p : retained) {
+    const auto answer = laboratory.dns_lookup(*p, handle, dns::QueryMode::Ldns);
+    auto trace = laboratory.traceroute(*p, answer.address);
+    if (!trace) continue;
+    observations.push_back(geoloc::TraceObservation{p, std::move(*trace), answer.region});
+  }
+  std::vector<CityId> published;
+  for (const cdn::Site& s : dep.sites()) published.push_back(s.city);
+  const geoloc::RdnsOracle oracle{{}, &laboratory.world().graph, &laboratory.registry(),
+                                  {{value(dep.asn()), cdn_domain}}};
+  const auto enumeration = geoloc::enumerate_sites(
+      observations, published, oracle,
+      {&laboratory.db(0), &laboratory.db(1), &laboratory.db(2)}, {});
+  std::map<std::string, std::size_t> per_region_sites;
+  std::size_t mixed = 0;
+  for (const auto& [site_city, regions] : enumeration.site_regions) {
+    if (regions.size() > 1) {
+      ++mixed;
+      continue;
+    }
+    per_region_sites[dep.regions()[*regions.begin()].name]++;
+  }
+  std::printf("site partition uncovered by traceroute (site count per regional IP):\n");
+  for (const auto& [name, count] : per_region_sites) {
+    std::printf("  %-10s %zu sites\n", name.c_str(), count);
+  }
+  std::printf("  %-10s %zu sites (cross-region announcements)\n", "MIXED", mixed);
+
+  // The Fig. 2 world map: lowercase probes, uppercase sites, '*' for mixed.
+  analysis::AsciiMap map;
+  const char symbols[] = "abcdefgh";
+  for (const atlas::Probe* p : retained) {
+    const auto answer = laboratory.dns_lookup(*p, handle, dns::QueryMode::Ldns);
+    map.plot(gaz.city(p->reported_city).location, symbols[answer.region % 8]);
+  }
+  for (const auto& [site_city, regions] : enumeration.site_regions) {
+    const char symbol = regions.size() > 1
+                            ? '*'
+                            : static_cast<char>(std::toupper(symbols[*regions.begin() % 8]));
+    map.plot(gaz.city(site_city).location, symbol, true);
+  }
+  for (std::size_t r = 0; r < dep.regions().size(); ++r) {
+    map.add_legend(symbols[r % 8], dep.regions()[r].name + " clients (uppercase: sites)");
+  }
+  map.add_legend('*', "site announcing multiple regional prefixes (MIXED)");
+  std::printf("\n%s", map.render().c_str());
+
+  // §4.5 reachability: every probe can ping every regional IP.
+  std::size_t reachable = 0, expected = 0;
+  for (const atlas::Probe* p : retained) {
+    for (const auto& region : dep.regions()) {
+      ++expected;
+      if (laboratory.ping(*p, region.service_ip)) ++reachable;
+    }
+  }
+  std::printf("regional-IP global reachability (sec 4.5): %s\n\n",
+              analysis::fmt_pct(static_cast<double>(reachable) /
+                                static_cast<double>(expected))
+                  .c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 2 - client and site partitions of regional anycast CDNs",
+                      "Figure 2 (a,b,c), country single-IP stats (sec 4.3), reachability (sec 4.5)");
+  auto laboratory = bench::default_lab();
+  study_network(laboratory, laboratory.add_deployment(cdn::catalog::edgio3()),
+                "edgecastcdn.net");
+  study_network(laboratory, laboratory.add_deployment(cdn::catalog::edgio4()),
+                "edgecastcdn.net");
+  study_network(laboratory, laboratory.add_deployment(cdn::catalog::imperva6()),
+                "incapdns.net");
+  return 0;
+}

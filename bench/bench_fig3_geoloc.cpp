@@ -1,0 +1,72 @@
+// Figure 3 — fraction of p-hops and traceroutes geolocated by each
+// technique (rDNS, RTT range, country-level IPGeo, unresolved) for the four
+// studied networks: Edgio-3, Edgio-4, Imperva-6 and Imperva's DNS network.
+#include "harness.hpp"
+
+#include "ranycast/geoloc/pipeline.hpp"
+
+using namespace ranycast;
+
+namespace {
+
+geoloc::EnumerationResult run_pipeline(lab::Lab& laboratory,
+                                       const lab::DeploymentHandle& handle,
+                                       const std::string& cdn_domain) {
+  std::vector<geoloc::TraceObservation> observations;
+  for (const atlas::Probe* p : laboratory.census().retained()) {
+    const auto answer = laboratory.dns_lookup(*p, handle, dns::QueryMode::Ldns);
+    auto trace = laboratory.traceroute(*p, answer.address);
+    if (!trace) continue;
+    observations.push_back(geoloc::TraceObservation{p, std::move(*trace), answer.region});
+  }
+  std::vector<CityId> published;
+  for (const cdn::Site& s : handle.deployment.sites()) published.push_back(s.city);
+  const geoloc::RdnsOracle oracle{{}, &laboratory.world().graph, &laboratory.registry(),
+                                  {{value(handle.deployment.asn()), cdn_domain}}};
+  return geoloc::enumerate_sites(observations, published, oracle,
+                                 {&laboratory.db(0), &laboratory.db(1), &laboratory.db(2)},
+                                 {});
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 3 - p-hop geolocation technique fractions",
+                      "Figure 3 (EG-3, EG-4, IM-6, IM-NS bars)");
+  auto laboratory = bench::default_lab();
+
+  struct Network {
+    const char* label;
+    const lab::DeploymentHandle* handle;
+    const char* domain;
+  };
+  const Network networks[] = {
+      {"EG-3", &laboratory.add_deployment(cdn::catalog::edgio3()), "edgecastcdn.net"},
+      {"EG-4", &laboratory.add_deployment(cdn::catalog::edgio4()), "edgecastcdn.net"},
+      {"IM-6", &laboratory.add_deployment(cdn::catalog::imperva6()), "incapdns.net"},
+      {"IM-NS", &laboratory.add_deployment(cdn::catalog::imperva_ns()), "incapdns.net"},
+  };
+
+  analysis::TextTable table({"network", "unit", "rDNS", "RTT Range", "Country IPGeo",
+                             "Unresolved", "total"});
+  for (const Network& net : networks) {
+    const auto result = run_pipeline(laboratory, *net.handle, net.domain);
+    using geoloc::Technique;
+    table.add_row({net.label, "p-hops",
+                   analysis::fmt_pct(result.phop_fraction(Technique::Rdns)),
+                   analysis::fmt_pct(result.phop_fraction(Technique::RttRange)),
+                   analysis::fmt_pct(result.phop_fraction(Technique::CountryIpGeo)),
+                   analysis::fmt_pct(result.phop_fraction(Technique::Unresolved)),
+                   analysis::fmt_count(result.total_phops())});
+    table.add_row({net.label, "traces",
+                   analysis::fmt_pct(result.trace_fraction(Technique::Rdns)),
+                   analysis::fmt_pct(result.trace_fraction(Technique::RttRange)),
+                   analysis::fmt_pct(result.trace_fraction(Technique::CountryIpGeo)),
+                   analysis::fmt_pct(result.trace_fraction(Technique::Unresolved)),
+                   analysis::fmt_count(result.total_traces())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper shape: rDNS dominates; unresolved traces 2.3%%-9.9%%; the\n"
+              "cascade resolves the large majority of p-hops for every network\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Table 2 — DNS mapping efficiency.
+//
+// For every probe and every regional anycast configuration, compare the RTT
+// to the DNS-returned regional IP against the lowest RTT over all regional
+// IPs. Three outcomes: ΔRTT < 5 ms (efficient), ✓Region with ΔRTT ≥ 5 ms
+// (rigid-partition sub-optimality), ×Region with ΔRTT ≥ 5 ms (geolocation
+// or resolver error). Reported per area for both resolver paths (local DNS
+// and direct-to-authoritative).
+#include "harness.hpp"
+
+#include "ranycast/analysis/classify.hpp"
+
+using namespace ranycast;
+
+namespace {
+
+struct OutcomeCounts {
+  std::array<std::array<std::size_t, 3>, geo::kAreaCount> counts{};  // [area][outcome]
+  std::array<std::size_t, geo::kAreaCount> totals{};
+
+  double fraction(std::size_t area, analysis::MappingOutcome o) const {
+    if (totals[area] == 0) return 0.0;
+    return static_cast<double>(counts[area][static_cast<int>(o)]) /
+           static_cast<double>(totals[area]);
+  }
+};
+
+OutcomeCounts measure(lab::Lab& laboratory, const lab::DeploymentHandle& handle,
+                      dns::QueryMode mode) {
+  OutcomeCounts out;
+  const auto retained = laboratory.census().retained();
+  const auto groups = atlas::group_probes(retained);
+  for (const auto& group : groups) {
+    // Per-probe classification aggregated at probe-group granularity via the
+    // group's median ΔRTT, as the paper tabulates probe percentages over
+    // groups.
+    std::array<std::size_t, 3> votes{0, 0, 0};
+    for (const atlas::Probe* p : group.members) {
+      const auto answer = laboratory.dns_lookup(*p, handle, mode);
+      const auto returned = laboratory.ping(*p, answer.address);
+      if (!returned) continue;
+      double best = returned->ms;
+      for (const auto& region : handle.deployment.regions()) {
+        const auto rtt = laboratory.ping(*p, region.service_ip);
+        if (rtt) best = std::min(best, rtt->ms);
+      }
+      const bool intended = answer.region == handle.deployment.intended_region(p->city);
+      votes[static_cast<int>(analysis::classify_mapping(returned->ms, best, intended))]++;
+    }
+    const std::size_t total = votes[0] + votes[1] + votes[2];
+    if (total == 0) continue;
+    // Majority outcome represents the group.
+    std::size_t best_outcome = 0;
+    for (std::size_t o = 1; o < 3; ++o) {
+      if (votes[o] > votes[best_outcome]) best_outcome = o;
+    }
+    const auto area = static_cast<int>(group.area);
+    out.counts[area][best_outcome]++;
+    out.totals[area]++;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 2 - DNS mapping efficiency", "Table 2");
+  auto laboratory = bench::default_lab();
+
+  struct Network {
+    const char* label;
+    const lab::DeploymentHandle* handle;
+  };
+  const Network networks[] = {
+      {"Edgio-3", &laboratory.add_deployment(cdn::catalog::edgio3())},
+      {"Edgio-4", &laboratory.add_deployment(cdn::catalog::edgio4())},
+      {"Imperva-6", &laboratory.add_deployment(cdn::catalog::imperva6())},
+  };
+
+  using analysis::MappingOutcome;
+  const std::pair<MappingOutcome, const char*> rows[] = {
+      {MappingOutcome::Efficient, "dRTT<5ms"},
+      {MappingOutcome::SubOptimalRegion, "vRegion,dRTT>=5ms"},
+      {MappingOutcome::IncorrectRegion, "xRegion,dRTT>=5ms"},
+  };
+
+  analysis::TextTable table({"condition", "CDN", "mode", "APAC", "EMEA", "NA", "LatAm"});
+  for (const auto& [outcome, label] : rows) {
+    for (const Network& net : networks) {
+      for (const auto mode : {dns::QueryMode::Ldns, dns::QueryMode::Adns}) {
+        const auto counts = measure(laboratory, *net.handle, mode);
+        table.add_row({label, net.label, mode == dns::QueryMode::Ldns ? "LDNS" : "ADNS",
+                       analysis::fmt_pct(counts.fraction(3, outcome)),
+                       analysis::fmt_pct(counts.fraction(0, outcome)),
+                       analysis::fmt_pct(counts.fraction(1, outcome)),
+                       analysis::fmt_pct(counts.fraction(2, outcome))});
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper shape: Edgio >=90%% efficient everywhere; Imperva-6 less efficient\n"
+              "(78-89%%) with vRegion dominating its inefficiencies (six rigid regions:\n"
+              "US/Canada border and Russia-without-sites); ADNS slightly better than LDNS.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 4 — probe groups split by RTT outcome (better / similar / worse
+// than global anycast, at a 5 ms threshold) and, within each class, whether
+// their regional catchment site is closer, the same, or further than the
+// global one.
+#include "harness.hpp"
+
+#include "ranycast/analysis/classify.hpp"
+#include "ranycast/lab/comparison.hpp"
+
+using namespace ranycast;
+
+int main() {
+  bench::print_header("Table 4 - RTT outcome vs catchment-site shift", "Table 4");
+  auto laboratory = bench::default_lab();
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  const auto& imns = laboratory.add_deployment(cdn::catalog::imperva_ns());
+  const auto result = lab::compare_regional_global(laboratory, im6, imns);
+
+  // counts[area][delta][shift]
+  std::array<std::array<std::array<std::size_t, 3>, 3>, geo::kAreaCount> counts{};
+  std::array<std::size_t, geo::kAreaCount> group_totals{};
+  for (const auto& g : result.groups) {
+    const auto delta = analysis::classify_rtt_delta(g.regional_ms, g.global_ms);
+    const auto shift = analysis::classify_site_shift(g.same_site, g.regional_km, g.global_km);
+    counts[static_cast<int>(g.area)][static_cast<int>(delta)][static_cast<int>(shift)]++;
+    group_totals[static_cast<int>(g.area)]++;
+  }
+
+  analysis::TextTable table(
+      {"region (#groups)", "outcome", "n", "closer site", "same site", "further site"});
+  for (std::size_t a = 0; a < geo::kAreaCount; ++a) {
+    for (const auto delta :
+         {analysis::RttDelta::Better, analysis::RttDelta::Similar, analysis::RttDelta::Worse}) {
+      const auto& row = counts[a][static_cast<int>(delta)];
+      const std::size_t n = row[0] + row[1] + row[2];
+      auto pct = [&](analysis::SiteShift s) {
+        return n == 0 ? std::string("-")
+                      : analysis::fmt_pct(static_cast<double>(row[static_cast<int>(s)]) /
+                                          static_cast<double>(n));
+      };
+      table.add_row({std::string(bench::area_name(a)) + " (" +
+                         std::to_string(group_totals[a]) + ")",
+                     std::string(analysis::to_string(delta)), analysis::fmt_count(n),
+                     pct(analysis::SiteShift::Closer), pct(analysis::SiteShift::Same),
+                     pct(analysis::SiteShift::Further)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper shape: groups with >5 ms reduction overwhelmingly reach *closer*\n"
+              "sites (EMEA 69.9%%, NA 79.7%%); similar-RTT groups reach the *same* site\n"
+              "(97.9-100%%); groups that got worse mostly reach *further* sites\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 6 (Appendix C) — generalization check: latency of the representative
+// hostname vs the aggregate of 12 other hostnames of the same configuration.
+// Hostnames of one set share the deployment; only measurement noise differs.
+#include "harness.hpp"
+
+#include <functional>
+
+using namespace ranycast;
+
+namespace {
+
+std::array<std::vector<double>, geo::kAreaCount> measure_hostname(
+    lab::Lab& laboratory, const lab::DeploymentHandle& handle, std::uint64_t salt) {
+  return bench::per_area_group_medians(laboratory, [&](const atlas::Probe* p) {
+    const auto answer = laboratory.dns_lookup(*p, handle, dns::QueryMode::Ldns);
+    const auto rtt = laboratory.ping(*p, answer.address, salt);
+    return rtt ? std::optional<double>(rtt->ms) : std::nullopt;
+  });
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 6 - representative vs other hostnames", "Table 6 (Appendix C)");
+  auto laboratory = bench::default_lab();
+
+  struct Config {
+    cdn::catalog::HostnameSet set;
+    const lab::DeploymentHandle* handle;
+  };
+  const Config configs[] = {
+      {cdn::catalog::imperva6_hostnames(), &laboratory.add_deployment(cdn::catalog::imperva6())},
+      {cdn::catalog::edgio3_hostnames(), &laboratory.add_deployment(cdn::catalog::edgio3())},
+      {cdn::catalog::edgio4_hostnames(), &laboratory.add_deployment(cdn::catalog::edgio4())},
+  };
+
+  analysis::TextTable table({"percentile", "config", "APAC", "EMEA", "NA", "LatAm"});
+  for (const double p : {50.0, 90.0, 95.0}) {
+    for (const Config& cfg : configs) {
+      // Representative hostname (salt from its name) vs the aggregate of the
+      // other twelve.
+      const auto rep = measure_hostname(
+          laboratory, *cfg.handle, std::hash<std::string>{}(cfg.set.representative()));
+      std::array<std::vector<double>, geo::kAreaCount> others;
+      for (std::size_t h = 1; h < cfg.set.hostnames.size(); ++h) {
+        const auto one = measure_hostname(laboratory, *cfg.handle,
+                                          std::hash<std::string>{}(cfg.set.hostnames[h]));
+        for (std::size_t a = 0; a < geo::kAreaCount; ++a) {
+          others[a].insert(others[a].end(), one[a].begin(), one[a].end());
+        }
+      }
+      std::vector<std::string> row{std::to_string(static_cast<int>(p)) + "-th",
+                                   cfg.set.set_name};
+      for (const auto area :
+           {geo::Area::APAC, geo::Area::EMEA, geo::Area::NA, geo::Area::LatAm}) {
+        const auto a = static_cast<int>(area);
+        row.push_back(analysis::fmt_ms(analysis::percentile(rep[a], p), 0) + " (" +
+                      analysis::fmt_ms(analysis::percentile(others[a], p), 0) + ")");
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("cells: representative hostname (aggregate of 12 other hostnames), ms\n");
+  std::printf("paper shape: the representative hostname's latency distribution matches\n"
+              "the other hostnames' - the studied configurations generalize\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared experiment-harness helpers for the per-table/per-figure benches.
+//
+// Every bench builds the same default laboratory (full paper scale: ~2750
+// ASes, ~11k probes) so results are comparable across binaries, then prints
+// the paper's rows/series next to the simulated values.
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ranycast/analysis/stats.hpp"
+#include "ranycast/analysis/table.hpp"
+#include "ranycast/atlas/grouping.hpp"
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::bench {
+
+inline lab::Lab default_lab() { return lab::Lab::create(lab::LabConfig{}); }
+
+/// Smaller world for benches that sweep many configurations.
+inline lab::Lab small_lab() {
+  lab::LabConfig config;
+  config.world.stub_count = 1200;
+  config.census.total_probes = 5000;
+  return lab::Lab::create(config);
+}
+
+// geo::to_string returns views of string literals, so .data() is NUL-safe.
+inline const char* area_name(std::size_t a) {
+  return geo::to_string(static_cast<geo::Area>(a)).data();
+}
+
+/// Group-median values per area for an arbitrary probe measurement.
+template <typename F>
+std::array<std::vector<double>, geo::kAreaCount> per_area_group_medians(
+    const lab::Lab& laboratory, F&& measure) {
+  std::array<std::vector<double>, geo::kAreaCount> out;
+  const auto retained = laboratory.census().retained();
+  for (const auto& group : atlas::group_probes(retained)) {
+    const auto median = atlas::group_median(group, measure);
+    if (median) out[static_cast<int>(group.area)].push_back(*median);
+  }
+  return out;
+}
+
+/// Print an empirical CDF as a fixed set of (x, F(x)) points, one series per
+/// line, in the gnuplot-friendly style the paper's figures use.
+inline void print_cdf_series(const char* label, const std::vector<double>& samples, double lo,
+                             double hi, int points = 11) {
+  const analysis::Cdf cdf{std::vector<double>(samples)};
+  std::printf("%-22s n=%-5zu", label, cdf.size());
+  for (const auto& [x, f] : cdf.series(lo, hi, points)) {
+    std::printf("  %6.0f:%.2f", x, f);
+  }
+  std::printf("\n");
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace ranycast::bench

@@ -1,0 +1,78 @@
+// Deployment dissection (the paper's §4 methodology as an API walkthrough):
+// resolve a hostname from every probe, cluster clients by the regional IP
+// they receive, traceroute to the returned address, geolocate the
+// penultimate hops and enumerate which sites announce which regional
+// prefix — including cross-region ("mixed") announcements.
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "ranycast/analysis/table.hpp"
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/geoloc/pipeline.hpp"
+#include "ranycast/lab/lab.hpp"
+
+using namespace ranycast;
+
+int main() {
+  auto laboratory = lab::Lab::create({});
+  const auto& gaz = geo::Gazetteer::world();
+
+  // The deployment under study: Imperva's six-region CDN, serving (for
+  // example) www.stamps.com.
+  const auto& handle = laboratory.add_deployment(cdn::catalog::imperva6());
+  const auto& dep = handle.deployment;
+  std::printf("dissecting %s: %zu sites, %zu regional prefixes\n\n", dep.name().c_str(),
+              dep.sites().size(), dep.regions().size());
+
+  // ---- step 1: client partition (who gets which regional IP) ----
+  const auto retained = laboratory.census().retained();
+  std::map<std::size_t, std::set<std::string>> countries_per_region;
+  std::vector<geoloc::TraceObservation> observations;
+  for (const atlas::Probe* p : retained) {
+    const auto answer = laboratory.dns_lookup(*p, handle, dns::QueryMode::Ldns);
+    countries_per_region[answer.region].insert(
+        std::string(gaz.country_code(p->reported_city)));
+    if (auto trace = laboratory.traceroute(*p, answer.address)) {
+      observations.push_back(geoloc::TraceObservation{p, std::move(*trace), answer.region});
+    }
+  }
+  std::printf("client partition (countries per regional IP):\n");
+  for (const auto& [region, countries] : countries_per_region) {
+    std::printf("  %-6s %3zu countries:", dep.regions()[region].name.c_str(),
+                countries.size());
+    int shown = 0;
+    for (const auto& c : countries) {
+      std::printf(" %s", c.c_str());
+      if (++shown == 12) {
+        std::printf(" ...");
+        break;
+      }
+    }
+    std::printf("\n");
+  }
+
+  // ---- step 2: site enumeration from traceroutes ----
+  std::vector<CityId> published;
+  for (const cdn::Site& s : dep.sites()) published.push_back(s.city);
+  const geoloc::RdnsOracle oracle{{}, &laboratory.world().graph, &laboratory.registry(),
+                                  {{value(dep.asn()), "incapdns.net"}}};
+  const auto enumeration = geoloc::enumerate_sites(
+      observations, published, oracle,
+      {&laboratory.db(0), &laboratory.db(1), &laboratory.db(2)}, {});
+
+  std::printf("\nuncovered %zu of %zu deployed sites; announcements:\n",
+              enumeration.site_regions.size(), dep.sites().size());
+  analysis::TextTable table({"site", "announces", "note"});
+  for (const auto& [site_city, regions] : enumeration.site_regions) {
+    std::string names;
+    for (std::size_t r : regions) {
+      if (!names.empty()) names += "+";
+      names += dep.regions()[r].name;
+    }
+    table.add_row({std::string(gaz.city(site_city).iata), names,
+                   regions.size() > 1 ? "MIXED (cross-region)" : ""});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

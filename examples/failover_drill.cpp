@@ -1,0 +1,62 @@
+// Failover drill: operational what-if analysis for a regional anycast CDN.
+//
+// For every site of Imperva's six-region deployment, withdraw its
+// announcements and measure what happens to the clients it was serving:
+// does everyone stay served (anycast reconvergence), how much latency does
+// the failover cost, and does traffic stay inside the region? This is the
+// robustness argument of the paper's §4.5 turned into a runbook tool.
+#include <cstdio>
+#include <vector>
+
+#include "ranycast/analysis/table.hpp"
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/lab/lab.hpp"
+#include "ranycast/resilience/failover.hpp"
+
+using namespace ranycast;
+
+int main() {
+  lab::LabConfig config;
+  config.world.stub_count = 1200;   // drill-sized lab: every site solves fast
+  config.census.total_probes = 5000;
+  auto laboratory = lab::Lab::create(config);
+  const auto& gaz = geo::Gazetteer::world();
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+
+  std::printf("failover drill over %zu sites of %s\n\n", im6.deployment.sites().size(),
+              im6.deployment.name().c_str());
+
+  analysis::TextTable table({"site", "clients", "survive", "p50 cost", "p90 cost",
+                             "stays in area"});
+  double worst_p90_cost = 0.0;
+  std::string worst_site = "-";
+  std::size_t drills = 0;
+  for (const cdn::Site& site : im6.deployment.sites()) {
+    const auto report = resilience::fail_site(laboratory, im6, site.id);
+    if (report.affected_probes < 5) continue;  // nobody to drill
+    ++drills;
+    const double p50_cost = report.after_p50_ms - report.before_p50_ms;
+    const double p90_cost = report.after_p90_ms - report.before_p90_ms;
+    if (p90_cost > worst_p90_cost) {
+      worst_p90_cost = p90_cost;
+      worst_site = std::string(gaz.city(report.failed_city).iata);
+    }
+    table.add_row({std::string(gaz.city(report.failed_city).iata),
+                   analysis::fmt_count(report.affected_probes),
+                   analysis::fmt_pct(report.survival_rate()),
+                   (p50_cost >= 0 ? "+" : "") + analysis::fmt_ms(p50_cost),
+                   (p90_cost >= 0 ? "+" : "") + analysis::fmt_ms(p90_cost),
+                   report.still_served == 0
+                       ? std::string("-")
+                       : analysis::fmt_pct(static_cast<double>(report.failover_in_region) /
+                                           static_cast<double>(report.still_served))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("drilled %zu sites; worst p90 failover cost: %s at %s\n", drills,
+              analysis::fmt_ms(worst_p90_cost).c_str(), worst_site.c_str());
+  std::printf("\nReading the table: 'survive' below 100%% would mean black-holed\n"
+              "clients (never happens: regional prefixes stay globally reachable);\n"
+              "'stays in area' below 100%% means cross-area spill - a capacity\n"
+              "planning signal for thin regions.\n");
+  return 0;
+}

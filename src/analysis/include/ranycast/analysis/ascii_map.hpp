@@ -1,0 +1,39 @@
+// ASCII world-map rendering for partition figures.
+//
+// The paper's Fig. 2 and Fig. 6a are world maps with probes and sites
+// colour-coded by regional prefix; a terminal bench can render the same
+// information as a character grid (equirectangular projection), one symbol
+// per region, capital letters for sites over lowercase probes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ranycast/geo/earth.hpp"
+
+namespace ranycast::analysis {
+
+class AsciiMap {
+ public:
+  AsciiMap(int width = 96, int height = 28);
+
+  /// Place a symbol at a geographic position. Later plots overwrite earlier
+  /// ones unless the earlier symbol is marked high-priority (uppercase by
+  /// convention: sites should not be hidden by probe clutter).
+  void plot(geo::GeoPoint position, char symbol, bool priority = false);
+
+  /// Render with a border; one legend line per entry below the grid.
+  void add_legend(char symbol, std::string text);
+  std::string render() const;
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+ private:
+  int width_, height_;
+  std::vector<char> cells_;
+  std::vector<bool> pinned_;
+  std::vector<std::pair<char, std::string>> legend_;
+};
+
+}  // namespace ranycast::analysis

@@ -1,0 +1,70 @@
+// Outcome classifiers reproducing the paper's Tables 2 & 4 and the §5.4
+// root-cause analysis.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "ranycast/bgp/route.hpp"
+
+namespace ranycast::analysis {
+
+/// Table 2: the paper's 5 ms threshold on the gap between the RTT to the
+/// DNS-returned regional IP and the lowest RTT among all regional IPs.
+inline constexpr double kMappingThresholdMs = 5.0;
+
+enum class MappingOutcome {
+  Efficient,         ///< ΔRTT < 5 ms
+  SubOptimalRegion,  ///< ✓Region but ΔRTT ≥ 5 ms (rigid geographic partition)
+  IncorrectRegion,   ///< ×Region and ΔRTT ≥ 5 ms (geolocation/resolver error)
+};
+
+std::string_view to_string(MappingOutcome o) noexcept;
+
+/// `region_intended`: whether DNS returned the region the deployment's
+/// geographic policy intends for the client's true location.
+MappingOutcome classify_mapping(double rtt_returned_ms, double rtt_best_ms,
+                                bool region_intended,
+                                double threshold_ms = kMappingThresholdMs);
+
+/// Table 4 row split: regional-vs-global RTT delta classes.
+enum class RttDelta {
+  Better,   ///< regional at least 5 ms faster
+  Similar,  ///< within ±5 ms
+  Worse,    ///< regional at least 5 ms slower
+};
+
+std::string_view to_string(RttDelta d) noexcept;
+
+RttDelta classify_rtt_delta(double regional_ms, double global_ms,
+                            double threshold_ms = kMappingThresholdMs);
+
+/// Table 4 column split: did the probe's catchment site move?
+enum class SiteShift { Closer, Same, Further };
+
+std::string_view to_string(SiteShift s) noexcept;
+
+/// `same_site` wins regardless of distances (distance noise is irrelevant
+/// when the catchment did not move); otherwise compare distances with a
+/// small tolerance.
+SiteShift classify_site_shift(bool same_site, double regional_km, double global_km,
+                              double tolerance_km = 50.0);
+
+/// §5.4: why did regional anycast reach a closer site than global anycast?
+enum class ReductionCause {
+  AsRelationshipOverride,  ///< global route won on customer-vs-peer local-pref
+  PeeringTypeOverride,     ///< global route won on public-vs-route-server peering
+  Unknown,                 ///< not classifiable from the available vantage
+};
+
+std::string_view to_string(ReductionCause c) noexcept;
+
+/// Compare the routes the client's AS selected under global and regional
+/// anycast. `route_server_feed_visible` models whether the IXP involved
+/// publishes its route-server feed — without it the peering-type case cannot
+/// be confirmed (the paper could classify only 1.6% for this reason).
+ReductionCause classify_reduction_cause(const bgp::Route& global_route,
+                                        const bgp::Route& regional_route,
+                                        bool route_server_feed_visible);
+
+}  // namespace ranycast::analysis

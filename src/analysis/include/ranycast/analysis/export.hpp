@@ -1,0 +1,29 @@
+// CSV export for experiment results — the benches print human tables; the
+// tools can additionally emit machine-readable series for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ranycast::analysis {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// RFC 4180-style output: fields containing separators/quotes are quoted.
+  void write(std::ostream& out) const;
+
+  std::string to_string() const;
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ranycast::analysis

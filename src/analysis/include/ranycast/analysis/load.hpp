@@ -1,0 +1,24 @@
+// Load-distribution metrics over anycast catchments.
+//
+// The paper's introduction motivates anycast with "reduce client latency
+// and balance load"; regional partitioning changes both. These metrics
+// quantify how evenly a configuration spreads clients over its sites.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ranycast::analysis {
+
+/// Gini coefficient of a load vector (0 = perfectly even, ->1 = one site
+/// carries everything). Zeros are legitimate (idle sites count).
+double gini(std::span<const double> loads);
+
+/// Peak-to-mean ratio (>= 1; 1 = perfectly even).
+double peak_to_mean(std::span<const double> loads);
+
+/// Effective number of sites: exp of the Shannon entropy of the load
+/// shares. Equals the site count iff the load is perfectly even.
+double effective_sites(std::span<const double> loads);
+
+}  // namespace ranycast::analysis

@@ -1,0 +1,31 @@
+// Fixed-width text table renderer for the benchmark harnesses — every bench
+// prints paper-style rows through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ranycast::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Render with column auto-sizing; first column left-aligned, the rest
+  /// right-aligned.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formatting helpers shared by benches.
+std::string fmt_ms(double ms, int decimals = 1);
+std::string fmt_pct(double fraction, int decimals = 1);  ///< 0.127 -> "12.7%"
+std::string fmt_km(double km);
+std::string fmt_count(std::size_t n);
+
+}  // namespace ranycast::analysis

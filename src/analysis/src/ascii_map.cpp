@@ -1,0 +1,51 @@
+#include "ranycast/analysis/ascii_map.hpp"
+
+#include <algorithm>
+
+namespace ranycast::analysis {
+
+AsciiMap::AsciiMap(int width, int height)
+    : width_(width),
+      height_(height),
+      cells_(static_cast<std::size_t>(width * height), ' '),
+      pinned_(static_cast<std::size_t>(width * height), false) {}
+
+void AsciiMap::plot(geo::GeoPoint position, char symbol, bool priority) {
+  // Equirectangular projection, clamped to the grid.
+  const double x = (position.lon_deg + 180.0) / 360.0 * static_cast<double>(width_);
+  const double y = (90.0 - position.lat_deg) / 180.0 * static_cast<double>(height_);
+  const int col = std::clamp(static_cast<int>(x), 0, width_ - 1);
+  const int row = std::clamp(static_cast<int>(y), 0, height_ - 1);
+  const std::size_t idx = static_cast<std::size_t>(row * width_ + col);
+  if (pinned_[idx] && !priority) return;
+  cells_[idx] = symbol;
+  if (priority) pinned_[idx] = true;
+}
+
+void AsciiMap::add_legend(char symbol, std::string text) {
+  legend_.emplace_back(symbol, std::move(text));
+}
+
+std::string AsciiMap::render() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>((width_ + 3) * (height_ + 2)));
+  out.push_back('+');
+  out.append(static_cast<std::size_t>(width_), '-');
+  out += "+\n";
+  for (int row = 0; row < height_; ++row) {
+    out.push_back('|');
+    out.append(cells_.begin() + row * width_, cells_.begin() + (row + 1) * width_);
+    out += "|\n";
+  }
+  out.push_back('+');
+  out.append(static_cast<std::size_t>(width_), '-');
+  out += "+\n";
+  for (const auto& [symbol, text] : legend_) {
+    out.push_back(' ');
+    out.push_back(symbol);
+    out += " = " + text + "\n";
+  }
+  return out;
+}
+
+}  // namespace ranycast::analysis

@@ -1,0 +1,99 @@
+#include "ranycast/analysis/classify.hpp"
+
+#include <cmath>
+
+namespace ranycast::analysis {
+
+std::string_view to_string(MappingOutcome o) noexcept {
+  switch (o) {
+    case MappingOutcome::Efficient:
+      return "dRTT<5ms";
+    case MappingOutcome::SubOptimalRegion:
+      return "vRegion,dRTT>=5ms";
+    case MappingOutcome::IncorrectRegion:
+      return "xRegion,dRTT>=5ms";
+  }
+  return "?";
+}
+
+MappingOutcome classify_mapping(double rtt_returned_ms, double rtt_best_ms, bool region_intended,
+                                double threshold_ms) {
+  if (rtt_returned_ms - rtt_best_ms < threshold_ms) return MappingOutcome::Efficient;
+  return region_intended ? MappingOutcome::SubOptimalRegion : MappingOutcome::IncorrectRegion;
+}
+
+std::string_view to_string(RttDelta d) noexcept {
+  switch (d) {
+    case RttDelta::Better:
+      return "dRTT<-5ms";
+    case RttDelta::Similar:
+      return "|dRTT|<=5ms";
+    case RttDelta::Worse:
+      return "dRTT>5ms";
+  }
+  return "?";
+}
+
+RttDelta classify_rtt_delta(double regional_ms, double global_ms, double threshold_ms) {
+  const double delta = regional_ms - global_ms;
+  if (delta < -threshold_ms) return RttDelta::Better;
+  if (delta > threshold_ms) return RttDelta::Worse;
+  return RttDelta::Similar;
+}
+
+std::string_view to_string(SiteShift s) noexcept {
+  switch (s) {
+    case SiteShift::Closer:
+      return "closer";
+    case SiteShift::Same:
+      return "same";
+    case SiteShift::Further:
+      return "further";
+  }
+  return "?";
+}
+
+SiteShift classify_site_shift(bool same_site, double regional_km, double global_km,
+                              double tolerance_km) {
+  if (same_site) return SiteShift::Same;
+  const double delta = regional_km - global_km;
+  if (delta < -tolerance_km) return SiteShift::Closer;
+  if (delta > tolerance_km) return SiteShift::Further;
+  return SiteShift::Same;
+}
+
+std::string_view to_string(ReductionCause c) noexcept {
+  switch (c) {
+    case ReductionCause::AsRelationshipOverride:
+      return "AS-relationship override";
+    case ReductionCause::PeeringTypeOverride:
+      return "peering-type override";
+    case ReductionCause::Unknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+ReductionCause classify_reduction_cause(const bgp::Route& global_route,
+                                        const bgp::Route& regional_route,
+                                        bool route_server_feed_visible) {
+  using bgp::RouteClass;
+  const RouteClass g = global_route.cls;
+  const RouteClass r = regional_route.cls;
+  // Global anycast won the BGP decision with a customer route while the
+  // regional configuration makes the client use a less-preferred (but
+  // geographically closer) class: the customer>peer>provider policy was the
+  // obstacle regional anycast removed.
+  if (g == RouteClass::Customer && r != RouteClass::Customer) {
+    return ReductionCause::AsRelationshipOverride;
+  }
+  // Public-peer route beat a route-server route to a nearby site; only
+  // classifiable when the IXP's route-server feed is published.
+  if (g == RouteClass::PeerPublic && r == RouteClass::PeerRouteServer) {
+    return route_server_feed_visible ? ReductionCause::PeeringTypeOverride
+                                     : ReductionCause::Unknown;
+  }
+  return ReductionCause::Unknown;
+}
+
+}  // namespace ranycast::analysis

@@ -1,0 +1,36 @@
+#include "ranycast/analysis/export.hpp"
+
+#include <sstream>
+
+namespace ranycast::analysis {
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write(std::ostream& out) const {
+  auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ',';
+      out << escape(cells[i]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+}  // namespace ranycast::analysis

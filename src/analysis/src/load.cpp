@@ -1,0 +1,46 @@
+#include "ranycast/analysis/load.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace ranycast::analysis {
+
+double gini(std::span<const double> loads) {
+  if (loads.empty()) return 0.0;
+  std::vector<double> sorted(loads.begin(), loads.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double total = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  // Gini = (2 * sum_i i*x_i) / (n * total) - (n + 1) / n, with 1-based i.
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<double>(i + 1) * sorted[i];
+  }
+  const double n = static_cast<double>(sorted.size());
+  return 2.0 * weighted / (n * total) - (n + 1.0) / n;
+}
+
+double peak_to_mean(std::span<const double> loads) {
+  if (loads.empty()) return 1.0;
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  if (total <= 0.0) return 1.0;
+  const double mean = total / static_cast<double>(loads.size());
+  const double peak = *std::max_element(loads.begin(), loads.end());
+  return peak / mean;
+}
+
+double effective_sites(std::span<const double> loads) {
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  if (total <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (double x : loads) {
+    if (x <= 0.0) continue;
+    const double share = x / total;
+    entropy -= share * std::log(share);
+  }
+  return std::exp(entropy);
+}
+
+}  // namespace ranycast::analysis

@@ -1,0 +1,61 @@
+#include "ranycast/analysis/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ranycast::analysis {
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(headers_);
+  for (const auto& r : rows_) grow(r);
+
+  auto emit = [&](std::string& out, const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      if (i == 0) {
+        out += cell;
+        out.append(widths[i] - cell.size(), ' ');
+      } else {
+        out.append(widths[i] - cell.size(), ' ');
+        out += cell;
+      }
+      out += i + 1 < widths.size() ? "  " : "";
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit(out, headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out.append(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& r : rows_) emit(out, r);
+  return out;
+}
+
+namespace {
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+}  // namespace
+
+std::string fmt_ms(double ms, int decimals) { return fmt_double(ms, decimals); }
+
+std::string fmt_pct(double fraction, int decimals) {
+  return fmt_double(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_km(double km) { return fmt_double(km, 0); }
+
+std::string fmt_count(std::size_t n) { return std::to_string(n); }
+
+}  // namespace ranycast::analysis

@@ -1,0 +1,50 @@
+// Probe census generator.
+//
+// Reproduces the RIPE Atlas probe population shape the paper works with
+// (§3.1): ~11k probes, heavily skewed toward EMEA and NA, a small fraction
+// with missing stability tags or unreliable geocodes (filtered out, leaving
+// ~9.7k), and a resolver mix (local ISP resolvers, public resolvers with and
+// without ECS) that drives the LDNS-vs-ADNS differences in Table 2.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "ranycast/atlas/probe.hpp"
+#include "ranycast/topo/generator.hpp"
+#include "ranycast/topo/ip_registry.hpp"
+
+namespace ranycast::atlas {
+
+struct CensusConfig {
+  int total_probes{11000};
+  double stable_prob{0.93};
+  double reliable_geocode_prob{0.95};
+  /// Resolver mix.
+  double resolver_local_prob{0.70};
+  double resolver_public_ecs_prob{0.20};  // remainder: public without ECS
+  /// Last-mile latency: exponential with this mean, capped.
+  double access_extra_mean_ms{1.5};
+  double access_extra_cap_ms{10.0};
+  std::uint64_t seed{0xA71A5};
+};
+
+class ProbeCensus {
+ public:
+  static ProbeCensus generate(const topo::World& world, topo::IpRegistry& registry,
+                              const CensusConfig& config);
+
+  std::span<const Probe> probes() const noexcept { return probes_; }
+
+  /// Probes surviving the §3.1 filter (stability tag + reliable geocode).
+  std::vector<const Probe*> retained() const;
+
+  /// Count of retained probes per area.
+  std::array<std::size_t, geo::kAreaCount> retained_by_area() const;
+
+ private:
+  std::vector<Probe> probes_;
+};
+
+}  // namespace ranycast::atlas

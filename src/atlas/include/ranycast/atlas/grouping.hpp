@@ -1,0 +1,45 @@
+// <city, AS> probe grouping and median aggregation (paper §3.1).
+//
+// RIPE Atlas probes are unevenly distributed; the paper therefore groups
+// probes by <city, AS> pair and reports every statistic over the *median*
+// of each group, so that one heavily instrumented network cannot dominate
+// a CDF. All percentage/percentile/CDF results in this library follow the
+// same convention.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ranycast/atlas/probe.hpp"
+
+namespace ranycast::atlas {
+
+struct ProbeGroup {
+  CityId city{kInvalidCity};  ///< from the probes' geocodes
+  Asn asn{kInvalidAsn};
+  geo::Area area{geo::Area::EMEA};
+  std::vector<const Probe*> members;
+};
+
+/// Group probes by <city, AS>. Order is deterministic (by city, then ASN).
+std::vector<ProbeGroup> group_probes(std::span<const Probe* const> probes);
+
+/// Median of the per-member values produced by `f`; members for which `f`
+/// returns nullopt are skipped. Returns nullopt if no member produced a
+/// value. `f` is any callable const Probe* -> std::optional<double>.
+template <typename F>
+std::optional<double> group_median(const ProbeGroup& g, F&& f) {
+  std::vector<double> vals;
+  vals.reserve(g.members.size());
+  for (const Probe* p : g.members) {
+    if (const auto v = f(p)) vals.push_back(*v);
+  }
+  if (vals.empty()) return std::nullopt;
+  std::sort(vals.begin(), vals.end());
+  const std::size_t n = vals.size();
+  return n % 2 == 1 ? vals[n / 2] : 0.5 * (vals[n / 2 - 1] + vals[n / 2]);
+}
+
+}  // namespace ranycast::atlas

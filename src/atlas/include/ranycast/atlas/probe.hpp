@@ -1,0 +1,31 @@
+// A RIPE Atlas-style measurement probe.
+#pragma once
+
+#include "ranycast/core/ipv4.hpp"
+#include "ranycast/core/types.hpp"
+#include "ranycast/dns/resolver.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+
+namespace ranycast::atlas {
+
+struct Probe {
+  ProbeId id{};
+  Asn asn{kInvalidAsn};
+  CityId city{kInvalidCity};          ///< true location
+  CityId reported_city{kInvalidCity}; ///< user-reported geocode (the "built-in" one)
+  Ipv4Addr ip;
+  bool stable{true};            ///< carries a system-ipv4-stable-1d-style tag
+  bool reliable_geocode{true};  ///< passes the geocode-sanity filter of [29]
+  double access_extra_ms{0.0};  ///< probe-specific last-mile latency
+  dns::ResolverProfile resolver;
+
+  /// The paper's §3.1 retention filter.
+  bool retained() const noexcept { return stable && reliable_geocode; }
+
+  /// Geographic area by the probe's geocode (what the paper's statistics use).
+  geo::Area area() const;
+
+  dns::QueryContext query_context() const { return dns::QueryContext{ip, resolver}; }
+};
+
+}  // namespace ranycast::atlas

@@ -1,0 +1,26 @@
+#include "ranycast/atlas/grouping.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ranycast::atlas {
+
+std::vector<ProbeGroup> group_probes(std::span<const Probe* const> probes) {
+  std::map<std::pair<std::uint16_t, std::uint32_t>, ProbeGroup> by_key;
+  for (const Probe* p : probes) {
+    const auto key = std::make_pair(value(p->reported_city), value(p->asn));
+    auto& g = by_key[key];
+    if (g.members.empty()) {
+      g.city = p->reported_city;
+      g.asn = p->asn;
+      g.area = p->area();
+    }
+    g.members.push_back(p);
+  }
+  std::vector<ProbeGroup> out;
+  out.reserve(by_key.size());
+  for (auto& [key, group] : by_key) out.push_back(std::move(group));
+  return out;
+}
+
+}  // namespace ranycast::atlas

@@ -1,0 +1,9 @@
+#include "ranycast/atlas/probe.hpp"
+
+namespace ranycast::atlas {
+
+geo::Area Probe::area() const {
+  return geo::Gazetteer::world().area_of_city(reported_city);
+}
+
+}  // namespace ranycast::atlas

@@ -1,0 +1,78 @@
+// Data-path latency model and traceroute synthesis.
+//
+// The RTT of a path is driven by the geographic route the selected BGP path
+// takes: the client city, the chain of interconnection cities the
+// announcement traversed (in reverse), and the originating site's city.
+// This is what turns policy-routing decisions into the latency pathologies
+// the paper measures.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ranycast/bgp/route.hpp"
+#include "ranycast/core/ipv4.hpp"
+#include "ranycast/core/rng.hpp"
+#include "ranycast/core/types.hpp"
+#include "ranycast/geo/earth.hpp"
+#include "ranycast/topo/graph.hpp"
+#include "ranycast/topo/ip_registry.hpp"
+
+namespace ranycast::bgp {
+
+struct LatencyModel {
+  /// Fibre propagation: RTT milliseconds per kilometre of great-circle path.
+  /// The paper's constant is 1 ms RTT per 100 km.
+  double ms_per_km{1.0 / geo::kKmPerMsRtt};
+  /// Per-AS-hop processing/queueing cost (RTT).
+  double per_hop_ms{0.15};
+  /// Maximum deterministic "jitter" (path indirectness, queueing) added per
+  /// (client, path) pair.
+  double jitter_max_ms{1.5};
+  /// Last-mile access latency added for end hosts (probes).
+  double access_base_ms{0.4};
+  std::uint64_t seed{0x9e3779b9};
+
+  /// Total geographic length of the data path for a client in `client_city`
+  /// using route `r`: client -> ingress interconnect -> ... -> site.
+  Km path_distance(const Route& r, CityId client_city) const;
+
+  /// End-to-end RTT for a client (identified by its AS for jitter purposes).
+  Rtt path_rtt(const Route& r, CityId client_city, Asn client_asn,
+               double client_access_extra_ms = 0.0) const;
+};
+
+/// One responding traceroute hop.
+struct Hop {
+  Ipv4Addr ip;
+  Asn owner{kInvalidAsn};
+  CityId city{kInvalidCity};
+  Rtt rtt;  ///< RTT from the client to this hop
+};
+
+struct TracerouteResult {
+  std::vector<Hop> hops;  ///< client-side first; the last entry is the p-hop
+  Ipv4Addr destination;
+  Rtt rtt;              ///< RTT to the destination (== ping RTT)
+  bool phop_valid{true};  ///< false when the penultimate hop did not respond
+
+  const Hop& phop() const { return hops.back(); }
+};
+
+struct TracerouteConfig {
+  /// Probability the penultimate hop does not respond (filters in §5.3 drop
+  /// such probes). Deterministic per (client, route).
+  double phop_loss_prob{0.05};
+  std::uint64_t seed{0xABCD};
+};
+
+/// Synthesize the traceroute a client would observe along `route`.
+/// `onsite_router` says whether the originating site announces via its own
+/// edge router (then the p-hop belongs to the CDN AS at the site city),
+/// otherwise the p-hop is the first-hop neighbor's interface at the site.
+TracerouteResult synth_traceroute(const Route& route, CityId client_city, Asn client_asn,
+                                  double client_access_extra_ms, bool onsite_router,
+                                  Ipv4Addr destination, const LatencyModel& latency,
+                                  const TracerouteConfig& config, topo::IpRegistry& registry);
+
+}  // namespace ranycast::bgp

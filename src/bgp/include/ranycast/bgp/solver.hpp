@@ -1,0 +1,51 @@
+// Gao-Rexford anycast route propagation.
+//
+// Computes, for one anycast prefix originated at a set of sites, the route
+// each AS in the graph selects. The engine follows the standard three-stage
+// valley-free model:
+//   1. customer routes climb the provider hierarchy (Dijkstra on path length),
+//   2. each AS considers routes its peers export (peers export only customer
+//      routes and direct originations),
+//   3. provider routes descend to customers (Dijkstra on path length over the
+//      exported best routes).
+// Selection order: local-pref class (customer > public peer > route-server
+// peer > provider), then AS-path length, then a deterministic hash tie-break
+// standing in for BGP's arbitrary tie-breaking (router ids, age).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ranycast/bgp/route.hpp"
+#include "ranycast/topo/graph.hpp"
+
+namespace ranycast::bgp {
+
+/// Per-AS routing result for one anycast prefix.
+class RoutingOutcome {
+ public:
+  RoutingOutcome(const topo::Graph* graph, std::vector<std::optional<Route>> routes)
+      : graph_(graph), routes_(std::move(routes)) {}
+
+  /// The route the AS selected, or nullptr if the prefix is unreachable.
+  const Route* route_for(Asn a) const noexcept;
+
+  /// Catchment: the site an AS's traffic reaches.
+  std::optional<SiteId> catchment(Asn a) const noexcept;
+
+  std::size_t reachable_count() const noexcept;
+  std::size_t as_count() const noexcept { return routes_.size(); }
+
+ private:
+  const topo::Graph* graph_;
+  std::vector<std::optional<Route>> routes_;  // indexed by dense node index
+};
+
+/// Solve one anycast prefix. `seed` perturbs only the tie-break hash, which
+/// models BGP's arbitrary tie-breaking; all policy decisions are
+/// deterministic in the inputs.
+RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
+                             std::span<const OriginAttachment> origins, std::uint64_t seed);
+
+}  // namespace ranycast::bgp

@@ -1,0 +1,94 @@
+#include "ranycast/bgp/path_metrics.hpp"
+
+#include "ranycast/geo/gazetteer.hpp"
+
+namespace ranycast::bgp {
+
+namespace {
+
+/// Deterministic uniform [0,1) from a hash of the inputs.
+double hash01(std::uint64_t h) noexcept {
+  return static_cast<double>(mix64(h) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t path_hash(const Route& r, Asn client, std::uint64_t seed) noexcept {
+  std::uint64_t h = hash_combine(seed, value(client));
+  h = hash_combine(h, value(r.origin_site));
+  for (Asn a : r.as_path) h = hash_combine(h, value(a));
+  return h;
+}
+
+}  // namespace
+
+Km LatencyModel::path_distance(const Route& r, CityId client_city) const {
+  const auto& gaz = geo::Gazetteer::world();
+  Km total{0.0};
+  CityId prev = client_city;
+  // Walk the geo path from the client side toward the site.
+  for (auto it = r.geo_path.rbegin(); it != r.geo_path.rend(); ++it) {
+    total += gaz.distance(prev, *it);
+    prev = *it;
+  }
+  return total;
+}
+
+Rtt LatencyModel::path_rtt(const Route& r, CityId client_city, Asn client_asn,
+                           double client_access_extra_ms) const {
+  const double propagation = path_distance(r, client_city).km * ms_per_km;
+  const double hops = per_hop_ms * static_cast<double>(r.path_length() + 1);
+  const double jitter = jitter_max_ms * hash01(path_hash(r, client_asn, seed));
+  return Rtt{propagation + hops + jitter + access_base_ms + client_access_extra_ms};
+}
+
+TracerouteResult synth_traceroute(const Route& route, CityId client_city, Asn client_asn,
+                                  double client_access_extra_ms, bool onsite_router,
+                                  Ipv4Addr destination, const LatencyModel& latency,
+                                  const TracerouteConfig& config, topo::IpRegistry& registry) {
+  const auto& gaz = geo::Gazetteer::world();
+  TracerouteResult out;
+  out.destination = destination;
+  out.rtt = latency.path_rtt(route, client_city, client_asn, client_access_extra_ms);
+
+  // Cumulative RTT along the path; each hop responds with roughly the
+  // propagation latency from the client to that interconnection city.
+  const double base = latency.access_base_ms + client_access_extra_ms;
+  double cum_km = 0.0;
+  CityId prev = client_city;
+  int hop_count = 1;
+  auto hop_rtt = [&](CityId at) {
+    cum_km += gaz.distance(prev, at).km;
+    prev = at;
+    return Rtt{base + cum_km * latency.ms_per_km +
+               latency.per_hop_ms * static_cast<double>(hop_count++)};
+  };
+
+  // First responding hop: the client AS's own border router.
+  out.hops.push_back(Hop{registry.router_ip(client_asn, client_city), client_asn, client_city,
+                         hop_rtt(client_city)});
+
+  // Transit hops: walk the AS path from the client side (Ak ... A1); A_i's
+  // responding interface is its ingress at geo_path[i] (where it hands the
+  // route downstream, i.e. where data enters it from upstream).
+  const auto& as_path = route.as_path;
+  const auto& geo_path = route.geo_path;
+  for (std::size_t i = as_path.size(); i-- > 1;) {
+    const Asn owner = as_path[i];
+    const CityId city = geo_path[i];
+    out.hops.push_back(Hop{registry.router_ip(owner, city), owner, city, hop_rtt(city)});
+  }
+
+  // Penultimate hop at the site city: the CDN's own edge router if the site
+  // has one, otherwise the first-hop neighbor's interface.
+  const CityId site_city = geo_path.front();
+  const Asn phop_owner = onsite_router ? route.origin_asn : as_path.size() > 1
+                                             ? as_path[1]
+                                             : client_asn;
+  out.hops.push_back(Hop{registry.router_ip(phop_owner, site_city), phop_owner, site_city,
+                         hop_rtt(site_city)});
+
+  const std::uint64_t h = hash_combine(path_hash(route, client_asn, config.seed), 0x7E57);
+  out.phop_valid = hash01(h) >= config.phop_loss_prob;
+  return out;
+}
+
+}  // namespace ranycast::bgp

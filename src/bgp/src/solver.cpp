@@ -1,0 +1,258 @@
+#include "ranycast/bgp/solver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "ranycast/core/rng.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+
+namespace ranycast::bgp {
+
+std::string_view to_string(RouteClass c) noexcept {
+  switch (c) {
+    case RouteClass::Customer:
+      return "customer";
+    case RouteClass::PeerPublic:
+      return "public-peer";
+    case RouteClass::PeerRouteServer:
+      return "route-server-peer";
+    case RouteClass::Provider:
+      return "provider";
+  }
+  return "?";
+}
+
+const Route* RoutingOutcome::route_for(Asn a) const noexcept {
+  const auto idx = graph_->index_of(a);
+  if (!idx || !routes_[*idx]) return nullptr;
+  return &*routes_[*idx];
+}
+
+std::optional<SiteId> RoutingOutcome::catchment(Asn a) const noexcept {
+  const Route* r = route_for(a);
+  if (r == nullptr) return std::nullopt;
+  return r->origin_site;
+}
+
+std::size_t RoutingOutcome::reachable_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(routes_.begin(), routes_.end(), [](const auto& r) { return r.has_value(); }));
+}
+
+namespace {
+
+/// Candidate ordering inside one local-pref class: shorter AS path first,
+/// then the deterministic tie-break hash.
+struct HeapKey {
+  std::size_t len;
+  double ingress_km;
+  std::uint64_t tiebreak;
+  std::size_t node;  // dense index of the AS this candidate is for
+
+  bool operator>(const HeapKey& o) const noexcept {
+    if (len != o.len) return len > o.len;
+    if (ingress_km != o.ingress_km) return ingress_km > o.ingress_km;
+    if (tiebreak != o.tiebreak) return tiebreak > o.tiebreak;
+    return node > o.node;
+  }
+};
+
+struct CandidateHeap {
+  // Parallel storage: the heap holds keys + indexes into `pool` so that the
+  // Route payloads (vectors) are moved, not copied, during heap operations.
+  // The key is derived *inside* push, after the route has safely arrived --
+  // deriving it at the call site while also moving the route is an
+  // argument-evaluation-order trap.
+  struct Entry {
+    HeapKey key;
+    std::size_t pool_index;
+    bool operator>(const Entry& o) const noexcept { return key > o.key; }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<Route> pool;
+
+  void push(std::size_t node, Route route) {
+    const HeapKey key{route.path_length(), route.ingress_km, route.tiebreak, node};
+    pool.push_back(std::move(route));
+    heap.push(Entry{key, pool.size() - 1});
+  }
+
+  bool empty() const { return heap.empty(); }
+
+  std::pair<HeapKey, Route> pop() {
+    Entry top = heap.top();
+    heap.pop();
+    return {top.key, std::move(pool[top.pool_index])};
+  }
+};
+
+std::uint64_t route_tiebreak(std::uint64_t seed, const Route& r, Asn holder_hint) {
+  std::uint64_t h = seed;
+  // Hash the site's *city* rather than its deployment-local SiteId: the same
+  // physical announcement must resolve ties identically in every deployment
+  // it appears in (AnyOpt pairwise experiments, the §5.3 same-operator
+  // comparison), and SiteIds are renumbered per deployment.
+  h = hash_combine(h, value(r.geo_path.front()));
+  for (Asn a : r.as_path) h = hash_combine(h, value(a));
+  h = hash_combine(h, value(holder_hint));
+  return h;
+}
+
+/// Pick the interconnection point of `edge` nearest to the route's current
+/// ingress city (nearest-exit within the exporting AS).
+CityId egress_city(const Route& r, const topo::Edge& edge) {
+  if (edge.cities.size() == 1) return edge.cities.front();
+  const auto& gaz = geo::Gazetteer::world();
+  const CityId from = r.geo_path.back();
+  CityId best = edge.cities.front();
+  double best_km = std::numeric_limits<double>::infinity();
+  for (CityId c : edge.cities) {
+    const double d = gaz.distance(from, c).km;
+    if (d < best_km) {
+      best_km = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Extend a route across an edge into the AS `next` (the receiver).
+Route extend(const Route& r, Asn via, const topo::Edge& edge, RouteClass cls,
+             std::uint64_t seed, const topo::AsNode& next) {
+  Route out;
+  out.origin_site = r.origin_site;
+  out.origin_asn = r.origin_asn;
+  out.cls = cls;
+  out.as_path.reserve(r.as_path.size() + 1);
+  out.as_path = r.as_path;
+  out.as_path.push_back(via);
+  out.geo_path = r.geo_path;
+  out.geo_path.push_back(egress_city(r, edge));
+  out.ingress_km = geo::Gazetteer::world().distance(next.home_city, out.geo_path.back()).km;
+  out.tiebreak = route_tiebreak(seed, out, next.asn);
+  return out;
+}
+
+}  // namespace
+
+RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
+                             std::span<const OriginAttachment> origins, std::uint64_t seed) {
+  using topo::AsNode;
+  const auto nodes = graph.nodes();
+  const std::size_t n = nodes.size();
+
+  // Stage results, indexed by dense node index.
+  std::vector<std::optional<Route>> customer_best(n);
+  std::vector<std::optional<Route>> stage2_best(n);  // customer or peer
+  std::vector<std::optional<Route>> final_best(n);
+
+  auto seed_route = [&](const OriginAttachment& o, RouteClass cls, const topo::AsNode& holder) {
+    Route r;
+    r.origin_site = o.site;
+    r.origin_asn = cdn_asn;
+    r.cls = cls;
+    r.as_path = {cdn_asn};
+    r.geo_path = {o.site_city};
+    r.ingress_km = geo::Gazetteer::world().distance(holder.home_city, o.site_city).km;
+    r.tiebreak = route_tiebreak(seed, r, holder.asn);
+    return r;
+  };
+
+  // ---- Stage 1: customer routes climb to providers ------------------------
+  {
+    CandidateHeap heap;
+    for (const OriginAttachment& o : origins) {
+      if (o.neighbor_rel != topo::Rel::Customer) continue;
+      const auto idx = graph.index_of(o.neighbor);
+      if (!idx) continue;
+      Route r = seed_route(o, RouteClass::Customer, nodes[*idx]);
+      heap.push(*idx, std::move(r));
+    }
+    while (!heap.empty()) {
+      auto [key, route] = heap.pop();
+      if (customer_best[key.node]) continue;  // already finalized with a better key
+      const AsNode& holder = nodes[key.node];
+      customer_best[key.node] = std::move(route);
+      const Route& best = *customer_best[key.node];
+      for (const topo::Edge& e : holder.edges) {
+        if (e.rel != topo::Rel::Provider) continue;  // climb only
+        const auto nidx = graph.index_of(e.neighbor);
+        if (!nidx || customer_best[*nidx]) continue;
+        Route next = extend(best, holder.asn, e, RouteClass::Customer, seed, nodes[*nidx]);
+        heap.push(*nidx, std::move(next));
+      }
+    }
+  }
+
+  // Preference comparison across classes: higher class wins, then shorter
+  // path, then lower tie-break.
+  auto better = [](const Route& a, const Route& b) {
+    if (a.cls != b.cls) return static_cast<int>(a.cls) > static_cast<int>(b.cls);
+    if (a.path_length() != b.path_length()) return a.path_length() < b.path_length();
+    if (a.ingress_km != b.ingress_km) return a.ingress_km < b.ingress_km;  // hot potato
+    return a.tiebreak < b.tiebreak;
+  };
+
+  // ---- Stage 2: peer routes -----------------------------------------------
+  {
+    // Direct peer originations first.
+    for (const OriginAttachment& o : origins) {
+      if (!topo::is_peer(o.neighbor_rel)) continue;
+      const auto idx = graph.index_of(o.neighbor);
+      if (!idx) continue;
+      Route r = seed_route(o, class_of(o.neighbor_rel), nodes[*idx]);
+      if (!stage2_best[*idx] || better(r, *stage2_best[*idx])) stage2_best[*idx] = std::move(r);
+    }
+    // Then routes exported by peers: a peer exports only its customer routes.
+    for (std::size_t i = 0; i < n; ++i) {
+      const AsNode& holder = nodes[i];
+      for (const topo::Edge& e : holder.edges) {
+        if (!topo::is_peer(e.rel)) continue;
+        const auto nidx = graph.index_of(e.neighbor);
+        if (!nidx || !customer_best[*nidx]) continue;
+        Route cand = extend(*customer_best[*nidx], e.neighbor, e, class_of(e.rel), seed,
+                            holder);
+        if (!stage2_best[i] || better(cand, *stage2_best[i])) stage2_best[i] = std::move(cand);
+      }
+    }
+    // Customer routes dominate peer routes.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (customer_best[i] &&
+          (!stage2_best[i] || better(*customer_best[i], *stage2_best[i]))) {
+        stage2_best[i] = customer_best[i];
+      }
+    }
+  }
+
+  // ---- Stage 3: provider routes descend to customers -----------------------
+  {
+    CandidateHeap heap;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!stage2_best[i]) continue;
+      // Seed with the AS's own best; it will be finalized first for itself.
+      heap.push(i, *stage2_best[i]);
+    }
+    // Provider-side direct originations (the CDN buying transit) were handled
+    // in stage 1; nothing to seed here.
+    while (!heap.empty()) {
+      auto [key, route] = heap.pop();
+      if (final_best[key.node]) continue;
+      final_best[key.node] = std::move(route);
+      const AsNode& holder = nodes[key.node];
+      const Route& exported = *final_best[key.node];
+      for (const topo::Edge& e : holder.edges) {
+        if (e.rel != topo::Rel::Customer) continue;  // descend only
+        const auto nidx = graph.index_of(e.neighbor);
+        if (!nidx || final_best[*nidx] || stage2_best[*nidx]) continue;
+        Route next = extend(exported, holder.asn, e, RouteClass::Provider, seed, nodes[*nidx]);
+        heap.push(*nidx, std::move(next));
+      }
+    }
+  }
+
+  return RoutingOutcome{&graph, std::move(final_best)};
+}
+
+}  // namespace ranycast::bgp

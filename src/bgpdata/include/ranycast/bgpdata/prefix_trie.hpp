@@ -1,0 +1,84 @@
+// Binary (Patricia-style, path-per-bit) prefix trie with longest-prefix
+// matching — the data structure behind pyasn-style IP-to-ASN lookup over a
+// RouteViews RIB snapshot (paper §5.3/§5.4 use exactly that tooling).
+//
+// Nodes are stored in a flat vector (indices instead of pointers): compact,
+// cache-friendly, and trivially copyable snapshots.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ranycast/core/ipv4.hpp"
+
+namespace ranycast::bgpdata {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  /// Insert (or overwrite) the value for an exact prefix.
+  void insert(Prefix prefix, Value value) {
+    std::size_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.address().bits() >> (31 - depth)) & 1;
+      std::size_t child = nodes_[node].child[bit];
+      if (child == kNone) {
+        child = nodes_.size();
+        nodes_[node].child[bit] = child;
+        nodes_.push_back(Node{});  // may reallocate: no live references here
+      }
+      node = child;
+    }
+    if (!nodes_[node].value) ++size_;
+    nodes_[node].value = std::move(value);
+  }
+
+  /// Longest-prefix match; nullopt when no covering prefix exists.
+  std::optional<Value> lookup(Ipv4Addr address) const {
+    std::optional<Value> best;
+    std::size_t node = 0;
+    for (int depth = 0;; ++depth) {
+      if (nodes_[node].value) best = nodes_[node].value;
+      if (depth == 32) break;
+      const int bit = (address.bits() >> (31 - depth)) & 1;
+      const std::size_t child = nodes_[node].child[bit];
+      if (child == kNone) break;
+      node = child;
+    }
+    return best;
+  }
+
+  /// Exact-prefix lookup (no LPM).
+  std::optional<Value> exact(Prefix prefix) const {
+    std::size_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.address().bits() >> (31 - depth)) & 1;
+      const std::size_t child = nodes_[node].child[bit];
+      if (child == kNone) return std::nullopt;
+      node = child;
+    }
+    return nodes_[node].value;
+  }
+
+  /// Number of stored prefixes.
+  std::size_t size() const noexcept { return size_; }
+
+  /// Number of allocated trie nodes (for memory diagnostics).
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Node {
+    std::size_t child[2]{kNone, kNone};
+    std::optional<Value> value;
+  };
+
+  std::vector<Node> nodes_;
+  std::size_t size_{0};
+};
+
+}  // namespace ranycast::bgpdata

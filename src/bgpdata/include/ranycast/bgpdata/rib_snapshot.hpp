@@ -1,0 +1,63 @@
+// RouteViews-style RIB snapshot and pyasn-style IP-to-ASN mapping.
+//
+// The paper maps traceroute hops to ASes with pyasn over a RouteViews RIB
+// dump of the measurement day, and to IXPs with PeeringDB's published LAN
+// prefixes; 49% of penultimate hops sat on IXP LANs and were invisible in
+// BGP (§5.3). This module reproduces that tooling: a snapshot built from
+// the ground-truth world (the registry's allocations as origin routes, the
+// CDNs' anycast prefixes, and per-IXP LAN prefixes that are *absent* from
+// the BGP view), plus the lookup API analyses use.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ranycast/bgpdata/prefix_trie.hpp"
+#include "ranycast/cdn/deployment.hpp"
+#include "ranycast/topo/generator.hpp"
+#include "ranycast/topo/ip_registry.hpp"
+
+namespace ranycast::bgpdata {
+
+/// What an address resolves to in the measurement-plane view.
+struct MappedOwner {
+  enum class Kind { As, Ixp, Unrouted };
+  Kind kind{Kind::Unrouted};
+  Asn asn{kInvalidAsn};      ///< valid when kind == As
+  std::string ixp_name;      ///< valid when kind == Ixp
+};
+
+class RibSnapshot {
+ public:
+  /// Build the BGP view of a world: every AS block appears as one route
+  /// originated by its owner; each deployment's regional prefixes are
+  /// originated by the CDN's ASN. IXP LAN prefixes are registered
+  /// separately (PeeringDB-style) because they do NOT appear in BGP.
+  static RibSnapshot build(const topo::World& world, topo::IpRegistry& registry,
+                           std::span<const cdn::Deployment* const> deployments);
+
+  /// pyasn-style lookup: longest-prefix match in the BGP table.
+  std::optional<Asn> ip_to_asn(Ipv4Addr address) const;
+
+  /// Combined lookup: BGP first, then the IXP LAN registry (PeeringDB).
+  MappedOwner map(Ipv4Addr address) const;
+
+  /// Register an IXP LAN prefix (visible to PeeringDB, not to BGP).
+  void add_ixp_lan(Prefix prefix, std::string ixp_name);
+
+  std::size_t route_count() const noexcept { return bgp_.size(); }
+  std::size_t ixp_lan_count() const noexcept { return ixp_lans_.size(); }
+
+ private:
+  PrefixTrie<Asn> bgp_;
+  PrefixTrie<std::size_t> ixp_lan_index_;
+  std::vector<std::string> ixp_lans_;
+};
+
+/// Allocate one LAN prefix per IXP in the world and register it in the
+/// snapshot; returns the address of each IXP's LAN for interface numbering.
+std::vector<Prefix> allocate_ixp_lans(const topo::World& world, topo::IpRegistry& registry,
+                                      RibSnapshot& snapshot);
+
+}  // namespace ranycast::bgpdata

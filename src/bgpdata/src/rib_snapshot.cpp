@@ -1,0 +1,50 @@
+#include "ranycast/bgpdata/rib_snapshot.hpp"
+
+namespace ranycast::bgpdata {
+
+RibSnapshot RibSnapshot::build(const topo::World& world, topo::IpRegistry& registry,
+                               std::span<const cdn::Deployment* const> deployments) {
+  RibSnapshot snapshot;
+  for (const topo::AsNode& node : world.graph.nodes()) {
+    snapshot.bgp_.insert(registry.as_block(node.asn), node.asn);
+  }
+  for (const cdn::Deployment* dep : deployments) {
+    for (const cdn::Region& region : dep->regions()) {
+      snapshot.bgp_.insert(region.prefix, dep->asn());
+    }
+  }
+  return snapshot;
+}
+
+std::optional<Asn> RibSnapshot::ip_to_asn(Ipv4Addr address) const {
+  return bgp_.lookup(address);
+}
+
+MappedOwner RibSnapshot::map(Ipv4Addr address) const {
+  if (const auto asn = bgp_.lookup(address)) {
+    return MappedOwner{MappedOwner::Kind::As, *asn, {}};
+  }
+  if (const auto idx = ixp_lan_index_.lookup(address)) {
+    return MappedOwner{MappedOwner::Kind::Ixp, kInvalidAsn, ixp_lans_[*idx]};
+  }
+  return MappedOwner{};
+}
+
+void RibSnapshot::add_ixp_lan(Prefix prefix, std::string ixp_name) {
+  ixp_lan_index_.insert(prefix, ixp_lans_.size());
+  ixp_lans_.push_back(std::move(ixp_name));
+}
+
+std::vector<Prefix> allocate_ixp_lans(const topo::World& world, topo::IpRegistry& registry,
+                                      RibSnapshot& snapshot) {
+  std::vector<Prefix> lans;
+  lans.reserve(world.graph.ixps().size());
+  for (const topo::Ixp& ixp : world.graph.ixps()) {
+    const Prefix lan = registry.allocate_special(22);  // IXP LANs are sizable
+    snapshot.add_ixp_lan(lan, ixp.name);
+    lans.push_back(lan);
+  }
+  return lans;
+}
+
+}  // namespace ranycast::bgpdata

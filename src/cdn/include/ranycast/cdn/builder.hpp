@@ -1,0 +1,62 @@
+// Declarative deployment specification and the builder that realizes it
+// against a generated world.
+//
+// The builder derives each site's attachments (providers, IXP peers) from a
+// seed keyed by (attachment_seed, city) only, NOT by the deployment name.
+// This is what makes two deployments of the same operator share identical
+// connectivity at shared sites — the property the paper relies on when it
+// uses Imperva's global-anycast DNS network as the comparable counterpart of
+// its regional CDN (§5.3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ranycast/cdn/deployment.hpp"
+#include "ranycast/topo/generator.hpp"
+#include "ranycast/topo/ip_registry.hpp"
+
+namespace ranycast::cdn {
+
+struct SiteSpec {
+  std::string iata;                 ///< the site's city (by IATA code)
+  std::vector<std::size_t> regions; ///< regional prefixes announced here
+  bool onsite_router{true};
+};
+
+struct DeploymentSpec {
+  std::string name;
+  Asn asn{make_asn(64500)};
+  std::vector<std::string> region_names;
+  std::vector<SiteSpec> sites;
+  /// Client mapping: country ISO2 → region index, applied before area defaults.
+  std::vector<std::pair<std::string, std::size_t>> country_overrides;
+  /// Area defaults indexed by geo::Area order (EMEA, NA, LatAm, APAC).
+  std::array<std::size_t, geo::kAreaCount> area_defaults{0, 0, 0, 0};
+  /// Seed for attachment derivation; deployments of the same operator share it.
+  std::uint64_t attachment_seed{0xCD17};
+  /// Number of upstream transit providers per site (min/max inclusive).
+  /// Commercial CDN sites connect to many local carriers; thin attachment
+  /// makes intra-region catchments hostage to AS-path-length accidents.
+  int min_providers{3};
+  int max_providers{5};
+  /// Of those, how many come from the operator's global preferred-carrier
+  /// ranking (the carriers bought at many sites); the rest are city-local
+  /// spot deals.
+  int preferred_carriers{2};
+  /// Number of IXP peers per site when the city hosts an IXP.
+  int max_ixp_peers{4};
+  /// Extra bilateral-vs-route-server split for site peerings.
+  double peer_bilateral_prob{0.55};
+  /// Probability a site runs its own edge router (otherwise it connects to
+  /// a remote IXP at the link layer and the p-hop belongs to the upstream,
+  /// Appendix B). Derived deterministically per (operator, city).
+  double onsite_router_prob{0.60};
+};
+
+/// Realize a spec: allocate regional prefixes, derive site attachments.
+/// Sites whose IATA code is unknown are skipped (checked by tests).
+Deployment build_deployment(const DeploymentSpec& spec, const topo::World& world,
+                            topo::IpRegistry& registry);
+
+}  // namespace ranycast::cdn

@@ -1,0 +1,84 @@
+// Canned deployment specifications reproducing the networks the paper
+// studies (site counts per area match Table 1):
+//
+//   network      APAC  EMEA  NA  LatAm  total
+//   Edgio-3        14    15  13      1     43
+//   Edgio-4        15    16  12      4     47
+//   Edgio-Pub      19    26  24     10     79
+//   Imperva-6      16    15  12      5     48
+//   Imperva-NS     17    15  12      5     49
+//   Imperva-Pub    17    15  12      6     50
+//   Tangled         2     5   3      2     12
+//
+// Region layouts follow §4.3/§4.4: Edgio-3 collapses the Americas into one
+// region; Edgio-4 splits NA and SA with a mixed site in Florida (Miami);
+// Imperva-6 uses six regions (CA, US, LatAm, EMEA, APAC, RU) where the RU
+// prefix is announced by three European sites (AMS/FRA/LHR) and one
+// Californian site (SJC) cross-announces the APAC prefix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ranycast/cdn/builder.hpp"
+
+namespace ranycast::cdn::catalog {
+
+// Operator-wide attachment seeds (shared across an operator's networks so
+// that co-located sites have identical connectivity, §5.3).
+inline constexpr std::uint64_t kEdgioSeed = 0xED610;
+/// Edgio runs its authoritative DNS on a *separate* network with its own
+/// configuration (§4.4) — hence a different attachment seed.
+inline constexpr std::uint64_t kEdgioDnsSeed = 0xED61D;
+inline constexpr std::uint64_t kImpervaSeed = 0x1A9E4A;
+inline constexpr std::uint64_t kTangledSeed = 0x7A96;
+
+inline constexpr std::uint32_t kEdgioAsn = 64600;
+inline constexpr std::uint32_t kImpervaAsn = 64620;
+inline constexpr std::uint32_t kTangledAsn = 64700;
+
+// Region index conventions.
+namespace edgio3_region {
+inline constexpr std::size_t kAmericas = 0, kEmea = 1, kApac = 2;
+}
+namespace edgio4_region {
+inline constexpr std::size_t kNa = 0, kSa = 1, kEmea = 2, kApac = 3;
+}
+namespace imperva6_region {
+inline constexpr std::size_t kCa = 0, kUs = 1, kLatAm = 2, kEmea = 3, kApac = 4, kRu = 5;
+}
+
+DeploymentSpec edgio3();
+DeploymentSpec edgio4();
+DeploymentSpec imperva6();
+DeploymentSpec imperva_ns();
+
+/// Edgio's global-anycast authoritative-DNS network. Unlike Imperva's, it
+/// overlaps the CDN only partially — 33 of Edgio-3's 43 sites and 37 of
+/// Edgio-4's 47 — and uses distinct network configurations, which is why
+/// the paper excludes Edgio from the §5.3 regional-vs-global comparison.
+DeploymentSpec edgio_ns();
+
+/// Published PoP city lists (the operators' websites; ground truth for the
+/// site-enumeration experiments, Table 1's *-Pub columns).
+const std::vector<std::string>& edgio_published_sites();
+const std::vector<std::string>& imperva_published_sites();
+
+/// The Tangled testbed's 12 site cities (Table 1's Tangled column).
+const std::vector<std::string>& tangled_sites();
+
+/// A customer hostname set served by one deployment configuration (§4.2's
+/// Edgio-3 / Edgio-4 / Imperva-6 sets). The representative hostname comes
+/// first; the rest are used for the Appendix C generalization check.
+struct HostnameSet {
+  std::string set_name;
+  std::vector<std::string> hostnames;
+
+  const std::string& representative() const { return hostnames.front(); }
+};
+
+HostnameSet edgio3_hostnames();
+HostnameSet edgio4_hostnames();
+HostnameSet imperva6_hostnames();
+
+}  // namespace ranycast::cdn::catalog

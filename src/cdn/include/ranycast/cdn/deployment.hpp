@@ -1,0 +1,107 @@
+// Anycast CDN deployment model.
+//
+// A Deployment owns a set of sites, a set of regions (one anycast prefix
+// each; a single region models global anycast), the site→region announcement
+// matrix (a site announcing several regional prefixes is the paper's
+// "cross-region announcement"), and the client→region DNS mapping policy
+// (country overrides on top of per-area defaults).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ranycast/bgp/route.hpp"
+#include "ranycast/core/ipv4.hpp"
+#include "ranycast/core/types.hpp"
+#include "ranycast/dns/geo_database.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+#include "ranycast/topo/graph.hpp"
+
+namespace ranycast::cdn {
+
+/// How a site connects to the surrounding Internet at its city.
+struct Attachment {
+  Asn neighbor{kInvalidAsn};
+  /// Relationship from the neighbor's perspective (Customer = the CDN buys
+  /// transit from this neighbor).
+  topo::Rel rel{topo::Rel::Customer};
+};
+
+struct Site {
+  SiteId id{kInvalidSite};
+  CityId city{kInvalidCity};
+  bool onsite_router{true};
+  std::vector<std::size_t> regions;  ///< region indices announced; >1 = mixed
+  std::vector<Attachment> attachments;
+
+  bool announces(std::size_t region) const noexcept;
+  bool mixed() const noexcept { return regions.size() > 1; }
+};
+
+struct Region {
+  std::string name;
+  Prefix prefix;
+  Ipv4Addr service_ip;  ///< the A-record address handed to clients
+};
+
+class Deployment {
+ public:
+  Deployment(std::string name, Asn asn) : name_(std::move(name)), asn_(asn) {}
+
+  const std::string& name() const noexcept { return name_; }
+  Asn asn() const noexcept { return asn_; }
+
+  std::span<const Site> sites() const noexcept { return sites_; }
+  std::span<const Region> regions() const noexcept { return regions_; }
+  const Site& site(SiteId id) const { return sites_[value(id)]; }
+
+  bool is_global() const noexcept { return regions_.size() == 1; }
+
+  // --- construction (used by the builder) ---
+  std::size_t add_region(Region r);
+  SiteId add_site(Site s);  ///< id is assigned; returns it
+  void set_country_region(std::string iso2, std::size_t region);
+  void set_area_region(geo::Area a, std::size_t region);
+
+  // --- client mapping policy ---
+  /// Region intended for a (correctly geolocated) country.
+  std::optional<std::size_t> region_for_country(std::string_view iso2) const;
+  /// The full country-override table (for deployment transforms).
+  const std::unordered_map<std::string, std::size_t>& country_regions() const noexcept {
+    return country_region_;
+  }
+  /// Region intended for clients in an area with no country override.
+  std::size_t region_for_area(geo::Area a) const noexcept { return area_default_[static_cast<int>(a)]; }
+
+  /// The DNS decision: geolocate `effective` through `db` and apply the
+  /// mapping policy. Falls back to region 0 when the address is unknown.
+  std::size_t map_client(Ipv4Addr effective, const dns::GeoDatabase& db) const;
+
+  /// Ground-truth mapping for a client whose true city is known — what DNS
+  /// *should* return under this deployment's geographic policy. Used to
+  /// classify ×Region vs ✓Region mapping outcomes (Table 2).
+  std::size_t intended_region(CityId true_city) const;
+
+  // --- addressing ---
+  std::optional<std::size_t> region_of_ip(Ipv4Addr a) const;
+
+  // --- BGP interface ---
+  std::vector<bgp::OriginAttachment> origins_for_region(std::size_t region) const;
+
+  /// Sites by geographic area (Table 1 rows).
+  std::array<std::size_t, geo::kAreaCount> site_count_by_area() const;
+
+ private:
+  std::string name_;
+  Asn asn_;
+  std::vector<Site> sites_;
+  std::vector<Region> regions_;
+  std::unordered_map<std::string, std::size_t> country_region_;
+  std::array<std::size_t, geo::kAreaCount> area_default_{0, 0, 0, 0};
+};
+
+}  // namespace ranycast::cdn

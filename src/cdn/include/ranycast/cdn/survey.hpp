@@ -1,0 +1,47 @@
+// CDN redirection survey (paper §4.1 / Appendix A, Table 5).
+//
+// The paper identifies regional-anycast CDNs by (a) ranking CDN providers by
+// the number of Tranco top-10k hostnames they serve, and (b) classifying
+// each provider's redirection method from its technical documentation. The
+// documentation facts are reproduced here as a static dataset; the
+// ECS-resolution heuristic from §4.2 (a hostname resolving to a small number
+// of distinct addresses, more than one but far fewer than the provider's
+// site count, indicates per-region anycast addresses) is implemented as a
+// classifier usable on any resolution profile.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ranycast::cdn::survey {
+
+enum class Redirection {
+  GlobalAnycast,
+  Dns,
+  DnsAndGlobalAnycast,
+  RegionalAnycast,
+};
+
+std::string_view to_string(Redirection r) noexcept;
+
+struct CdnInfo {
+  std::string_view name;
+  Redirection method;
+  /// Share of Tranco top-10k websites served (as measured in April 2022).
+  double website_share;
+};
+
+/// The top-15 CDN providers by hostname count, with their documented
+/// redirection method (paper Table 5).
+std::span<const CdnInfo> top_cdns();
+
+/// Count how many of the top CDNs use regional anycast.
+std::size_t regional_anycast_count();
+
+/// §4.2 heuristic: a hostname whose worldwide ECS resolution yields
+/// `distinct_ips` addresses looks like a regional-anycast customer when the
+/// count is more than one but far below the provider's published site count.
+bool looks_regional(int distinct_ips, int published_site_count);
+
+}  // namespace ranycast::cdn::survey

@@ -1,0 +1,119 @@
+#include "ranycast/cdn/builder.hpp"
+
+#include <algorithm>
+
+#include "ranycast/core/rng.hpp"
+
+namespace ranycast::cdn {
+
+namespace {
+
+/// Deterministic attachment derivation for one site city. Keyed by the
+/// operator-wide seed and the city only, so every deployment of the same
+/// operator gets identical connectivity at shared cities.
+std::vector<Attachment> derive_attachments(const DeploymentSpec& spec, const topo::World& world,
+                                           CityId city) {
+  Rng rng{hash_combine(spec.attachment_seed, value(city))};
+  const auto& gaz = geo::Gazetteer::world();
+  std::vector<Attachment> out;
+
+  // Upstream transit providers present at the city, as a mix of two kinds:
+  //  * the operator's *preferred carriers* — a global, operator-wide ranking
+  //    (real CDNs buy from the same few global carriers at many sites, which
+  //    gives those carriers customer routes from several sites and lets BGP
+  //    pick the nearest);
+  //  * city-local diversity (spot deals with regional carriers) — these are
+  //    one-off attachments whose customer routes exist at a single site, the
+  //    raw material of Fig. 1-style remote-catchment pathologies.
+  auto local = world.transits_at(city);
+  // Preferred ranking: operator-global hash over ASNs, same at every city.
+  std::vector<Asn> preferred = local;
+  std::sort(preferred.begin(), preferred.end(), [&](Asn a, Asn b) {
+    return mix64(hash_combine(spec.attachment_seed, value(a))) <
+           mix64(hash_combine(spec.attachment_seed, value(b)));
+  });
+  for (std::size_t i = 0; i + 1 < local.size(); ++i) {
+    std::swap(local[i], local[i + rng.below(local.size() - i)]);
+  }
+  // Mildly favour locally anchored carriers for the diversity picks.
+  const geo::Area site_area = gaz.area_of_city(city);
+  std::stable_partition(local.begin(), local.end(), [&](Asn a) {
+    const topo::AsNode* node = world.graph.find(a);
+    return node != nullptr && (node->kind == topo::AsKind::Tier1 ||
+                               gaz.area_of_city(node->home_city) == site_area);
+  });
+  const int n_providers =
+      spec.min_providers + static_cast<int>(rng.below(
+                               static_cast<std::uint64_t>(spec.max_providers - spec.min_providers + 1)));
+  auto add_provider = [&](Asn a) {
+    const bool already = std::any_of(out.begin(), out.end(),
+                                     [a](const Attachment& at) { return at.neighbor == a; });
+    if (!already) out.push_back(Attachment{a, topo::Rel::Customer});
+  };
+  const int n_preferred = std::min<int>(spec.preferred_carriers, n_providers);
+  for (int i = 0; i < n_preferred && i < static_cast<int>(preferred.size()); ++i) {
+    add_provider(preferred[i]);
+  }
+  for (std::size_t i = 0; i < local.size() && static_cast<int>(out.size()) < n_providers;
+       ++i) {
+    add_provider(local[i]);
+  }
+
+  // IXP peers if the city hosts an exchange.
+  if (const auto it = world.ixp_by_city.find(city); it != world.ixp_by_city.end()) {
+    const auto& ixp = world.graph.ixps()[it->second];
+    auto members = ixp.members;
+    for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+      std::swap(members[i], members[i + rng.below(members.size() - i)]);
+    }
+    int added = 0;
+    for (Asn m : members) {
+      if (added >= spec.max_ixp_peers) break;
+      const bool already = std::any_of(out.begin(), out.end(),
+                                       [m](const Attachment& a) { return a.neighbor == m; });
+      if (already) continue;
+      const topo::Rel rel = rng.chance(spec.peer_bilateral_prob) ? topo::Rel::PeerPublic
+                                                                 : topo::Rel::PeerRouteServer;
+      out.push_back(Attachment{m, rel});
+      ++added;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Deployment build_deployment(const DeploymentSpec& spec, const topo::World& world,
+                            topo::IpRegistry& registry) {
+  const auto& gaz = geo::Gazetteer::world();
+  Deployment d{spec.name, spec.asn};
+
+  for (const auto& rn : spec.region_names) {
+    const Prefix p = registry.allocate_special(24);
+    d.add_region(Region{rn, p, p.at(1)});
+  }
+
+  for (const SiteSpec& ss : spec.sites) {
+    const auto city = gaz.find_by_iata(ss.iata);
+    if (!city) continue;  // unknown IATA codes are caught by unit tests
+    Site s;
+    s.city = *city;
+    // Operator-and-city keyed, so co-located sites of one operator agree.
+    const std::uint64_t h = mix64(hash_combine(spec.attachment_seed, 0x0517E + value(*city)));
+    const bool onsite = static_cast<double>(h >> 11) * 0x1.0p-53 < spec.onsite_router_prob;
+    s.onsite_router = ss.onsite_router && onsite;
+    s.regions = ss.regions;
+    s.attachments = derive_attachments(spec, world, *city);
+    d.add_site(std::move(s));
+  }
+
+  for (const auto& [iso2, region] : spec.country_overrides) {
+    d.set_country_region(iso2, region);
+  }
+  for (std::size_t a = 0; a < geo::kAreaCount; ++a) {
+    d.set_area_region(static_cast<geo::Area>(a), spec.area_defaults[a]);
+  }
+  return d;
+}
+
+}  // namespace ranycast::cdn

@@ -1,0 +1,217 @@
+#include "ranycast/cdn/catalog.hpp"
+
+namespace ranycast::cdn::catalog {
+
+namespace {
+
+std::vector<SiteSpec> sites_with_region(const std::vector<std::string>& iatas,
+                                        std::size_t region) {
+  std::vector<SiteSpec> out;
+  out.reserve(iatas.size());
+  for (const auto& iata : iatas) out.push_back(SiteSpec{iata, {region}});
+  return out;
+}
+
+void append(std::vector<SiteSpec>& dst, std::vector<SiteSpec> src) {
+  for (auto& s : src) dst.push_back(std::move(s));
+}
+
+}  // namespace
+
+const std::vector<std::string>& edgio_published_sites() {
+  static const std::vector<std::string> sites = {
+      // APAC (19)
+      "NRT", "KIX", "ICN", "HKG", "TPE", "SIN", "KUL", "BKK", "CGK", "MNL",
+      "SGN", "BOM", "DEL", "MAA", "BLR", "SYD", "MEL", "BNE", "AKL",
+      // EMEA (26)
+      "LHR", "MAN", "AMS", "FRA", "MUC", "DUS", "CDG", "MRS", "MAD", "BCN",
+      "LIS", "MXP", "FCO", "BRU", "ZRH", "VIE", "WAW", "PRG", "ARN", "OSL",
+      "CPH", "HEL", "DUB", "ATH", "IST", "JNB",
+      // NA (24)
+      "JFK", "IAD", "BOS", "PHL", "ORD", "DTW", "MSP", "DFW", "IAH", "ATL",
+      "MIA", "TPA", "DEN", "PHX", "LAX", "SJC", "SMF", "SEA", "PDX", "LAS",
+      "YYZ", "YUL", "YVR", "YYC",
+      // LatAm (10)
+      "MEX", "GDL", "GRU", "GIG", "EZE", "SCL", "BOG", "LIM", "UIO", "PTY"};
+  return sites;
+}
+
+const std::vector<std::string>& imperva_published_sites() {
+  static const std::vector<std::string> sites = {
+      // APAC (17)
+      "NRT", "KIX", "ICN", "HKG", "TPE", "SIN", "KUL", "BKK", "CGK", "MNL",
+      "BOM", "DEL", "MAA", "SYD", "MEL", "PER", "AKL",
+      // EMEA (15)
+      "LHR", "AMS", "FRA", "CDG", "MAD", "MXP", "WAW", "ARN", "CPH", "VIE",
+      "IST", "TLV", "DXB", "JNB", "CAI",
+      // NA (12)
+      "IAD", "JFK", "ORD", "DFW", "LAX", "SJC", "SEA", "MIA", "ATL", "DEN",
+      "YYZ", "YUL",
+      // LatAm (6)
+      "GRU", "GIG", "EZE", "SCL", "BOG", "MEX"};
+  return sites;
+}
+
+const std::vector<std::string>& tangled_sites() {
+  static const std::vector<std::string> sites = {
+      "SYD", "SIN",                       // APAC (2)
+      "AMS", "LHR", "CDG", "WAW", "JNB",  // EMEA (5)
+      "IAD", "MIA", "SJC",                // NA (3)
+      "GRU", "POA"};                      // LatAm (2)
+  return sites;
+}
+
+DeploymentSpec edgio3() {
+  using namespace edgio3_region;
+  DeploymentSpec spec;
+  spec.name = "Edgio-3";
+  spec.asn = make_asn(kEdgioAsn);
+  spec.attachment_seed = kEdgioSeed;
+  spec.region_names = {"Americas", "EMEA", "APAC"};
+  // Serving subset of the published sites for Edgio-3 customers (43 sites).
+  append(spec.sites, sites_with_region({"NRT", "KIX", "ICN", "HKG", "TPE", "SIN", "KUL", "BKK",
+                                        "CGK", "MNL", "BOM", "DEL", "SYD", "MEL"},
+                                       kApac));
+  append(spec.sites, sites_with_region({"LHR", "AMS", "FRA", "CDG", "MAD", "MXP", "BRU", "ZRH",
+                                        "VIE", "WAW", "ARN", "CPH", "DUB", "IST", "JNB"},
+                                       kEmea));
+  append(spec.sites, sites_with_region({"JFK", "IAD", "ORD", "DFW", "ATL", "MIA", "DEN", "LAX",
+                                        "SJC", "SEA", "YYZ", "YUL", "YVR"},
+                                       kAmericas));
+  // The single LatAm site also announces the Americas prefix.
+  append(spec.sites, sites_with_region({"MEX"}, kAmericas));
+  // Client mapping: the whole Americas (NA and LatAm) share one regional IP.
+  spec.area_defaults = {kEmea, kAmericas, kAmericas, kApac};  // EMEA, NA, LatAm, APAC
+  return spec;
+}
+
+DeploymentSpec edgio4() {
+  using namespace edgio4_region;
+  DeploymentSpec spec;
+  spec.name = "Edgio-4";
+  spec.asn = make_asn(kEdgioAsn);
+  spec.attachment_seed = kEdgioSeed;
+  spec.region_names = {"NA", "SA", "EMEA", "APAC"};
+  append(spec.sites, sites_with_region({"NRT", "KIX", "ICN", "HKG", "TPE", "SIN", "KUL", "BKK",
+                                        "CGK", "MNL", "BOM", "DEL", "MAA", "SYD", "MEL"},
+                                       kApac));
+  append(spec.sites, sites_with_region({"LHR", "AMS", "FRA", "CDG", "MAD", "MXP", "BRU", "ZRH",
+                                        "VIE", "WAW", "ARN", "CPH", "DUB", "IST", "JNB", "OSL"},
+                                       kEmea));
+  append(spec.sites, sites_with_region({"JFK", "IAD", "ORD", "DFW", "ATL", "LAX", "SJC", "SEA",
+                                        "YYZ", "YUL", "YVR"},
+                                       kNa));
+  // Florida: the paper's mixed site serving both NA and SA clients.
+  spec.sites.push_back(SiteSpec{"MIA", {kNa, kSa}});
+  append(spec.sites, sites_with_region({"GRU", "EZE", "SCL", "BOG"}, kSa));
+  spec.area_defaults = {kEmea, kNa, kSa, kApac};
+  return spec;
+}
+
+DeploymentSpec edgio_ns() {
+  DeploymentSpec spec;
+  spec.name = "Edgio-NS";
+  spec.asn = make_asn(kEdgioAsn);
+  spec.attachment_seed = kEdgioDnsSeed;  // separate network configuration
+  spec.max_ixp_peers = 5;
+  spec.region_names = {"global"};
+  // 31 sites shared with both Edgio-3 and Edgio-4 ...
+  for (const char* iata :
+       {"NRT", "KIX", "ICN", "HKG", "TPE", "SIN", "KUL", "BKK", "CGK", "MNL",
+        "BOM", "DEL", "SYD", "MEL",                                       // APAC
+        "LHR", "AMS", "FRA", "CDG", "MAD", "MXP", "BRU", "ZRH", "VIE", "WAW",
+        "ARN", "CPH", "DUB", "IST", "JNB",                                // EMEA
+        "JFK", "IAD"}) {                                                  // NA
+    spec.sites.push_back(SiteSpec{iata, {0}});
+  }
+  // ... 2 shared only with Edgio-3 (33 total), 6 only with Edgio-4 (37) ...
+  for (const char* iata : {"MEX", "DEN", "MAA", "OSL", "GRU", "EZE", "SCL", "BOG"}) {
+    spec.sites.push_back(SiteSpec{iata, {0}});
+  }
+  // ... and DNS-only locations from the published footprint.
+  for (const char* iata : {"MAN", "MUC", "BCN", "LIS", "PRG", "HEL", "BOS", "MSP",
+                           "PHX", "PDX", "YYC", "GIG", "LIM"}) {
+    spec.sites.push_back(SiteSpec{iata, {0}});
+  }
+  spec.area_defaults = {0, 0, 0, 0};
+  return spec;
+}
+
+DeploymentSpec imperva6() {
+  using namespace imperva6_region;
+  DeploymentSpec spec;
+  spec.name = "Imperva-6";
+  spec.asn = make_asn(kImpervaAsn);
+  spec.attachment_seed = kImpervaSeed;
+  spec.region_names = {"CA", "US", "LatAm", "EMEA", "APAC", "RU"};
+  // APAC (16 of the 17 published sites; PER is not part of the CDN network).
+  append(spec.sites, sites_with_region({"NRT", "KIX", "ICN", "HKG", "TPE", "SIN", "KUL", "BKK",
+                                        "CGK", "MNL", "BOM", "DEL", "MAA", "SYD", "MEL", "AKL"},
+                                       kApac));
+  // EMEA: AMS/FRA/LHR also announce the Russian prefix (no sites in Russia).
+  spec.sites.push_back(SiteSpec{"AMS", {kEmea, kRu}});
+  spec.sites.push_back(SiteSpec{"FRA", {kEmea, kRu}});
+  spec.sites.push_back(SiteSpec{"LHR", {kEmea, kRu}});
+  append(spec.sites, sites_with_region({"CDG", "MAD", "MXP", "WAW", "ARN", "CPH", "VIE", "IST",
+                                        "TLV", "DXB", "JNB", "CAI"},
+                                       kEmea));
+  // US sites; SJC cross-announces the APAC prefix (paper §5.2's example of a
+  // Californian site serving APAC clients).
+  spec.sites.push_back(SiteSpec{"SJC", {kUs, kApac}});
+  append(spec.sites, sites_with_region({"IAD", "JFK", "ORD", "DFW", "LAX", "SEA", "MIA", "ATL",
+                                        "DEN"},
+                                       kUs));
+  append(spec.sites, sites_with_region({"YYZ", "YUL"}, kCa));
+  // LatAm (5 of the 6 published; MEX is not part of the CDN network).
+  append(spec.sites, sites_with_region({"GRU", "GIG", "EZE", "SCL", "BOG"}, kLatAm));
+  spec.country_overrides = {{"CA", kCa}, {"US", kUs}, {"RU", kRu}};
+  spec.area_defaults = {kEmea, kUs, kLatAm, kApac};
+  return spec;
+}
+
+DeploymentSpec imperva_ns() {
+  DeploymentSpec spec;
+  spec.name = "Imperva-NS";
+  spec.asn = make_asn(kImpervaAsn);
+  spec.attachment_seed = kImpervaSeed;
+  // The authoritative-DNS network announces one global prefix from the 48
+  // CDN sites plus PER (49 total). It also has a slightly larger peer set
+  // at IXP cities, which the §5.3 comparison filters away.
+  spec.max_ixp_peers = 5;
+  spec.region_names = {"global"};
+  for (const auto& iata : imperva_published_sites()) {
+    if (iata == "MEX") continue;  // published but not deployed for DNS either
+    spec.sites.push_back(SiteSpec{iata, {0}});
+  }
+  spec.area_defaults = {0, 0, 0, 0};
+  return spec;
+}
+
+namespace {
+
+HostnameSet make_set(std::string name, std::string representative, const char* stem) {
+  HostnameSet set;
+  set.set_name = std::move(name);
+  set.hostnames.push_back(std::move(representative));
+  for (int i = 1; i <= 12; ++i) {
+    set.hostnames.push_back(std::string(stem) + (i < 10 ? "0" : "") + std::to_string(i) +
+                            ".example.com");
+  }
+  return set;
+}
+
+}  // namespace
+
+HostnameSet edgio3_hostnames() {
+  return make_set("Edgio-3", "www.straitstimes.com", "eg3-customer-");
+}
+
+HostnameSet edgio4_hostnames() {
+  return make_set("Edgio-4", "www.asus.com", "eg4-customer-");
+}
+
+HostnameSet imperva6_hostnames() {
+  return make_set("Imperva-6", "www.stamps.com", "im6-customer-");
+}
+
+}  // namespace ranycast::cdn::catalog

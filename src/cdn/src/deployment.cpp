@@ -1,0 +1,82 @@
+#include "ranycast/cdn/deployment.hpp"
+
+#include <algorithm>
+
+namespace ranycast::cdn {
+
+bool Site::announces(std::size_t region) const noexcept {
+  return std::find(regions.begin(), regions.end(), region) != regions.end();
+}
+
+std::size_t Deployment::add_region(Region r) {
+  regions_.push_back(std::move(r));
+  return regions_.size() - 1;
+}
+
+SiteId Deployment::add_site(Site s) {
+  s.id = SiteId{static_cast<std::uint16_t>(sites_.size())};
+  sites_.push_back(std::move(s));
+  return sites_.back().id;
+}
+
+void Deployment::set_country_region(std::string iso2, std::size_t region) {
+  country_region_[std::move(iso2)] = region;
+}
+
+void Deployment::set_area_region(geo::Area a, std::size_t region) {
+  area_default_[static_cast<int>(a)] = region;
+}
+
+std::optional<std::size_t> Deployment::region_for_country(std::string_view iso2) const {
+  if (const auto it = country_region_.find(std::string(iso2)); it != country_region_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::size_t Deployment::map_client(Ipv4Addr effective, const dns::GeoDatabase& db) const {
+  if (is_global()) return 0;
+  const auto country = db.country(effective);
+  if (!country) return 0;
+  if (const auto r = region_for_country(*country)) return *r;
+  const auto& gaz = geo::Gazetteer::world();
+  const auto idx = gaz.find_country(*country);
+  if (!idx) return 0;
+  return region_for_area(geo::area_of(gaz.countries()[*idx].continent));
+}
+
+std::size_t Deployment::intended_region(CityId true_city) const {
+  if (is_global()) return 0;
+  const auto& gaz = geo::Gazetteer::world();
+  if (const auto r = region_for_country(gaz.country_code(true_city))) return *r;
+  return region_for_area(gaz.area_of_city(true_city));
+}
+
+std::optional<std::size_t> Deployment::region_of_ip(Ipv4Addr a) const {
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].prefix.contains(a)) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<bgp::OriginAttachment> Deployment::origins_for_region(std::size_t region) const {
+  std::vector<bgp::OriginAttachment> out;
+  for (const Site& s : sites_) {
+    if (!s.announces(region)) continue;
+    for (const Attachment& a : s.attachments) {
+      out.push_back(bgp::OriginAttachment{s.id, s.city, a.neighbor, a.rel, s.onsite_router});
+    }
+  }
+  return out;
+}
+
+std::array<std::size_t, geo::kAreaCount> Deployment::site_count_by_area() const {
+  std::array<std::size_t, geo::kAreaCount> out{0, 0, 0, 0};
+  const auto& gaz = geo::Gazetteer::world();
+  for (const Site& s : sites_) {
+    out[static_cast<int>(gaz.area_of_city(s.city))]++;
+  }
+  return out;
+}
+
+}  // namespace ranycast::cdn

@@ -1,0 +1,62 @@
+#include "ranycast/cdn/survey.hpp"
+
+#include <array>
+
+namespace ranycast::cdn::survey {
+
+std::string_view to_string(Redirection r) noexcept {
+  switch (r) {
+    case Redirection::GlobalAnycast:
+      return "Global Anycast";
+    case Redirection::Dns:
+      return "DNS";
+    case Redirection::DnsAndGlobalAnycast:
+      return "DNS & Global Anycast";
+    case Redirection::RegionalAnycast:
+      return "Regional Anycast";
+  }
+  return "?";
+}
+
+namespace {
+
+// Paper Table 5 (Appendix A): top CDNs and the redirection method their
+// technical documents describe. Website shares are approximate and sum to
+// the paper's 65.7% top-15 coverage of Tranco's top-10k.
+constexpr std::array<CdnInfo, 15> kTopCdns = {{
+    {"Cloudflare", Redirection::GlobalAnycast, 0.235},
+    {"Amazon CloudFront", Redirection::Dns, 0.112},
+    {"Akamai", Redirection::Dns, 0.094},
+    {"Fastly", Redirection::DnsAndGlobalAnycast, 0.061},
+    {"Google Cloud CDN", Redirection::GlobalAnycast, 0.048},
+    {"Microsoft Azure", Redirection::GlobalAnycast, 0.026},
+    {"StackPath", Redirection::GlobalAnycast, 0.019},
+    {"Edgio (EdgeCast)", Redirection::RegionalAnycast, 0.0209},
+    {"bunny.net", Redirection::Dns, 0.014},
+    {"Alibaba Cloud", Redirection::Dns, 0.012},
+    {"Imperva (Incapsula)", Redirection::RegionalAnycast, 0.0089},
+    {"ChinaNetCenter/Wangsu", Redirection::Dns, 0.008},
+    {"CDN77", Redirection::Dns, 0.006},
+    {"Tencent Cloud", Redirection::Dns, 0.006},
+    {"Vercel", Redirection::Dns, 0.005},
+}};
+
+}  // namespace
+
+std::span<const CdnInfo> top_cdns() { return kTopCdns; }
+
+std::size_t regional_anycast_count() {
+  std::size_t n = 0;
+  for (const auto& c : kTopCdns) {
+    if (c.method == Redirection::RegionalAnycast) ++n;
+  }
+  return n;
+}
+
+bool looks_regional(int distinct_ips, int published_site_count) {
+  // More than one address (not a single global anycast VIP), but far fewer
+  // than the provider's site count (not per-site DNS redirection).
+  return distinct_ips > 1 && distinct_ips <= 8 && distinct_ips < published_site_count / 2;
+}
+
+}  // namespace ranycast::cdn::survey

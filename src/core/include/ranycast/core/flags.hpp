@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the tools/ binaries.
+//
+// Supports --name=value, --name value, and boolean --name forms. Unknown
+// flags are collected so tools can reject typos explicitly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ranycast::flags {
+
+class Parser {
+ public:
+  Parser(int argc, const char* const* argv);
+
+  /// Flag value as string, if present (boolean flags yield "true").
+  std::optional<std::string> get(const std::string& name) const;
+
+  std::string get_or(const std::string& name, std::string fallback) const;
+  std::int64_t get_or(const std::string& name, std::int64_t fallback) const;
+  double get_or(const std::string& name, double fallback) const;
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Names the caller never queried are reported here after validate().
+  std::vector<std::string> unknown(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ranycast::flags

@@ -1,0 +1,85 @@
+// IPv4 address and prefix value types with parsing/formatting helpers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ranycast {
+
+/// IPv4 address stored in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t bits) noexcept : bits_(bits) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t bits() const noexcept { return bits_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(bits_ >> (8 * (3 - i)));
+  }
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+  /// Parse dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  std::string to_string() const;
+
+ private:
+  std::uint32_t bits_{0};
+};
+
+/// CIDR prefix (address + mask length). The address is stored canonicalized
+/// (host bits zeroed), which is a class invariant.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4Addr addr, int len) noexcept
+      : addr_(Ipv4Addr{len == 0 ? 0u : (addr.bits() & (~0u << (32 - len)))}), len_(len) {}
+
+  constexpr Ipv4Addr address() const noexcept { return addr_; }
+  constexpr int length() const noexcept { return len_; }
+
+  constexpr bool contains(Ipv4Addr a) const noexcept {
+    if (len_ == 0) return true;
+    return (a.bits() & (~0u << (32 - len_))) == addr_.bits();
+  }
+
+  /// Number of addresses covered by this prefix.
+  constexpr std::uint64_t size() const noexcept { return std::uint64_t{1} << (32 - len_); }
+
+  /// The i-th address inside the prefix (no bounds check beyond the mask).
+  constexpr Ipv4Addr at(std::uint32_t i) const noexcept { return Ipv4Addr{addr_.bits() + i}; }
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+  static std::optional<Prefix> parse(std::string_view text);
+
+  std::string to_string() const;
+
+ private:
+  Ipv4Addr addr_{};
+  int len_{0};
+};
+
+}  // namespace ranycast
+
+template <>
+struct std::hash<ranycast::Ipv4Addr> {
+  std::size_t operator()(ranycast::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};
+
+template <>
+struct std::hash<ranycast::Prefix> {
+  std::size_t operator()(const ranycast::Prefix& p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.address().bits()) * 31 +
+           static_cast<std::size_t>(p.length());
+  }
+};

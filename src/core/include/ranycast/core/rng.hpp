@@ -1,0 +1,118 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library take an explicit seed; there is no
+// global RNG and no dependence on wall-clock time, so every experiment is
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <numbers>
+#include <span>
+
+namespace ranycast {
+
+/// SplitMix64 — used to expand a single seed into independent stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix; handy for deterministic tie-breaking by hashing ids.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+/// xoshiro256** — the library's workhorse generator. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded sampling, biased variant is fine
+    // for simulation purposes at 64-bit width.
+    return static_cast<std::uint64_t>((static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller.
+  double normal() noexcept {
+    const double u1 = 1.0 - uniform();  // avoid log(0)
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Exponential with the given mean.
+  double exponential(double mean) noexcept { return -mean * std::log(1.0 - uniform()); }
+
+  /// Pick a random element index from a non-empty span of weights.
+  std::size_t weighted_index(std::span<const double> weights) noexcept {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derive an independent child generator; used to give each subsystem its
+  /// own stream so that adding draws in one module does not perturb another.
+  Rng fork(std::uint64_t stream_tag) noexcept {
+    return Rng{hash_combine((*this)(), stream_tag)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ranycast

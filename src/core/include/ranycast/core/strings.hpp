@@ -1,0 +1,22 @@
+// Small string helpers used across modules (no locale dependence).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ranycast::strings {
+
+/// Split on a single-character delimiter; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+/// Join the pieces with the given separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+}  // namespace ranycast::strings

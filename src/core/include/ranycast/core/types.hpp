@@ -1,0 +1,90 @@
+// Fundamental strong value types shared across the ranycast library.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ranycast {
+
+/// Autonomous System Number. 32-bit per RFC 6793.
+enum class Asn : std::uint32_t {};
+
+constexpr Asn kInvalidAsn{0xFFFFFFFFu};
+
+constexpr std::uint32_t value(Asn a) noexcept { return static_cast<std::uint32_t>(a); }
+constexpr Asn make_asn(std::uint32_t v) noexcept { return static_cast<Asn>(v); }
+
+/// Round-trip time in milliseconds. Plain double wrapped in a struct so that
+/// RTTs cannot be silently mixed with distances or counts.
+struct Rtt {
+  double ms{0.0};
+
+  constexpr auto operator<=>(const Rtt&) const = default;
+  constexpr Rtt operator+(Rtt o) const noexcept { return {ms + o.ms}; }
+  constexpr Rtt operator-(Rtt o) const noexcept { return {ms - o.ms}; }
+  constexpr Rtt& operator+=(Rtt o) noexcept {
+    ms += o.ms;
+    return *this;
+  }
+};
+
+constexpr Rtt kInfiniteRtt{std::numeric_limits<double>::infinity()};
+
+/// Great-circle distance in kilometres.
+struct Km {
+  double km{0.0};
+
+  constexpr auto operator<=>(const Km&) const = default;
+  constexpr Km operator+(Km o) const noexcept { return {km + o.km}; }
+  constexpr Km operator-(Km o) const noexcept { return {km - o.km}; }
+  constexpr Km& operator+=(Km o) noexcept {
+    km += o.km;
+    return *this;
+  }
+};
+
+/// Identifier of a city in the embedded gazetteer (index into the city table).
+enum class CityId : std::uint16_t {};
+constexpr CityId kInvalidCity{0xFFFFu};
+constexpr std::uint16_t value(CityId c) noexcept { return static_cast<std::uint16_t>(c); }
+
+/// Identifier of an anycast site within a deployment.
+enum class SiteId : std::uint16_t {};
+constexpr SiteId kInvalidSite{0xFFFFu};
+constexpr std::uint16_t value(SiteId s) noexcept { return static_cast<std::uint16_t>(s); }
+
+/// Identifier of a measurement probe.
+enum class ProbeId : std::uint32_t {};
+constexpr std::uint32_t value(ProbeId p) noexcept { return static_cast<std::uint32_t>(p); }
+
+}  // namespace ranycast
+
+template <>
+struct std::hash<ranycast::Asn> {
+  std::size_t operator()(ranycast::Asn a) const noexcept {
+    return std::hash<std::uint32_t>{}(ranycast::value(a));
+  }
+};
+
+template <>
+struct std::hash<ranycast::CityId> {
+  std::size_t operator()(ranycast::CityId c) const noexcept {
+    return std::hash<std::uint16_t>{}(ranycast::value(c));
+  }
+};
+
+template <>
+struct std::hash<ranycast::SiteId> {
+  std::size_t operator()(ranycast::SiteId s) const noexcept {
+    return std::hash<std::uint16_t>{}(ranycast::value(s));
+  }
+};
+
+template <>
+struct std::hash<ranycast::ProbeId> {
+  std::size_t operator()(ranycast::ProbeId p) const noexcept {
+    return std::hash<std::uint32_t>{}(ranycast::value(p));
+  }
+};

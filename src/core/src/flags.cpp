@@ -1,0 +1,65 @@
+#include "ranycast/core/flags.hpp"
+
+#include <cstdlib>
+
+#include "ranycast/core/strings.hpp"
+
+namespace ranycast::flags {
+
+Parser::Parser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!strings::starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // --name value (when the next token is not a flag), else boolean.
+    if (i + 1 < argc && !strings::starts_with(argv[i + 1], "--")) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Parser::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Parser::get_or(const std::string& name, std::string fallback) const {
+  return get(name).value_or(std::move(fallback));
+}
+
+std::int64_t Parser::get_or(const std::string& name, std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Parser::get_or(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+std::vector<std::string> Parser::unknown(const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    bool found = false;
+    for (const auto& k : known) {
+      if (k == name) found = true;
+    }
+    if (!found) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace ranycast::flags

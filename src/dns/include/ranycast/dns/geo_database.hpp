@@ -1,0 +1,68 @@
+// Error-injected IP geolocation database.
+//
+// The paper attributes "incorrect region mapping" (Table 2, ×Region) to IP
+// geolocation errors, with a specific failure mode called out in §4.3:
+// addresses belonging to international transit providers are geolocated to
+// the provider's *home* country rather than where the host actually is.
+// This class models a commercial geo DB (MaxMind / ipinfo / EdgeScape stand-
+// ins) as ground truth corrupted by exactly those error processes, each
+// database instance with its own independent error stream.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ranycast/core/ipv4.hpp"
+#include "ranycast/core/rng.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+#include "ranycast/topo/graph.hpp"
+#include "ranycast/topo/ip_registry.hpp"
+
+namespace ranycast::dns {
+
+class GeoDatabase {
+ public:
+  struct Config {
+    std::string name{"geodb"};
+    /// Wrong-country rate for ordinary allocations (applied per owner AS:
+    /// databases err on whole blocks, not on individual addresses).
+    double wrong_country_prob{0.02};
+    /// Probability an address owned by an international AS is geolocated to
+    /// the AS's home country instead of the interface's true location.
+    double intl_home_bias_prob{0.80};
+    /// For city-level estimates: probability the city is wrong even when the
+    /// country is right (returns another city of the same country).
+    double wrong_city_prob{0.20};
+    std::uint64_t seed{1};
+  };
+
+  GeoDatabase(Config config, const topo::Graph* graph, const topo::IpRegistry* registry);
+
+  const std::string& name() const noexcept { return config_.name; }
+
+  /// Country-level lookup (ISO2). `nullopt` for unallocated space.
+  std::optional<std::string_view> country(Ipv4Addr ip) const;
+
+  /// City-level point estimate, used by the RTT-range geolocation technique.
+  std::optional<CityId> city_estimate(Ipv4Addr ip) const;
+
+ private:
+  struct Truth {
+    Asn asn;
+    CityId city;  // best-known true interface city (AS home if unknown)
+    bool international;
+  };
+
+  std::optional<Truth> truth_for(Ipv4Addr ip) const;
+  /// Stable per-IP hash stream so repeated lookups agree with each other.
+  std::uint64_t ip_hash(Ipv4Addr ip, std::uint64_t salt) const;
+  /// Stable per-owner-AS hash stream: error decisions are block-granular.
+  std::uint64_t block_hash(Asn owner, std::uint64_t salt) const;
+
+  Config config_;
+  const topo::Graph* graph_;
+  const topo::IpRegistry* registry_;
+};
+
+}  // namespace ranycast::dns

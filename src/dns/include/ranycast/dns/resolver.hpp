@@ -1,0 +1,67 @@
+// Client-side DNS resolution context.
+//
+// Whether a CDN's authoritative DNS can see *where the client is* depends on
+// the resolver path (paper §5.1):
+//  * querying the authoritative server directly (ADNS mode) exposes the
+//    client's own address;
+//  * a local ISP resolver sits in the client's network, so its address maps
+//    to (almost) the client's location;
+//  * a public resolver with EDNS Client Subnet (ECS) forwards the client's
+//    /24, which is as good as the client address;
+//  * a public resolver *without* ECS exposes only the resolver's egress —
+//    possibly in another country — which is a structural source of
+//    ×Region mapping errors.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ranycast/core/ipv4.hpp"
+#include "ranycast/core/types.hpp"
+
+namespace ranycast::dns {
+
+enum class ResolverKind : std::uint8_t {
+  LocalIsp,     ///< in the client's AS; no ECS, but the address is local
+  PublicEcs,    ///< public anycast resolver that forwards ECS
+  PublicNoEcs,  ///< public anycast resolver without ECS
+};
+
+std::string_view to_string(ResolverKind k) noexcept;
+
+struct ResolverProfile {
+  ResolverKind kind{ResolverKind::LocalIsp};
+  Ipv4Addr address;         ///< the address the authoritative server sees in LDNS mode
+  CityId egress_city{kInvalidCity};  ///< where that address actually is
+};
+
+enum class QueryMode : std::uint8_t {
+  Ldns,  ///< via the probe's configured resolver
+  Adns,  ///< probe queries the authoritative server directly
+};
+
+struct QueryContext {
+  Ipv4Addr client_ip;
+  ResolverProfile resolver;
+};
+
+/// ECS forwards a truncated client *subnet*, conventionally /24 (RFC 7871's
+/// recommended source prefix length), not the full address.
+constexpr Ipv4Addr ecs_scope(Ipv4Addr client) noexcept {
+  return Ipv4Addr{client.bits() & 0xFFFFFF00u};
+}
+
+/// The address the authoritative geo-mapping logic keys on, given the mode.
+constexpr Ipv4Addr effective_address(const QueryContext& q, QueryMode mode) noexcept {
+  if (mode == QueryMode::Adns) return q.client_ip;
+  switch (q.resolver.kind) {
+    case ResolverKind::PublicEcs:
+      return ecs_scope(q.client_ip);  // ECS carries the client /24
+    case ResolverKind::LocalIsp:
+    case ResolverKind::PublicNoEcs:
+      return q.resolver.address;
+  }
+  return q.client_ip;
+}
+
+}  // namespace ranycast::dns

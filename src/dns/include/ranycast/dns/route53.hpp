@@ -1,0 +1,44 @@
+// Amazon Route 53-style geolocation routing policy emulator (paper §6.2).
+//
+// Supports country-level records with continent-level and global defaults,
+// exactly like Route 53's geolocation records. The emulator resolves the
+// querying address's country through a commercial-grade (i.e. imperfect)
+// geolocation database, which is how country-level DNS mapping picks up
+// small errors even when the mapping table itself is optimal.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ranycast/core/ipv4.hpp"
+#include "ranycast/dns/geo_database.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+
+namespace ranycast::dns {
+
+class Route53Emulator {
+ public:
+  using RegionIndex = std::size_t;
+
+  explicit Route53Emulator(const GeoDatabase* db) : db_(db) {}
+
+  void set_country_record(std::string iso2, RegionIndex region) {
+    by_country_[std::move(iso2)] = region;
+  }
+  void set_continent_record(geo::Continent c, RegionIndex region) {
+    by_continent_[static_cast<int>(c)] = region;
+  }
+  void set_default_record(RegionIndex region) { default_ = region; }
+
+  /// Resolve a query: country record, else continent record, else default.
+  std::optional<RegionIndex> resolve(Ipv4Addr querier) const;
+
+ private:
+  const GeoDatabase* db_;
+  std::unordered_map<std::string, RegionIndex> by_country_;
+  std::unordered_map<int, RegionIndex> by_continent_;
+  std::optional<RegionIndex> default_;
+};
+
+}  // namespace ranycast::dns

@@ -1,0 +1,108 @@
+#include "ranycast/dns/geo_database.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ranycast::dns {
+
+GeoDatabase::GeoDatabase(Config config, const topo::Graph* graph,
+                         const topo::IpRegistry* registry)
+    : config_(std::move(config)), graph_(graph), registry_(registry) {}
+
+std::optional<GeoDatabase::Truth> GeoDatabase::truth_for(Ipv4Addr ip) const {
+  const auto owner = registry_->owner(ip);
+  if (!owner) return std::nullopt;
+  const topo::AsNode* node = graph_->find(owner->asn);
+  if (node == nullptr) {
+    // Not part of the routed AS graph (e.g. a public resolver's egress):
+    // locatable only through the registered interface city.
+    if (owner->city == kInvalidCity) return std::nullopt;
+    return Truth{owner->asn, owner->city, false};
+  }
+  const CityId city = owner->city != kInvalidCity ? owner->city : node->home_city;
+  return Truth{owner->asn, city, node->international};
+}
+
+std::uint64_t GeoDatabase::ip_hash(Ipv4Addr ip, std::uint64_t salt) const {
+  return mix64(hash_combine(hash_combine(config_.seed, ip.bits()), salt));
+}
+
+namespace {
+
+/// Geolocation databases rarely teleport a block across the planet: when
+/// they err on the country, the reported location is usually a *nearby*
+/// country (shared registry, shared language, border metro). Pick among
+/// the closest foreign cities, deterministically per block.
+CityId nearby_foreign_city(CityId truth, std::uint64_t h) {
+  const auto& gaz = geo::Gazetteer::world();
+  const auto iso2 = gaz.country_code(truth);
+  std::vector<std::pair<double, CityId>> foreign;
+  for (std::size_t i = 0; i < gaz.cities().size(); ++i) {
+    const CityId c{static_cast<std::uint16_t>(i)};
+    if (gaz.country_code(c) == iso2) continue;
+    foreign.emplace_back(gaz.distance(truth, c).km, c);
+  }
+  std::partial_sort(foreign.begin(), foreign.begin() + std::min<std::size_t>(6, foreign.size()),
+                    foreign.end());
+  return foreign[h % std::min<std::size_t>(6, foreign.size())].second;
+}
+
+}  // namespace
+
+std::uint64_t GeoDatabase::block_hash(Asn owner, std::uint64_t salt) const {
+  // Databases assign locations to whole allocations, so error decisions are
+  // made per owner AS, not per address: every host of a mis-registered
+  // block mis-geolocates the same way.
+  return mix64(hash_combine(hash_combine(config_.seed, value(owner)), salt));
+}
+
+namespace {
+double hash01(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+std::optional<std::string_view> GeoDatabase::country(Ipv4Addr ip) const {
+  const auto truth = truth_for(ip);
+  if (!truth) return std::nullopt;
+  const auto& gaz = geo::Gazetteer::world();
+  const topo::AsNode* node = graph_->find(truth->asn);
+
+  // International organizations' space: databases frequently register the
+  // whole allocation to the company's registration country (paper §4.3).
+  if (truth->international &&
+      hash01(block_hash(truth->asn, 0xA11A)) < config_.intl_home_bias_prob) {
+    return gaz.country_code(node != nullptr ? node->registered_city : truth->city);
+  }
+  // Ordinary mis-registration: the whole AS block reports a nearby foreign
+  // country.
+  if (hash01(block_hash(truth->asn, 0xBEEF)) < config_.wrong_country_prob) {
+    return gaz.country_code(nearby_foreign_city(truth->city, block_hash(truth->asn, 0xC0DE)));
+  }
+  return gaz.country_code(truth->city);
+}
+
+std::optional<CityId> GeoDatabase::city_estimate(Ipv4Addr ip) const {
+  const auto truth = truth_for(ip);
+  if (!truth) return std::nullopt;
+  const auto& gaz = geo::Gazetteer::world();
+  const topo::AsNode* node = graph_->find(truth->asn);
+
+  CityId country_anchor = truth->city;
+  if (truth->international &&
+      hash01(block_hash(truth->asn, 0xA11A)) < config_.intl_home_bias_prob) {
+    country_anchor = node != nullptr ? node->registered_city : truth->city;
+  } else if (hash01(block_hash(truth->asn, 0xBEEF)) < config_.wrong_country_prob) {
+    return nearby_foreign_city(truth->city, block_hash(truth->asn, 0xC0DE));
+  }
+  // Country correct; the city may still be off within the country.
+  if (hash01(ip_hash(ip, 0xD00F)) < config_.wrong_city_prob) {
+    const auto cities = gaz.cities_in_country(gaz.country_code(country_anchor));
+    if (!cities.empty()) {
+      return cities[ip_hash(ip, 0xF00D) % cities.size()];
+    }
+  }
+  return country_anchor;
+}
+
+}  // namespace ranycast::dns

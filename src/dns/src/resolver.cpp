@@ -1,0 +1,17 @@
+#include "ranycast/dns/resolver.hpp"
+
+namespace ranycast::dns {
+
+std::string_view to_string(ResolverKind k) noexcept {
+  switch (k) {
+    case ResolverKind::LocalIsp:
+      return "local-isp";
+    case ResolverKind::PublicEcs:
+      return "public-ecs";
+    case ResolverKind::PublicNoEcs:
+      return "public-no-ecs";
+  }
+  return "?";
+}
+
+}  // namespace ranycast::dns

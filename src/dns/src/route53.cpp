@@ -1,0 +1,23 @@
+#include "ranycast/dns/route53.hpp"
+
+namespace ranycast::dns {
+
+std::optional<Route53Emulator::RegionIndex> Route53Emulator::resolve(Ipv4Addr querier) const {
+  const auto country = db_->country(querier);
+  if (country) {
+    if (const auto it = by_country_.find(std::string(*country)); it != by_country_.end()) {
+      return it->second;
+    }
+    const auto& gaz = geo::Gazetteer::world();
+    if (const auto idx = gaz.find_country(*country)) {
+      const auto cont = gaz.countries()[*idx].continent;
+      if (const auto it = by_continent_.find(static_cast<int>(cont));
+          it != by_continent_.end()) {
+        return it->second;
+      }
+    }
+  }
+  return default_;
+}
+
+}  // namespace ranycast::dns

@@ -1,0 +1,26 @@
+// Spherical-earth distance model and the paper's distance→latency constant.
+#pragma once
+
+#include "ranycast/core/types.hpp"
+
+namespace ranycast::geo {
+
+/// A point on the Earth's surface, in degrees.
+struct GeoPoint {
+  double lat_deg{0.0};
+  double lon_deg{0.0};
+};
+
+/// Great-circle distance (spherical earth, R = 6371 km).
+Km haversine(GeoPoint a, GeoPoint b) noexcept;
+
+/// Speed-of-light RTT lower bound in fibre. The paper (§4.4) uses
+/// "roughly 100 km per 1 ms RTT"; we adopt the same constant.
+constexpr double kKmPerMsRtt = 100.0;
+
+constexpr Rtt rtt_lower_bound(Km d) noexcept { return Rtt{d.km / kKmPerMsRtt}; }
+
+/// Inverse of rtt_lower_bound: the maximum distance a given RTT allows.
+constexpr Km max_distance(Rtt r) noexcept { return Km{r.ms * kKmPerMsRtt}; }
+
+}  // namespace ranycast::geo

@@ -1,0 +1,117 @@
+// Embedded world gazetteer: countries, continents, geographic areas and a
+// ~160-city table with IATA codes and coordinates.
+//
+// The paper groups RIPE Atlas probes into four geographic areas (§3.1):
+//   EMEA  = Europe, Middle East, Africa
+//   NA    = North America excluding Central America
+//   LatAm = South America plus Central America
+//   APAC  = the rest of the globe
+// We reproduce this area definition exactly. Mexico is classified with the
+// Central-America block so that it falls into LatAm, matching how the paper's
+// CDN region maps treat it (Fig. 2c shows Mexican clients in the LatAm
+// region).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ranycast/core/types.hpp"
+#include "ranycast/geo/earth.hpp"
+
+namespace ranycast::geo {
+
+enum class Continent : std::uint8_t {
+  NorthAmerica,
+  CentralAmerica,  // includes Mexico and the Caribbean for area purposes
+  SouthAmerica,
+  Europe,
+  MiddleEast,
+  Africa,
+  Asia,
+  Oceania,
+};
+
+/// The paper's probe-census areas (§3.1).
+enum class Area : std::uint8_t { EMEA, NA, LatAm, APAC };
+
+constexpr std::size_t kAreaCount = 4;
+
+std::string_view to_string(Area a) noexcept;
+std::string_view to_string(Continent c) noexcept;
+
+/// Map a continent to the paper's four-area scheme.
+constexpr Area area_of(Continent c) noexcept {
+  switch (c) {
+    case Continent::NorthAmerica:
+      return Area::NA;
+    case Continent::CentralAmerica:
+    case Continent::SouthAmerica:
+      return Area::LatAm;
+    case Continent::Europe:
+    case Continent::MiddleEast:
+    case Continent::Africa:
+      return Area::EMEA;
+    case Continent::Asia:
+    case Continent::Oceania:
+      return Area::APAC;
+  }
+  return Area::APAC;
+}
+
+using CountryIdx = std::uint16_t;
+
+struct Country {
+  std::string_view iso2;  ///< ISO 3166-1 alpha-2 code
+  std::string_view name;
+  Continent continent;
+};
+
+struct City {
+  std::string_view name;
+  std::string_view iata;  ///< IATA code of the city's main airport
+  CountryIdx country;     ///< index into the country table
+  GeoPoint location;
+};
+
+/// Immutable, process-wide world model.
+class Gazetteer {
+ public:
+  /// The singleton world table (thread-safe static initialization).
+  static const Gazetteer& world();
+
+  std::span<const Country> countries() const noexcept { return countries_; }
+  std::span<const City> cities() const noexcept { return cities_; }
+
+  const City& city(CityId id) const { return cities_[value(id)]; }
+  const Country& country_of(CityId id) const { return countries_[city(id).country]; }
+
+  Continent continent_of(CityId id) const { return country_of(id).continent; }
+  Area area_of_city(CityId id) const { return area_of(continent_of(id)); }
+  std::string_view country_code(CityId id) const { return country_of(id).iso2; }
+
+  std::optional<CityId> find_by_iata(std::string_view iata) const;
+  std::optional<CountryIdx> find_country(std::string_view iso2) const;
+
+  /// All cities located in the given area / country.
+  std::vector<CityId> cities_in_area(Area a) const;
+  std::vector<CityId> cities_in_country(std::string_view iso2) const;
+
+  /// The city in the table closest to `p` (ties by lower id).
+  CityId nearest_city(GeoPoint p) const;
+
+  Km distance(CityId a, CityId b) const {
+    return haversine(city(a).location, city(b).location);
+  }
+
+ private:
+  Gazetteer();
+
+  std::vector<Country> countries_;
+  std::vector<City> cities_;
+};
+
+}  // namespace ranycast::geo

@@ -1,0 +1,23 @@
+#include "ranycast/geo/earth.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ranycast::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double deg2rad(double d) noexcept { return d * std::numbers::pi / 180.0; }
+}  // namespace
+
+Km haversine(GeoPoint a, GeoPoint b) noexcept {
+  const double lat1 = deg2rad(a.lat_deg);
+  const double lat2 = deg2rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.lon_deg - a.lon_deg);
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return Km{2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)))};
+}
+
+}  // namespace ranycast::geo

@@ -1,0 +1,488 @@
+#include "ranycast/geo/gazetteer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ranycast::geo {
+
+std::string_view to_string(Area a) noexcept {
+  switch (a) {
+    case Area::EMEA:
+      return "EMEA";
+    case Area::NA:
+      return "NA";
+    case Area::LatAm:
+      return "LatAm";
+    case Area::APAC:
+      return "APAC";
+  }
+  return "?";
+}
+
+std::string_view to_string(Continent c) noexcept {
+  switch (c) {
+    case Continent::NorthAmerica:
+      return "North America";
+    case Continent::CentralAmerica:
+      return "Central America";
+    case Continent::SouthAmerica:
+      return "South America";
+    case Continent::Europe:
+      return "Europe";
+    case Continent::MiddleEast:
+      return "Middle East";
+    case Continent::Africa:
+      return "Africa";
+    case Continent::Asia:
+      return "Asia";
+    case Continent::Oceania:
+      return "Oceania";
+  }
+  return "?";
+}
+
+namespace {
+
+// Country table. Order defines CountryIdx values; cities refer to countries
+// by ISO code and are resolved at construction time.
+struct CountrySpec {
+  const char* iso2;
+  const char* name;
+  Continent continent;
+};
+
+constexpr CountrySpec kCountries[] = {
+    // North America
+    {"US", "United States", Continent::NorthAmerica},
+    {"CA", "Canada", Continent::NorthAmerica},
+    // Central America + Mexico + Caribbean (LatAm area)
+    {"MX", "Mexico", Continent::CentralAmerica},
+    {"GT", "Guatemala", Continent::CentralAmerica},
+    {"CR", "Costa Rica", Continent::CentralAmerica},
+    {"PA", "Panama", Continent::CentralAmerica},
+    {"DO", "Dominican Republic", Continent::CentralAmerica},
+    // South America
+    {"BR", "Brazil", Continent::SouthAmerica},
+    {"AR", "Argentina", Continent::SouthAmerica},
+    {"CL", "Chile", Continent::SouthAmerica},
+    {"CO", "Colombia", Continent::SouthAmerica},
+    {"PE", "Peru", Continent::SouthAmerica},
+    {"EC", "Ecuador", Continent::SouthAmerica},
+    {"UY", "Uruguay", Continent::SouthAmerica},
+    {"VE", "Venezuela", Continent::SouthAmerica},
+    {"BO", "Bolivia", Continent::SouthAmerica},
+    {"PY", "Paraguay", Continent::SouthAmerica},
+    // Europe
+    {"GB", "United Kingdom", Continent::Europe},
+    {"FR", "France", Continent::Europe},
+    {"DE", "Germany", Continent::Europe},
+    {"NL", "Netherlands", Continent::Europe},
+    {"ES", "Spain", Continent::Europe},
+    {"PT", "Portugal", Continent::Europe},
+    {"IT", "Italy", Continent::Europe},
+    {"BE", "Belgium", Continent::Europe},
+    {"CH", "Switzerland", Continent::Europe},
+    {"AT", "Austria", Continent::Europe},
+    {"PL", "Poland", Continent::Europe},
+    {"CZ", "Czechia", Continent::Europe},
+    {"SE", "Sweden", Continent::Europe},
+    {"NO", "Norway", Continent::Europe},
+    {"DK", "Denmark", Continent::Europe},
+    {"FI", "Finland", Continent::Europe},
+    {"IE", "Ireland", Continent::Europe},
+    {"GR", "Greece", Continent::Europe},
+    {"RO", "Romania", Continent::Europe},
+    {"HU", "Hungary", Continent::Europe},
+    {"BG", "Bulgaria", Continent::Europe},
+    {"RS", "Serbia", Continent::Europe},
+    {"UA", "Ukraine", Continent::Europe},
+    {"RU", "Russia", Continent::Europe},
+    {"BY", "Belarus", Continent::Europe},
+    {"TR", "Turkey", Continent::Europe},
+    {"SV", "El Salvador", Continent::CentralAmerica},
+    {"HN", "Honduras", Continent::CentralAmerica},
+    {"NI", "Nicaragua", Continent::CentralAmerica},
+    {"JM", "Jamaica", Continent::CentralAmerica},
+    {"CU", "Cuba", Continent::CentralAmerica},
+    {"PR", "Puerto Rico", Continent::CentralAmerica},
+    {"HR", "Croatia", Continent::Europe},
+    {"SK", "Slovakia", Continent::Europe},
+    {"SI", "Slovenia", Continent::Europe},
+    {"LT", "Lithuania", Continent::Europe},
+    {"LV", "Latvia", Continent::Europe},
+    {"EE", "Estonia", Continent::Europe},
+    {"IS", "Iceland", Continent::Europe},
+    // Middle East
+    {"IL", "Israel", Continent::MiddleEast},
+    {"GE", "Georgia", Continent::MiddleEast},
+    {"AM", "Armenia", Continent::MiddleEast},
+    {"AZ", "Azerbaijan", Continent::MiddleEast},
+    {"OM", "Oman", Continent::MiddleEast},
+    {"LB", "Lebanon", Continent::MiddleEast},
+    {"IQ", "Iraq", Continent::MiddleEast},
+    {"AE", "United Arab Emirates", Continent::MiddleEast},
+    {"SA", "Saudi Arabia", Continent::MiddleEast},
+    {"QA", "Qatar", Continent::MiddleEast},
+    {"JO", "Jordan", Continent::MiddleEast},
+    {"KW", "Kuwait", Continent::MiddleEast},
+    {"BH", "Bahrain", Continent::MiddleEast},
+    // Africa
+    {"EG", "Egypt", Continent::Africa},
+    {"ZA", "South Africa", Continent::Africa},
+    {"NG", "Nigeria", Continent::Africa},
+    {"KE", "Kenya", Continent::Africa},
+    {"MA", "Morocco", Continent::Africa},
+    {"TN", "Tunisia", Continent::Africa},
+    {"GH", "Ghana", Continent::Africa},
+    {"AO", "Angola", Continent::Africa},
+    {"SN", "Senegal", Continent::Africa},
+    {"TZ", "Tanzania", Continent::Africa},
+    {"ET", "Ethiopia", Continent::Africa},
+    {"DZ", "Algeria", Continent::Africa},
+    {"UG", "Uganda", Continent::Africa},
+    {"MZ", "Mozambique", Continent::Africa},
+    {"ZW", "Zimbabwe", Continent::Africa},
+    {"CI", "Ivory Coast", Continent::Africa},
+    {"CD", "DR Congo", Continent::Africa},
+    {"ZM", "Zambia", Continent::Africa},
+    {"BW", "Botswana", Continent::Africa},
+    {"RW", "Rwanda", Continent::Africa},
+    {"SD", "Sudan", Continent::Africa},
+    {"CM", "Cameroon", Continent::Africa},
+    {"MU", "Mauritius", Continent::Africa},
+    // Asia
+    {"CN", "China", Continent::Asia},
+    {"NP", "Nepal", Continent::Asia},
+    {"MM", "Myanmar", Continent::Asia},
+    {"KH", "Cambodia", Continent::Asia},
+    {"MN", "Mongolia", Continent::Asia},
+    {"KG", "Kyrgyzstan", Continent::Asia},
+    {"JP", "Japan", Continent::Asia},
+    {"KR", "South Korea", Continent::Asia},
+    {"IN", "India", Continent::Asia},
+    {"SG", "Singapore", Continent::Asia},
+    {"MY", "Malaysia", Continent::Asia},
+    {"TH", "Thailand", Continent::Asia},
+    {"ID", "Indonesia", Continent::Asia},
+    {"PH", "Philippines", Continent::Asia},
+    {"VN", "Vietnam", Continent::Asia},
+    {"HK", "Hong Kong", Continent::Asia},
+    {"TW", "Taiwan", Continent::Asia},
+    {"PK", "Pakistan", Continent::Asia},
+    {"BD", "Bangladesh", Continent::Asia},
+    {"LK", "Sri Lanka", Continent::Asia},
+    {"KZ", "Kazakhstan", Continent::Asia},
+    {"UZ", "Uzbekistan", Continent::Asia},
+    // Oceania
+    {"AU", "Australia", Continent::Oceania},
+    {"NZ", "New Zealand", Continent::Oceania},
+};
+
+struct CitySpec {
+  const char* name;
+  const char* iata;
+  const char* iso2;
+  double lat;
+  double lon;
+};
+
+constexpr CitySpec kCities[] = {
+    // ---- United States ----
+    {"New York", "JFK", "US", 40.64, -73.78},
+    {"Ashburn", "IAD", "US", 38.95, -77.45},
+    {"Los Angeles", "LAX", "US", 33.94, -118.41},
+    {"San Jose", "SJC", "US", 37.36, -121.93},
+    {"Seattle", "SEA", "US", 47.45, -122.31},
+    {"Chicago", "ORD", "US", 41.97, -87.90},
+    {"Dallas", "DFW", "US", 32.90, -97.04},
+    {"Miami", "MIA", "US", 25.79, -80.29},
+    {"Atlanta", "ATL", "US", 33.64, -84.43},
+    {"Denver", "DEN", "US", 39.86, -104.67},
+    {"Phoenix", "PHX", "US", 33.43, -112.01},
+    {"Boston", "BOS", "US", 42.36, -71.01},
+    {"Houston", "IAH", "US", 29.98, -95.34},
+    {"Minneapolis", "MSP", "US", 44.88, -93.22},
+    {"Salt Lake City", "SLC", "US", 40.79, -111.98},
+    {"Las Vegas", "LAS", "US", 36.08, -115.15},
+    {"Portland", "PDX", "US", 45.59, -122.60},
+    {"Philadelphia", "PHL", "US", 39.87, -75.24},
+    {"Detroit", "DTW", "US", 42.21, -83.35},
+    {"Kansas City", "MCI", "US", 39.30, -94.71},
+    {"St. Louis", "STL", "US", 38.75, -90.37},
+    {"Charlotte", "CLT", "US", 35.21, -80.94},
+    {"Tampa", "TPA", "US", 27.98, -82.53},
+    {"Sacramento", "SMF", "US", 38.70, -121.59},
+    {"San Diego", "SAN", "US", 32.73, -117.19},
+    {"Austin", "AUS", "US", 30.19, -97.67},
+    {"Nashville", "BNA", "US", 36.12, -86.68},
+    {"Columbus", "CMH", "US", 40.00, -82.89},
+    {"Pittsburgh", "PIT", "US", 40.49, -80.23},
+    {"Honolulu", "HNL", "US", 21.32, -157.92},
+    // ---- Canada ----
+    {"Toronto", "YYZ", "CA", 43.68, -79.63},
+    {"Montreal", "YUL", "CA", 45.47, -73.74},
+    {"Vancouver", "YVR", "CA", 49.19, -123.18},
+    {"Calgary", "YYC", "CA", 51.11, -114.02},
+    {"Ottawa", "YOW", "CA", 45.32, -75.67},
+    {"Winnipeg", "YWG", "CA", 49.91, -97.24},
+    {"Halifax", "YHZ", "CA", 44.88, -63.51},
+    {"Edmonton", "YEG", "CA", 53.31, -113.58},
+    // ---- Mexico / Central America / Caribbean ----
+    {"Mexico City", "MEX", "MX", 19.44, -99.07},
+    {"Guadalajara", "GDL", "MX", 20.52, -103.31},
+    {"Monterrey", "MTY", "MX", 25.78, -100.11},
+    {"Guatemala City", "GUA", "GT", 14.58, -90.53},
+    {"San Jose CR", "SJO", "CR", 9.99, -84.20},
+    {"Panama City", "PTY", "PA", 9.07, -79.38},
+    {"Santo Domingo", "SDQ", "DO", 18.43, -69.67},
+    // ---- South America ----
+    {"Bogota", "BOG", "CO", 4.70, -74.15},
+    {"Medellin", "MDE", "CO", 6.16, -75.42},
+    {"Lima", "LIM", "PE", -12.02, -77.11},
+    {"Quito", "UIO", "EC", -0.13, -78.36},
+    {"Caracas", "CCS", "VE", 10.60, -66.99},
+    {"Santiago", "SCL", "CL", -33.39, -70.79},
+    {"Buenos Aires", "EZE", "AR", -34.82, -58.54},
+    {"Cordoba", "COR", "AR", -31.32, -64.21},
+    {"Sao Paulo", "GRU", "BR", -23.43, -46.47},
+    {"Rio de Janeiro", "GIG", "BR", -22.81, -43.25},
+    {"Porto Alegre", "POA", "BR", -29.99, -51.17},
+    {"Brasilia", "BSB", "BR", -15.87, -47.92},
+    {"Fortaleza", "FOR", "BR", -3.78, -38.53},
+    {"Recife", "REC", "BR", -8.13, -34.92},
+    {"Montevideo", "MVD", "UY", -34.84, -56.03},
+    {"Asuncion", "ASU", "PY", -25.24, -57.52},
+    {"La Paz", "LPB", "BO", -16.51, -68.19},
+    // ---- Europe ----
+    {"London", "LHR", "GB", 51.47, -0.45},
+    {"Manchester", "MAN", "GB", 53.35, -2.28},
+    {"Amsterdam", "AMS", "NL", 52.31, 4.76},
+    {"Frankfurt", "FRA", "DE", 50.03, 8.57},
+    {"Munich", "MUC", "DE", 48.35, 11.79},
+    {"Berlin", "BER", "DE", 52.36, 13.50},
+    {"Hamburg", "HAM", "DE", 53.63, 9.99},
+    {"Dusseldorf", "DUS", "DE", 51.29, 6.77},
+    {"Paris", "CDG", "FR", 49.01, 2.55},
+    {"Marseille", "MRS", "FR", 43.44, 5.22},
+    {"Lyon", "LYS", "FR", 45.73, 5.08},
+    {"Madrid", "MAD", "ES", 40.47, -3.56},
+    {"Barcelona", "BCN", "ES", 41.30, 2.08},
+    {"Lisbon", "LIS", "PT", 38.77, -9.13},
+    {"Milan", "MXP", "IT", 45.63, 8.72},
+    {"Rome", "FCO", "IT", 41.80, 12.25},
+    {"Brussels", "BRU", "BE", 50.90, 4.48},
+    {"Zurich", "ZRH", "CH", 47.46, 8.55},
+    {"Geneva", "GVA", "CH", 46.24, 6.11},
+    {"Vienna", "VIE", "AT", 48.11, 16.57},
+    {"Warsaw", "WAW", "PL", 52.17, 20.97},
+    {"Prague", "PRG", "CZ", 50.10, 14.26},
+    {"Stockholm", "ARN", "SE", 59.65, 17.92},
+    {"Oslo", "OSL", "NO", 60.19, 11.10},
+    {"Copenhagen", "CPH", "DK", 55.62, 12.66},
+    {"Helsinki", "HEL", "FI", 60.32, 24.96},
+    {"Dublin", "DUB", "IE", 53.43, -6.25},
+    {"Athens", "ATH", "GR", 37.94, 23.94},
+    {"Bucharest", "OTP", "RO", 44.57, 26.09},
+    {"Budapest", "BUD", "HU", 47.44, 19.25},
+    {"Sofia", "SOF", "BG", 42.70, 23.40},
+    {"Belgrade", "BEG", "RS", 44.82, 20.29},
+    {"Kyiv", "KBP", "UA", 50.35, 30.89},
+    {"Istanbul", "IST", "TR", 41.26, 28.74},
+    // ---- Russia / Belarus ----
+    {"Moscow", "SVO", "RU", 55.97, 37.41},
+    {"St. Petersburg", "LED", "RU", 59.80, 30.27},
+    {"Novosibirsk", "OVB", "RU", 55.01, 82.65},
+    {"Yekaterinburg", "SVX", "RU", 56.74, 60.80},
+    {"Minsk", "MSQ", "BY", 53.88, 28.03},
+    // ---- Middle East ----
+    {"Tel Aviv", "TLV", "IL", 32.01, 34.89},
+    {"Dubai", "DXB", "AE", 25.25, 55.36},
+    {"Riyadh", "RUH", "SA", 24.96, 46.70},
+    {"Doha", "DOH", "QA", 25.27, 51.61},
+    {"Amman", "AMM", "JO", 31.72, 35.99},
+    {"Kuwait City", "KWI", "KW", 29.23, 47.97},
+    {"Manama", "BAH", "BH", 26.27, 50.63},
+    // ---- Africa ----
+    {"Cairo", "CAI", "EG", 30.12, 31.41},
+    {"Johannesburg", "JNB", "ZA", -26.14, 28.25},
+    {"Cape Town", "CPT", "ZA", -33.96, 18.60},
+    {"Lagos", "LOS", "NG", 6.58, 3.32},
+    {"Nairobi", "NBO", "KE", -1.32, 36.93},
+    {"Casablanca", "CMN", "MA", 33.37, -7.59},
+    {"Tunis", "TUN", "TN", 36.85, 10.23},
+    {"Accra", "ACC", "GH", 5.61, -0.17},
+    {"Luanda", "LAD", "AO", -8.86, 13.23},
+    {"Dakar", "DSS", "SN", 14.67, -17.07},
+    {"Dar es Salaam", "DAR", "TZ", -6.88, 39.20},
+    {"Addis Ababa", "ADD", "ET", 8.98, 38.80},
+    {"Algiers", "ALG", "DZ", 36.69, 3.22},
+    {"Kampala", "EBB", "UG", 0.04, 32.44},
+    {"Maputo", "MPM", "MZ", -25.92, 32.57},
+    {"Harare", "HRE", "ZW", -17.93, 31.09},
+    // ---- Asia ----
+    {"Tokyo", "NRT", "JP", 35.77, 140.39},
+    {"Osaka", "KIX", "JP", 34.43, 135.24},
+    {"Seoul", "ICN", "KR", 37.46, 126.44},
+    {"Beijing", "PEK", "CN", 40.08, 116.58},
+    {"Shanghai", "PVG", "CN", 31.14, 121.81},
+    {"Shenzhen", "SZX", "CN", 22.64, 113.81},
+    {"Chengdu", "CTU", "CN", 30.57, 103.95},
+    {"Hong Kong", "HKG", "HK", 22.31, 113.91},
+    {"Taipei", "TPE", "TW", 25.08, 121.23},
+    {"Singapore", "SIN", "SG", 1.36, 103.99},
+    {"Kuala Lumpur", "KUL", "MY", 2.75, 101.71},
+    {"Bangkok", "BKK", "TH", 13.68, 100.75},
+    {"Jakarta", "CGK", "ID", -6.13, 106.66},
+    {"Manila", "MNL", "PH", 14.51, 121.02},
+    {"Hanoi", "HAN", "VN", 21.22, 105.81},
+    {"Ho Chi Minh City", "SGN", "VN", 10.82, 106.63},
+    {"Mumbai", "BOM", "IN", 19.09, 72.87},
+    {"Delhi", "DEL", "IN", 28.57, 77.10},
+    {"Chennai", "MAA", "IN", 12.99, 80.17},
+    {"Bangalore", "BLR", "IN", 13.20, 77.71},
+    {"Hyderabad", "HYD", "IN", 17.23, 78.43},
+    {"Kolkata", "CCU", "IN", 22.65, 88.45},
+    {"Karachi", "KHI", "PK", 24.91, 67.16},
+    {"Islamabad", "ISB", "PK", 33.56, 72.85},
+    {"Dhaka", "DAC", "BD", 23.84, 90.40},
+    {"Colombo", "CMB", "LK", 7.18, 79.88},
+    {"Almaty", "ALA", "KZ", 43.35, 77.04},
+    {"Tashkent", "TAS", "UZ", 41.26, 69.28},
+    {"San Salvador", "SAL", "SV", 13.44, -89.06},
+    {"Tegucigalpa", "TGU", "HN", 14.06, -87.22},
+    {"Managua", "MGA", "NI", 12.14, -86.17},
+    {"Kingston", "KIN", "JM", 17.94, -76.79},
+    {"Havana", "HAV", "CU", 22.99, -82.41},
+    {"San Juan", "SJU", "PR", 18.44, -66.00},
+    {"Curitiba", "CWB", "BR", -25.53, -49.17},
+    {"Belo Horizonte", "CNF", "BR", -19.62, -43.97},
+    {"Salvador", "SSA", "BR", -12.91, -38.33},
+    {"Manaus", "MAO", "BR", -3.04, -60.05},
+    {"Cali", "CLO", "CO", 3.54, -76.38},
+    {"Barranquilla", "BAQ", "CO", 10.89, -74.78},
+    {"Guayaquil", "GYE", "EC", -2.16, -79.88},
+    {"Santa Cruz", "VVI", "BO", -17.64, -63.14},
+    {"Zagreb", "ZAG", "HR", 45.74, 16.07},
+    {"Bratislava", "BTS", "SK", 48.17, 17.21},
+    {"Ljubljana", "LJU", "SI", 46.22, 14.46},
+    {"Vilnius", "VNO", "LT", 54.63, 25.28},
+    {"Riga", "RIX", "LV", 56.92, 23.97},
+    {"Tallinn", "TLL", "EE", 59.41, 24.83},
+    {"Reykjavik", "KEF", "IS", 63.99, -22.62},
+    {"Porto", "OPO", "PT", 41.24, -8.68},
+    {"Gothenburg", "GOT", "SE", 57.66, 12.28},
+    {"Edinburgh", "EDI", "GB", 55.95, -3.37},
+    {"Lviv", "LWO", "UA", 49.81, 23.96},
+    {"Kazan", "KZN", "RU", 55.61, 49.28},
+    {"Tbilisi", "TBS", "GE", 41.67, 44.95},
+    {"Yerevan", "EVN", "AM", 40.15, 44.40},
+    {"Baku", "GYD", "AZ", 40.47, 50.05},
+    {"Muscat", "MCT", "OM", 23.59, 58.28},
+    {"Beirut", "BEY", "LB", 33.82, 35.49},
+    {"Baghdad", "BGW", "IQ", 33.26, 44.23},
+    {"Abidjan", "ABJ", "CI", 5.26, -3.93},
+    {"Abuja", "ABV", "NG", 9.01, 7.26},
+    {"Kinshasa", "FIH", "CD", -4.39, 15.44},
+    {"Lusaka", "LUN", "ZM", -15.33, 28.45},
+    {"Gaborone", "GBE", "BW", -24.56, 25.92},
+    {"Kigali", "KGL", "RW", -1.97, 30.14},
+    {"Khartoum", "KRT", "SD", 15.59, 32.55},
+    {"Douala", "DLA", "CM", 4.01, 9.72},
+    {"Port Louis", "MRU", "MU", -20.43, 57.68},
+    {"Nagoya", "NGO", "JP", 34.86, 136.81},
+    {"Fukuoka", "FUK", "JP", 33.59, 130.45},
+    {"Busan", "PUS", "KR", 35.18, 128.94},
+    {"Guangzhou", "CAN", "CN", 23.39, 113.31},
+    {"Xi'an", "XIY", "CN", 34.45, 108.75},
+    {"Wuhan", "WUH", "CN", 30.78, 114.21},
+    {"Pune", "PNQ", "IN", 18.58, 73.92},
+    {"Ahmedabad", "AMD", "IN", 23.07, 72.63},
+    {"Kathmandu", "KTM", "NP", 27.70, 85.36},
+    {"Yangon", "RGN", "MM", 16.91, 96.13},
+    {"Phnom Penh", "PNH", "KH", 11.55, 104.84},
+    {"Ulaanbaatar", "ULN", "MN", 47.84, 106.77},
+    {"Bishkek", "FRU", "KG", 42.88, 74.47},
+    {"San Francisco", "SFO", "US", 37.62, -122.38},
+    {"Raleigh", "RDU", "US", 35.88, -78.79},
+    {"Jacksonville", "JAX", "US", 30.49, -81.69},
+    {"Albuquerque", "ABQ", "US", 35.04, -106.61},
+    {"Anchorage", "ANC", "US", 61.17, -149.99},
+    {"Quebec City", "YQB", "CA", 46.79, -71.39},
+    // ---- Oceania ----
+    {"Sydney", "SYD", "AU", -33.95, 151.18},
+    {"Melbourne", "MEL", "AU", -37.67, 144.84},
+    {"Brisbane", "BNE", "AU", -27.38, 153.12},
+    {"Perth", "PER", "AU", -31.94, 115.97},
+    {"Adelaide", "ADL", "AU", -34.94, 138.53},
+    {"Auckland", "AKL", "NZ", -37.01, 174.79},
+    {"Wellington", "WLG", "NZ", -41.33, 174.81},
+};
+
+}  // namespace
+
+Gazetteer::Gazetteer() {
+  countries_.reserve(std::size(kCountries));
+  for (const auto& c : kCountries) {
+    countries_.push_back(Country{c.iso2, c.name, c.continent});
+  }
+  cities_.reserve(std::size(kCities));
+  for (const auto& c : kCities) {
+    const auto idx = find_country(c.iso2);
+    // The tables are compiled-in; a missing country is a programming error
+    // caught by the unit tests, but we fail safe to country 0 in release.
+    cities_.push_back(City{c.name, c.iata, idx.value_or(0), GeoPoint{c.lat, c.lon}});
+  }
+}
+
+const Gazetteer& Gazetteer::world() {
+  static const Gazetteer instance;
+  return instance;
+}
+
+std::optional<CityId> Gazetteer::find_by_iata(std::string_view iata) const {
+  for (std::size_t i = 0; i < cities_.size(); ++i) {
+    if (cities_[i].iata == iata) return CityId{static_cast<std::uint16_t>(i)};
+  }
+  return std::nullopt;
+}
+
+std::optional<CountryIdx> Gazetteer::find_country(std::string_view iso2) const {
+  for (std::size_t i = 0; i < countries_.size(); ++i) {
+    if (countries_[i].iso2 == iso2) return static_cast<CountryIdx>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<CityId> Gazetteer::cities_in_area(Area a) const {
+  std::vector<CityId> out;
+  for (std::size_t i = 0; i < cities_.size(); ++i) {
+    const auto id = CityId{static_cast<std::uint16_t>(i)};
+    if (area_of_city(id) == a) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<CityId> Gazetteer::cities_in_country(std::string_view iso2) const {
+  std::vector<CityId> out;
+  const auto idx = find_country(iso2);
+  if (!idx) return out;
+  for (std::size_t i = 0; i < cities_.size(); ++i) {
+    if (cities_[i].country == *idx) out.push_back(CityId{static_cast<std::uint16_t>(i)});
+  }
+  return out;
+}
+
+CityId Gazetteer::nearest_city(GeoPoint p) const {
+  CityId best{0};
+  double best_km = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < cities_.size(); ++i) {
+    const double d = haversine(p, cities_[i].location).km;
+    if (d < best_km) {
+      best_km = d;
+      best = CityId{static_cast<std::uint16_t>(i)};
+    }
+  }
+  return best;
+}
+
+}  // namespace ranycast::geo

@@ -1,0 +1,57 @@
+// iGreedy-style anycast detection, enumeration and geolocation
+// (Cicalese et al., INFOCOM'15), the technique the paper compared its
+// site-enumeration pipeline against (§7: "it mapped fewer published CDN
+// sites than the method we used").
+//
+// Principle: a probe's RTT to an anycast address bounds the served
+// instance's distance by the speed of light, defining a disc around the
+// probe. Two non-overlapping discs must be served by two *different*
+// instances, so a greedy maximum-independent-set over the discs yields a
+// lower bound on the instance count, and each picked disc localizes one
+// instance.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ranycast/core/types.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+
+namespace ranycast::geoloc {
+
+struct IgreedyMeasurement {
+  CityId probe_city{kInvalidCity};
+  double rtt_ms{0.0};
+};
+
+struct IgreedyInstance {
+  CityId probe_city{kInvalidCity};  ///< disc center
+  double radius_km{0.0};
+  /// Geolocated position: the gazetteer city inside the disc nearest to
+  /// its center (iGreedy uses airline-traffic-weighted airports; our
+  /// gazetteer is already airport-anchored).
+  std::optional<CityId> city;
+};
+
+struct IgreedyResult {
+  std::vector<IgreedyInstance> instances;
+
+  bool anycast_detected() const noexcept { return instances.size() > 1; }
+  std::size_t instance_count() const noexcept { return instances.size(); }
+};
+
+struct IgreedyConfig {
+  /// Speed-of-light constant expressed against the round trip (the paper's
+  /// 100 km per 1 ms of RTT): the served instance can be at most
+  /// rtt * km_per_ms away, which is the disc radius.
+  double km_per_ms{geo::kKmPerMsRtt};
+  /// Measurements with absurd radii (satellite links, timeouts) are noise.
+  double max_radius_km{15000.0};
+};
+
+/// Run iGreedy over one anycast address's latency measurements.
+IgreedyResult igreedy(std::span<const IgreedyMeasurement> measurements,
+                      const IgreedyConfig& config = {});
+
+}  // namespace ranycast::geoloc

@@ -1,0 +1,77 @@
+// Penultimate-hop geolocation pipeline and anycast site enumeration
+// (paper §4.4 and Appendix B).
+//
+// The pipeline resolves each distinct p-hop through a technique cascade —
+// rDNS geo-hints, RTT-range against nearby probes, country-level geo-DB
+// consensus — then maps it to the nearest published site. The aggregate
+// output reproduces Fig. 3 (technique fractions per network), the site
+// partition maps of Fig. 2, and Table 1's uncovered-site counts.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "ranycast/atlas/probe.hpp"
+#include "ranycast/bgp/path_metrics.hpp"
+#include "ranycast/dns/geo_database.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+#include "ranycast/geoloc/rdns.hpp"
+
+namespace ranycast::geoloc {
+
+enum class Technique : std::uint8_t { Rdns, RttRange, CountryIpGeo, Unresolved };
+inline constexpr std::size_t kTechniqueCount = 4;
+
+std::string_view to_string(Technique t) noexcept;
+
+/// One traceroute made from a probe toward a regional/global anycast
+/// address of the deployment under study.
+struct TraceObservation {
+  const atlas::Probe* probe{nullptr};
+  bgp::TracerouteResult trace;
+  std::size_t region{0};  ///< which prefix of the deployment was traced
+};
+
+struct PipelineConfig {
+  /// RTT-range proximity threshold; the paper's 1.5 ms matches the typical
+  /// metropolitan radius at 100 km per 1 ms RTT.
+  double rtt_range_threshold_ms{1.5};
+  /// A resolved p-hop is attributed to the nearest published site.
+  double site_match_radius_km{300.0};
+};
+
+struct PhopInfo {
+  Ipv4Addr ip;
+  Technique technique{Technique::Unresolved};
+  std::optional<CityId> resolved_city;
+  std::optional<CityId> mapped_site;  ///< nearest published site city
+  std::size_t trace_count{0};
+  std::set<std::size_t> regions;  ///< regional prefixes this p-hop served
+};
+
+struct EnumerationResult {
+  std::vector<PhopInfo> phops;
+  std::array<std::size_t, kTechniqueCount> phops_by_technique{};
+  std::array<std::size_t, kTechniqueCount> traces_by_technique{};
+  /// Uncovered site city -> regional prefixes announced there. A site
+  /// appearing under more than one region is a "cross-region announcement".
+  std::map<CityId, std::set<std::size_t>> site_regions;
+
+  std::size_t total_phops() const noexcept { return phops.size(); }
+  std::size_t total_traces() const noexcept;
+  double phop_fraction(Technique t) const noexcept;
+  double trace_fraction(Technique t) const noexcept;
+};
+
+/// Run the cascade over a set of traceroute observations.
+EnumerationResult enumerate_sites(std::span<const TraceObservation> observations,
+                                  std::span<const CityId> published_site_cities,
+                                  const RdnsOracle& rdns,
+                                  std::array<const dns::GeoDatabase*, 3> dbs,
+                                  const PipelineConfig& config);
+
+}  // namespace ranycast::geoloc

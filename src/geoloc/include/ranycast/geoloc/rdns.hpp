@@ -1,0 +1,65 @@
+// Reverse-DNS name synthesis and geo-hint parsing (paper Appendix B).
+//
+// Operators name router interfaces with city hints ("ae-65.core1.ams.
+// as3356.net"); some names carry only a ccTLD; some interfaces have no PTR
+// record at all. The oracle synthesizes names deterministically from the
+// interface's registered owner; the parser extracts IATA or ccTLD hints the
+// way the paper's pipeline does. The split between hint categories is
+// configurable so Fig. 3's technique fractions can be studied under
+// different naming cultures.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "ranycast/core/ipv4.hpp"
+#include "ranycast/core/types.hpp"
+#include "ranycast/topo/graph.hpp"
+#include "ranycast/topo/ip_registry.hpp"
+
+namespace ranycast::geoloc {
+
+struct GeoHint {
+  enum class Kind { City, Country, None };
+  Kind kind{Kind::None};
+  CityId city{kInvalidCity};  ///< valid when kind == City
+  std::string country;        ///< ISO2 uppercase, valid when kind == Country
+};
+
+/// Extract a geo hint from an rDNS name: any 3-letter label matching an IATA
+/// code wins; otherwise a trailing 2-letter country-code TLD.
+GeoHint parse_geo_hint(std::string_view rdns_name);
+
+class RdnsOracle {
+ public:
+  struct Config {
+    /// Share of transit-router interfaces whose name embeds an IATA hint.
+    double iata_prob{0.50};
+    /// Share whose name carries only a ccTLD (no city hint).
+    double cctld_prob{0.20};
+    /// CDN-operated edge routers are named more consistently.
+    double cdn_iata_prob{0.92};
+    std::uint64_t seed{0x5D05};
+  };
+
+  RdnsOracle(Config config, const topo::Graph* graph, const topo::IpRegistry* registry,
+             std::unordered_map<std::uint32_t, std::string> cdn_domains)
+      : config_(config),
+        graph_(graph),
+        registry_(registry),
+        cdn_domains_(std::move(cdn_domains)) {}
+
+  /// The PTR record for a router interface; nullopt when the interface has
+  /// no name or the address is not a registered router.
+  std::optional<std::string> name_for(Ipv4Addr ip) const;
+
+ private:
+  Config config_;
+  const topo::Graph* graph_;
+  const topo::IpRegistry* registry_;
+  std::unordered_map<std::uint32_t, std::string> cdn_domains_;  // CDN ASN -> domain
+};
+
+}  // namespace ranycast::geoloc

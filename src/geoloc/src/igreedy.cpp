@@ -1,0 +1,59 @@
+#include "ranycast/geoloc/igreedy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ranycast::geoloc {
+
+IgreedyResult igreedy(std::span<const IgreedyMeasurement> measurements,
+                      const IgreedyConfig& config) {
+  const auto& gaz = geo::Gazetteer::world();
+
+  // One disc per measurement; keep the smallest disc per probe city (a
+  // probe measured repeatedly contributes its best observation).
+  struct Disc {
+    CityId center;
+    double radius_km;
+  };
+  std::vector<Disc> discs;
+  for (const IgreedyMeasurement& m : measurements) {
+    const double radius = m.rtt_ms * config.km_per_ms;
+    if (radius > config.max_radius_km || m.probe_city == kInvalidCity) continue;
+    const auto it = std::find_if(discs.begin(), discs.end(),
+                                 [&](const Disc& d) { return d.center == m.probe_city; });
+    if (it == discs.end()) {
+      discs.push_back(Disc{m.probe_city, radius});
+    } else {
+      it->radius_km = std::min(it->radius_km, radius);
+    }
+  }
+
+  // Greedy MIS: smallest discs first (they localize best and block least).
+  std::sort(discs.begin(), discs.end(), [](const Disc& a, const Disc& b) {
+    if (a.radius_km != b.radius_km) return a.radius_km < b.radius_km;
+    return value(a.center) < value(b.center);
+  });
+  IgreedyResult result;
+  std::vector<Disc> picked;
+  for (const Disc& d : discs) {
+    const bool overlaps = std::any_of(picked.begin(), picked.end(), [&](const Disc& p) {
+      return gaz.distance(d.center, p.center).km <= d.radius_km + p.radius_km;
+    });
+    if (overlaps) continue;
+    picked.push_back(d);
+
+    IgreedyInstance instance;
+    instance.probe_city = d.center;
+    instance.radius_km = d.radius_km;
+    // Geolocation: iGreedy places the instance at the most likely airport
+    // inside the disc. Our gazetteer is already airport-anchored and probes
+    // are placed at gazetteer cities, so the disc center *is* the nearest
+    // candidate by construction — the instance resolves to the probe's
+    // metro, which is the technique's actual resolution.
+    instance.city = d.center;
+    result.instances.push_back(instance);
+  }
+  return result;
+}
+
+}  // namespace ranycast::geoloc

@@ -1,0 +1,202 @@
+#include "ranycast/geoloc/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace ranycast::geoloc {
+
+std::string_view to_string(Technique t) noexcept {
+  switch (t) {
+    case Technique::Rdns:
+      return "rDNS";
+    case Technique::RttRange:
+      return "RTT Range";
+    case Technique::CountryIpGeo:
+      return "Country-level IPGeo";
+    case Technique::Unresolved:
+      return "Unresolved";
+  }
+  return "?";
+}
+
+std::size_t EnumerationResult::total_traces() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t c : traces_by_technique) n += c;
+  return n;
+}
+
+double EnumerationResult::phop_fraction(Technique t) const noexcept {
+  const std::size_t total = total_phops();
+  if (total == 0) return 0.0;
+  return static_cast<double>(phops_by_technique[static_cast<int>(t)]) /
+         static_cast<double>(total);
+}
+
+double EnumerationResult::trace_fraction(Technique t) const noexcept {
+  const std::size_t total = total_traces();
+  if (total == 0) return 0.0;
+  return static_cast<double>(traces_by_technique[static_cast<int>(t)]) /
+         static_cast<double>(total);
+}
+
+namespace {
+
+/// Aggregated evidence about one distinct p-hop address.
+struct PhopEvidence {
+  std::size_t trace_count{0};
+  std::set<std::size_t> regions;
+  /// (probe city, RTT from probe to the p-hop) — the RTT-range inputs.
+  std::vector<std::pair<CityId, double>> sightings;
+};
+
+/// Sites published in a given country, by city.
+std::vector<CityId> sites_in_country(std::span<const CityId> sites, std::string_view iso2) {
+  const auto& gaz = geo::Gazetteer::world();
+  std::vector<CityId> out;
+  for (CityId s : sites) {
+    if (gaz.country_code(s) == iso2) out.push_back(s);
+  }
+  return out;
+}
+
+std::optional<CityId> nearest_site(std::span<const CityId> sites, CityId from,
+                                   double radius_km) {
+  const auto& gaz = geo::Gazetteer::world();
+  std::optional<CityId> best;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (CityId s : sites) {
+    const double d = gaz.distance(from, s).km;
+    if (d < best_km) {
+      best_km = d;
+      best = s;
+    }
+  }
+  if (best && best_km <= radius_km) return best;
+  return std::nullopt;
+}
+
+}  // namespace
+
+EnumerationResult enumerate_sites(std::span<const TraceObservation> observations,
+                                  std::span<const CityId> published_site_cities,
+                                  const RdnsOracle& rdns,
+                                  std::array<const dns::GeoDatabase*, 3> dbs,
+                                  const PipelineConfig& config) {
+  const auto& gaz = geo::Gazetteer::world();
+  EnumerationResult result;
+
+  // ---- collect evidence per distinct p-hop ----
+  std::unordered_map<Ipv4Addr, PhopEvidence> evidence;
+  for (const TraceObservation& obs : observations) {
+    if (!obs.trace.phop_valid || obs.trace.hops.empty()) continue;
+    const bgp::Hop& phop = obs.trace.phop();
+    auto& ev = evidence[phop.ip];
+    ev.trace_count++;
+    ev.regions.insert(obs.region);
+    ev.sightings.emplace_back(obs.probe->reported_city, phop.rtt.ms);
+  }
+
+  // ---- resolve each p-hop through the cascade ----
+  for (const auto& [ip, ev] : evidence) {
+    PhopInfo info;
+    info.ip = ip;
+    info.trace_count = ev.trace_count;
+    info.regions = ev.regions;
+
+    // 1. rDNS geo hints.
+    if (const auto name = rdns.name_for(ip)) {
+      const GeoHint hint = parse_geo_hint(*name);
+      if (hint.kind == GeoHint::Kind::City) {
+        info.technique = Technique::Rdns;
+        info.resolved_city = hint.city;
+      } else if (hint.kind == GeoHint::Kind::Country) {
+        // ccTLD usable only when the operator publishes exactly one site in
+        // that country.
+        const auto in_country = sites_in_country(published_site_cities, hint.country);
+        if (in_country.size() == 1) {
+          info.technique = Technique::Rdns;
+          info.resolved_city = in_country.front();
+        }
+      }
+    }
+
+    // 2. RTT range: a probe within the threshold pins the p-hop to its
+    // metropolitan area; the geo DBs provide candidate cities and the
+    // speed-of-light constraint filters them.
+    if (!info.resolved_city) {
+      const std::pair<CityId, double>* close = nullptr;
+      for (const auto& s : ev.sightings) {
+        if (s.second <= config.rtt_range_threshold_ms && (close == nullptr || s.second < close->second)) {
+          close = &s;
+        }
+      }
+      if (close != nullptr) {
+        const double max_km = geo::max_distance(Rtt{close->second}).km;
+        std::optional<CityId> best;
+        double best_km = std::numeric_limits<double>::infinity();
+        for (const auto* db : dbs) {
+          const auto candidate = db->city_estimate(ip);
+          if (!candidate) continue;
+          const double d = gaz.distance(*candidate, close->first).km;
+          if (d <= max_km && d < best_km) {
+            best_km = d;
+            best = candidate;
+          }
+        }
+        if (best) {
+          info.technique = Technique::RttRange;
+          info.resolved_city = best;
+        }
+      }
+    }
+
+    // 3. Country-level IPGeo consensus.
+    if (!info.resolved_city) {
+      std::optional<std::string_view> consensus;
+      bool agree = true;
+      for (const auto* db : dbs) {
+        const auto c = db->country(ip);
+        if (!c) {
+          agree = false;
+          break;
+        }
+        if (!consensus) {
+          consensus = c;
+        } else if (*consensus != *c) {
+          agree = false;
+          break;
+        }
+      }
+      if (agree && consensus) {
+        const auto in_country = sites_in_country(published_site_cities, *consensus);
+        if (in_country.size() == 1) {
+          info.technique = Technique::CountryIpGeo;
+          info.resolved_city = in_country.front();
+        }
+      }
+    }
+
+    // ---- site attribution ----
+    if (info.resolved_city) {
+      info.mapped_site =
+          nearest_site(published_site_cities, *info.resolved_city, config.site_match_radius_km);
+      if (info.mapped_site) {
+        for (std::size_t r : info.regions) result.site_regions[*info.mapped_site].insert(r);
+      }
+    } else {
+      info.technique = Technique::Unresolved;
+    }
+
+    result.phops_by_technique[static_cast<int>(info.technique)]++;
+    result.traces_by_technique[static_cast<int>(info.technique)] += info.trace_count;
+    result.phops.push_back(std::move(info));
+  }
+
+  // Deterministic order for reporting.
+  std::sort(result.phops.begin(), result.phops.end(),
+            [](const PhopInfo& a, const PhopInfo& b) { return a.ip < b.ip; });
+  return result;
+}
+
+}  // namespace ranycast::geoloc

@@ -1,0 +1,69 @@
+#include "ranycast/geoloc/rdns.hpp"
+
+#include <cctype>
+
+#include "ranycast/core/rng.hpp"
+#include "ranycast/core/strings.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+
+namespace ranycast::geoloc {
+
+GeoHint parse_geo_hint(std::string_view rdns_name) {
+  const auto& gaz = geo::Gazetteer::world();
+  const auto labels = strings::split(rdns_name, '.');
+  for (const auto label : labels) {
+    if (label.size() != 3) continue;
+    const bool alpha = std::all_of(label.begin(), label.end(),
+                                   [](unsigned char c) { return std::isalpha(c); });
+    if (!alpha) continue;
+    std::string upper;
+    for (char c : label) upper.push_back(static_cast<char>(std::toupper(c)));
+    if (const auto city = gaz.find_by_iata(upper)) {
+      return GeoHint{GeoHint::Kind::City, *city, {}};
+    }
+  }
+  // ccTLD fallback: the last non-empty label.
+  if (!labels.empty()) {
+    const auto last = labels.back();
+    if (last.size() == 2) {
+      std::string upper;
+      for (char c : last) upper.push_back(static_cast<char>(std::toupper(c)));
+      if (gaz.find_country(upper)) {
+        GeoHint hint;
+        hint.kind = GeoHint::Kind::Country;
+        hint.country = upper;
+        return hint;
+      }
+    }
+  }
+  return {};
+}
+
+std::optional<std::string> RdnsOracle::name_for(Ipv4Addr ip) const {
+  const auto owner = registry_->owner(ip);
+  if (!owner || !owner->is_router || owner->city == kInvalidCity) return std::nullopt;
+  const auto& gaz = geo::Gazetteer::world();
+  const std::uint64_t h = mix64(hash_combine(config_.seed, ip.bits()));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+
+  const std::string iata = strings::to_lower(gaz.city(owner->city).iata);
+  const std::string asn = std::to_string(value(owner->asn));
+  const std::string dev = "ae-" + std::to_string(h % 100) + ".core" + std::to_string(h % 4 + 1);
+
+  // CDN-operated edge routers get the operator's domain.
+  if (const auto it = cdn_domains_.find(value(owner->asn)); it != cdn_domains_.end()) {
+    if (u < config_.cdn_iata_prob) return dev + "." + iata + "." + it->second;
+    return std::nullopt;
+  }
+
+  if (u < config_.iata_prob) {
+    return dev + "." + iata + ".as" + asn + ".example.net";
+  }
+  if (u < config_.iata_prob + config_.cctld_prob) {
+    const std::string cc = strings::to_lower(gaz.country_code(owner->city));
+    return dev + ".bb.as" + asn + ".example." + cc;
+  }
+  return std::nullopt;  // no PTR record
+}
+
+}  // namespace ranycast::geoloc

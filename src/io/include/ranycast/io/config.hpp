@@ -1,0 +1,33 @@
+// JSON bindings for the laboratory configuration: load experiment setups
+// from files (tools/ranycast-experiment) and persist the configuration
+// actually used next to results for reproducibility.
+#pragma once
+
+#include <string>
+
+#include "ranycast/io/json.hpp"
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::io {
+
+/// Parse a LabConfig from a JSON object. Every field is optional and
+/// defaults to the library default; unknown keys are ignored (configs stay
+/// forward-compatible). Schema:
+///   {
+///     "seed": 2023,
+///     "world":   {"seed", "stub_count", "tier1_count", "tier1_city_coverage",
+///                 "international_transits", "ixp_count", ...},
+///     "census":  {"total_probes", "stable_prob", "resolver_local_prob", ...},
+///     "latency": {"per_hop_ms", "jitter_max_ms", "access_base_ms"},
+///     "geo_dbs": [{"name", "wrong_country_prob", "intl_home_bias_prob",
+///                  "wrong_city_prob", "seed"}, ...]   // up to 3 entries
+///   }
+lab::LabConfig lab_config_from_json(const Json& json);
+
+/// Serialize a LabConfig (the exact inverse of the reader for covered keys).
+Json lab_config_to_json(const lab::LabConfig& config);
+
+/// Read a file into a string; throws std::runtime_error on failure.
+std::string read_file(const std::string& path);
+
+}  // namespace ranycast::io

@@ -1,0 +1,87 @@
+// The paper's §5.3 regional-vs-global comparison methodology.
+//
+// To compare a regional anycast CDN with a global anycast network of the
+// same operator, the paper measures every probe against both, then filters
+// out probes whose observations are not comparable:
+//   1. probes whose traceroute has no valid penultimate hop,
+//   2. probes that reach a site not present in both networks,
+//   3. probes that enter the CDN via a peer AS not shared by the co-located
+//      site in the other network.
+// What remains is aggregated per <city, AS> probe group (medians), giving
+// the paired distributions behind Fig. 4c, Fig. 5, Table 3, Table 4 and the
+// §5.4 cause analysis.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ranycast/analysis/classify.hpp"
+#include "ranycast/atlas/grouping.hpp"
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::lab {
+
+struct PairedGroup {
+  CityId city{kInvalidCity};
+  Asn asn{kInvalidAsn};
+  geo::Area area{geo::Area::EMEA};
+  double regional_ms{0.0};
+  double global_ms{0.0};
+  double regional_km{0.0};  ///< geodesic distance to the regional catchment site
+  double global_km{0.0};
+  /// Catchment cities (from the representative member's routes).
+  CityId regional_site{kInvalidCity};
+  CityId global_site{kInvalidCity};
+  bool same_site{false};
+  /// Route classes at the decision AS (where the two selections diverged).
+  bgp::RouteClass regional_cls{bgp::RouteClass::Provider};
+  bgp::RouteClass global_cls{bgp::RouteClass::Provider};
+  /// Whether the IXP involved in a route-server comparison publishes its
+  /// feed (limits peering-type classification, §5.4).
+  bool route_server_feed_visible{false};
+  /// §5.4 root cause, determined by scanning every AS along the client's
+  /// global-anycast path for an overridden preference (the paper walks the
+  /// traceroute AS path the same way).
+  analysis::ReductionCause cause{analysis::ReductionCause::Unknown};
+};
+
+struct ComparisonConfig {
+  bool filter_invalid_phop{true};
+  bool filter_nonoverlapping_sites{true};
+  bool filter_nonoverlapping_peers{true};
+  /// Fraction of IXPs that publish route-server feeds (deterministic by
+  /// city hash); the paper could classify only 1.6% of its latency
+  /// reductions as peering-type overrides for this reason.
+  double route_server_feed_fraction{0.35};
+};
+
+struct ComparisonResult {
+  std::vector<PairedGroup> groups;
+  std::size_t groups_total{0};     ///< groups with resolvable measurements
+  std::size_t groups_retained{0};  ///< after the §5.3 filters
+
+  double retention_rate() const {
+    return groups_total == 0 ? 0.0
+                             : static_cast<double>(groups_retained) /
+                                   static_cast<double>(groups_total);
+  }
+};
+
+/// Run the full §5.3 pipeline: resolve, traceroute both networks, filter,
+/// group, aggregate.
+ComparisonResult compare_regional_global(Lab& lab, const DeploymentHandle& regional,
+                                         const DeploymentHandle& global_net,
+                                         const ComparisonConfig& config = {});
+
+/// §5.4 cause tally over groups with >5 ms latency reduction.
+struct CauseBreakdown {
+  std::size_t reduced_groups{0};
+  std::size_t as_relationship{0};
+  std::size_t peering_type{0};
+  std::size_t unknown{0};
+};
+
+CauseBreakdown classify_reduction_causes(const ComparisonResult& result,
+                                         double threshold_ms = analysis::kMappingThresholdMs);
+
+}  // namespace ranycast::lab

@@ -1,0 +1,135 @@
+// The measurement laboratory: a façade tying the synthetic Internet, the
+// probe platform, the geolocation databases and the CDN deployments
+// together, and exposing the measurement primitives the paper's
+// methodology is built from (DNS lookups, pings, traceroutes).
+//
+// Typical use:
+//   auto lab = Lab::create({});
+//   const auto& im6 = lab.add_deployment(cdn::catalog::imperva6());
+//   auto ans = lab.dns_lookup(probe, im6, dns::QueryMode::Ldns);
+//   auto rtt = lab.ping(probe, ans.address);
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ranycast/atlas/census.hpp"
+#include "ranycast/bgp/path_metrics.hpp"
+#include "ranycast/bgp/solver.hpp"
+#include "ranycast/cdn/builder.hpp"
+#include "ranycast/cdn/deployment.hpp"
+#include "ranycast/dns/geo_database.hpp"
+#include "ranycast/topo/generator.hpp"
+#include "ranycast/topo/ip_registry.hpp"
+
+namespace ranycast::lab {
+
+/// A deployment plus its solved per-region routing.
+struct DeploymentHandle {
+  cdn::Deployment deployment;
+  std::vector<bgp::RoutingOutcome> outcomes;  ///< one per region
+
+  const bgp::Route* route_for(Asn client, std::size_t region) const {
+    return outcomes[region].route_for(client);
+  }
+};
+
+struct LabConfig {
+  topo::GeneratorParams world;
+  atlas::CensusConfig census;
+  bgp::LatencyModel latency;
+  bgp::TracerouteConfig traceroute;
+  /// Error profiles of the three commercial-style geolocation databases.
+  std::array<dns::GeoDatabase::Config, 3> geo_dbs{
+      dns::GeoDatabase::Config{"maxmind-like", 0.012, 0.80, 0.20, 101},
+      dns::GeoDatabase::Config{"ipinfo-like", 0.022, 0.75, 0.25, 202},
+      dns::GeoDatabase::Config{"edgescape-like", 0.017, 0.85, 0.22, 303},
+  };
+  std::uint64_t seed{2023};
+};
+
+class Lab {
+ public:
+  static Lab create(const LabConfig& config);
+
+  // The geolocation databases hold pointers into this object (registry_,
+  // world graph); moving would leave them dangling. Construction via
+  // create() relies on guaranteed copy elision.
+  Lab(const Lab&) = delete;
+  Lab& operator=(const Lab&) = delete;
+  Lab(Lab&&) = delete;
+  Lab& operator=(Lab&&) = delete;
+
+  const topo::World& world() const noexcept { return *world_; }
+  topo::IpRegistry& registry() noexcept { return registry_; }
+  const atlas::ProbeCensus& census() const noexcept { return census_; }
+  const bgp::LatencyModel& latency() const noexcept { return config_.latency; }
+  const LabConfig& config() const noexcept { return config_; }
+
+  /// The i-th commercial-style geolocation database (0..2).
+  const dns::GeoDatabase& db(std::size_t i) const { return *geo_dbs_[i]; }
+  /// The database CDN operators' DNS mapping uses.
+  const dns::GeoDatabase& mapping_db() const { return *geo_dbs_[0]; }
+
+  /// Build a deployment and solve BGP for each of its regional prefixes.
+  /// The returned reference stays valid for the Lab's lifetime.
+  const DeploymentHandle& add_deployment(const cdn::DeploymentSpec& spec);
+
+  /// Register an already-constructed deployment (e.g. a programmatically
+  /// transformed one) and solve its regional prefixes.
+  const DeploymentHandle& add_deployment(cdn::Deployment deployment);
+
+  /// Solve an ad-hoc origination (used for per-site unicast emulation).
+  bgp::RoutingOutcome solve_origins(Asn cdn_asn,
+                                    std::span<const bgp::OriginAttachment> origins,
+                                    std::uint64_t salt = 0) const;
+
+  // ---- measurement primitives ----
+
+  struct DnsAnswer {
+    std::size_t region;
+    Ipv4Addr address;
+  };
+
+  /// Resolve a deployment-served hostname from a probe.
+  DnsAnswer dns_lookup(const atlas::Probe& probe, const DeploymentHandle& handle,
+                       dns::QueryMode mode) const;
+
+  /// Ping any address inside a registered deployment's regional prefix.
+  /// `salt` perturbs the measurement noise (per-hostname variation).
+  /// Returns nullopt when the probe's AS has no route.
+  std::optional<Rtt> ping(const atlas::Probe& probe, Ipv4Addr address,
+                          std::uint64_t salt = 0) const;
+
+  /// Traceroute from a probe to an address in a registered deployment.
+  std::optional<bgp::TracerouteResult> traceroute(const atlas::Probe& probe,
+                                                  Ipv4Addr address) const;
+
+  /// The route a probe's AS selected for a deployment region (nullptr if
+  /// unreachable or the address is not registered).
+  const bgp::Route* route_of(const atlas::Probe& probe, Ipv4Addr address) const;
+
+  /// Catchment site of a probe for an address (via the selected route).
+  std::optional<SiteId> catchment_of(const atlas::Probe& probe, Ipv4Addr address) const;
+
+  /// Which (deployment, region) an address belongs to.
+  struct AddressInfo {
+    const DeploymentHandle* handle;
+    std::size_t region;
+  };
+  std::optional<AddressInfo> locate_address(Ipv4Addr address) const;
+
+ private:
+  explicit Lab(const LabConfig& config);
+
+  LabConfig config_;
+  std::unique_ptr<topo::World> world_;
+  mutable topo::IpRegistry registry_;
+  atlas::ProbeCensus census_;
+  std::array<std::unique_ptr<dns::GeoDatabase>, 3> geo_dbs_;
+  std::deque<DeploymentHandle> deployments_;  // deque: stable references
+};
+
+}  // namespace ranycast::lab

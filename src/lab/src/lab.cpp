@@ -1,0 +1,94 @@
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::lab {
+
+Lab::Lab(const LabConfig& config)
+    : config_(config), world_(std::make_unique<topo::World>(topo::generate_world(config.world))) {
+  census_ = atlas::ProbeCensus::generate(*world_, registry_, config.census);
+  for (std::size_t i = 0; i < geo_dbs_.size(); ++i) {
+    geo_dbs_[i] =
+        std::make_unique<dns::GeoDatabase>(config.geo_dbs[i], &world_->graph, &registry_);
+  }
+}
+
+Lab Lab::create(const LabConfig& config) { return Lab{config}; }
+
+const DeploymentHandle& Lab::add_deployment(const cdn::DeploymentSpec& spec) {
+  return add_deployment(cdn::build_deployment(spec, *world_, registry_));
+}
+
+const DeploymentHandle& Lab::add_deployment(cdn::Deployment deployment) {
+  DeploymentHandle handle{std::move(deployment), {}};
+  const auto& dep = handle.deployment;
+  handle.outcomes.reserve(dep.regions().size());
+  for (std::size_t r = 0; r < dep.regions().size(); ++r) {
+    const auto origins = dep.origins_for_region(r);
+    handle.outcomes.push_back(solve_origins(dep.asn(), origins, r));
+  }
+  deployments_.push_back(std::move(handle));
+  return deployments_.back();
+}
+
+bgp::RoutingOutcome Lab::solve_origins(Asn cdn_asn,
+                                       std::span<const bgp::OriginAttachment> origins,
+                                       std::uint64_t salt) const {
+  return bgp::solve_anycast(world_->graph, cdn_asn, origins,
+                            hash_combine(config_.seed, salt));
+}
+
+std::optional<Lab::AddressInfo> Lab::locate_address(Ipv4Addr address) const {
+  for (const DeploymentHandle& h : deployments_) {
+    if (const auto region = h.deployment.region_of_ip(address)) {
+      return AddressInfo{&h, *region};
+    }
+  }
+  return std::nullopt;
+}
+
+Lab::DnsAnswer Lab::dns_lookup(const atlas::Probe& probe, const DeploymentHandle& handle,
+                               dns::QueryMode mode) const {
+  const auto effective = dns::effective_address(probe.query_context(), mode);
+  const std::size_t region = handle.deployment.map_client(effective, mapping_db());
+  return DnsAnswer{region, handle.deployment.regions()[region].service_ip};
+}
+
+const bgp::Route* Lab::route_of(const atlas::Probe& probe, Ipv4Addr address) const {
+  const auto info = locate_address(address);
+  if (!info) return nullptr;
+  return info->handle->route_for(probe.asn, info->region);
+}
+
+std::optional<Rtt> Lab::ping(const atlas::Probe& probe, Ipv4Addr address,
+                             std::uint64_t salt) const {
+  const bgp::Route* route = route_of(probe, address);
+  if (route == nullptr) return std::nullopt;
+  Rtt rtt = config_.latency.path_rtt(*route, probe.city, probe.asn, probe.access_extra_ms);
+  if (salt != 0) {
+    // Per-hostname measurement perturbation (used for the Appendix C
+    // generalization study): sub-millisecond deterministic noise.
+    const std::uint64_t h = mix64(hash_combine(hash_combine(salt, value(probe.id)),
+                                               address.bits()));
+    rtt += Rtt{static_cast<double>(h >> 11) * 0x1.0p-53 * 1.0};
+  }
+  return rtt;
+}
+
+std::optional<bgp::TracerouteResult> Lab::traceroute(const atlas::Probe& probe,
+                                                     Ipv4Addr address) const {
+  const auto info = locate_address(address);
+  if (!info) return std::nullopt;
+  const bgp::Route* route = info->handle->route_for(probe.asn, info->region);
+  if (route == nullptr) return std::nullopt;
+  const cdn::Site& site = info->handle->deployment.site(route->origin_site);
+  return bgp::synth_traceroute(*route, probe.city, probe.asn, probe.access_extra_ms,
+                               site.onsite_router, address, config_.latency,
+                               config_.traceroute, registry_);
+}
+
+std::optional<SiteId> Lab::catchment_of(const atlas::Probe& probe, Ipv4Addr address) const {
+  const bgp::Route* route = route_of(probe, address);
+  if (route == nullptr) return std::nullopt;
+  return route->origin_site;
+}
+
+}  // namespace ranycast::lab

@@ -1,0 +1,34 @@
+// Haversine-aware K-Means over points on the sphere (paper §6.1 step 1).
+//
+// Centroids are computed as normalized 3-D means of the member unit vectors
+// (the spherical centroid), and assignment uses great-circle distance, so
+// clusters behave sensibly across the antimeridian.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ranycast/geo/earth.hpp"
+
+namespace ranycast::partition {
+
+struct KMeansResult {
+  std::vector<int> assignment;          ///< cluster index per input point
+  std::vector<geo::GeoPoint> centroids; ///< final cluster centers
+  double inertia_km2{0.0};              ///< sum of squared member distances
+
+  int k() const noexcept { return static_cast<int>(centroids.size()); }
+};
+
+struct KMeansConfig {
+  int max_iterations{100};
+  /// Number of random restarts; the best (lowest-inertia) run wins.
+  int restarts{8};
+  std::uint64_t seed{0x6B6D};
+};
+
+/// Cluster `points` into `k` groups. Requires 1 <= k <= points.size().
+KMeansResult kmeans(std::span<const geo::GeoPoint> points, int k, const KMeansConfig& config);
+
+}  // namespace ranycast::partition

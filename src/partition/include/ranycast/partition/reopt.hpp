@@ -1,0 +1,70 @@
+// ReOpt: the paper's latency-based region partition and client mapping
+// scheme (§6.1). Three steps:
+//   1. K-Means over the testbed's site locations groups geographically
+//      close sites into candidate regions;
+//   2. each client is assigned to the region containing its lowest
+//      unicast-latency site;
+//   3. a country-level mapping assigns every country to the region the
+//      majority of its clients chose, so a commercial geo-DNS (Route 53)
+//      can implement the mapping.
+// The region count is chosen by sweeping k and minimizing the mean client
+// latency under the country-level mapping.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ranycast/core/types.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+#include "ranycast/partition/kmeans.hpp"
+
+namespace ranycast::partition {
+
+struct ReOptInput {
+  std::vector<CityId> site_cities;
+  /// unicast_ms[p][s]: unicast RTT from probe p to site s; use a large
+  /// sentinel (e.g. 1e9) for unreachable pairs.
+  std::vector<std::vector<double>> unicast_ms;
+  /// Probe geocodes (for the country-majority step).
+  std::vector<CityId> probe_cities;
+};
+
+struct ReOptConfig {
+  int min_regions{3};
+  int max_regions{6};
+  KMeansConfig kmeans;
+};
+
+struct ReOptResult {
+  int k{0};
+  std::vector<int> site_region;   ///< per site index
+  std::vector<int> probe_region;  ///< direct lowest-latency assignment per probe
+  std::map<std::string, int> country_region;  ///< ISO2 -> region (majority)
+  /// Mean client latency under the country-level mapping, for each swept k
+  /// (index 0 = min_regions). The chosen k minimizes this.
+  std::vector<double> sweep_mean_ms;
+
+  /// Region a probe is mapped to by the country-level mapping (falls back
+  /// to the direct assignment when its country was never seen).
+  int mapped_region(std::size_t probe_index, const ReOptInput& in) const;
+};
+
+/// Scores a candidate partition; lower is better. The default (when none is
+/// supplied) is the unicast lower-bound proxy: each probe's best unicast
+/// site within its mapped region. A deployment-backed evaluator (e.g. the
+/// Tangled study's "deploy the candidate and measure the anycast RTTs")
+/// additionally sees intra-region catchment inefficiencies, which is what
+/// the paper's sweep measures.
+using PartitionEvaluator = std::function<double(const ReOptResult& candidate)>;
+
+ReOptResult reopt_partition(const ReOptInput& input, const ReOptConfig& config,
+                            const PartitionEvaluator& evaluate = {});
+
+/// Latency a probe experiences under a partition when mapped to `region`:
+/// its best unicast site within that region (the anycast lower bound).
+double best_in_region(const ReOptInput& input, std::span<const int> site_region,
+                      std::size_t probe, int region);
+
+}  // namespace ranycast::partition

@@ -1,0 +1,143 @@
+#include "ranycast/partition/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "ranycast/core/rng.hpp"
+
+namespace ranycast::partition {
+
+namespace {
+
+struct Vec3 {
+  double x{0}, y{0}, z{0};
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+};
+
+Vec3 to_unit(geo::GeoPoint p) {
+  const double lat = p.lat_deg * std::numbers::pi / 180.0;
+  const double lon = p.lon_deg * std::numbers::pi / 180.0;
+  return Vec3{std::cos(lat) * std::cos(lon), std::cos(lat) * std::sin(lon), std::sin(lat)};
+}
+
+geo::GeoPoint to_geo(Vec3 v) {
+  const double norm = std::sqrt(v.x * v.x + v.y * v.y + v.z * v.z);
+  if (norm == 0.0) return geo::GeoPoint{0, 0};
+  const double lat = std::asin(v.z / norm);
+  const double lon = std::atan2(v.y, v.x);
+  return geo::GeoPoint{lat * 180.0 / std::numbers::pi, lon * 180.0 / std::numbers::pi};
+}
+
+KMeansResult run_once(std::span<const geo::GeoPoint> points, int k, Rng& rng, int max_iters) {
+  const std::size_t n = points.size();
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+
+  // k-means++-style seeding: first center uniform, then proportional to
+  // squared distance from the nearest existing center.
+  std::vector<geo::GeoPoint> centers;
+  centers.push_back(points[rng.below(n)]);
+  std::vector<double> d2(n, 0.0);
+  while (static_cast<int>(centers.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centers) {
+        const double d = geo::haversine(points[i], c).km;
+        best = std::min(best, d * d);
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      centers.push_back(points[rng.below(n)]);
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t pick = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      r -= d2[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centers.push_back(points[pick]);
+  }
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_km = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d = geo::haversine(points[i], centers[c]).km;
+        if (d < best_km) {
+          best_km = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Recompute spherical centroids; refill empty clusters with the point
+    // farthest from its centroid.
+    std::vector<Vec3> sums(k);
+    std::vector<int> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      sums[result.assignment[i]] += to_unit(points[i]);
+      counts[result.assignment[i]]++;
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] > 0) {
+        centers[c] = to_geo(sums[c]);
+        continue;
+      }
+      std::size_t farthest = 0;
+      double worst = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = geo::haversine(points[i], centers[result.assignment[i]]).km;
+        if (d > worst) {
+          worst = d;
+          farthest = i;
+        }
+      }
+      centers[c] = points[farthest];
+      result.assignment[farthest] = c;
+      changed = true;
+    }
+    if (!changed) break;
+  }
+
+  result.centroids = std::move(centers);
+  result.inertia_km2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = geo::haversine(points[i], result.centroids[result.assignment[i]]).km;
+    result.inertia_km2 += d * d;
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(std::span<const geo::GeoPoint> points, int k, const KMeansConfig& config) {
+  Rng rng{config.seed};
+  KMeansResult best;
+  best.inertia_km2 = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < config.restarts; ++r) {
+    KMeansResult candidate = run_once(points, k, rng, config.max_iterations);
+    if (candidate.inertia_km2 < best.inertia_km2) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace ranycast::partition

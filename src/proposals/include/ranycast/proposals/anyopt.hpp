@@ -1,0 +1,76 @@
+// AnyOpt-style catchment prediction and site-set optimization
+// (Zhang et al., SIGCOMM'21; paper §2.2).
+//
+// AnyOpt's insight: each client network ranks anycast sites by a stable BGP
+// preference, so announcing a prefix from every *pair* of sites reveals the
+// pairwise order, from which the catchment of ANY site subset can be
+// predicted without deploying it. The paper's criticism — pairwise BGP
+// experiments are operationally expensive — is visible here too: learning
+// needs O(sites²) announcements.
+//
+// This implementation learns the pairwise winner matrix on a testbed-sized
+// deployment, predicts subset catchments with a Copeland tournament (exact
+// when the client's preference is a total order; joint-propagation effects
+// can create cycles, which is AnyOpt's real-world error source as well),
+// and greedily searches for the site subset minimizing mean predicted
+// client latency.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::proposals {
+
+class AnyOptModel {
+ public:
+  /// Run the pairwise announcement experiments for the spec's sites (the
+  /// spec's region layout is ignored; each experiment announces one prefix
+  /// from exactly two sites).
+  static AnyOptModel learn(lab::Lab& lab, const cdn::DeploymentSpec& spec);
+
+  std::size_t site_count() const noexcept { return n_sites_; }
+
+  /// Predicted catchment of `client` when exactly `subset` announces:
+  /// the Copeland winner of the pairwise duels within the subset.
+  /// Returns the subset index (not SiteId); nullopt if the client was
+  /// never observed.
+  std::optional<std::size_t> predict(Asn client, std::span<const std::size_t> subset) const;
+
+  /// Fraction of (client, pair) observations whose prediction under the
+  /// full set matches the measured full-deployment catchment.
+  double validate(lab::Lab& lab, const lab::DeploymentHandle& full) const;
+
+ private:
+  std::size_t n_sites_{0};
+  /// winner_[client_index] packs, for each ordered pair (i < j), one bit:
+  /// 1 when site i beats site j for that client.
+  std::vector<std::vector<bool>> winner_;
+  std::vector<bool> observed_;
+  std::unordered_map<Asn, std::size_t> client_map_cache_;
+  const topo::Graph* graph_{nullptr};
+
+  std::size_t pair_index(std::size_t i, std::size_t j) const {
+    // i < j; index into the packed upper triangle.
+    return i * n_sites_ - i * (i + 1) / 2 + (j - i - 1);
+  }
+};
+
+struct AnyOptSearchResult {
+  std::vector<std::size_t> chosen_sites;  ///< indices into the spec's site list
+  double predicted_mean_ms{0.0};
+  double measured_mean_ms{0.0};  ///< after deploying the chosen subset
+  const lab::DeploymentHandle* deployment{nullptr};
+};
+
+/// Greedy forward selection over site subsets: start from the best single
+/// site, add the site with the largest predicted mean-latency improvement,
+/// stop when no addition helps — but never before `min_sites` are chosen
+/// (capacity/redundancy floors dominate pure latency in practice; with a
+/// floor, the least-bad additions are taken). The final subset is actually
+/// deployed and measured.
+AnyOptSearchResult anyopt_optimize(lab::Lab& lab, const cdn::DeploymentSpec& spec,
+                                   std::size_t min_sites = 1);
+
+}  // namespace ranycast::proposals

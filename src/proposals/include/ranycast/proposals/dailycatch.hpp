@@ -1,0 +1,33 @@
+// DailyCatch (McQuistin et al., IMC'19; paper §2.2): use routine
+// measurement to choose between a transit-provider-only and an all-peer
+// announcement configuration for an anycast deployment. It picks the better
+// of the two measured configurations — but, as the paper notes, it cannot
+// optimize beyond them: catchment inefficiencies persist under either.
+#pragma once
+
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::proposals {
+
+struct DailyCatchOutcome {
+  const lab::DeploymentHandle* transit_only{nullptr};
+  const lab::DeploymentHandle* all_peer{nullptr};
+  const lab::DeploymentHandle* chosen{nullptr};
+  double transit_mean_ms{0.0};
+  double peer_mean_ms{0.0};
+
+  bool chose_transit() const noexcept { return chosen == transit_only; }
+};
+
+/// Derive a variant of `spec` keeping only the given attachment classes at
+/// every site. Sites that would lose all connectivity keep one transit
+/// attachment (an anycast site must announce through *something*).
+cdn::Deployment filtered_deployment(const cdn::DeploymentSpec& spec, bool keep_transit,
+                                    bool keep_peers, const topo::World& world,
+                                    topo::IpRegistry& registry);
+
+/// Deploy both configurations, measure the retained probes against each
+/// (median per probe group, mean over groups), and pick the better one.
+DailyCatchOutcome run_dailycatch(lab::Lab& lab, const cdn::DeploymentSpec& spec);
+
+}  // namespace ranycast::proposals

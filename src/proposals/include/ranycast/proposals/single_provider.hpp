@@ -1,0 +1,22 @@
+// Ballani et al.'s proposal (paper §2.2): deploy every anycast site inside
+// a single provider. Policy routing then cannot drag clients across the
+// provider boundary — at the cost of depending on one carrier's footprint
+// and connectivity.
+#pragma once
+
+#include "ranycast/cdn/builder.hpp"
+#include "ranycast/topo/generator.hpp"
+
+namespace ranycast::proposals {
+
+/// The tier-1 carrier covering the most of the spec's site cities (the
+/// natural host for a single-provider deployment).
+Asn best_single_provider(const cdn::DeploymentSpec& spec, const topo::World& world);
+
+/// Realize `spec` with every site attached to `provider` only (as its
+/// customer). Sites keep their cities and region announcements.
+cdn::Deployment single_provider_deployment(const cdn::DeploymentSpec& spec, Asn provider,
+                                           const topo::World& world,
+                                           topo::IpRegistry& registry);
+
+}  // namespace ranycast::proposals

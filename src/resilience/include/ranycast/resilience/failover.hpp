@@ -1,0 +1,49 @@
+// Site-failure experiments.
+//
+// Anycast's signature operational property: when a site withdraws its
+// announcements, BGP reconverges and the site's catchment spills to the
+// remaining sites — no DNS change needed. Regional anycast bounds the
+// spill to the failed site's region (good for latency, but the region must
+// have spare sites: a one-site region loses regional reachability and
+// survives only because regional prefixes stay globally announced
+// elsewhere — this is the robustness §4.5 attributes to global
+// reachability).
+#pragma once
+
+#include <vector>
+
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::resilience {
+
+/// `deployment` with every announcement of `site` withdrawn. Fresh regional
+/// prefixes are allocated so both variants can coexist in one lab.
+cdn::Deployment withdraw_site(const cdn::Deployment& deployment, SiteId site,
+                              topo::IpRegistry& registry);
+
+struct FailoverReport {
+  SiteId failed_site{kInvalidSite};
+  CityId failed_city{kInvalidCity};
+  /// Probes that were served by the failed site before the failure.
+  std::size_t affected_probes{0};
+  /// Of those, how many still reach *some* site afterwards.
+  std::size_t still_served{0};
+  /// Latency of the affected probes before/after (medians and p90).
+  double before_p50_ms{0.0}, after_p50_ms{0.0};
+  double before_p90_ms{0.0}, after_p90_ms{0.0};
+  /// Affected probes whose failover site is in the same region.
+  std::size_t failover_in_region{0};
+
+  double survival_rate() const {
+    return affected_probes == 0
+               ? 1.0
+               : static_cast<double>(still_served) / static_cast<double>(affected_probes);
+  }
+};
+
+/// Fail one site of an already-deployed configuration and measure the
+/// affected probes before and after. The "after" deployment is registered
+/// in the lab (its handle outlives the call).
+FailoverReport fail_site(lab::Lab& lab, const lab::DeploymentHandle& before, SiteId site);
+
+}  // namespace ranycast::resilience

@@ -1,0 +1,37 @@
+// Catchment stability under BGP's arbitrary tie-breaking.
+//
+// The paper checked weekly for two months that the same sites kept
+// announcing the same regional prefixes, and attributes residual RTT
+// differences between identical-path measurements to "BGP's route-selection
+// uncertainty" (§5.3). Here the uncertainty is the solver's tie-break seed:
+// re-solving under different seeds shows which catchments are pinned by
+// policy/topology and which hang on arbitrary tie-breaks.
+#pragma once
+
+#include <vector>
+
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::resilience {
+
+struct StabilityReport {
+  std::size_t trials{0};
+  std::size_t ases_observed{0};
+  /// ASes whose catchment is identical across every trial.
+  std::size_t ases_stable{0};
+  /// Mean over trial pairs of the fraction of ASes agreeing.
+  double mean_pairwise_agreement{0.0};
+
+  double stable_fraction() const {
+    return ases_observed == 0
+               ? 1.0
+               : static_cast<double>(ases_stable) / static_cast<double>(ases_observed);
+  }
+};
+
+/// Re-solve one regional prefix of a deployment under `trials` different
+/// tie-break seeds and compare the catchment maps.
+StabilityReport catchment_stability(lab::Lab& lab, const cdn::Deployment& deployment,
+                                    std::size_t region, int trials);
+
+}  // namespace ranycast::resilience

@@ -1,0 +1,71 @@
+#include "ranycast/resilience/failover.hpp"
+
+#include "ranycast/analysis/stats.hpp"
+
+namespace ranycast::resilience {
+
+cdn::Deployment withdraw_site(const cdn::Deployment& deployment, SiteId site,
+                              topo::IpRegistry& registry) {
+  cdn::Deployment out{deployment.name() + "-minus-" + std::to_string(value(site)),
+                      deployment.asn()};
+  for (const cdn::Region& r : deployment.regions()) {
+    const Prefix p = registry.allocate_special(24);
+    out.add_region(cdn::Region{r.name, p, p.at(1)});
+  }
+  for (const cdn::Site& s : deployment.sites()) {
+    cdn::Site copy = s;
+    if (s.id == site) copy.regions.clear();  // withdrawn: announces nothing
+    out.add_site(std::move(copy));
+  }
+  for (std::size_t a = 0; a < geo::kAreaCount; ++a) {
+    out.set_area_region(static_cast<geo::Area>(a),
+                        deployment.region_for_area(static_cast<geo::Area>(a)));
+  }
+  for (const auto& [iso2, region] : deployment.country_regions()) {
+    out.set_country_region(iso2, region);
+  }
+  return out;
+}
+
+FailoverReport fail_site(lab::Lab& lab, const lab::DeploymentHandle& before, SiteId site) {
+  FailoverReport report;
+  report.failed_site = site;
+  report.failed_city = before.deployment.site(site).city;
+
+  const auto& after =
+      lab.add_deployment(withdraw_site(before.deployment, site, lab.registry()));
+
+  std::vector<double> before_ms, after_ms;
+  for (const atlas::Probe* p : lab.census().retained()) {
+    const auto answer = lab.dns_lookup(*p, before, dns::QueryMode::Ldns);
+    const bgp::Route* r_before = before.route_for(p->asn, answer.region);
+    if (r_before == nullptr || r_before->origin_site != site) continue;
+    ++report.affected_probes;
+    const auto rtt_before = lab.ping(*p, answer.address);
+    if (rtt_before) before_ms.push_back(rtt_before->ms);
+
+    // Same DNS answer (DNS does not react to BGP withdrawals), new routing.
+    const bgp::Route* r_after = after.route_for(p->asn, answer.region);
+    if (r_after == nullptr) continue;
+    ++report.still_served;
+    const auto rtt_after =
+        lab.ping(*p, after.deployment.regions()[answer.region].service_ip);
+    if (rtt_after) after_ms.push_back(rtt_after->ms);
+    const auto& failover_site = after.deployment.site(r_after->origin_site);
+    if (failover_site.announces(answer.region)) {
+      // Failover stayed within the announced region by construction; count
+      // whether it also stayed within the same geographic area.
+      const auto& gaz = geo::Gazetteer::world();
+      if (gaz.area_of_city(failover_site.city) == gaz.area_of_city(report.failed_city)) {
+        ++report.failover_in_region;
+      }
+    }
+  }
+  report.before_p50_ms = analysis::percentile(before_ms, 50);
+  report.before_p90_ms = analysis::percentile(before_ms, 90);
+  report.after_p50_ms = analysis::percentile(after_ms, 50);
+  report.after_p90_ms = analysis::percentile(after_ms, 90);
+  return report;
+}
+
+}  // namespace ranycast::resilience

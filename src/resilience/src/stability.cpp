@@ -1,0 +1,49 @@
+#include "ranycast/resilience/stability.hpp"
+
+namespace ranycast::resilience {
+
+StabilityReport catchment_stability(lab::Lab& lab, const cdn::Deployment& deployment,
+                                    std::size_t region, int trials) {
+  StabilityReport report;
+  report.trials = static_cast<std::size_t>(trials);
+  const auto origins = deployment.origins_for_region(region);
+
+  // catchments[t][as_index]
+  const std::size_t n = lab.world().graph.nodes().size();
+  std::vector<std::vector<std::optional<SiteId>>> catchments(
+      static_cast<std::size_t>(trials), std::vector<std::optional<SiteId>>(n));
+  for (int t = 0; t < trials; ++t) {
+    const auto outcome =
+        lab.solve_origins(deployment.asn(), origins, 0xB16B00B5 + static_cast<std::uint64_t>(t));
+    for (std::size_t i = 0; i < n; ++i) {
+      catchments[static_cast<std::size_t>(t)][i] =
+          outcome.catchment(lab.world().graph.nodes()[i].asn);
+    }
+  }
+
+  std::size_t pair_agreements = 0, pair_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!catchments[0][i]) continue;
+    ++report.ases_observed;
+    bool stable = true;
+    for (int t = 1; t < trials; ++t) {
+      if (catchments[static_cast<std::size_t>(t)][i] != catchments[0][i]) stable = false;
+    }
+    if (stable) ++report.ases_stable;
+    for (int a = 0; a < trials; ++a) {
+      for (int b = a + 1; b < trials; ++b) {
+        ++pair_total;
+        if (catchments[static_cast<std::size_t>(a)][i] ==
+            catchments[static_cast<std::size_t>(b)][i]) {
+          ++pair_agreements;
+        }
+      }
+    }
+  }
+  report.mean_pairwise_agreement =
+      pair_total == 0 ? 1.0
+                      : static_cast<double>(pair_agreements) / static_cast<double>(pair_total);
+  return report;
+}
+
+}  // namespace ranycast::resilience

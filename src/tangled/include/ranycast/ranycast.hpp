@@ -1,0 +1,18 @@
+// Umbrella header: the library's primary public surface in one include.
+//
+//   #include "ranycast/ranycast.hpp"
+//
+// Pulls in the laboratory façade and the modules a typical experiment
+// touches. Specialized surfaces (geoloc pipeline, partitioning, proposals,
+// resilience, verfploeter, io) keep their own headers — include them
+// explicitly when needed.
+#pragma once
+
+#include "ranycast/analysis/classify.hpp"
+#include "ranycast/analysis/stats.hpp"
+#include "ranycast/analysis/table.hpp"
+#include "ranycast/atlas/grouping.hpp"
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/lab/comparison.hpp"
+#include "ranycast/lab/lab.hpp"
+#include "ranycast/tangled/study.hpp"

@@ -1,0 +1,38 @@
+// The §6 study driver: measure a unicast latency matrix on the Tangled
+// testbed, run ReOpt, deploy global + regional anycast, and measure every
+// retained probe under three client mappings (direct lowest-latency
+// assignment, Route 53 country-level mapping, and global anycast).
+// Feeds Figs. 6a/6b/6c.
+#pragma once
+
+#include <vector>
+
+#include "ranycast/lab/lab.hpp"
+#include "ranycast/partition/reopt.hpp"
+
+namespace ranycast::tangled {
+
+struct ProbeStudyResult {
+  const atlas::Probe* probe{nullptr};
+  double global_ms{0.0};   ///< RTT under the global anycast configuration
+  double direct_ms{0.0};   ///< regional, direct lowest-latency assignment
+  double route53_ms{0.0};  ///< regional, Route 53 country-level mapping
+};
+
+struct TangledStudy {
+  partition::ReOptInput input;  ///< sites + unicast matrix + probe cities
+  partition::ReOptResult reopt;
+  std::vector<ProbeStudyResult> results;
+  const lab::DeploymentHandle* global{nullptr};
+  const lab::DeploymentHandle* regional{nullptr};
+};
+
+struct StudyConfig {
+  partition::ReOptConfig reopt;
+  /// Probes with no route to some site get this sentinel in the matrix.
+  double unreachable_ms{1e9};
+};
+
+TangledStudy run_study(lab::Lab& lab, const StudyConfig& config = {});
+
+}  // namespace ranycast::tangled

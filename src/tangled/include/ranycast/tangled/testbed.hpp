@@ -1,0 +1,30 @@
+// The Tangled open-access anycast testbed model (paper §3.2): 12 sites
+// (APAC 2, EMEA 5, NA 3, LatAm 2) that can be configured to announce one
+// global prefix, per-region prefixes, or per-site "unicast" prefixes for
+// latency-matrix measurements.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ranycast/cdn/builder.hpp"
+
+namespace ranycast::tangled {
+
+/// The 12 site cities (resolved from the catalog's IATA list).
+std::vector<CityId> site_cities();
+
+/// All 12 sites announce a single global prefix.
+cdn::DeploymentSpec global_spec();
+
+/// Regional configuration: `site_region[i]` gives the region index of the
+/// i-th site (order matches site_cities()); `k` is the region count.
+/// Area defaults in the returned spec are a coarse geographic fallback and
+/// are normally overridden by an explicit client mapping (ReOpt / Route 53).
+cdn::DeploymentSpec regional_spec(std::span<const int> site_region, int k);
+
+/// A single-site configuration used to emulate unicast latency measurement
+/// toward that site (announcing a dedicated prefix from one site only).
+cdn::DeploymentSpec unicast_site_spec(std::size_t site_index);
+
+}  // namespace ranycast::tangled

@@ -1,0 +1,99 @@
+#include "ranycast/tangled/study.hpp"
+
+#include "ranycast/dns/route53.hpp"
+#include "ranycast/tangled/testbed.hpp"
+
+namespace ranycast::tangled {
+
+TangledStudy run_study(lab::Lab& lab, const StudyConfig& config) {
+  TangledStudy study;
+  const auto retained = lab.census().retained();
+
+  // ---- unicast latency matrix (one single-site prefix per site) ----
+  study.input.site_cities = site_cities();
+  const std::size_t n_sites = study.input.site_cities.size();
+  std::vector<const lab::DeploymentHandle*> unicast;
+  unicast.reserve(n_sites);
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    unicast.push_back(&lab.add_deployment(unicast_site_spec(s)));
+  }
+  study.input.unicast_ms.reserve(retained.size());
+  study.input.probe_cities.reserve(retained.size());
+  for (const atlas::Probe* p : retained) {
+    std::vector<double> row(n_sites, config.unreachable_ms);
+    for (std::size_t s = 0; s < n_sites; ++s) {
+      const auto rtt = lab.ping(*p, unicast[s]->deployment.regions()[0].service_ip);
+      if (rtt) row[s] = rtt->ms;
+    }
+    study.input.unicast_ms.push_back(std::move(row));
+    study.input.probe_cities.push_back(p->reported_city);
+  }
+
+  // ---- ReOpt partition ----
+  // The k-sweep deploys each candidate partition on the testbed and measures
+  // the mean anycast RTT under the country-level mapping (the paper's
+  // "average client latency under each regional partition"). A unicast proxy
+  // would miss intra-region catchment inefficiencies, which is precisely
+  // what distinguishes a coarse partition from a fine one.
+  const partition::PartitionEvaluator evaluate =
+      [&](const partition::ReOptResult& candidate) {
+        const auto& handle =
+            lab.add_deployment(regional_spec(candidate.site_region, candidate.k));
+        double total = 0.0;
+        std::size_t counted = 0;
+        for (std::size_t i = 0; i < retained.size(); ++i) {
+          const int region = candidate.mapped_region(i, study.input);
+          const auto rtt = lab.ping(
+              *retained[i],
+              handle.deployment.regions()[static_cast<std::size_t>(region)].service_ip);
+          if (!rtt) continue;
+          total += rtt->ms;
+          ++counted;
+        }
+        return counted > 0 ? total / static_cast<double>(counted) : 1e12;
+      };
+  study.reopt = partition::reopt_partition(study.input, config.reopt, evaluate);
+
+  // ---- deploy global and regional anycast ----
+  study.global = &lab.add_deployment(global_spec());
+  study.regional = &lab.add_deployment(regional_spec(study.reopt.site_region, study.reopt.k));
+  const auto& regional_dep = study.regional->deployment;
+
+  // ---- Route 53 country-level mapping from the ReOpt table ----
+  dns::Route53Emulator route53{&lab.mapping_db()};
+  for (const auto& [iso2, region] : study.reopt.country_region) {
+    route53.set_country_record(iso2, static_cast<std::size_t>(region));
+  }
+  route53.set_default_record(0);
+
+  // ---- measure every retained probe under the three configurations ----
+  study.results.reserve(retained.size());
+  for (std::size_t i = 0; i < retained.size(); ++i) {
+    const atlas::Probe* p = retained[i];
+    ProbeStudyResult r;
+    r.probe = p;
+
+    const auto global_rtt = lab.ping(*p, study.global->deployment.regions()[0].service_ip);
+    if (!global_rtt) continue;  // unreachable probes are skipped everywhere
+    r.global_ms = global_rtt->ms;
+
+    const int direct_region = study.reopt.probe_region[i];
+    const auto direct_rtt = lab.ping(
+        *p, regional_dep.regions()[static_cast<std::size_t>(direct_region)].service_ip);
+    if (!direct_rtt) continue;
+    r.direct_ms = direct_rtt->ms;
+
+    // Route 53 sees what DNS sees: the resolver egress for non-ECS
+    // resolvers, the client /24 with ECS.
+    const auto visible = dns::effective_address(p->query_context(), dns::QueryMode::Ldns);
+    const auto r53_region = route53.resolve(visible).value_or(0);
+    const auto r53_rtt = lab.ping(*p, regional_dep.regions()[r53_region].service_ip);
+    if (!r53_rtt) continue;
+    r.route53_ms = r53_rtt->ms;
+
+    study.results.push_back(r);
+  }
+  return study;
+}
+
+}  // namespace ranycast::tangled

@@ -1,0 +1,60 @@
+#include "ranycast/tangled/testbed.hpp"
+
+#include "ranycast/cdn/catalog.hpp"
+
+namespace ranycast::tangled {
+
+std::vector<CityId> site_cities() {
+  const auto& gaz = geo::Gazetteer::world();
+  std::vector<CityId> out;
+  for (const auto& iata : cdn::catalog::tangled_sites()) {
+    if (const auto c = gaz.find_by_iata(iata)) out.push_back(*c);
+  }
+  return out;
+}
+
+namespace {
+
+cdn::DeploymentSpec base_spec(std::string name) {
+  cdn::DeploymentSpec spec;
+  spec.name = std::move(name);
+  spec.asn = make_asn(cdn::catalog::kTangledAsn);
+  spec.attachment_seed = cdn::catalog::kTangledSeed;
+  // Research testbed: smaller upstream fan-out than a commercial CDN.
+  spec.min_providers = 1;
+  spec.max_providers = 2;
+  spec.max_ixp_peers = 3;
+  return spec;
+}
+
+}  // namespace
+
+cdn::DeploymentSpec global_spec() {
+  cdn::DeploymentSpec spec = base_spec("Tangled-global");
+  spec.region_names = {"global"};
+  for (const auto& iata : cdn::catalog::tangled_sites()) {
+    spec.sites.push_back(cdn::SiteSpec{iata, {0}});
+  }
+  return spec;
+}
+
+cdn::DeploymentSpec regional_spec(std::span<const int> site_region, int k) {
+  cdn::DeploymentSpec spec = base_spec("Tangled-regional");
+  for (int r = 0; r < k; ++r) spec.region_names.push_back("R" + std::to_string(r));
+  const auto& iatas = cdn::catalog::tangled_sites();
+  for (std::size_t i = 0; i < iatas.size() && i < site_region.size(); ++i) {
+    spec.sites.push_back(
+        cdn::SiteSpec{iatas[i], {static_cast<std::size_t>(site_region[i])}});
+  }
+  return spec;
+}
+
+cdn::DeploymentSpec unicast_site_spec(std::size_t site_index) {
+  const auto& iatas = cdn::catalog::tangled_sites();
+  cdn::DeploymentSpec spec = base_spec("Tangled-unicast-" + iatas[site_index]);
+  spec.region_names = {"unicast"};
+  spec.sites.push_back(cdn::SiteSpec{iatas[site_index], {0}});
+  return spec;
+}
+
+}  // namespace ranycast::tangled

@@ -1,0 +1,57 @@
+// Deterministic synthetic IPv4 address plan.
+//
+// Every AS gets a /18 block; router interfaces and probe hosts are carved out
+// of the owner's block at fixed offsets, so the registry can answer the
+// reverse question ("who owns this address, and where is that interface?")
+// exactly — the ground truth against which the error-injected geolocation
+// databases (dns::GeoDatabase) are measured.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "ranycast/core/ipv4.hpp"
+#include "ranycast/core/types.hpp"
+
+namespace ranycast::topo {
+
+struct IpOwner {
+  Asn asn{kInvalidAsn};
+  CityId city{kInvalidCity};  ///< city of the interface, if a router IP
+  bool is_router{false};
+};
+
+class IpRegistry {
+ public:
+  /// Allocate (or return the existing) /18 block for an AS.
+  Prefix as_block(Asn a);
+
+  /// Deterministic router interface address for an AS at a city.
+  Ipv4Addr router_ip(Asn a, CityId city);
+
+  /// Deterministic host address for the i-th probe homed in an AS. The host's
+  /// true city is recorded so that geolocation oracles can corrupt it.
+  Ipv4Addr probe_ip(Asn a, std::uint32_t host_index, CityId city = kInvalidCity);
+
+  /// Exact reverse lookup. Returns nullopt for unallocated space.
+  std::optional<IpOwner> owner(Ipv4Addr ip) const;
+
+  /// Allocate an address block outside any AS block (e.g. anycast prefixes).
+  Prefix allocate_special(int prefix_len);
+
+ private:
+  static constexpr std::uint32_t kAsSpaceBase = 0x10000000;  // 16.0.0.0
+  static constexpr int kAsBlockLen = 18;
+  static constexpr std::uint32_t kAsBlockSize = 1u << (32 - kAsBlockLen);
+  // Router interfaces live in the first 4096 addresses of a block, keyed by
+  // city id; probe hosts start right after.
+  static constexpr std::uint32_t kRouterRegionSize = 4096;
+  static constexpr std::uint32_t kSpecialBase = 0xC0000000;  // 192.0.0.0
+
+  std::unordered_map<Asn, std::uint32_t> block_index_;  // ASN -> block ordinal
+  std::vector<Asn> block_owner_;                        // ordinal -> ASN
+  std::unordered_map<Ipv4Addr, IpOwner> interface_owners_;
+  std::uint32_t next_special_{kSpecialBase};
+};
+
+}  // namespace ranycast::topo

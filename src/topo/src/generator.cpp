@@ -1,0 +1,313 @@
+#include "ranycast/topo/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace ranycast::topo {
+
+namespace {
+
+using geo::Area;
+using geo::Gazetteer;
+
+CityId city_id(std::size_t i) { return CityId{static_cast<std::uint16_t>(i)}; }
+
+/// Sample `count` distinct elements from `pool` (order preserved by shuffle).
+template <typename T>
+std::vector<T> sample(std::vector<T> pool, std::size_t count, Rng& rng) {
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const std::size_t j = i + rng.below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  if (pool.size() > count) pool.resize(count);
+  return pool;
+}
+
+/// Interconnection cities for a link between two ASes: every shared
+/// footprint city (capped), so wide-footprint pairs interconnect in many
+/// places and the routing engine can pick the nearest exit. With no shared
+/// city, a single interconnection at the a-side city nearest to b's home.
+/// The paper's latency pathologies then come from *remote catchment sites*
+/// chosen by policy routing, not from gratuitously indirect links.
+std::vector<CityId> interconnect_cities(const AsNode& a, const AsNode& b, Rng& rng,
+                                        bool include_a_home = false) {
+  constexpr std::size_t kMaxInterconnects = 16;
+  const auto& gaz = Gazetteer::world();
+
+  // Peerings (include_a_home == false) happen where both parties are
+  // physically present. Transit relationships additionally interconnect
+  // near every market the customer operates in: for each customer-footprint
+  // city the provider offers its nearest hub (private interconnects, leased
+  // capacity, backhaul). Without this, a customer whose only footprint
+  // overlap with its upstream is a remote PoP would haul its whole cone
+  // through that city.
+  std::vector<CityId> cities;
+  auto add_unique = [&cities](CityId c) {
+    if (std::find(cities.begin(), cities.end(), c) == cities.end()) cities.push_back(c);
+  };
+  for (CityId c : a.footprint) {
+    if (b.present_in(c)) {
+      add_unique(c);
+      continue;
+    }
+    if (!include_a_home) continue;
+    CityId best = b.footprint.front();
+    double best_km = std::numeric_limits<double>::infinity();
+    for (CityId bc : b.footprint) {
+      const double d = gaz.distance(c, bc).km;
+      if (d < best_km) {
+        best_km = d;
+        best = bc;
+      }
+    }
+    add_unique(best);
+  }
+  if (cities.size() > kMaxInterconnects) {
+    cities = sample(std::move(cities), kMaxInterconnects, rng);
+  }
+  if (!cities.empty()) return cities;
+  // No overlap at all (pure peering of disjoint networks): meet at the
+  // a-side city nearest to b's home.
+  CityId best = a.footprint.front();
+  double best_km = std::numeric_limits<double>::infinity();
+  for (CityId c : a.footprint) {
+    const double d = gaz.distance(c, b.home_city).km;
+    if (d < best_km) {
+      best_km = d;
+      best = c;
+    }
+  }
+  return {best};
+}
+
+// Cities that host IXPs, in priority order (major interconnection hubs).
+constexpr std::array<const char*, 24> kIxpCities = {
+    "AMS", "FRA", "LHR", "CDG", "WAW", "SVO", "IST", "JNB",  // EMEA
+    "IAD", "JFK", "SJC", "ORD", "SEA", "MIA", "YYZ",         // NA
+    "GRU", "EZE", "SCL", "MEX",                              // LatAm
+    "SIN", "HKG", "NRT", "SYD", "BOM",                       // APAC
+};
+
+}  // namespace
+
+const std::vector<Asn>& World::transits_at(CityId c) const {
+  static const std::vector<Asn> empty;
+  const auto it = transits_by_city.find(c);
+  return it == transits_by_city.end() ? empty : it->second;
+}
+
+const std::vector<Asn>& World::stubs_at(CityId c) const {
+  static const std::vector<Asn> empty;
+  const auto it = stubs_by_city.find(c);
+  return it == stubs_by_city.end() ? empty : it->second;
+}
+
+World generate_world(const GeneratorParams& params) {
+  const auto& gaz = Gazetteer::world();
+  World world;
+  world.params = params;
+  Graph& g = world.graph;
+  Rng rng{params.seed};
+
+  const std::size_t n_cities = gaz.cities().size();
+  std::vector<CityId> all_cities;
+  all_cities.reserve(n_cities);
+  for (std::size_t i = 0; i < n_cities; ++i) all_cities.push_back(city_id(i));
+
+  // ---- Tier-1 clique ---------------------------------------------------
+  std::vector<Asn> tier1s;
+  {
+    const auto coverage =
+        static_cast<std::size_t>(static_cast<double>(n_cities) * params.tier1_city_coverage);
+    for (int i = 0; i < params.tier1_count; ++i) {
+      auto footprint = sample(all_cities, std::max<std::size_t>(coverage, 8), rng);
+      const CityId home = footprint[rng.below(footprint.size())];
+      tier1s.push_back(g.add_as(AsKind::Tier1, home, std::move(footprint), true));
+    }
+    for (std::size_t i = 0; i < tier1s.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+        const AsNode& a = *g.find(tier1s[i]);
+        const AsNode& b = *g.find(tier1s[j]);
+        g.add_peering(tier1s[i], tier1s[j], false, interconnect_cities(a, b, rng));
+      }
+    }
+  }
+
+  // ---- International transits -------------------------------------------
+  std::vector<Asn> intl_transits;
+  {
+    // Spread home areas roughly evenly, then bias footprints to the home area.
+    for (int i = 0; i < params.international_transits; ++i) {
+      const Area home_area = static_cast<Area>(i % geo::kAreaCount);
+      auto area_cities = gaz.cities_in_area(home_area);
+      const std::size_t in_area = 6 + rng.below(9);
+      auto footprint = sample(area_cities, in_area, rng);
+      // A couple of out-of-area PoPs: international carriers land elsewhere.
+      auto extra = sample(all_cities, 1 + rng.below(3), rng);
+      footprint.insert(footprint.end(), extra.begin(), extra.end());
+      const CityId home = footprint.front();
+      intl_transits.push_back(g.add_as(AsKind::Transit, home, std::move(footprint), true));
+    }
+    // Providers: 1-2 tier-1s each; some also buy from an earlier intl transit,
+    // which creates the customer cones behind the paper's Fig. 1 pathology.
+    for (std::size_t i = 0; i < intl_transits.size(); ++i) {
+      const Asn t = intl_transits[i];
+      const AsNode& tn = *g.find(t);
+      const std::size_t n_up = 1 + rng.below(2);
+      auto ups = sample(tier1s, n_up, rng);
+      for (Asn up : ups) {
+        g.add_transit(t, up, interconnect_cities(tn, *g.find(up), rng, true));
+      }
+      if (i > 0 && rng.chance(params.intl_transit_customer_prob)) {
+        const Asn up = intl_transits[rng.below(i)];
+        g.add_transit(t, up, interconnect_cities(tn, *g.find(up), rng, true));
+      }
+    }
+  }
+
+  // ---- National transits -------------------------------------------------
+  std::vector<Asn> national_transits;
+  {
+    for (std::size_t ci = 0; ci < gaz.countries().size(); ++ci) {
+      const auto iso2 = gaz.countries()[ci].iso2;
+      auto country_cities = gaz.cities_in_country(iso2);
+      if (country_cities.empty()) continue;
+      const int n_transits = std::min<int>(
+          params.max_national_transits_per_country,
+          1 + static_cast<int>(country_cities.size() / 4));
+      for (int t = 0; t < n_transits; ++t) {
+        auto footprint = country_cities;  // national carriers cover the country
+        const CityId home = footprint[rng.below(footprint.size())];
+        const Asn asn = g.add_as(AsKind::Transit, home, std::move(footprint), false);
+        national_transits.push_back(asn);
+        // Upstreams: a tier-1, or an international transit with presence in
+        // the country (buying from a carrier with no local footprint would
+        // route the whole country through another continent).
+        const AsNode& node = *g.find(asn);
+        std::vector<Asn> local_intl;
+        for (Asn it_asn : intl_transits) {
+          const AsNode& cand = *g.find(it_asn);
+          const bool shares = std::any_of(node.footprint.begin(), node.footprint.end(),
+                                          [&](CityId c) { return cand.present_in(c); });
+          if (shares) local_intl.push_back(it_asn);
+        }
+        const std::size_t n_up = 1 + rng.below(2);
+        for (std::size_t u = 0; u < n_up; ++u) {
+          const bool use_tier1 = local_intl.empty() || rng.chance(0.5);
+          const auto& pool = use_tier1 ? tier1s : local_intl;
+          const Asn up = pool[rng.below(pool.size())];
+          g.add_transit(asn, up, interconnect_cities(node, *g.find(up), rng, true));
+        }
+      }
+    }
+  }
+
+  // ---- Transit presence index ---------------------------------------------
+  for (const AsNode& node : g.nodes()) {
+    if (node.kind == AsKind::Stub) continue;
+    for (CityId c : node.footprint) world.transits_by_city[c].push_back(node.asn);
+  }
+
+  // ---- IXPs ----------------------------------------------------------------
+  {
+    int created = 0;
+    for (const char* iata : kIxpCities) {
+      if (created >= params.ixp_count) break;
+      const auto city = gaz.find_by_iata(iata);
+      if (!city) continue;
+      Ixp ixp;
+      ixp.name = std::string("IX-") + iata;
+      ixp.city = *city;
+      for (Asn member : world.transits_at(*city)) {
+        const AsNode& node = *g.find(member);
+        const double join_prob = node.kind == AsKind::Tier1 ? 0.45 : 0.90;
+        if (rng.chance(join_prob)) ixp.members.push_back(member);
+      }
+      if (ixp.members.size() < 3) continue;
+      // Mesh the members: bilateral (public) or route-server sessions.
+      for (std::size_t i = 0; i < ixp.members.size(); ++i) {
+        for (std::size_t j = i + 1; j < ixp.members.size(); ++j) {
+          if (!rng.chance(params.ixp_mesh_prob)) continue;
+          const bool bilateral = rng.chance(params.ixp_bilateral_prob);
+          g.add_peering(ixp.members[i], ixp.members[j], !bilateral, {*city});
+        }
+      }
+      world.ixp_by_city[*city] = g.add_ixp(std::move(ixp));
+      ++created;
+    }
+  }
+
+  // ---- Stub / eyeball ASes --------------------------------------------------
+  {
+    // Population weights per area reflect where RIPE Atlas probes are; stub
+    // density follows the same skew so <city,AS> group counts line up.
+    auto area_weight = [](Area a) {
+      switch (a) {
+        case Area::EMEA:
+          return 0.52;
+        case Area::NA:
+          return 0.22;
+        case Area::LatAm:
+          return 0.08;
+        case Area::APAC:
+          return 0.18;
+      }
+      return 0.0;
+    };
+    std::vector<double> weights;
+    weights.reserve(n_cities);
+    for (std::size_t i = 0; i < n_cities; ++i) {
+      weights.push_back(area_weight(gaz.area_of_city(city_id(i))));
+    }
+
+    for (int s = 0; s < params.stub_count; ++s) {
+      const CityId home = city_id(rng.weighted_index(weights));
+      const bool multinational = rng.chance(params.stub_foreign_registration_prob);
+      const Asn asn = g.add_as(AsKind::Stub, home, {home}, multinational);
+      AsNode& node = *g.find(asn);
+      if (multinational) {
+        // Registered at a random foreign headquarters; hosts remain local.
+        node.registered_city = city_id(rng.below(n_cities));
+      }
+      world.stubs_by_city[home].push_back(asn);
+
+      // Pick providers among transits covering the home city (this includes
+      // international carriers with a local PoP — buying from a carrier with
+      // no local presence would backhaul the stub through another region).
+      const auto& local = world.transits_at(home);
+      const geo::Area home_area = gaz.area_of_city(home);
+      auto pick_provider = [&]() -> Asn {
+        if (!local.empty()) return local[rng.below(local.size())];
+        // City with no coverage at all: nearest-anchored international.
+        for (Asn cand : intl_transits) {
+          if (gaz.area_of_city(g.find(cand)->home_city) == home_area) return cand;
+        }
+        return intl_transits[rng.below(intl_transits.size())];
+      };
+      // Providers backhaul their paying customers: the interconnection is at
+      // the stub's own city.
+      const Asn p1 = pick_provider();
+      g.add_transit(asn, p1, {home});
+      if (rng.chance(params.stub_second_provider_prob)) {
+        const Asn p2 = pick_provider();
+        if (p2 != p1) g.add_transit(asn, p2, {home});
+      }
+      // A few stubs join their local IXP (route server only: enterprises
+      // rarely run bilateral sessions).
+      if (const auto it = world.ixp_by_city.find(home);
+          it != world.ixp_by_city.end() && rng.chance(params.stub_ixp_join_prob)) {
+        const auto& ixp = g.ixps()[it->second];
+        // Peer with a handful of members via the route server.
+        const auto partners = sample(ixp.members, std::min<std::size_t>(4, ixp.members.size()),
+                                     rng);
+        for (Asn partner : partners) g.add_peering(asn, partner, true, {home});
+      }
+    }
+  }
+
+  return world;
+}
+
+}  // namespace ranycast::topo

@@ -1,0 +1,103 @@
+#include "ranycast/topo/graph.hpp"
+
+#include <algorithm>
+
+namespace ranycast::topo {
+
+std::string_view to_string(Rel r) noexcept {
+  switch (r) {
+    case Rel::Customer:
+      return "customer";
+    case Rel::Provider:
+      return "provider";
+    case Rel::PeerPublic:
+      return "public-peer";
+    case Rel::PeerRouteServer:
+      return "route-server-peer";
+  }
+  return "?";
+}
+
+std::string_view to_string(AsKind k) noexcept {
+  switch (k) {
+    case AsKind::Tier1:
+      return "tier1";
+    case AsKind::Transit:
+      return "transit";
+    case AsKind::Stub:
+      return "stub";
+  }
+  return "?";
+}
+
+bool AsNode::present_in(CityId c) const noexcept {
+  return std::find(footprint.begin(), footprint.end(), c) != footprint.end();
+}
+
+Asn Graph::add_as(AsKind kind, CityId home, std::vector<CityId> footprint, bool international) {
+  const Asn asn = make_asn(next_asn_++);
+  AsNode node;
+  node.asn = asn;
+  node.kind = kind;
+  node.home_city = home;
+  node.registered_city = home;
+  node.international = international;
+  node.footprint = std::move(footprint);
+  if (node.footprint.empty()) node.footprint.push_back(home);
+  index_.emplace(asn, nodes_.size());
+  nodes_.push_back(std::move(node));
+  return asn;
+}
+
+bool Graph::add_transit(Asn customer, Asn provider, std::vector<CityId> cities) {
+  AsNode* c = find(customer);
+  AsNode* p = find(provider);
+  if (c == nullptr || p == nullptr || customer == provider || cities.empty()) return false;
+  if (has_edge(customer, provider)) return false;
+  c->edges.push_back(Edge{provider, Rel::Provider, cities});
+  p->edges.push_back(Edge{customer, Rel::Customer, std::move(cities)});
+  ++edge_count_;
+  return true;
+}
+
+bool Graph::add_peering(Asn a, Asn b, bool via_route_server, std::vector<CityId> cities) {
+  AsNode* na = find(a);
+  AsNode* nb = find(b);
+  if (na == nullptr || nb == nullptr || a == b || cities.empty()) return false;
+  if (has_edge(a, b)) return false;
+  const Rel rel = via_route_server ? Rel::PeerRouteServer : Rel::PeerPublic;
+  na->edges.push_back(Edge{b, rel, cities});
+  nb->edges.push_back(Edge{a, rel, std::move(cities)});
+  ++edge_count_;
+  return true;
+}
+
+std::size_t Graph::add_ixp(Ixp ixp) {
+  ixps_.push_back(std::move(ixp));
+  return ixps_.size() - 1;
+}
+
+const AsNode* Graph::find(Asn a) const noexcept {
+  const auto it = index_.find(a);
+  return it == index_.end() ? nullptr : &nodes_[it->second];
+}
+
+AsNode* Graph::find(Asn a) noexcept {
+  const auto it = index_.find(a);
+  return it == index_.end() ? nullptr : &nodes_[it->second];
+}
+
+std::optional<std::size_t> Graph::index_of(Asn a) const noexcept {
+  const auto it = index_.find(a);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Graph::has_edge(Asn a, Asn b) const noexcept {
+  const AsNode* na = find(a);
+  if (na == nullptr) return false;
+  return std::any_of(na->edges.begin(), na->edges.end(),
+                     [b](const Edge& e) { return e.neighbor == b; });
+}
+
+}  // namespace ranycast::topo

@@ -1,0 +1,44 @@
+#include "ranycast/topo/ip_registry.hpp"
+
+namespace ranycast::topo {
+
+Prefix IpRegistry::as_block(Asn a) {
+  auto [it, inserted] = block_index_.try_emplace(a, static_cast<std::uint32_t>(block_owner_.size()));
+  if (inserted) block_owner_.push_back(a);
+  return Prefix{Ipv4Addr{kAsSpaceBase + it->second * kAsBlockSize}, kAsBlockLen};
+}
+
+Ipv4Addr IpRegistry::router_ip(Asn a, CityId city) {
+  const Prefix block = as_block(a);
+  const Ipv4Addr ip = block.at(1 + value(city) % (kRouterRegionSize - 1));
+  interface_owners_[ip] = IpOwner{a, city, true};
+  return ip;
+}
+
+Ipv4Addr IpRegistry::probe_ip(Asn a, std::uint32_t host_index, CityId city) {
+  const Prefix block = as_block(a);
+  const Ipv4Addr ip = block.at(kRouterRegionSize + host_index % (kAsBlockSize - kRouterRegionSize));
+  if (city != kInvalidCity) interface_owners_[ip] = IpOwner{a, city, false};
+  return ip;
+}
+
+std::optional<IpOwner> IpRegistry::owner(Ipv4Addr ip) const {
+  if (const auto it = interface_owners_.find(ip); it != interface_owners_.end()) {
+    return it->second;
+  }
+  if (ip.bits() < kAsSpaceBase) return std::nullopt;
+  const std::uint32_t ordinal = (ip.bits() - kAsSpaceBase) / kAsBlockSize;
+  if (ordinal >= block_owner_.size()) return std::nullopt;
+  return IpOwner{block_owner_[ordinal], kInvalidCity, false};
+}
+
+Prefix IpRegistry::allocate_special(int prefix_len) {
+  const std::uint32_t size = 1u << (32 - prefix_len);
+  // Align the allocation to its own size so the prefix is canonical.
+  next_special_ = (next_special_ + size - 1) & ~(size - 1);
+  const Prefix p{Ipv4Addr{next_special_}, prefix_len};
+  next_special_ += size;
+  return p;
+}
+
+}  // namespace ranycast::topo

@@ -1,0 +1,47 @@
+// Verfploeter-style anycast catchment census.
+//
+// Verfploeter (de Vries et al.) maps an anycast service's catchments by
+// probing the whole IPv4 hitlist *from* the anycast sites and recording
+// which site each reply returns to — a complete census, unlike vantage-
+// point platforms (RIPE Atlas) that sample only networks hosting probes.
+// In the laboratory the complete census is directly computable from the
+// routing outcome; this module provides it plus the probe-sampled estimate,
+// so the sampling bias the paper works around with <city,AS> grouping can
+// be quantified.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::verfploeter {
+
+/// A catchment distribution: how many client (stub) ASes each site serves.
+struct CatchmentCensus {
+  std::map<SiteId, std::size_t> by_site;
+  std::size_t total{0};
+
+  double fraction(SiteId site) const {
+    const auto it = by_site.find(site);
+    if (it == by_site.end() || total == 0) return 0.0;
+    return static_cast<double>(it->second) / static_cast<double>(total);
+  }
+};
+
+/// The complete census over every stub AS in the world (what Verfploeter
+/// measures with a full-IPv4 hitlist).
+CatchmentCensus full_census(const lab::Lab& lab, const lab::DeploymentHandle& handle,
+                            std::size_t region);
+
+/// The estimate a probe platform gives: catchments of a deterministic
+/// sample of `probe_count` retained probes (ASes deduplicated).
+CatchmentCensus probe_estimate(const lab::Lab& lab, const lab::DeploymentHandle& handle,
+                               std::size_t region, std::size_t probe_count,
+                               std::uint64_t seed);
+
+/// Total variation distance between two catchment distributions in [0, 1]:
+/// the sampling error of an estimate against the full census.
+double total_variation(const CatchmentCensus& a, const CatchmentCensus& b);
+
+}  // namespace ranycast::verfploeter

@@ -1,0 +1,70 @@
+#include "ranycast/analysis/ascii_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::analysis {
+namespace {
+
+TEST(AsciiMap, EmptyRendersFrame) {
+  AsciiMap map(10, 4);
+  const std::string out = map.render();
+  // 4 content rows + 2 border rows, each 12 chars + newline.
+  EXPECT_EQ(out, "+----------+\n|          |\n|          |\n|          |\n|          |\n"
+                 "+----------+\n");
+}
+
+TEST(AsciiMap, PlotsAtProjectedPosition) {
+  AsciiMap map(36, 18);
+  map.plot(geo::GeoPoint{0.0, 0.0}, 'x');  // equator, prime meridian: center
+  const std::string out = map.render();
+  const auto lines_start = out.find('\n') + 1;
+  // Row 9 (0-based) of content, column 18.
+  const std::size_t line_len = 36 + 3;  // borders + newline
+  const char c = out[lines_start + 9 * line_len + 1 + 18];
+  EXPECT_EQ(c, 'x');
+}
+
+TEST(AsciiMap, ExtremeCoordinatesClamp) {
+  AsciiMap map(10, 5);
+  map.plot(geo::GeoPoint{90.0, -180.0}, 'a');   // top-left
+  map.plot(geo::GeoPoint{-90.0, 180.0}, 'b');   // bottom-right (clamped)
+  const std::string out = map.render();
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(AsciiMap, PriorityPinsSymbol) {
+  AsciiMap map(10, 5);
+  const geo::GeoPoint p{10.0, 10.0};
+  map.plot(p, 'S', true);
+  map.plot(p, 'x');  // later non-priority plot must not overwrite
+  EXPECT_NE(map.render().find('S'), std::string::npos);
+  EXPECT_EQ(map.render().find('x'), std::string::npos);
+}
+
+TEST(AsciiMap, NonPriorityOverwrites) {
+  AsciiMap map(10, 5);
+  const geo::GeoPoint p{10.0, 10.0};
+  map.plot(p, 'x');
+  map.plot(p, 'y');
+  EXPECT_EQ(map.render().find('x'), std::string::npos);
+  EXPECT_NE(map.render().find('y'), std::string::npos);
+}
+
+TEST(AsciiMap, LegendAppended) {
+  AsciiMap map(10, 3);
+  map.add_legend('a', "region A");
+  const std::string out = map.render();
+  EXPECT_NE(out.find(" a = region A\n"), std::string::npos);
+}
+
+TEST(AsciiMap, WestIsLeftNorthIsUp) {
+  AsciiMap map(60, 20);
+  map.plot(geo::GeoPoint{40.0, -100.0}, 'w');  // North America
+  map.plot(geo::GeoPoint{-30.0, 140.0}, 'e');  // Australia
+  const std::string out = map.render();
+  EXPECT_LT(out.find('w'), out.find('e'));
+}
+
+}  // namespace
+}  // namespace ranycast::analysis

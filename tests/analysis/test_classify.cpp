@@ -1,0 +1,83 @@
+#include "ranycast/analysis/classify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::analysis {
+namespace {
+
+TEST(MappingClassifier, EfficientBelowThreshold) {
+  EXPECT_EQ(classify_mapping(20.0, 18.0, true), MappingOutcome::Efficient);
+  EXPECT_EQ(classify_mapping(22.9, 18.0, false), MappingOutcome::Efficient);
+}
+
+TEST(MappingClassifier, SubOptimalWhenRegionIntended) {
+  EXPECT_EQ(classify_mapping(30.0, 18.0, true), MappingOutcome::SubOptimalRegion);
+}
+
+TEST(MappingClassifier, IncorrectWhenRegionUnintended) {
+  EXPECT_EQ(classify_mapping(30.0, 18.0, false), MappingOutcome::IncorrectRegion);
+}
+
+TEST(MappingClassifier, ThresholdIsBoundaryExclusive) {
+  // Exactly 5 ms counts as inefficient (>= threshold).
+  EXPECT_EQ(classify_mapping(23.0, 18.0, true), MappingOutcome::SubOptimalRegion);
+  EXPECT_EQ(classify_mapping(22.999, 18.0, true), MappingOutcome::Efficient);
+}
+
+TEST(RttDeltaClassifier, ThreeWaySplit) {
+  EXPECT_EQ(classify_rtt_delta(10.0, 20.0), RttDelta::Better);
+  EXPECT_EQ(classify_rtt_delta(20.0, 10.0), RttDelta::Worse);
+  EXPECT_EQ(classify_rtt_delta(12.0, 10.0), RttDelta::Similar);
+  EXPECT_EQ(classify_rtt_delta(10.0, 12.0), RttDelta::Similar);
+  EXPECT_EQ(classify_rtt_delta(10.0, 15.0), RttDelta::Similar);  // exactly -5
+}
+
+TEST(SiteShiftClassifier, SameSiteDominates) {
+  EXPECT_EQ(classify_site_shift(true, 100.0, 9000.0), SiteShift::Same);
+}
+
+TEST(SiteShiftClassifier, DistanceComparison) {
+  EXPECT_EQ(classify_site_shift(false, 100.0, 9000.0), SiteShift::Closer);
+  EXPECT_EQ(classify_site_shift(false, 9000.0, 100.0), SiteShift::Further);
+  EXPECT_EQ(classify_site_shift(false, 120.0, 100.0), SiteShift::Same);  // within tolerance
+}
+
+bgp::Route route_with_class(bgp::RouteClass cls) {
+  bgp::Route r;
+  r.cls = cls;
+  r.as_path = {make_asn(65000)};
+  r.geo_path = {CityId{0}};
+  return r;
+}
+
+TEST(CauseClassifier, AsRelationshipOverride) {
+  const auto g = route_with_class(bgp::RouteClass::Customer);
+  const auto r = route_with_class(bgp::RouteClass::PeerPublic);
+  EXPECT_EQ(classify_reduction_cause(g, r, true), ReductionCause::AsRelationshipOverride);
+  EXPECT_EQ(classify_reduction_cause(g, r, false), ReductionCause::AsRelationshipOverride);
+}
+
+TEST(CauseClassifier, PeeringTypeOverrideRequiresFeedVisibility) {
+  const auto g = route_with_class(bgp::RouteClass::PeerPublic);
+  const auto r = route_with_class(bgp::RouteClass::PeerRouteServer);
+  EXPECT_EQ(classify_reduction_cause(g, r, true), ReductionCause::PeeringTypeOverride);
+  EXPECT_EQ(classify_reduction_cause(g, r, false), ReductionCause::Unknown);
+}
+
+TEST(CauseClassifier, UnknownForOtherCombinations) {
+  const auto a = route_with_class(bgp::RouteClass::Provider);
+  const auto b = route_with_class(bgp::RouteClass::Provider);
+  EXPECT_EQ(classify_reduction_cause(a, b, true), ReductionCause::Unknown);
+  const auto c = route_with_class(bgp::RouteClass::Customer);
+  EXPECT_EQ(classify_reduction_cause(a, c, true), ReductionCause::Unknown);
+}
+
+TEST(Names, AllEnumsPrintable) {
+  EXPECT_FALSE(to_string(MappingOutcome::Efficient).empty());
+  EXPECT_FALSE(to_string(RttDelta::Better).empty());
+  EXPECT_FALSE(to_string(SiteShift::Closer).empty());
+  EXPECT_FALSE(to_string(ReductionCause::AsRelationshipOverride).empty());
+}
+
+}  // namespace
+}  // namespace ranycast::analysis

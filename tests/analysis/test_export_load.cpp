@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "ranycast/analysis/export.hpp"
+#include "ranycast/analysis/load.hpp"
+
+namespace ranycast::analysis {
+namespace {
+
+TEST(CsvWriter, PlainFields) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(csv.to_string(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, QuotesSpecials) {
+  CsvWriter csv({"name"});
+  csv.add_row({"hello, world"});
+  csv.add_row({"say \"hi\""});
+  csv.add_row({"two\nlines"});
+  EXPECT_EQ(csv.to_string(),
+            "name\n\"hello, world\"\n\"say \"\"hi\"\"\"\n\"two\nlines\"\n");
+}
+
+TEST(CsvWriter, HeaderOnly) {
+  CsvWriter csv({"x"});
+  EXPECT_EQ(csv.to_string(), "x\n");
+}
+
+TEST(Gini, EvenLoadIsZero) {
+  const double loads[] = {5, 5, 5, 5};
+  EXPECT_NEAR(gini(loads), 0.0, 1e-12);
+}
+
+TEST(Gini, SingleHotSiteApproachesOne) {
+  const double loads[] = {100, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_GT(gini(loads), 0.85);
+}
+
+TEST(Gini, KnownValue) {
+  // Two sites, one twice as loaded: G = 1/6.
+  const double loads[] = {1, 2};
+  EXPECT_NEAR(gini(loads), 1.0 / 6.0, 1e-12);
+}
+
+TEST(Gini, EdgeCases) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(gini(zeros), 0.0);
+}
+
+TEST(PeakToMean, EvenIsOne) {
+  const double loads[] = {3, 3, 3};
+  EXPECT_DOUBLE_EQ(peak_to_mean(loads), 1.0);
+}
+
+TEST(PeakToMean, Skewed) {
+  const double loads[] = {9, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(peak_to_mean(loads), 3.0);
+}
+
+TEST(EffectiveSites, EvenEqualsCount) {
+  const double loads[] = {2, 2, 2, 2};
+  EXPECT_NEAR(effective_sites(loads), 4.0, 1e-9);
+}
+
+TEST(EffectiveSites, ConcentrationReducesIt) {
+  const double loads[] = {97, 1, 1, 1};
+  EXPECT_LT(effective_sites(loads), 1.5);
+  EXPECT_GE(effective_sites(loads), 1.0);
+}
+
+TEST(EffectiveSites, IgnoresIdleSites) {
+  const double a[] = {5, 5};
+  const double b[] = {5, 5, 0, 0};
+  EXPECT_NEAR(effective_sites(a), effective_sites(b), 1e-9);
+}
+
+}  // namespace
+}  // namespace ranycast::analysis

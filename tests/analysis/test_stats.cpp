@@ -1,0 +1,101 @@
+#include "ranycast/analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/core/rng.hpp"
+
+namespace ranycast::analysis {
+namespace {
+
+TEST(Cdf, EmptyIsSafe) {
+  const Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 0.0);
+}
+
+TEST(Cdf, SingleSample) {
+  const Cdf cdf{{7.0}};
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(6.9), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(7.0), 1.0);
+}
+
+TEST(Cdf, QuantilesInterpolate) {
+  const Cdf cdf{{0.0, 10.0}};
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 2.5);
+}
+
+TEST(Cdf, MinMaxMean) {
+  const Cdf cdf{{3.0, 1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.0);
+}
+
+TEST(Cdf, FractionAtOrBelowCountsTies) {
+  const Cdf cdf{{1.0, 2.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_or_below(1.5), 0.25);
+}
+
+TEST(Cdf, SeriesIsMonotone) {
+  Rng rng{5};
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.normal(100.0, 20.0));
+  const Cdf cdf{std::move(samples)};
+  const auto series = cdf.series(0.0, 200.0, 50);
+  ASSERT_EQ(series.size(), 50u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+    EXPECT_GT(series[i].first, series[i - 1].first);
+  }
+  EXPECT_NEAR(series.back().second, 1.0, 0.01);
+}
+
+TEST(Cdf, QuantileClampsOutOfRange) {
+  const Cdf cdf{{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(cdf.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.5), 2.0);
+}
+
+TEST(Percentile, MatchesKnownValues) {
+  const std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 20.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> v{50, 10, 40, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
+}
+
+TEST(Median, EvenCount) {
+  const std::vector<double> v{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.0);
+}
+
+class QuantileMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuantileMonotonicity, QuantileIsNondecreasingInQ) {
+  Rng rng{GetParam()};
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.exponential(30.0));
+  const Cdf cdf{std::move(samples)};
+  double prev = cdf.quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = cdf.quantile(q);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotonicity, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ranycast::analysis

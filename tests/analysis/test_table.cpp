@@ -1,0 +1,58 @@
+#include "ranycast/analysis/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::analysis {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  const std::string out = t.render();
+  // Every line has the same length.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, MissingCellsRenderEmpty) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.render().find("only"), std::string::npos);
+}
+
+TEST(Format, Milliseconds) {
+  EXPECT_EQ(fmt_ms(12.345), "12.3");
+  EXPECT_EQ(fmt_ms(12.345, 2), "12.35");
+  EXPECT_EQ(fmt_ms(0.0, 0), "0");
+}
+
+TEST(Format, Percentages) {
+  EXPECT_EQ(fmt_pct(0.127), "12.7%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+  EXPECT_EQ(fmt_pct(0.0), "0.0%");
+}
+
+TEST(Format, KmAndCount) {
+  EXPECT_EQ(fmt_km(1234.56), "1235");
+  EXPECT_EQ(fmt_count(42), "42");
+}
+
+}  // namespace
+}  // namespace ranycast::analysis

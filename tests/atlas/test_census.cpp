@@ -1,0 +1,129 @@
+#include "ranycast/atlas/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/atlas/grouping.hpp"
+
+namespace ranycast::atlas {
+namespace {
+
+class CensusTest : public ::testing::Test {
+ protected:
+  CensusTest() : world_(topo::generate_world({.seed = 4, .stub_count = 1200})) {}
+
+  CensusConfig config(int probes = 4000) {
+    CensusConfig c;
+    c.total_probes = probes;
+    return c;
+  }
+
+  topo::World world_;
+  topo::IpRegistry registry_;
+};
+
+TEST_F(CensusTest, GeneratesRoughlyRequestedPopulation) {
+  const auto census = ProbeCensus::generate(world_, registry_, config());
+  // A few draws land in cities without stub ASes and are skipped.
+  EXPECT_GE(census.probes().size(), 3800u);
+  EXPECT_LE(census.probes().size(), 4000u);
+}
+
+TEST_F(CensusTest, RetentionRateMatchesPaper) {
+  const auto census = ProbeCensus::generate(world_, registry_, config());
+  const double rate = static_cast<double>(census.retained().size()) /
+                      static_cast<double>(census.probes().size());
+  // Paper: 9,700+ of 11,000+ retained (~88%).
+  EXPECT_NEAR(rate, 0.88, 0.03);
+}
+
+TEST_F(CensusTest, AreaSkewIsEmeaHeavy) {
+  const auto census = ProbeCensus::generate(world_, registry_, config());
+  const auto by_area = census.retained_by_area();
+  const auto emea = by_area[static_cast<int>(geo::Area::EMEA)];
+  const auto na = by_area[static_cast<int>(geo::Area::NA)];
+  const auto latam = by_area[static_cast<int>(geo::Area::LatAm)];
+  const auto apac = by_area[static_cast<int>(geo::Area::APAC)];
+  EXPECT_GT(emea, na);
+  EXPECT_GT(na, apac);
+  EXPECT_GT(apac, latam);
+  EXPECT_GT(latam, 0u);
+}
+
+TEST_F(CensusTest, RetainedProbesHaveAccurateGeocodes) {
+  const auto census = ProbeCensus::generate(world_, registry_, config());
+  for (const Probe* p : census.retained()) {
+    EXPECT_EQ(p->reported_city, p->city);
+  }
+}
+
+TEST_F(CensusTest, ProbesLiveInStubAses) {
+  const auto census = ProbeCensus::generate(world_, registry_, config(500));
+  for (const Probe& p : census.probes()) {
+    const topo::AsNode* n = world_.graph.find(p.asn);
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->kind, topo::AsKind::Stub);
+    EXPECT_EQ(n->home_city, p.city);
+  }
+}
+
+TEST_F(CensusTest, ProbeIpsAreRegisteredAtTrueCity) {
+  const auto census = ProbeCensus::generate(world_, registry_, config(500));
+  for (const Probe& p : census.probes()) {
+    const auto owner = registry_.owner(p.ip);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(owner->asn, p.asn);
+    EXPECT_EQ(owner->city, p.city);
+  }
+}
+
+TEST_F(CensusTest, ResolverMixMatchesConfig) {
+  const auto census = ProbeCensus::generate(world_, registry_, config());
+  int local = 0, ecs = 0, no_ecs = 0;
+  for (const Probe& p : census.probes()) {
+    switch (p.resolver.kind) {
+      case dns::ResolverKind::LocalIsp:
+        ++local;
+        break;
+      case dns::ResolverKind::PublicEcs:
+        ++ecs;
+        break;
+      case dns::ResolverKind::PublicNoEcs:
+        ++no_ecs;
+        break;
+    }
+  }
+  const double n = static_cast<double>(census.probes().size());
+  EXPECT_NEAR(local / n, 0.70, 0.03);
+  EXPECT_NEAR(ecs / n, 0.20, 0.03);
+  EXPECT_NEAR(no_ecs / n, 0.10, 0.03);
+}
+
+TEST_F(CensusTest, LocalResolversAreColocated) {
+  const auto census = ProbeCensus::generate(world_, registry_, config(500));
+  for (const Probe& p : census.probes()) {
+    if (p.resolver.kind != dns::ResolverKind::LocalIsp) continue;
+    EXPECT_EQ(p.resolver.egress_city, p.city);
+  }
+}
+
+TEST_F(CensusTest, AccessLatencyIsBoundedAndNonNegative) {
+  const auto census = ProbeCensus::generate(world_, registry_, config(500));
+  for (const Probe& p : census.probes()) {
+    EXPECT_GE(p.access_extra_ms, 0.0);
+    EXPECT_LE(p.access_extra_ms, 10.0);
+  }
+}
+
+TEST_F(CensusTest, DeterministicForSameSeed) {
+  const auto a = ProbeCensus::generate(world_, registry_, config(500));
+  const auto b = ProbeCensus::generate(world_, registry_, config(500));
+  ASSERT_EQ(a.probes().size(), b.probes().size());
+  for (std::size_t i = 0; i < a.probes().size(); ++i) {
+    EXPECT_EQ(a.probes()[i].asn, b.probes()[i].asn);
+    EXPECT_EQ(a.probes()[i].city, b.probes()[i].city);
+    EXPECT_EQ(a.probes()[i].ip, b.probes()[i].ip);
+  }
+}
+
+}  // namespace
+}  // namespace ranycast::atlas

@@ -1,0 +1,92 @@
+#include "ranycast/atlas/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::atlas {
+namespace {
+
+Probe make_probe(std::uint32_t id, std::uint32_t asn, std::uint16_t city) {
+  Probe p;
+  p.id = ProbeId{id};
+  p.asn = make_asn(asn);
+  p.city = CityId{city};
+  p.reported_city = CityId{city};
+  return p;
+}
+
+TEST(Grouping, GroupsByCityAndAs) {
+  const Probe a = make_probe(0, 10, 1);
+  const Probe b = make_probe(1, 10, 1);  // same group as a
+  const Probe c = make_probe(2, 10, 2);  // different city
+  const Probe d = make_probe(3, 11, 1);  // different AS
+  const std::vector<const Probe*> probes{&a, &b, &c, &d};
+  const auto groups = group_probes(probes);
+  ASSERT_EQ(groups.size(), 3u);
+  std::size_t sizes = 0;
+  for (const auto& g : groups) sizes += g.members.size();
+  EXPECT_EQ(sizes, 4u);
+}
+
+TEST(Grouping, GroupOrderIsDeterministic) {
+  const Probe a = make_probe(0, 10, 2);
+  const Probe b = make_probe(1, 12, 1);
+  const Probe c = make_probe(2, 11, 1);
+  const std::vector<const Probe*> probes{&a, &b, &c};
+  const auto groups = group_probes(probes);
+  ASSERT_EQ(groups.size(), 3u);
+  // Ordered by (city, asn).
+  EXPECT_EQ(groups[0].city, CityId{1});
+  EXPECT_EQ(groups[0].asn, make_asn(11));
+  EXPECT_EQ(groups[1].asn, make_asn(12));
+  EXPECT_EQ(groups[2].city, CityId{2});
+}
+
+TEST(Grouping, MedianOddAndEven) {
+  const Probe a = make_probe(0, 10, 1);
+  const Probe b = make_probe(1, 10, 1);
+  const Probe c = make_probe(2, 10, 1);
+  ProbeGroup g;
+  g.members = {&a, &b, &c};
+  const auto med3 = group_median(g, [](const Probe* p) {
+    return std::optional<double>(static_cast<double>(value(p->id)) * 10.0);
+  });
+  ASSERT_TRUE(med3.has_value());
+  EXPECT_DOUBLE_EQ(*med3, 10.0);
+
+  g.members = {&a, &b};
+  const auto med2 = group_median(g, [](const Probe* p) {
+    return std::optional<double>(static_cast<double>(value(p->id)) * 10.0);
+  });
+  EXPECT_DOUBLE_EQ(*med2, 5.0);
+}
+
+TEST(Grouping, MedianSkipsFailedMeasurements) {
+  const Probe a = make_probe(0, 10, 1);
+  const Probe b = make_probe(1, 10, 1);
+  ProbeGroup g;
+  g.members = {&a, &b};
+  const auto med = group_median(g, [](const Probe* p) -> std::optional<double> {
+    if (value(p->id) == 0) return std::nullopt;
+    return 42.0;
+  });
+  ASSERT_TRUE(med.has_value());
+  EXPECT_DOUBLE_EQ(*med, 42.0);
+}
+
+TEST(Grouping, MedianEmptyWhenAllFail) {
+  const Probe a = make_probe(0, 10, 1);
+  ProbeGroup g;
+  g.members = {&a};
+  const auto med = group_median(g, [](const Probe*) -> std::optional<double> {
+    return std::nullopt;
+  });
+  EXPECT_FALSE(med.has_value());
+}
+
+TEST(Grouping, EmptyInputYieldsNoGroups) {
+  const std::vector<const Probe*> none;
+  EXPECT_TRUE(group_probes(none).empty());
+}
+
+}  // namespace
+}  // namespace ranycast::atlas

@@ -1,0 +1,281 @@
+#include "ranycast/bgp/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/geo/gazetteer.hpp"
+#include "ranycast/topo/generator.hpp"
+
+namespace ranycast::bgp {
+namespace {
+
+using topo::AsKind;
+using topo::Graph;
+using topo::Rel;
+
+CityId city(const char* iata) {
+  return *geo::Gazetteer::world().find_by_iata(iata);
+}
+
+constexpr Asn kCdn = make_asn(65000);
+
+OriginAttachment attach(SiteId site, CityId c, Asn neighbor,
+                        Rel rel = Rel::Customer) {
+  return OriginAttachment{site, c, neighbor, rel, true};
+}
+
+TEST(Solver, SingleOriginReachesWholeGraph) {
+  Graph g;
+  const CityId ams = city("AMS");
+  const Asn provider = g.add_as(AsKind::Transit, ams, {ams});
+  const Asn stub = g.add_as(AsKind::Stub, ams, {ams});
+  g.add_transit(stub, provider, {ams});
+
+  const OriginAttachment o = attach(SiteId{0}, ams, provider);
+  const auto outcome = solve_anycast(g, kCdn, {&o, 1}, 1);
+  EXPECT_EQ(outcome.reachable_count(), 2u);
+  ASSERT_NE(outcome.route_for(stub), nullptr);
+  EXPECT_EQ(outcome.route_for(stub)->origin_site, SiteId{0});
+  // The stub learns the route from its provider.
+  EXPECT_EQ(outcome.route_for(stub)->cls, RouteClass::Provider);
+  // The provider holds a customer route (the CDN is its customer).
+  EXPECT_EQ(outcome.route_for(provider)->cls, RouteClass::Customer);
+}
+
+TEST(Solver, CustomerRoutePreferredOverPeerRoute) {
+  Graph g;
+  const CityId ams = city("AMS");
+  // X has: a customer C announcing the prefix (via CDN), and a peer P also
+  // announcing it. X must pick the customer route even if both are 1 hop.
+  const Asn x = g.add_as(AsKind::Transit, ams, {ams});
+  const Asn c = g.add_as(AsKind::Transit, ams, {ams});
+  const Asn p = g.add_as(AsKind::Transit, ams, {ams});
+  g.add_transit(c, x, {ams});
+  g.add_peering(x, p, false, {ams});
+
+  const OriginAttachment origins[] = {
+      attach(SiteId{0}, ams, c),  // via customer path
+      attach(SiteId{1}, ams, p),  // via peer path
+  };
+  const auto outcome = solve_anycast(g, kCdn, origins, 1);
+  ASSERT_NE(outcome.route_for(x), nullptr);
+  EXPECT_EQ(outcome.route_for(x)->origin_site, SiteId{0});
+  EXPECT_EQ(outcome.route_for(x)->cls, RouteClass::Customer);
+}
+
+TEST(Solver, PublicPeerPreferredOverRouteServerPeer) {
+  Graph g;
+  const CityId fra = city("FRA");
+  const Asn x = g.add_as(AsKind::Transit, fra, {fra});
+  const Asn pub = g.add_as(AsKind::Transit, fra, {fra});
+  const Asn rs = g.add_as(AsKind::Transit, fra, {fra});
+  g.add_peering(x, pub, false, {fra});
+  g.add_peering(x, rs, true, {fra});
+  // Both peers have customer routes to different sites (same length).
+  const Asn cust_pub = g.add_as(AsKind::Stub, fra, {fra});
+  const Asn cust_rs = g.add_as(AsKind::Stub, fra, {fra});
+  g.add_transit(cust_pub, pub, {fra});
+  g.add_transit(cust_rs, rs, {fra});
+
+  const OriginAttachment origins[] = {
+      attach(SiteId{0}, fra, cust_pub),
+      attach(SiteId{1}, fra, cust_rs),
+  };
+  const auto outcome = solve_anycast(g, kCdn, origins, 1);
+  ASSERT_NE(outcome.route_for(x), nullptr);
+  EXPECT_EQ(outcome.route_for(x)->origin_site, SiteId{0});
+  EXPECT_EQ(outcome.route_for(x)->cls, RouteClass::PeerPublic);
+}
+
+TEST(Solver, ShorterPathWinsWithinClass) {
+  Graph g;
+  const CityId lhr = city("LHR");
+  // Chain: origin neighbor A -> B -> X, plus direct origin neighbor D -> X.
+  const Asn x = g.add_as(AsKind::Tier1, lhr, {lhr});
+  const Asn a = g.add_as(AsKind::Transit, lhr, {lhr});
+  const Asn b = g.add_as(AsKind::Transit, lhr, {lhr});
+  const Asn d = g.add_as(AsKind::Transit, lhr, {lhr});
+  g.add_transit(a, b, {lhr});
+  g.add_transit(b, x, {lhr});
+  g.add_transit(d, x, {lhr});
+
+  const OriginAttachment origins[] = {
+      attach(SiteId{0}, lhr, a),  // path to X: a,b -> length 3
+      attach(SiteId{1}, lhr, d),  // path to X: d -> length 2
+  };
+  const auto outcome = solve_anycast(g, kCdn, origins, 1);
+  ASSERT_NE(outcome.route_for(x), nullptr);
+  EXPECT_EQ(outcome.route_for(x)->origin_site, SiteId{1});
+  EXPECT_EQ(outcome.route_for(x)->path_length(), 2u);
+}
+
+TEST(Solver, ValleyFreeNoPeerRouteReexportedToPeer) {
+  Graph g;
+  const CityId ams = city("AMS");
+  // origin peer -> P1; P1 peers with P2: P2 must NOT hear the route via P1.
+  const Asn p1 = g.add_as(AsKind::Transit, ams, {ams});
+  const Asn p2 = g.add_as(AsKind::Transit, ams, {ams});
+  g.add_peering(p1, p2, false, {ams});
+
+  const OriginAttachment o = attach(SiteId{0}, ams, p1, Rel::PeerPublic);
+  const auto outcome = solve_anycast(g, kCdn, {&o, 1}, 1);
+  ASSERT_NE(outcome.route_for(p1), nullptr);
+  EXPECT_EQ(outcome.route_for(p2), nullptr);  // valley-free: not exported
+}
+
+TEST(Solver, PeerRouteExportedToCustomers) {
+  Graph g;
+  const CityId ams = city("AMS");
+  const Asn p1 = g.add_as(AsKind::Transit, ams, {ams});
+  const Asn cust = g.add_as(AsKind::Stub, ams, {ams});
+  g.add_transit(cust, p1, {ams});
+
+  const OriginAttachment o = attach(SiteId{0}, ams, p1, Rel::PeerPublic);
+  const auto outcome = solve_anycast(g, kCdn, {&o, 1}, 1);
+  ASSERT_NE(outcome.route_for(cust), nullptr);
+  EXPECT_EQ(outcome.route_for(cust)->cls, RouteClass::Provider);
+}
+
+TEST(Solver, GeoPathTracksInterconnects) {
+  Graph g;
+  const CityId sin = city("SIN");
+  const CityId nrt = city("NRT");
+  const CityId lax = city("LAX");
+  const Asn a = g.add_as(AsKind::Transit, sin, {sin, nrt});
+  const Asn b = g.add_as(AsKind::Transit, lax, {nrt, lax});
+  g.add_transit(a, b, {nrt});
+
+  const OriginAttachment o = attach(SiteId{0}, sin, a);
+  const auto outcome = solve_anycast(g, kCdn, {&o, 1}, 1);
+  const Route* r = outcome.route_for(b);
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->geo_path.size(), 2u);
+  EXPECT_EQ(r->geo_path[0], sin);  // site city
+  EXPECT_EQ(r->geo_path[1], nrt);  // interconnect a-b
+  ASSERT_EQ(r->as_path.size(), 2u);
+  EXPECT_EQ(r->as_path[0], kCdn);
+  EXPECT_EQ(r->as_path[1], a);
+}
+
+TEST(Solver, NearestExitPicksClosestInterconnect) {
+  Graph g;
+  const CityId sin = city("SIN");
+  const CityId nrt = city("NRT");
+  const CityId lhr = city("LHR");
+  const Asn a = g.add_as(AsKind::Tier1, sin, {sin, nrt, lhr});
+  const Asn b = g.add_as(AsKind::Tier1, nrt, {nrt, lhr});
+  // Two interconnection options between a and b.
+  g.add_peering(a, b, false, {nrt, lhr});
+  const Asn cust = g.add_as(AsKind::Stub, nrt, {nrt});
+  g.add_transit(cust, b, {nrt});
+
+  // Origin via a customer of a, so a exports to peer b.
+  const Asn seed_cust = g.add_as(AsKind::Transit, sin, {sin});
+  g.add_transit(seed_cust, a, {sin});
+  const OriginAttachment o = attach(SiteId{0}, sin, seed_cust);
+  const auto outcome = solve_anycast(g, kCdn, {&o, 1}, 1);
+  const Route* r = outcome.route_for(b);
+  ASSERT_NE(r, nullptr);
+  // a received the route at SIN; its nearest interconnect with b is NRT.
+  EXPECT_EQ(r->geo_path.back(), nrt);
+}
+
+TEST(Solver, DeterministicAcrossRuns) {
+  const topo::GeneratorParams params{.seed = 5, .stub_count = 300};
+  const topo::World world = generate_world(params);
+  std::vector<Asn> transits;
+  for (const auto& n : world.graph.nodes()) {
+    if (n.kind == AsKind::Transit) transits.push_back(n.asn);
+    if (transits.size() == 4) break;
+  }
+  std::vector<OriginAttachment> origins;
+  for (std::size_t i = 0; i < transits.size(); ++i) {
+    origins.push_back(attach(SiteId{static_cast<std::uint16_t>(i)},
+                             world.graph.find(transits[i])->home_city, transits[i]));
+  }
+  const auto o1 = solve_anycast(world.graph, kCdn, origins, 99);
+  const auto o2 = solve_anycast(world.graph, kCdn, origins, 99);
+  for (const auto& n : world.graph.nodes()) {
+    const Route* r1 = o1.route_for(n.asn);
+    const Route* r2 = o2.route_for(n.asn);
+    ASSERT_EQ(r1 == nullptr, r2 == nullptr);
+    if (r1 != nullptr) {
+      EXPECT_EQ(r1->origin_site, r2->origin_site);
+      EXPECT_EQ(r1->as_path, r2->as_path);
+    }
+  }
+}
+
+class SolverPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverPropertySweep, RoutesAreValleyFreeAndLoopFree) {
+  topo::GeneratorParams params;
+  params.seed = GetParam();
+  params.stub_count = 300;
+  const topo::World world = generate_world(params);
+  // Originate from a few transit ASes spread over the graph.
+  std::vector<OriginAttachment> origins;
+  std::uint16_t site = 0;
+  for (const auto& n : world.graph.nodes()) {
+    if (n.kind != AsKind::Transit) continue;
+    if (value(n.asn) % 37 != 0) continue;
+    origins.push_back(attach(SiteId{site++}, n.home_city, n.asn));
+    if (origins.size() == 6) break;
+  }
+  ASSERT_GE(origins.size(), 2u);
+  const auto outcome = solve_anycast(world.graph, kCdn, origins, GetParam());
+
+  for (const auto& n : world.graph.nodes()) {
+    const Route* r = outcome.route_for(n.asn);
+    if (r == nullptr) continue;
+    // Loop-free AS path.
+    std::set<std::uint32_t> seen;
+    for (Asn a : r->as_path) {
+      EXPECT_TRUE(seen.insert(value(a)).second) << "AS path loop";
+    }
+    EXPECT_EQ(seen.count(value(n.asn)), 0u) << "holder in its own path";
+    // geo_path and as_path lengths always match (Route invariant).
+    EXPECT_EQ(r->geo_path.size(), r->as_path.size());
+    // Valley-free: once the path descends (provider->customer or peer), it
+    // cannot climb again. We verify the holder's class is consistent: a
+    // customer-class route must consist solely of customer hops, which we
+    // check by confirming every AS on the path would also select it as a
+    // customer route - approximated here by checking the path is made of
+    // existing adjacent edges.
+    // as_path[0] is the CDN's ASN (not a graph node); every subsequent pair
+    // must be an existing adjacency, ending at the holder.
+    const auto& g = world.graph;
+    for (std::size_t i = 2; i < r->as_path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(r->as_path[i - 1], r->as_path[i]))
+          << "non-adjacent ASes in path: " << value(r->as_path[i - 1]) << ","
+          << value(r->as_path[i]);
+    }
+    if (r->as_path.size() > 1) {
+      EXPECT_TRUE(g.has_edge(r->as_path.back(), n.asn));
+    }
+  }
+}
+
+TEST_P(SolverPropertySweep, AnycastPrefixGloballyReachable) {
+  // Paper §4.5: regional prefixes are globally reachable. In our model this
+  // holds as long as the prefix is originated via at least one transit
+  // customer link (the route climbs to the tier-1 clique and descends
+  // everywhere).
+  topo::GeneratorParams params;
+  params.seed = GetParam();
+  params.stub_count = 300;
+  const topo::World world = generate_world(params);
+  std::vector<OriginAttachment> origins;
+  for (const auto& n : world.graph.nodes()) {
+    if (n.kind == AsKind::Transit) {
+      origins.push_back(attach(SiteId{0}, n.home_city, n.asn));
+      break;
+    }
+  }
+  const auto outcome = solve_anycast(world.graph, kCdn, origins, GetParam());
+  EXPECT_EQ(outcome.reachable_count(), world.graph.nodes().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertySweep, ::testing::Values(1, 7, 21, 42, 777));
+
+}  // namespace
+}  // namespace ranycast::bgp

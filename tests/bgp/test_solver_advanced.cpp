@@ -1,0 +1,153 @@
+// Solver behaviours behind the paper's deployment findings: cross-region
+// announcements, hot-potato geographic tie-breaking, peer-only origination
+// reach, and multi-homed origination at one neighbor.
+#include <gtest/gtest.h>
+
+#include "ranycast/bgp/solver.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+
+namespace ranycast::bgp {
+namespace {
+
+using topo::AsKind;
+using topo::Graph;
+using topo::Rel;
+
+CityId city(const char* iata) { return *geo::Gazetteer::world().find_by_iata(iata); }
+
+constexpr Asn kCdn = make_asn(65000);
+
+OriginAttachment attach(std::uint16_t site, CityId c, Asn neighbor,
+                        Rel rel = Rel::Customer) {
+  return OriginAttachment{SiteId{site}, c, neighbor, rel, true};
+}
+
+TEST(SolverAdvanced, HotPotatoTieBreakPrefersNearIngress) {
+  // X (home FRA) hears the same-length customer routes from two customers,
+  // one interconnecting in FRA, one in SIN. The geographic tie-break must
+  // pick the near ingress.
+  Graph g;
+  const CityId fra = city("FRA");
+  const CityId sin = city("SIN");
+  const Asn x = g.add_as(AsKind::Tier1, fra, {fra, sin});
+  const Asn near_c = g.add_as(AsKind::Transit, fra, {fra});
+  const Asn far_c = g.add_as(AsKind::Transit, sin, {sin});
+  g.add_transit(near_c, x, {fra});
+  g.add_transit(far_c, x, {sin});
+
+  const OriginAttachment origins[] = {
+      attach(0, fra, near_c),
+      attach(1, sin, far_c),
+  };
+  // Try several tie-break seeds: geography must dominate the hash.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto outcome = solve_anycast(g, kCdn, origins, seed);
+    const Route* r = outcome.route_for(x);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->origin_site, SiteId{0}) << "seed " << seed;
+  }
+}
+
+TEST(SolverAdvanced, CrossRegionAnnouncementServesBothPrefixes) {
+  // A mixed site announces two prefixes through the same attachment; each
+  // prefix is solved independently and both reach the client.
+  Graph g;
+  const CityId mia = city("MIA");
+  const Asn provider = g.add_as(AsKind::Transit, mia, {mia});
+  const Asn client = g.add_as(AsKind::Stub, mia, {mia});
+  g.add_transit(client, provider, {mia});
+
+  const OriginAttachment na_origin[] = {attach(0, mia, provider)};
+  const OriginAttachment sa_origin[] = {attach(0, mia, provider)};
+  const auto na = solve_anycast(g, kCdn, na_origin, 1);
+  const auto sa = solve_anycast(g, kCdn, sa_origin, 2);
+  EXPECT_NE(na.route_for(client), nullptr);
+  EXPECT_NE(sa.route_for(client), nullptr);
+}
+
+TEST(SolverAdvanced, PeerOnlyOriginationIsNotGloballyReachable) {
+  // Valley-free: a prefix announced only over a peering session reaches the
+  // peer and its customer cone, nothing above it.
+  Graph g;
+  const CityId ams = city("AMS");
+  const Asn peer = g.add_as(AsKind::Transit, ams, {ams});
+  const Asn peers_provider = g.add_as(AsKind::Tier1, ams, {ams});
+  const Asn cousin = g.add_as(AsKind::Transit, ams, {ams});
+  const Asn peer_customer = g.add_as(AsKind::Stub, ams, {ams});
+  g.add_transit(peer, peers_provider, {ams});
+  g.add_transit(cousin, peers_provider, {ams});
+  g.add_transit(peer_customer, peer, {ams});
+
+  const OriginAttachment origins[] = {attach(0, ams, peer, Rel::PeerPublic)};
+  const auto outcome = solve_anycast(g, kCdn, origins, 1);
+  EXPECT_NE(outcome.route_for(peer), nullptr);
+  EXPECT_NE(outcome.route_for(peer_customer), nullptr);  // down the cone
+  EXPECT_EQ(outcome.route_for(peers_provider), nullptr);  // not up
+  EXPECT_EQ(outcome.route_for(cousin), nullptr);          // not sideways
+}
+
+TEST(SolverAdvanced, MultipleAttachmentsAtOneNeighborPickOne) {
+  // A CDN announcing via two sites to the SAME neighbor: the neighbor holds
+  // exactly one best route; the other site still serves nobody through it.
+  Graph g;
+  const CityId lhr = city("LHR");
+  const Asn neighbor = g.add_as(AsKind::Transit, lhr, {lhr});
+  const OriginAttachment origins[] = {
+      attach(0, lhr, neighbor),
+      attach(1, lhr, neighbor),
+  };
+  const auto outcome = solve_anycast(g, kCdn, origins, 1);
+  const Route* r = outcome.route_for(neighbor);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->origin_site == SiteId{0} || r->origin_site == SiteId{1});
+}
+
+TEST(SolverAdvanced, RouteServerOriginationLosesToTransitPath) {
+  // An AS with a route-server session to the CDN *and* a provider path:
+  // route-server peer (lpref 150) still beats provider (100).
+  Graph g;
+  const CityId fra = city("FRA");
+  const Asn x = g.add_as(AsKind::Transit, fra, {fra});
+  const Asn provider = g.add_as(AsKind::Tier1, fra, {fra});
+  const Asn origin_neighbor = g.add_as(AsKind::Transit, fra, {fra});
+  g.add_transit(x, provider, {fra});
+  g.add_transit(origin_neighbor, provider, {fra});
+
+  const OriginAttachment origins[] = {
+      attach(0, fra, origin_neighbor),          // climbs to provider, descends to x
+      attach(1, fra, x, Rel::PeerRouteServer),  // direct RS session at x
+  };
+  const auto outcome = solve_anycast(g, kCdn, origins, 1);
+  const Route* r = outcome.route_for(x);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->origin_site, SiteId{1});
+  EXPECT_EQ(r->cls, RouteClass::PeerRouteServer);
+}
+
+TEST(SolverAdvanced, EmptyOriginsYieldEmptyOutcome) {
+  Graph g;
+  const CityId ams = city("AMS");
+  const Asn a = g.add_as(AsKind::Stub, ams, {ams});
+  const auto outcome = solve_anycast(g, kCdn, {}, 1);
+  EXPECT_EQ(outcome.route_for(a), nullptr);
+  EXPECT_EQ(outcome.reachable_count(), 0u);
+}
+
+TEST(SolverAdvanced, IngressKmRecordedOnRoutes) {
+  Graph g;
+  const CityId sin = city("SIN");
+  const CityId fra = city("FRA");
+  const Asn provider = g.add_as(AsKind::Tier1, fra, {fra, sin});
+  const Asn client = g.add_as(AsKind::Stub, fra, {fra});
+  g.add_transit(client, provider, {fra});
+  const OriginAttachment origins[] = {attach(0, sin, provider)};
+  const auto outcome = solve_anycast(g, kCdn, origins, 1);
+  const Route* at_provider = outcome.route_for(provider);
+  ASSERT_NE(at_provider, nullptr);
+  // Provider (home FRA) received the announcement at the SIN site.
+  EXPECT_NEAR(at_provider->ingress_km,
+              geo::Gazetteer::world().distance(fra, sin).km, 1.0);
+}
+
+}  // namespace
+}  // namespace ranycast::bgp

@@ -1,0 +1,103 @@
+#include "ranycast/bgpdata/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ranycast/core/rng.hpp"
+
+namespace ranycast::bgpdata {
+namespace {
+
+TEST(PrefixTrie, EmptyLookupMisses) {
+  PrefixTrie<int> trie;
+  EXPECT_FALSE(trie.lookup(Ipv4Addr(1, 2, 3, 4)).has_value());
+  EXPECT_EQ(trie.size(), 0u);
+}
+
+TEST(PrefixTrie, ExactCoverLookup) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 3)), 1);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 255, 255, 255)), 1);
+  EXPECT_FALSE(trie.lookup(Ipv4Addr(11, 0, 0, 0)).has_value());
+}
+
+TEST(PrefixTrie, LongestPrefixWins) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 24);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 3)), 24);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 3, 3)), 16);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 2, 0, 0)), 8);
+}
+
+TEST(PrefixTrie, DefaultRouteCoversEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix{Ipv4Addr{0u}, 0}, 7);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(255, 255, 255, 255)), 7);
+  EXPECT_EQ(trie.lookup(Ipv4Addr{0u}), 7);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix{Ipv4Addr(192, 0, 2, 1), 32}, 99);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(192, 0, 2, 1)), 99);
+  EXPECT_FALSE(trie.lookup(Ipv4Addr(192, 0, 2, 2)).has_value());
+}
+
+TEST(PrefixTrie, InsertOverwritesValue) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 0, 0, 1)), 2);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, ExactLookupIgnoresCovering) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  EXPECT_EQ(trie.exact(*Prefix::parse("10.0.0.0/8")), 8);
+  EXPECT_FALSE(trie.exact(*Prefix::parse("10.1.0.0/16")).has_value());
+  EXPECT_FALSE(trie.exact(*Prefix::parse("0.0.0.0/0")).has_value());
+}
+
+class PrefixTrieProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTrieProperty, AgreesWithLinearScan) {
+  Rng rng{GetParam()};
+  PrefixTrie<std::uint32_t> trie;
+  std::vector<std::pair<Prefix, std::uint32_t>> reference;
+  for (int i = 0; i < 300; ++i) {
+    const int len = 8 + static_cast<int>(rng.below(17));  // /8 .. /24
+    const Prefix p{Ipv4Addr{static_cast<std::uint32_t>(rng())}, len};
+    const auto v = static_cast<std::uint32_t>(i);
+    // Keep the reference consistent with overwrite semantics.
+    const auto it = std::find_if(reference.begin(), reference.end(),
+                                 [&](const auto& e) { return e.first == p; });
+    if (it == reference.end()) {
+      reference.emplace_back(p, v);
+    } else {
+      it->second = v;
+    }
+    trie.insert(p, v);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Addr addr{static_cast<std::uint32_t>(rng())};
+    std::optional<std::uint32_t> expected;
+    int best_len = -1;
+    for (const auto& [p, v] : reference) {
+      if (p.contains(addr) && p.length() > best_len) {
+        best_len = p.length();
+        expected = v;
+      }
+    }
+    EXPECT_EQ(trie.lookup(addr), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTrieProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ranycast::bgpdata

@@ -1,0 +1,86 @@
+#include "ranycast/bgpdata/rib_snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::bgpdata {
+namespace {
+
+class RibSnapshotTest : public ::testing::Test {
+ protected:
+  static lab::Lab make_lab() {
+    lab::LabConfig config;
+    config.world.stub_count = 400;
+    config.census.total_probes = 800;
+    return lab::Lab::create(config);
+  }
+
+  RibSnapshotTest()
+      : lab_(make_lab()), handle_(&lab_.add_deployment(cdn::catalog::imperva6())) {}
+
+  RibSnapshot make_snapshot() {
+    const cdn::Deployment* deps[] = {&handle_->deployment};
+    return RibSnapshot::build(lab_.world(), lab_.registry(), deps);
+  }
+
+  lab::Lab lab_;
+  const lab::DeploymentHandle* handle_;
+};
+
+TEST_F(RibSnapshotTest, ResolvesAsBlocks) {
+  auto snapshot = make_snapshot();
+  EXPECT_EQ(snapshot.route_count(),
+            lab_.world().graph.nodes().size() + handle_->deployment.regions().size());
+  for (const atlas::Probe& p : lab_.census().probes()) {
+    const auto asn = snapshot.ip_to_asn(p.ip);
+    ASSERT_TRUE(asn.has_value());
+    EXPECT_EQ(*asn, p.asn);
+    break;
+  }
+}
+
+TEST_F(RibSnapshotTest, ResolvesAnycastPrefixesToCdnAsn) {
+  auto snapshot = make_snapshot();
+  for (const cdn::Region& r : handle_->deployment.regions()) {
+    const auto asn = snapshot.ip_to_asn(r.service_ip);
+    ASSERT_TRUE(asn.has_value());
+    EXPECT_EQ(*asn, handle_->deployment.asn());
+  }
+}
+
+TEST_F(RibSnapshotTest, UnroutedSpaceMisses) {
+  auto snapshot = make_snapshot();
+  EXPECT_FALSE(snapshot.ip_to_asn(Ipv4Addr(1, 1, 1, 1)).has_value());
+  EXPECT_EQ(snapshot.map(Ipv4Addr(1, 1, 1, 1)).kind, MappedOwner::Kind::Unrouted);
+}
+
+TEST_F(RibSnapshotTest, IxpLansInvisibleInBgpButMapped) {
+  auto snapshot = make_snapshot();
+  const auto lans = allocate_ixp_lans(lab_.world(), lab_.registry(), snapshot);
+  ASSERT_EQ(lans.size(), lab_.world().graph.ixps().size());
+  ASSERT_GE(lans.size(), 5u);
+  for (std::size_t i = 0; i < lans.size(); ++i) {
+    const Ipv4Addr interface = lans[i].at(42);
+    // pyasn-style lookup fails: the LAN is not announced in BGP.
+    EXPECT_FALSE(snapshot.ip_to_asn(interface).has_value());
+    // The PeeringDB-style registry still identifies the IXP.
+    const auto owner = snapshot.map(interface);
+    EXPECT_EQ(owner.kind, MappedOwner::Kind::Ixp);
+    EXPECT_EQ(owner.ixp_name, lab_.world().graph.ixps()[i].name);
+  }
+}
+
+TEST_F(RibSnapshotTest, MapPrefersBgpOverIxp) {
+  auto snapshot = make_snapshot();
+  allocate_ixp_lans(lab_.world(), lab_.registry(), snapshot);
+  const auto& node = lab_.world().graph.nodes().front();
+  const Ipv4Addr ip = lab_.registry().as_block(node.asn).at(7);
+  const auto owner = snapshot.map(ip);
+  EXPECT_EQ(owner.kind, MappedOwner::Kind::As);
+  EXPECT_EQ(owner.asn, node.asn);
+}
+
+}  // namespace
+}  // namespace ranycast::bgpdata

@@ -1,0 +1,156 @@
+#include "ranycast/cdn/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/topo/generator.hpp"
+
+namespace ranycast::cdn {
+namespace {
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  BuilderTest() : world_(topo::generate_world({.seed = 11, .stub_count = 300})) {}
+
+  topo::World world_;
+  topo::IpRegistry registry_;
+};
+
+TEST_F(BuilderTest, AllocatesDistinctRegionalPrefixes) {
+  const Deployment d = build_deployment(catalog::imperva6(), world_, registry_);
+  ASSERT_EQ(d.regions().size(), 6u);
+  for (std::size_t i = 0; i < d.regions().size(); ++i) {
+    EXPECT_TRUE(d.regions()[i].prefix.contains(d.regions()[i].service_ip));
+    for (std::size_t j = i + 1; j < d.regions().size(); ++j) {
+      EXPECT_NE(d.regions()[i].prefix, d.regions()[j].prefix);
+    }
+  }
+}
+
+TEST_F(BuilderTest, EverySiteHasAttachments) {
+  const Deployment d = build_deployment(catalog::imperva6(), world_, registry_);
+  for (const Site& s : d.sites()) {
+    EXPECT_FALSE(s.attachments.empty())
+        << "site " << value(s.id) << " has no upstream connectivity";
+    EXPECT_GE(s.attachments.size(), 2u);
+  }
+}
+
+TEST_F(BuilderTest, AttachmentNeighborsArePresentAtSiteCity) {
+  const Deployment d = build_deployment(catalog::imperva6(), world_, registry_);
+  for (const Site& s : d.sites()) {
+    for (const Attachment& a : s.attachments) {
+      const topo::AsNode* n = world_.graph.find(a.neighbor);
+      ASSERT_NE(n, nullptr);
+      EXPECT_TRUE(n->present_in(s.city));
+    }
+  }
+}
+
+TEST_F(BuilderTest, SharedCitiesGetIdenticalAttachments) {
+  // The paper's §5.3 comparability requirement: Imperva-6 and Imperva-NS
+  // share connectivity at co-located sites (the NS network may have extra
+  // IXP peers on top).
+  const Deployment cdn = build_deployment(catalog::imperva6(), world_, registry_);
+  const Deployment ns = build_deployment(catalog::imperva_ns(), world_, registry_);
+  for (const Site& cs : cdn.sites()) {
+    const Site* match = nullptr;
+    for (const Site& nss : ns.sites()) {
+      if (nss.city == cs.city) match = &nss;
+    }
+    ASSERT_NE(match, nullptr);
+    // Every CDN attachment also exists in the NS deployment.
+    for (const Attachment& a : cs.attachments) {
+      const bool found = std::any_of(
+          match->attachments.begin(), match->attachments.end(), [&](const Attachment& b) {
+            return b.neighbor == a.neighbor && b.rel == a.rel;
+          });
+      EXPECT_TRUE(found) << "attachment missing in NS at city " << value(cs.city);
+    }
+    EXPECT_GE(match->attachments.size(), cs.attachments.size());
+  }
+}
+
+TEST_F(BuilderTest, DifferentOperatorsGetDifferentAttachments) {
+  const Deployment imperva = build_deployment(catalog::imperva6(), world_, registry_);
+  const Deployment edgio = build_deployment(catalog::edgio4(), world_, registry_);
+  // Co-located sites of different operators should not systematically share
+  // the same neighbor sets.
+  int shared_cities = 0, identical = 0;
+  for (const Site& a : imperva.sites()) {
+    for (const Site& b : edgio.sites()) {
+      if (a.city != b.city) continue;
+      ++shared_cities;
+      if (a.attachments.size() == b.attachments.size() &&
+          std::equal(a.attachments.begin(), a.attachments.end(), b.attachments.begin(),
+                     [](const Attachment& x, const Attachment& y) {
+                       return x.neighbor == y.neighbor && x.rel == y.rel;
+                     })) {
+        ++identical;
+      }
+    }
+  }
+  ASSERT_GT(shared_cities, 10);
+  EXPECT_LT(identical, shared_cities / 2);
+}
+
+TEST_F(BuilderTest, BuildIsDeterministic) {
+  const Deployment a = build_deployment(catalog::edgio3(), world_, registry_);
+  const Deployment b = build_deployment(catalog::edgio3(), world_, registry_);
+  ASSERT_EQ(a.sites().size(), b.sites().size());
+  for (std::size_t i = 0; i < a.sites().size(); ++i) {
+    ASSERT_EQ(a.sites()[i].attachments.size(), b.sites()[i].attachments.size());
+    for (std::size_t j = 0; j < a.sites()[i].attachments.size(); ++j) {
+      EXPECT_EQ(a.sites()[i].attachments[j].neighbor, b.sites()[i].attachments[j].neighbor);
+    }
+  }
+}
+
+TEST_F(BuilderTest, ClientMappingPolicyIsInstalled) {
+  const Deployment d = build_deployment(catalog::imperva6(), world_, registry_);
+  using namespace catalog::imperva6_region;
+  EXPECT_EQ(d.region_for_country("CA"), kCa);
+  EXPECT_EQ(d.region_for_country("US"), kUs);
+  EXPECT_EQ(d.region_for_country("RU"), kRu);
+  EXPECT_EQ(d.region_for_area(geo::Area::EMEA), kEmea);
+  EXPECT_EQ(d.region_for_area(geo::Area::APAC), kApac);
+  EXPECT_EQ(d.region_for_area(geo::Area::LatAm), kLatAm);
+}
+
+TEST_F(BuilderTest, PreferredCarriersRepeatAcrossSites) {
+  // Operators buy from the same global carriers at many sites; at least one
+  // carrier must be attached at a sizable share of the deployment, which is
+  // what gives BGP nearest-site customer routes within a region.
+  const Deployment d = build_deployment(catalog::imperva6(), world_, registry_);
+  std::map<std::uint32_t, std::size_t> sites_per_carrier;
+  for (const Site& s : d.sites()) {
+    for (const Attachment& a : s.attachments) {
+      if (a.rel == topo::Rel::Customer) sites_per_carrier[value(a.neighbor)]++;
+    }
+  }
+  std::size_t max_sites = 0;
+  for (const auto& [asn, n] : sites_per_carrier) max_sites = std::max(max_sites, n);
+  EXPECT_GE(max_sites, d.sites().size() / 4);
+}
+
+TEST_F(BuilderTest, SpotDealCarriersStillExist) {
+  // ... but not every attachment is a global contract: one-off carriers are
+  // the raw material of the paper's Fig. 1 pathology.
+  const Deployment d = build_deployment(catalog::imperva6(), world_, registry_);
+  std::map<std::uint32_t, std::size_t> sites_per_carrier;
+  for (const Site& s : d.sites()) {
+    for (const Attachment& a : s.attachments) {
+      if (a.rel == topo::Rel::Customer) sites_per_carrier[value(a.neighbor)]++;
+    }
+  }
+  std::size_t single_site_carriers = 0;
+  for (const auto& [asn, n] : sites_per_carrier) {
+    if (n == 1) ++single_site_carriers;
+  }
+  EXPECT_GT(single_site_carriers, 5u);
+}
+
+}  // namespace
+}  // namespace ranycast::cdn

@@ -1,0 +1,231 @@
+// Verifies the canned deployment catalog against the paper's Table 1 and
+// the §4.3/§4.4 deployment findings.
+#include "ranycast/cdn/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ranycast::cdn::catalog {
+namespace {
+
+const geo::Gazetteer& gaz() { return geo::Gazetteer::world(); }
+
+std::map<geo::Area, int> area_counts(const std::vector<SiteSpec>& sites) {
+  std::map<geo::Area, int> counts;
+  for (const auto& s : sites) {
+    const auto c = gaz().find_by_iata(s.iata);
+    EXPECT_TRUE(c.has_value()) << "unknown IATA " << s.iata;
+    if (c) counts[gaz().area_of_city(*c)]++;
+  }
+  return counts;
+}
+
+std::map<geo::Area, int> area_counts(const std::vector<std::string>& iatas) {
+  std::vector<SiteSpec> sites;
+  for (const auto& s : iatas) sites.push_back(SiteSpec{s, {0}});
+  return area_counts(sites);
+}
+
+TEST(Catalog, Table1SiteCountsEdgio3) {
+  const auto spec = edgio3();
+  EXPECT_EQ(spec.sites.size(), 43u);
+  const auto counts = area_counts(spec.sites);
+  EXPECT_EQ(counts.at(geo::Area::APAC), 14);
+  EXPECT_EQ(counts.at(geo::Area::EMEA), 15);
+  EXPECT_EQ(counts.at(geo::Area::NA), 13);
+  EXPECT_EQ(counts.at(geo::Area::LatAm), 1);
+}
+
+TEST(Catalog, Table1SiteCountsEdgio4) {
+  const auto spec = edgio4();
+  EXPECT_EQ(spec.sites.size(), 47u);
+  const auto counts = area_counts(spec.sites);
+  EXPECT_EQ(counts.at(geo::Area::APAC), 15);
+  EXPECT_EQ(counts.at(geo::Area::EMEA), 16);
+  EXPECT_EQ(counts.at(geo::Area::NA), 12);
+  EXPECT_EQ(counts.at(geo::Area::LatAm), 4);
+}
+
+TEST(Catalog, Table1SiteCountsEdgioPublished) {
+  const auto& sites = edgio_published_sites();
+  EXPECT_EQ(sites.size(), 79u);
+  const auto counts = area_counts(sites);
+  EXPECT_EQ(counts.at(geo::Area::APAC), 19);
+  EXPECT_EQ(counts.at(geo::Area::EMEA), 26);
+  EXPECT_EQ(counts.at(geo::Area::NA), 24);
+  EXPECT_EQ(counts.at(geo::Area::LatAm), 10);
+}
+
+TEST(Catalog, Table1SiteCountsImperva6) {
+  const auto spec = imperva6();
+  EXPECT_EQ(spec.sites.size(), 48u);
+  const auto counts = area_counts(spec.sites);
+  EXPECT_EQ(counts.at(geo::Area::APAC), 16);
+  EXPECT_EQ(counts.at(geo::Area::EMEA), 15);
+  EXPECT_EQ(counts.at(geo::Area::NA), 12);
+  EXPECT_EQ(counts.at(geo::Area::LatAm), 5);
+}
+
+TEST(Catalog, Table1SiteCountsImpervaNs) {
+  const auto spec = imperva_ns();
+  EXPECT_EQ(spec.sites.size(), 49u);
+  const auto counts = area_counts(spec.sites);
+  EXPECT_EQ(counts.at(geo::Area::APAC), 17);
+  EXPECT_EQ(counts.at(geo::Area::EMEA), 15);
+  EXPECT_EQ(counts.at(geo::Area::NA), 12);
+  EXPECT_EQ(counts.at(geo::Area::LatAm), 5);
+}
+
+TEST(Catalog, Table1SiteCountsImpervaPublished) {
+  const auto& sites = imperva_published_sites();
+  EXPECT_EQ(sites.size(), 50u);
+  const auto counts = area_counts(sites);
+  EXPECT_EQ(counts.at(geo::Area::APAC), 17);
+  EXPECT_EQ(counts.at(geo::Area::EMEA), 15);
+  EXPECT_EQ(counts.at(geo::Area::NA), 12);
+  EXPECT_EQ(counts.at(geo::Area::LatAm), 6);
+}
+
+TEST(Catalog, Table1SiteCountsTangled) {
+  const auto& sites = tangled_sites();
+  EXPECT_EQ(sites.size(), 12u);
+  const auto counts = area_counts(sites);
+  EXPECT_EQ(counts.at(geo::Area::APAC), 2);
+  EXPECT_EQ(counts.at(geo::Area::EMEA), 5);
+  EXPECT_EQ(counts.at(geo::Area::NA), 3);
+  EXPECT_EQ(counts.at(geo::Area::LatAm), 2);
+}
+
+TEST(Catalog, Imperva6SitesAreSubsetOfNsSites) {
+  // Paper §5.3: all 48 uncovered Imperva-6 sites overlap the NS network.
+  const auto cdn = imperva6();
+  const auto ns = imperva_ns();
+  std::set<std::string> ns_cities;
+  for (const auto& s : ns.sites) ns_cities.insert(s.iata);
+  for (const auto& s : cdn.sites) {
+    EXPECT_TRUE(ns_cities.count(s.iata)) << s.iata << " missing from Imperva-NS";
+  }
+}
+
+TEST(Catalog, RegionCountsMatchHostnameSets) {
+  EXPECT_EQ(edgio3().region_names.size(), 3u);
+  EXPECT_EQ(edgio4().region_names.size(), 4u);
+  EXPECT_EQ(imperva6().region_names.size(), 6u);
+  EXPECT_EQ(imperva_ns().region_names.size(), 1u);
+}
+
+TEST(Catalog, ImpervaRussianPrefixAnnouncedFromThreeEuropeanSites) {
+  const auto spec = imperva6();
+  std::set<std::string> ru_sites;
+  for (const auto& s : spec.sites) {
+    for (std::size_t r : s.regions) {
+      if (r == imperva6_region::kRu) ru_sites.insert(s.iata);
+    }
+  }
+  EXPECT_EQ(ru_sites, (std::set<std::string>{"AMS", "FRA", "LHR"}));
+}
+
+TEST(Catalog, ImpervaCaliforniaCrossAnnouncesApac) {
+  const auto spec = imperva6();
+  bool found = false;
+  for (const auto& s : spec.sites) {
+    if (s.iata != "SJC") continue;
+    const bool apac = std::find(s.regions.begin(), s.regions.end(),
+                                imperva6_region::kApac) != s.regions.end();
+    const bool us = std::find(s.regions.begin(), s.regions.end(),
+                              imperva6_region::kUs) != s.regions.end();
+    found = apac && us;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Catalog, Edgio4MiamiIsMixedNaSa) {
+  const auto spec = edgio4();
+  bool found = false;
+  for (const auto& s : spec.sites) {
+    if (s.iata == "MIA" && s.regions.size() == 2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Catalog, Edgio3MapsWholeAmericasToOneRegion) {
+  const auto spec = edgio3();
+  EXPECT_EQ(spec.area_defaults[static_cast<int>(geo::Area::NA)],
+            spec.area_defaults[static_cast<int>(geo::Area::LatAm)]);
+}
+
+TEST(Catalog, OperatorsShareAttachmentSeeds) {
+  EXPECT_EQ(edgio3().attachment_seed, edgio4().attachment_seed);
+  EXPECT_EQ(imperva6().attachment_seed, imperva_ns().attachment_seed);
+  EXPECT_NE(edgio3().attachment_seed, imperva6().attachment_seed);
+}
+
+TEST(Catalog, HostnameSetsHaveRepresentativePlusTwelve) {
+  for (const auto& set : {edgio3_hostnames(), edgio4_hostnames(), imperva6_hostnames()}) {
+    EXPECT_EQ(set.hostnames.size(), 13u);
+    EXPECT_FALSE(set.representative().empty());
+  }
+  EXPECT_EQ(edgio3_hostnames().representative(), "www.straitstimes.com");
+  EXPECT_EQ(edgio4_hostnames().representative(), "www.asus.com");
+  EXPECT_EQ(imperva6_hostnames().representative(), "www.stamps.com");
+}
+
+TEST(Catalog, EdgioNsOverlapsCdnOnlyPartially) {
+  // Paper §4.4: Edgio-3's sites overlap 33 of the DNS network's sites,
+  // Edgio-4's overlap 37 — evidence of separate networks (and the reason
+  // Edgio is excluded from the §5.3 comparison).
+  const auto ns = edgio_ns();
+  std::set<std::string> ns_cities;
+  for (const auto& s : ns.sites) ns_cities.insert(s.iata);
+  auto overlap = [&](const DeploymentSpec& spec) {
+    std::size_t n = 0;
+    for (const auto& s : spec.sites) {
+      if (ns_cities.count(s.iata)) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(overlap(edgio3()), 33u);
+  EXPECT_EQ(overlap(edgio4()), 37u);
+}
+
+TEST(Catalog, EdgioNsUsesSeparateNetworkConfiguration) {
+  EXPECT_NE(edgio_ns().attachment_seed, edgio3().attachment_seed);
+  EXPECT_EQ(edgio_ns().region_names.size(), 1u);  // global anycast
+}
+
+TEST(Catalog, EdgioNsSitesComeFromPublishedFootprint) {
+  const auto& published = edgio_published_sites();
+  const std::set<std::string> pub(published.begin(), published.end());
+  for (const auto& s : edgio_ns().sites) {
+    EXPECT_TRUE(pub.count(s.iata)) << s.iata;
+  }
+}
+
+TEST(Catalog, ComparabilityCriterionSelectsImperva) {
+  // The §5.3 counterpart choice: Imperva's CDN sites are a subset of its NS
+  // network; Edgio's are not even 80% covered.
+  const auto im_overlap_rate = [] {
+    const auto ns = imperva_ns();
+    std::set<std::string> cities;
+    for (const auto& s : ns.sites) cities.insert(s.iata);
+    std::size_t n = 0;
+    const auto cdn = imperva6();
+    for (const auto& s : cdn.sites) n += cities.count(s.iata);
+    return static_cast<double>(n) / static_cast<double>(cdn.sites.size());
+  }();
+  const auto eg_overlap_rate = [] {
+    const auto ns = edgio_ns();
+    std::set<std::string> cities;
+    for (const auto& s : ns.sites) cities.insert(s.iata);
+    std::size_t n = 0;
+    const auto cdn = edgio3();
+    for (const auto& s : cdn.sites) n += cities.count(s.iata);
+    return static_cast<double>(n) / static_cast<double>(cdn.sites.size());
+  }();
+  EXPECT_DOUBLE_EQ(im_overlap_rate, 1.0);
+  EXPECT_LT(eg_overlap_rate, 0.80);
+}
+
+}  // namespace
+}  // namespace ranycast::cdn::catalog

@@ -1,0 +1,58 @@
+#include "ranycast/cdn/survey.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::cdn::survey {
+namespace {
+
+TEST(Survey, FifteenTopCdns) { EXPECT_EQ(top_cdns().size(), 15u); }
+
+TEST(Survey, ExactlyTwoRegionalAnycastCdns) {
+  // Paper §4.1: Edgio and Imperva are the only two among the top 15.
+  EXPECT_EQ(regional_anycast_count(), 2u);
+  bool edgio = false, imperva = false;
+  for (const auto& c : top_cdns()) {
+    if (c.method != Redirection::RegionalAnycast) continue;
+    if (c.name.find("Edgio") != std::string_view::npos) edgio = true;
+    if (c.name.find("Imperva") != std::string_view::npos) imperva = true;
+  }
+  EXPECT_TRUE(edgio);
+  EXPECT_TRUE(imperva);
+}
+
+TEST(Survey, SharesCoverAboutTwoThirdsOfTop10k) {
+  double total = 0.0;
+  for (const auto& c : top_cdns()) total += c.website_share;
+  EXPECT_NEAR(total, 0.657, 0.02);  // paper: 65.7%
+}
+
+TEST(Survey, EdgioPlusImpervaShareMatchesPaper) {
+  // Paper §4.2: 2.98% of top-10k websites use Edgio or Imperva.
+  double share = 0.0;
+  for (const auto& c : top_cdns()) {
+    if (c.method == Redirection::RegionalAnycast) share += c.website_share;
+  }
+  EXPECT_NEAR(share, 0.0298, 0.002);
+}
+
+TEST(Survey, LooksRegionalHeuristic) {
+  // Edgio-3 customers: 3 IPs vs 79 published sites -> regional.
+  EXPECT_TRUE(looks_regional(3, 79));
+  EXPECT_TRUE(looks_regional(4, 79));
+  EXPECT_TRUE(looks_regional(6, 50));
+  // Single IP: plain global anycast.
+  EXPECT_FALSE(looks_regional(1, 79));
+  // Tens of IPs matching the site count: DNS redirection.
+  EXPECT_FALSE(looks_regional(79, 79));
+  EXPECT_FALSE(looks_regional(40, 79));
+}
+
+TEST(Survey, RedirectionNames) {
+  EXPECT_EQ(to_string(Redirection::RegionalAnycast), "Regional Anycast");
+  EXPECT_EQ(to_string(Redirection::GlobalAnycast), "Global Anycast");
+  EXPECT_EQ(to_string(Redirection::Dns), "DNS");
+  EXPECT_EQ(to_string(Redirection::DnsAndGlobalAnycast), "DNS & Global Anycast");
+}
+
+}  // namespace
+}  // namespace ranycast::cdn::survey

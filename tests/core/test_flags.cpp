@@ -1,0 +1,61 @@
+#include "ranycast/core/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::flags {
+namespace {
+
+Parser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"tool"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Parser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const auto p = parse({"--seed=42", "--format=csv"});
+  EXPECT_EQ(p.get("seed"), "42");
+  EXPECT_EQ(p.get("format"), "csv");
+}
+
+TEST(Flags, SpaceForm) {
+  const auto p = parse({"--seed", "42"});
+  EXPECT_EQ(p.get("seed"), "42");
+}
+
+TEST(Flags, BooleanForm) {
+  const auto p = parse({"--verbose"});
+  EXPECT_EQ(p.get("verbose"), "true");
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_FALSE(p.has("quiet"));
+}
+
+TEST(Flags, BooleanFollowedByFlag) {
+  const auto p = parse({"--verbose", "--seed=1"});
+  EXPECT_EQ(p.get("verbose"), "true");
+  EXPECT_EQ(p.get("seed"), "1");
+}
+
+TEST(Flags, TypedDefaults) {
+  const auto p = parse({"--n=7", "--x=2.5"});
+  EXPECT_EQ(p.get_or("n", std::int64_t{0}), 7);
+  EXPECT_EQ(p.get_or("missing", std::int64_t{9}), 9);
+  EXPECT_DOUBLE_EQ(p.get_or("x", 0.0), 2.5);
+  EXPECT_EQ(p.get_or("name", std::string("d")), "d");
+}
+
+TEST(Flags, Positional) {
+  const auto p = parse({"input.txt", "--seed=1", "output.txt"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.txt");
+  EXPECT_EQ(p.positional()[1], "output.txt");
+}
+
+TEST(Flags, UnknownDetection) {
+  const auto p = parse({"--seed=1", "--typo=2"});
+  const auto unknown = p.unknown({"seed", "format"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace ranycast::flags

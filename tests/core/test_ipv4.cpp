@@ -1,0 +1,105 @@
+#include "ranycast/core/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ranycast {
+namespace {
+
+TEST(Ipv4Addr, ConstructsFromOctets) {
+  const Ipv4Addr a{192, 168, 1, 42};
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(1), 168);
+  EXPECT_EQ(a.octet(2), 1);
+  EXPECT_EQ(a.octet(3), 42);
+  EXPECT_EQ(a.bits(), 0xC0A8012Au);
+}
+
+TEST(Ipv4Addr, FormatsDottedQuad) {
+  EXPECT_EQ(Ipv4Addr(10, 0, 0, 1).to_string(), "10.0.0.1");
+  EXPECT_EQ(Ipv4Addr(255, 255, 255, 255).to_string(), "255.255.255.255");
+  EXPECT_EQ(Ipv4Addr{0u}.to_string(), "0.0.0.0");
+}
+
+TEST(Ipv4Addr, ParsesValidAddresses) {
+  EXPECT_EQ(Ipv4Addr::parse("1.2.3.4"), Ipv4Addr(1, 2, 3, 4));
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0"), Ipv4Addr{0u});
+  EXPECT_EQ(Ipv4Addr::parse("255.0.255.0"), Ipv4Addr(255, 0, 255, 0));
+}
+
+TEST(Ipv4Addr, RejectsMalformedInput) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+}
+
+TEST(Ipv4Addr, OrderingMatchesNumericValue) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(1, 0, 0, 1));
+}
+
+class Ipv4RoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(Ipv4RoundTrip, ParseInvertsToString) {
+  const Ipv4Addr a{GetParam()};
+  const auto parsed = Ipv4Addr::parse(a.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Ipv4RoundTrip,
+                         ::testing::Values(0u, 1u, 0xFFFFFFFFu, 0x7F000001u, 0x0A0B0C0Du,
+                                           0xC0A80000u, 0x12345678u, 0xDEADBEEFu));
+
+TEST(Prefix, CanonicalizesHostBits) {
+  const Prefix p{Ipv4Addr(10, 1, 2, 3), 16};
+  EXPECT_EQ(p.address(), Ipv4Addr(10, 1, 0, 0));
+  EXPECT_EQ(p.length(), 16);
+}
+
+TEST(Prefix, ContainsItsRange) {
+  const Prefix p{Ipv4Addr(10, 1, 0, 0), 16};
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 1, 0, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 1, 255, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(10, 2, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(9, 255, 255, 255)));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  const Prefix all{Ipv4Addr{0u}, 0};
+  EXPECT_TRUE(all.contains(Ipv4Addr{0u}));
+  EXPECT_TRUE(all.contains(Ipv4Addr{0xFFFFFFFFu}));
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, SizeAndIndexing) {
+  const Prefix p{Ipv4Addr(192, 0, 2, 0), 24};
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.at(0), Ipv4Addr(192, 0, 2, 0));
+  EXPECT_EQ(p.at(255), Ipv4Addr(192, 0, 2, 255));
+}
+
+TEST(Prefix, ParsesAndFormats) {
+  const auto p = Prefix::parse("10.0.0.0/8");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+  EXPECT_FALSE(Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/8x"));
+}
+
+TEST(Prefix, HashDistinguishesLengths) {
+  std::unordered_set<Prefix> set;
+  set.insert(Prefix{Ipv4Addr(10, 0, 0, 0), 8});
+  set.insert(Prefix{Ipv4Addr(10, 0, 0, 0), 16});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ranycast

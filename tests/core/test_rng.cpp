@@ -1,0 +1,115 @@
+#include "ranycast/core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ranycast {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng{9};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  // All residues eventually hit.
+  std::vector<bool> seen(17, false);
+  for (int i = 0; i < 10000; ++i) seen[rng.below(17)] = true;
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{11};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{13};
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{17};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng{19};
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) counts[rng.weighted_index(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent1{23};
+  Rng parent2{23};
+  Rng childA = parent1.fork(1);
+  Rng childA2 = parent2.fork(1);
+  // Same parent state + tag -> same child.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(childA(), childA2());
+  // Different tags -> different children.
+  Rng parent3{23};
+  Rng parent4{23};
+  Rng c1 = parent3.fork(1);
+  Rng c2 = parent4.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1() == c2()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_NE(mix64(0x100000000ull), mix64(0x100000001ull));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace ranycast

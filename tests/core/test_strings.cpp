@@ -1,0 +1,54 @@
+#include "ranycast/core/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::strings {
+namespace {
+
+TEST(Split, BasicFields) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Split, NoDelimiterYieldsWhole) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Split, EmptyInput) {
+  const auto parts = split("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  const std::vector<std::string> pieces{"x", "y", "z"};
+  EXPECT_EQ(join(pieces, "."), "x.y.z");
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"solo"}, "."), "solo");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("edgecastcdn.net", "edge"));
+  EXPECT_FALSE(starts_with("edge", "edgecast"));
+  EXPECT_TRUE(ends_with("router.example.de", ".de"));
+  EXPECT_FALSE(ends_with("de", ".de"));
+}
+
+}  // namespace
+}  // namespace ranycast::strings

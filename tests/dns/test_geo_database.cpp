@@ -1,0 +1,130 @@
+#include "ranycast/dns/geo_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/topo/generator.hpp"
+
+namespace ranycast::dns {
+namespace {
+
+class GeoDatabaseTest : public ::testing::Test {
+ protected:
+  GeoDatabaseTest() : world_(topo::generate_world({.seed = 3, .stub_count = 200})) {}
+
+  GeoDatabase make_db(double wrong_country, double intl_bias, std::uint64_t seed = 1) {
+    return GeoDatabase{{"test-db", wrong_country, intl_bias, 0.2, seed}, &world_.graph,
+                       &registry_};
+  }
+
+  /// A probe host in the first stub AS we can find, at a known city.
+  std::pair<Ipv4Addr, CityId> stub_host() {
+    for (const auto& n : world_.graph.nodes()) {
+      if (n.kind == topo::AsKind::Stub) {
+        return {registry_.probe_ip(n.asn, 0, n.home_city), n.home_city};
+      }
+    }
+    ADD_FAILURE() << "no stub in world";
+    return {Ipv4Addr{}, kInvalidCity};
+  }
+
+  topo::World world_;
+  topo::IpRegistry registry_;
+};
+
+TEST_F(GeoDatabaseTest, ZeroErrorReturnsTruth) {
+  auto db = make_db(0.0, 0.0);
+  const auto [ip, city] = stub_host();
+  const auto country = db.country(ip);
+  ASSERT_TRUE(country.has_value());
+  EXPECT_EQ(*country, geo::Gazetteer::world().country_code(city));
+}
+
+TEST_F(GeoDatabaseTest, UnknownSpaceYieldsNullopt) {
+  auto db = make_db(0.0, 0.0);
+  EXPECT_FALSE(db.country(Ipv4Addr(1, 1, 1, 1)).has_value());
+  EXPECT_FALSE(db.city_estimate(Ipv4Addr(1, 1, 1, 1)).has_value());
+}
+
+TEST_F(GeoDatabaseTest, LookupsAreDeterministicPerIp) {
+  auto db = make_db(0.5, 0.5);
+  const auto [ip, city] = stub_host();
+  EXPECT_EQ(db.country(ip), db.country(ip));
+  EXPECT_EQ(db.city_estimate(ip), db.city_estimate(ip));
+}
+
+TEST_F(GeoDatabaseTest, WrongCountryRateApproximatesConfig) {
+  auto db = make_db(0.2, 0.0);
+  const auto& gaz = geo::Gazetteer::world();
+  int wrong = 0, total = 0;
+  for (const auto& n : world_.graph.nodes()) {
+    if (n.kind != topo::AsKind::Stub) continue;
+    const Ipv4Addr ip = registry_.probe_ip(n.asn, 1, n.home_city);
+    const auto country = db.country(ip);
+    ASSERT_TRUE(country.has_value());
+    ++total;
+    if (*country != gaz.country_code(n.home_city)) ++wrong;
+  }
+  ASSERT_GT(total, 100);
+  // A random wrong draw can still land on the right country, so the observed
+  // rate is slightly below the configured one.
+  EXPECT_NEAR(static_cast<double>(wrong) / total, 0.2, 0.06);
+}
+
+TEST_F(GeoDatabaseTest, InternationalHomeBias) {
+  auto db = make_db(0.0, 1.0);
+  const auto& gaz = geo::Gazetteer::world();
+  // Find an international transit with a footprint city outside its home
+  // country; its router there must geolocate to the home country.
+  for (const auto& n : world_.graph.nodes()) {
+    if (!n.international || n.kind != topo::AsKind::Transit) continue;
+    for (CityId c : n.footprint) {
+      if (gaz.country_code(c) == gaz.country_code(n.home_city)) continue;
+      const Ipv4Addr ip = registry_.router_ip(n.asn, c);
+      const auto country = db.country(ip);
+      ASSERT_TRUE(country.has_value());
+      EXPECT_EQ(*country, gaz.country_code(n.home_city));
+      return;
+    }
+  }
+  GTEST_SKIP() << "no international transit with out-of-home footprint";
+}
+
+TEST_F(GeoDatabaseTest, RouterIpsLocatedAtInterfaceCity) {
+  auto db = make_db(0.0, 0.0);
+  const auto& gaz = geo::Gazetteer::world();
+  for (const auto& n : world_.graph.nodes()) {
+    if (n.kind != topo::AsKind::Transit || n.international) continue;
+    const CityId c = n.footprint.front();
+    const Ipv4Addr ip = registry_.router_ip(n.asn, c);
+    const auto country = db.country(ip);
+    ASSERT_TRUE(country.has_value());
+    EXPECT_EQ(*country, gaz.country_code(c));
+    return;
+  }
+}
+
+TEST_F(GeoDatabaseTest, CityEstimateStaysInCountryWhenCountryCorrect) {
+  auto db = make_db(0.0, 0.0, 9);
+  const auto& gaz = geo::Gazetteer::world();
+  const auto [ip, city] = stub_host();
+  const auto estimate = db.city_estimate(ip);
+  ASSERT_TRUE(estimate.has_value());
+  EXPECT_EQ(gaz.country_code(*estimate), gaz.country_code(city));
+}
+
+TEST_F(GeoDatabaseTest, IndependentDatabasesDisagree) {
+  auto db1 = make_db(0.3, 0.0, 111);
+  auto db2 = make_db(0.3, 0.0, 222);
+  int disagree = 0, total = 0;
+  for (const auto& n : world_.graph.nodes()) {
+    if (n.kind != topo::AsKind::Stub) continue;
+    const Ipv4Addr ip = registry_.probe_ip(n.asn, 2, n.home_city);
+    if (db1.country(ip) != db2.country(ip)) ++disagree;
+    ++total;
+  }
+  EXPECT_GT(disagree, 0);
+  EXPECT_LT(disagree, total);
+}
+
+}  // namespace
+}  // namespace ranycast::dns

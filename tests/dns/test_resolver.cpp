@@ -1,0 +1,48 @@
+#include "ranycast/dns/resolver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::dns {
+namespace {
+
+QueryContext make_context(ResolverKind kind) {
+  QueryContext q;
+  q.client_ip = Ipv4Addr(10, 0, 0, 1);
+  q.resolver.kind = kind;
+  q.resolver.address = Ipv4Addr(8, 8, 8, 8);
+  q.resolver.egress_city = CityId{1};
+  return q;
+}
+
+TEST(EffectiveAddress, AdnsAlwaysSeesClient) {
+  for (auto kind : {ResolverKind::LocalIsp, ResolverKind::PublicEcs, ResolverKind::PublicNoEcs}) {
+    EXPECT_EQ(effective_address(make_context(kind), QueryMode::Adns), Ipv4Addr(10, 0, 0, 1));
+  }
+}
+
+TEST(EffectiveAddress, EcsForwardsClientSlash24) {
+  // RFC 7871: ECS carries a truncated subnet, not the host address.
+  EXPECT_EQ(effective_address(make_context(ResolverKind::PublicEcs), QueryMode::Ldns),
+            Ipv4Addr(10, 0, 0, 0));
+}
+
+TEST(EcsScope, TruncatesHostBits) {
+  EXPECT_EQ(ecs_scope(Ipv4Addr(192, 168, 7, 201)), Ipv4Addr(192, 168, 7, 0));
+  EXPECT_EQ(ecs_scope(Ipv4Addr(192, 168, 7, 0)), Ipv4Addr(192, 168, 7, 0));
+}
+
+TEST(EffectiveAddress, NonEcsExposesResolver) {
+  EXPECT_EQ(effective_address(make_context(ResolverKind::PublicNoEcs), QueryMode::Ldns),
+            Ipv4Addr(8, 8, 8, 8));
+  EXPECT_EQ(effective_address(make_context(ResolverKind::LocalIsp), QueryMode::Ldns),
+            Ipv4Addr(8, 8, 8, 8));
+}
+
+TEST(ResolverKind, Names) {
+  EXPECT_EQ(to_string(ResolverKind::LocalIsp), "local-isp");
+  EXPECT_EQ(to_string(ResolverKind::PublicEcs), "public-ecs");
+  EXPECT_EQ(to_string(ResolverKind::PublicNoEcs), "public-no-ecs");
+}
+
+}  // namespace
+}  // namespace ranycast::dns

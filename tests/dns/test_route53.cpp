@@ -1,0 +1,74 @@
+#include "ranycast/dns/route53.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/topo/generator.hpp"
+
+namespace ranycast::dns {
+namespace {
+
+class Route53Test : public ::testing::Test {
+ protected:
+  Route53Test()
+      : world_(topo::generate_world({.seed = 3, .stub_count = 200})),
+        db_({"perfect", 0.0, 0.0, 0.0, 1}, &world_.graph, &registry_) {}
+
+  /// Host IP of a stub in the given country, if any.
+  std::optional<Ipv4Addr> host_in(std::string_view iso2) {
+    const auto& gaz = geo::Gazetteer::world();
+    for (const auto& n : world_.graph.nodes()) {
+      if (n.kind != topo::AsKind::Stub) continue;
+      if (gaz.country_code(n.home_city) == iso2) {
+        return registry_.probe_ip(n.asn, 0, n.home_city);
+      }
+    }
+    return std::nullopt;
+  }
+
+  topo::World world_;
+  topo::IpRegistry registry_;
+  GeoDatabase db_;
+};
+
+TEST_F(Route53Test, CountryRecordWins) {
+  Route53Emulator r53{&db_};
+  r53.set_country_record("DE", 1);
+  r53.set_continent_record(geo::Continent::Europe, 2);
+  r53.set_default_record(0);
+  const auto host = host_in("DE");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(r53.resolve(*host), 1u);
+}
+
+TEST_F(Route53Test, ContinentFallback) {
+  Route53Emulator r53{&db_};
+  r53.set_continent_record(geo::Continent::Europe, 2);
+  r53.set_default_record(0);
+  const auto host = host_in("FR");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(r53.resolve(*host), 2u);
+}
+
+TEST_F(Route53Test, DefaultFallback) {
+  Route53Emulator r53{&db_};
+  r53.set_default_record(7);
+  const auto host = host_in("JP");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(r53.resolve(*host), 7u);
+}
+
+TEST_F(Route53Test, NoRecordsYieldsNullopt) {
+  Route53Emulator r53{&db_};
+  const auto host = host_in("US");
+  ASSERT_TRUE(host.has_value());
+  EXPECT_FALSE(r53.resolve(*host).has_value());
+}
+
+TEST_F(Route53Test, UnknownAddressUsesDefault) {
+  Route53Emulator r53{&db_};
+  r53.set_default_record(3);
+  EXPECT_EQ(r53.resolve(Ipv4Addr(1, 1, 1, 1)), 3u);
+}
+
+}  // namespace
+}  // namespace ranycast::dns

@@ -1,0 +1,67 @@
+#include "ranycast/geo/earth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::geo {
+namespace {
+
+constexpr GeoPoint kNewYork{40.64, -73.78};
+constexpr GeoPoint kLondon{51.47, -0.45};
+constexpr GeoPoint kSydney{-33.95, 151.18};
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(haversine(kLondon, kLondon).km, 0.0);
+}
+
+TEST(Haversine, KnownDistances) {
+  // JFK-LHR great-circle distance is about 5540 km.
+  EXPECT_NEAR(haversine(kNewYork, kLondon).km, 5540.0, 60.0);
+  // JFK-SYD is about 16,000 km.
+  EXPECT_NEAR(haversine(kNewYork, kSydney).km, 16000.0, 200.0);
+}
+
+TEST(Haversine, Symmetric) {
+  EXPECT_DOUBLE_EQ(haversine(kNewYork, kLondon).km, haversine(kLondon, kNewYork).km);
+}
+
+TEST(Haversine, AntipodalIsBounded) {
+  // No two points can be farther than half the circumference (~20015 km).
+  const GeoPoint a{0, 0}, b{0, 180};
+  EXPECT_NEAR(haversine(a, b).km, 20015.0, 30.0);
+}
+
+TEST(Haversine, CrossesAntimeridianCorrectly) {
+  // 10 degrees of longitude apart across the date line at the equator.
+  const GeoPoint a{0, 175}, b{0, -175};
+  EXPECT_NEAR(haversine(a, b).km, haversine(GeoPoint{0, 0}, GeoPoint{0, 10}).km, 1.0);
+}
+
+TEST(RttLowerBound, PaperConstant) {
+  // 100 km per 1 ms RTT.
+  EXPECT_DOUBLE_EQ(rtt_lower_bound(Km{100.0}).ms, 1.0);
+  EXPECT_DOUBLE_EQ(rtt_lower_bound(Km{5540.0}).ms, 55.4);
+}
+
+TEST(MaxDistance, InvertsRttLowerBound) {
+  const Km d{1234.5};
+  EXPECT_NEAR(max_distance(rtt_lower_bound(d)).km, d.km, 1e-9);
+}
+
+class HaversineTriangle : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(HaversineTriangle, TriangleInequalityViaLondon) {
+  const auto [lat, lon] = GetParam();
+  const GeoPoint p{lat, lon};
+  const double direct = haversine(kNewYork, p).km;
+  const double via = haversine(kNewYork, kLondon).km + haversine(kLondon, p).km;
+  EXPECT_LE(direct, via + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HaversineTriangle,
+                         ::testing::Values(std::tuple{48.0, 2.0}, std::tuple{-33.0, 151.0},
+                                           std::tuple{35.0, 139.0}, std::tuple{-23.0, -46.0},
+                                           std::tuple{0.0, 0.0}, std::tuple{89.0, 10.0},
+                                           std::tuple{-89.0, -170.0}));
+
+}  // namespace
+}  // namespace ranycast::geo

@@ -1,0 +1,113 @@
+#include "ranycast/geo/gazetteer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ranycast::geo {
+namespace {
+
+const Gazetteer& gaz() { return Gazetteer::world(); }
+
+TEST(Gazetteer, HasSubstantialWorldModel) {
+  EXPECT_GE(gaz().cities().size(), 140u);
+  EXPECT_GE(gaz().countries().size(), 70u);
+}
+
+TEST(Gazetteer, IataCodesAreUnique) {
+  std::set<std::string_view> codes;
+  for (const auto& c : gaz().cities()) {
+    EXPECT_TRUE(codes.insert(c.iata).second) << "duplicate IATA " << c.iata;
+    EXPECT_EQ(c.iata.size(), 3u);
+  }
+}
+
+TEST(Gazetteer, CountryCodesAreUnique) {
+  std::set<std::string_view> codes;
+  for (const auto& c : gaz().countries()) {
+    EXPECT_TRUE(codes.insert(c.iso2).second) << "duplicate country " << c.iso2;
+    EXPECT_EQ(c.iso2.size(), 2u);
+  }
+}
+
+TEST(Gazetteer, EveryCityHasValidCountry) {
+  for (const auto& c : gaz().cities()) {
+    ASSERT_LT(c.country, gaz().countries().size());
+  }
+}
+
+TEST(Gazetteer, CoordinatesInRange) {
+  for (const auto& c : gaz().cities()) {
+    EXPECT_GE(c.location.lat_deg, -90.0);
+    EXPECT_LE(c.location.lat_deg, 90.0);
+    EXPECT_GE(c.location.lon_deg, -180.0);
+    EXPECT_LE(c.location.lon_deg, 180.0);
+  }
+}
+
+TEST(Gazetteer, FindByIata) {
+  const auto ams = gaz().find_by_iata("AMS");
+  ASSERT_TRUE(ams.has_value());
+  EXPECT_EQ(gaz().city(*ams).name, "Amsterdam");
+  EXPECT_EQ(gaz().country_code(*ams), "NL");
+  EXPECT_FALSE(gaz().find_by_iata("ZZZ").has_value());
+}
+
+TEST(Gazetteer, AreaMappingFollowsPaper) {
+  // EMEA = Europe + Middle East + Africa.
+  EXPECT_EQ(area_of(Continent::Europe), Area::EMEA);
+  EXPECT_EQ(area_of(Continent::MiddleEast), Area::EMEA);
+  EXPECT_EQ(area_of(Continent::Africa), Area::EMEA);
+  // NA excludes Central America.
+  EXPECT_EQ(area_of(Continent::NorthAmerica), Area::NA);
+  EXPECT_EQ(area_of(Continent::CentralAmerica), Area::LatAm);
+  EXPECT_EQ(area_of(Continent::SouthAmerica), Area::LatAm);
+  EXPECT_EQ(area_of(Continent::Asia), Area::APAC);
+  EXPECT_EQ(area_of(Continent::Oceania), Area::APAC);
+}
+
+TEST(Gazetteer, SpecificCityAreas) {
+  EXPECT_EQ(gaz().area_of_city(*gaz().find_by_iata("SVO")), Area::EMEA);  // Moscow
+  EXPECT_EQ(gaz().area_of_city(*gaz().find_by_iata("MEX")), Area::LatAm); // Mexico City
+  EXPECT_EQ(gaz().area_of_city(*gaz().find_by_iata("YYZ")), Area::NA);    // Toronto
+  EXPECT_EQ(gaz().area_of_city(*gaz().find_by_iata("SYD")), Area::APAC);  // Sydney
+  EXPECT_EQ(gaz().area_of_city(*gaz().find_by_iata("DXB")), Area::EMEA);  // Dubai
+  EXPECT_EQ(gaz().area_of_city(*gaz().find_by_iata("JNB")), Area::EMEA);  // Johannesburg
+}
+
+TEST(Gazetteer, AllAreasPopulated) {
+  for (std::size_t a = 0; a < kAreaCount; ++a) {
+    EXPECT_GE(gaz().cities_in_area(static_cast<Area>(a)).size(), 7u)
+        << "area " << to_string(static_cast<Area>(a));
+  }
+}
+
+TEST(Gazetteer, CitiesInCountry) {
+  const auto us = gaz().cities_in_country("US");
+  EXPECT_GE(us.size(), 20u);
+  const auto none = gaz().cities_in_country("XX");
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Gazetteer, NearestCityIsSelfForCityPoints) {
+  for (const char* iata : {"AMS", "SYD", "GRU", "IAD", "SIN"}) {
+    const auto id = gaz().find_by_iata(iata);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(gaz().nearest_city(gaz().city(*id).location), *id);
+  }
+}
+
+TEST(Gazetteer, NearestCityForArbitraryPoint) {
+  // A point in the Dutch countryside is closest to Amsterdam.
+  EXPECT_EQ(gaz().nearest_city(GeoPoint{52.2, 5.1}), *gaz().find_by_iata("AMS"));
+}
+
+TEST(Gazetteer, DistanceIsSymmetricAndPositive) {
+  const auto a = *gaz().find_by_iata("LHR");
+  const auto b = *gaz().find_by_iata("NRT");
+  EXPECT_GT(gaz().distance(a, b).km, 9000.0);
+  EXPECT_DOUBLE_EQ(gaz().distance(a, b).km, gaz().distance(b, a).km);
+}
+
+}  // namespace
+}  // namespace ranycast::geo

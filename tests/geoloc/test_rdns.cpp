@@ -1,0 +1,131 @@
+#include "ranycast/geoloc/rdns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/topo/generator.hpp"
+
+namespace ranycast::geoloc {
+namespace {
+
+CityId city(const char* iata) { return *geo::Gazetteer::world().find_by_iata(iata); }
+
+TEST(ParseGeoHint, ExtractsIataLabel) {
+  const GeoHint h = parse_geo_hint("ae-65.core1.ams.as3356.example.net");
+  EXPECT_EQ(h.kind, GeoHint::Kind::City);
+  EXPECT_EQ(h.city, city("AMS"));
+}
+
+TEST(ParseGeoHint, IgnoresNonAlphaLabels) {
+  const GeoHint h = parse_geo_hint("ae-65.cr1.as1234.example.net");
+  EXPECT_EQ(h.kind, GeoHint::Kind::None);
+}
+
+TEST(ParseGeoHint, CcTldFallback) {
+  const GeoHint h = parse_geo_hint("ae-2.bb.as9145.example.de");
+  EXPECT_EQ(h.kind, GeoHint::Kind::Country);
+  EXPECT_EQ(h.country, "DE");
+}
+
+TEST(ParseGeoHint, CityHintBeatsCcTld) {
+  const GeoHint h = parse_geo_hint("ae-1.fra.as9145.example.de");
+  EXPECT_EQ(h.kind, GeoHint::Kind::City);
+  EXPECT_EQ(h.city, city("FRA"));
+}
+
+TEST(ParseGeoHint, UnknownTldIsNone) {
+  EXPECT_EQ(parse_geo_hint("router.example.xx").kind, GeoHint::Kind::None);
+  EXPECT_EQ(parse_geo_hint("").kind, GeoHint::Kind::None);
+}
+
+TEST(ParseGeoHint, GenericTldsDoNotMatchAsCities) {
+  // "net"/"com" are 3-letter labels but not IATA codes in the gazetteer.
+  EXPECT_EQ(parse_geo_hint("core1.example.net").kind, GeoHint::Kind::None);
+  EXPECT_EQ(parse_geo_hint("core1.example.com").kind, GeoHint::Kind::None);
+}
+
+class RdnsOracleTest : public ::testing::Test {
+ protected:
+  RdnsOracleTest() : world_(topo::generate_world({.seed = 6, .stub_count = 200})) {}
+
+  RdnsOracle make_oracle(RdnsOracle::Config cfg = {}) {
+    return RdnsOracle{cfg, &world_.graph, &registry_, {{65000, "edgecastcdn.net"}}};
+  }
+
+  topo::World world_;
+  topo::IpRegistry registry_;
+};
+
+TEST_F(RdnsOracleTest, NoNameForNonRouterAddresses) {
+  auto oracle = make_oracle();
+  EXPECT_FALSE(oracle.name_for(Ipv4Addr(1, 2, 3, 4)).has_value());
+  // Probe host addresses have no PTR either.
+  const auto& stub = world_.graph.nodes().back();
+  const Ipv4Addr host = registry_.probe_ip(stub.asn, 0, stub.home_city);
+  EXPECT_FALSE(oracle.name_for(host).has_value());
+}
+
+TEST_F(RdnsOracleTest, NamesAreDeterministic) {
+  auto oracle = make_oracle();
+  const auto& transit = world_.graph.nodes()[20];
+  const Ipv4Addr ip = registry_.router_ip(transit.asn, transit.home_city);
+  EXPECT_EQ(oracle.name_for(ip), oracle.name_for(ip));
+}
+
+TEST_F(RdnsOracleTest, IataNamesParseBackToTrueCity) {
+  RdnsOracle::Config cfg;
+  cfg.iata_prob = 1.0;  // force IATA hints
+  cfg.cctld_prob = 0.0;
+  auto oracle = make_oracle(cfg);
+  int checked = 0;
+  for (const auto& n : world_.graph.nodes()) {
+    if (n.kind == topo::AsKind::Stub) continue;
+    const Ipv4Addr ip = registry_.router_ip(n.asn, n.home_city);
+    const auto name = oracle.name_for(ip);
+    ASSERT_TRUE(name.has_value());
+    const GeoHint hint = parse_geo_hint(*name);
+    ASSERT_EQ(hint.kind, GeoHint::Kind::City) << *name;
+    EXPECT_EQ(hint.city, n.home_city);
+    if (++checked == 25) break;
+  }
+  EXPECT_EQ(checked, 25);
+}
+
+TEST_F(RdnsOracleTest, CategorySplitApproximatesConfig) {
+  RdnsOracle::Config cfg;
+  cfg.iata_prob = 0.5;
+  cfg.cctld_prob = 0.2;
+  auto oracle = make_oracle(cfg);
+  int iata = 0, cctld = 0, none = 0, total = 0;
+  for (const auto& n : world_.graph.nodes()) {
+    if (n.kind == topo::AsKind::Stub) continue;
+    for (CityId c : n.footprint) {
+      const Ipv4Addr ip = registry_.router_ip(n.asn, c);
+      const auto name = oracle.name_for(ip);
+      ++total;
+      if (!name) {
+        ++none;
+      } else if (parse_geo_hint(*name).kind == GeoHint::Kind::City) {
+        ++iata;
+      } else {
+        ++cctld;
+      }
+    }
+  }
+  ASSERT_GT(total, 300);
+  EXPECT_NEAR(static_cast<double>(iata) / total, 0.5, 0.06);
+  EXPECT_NEAR(static_cast<double>(none) / total, 0.3, 0.06);
+}
+
+TEST_F(RdnsOracleTest, CdnRoutersUseOperatorDomain) {
+  RdnsOracle::Config cfg;
+  cfg.cdn_iata_prob = 1.0;
+  auto oracle = make_oracle(cfg);
+  const Ipv4Addr ip = registry_.router_ip(make_asn(65000), city("AMS"));
+  const auto name = oracle.name_for(ip);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_NE(name->find("edgecastcdn.net"), std::string::npos);
+  EXPECT_NE(name->find("ams"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ranycast::geoloc

@@ -1,0 +1,173 @@
+// End-to-end integration tests asserting the *shape* of the paper's headline
+// results on the default laboratory configuration: who wins, in which
+// direction, and roughly by how much — not absolute milliseconds.
+#include <gtest/gtest.h>
+
+#include "ranycast/analysis/classify.hpp"
+#include "ranycast/analysis/stats.hpp"
+#include "ranycast/atlas/grouping.hpp"
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/lab/lab.hpp"
+#include "ranycast/tangled/study.hpp"
+
+namespace ranycast {
+namespace {
+
+class PaperShapeTest : public ::testing::Test {
+ protected:
+  static lab::Lab make_lab() {
+    lab::LabConfig config;
+    config.world.stub_count = 1200;
+    config.census.total_probes = 5000;
+    return lab::Lab::create(config);
+  }
+
+  PaperShapeTest()
+      : lab_(make_lab()),
+        im6_(&lab_.add_deployment(cdn::catalog::imperva6())),
+        ns_(&lab_.add_deployment(cdn::catalog::imperva_ns())) {}
+
+  /// Per-area group-median RTTs for a measurement lambda.
+  template <typename F>
+  std::array<std::vector<double>, geo::kAreaCount> per_area_medians(F&& measure) {
+    std::array<std::vector<double>, geo::kAreaCount> out;
+    const auto retained = lab_.census().retained();
+    for (const auto& group : atlas::group_probes(retained)) {
+      const auto median = atlas::group_median(group, measure);
+      if (median) out[static_cast<int>(group.area)].push_back(*median);
+    }
+    return out;
+  }
+
+  lab::Lab lab_;
+  const lab::DeploymentHandle* im6_;
+  const lab::DeploymentHandle* ns_;
+};
+
+TEST_F(PaperShapeTest, RegionalReducesTailLatencyVsGlobal) {
+  auto regional = per_area_medians([&](const atlas::Probe* p) -> std::optional<double> {
+    const auto answer = lab_.dns_lookup(*p, *im6_, dns::QueryMode::Ldns);
+    const auto rtt = lab_.ping(*p, answer.address);
+    return rtt ? std::optional<double>(rtt->ms) : std::nullopt;
+  });
+  auto global = per_area_medians([&](const atlas::Probe* p) -> std::optional<double> {
+    const auto rtt = lab_.ping(*p, ns_->deployment.regions()[0].service_ip);
+    return rtt ? std::optional<double>(rtt->ms) : std::nullopt;
+  });
+  // Paper Table 3 / Fig 4c: regional anycast improves the 90th percentile in
+  // EMEA and NA substantially. We require improvement in at least 3 of the
+  // 4 areas and a >=30% cut in NA.
+  int improved = 0;
+  for (std::size_t a = 0; a < geo::kAreaCount; ++a) {
+    ASSERT_GT(regional[a].size(), 10u);
+    if (analysis::percentile(regional[a], 90) < analysis::percentile(global[a], 90)) ++improved;
+  }
+  EXPECT_GE(improved, 3);
+  const double na_regional = analysis::percentile(regional[static_cast<int>(geo::Area::NA)], 90);
+  const double na_global = analysis::percentile(global[static_cast<int>(geo::Area::NA)], 90);
+  EXPECT_LT(na_regional, 0.7 * na_global);
+}
+
+TEST_F(PaperShapeTest, MedianLatencyIsNotTheStory) {
+  // Regional anycast is a *tail* fix; medians may move less. Sanity-check
+  // that medians stay within the same order of magnitude.
+  auto regional = per_area_medians([&](const atlas::Probe* p) -> std::optional<double> {
+    const auto answer = lab_.dns_lookup(*p, *im6_, dns::QueryMode::Ldns);
+    const auto rtt = lab_.ping(*p, answer.address);
+    return rtt ? std::optional<double>(rtt->ms) : std::nullopt;
+  });
+  for (std::size_t a = 0; a < geo::kAreaCount; ++a) {
+    EXPECT_GT(analysis::percentile(regional[a], 50), 1.0);
+    EXPECT_LT(analysis::percentile(regional[a], 50), 120.0);
+  }
+}
+
+TEST_F(PaperShapeTest, DnsMappingMostlyEfficient) {
+  // Paper Table 2: 78%-99% of probes receive a regional IP within 5 ms of
+  // their lowest-latency regional IP.
+  const auto retained = lab_.census().retained();
+  std::size_t efficient = 0, total = 0;
+  for (const atlas::Probe* p : retained) {
+    const auto answer = lab_.dns_lookup(*p, *im6_, dns::QueryMode::Ldns);
+    const auto returned = lab_.ping(*p, answer.address);
+    if (!returned) continue;
+    double best = returned->ms;
+    for (const auto& region : im6_->deployment.regions()) {
+      const auto rtt = lab_.ping(*p, region.service_ip);
+      if (rtt) best = std::min(best, rtt->ms);
+    }
+    ++total;
+    if (returned->ms - best < analysis::kMappingThresholdMs) ++efficient;
+  }
+  ASSERT_GT(total, 1000u);
+  const double rate = static_cast<double>(efficient) / static_cast<double>(total);
+  EXPECT_GT(rate, 0.70);
+  EXPECT_LT(rate, 1.0);  // inefficiencies must exist, or the model is vacuous
+}
+
+TEST_F(PaperShapeTest, SomeProbesSufferSuboptimalRegionMapping) {
+  // The rigid-region pathologies (US/Canada border, Russia) must appear.
+  const auto retained = lab_.census().retained();
+  std::size_t suboptimal = 0, incorrect = 0;
+  for (const atlas::Probe* p : retained) {
+    const auto answer = lab_.dns_lookup(*p, *im6_, dns::QueryMode::Ldns);
+    const auto returned = lab_.ping(*p, answer.address);
+    if (!returned) continue;
+    double best = returned->ms;
+    for (const auto& region : im6_->deployment.regions()) {
+      const auto rtt = lab_.ping(*p, region.service_ip);
+      if (rtt) best = std::min(best, rtt->ms);
+    }
+    const bool intended = answer.region == im6_->deployment.intended_region(p->city);
+    switch (analysis::classify_mapping(returned->ms, best, intended)) {
+      case analysis::MappingOutcome::SubOptimalRegion:
+        ++suboptimal;
+        break;
+      case analysis::MappingOutcome::IncorrectRegion:
+        ++incorrect;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_GT(suboptimal, 0u);
+  EXPECT_GT(incorrect, 0u);
+}
+
+TEST_F(PaperShapeTest, TangledReOptBeatsGlobalEverywhere) {
+  // Paper Fig 6c: with latency-based partitioning, regional anycast beats
+  // global anycast in all areas.
+  tangled::StudyConfig config;
+  const auto study = tangled::run_study(lab_, config);
+  ASSERT_GE(study.reopt.k, 3);
+  ASSERT_LE(study.reopt.k, 6);
+  std::array<std::vector<double>, geo::kAreaCount> reopt_ms, global_ms;
+  for (const auto& r : study.results) {
+    const auto area = static_cast<int>(r.probe->area());
+    reopt_ms[area].push_back(r.route53_ms);
+    global_ms[area].push_back(r.global_ms);
+  }
+  for (std::size_t a = 0; a < geo::kAreaCount; ++a) {
+    ASSERT_GT(reopt_ms[a].size(), 20u);
+    EXPECT_LT(analysis::percentile(reopt_ms[a], 90), analysis::percentile(global_ms[a], 90))
+        << geo::to_string(static_cast<geo::Area>(a));
+  }
+}
+
+TEST_F(PaperShapeTest, Route53MappingCloseToDirectAssignment) {
+  // Paper Fig 6b: country-level Route 53 mapping is nearly as good as the
+  // per-probe optimal assignment.
+  const auto study = tangled::run_study(lab_, {});
+  std::vector<double> direct, route53;
+  for (const auto& r : study.results) {
+    direct.push_back(r.direct_ms);
+    route53.push_back(r.route53_ms);
+  }
+  const double p90_direct = analysis::percentile(direct, 90);
+  const double p90_route53 = analysis::percentile(route53, 90);
+  EXPECT_GE(p90_route53, p90_direct - 1.0);  // direct is the lower bound
+  EXPECT_LT(p90_route53, p90_direct * 1.5);  // and Route 53 is close to it
+}
+
+}  // namespace
+}  // namespace ranycast

@@ -1,0 +1,87 @@
+#include "ranycast/io/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::io {
+namespace {
+
+TEST(Config, EmptyObjectYieldsDefaults) {
+  const auto config = lab_config_from_json(parse_json_or_throw("{}"));
+  const lab::LabConfig defaults;
+  EXPECT_EQ(config.seed, defaults.seed);
+  EXPECT_EQ(config.world.stub_count, defaults.world.stub_count);
+  EXPECT_EQ(config.census.total_probes, defaults.census.total_probes);
+  EXPECT_DOUBLE_EQ(config.latency.per_hop_ms, defaults.latency.per_hop_ms);
+}
+
+TEST(Config, OverridesApply) {
+  const auto config = lab_config_from_json(parse_json_or_throw(R"({
+    "seed": 99,
+    "world": {"stub_count": 123, "tier1_count": 5, "tier1_city_coverage": 0.2},
+    "census": {"total_probes": 777, "resolver_local_prob": 0.5},
+    "latency": {"per_hop_ms": 0.9},
+    "geo_dbs": [{"name": "custom", "wrong_country_prob": 0.25}]
+  })"));
+  EXPECT_EQ(config.seed, 99u);
+  EXPECT_EQ(config.world.stub_count, 123);
+  EXPECT_EQ(config.world.tier1_count, 5);
+  EXPECT_DOUBLE_EQ(config.world.tier1_city_coverage, 0.2);
+  EXPECT_EQ(config.census.total_probes, 777);
+  EXPECT_DOUBLE_EQ(config.census.resolver_local_prob, 0.5);
+  EXPECT_DOUBLE_EQ(config.latency.per_hop_ms, 0.9);
+  EXPECT_EQ(config.geo_dbs[0].name, "custom");
+  EXPECT_DOUBLE_EQ(config.geo_dbs[0].wrong_country_prob, 0.25);
+  // The other databases keep their defaults.
+  const lab::LabConfig defaults;
+  EXPECT_EQ(config.geo_dbs[1].name, defaults.geo_dbs[1].name);
+}
+
+TEST(Config, UnknownKeysIgnored) {
+  const auto config = lab_config_from_json(
+      parse_json_or_throw(R"({"future_knob": 1, "world": {"also_future": 2}})"));
+  const lab::LabConfig defaults;
+  EXPECT_EQ(config.world.stub_count, defaults.world.stub_count);
+}
+
+TEST(Config, RoundTripsThroughJson) {
+  lab::LabConfig original;
+  original.seed = 4711;
+  original.world.stub_count = 999;
+  original.world.tier1_count = 17;
+  original.census.total_probes = 4242;
+  original.latency.jitter_max_ms = 3.25;
+  original.geo_dbs[2].wrong_country_prob = 0.123;
+
+  const auto json = lab_config_to_json(original);
+  const auto restored = lab_config_from_json(json);
+  EXPECT_EQ(restored.seed, original.seed);
+  EXPECT_EQ(restored.world.stub_count, original.world.stub_count);
+  EXPECT_EQ(restored.world.tier1_count, original.world.tier1_count);
+  EXPECT_EQ(restored.census.total_probes, original.census.total_probes);
+  EXPECT_DOUBLE_EQ(restored.latency.jitter_max_ms, original.latency.jitter_max_ms);
+  EXPECT_DOUBLE_EQ(restored.geo_dbs[2].wrong_country_prob,
+                   original.geo_dbs[2].wrong_country_prob);
+}
+
+TEST(Config, SerializedFormParsesAsJson) {
+  const auto json = lab_config_to_json(lab::LabConfig{});
+  const auto reparsed = parse_json_or_throw(json.dump(2));
+  EXPECT_TRUE(reparsed.is_object());
+  EXPECT_NE(reparsed.find("world"), nullptr);
+  EXPECT_NE(reparsed.find("geo_dbs"), nullptr);
+}
+
+TEST(Config, ReadFileThrowsOnMissing) {
+  EXPECT_THROW(read_file("/nonexistent/path/config.json"), std::runtime_error);
+}
+
+TEST(Config, ConfiguredLabIsUsable) {
+  const auto config = lab_config_from_json(parse_json_or_throw(
+      R"({"world": {"stub_count": 200}, "census": {"total_probes": 300}})"));
+  auto laboratory = lab::Lab::create(config);
+  EXPECT_GT(laboratory.census().probes().size(), 100u);
+  EXPECT_LE(laboratory.census().probes().size(), 300u);
+}
+
+}  // namespace
+}  // namespace ranycast::io

@@ -1,0 +1,105 @@
+#include "ranycast/analysis/stats.hpp"
+#include "ranycast/lab/comparison.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+
+namespace ranycast::lab {
+namespace {
+
+class ComparisonTest : public ::testing::Test {
+ protected:
+  static Lab make_lab() {
+    LabConfig config;
+    config.world.stub_count = 800;
+    config.census.total_probes = 2500;
+    return Lab::create(config);
+  }
+
+  ComparisonTest()
+      : lab_(make_lab()),
+        im6_(&lab_.add_deployment(cdn::catalog::imperva6())),
+        ns_(&lab_.add_deployment(cdn::catalog::imperva_ns())) {}
+
+  Lab lab_;
+  const DeploymentHandle* im6_;
+  const DeploymentHandle* ns_;
+};
+
+TEST_F(ComparisonTest, ProducesPairedGroups) {
+  const auto result = compare_regional_global(lab_, *im6_, *ns_);
+  EXPECT_GT(result.groups_total, 300u);
+  EXPECT_GT(result.groups_retained, 200u);
+  EXPECT_LE(result.groups_retained, result.groups_total);
+  EXPECT_EQ(result.groups.size(), result.groups_retained);
+}
+
+TEST_F(ComparisonTest, RetentionRateInPaperBallpark) {
+  // Paper §5.3: 82.1% of groups retained after the overlap filters.
+  const auto result = compare_regional_global(lab_, *im6_, *ns_);
+  EXPECT_GT(result.retention_rate(), 0.6);
+  EXPECT_LT(result.retention_rate(), 1.0);
+}
+
+TEST_F(ComparisonTest, FiltersReduceRetention) {
+  ComparisonConfig no_filters;
+  no_filters.filter_invalid_phop = false;
+  no_filters.filter_nonoverlapping_sites = false;
+  no_filters.filter_nonoverlapping_peers = false;
+  const auto unfiltered = compare_regional_global(lab_, *im6_, *ns_, no_filters);
+  const auto filtered = compare_regional_global(lab_, *im6_, *ns_);
+  EXPECT_GT(unfiltered.groups_retained, filtered.groups_retained);
+}
+
+TEST_F(ComparisonTest, PairedValuesArePositiveAndFinite) {
+  const auto result = compare_regional_global(lab_, *im6_, *ns_);
+  for (const PairedGroup& g : result.groups) {
+    EXPECT_GT(g.regional_ms, 0.0);
+    EXPECT_GT(g.global_ms, 0.0);
+    EXPECT_LT(g.regional_ms, 1000.0);
+    EXPECT_LT(g.global_ms, 1000.0);
+    EXPECT_GE(g.regional_km, 0.0);
+    EXPECT_GE(g.global_km, 0.0);
+  }
+}
+
+TEST_F(ComparisonTest, SameSiteFlagConsistentWithSiteFields) {
+  const auto result = compare_regional_global(lab_, *im6_, *ns_);
+  for (const PairedGroup& g : result.groups) {
+    EXPECT_EQ(g.same_site, g.regional_site == g.global_site);
+  }
+}
+
+TEST_F(ComparisonTest, RegionalImprovesTheTailOverall) {
+  const auto result = compare_regional_global(lab_, *im6_, *ns_);
+  std::vector<double> reg, glob;
+  for (const PairedGroup& g : result.groups) {
+    reg.push_back(g.regional_ms);
+    glob.push_back(g.global_ms);
+  }
+  EXPECT_LT(analysis::percentile(reg, 90), analysis::percentile(glob, 90));
+}
+
+TEST_F(ComparisonTest, CauseTallyCoversAllReducedGroups) {
+  const auto result = compare_regional_global(lab_, *im6_, *ns_);
+  const auto causes = classify_reduction_causes(result);
+  EXPECT_EQ(causes.reduced_groups,
+            causes.as_relationship + causes.peering_type + causes.unknown);
+  EXPECT_GT(causes.reduced_groups, 0u);
+  EXPECT_GT(causes.as_relationship, 0u);  // the dominant §5.4 mechanism
+}
+
+TEST_F(ComparisonTest, DeterministicAcrossRuns) {
+  const auto a = compare_regional_global(lab_, *im6_, *ns_);
+  const auto b = compare_regional_global(lab_, *im6_, *ns_);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.groups[i].regional_ms, b.groups[i].regional_ms);
+    EXPECT_DOUBLE_EQ(a.groups[i].global_ms, b.groups[i].global_ms);
+    EXPECT_EQ(a.groups[i].cause, b.groups[i].cause);
+  }
+}
+
+}  // namespace
+}  // namespace ranycast::lab

@@ -1,0 +1,95 @@
+#include "ranycast/partition/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ranycast/geo/gazetteer.hpp"
+
+namespace ranycast::partition {
+namespace {
+
+std::vector<geo::GeoPoint> tangled_like_points() {
+  const auto& gaz = geo::Gazetteer::world();
+  std::vector<geo::GeoPoint> points;
+  for (const char* iata : {"SYD", "SIN", "AMS", "LHR", "CDG", "WAW", "JNB", "IAD", "MIA",
+                           "SJC", "GRU", "POA"}) {
+    points.push_back(gaz.city(*gaz.find_by_iata(iata)).location);
+  }
+  return points;
+}
+
+TEST(KMeans, AssignmentCoversAllPoints) {
+  const auto points = tangled_like_points();
+  const auto result = kmeans(points, 4, {});
+  ASSERT_EQ(result.assignment.size(), points.size());
+  for (int a : result.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 4);
+  }
+}
+
+TEST(KMeans, AllClustersNonEmpty) {
+  const auto points = tangled_like_points();
+  for (int k = 2; k <= 6; ++k) {
+    const auto result = kmeans(points, k, {});
+    std::set<int> used(result.assignment.begin(), result.assignment.end());
+    EXPECT_EQ(used.size(), static_cast<std::size_t>(k)) << "k=" << k;
+  }
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  const auto points = tangled_like_points();
+  double prev = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= 6; ++k) {
+    const auto result = kmeans(points, k, {});
+    EXPECT_LE(result.inertia_km2, prev + 1e-6) << "k=" << k;
+    prev = result.inertia_km2;
+  }
+}
+
+TEST(KMeans, KEqualsNPerfectFit) {
+  const auto points = tangled_like_points();
+  const auto result = kmeans(points, static_cast<int>(points.size()), {});
+  EXPECT_NEAR(result.inertia_km2, 0.0, 1.0);
+}
+
+TEST(KMeans, Deterministic) {
+  const auto points = tangled_like_points();
+  const auto a = kmeans(points, 5, {});
+  const auto b = kmeans(points, 5, {});
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia_km2, b.inertia_km2);
+}
+
+TEST(KMeans, GeographicallyCloseSitesClusterTogether) {
+  const auto points = tangled_like_points();
+  const auto result = kmeans(points, 4, {});
+  // AMS (2), LHR (3), CDG (4) are within ~500 km of each other; any sane
+  // geographic clustering puts them in the same region.
+  EXPECT_EQ(result.assignment[2], result.assignment[3]);
+  EXPECT_EQ(result.assignment[2], result.assignment[4]);
+  // Sydney (0) is not in the European cluster.
+  EXPECT_NE(result.assignment[0], result.assignment[2]);
+}
+
+TEST(KMeans, SingleCluster) {
+  const auto points = tangled_like_points();
+  const auto result = kmeans(points, 1, {});
+  for (int a : result.assignment) EXPECT_EQ(a, 0);
+  EXPECT_EQ(result.k(), 1);
+}
+
+TEST(KMeans, CentroidsLieOnReasonableCoordinates) {
+  const auto points = tangled_like_points();
+  const auto result = kmeans(points, 3, {});
+  for (const auto& c : result.centroids) {
+    EXPECT_GE(c.lat_deg, -90.0);
+    EXPECT_LE(c.lat_deg, 90.0);
+    EXPECT_GE(c.lon_deg, -180.0);
+    EXPECT_LE(c.lon_deg, 180.0);
+  }
+}
+
+}  // namespace
+}  // namespace ranycast::partition

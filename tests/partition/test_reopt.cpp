@@ -1,0 +1,102 @@
+#include "ranycast/partition/reopt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::partition {
+namespace {
+
+CityId city(const char* iata) { return *geo::Gazetteer::world().find_by_iata(iata); }
+
+ReOptConfig make_config(int min_regions, int max_regions) {
+  ReOptConfig config;
+  config.min_regions = min_regions;
+  config.max_regions = max_regions;
+  return config;
+}
+
+/// A hand-built input: 4 sites (2 in Europe, 2 in the US), probes that are
+/// clearly closest to one site each.
+ReOptInput make_input() {
+  ReOptInput in;
+  in.site_cities = {city("AMS"), city("FRA"), city("IAD"), city("SJC")};
+  // Probes: 3 near AMS (NL), 2 near IAD (US east), 1 odd one out in the US
+  // whose lowest latency is to FRA (simulating a tunnel).
+  in.unicast_ms = {
+      {5, 9, 90, 140},    // NL probe
+      {6, 10, 95, 145},   // NL probe
+      {7, 11, 92, 142},   // NL probe
+      {85, 95, 4, 60},    // US-east probe
+      {88, 97, 6, 62},    // US-east probe
+      {80, 3, 70, 65},    // US-east probe with odd FRA affinity
+  };
+  in.probe_cities = {city("AMS"), city("AMS"), city("AMS"),
+                     city("IAD"), city("IAD"), city("IAD")};
+  return in;
+}
+
+TEST(ReOpt, ChoosesRegionCountWithinBounds) {
+  const auto result = reopt_partition(make_input(), make_config(2, 4));
+  EXPECT_GE(result.k, 2);
+  EXPECT_LE(result.k, 4);
+  EXPECT_EQ(result.site_region.size(), 4u);
+  EXPECT_EQ(result.probe_region.size(), 6u);
+}
+
+TEST(ReOpt, DirectAssignmentPicksLowestLatencyRegion) {
+  const auto input = make_input();
+  const auto result = reopt_partition(input, make_config(2, 2));
+  for (std::size_t p = 0; p < input.unicast_ms.size(); ++p) {
+    // The probe's region must contain its lowest-latency site.
+    std::size_t best_site = 0;
+    for (std::size_t s = 1; s < input.site_cities.size(); ++s) {
+      if (input.unicast_ms[p][s] < input.unicast_ms[p][best_site]) best_site = s;
+    }
+    EXPECT_EQ(result.probe_region[p], result.site_region[best_site]);
+  }
+}
+
+TEST(ReOpt, CountryMajorityOverridesMinority) {
+  const auto input = make_input();
+  const auto result = reopt_partition(input, make_config(2, 2));
+  // The odd US-east probe (lowest latency to FRA) is outvoted by the two
+  // IAD-affine probes: country "US" maps to the US region.
+  const int us_region = result.site_region[2];  // IAD's region
+  ASSERT_TRUE(result.country_region.count("US"));
+  EXPECT_EQ(result.country_region.at("US"), us_region);
+  // And the mapped region for the odd probe follows the country table.
+  EXPECT_EQ(result.mapped_region(5, input), us_region);
+}
+
+TEST(ReOpt, SweepRecordsEveryK) {
+  const auto result = reopt_partition(make_input(), make_config(2, 4));
+  EXPECT_EQ(result.sweep_mean_ms.size(), 3u);
+  // The chosen k minimizes the sweep metric.
+  const double chosen = result.sweep_mean_ms[static_cast<std::size_t>(result.k - 2)];
+  for (double m : result.sweep_mean_ms) EXPECT_GE(m + 1e-9, chosen);
+}
+
+TEST(ReOpt, BestInRegionMatchesMatrix) {
+  const auto input = make_input();
+  const std::vector<int> site_region{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(best_in_region(input, site_region, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(best_in_region(input, site_region, 0, 1), 90.0);
+  EXPECT_DOUBLE_EQ(best_in_region(input, site_region, 3, 1), 4.0);
+}
+
+TEST(ReOpt, MappedRegionFallsBackToDirectForUnknownCountry) {
+  ReOptInput in = make_input();
+  const auto result = reopt_partition(in, make_config(2, 2));
+  // Pretend a probe from a country not in the table: erase and check fallback.
+  ReOptResult modified = result;
+  modified.country_region.clear();
+  EXPECT_EQ(modified.mapped_region(0, in), result.probe_region[0]);
+}
+
+TEST(ReOpt, KCappedBySiteCount) {
+  ReOptInput in = make_input();  // 4 sites
+  const auto result = reopt_partition(in, make_config(3, 10));
+  EXPECT_LE(result.k, 4);
+}
+
+}  // namespace
+}  // namespace ranycast::partition

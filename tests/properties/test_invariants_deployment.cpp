@@ -1,0 +1,102 @@
+// Deployment invariants, parameterized over every catalog network.
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/lab/lab.hpp"
+#include "ranycast/tangled/testbed.hpp"
+
+namespace ranycast {
+namespace {
+
+cdn::DeploymentSpec spec_by_name(const std::string& name) {
+  if (name == "edgio3") return cdn::catalog::edgio3();
+  if (name == "edgio4") return cdn::catalog::edgio4();
+  if (name == "edgio-ns") return cdn::catalog::edgio_ns();
+  if (name == "imperva6") return cdn::catalog::imperva6();
+  if (name == "imperva-ns") return cdn::catalog::imperva_ns();
+  return tangled::global_spec();
+}
+
+class DeploymentInvariants : public ::testing::TestWithParam<const char*> {
+ protected:
+  static lab::Lab& shared_lab() {
+    static lab::Lab laboratory = [] {
+      lab::LabConfig config;
+      config.world.stub_count = 500;
+      config.census.total_probes = 1000;
+      return lab::Lab::create(config);
+    }();
+    return laboratory;
+  }
+};
+
+TEST_P(DeploymentInvariants, SpecSitesAllResolveToKnownCities) {
+  const auto spec = spec_by_name(GetParam());
+  const auto& gaz = geo::Gazetteer::world();
+  for (const auto& site : spec.sites) {
+    EXPECT_TRUE(gaz.find_by_iata(site.iata).has_value()) << site.iata;
+    for (std::size_t r : site.regions) {
+      EXPECT_LT(r, spec.region_names.size());
+    }
+  }
+  for (std::size_t r : spec.area_defaults) {
+    EXPECT_LT(r, spec.region_names.size());
+  }
+  for (const auto& [iso2, region] : spec.country_overrides) {
+    EXPECT_TRUE(gaz.find_country(iso2).has_value()) << iso2;
+    EXPECT_LT(region, spec.region_names.size());
+  }
+}
+
+TEST_P(DeploymentInvariants, EveryRegionIsAnnouncedSomewhere) {
+  const auto spec = spec_by_name(GetParam());
+  auto& laboratory = shared_lab();
+  const auto& handle = laboratory.add_deployment(spec);
+  for (std::size_t r = 0; r < handle.deployment.regions().size(); ++r) {
+    EXPECT_FALSE(handle.deployment.origins_for_region(r).empty())
+        << "region " << r << " has no origins";
+  }
+}
+
+TEST_P(DeploymentInvariants, SiteCountsAreConsistent) {
+  const auto spec = spec_by_name(GetParam());
+  auto& laboratory = shared_lab();
+  const auto& handle = laboratory.add_deployment(spec);
+  const auto counts = handle.deployment.site_count_by_area();
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  EXPECT_EQ(total, handle.deployment.sites().size());
+  EXPECT_EQ(handle.deployment.sites().size(), spec.sites.size());
+}
+
+TEST_P(DeploymentInvariants, AllRegionalPrefixesGloballyReachable) {
+  const auto spec = spec_by_name(GetParam());
+  auto& laboratory = shared_lab();
+  const auto& handle = laboratory.add_deployment(spec);
+  // §4.5 generalized: for every catalog network, every retained probe can
+  // reach every regional prefix.
+  const auto retained = laboratory.census().retained();
+  for (const auto& region : handle.deployment.regions()) {
+    for (std::size_t i = 0; i < retained.size(); i += 17) {  // sampled
+      EXPECT_TRUE(laboratory.ping(*retained[i], region.service_ip).has_value());
+    }
+  }
+}
+
+TEST_P(DeploymentInvariants, MappingIsDeterministic) {
+  const auto spec = spec_by_name(GetParam());
+  auto& laboratory = shared_lab();
+  const auto& handle = laboratory.add_deployment(spec);
+  const atlas::Probe* p = laboratory.census().retained().front();
+  const auto a = laboratory.dns_lookup(*p, handle, dns::QueryMode::Ldns);
+  const auto b = laboratory.dns_lookup(*p, handle, dns::QueryMode::Ldns);
+  EXPECT_EQ(a.region, b.region);
+  EXPECT_EQ(a.address, b.address);
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, DeploymentInvariants,
+                         ::testing::Values("edgio3", "edgio4", "edgio-ns", "imperva6",
+                                           "imperva-ns", "tangled"));
+
+}  // namespace
+}  // namespace ranycast

@@ -1,0 +1,99 @@
+// Geolocation-pipeline properties under swept rDNS naming cultures: as
+// operators name more routers with city hints, the cascade resolves more;
+// the technique fractions always form a distribution.
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+#include <set>
+
+#include "ranycast/geoloc/pipeline.hpp"
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::geoloc {
+namespace {
+
+class PipelineSweep : public ::testing::TestWithParam<double> {
+ protected:
+  static lab::Lab& shared_lab() {
+    static lab::Lab laboratory = [] {
+      lab::LabConfig config;
+      config.world.stub_count = 600;
+      config.census.total_probes = 2000;
+      return lab::Lab::create(config);
+    }();
+    return laboratory;
+  }
+
+  static const lab::DeploymentHandle& deployment() {
+    static const lab::DeploymentHandle& handle =
+        shared_lab().add_deployment(cdn::catalog::imperva6());
+    return handle;
+  }
+
+  static const std::vector<TraceObservation>& observations() {
+    static const std::vector<TraceObservation> obs = [] {
+      std::vector<TraceObservation> out;
+      auto& laboratory = shared_lab();
+      for (const atlas::Probe* p : laboratory.census().retained()) {
+        const auto answer = laboratory.dns_lookup(*p, deployment(), dns::QueryMode::Ldns);
+        auto trace = laboratory.traceroute(*p, answer.address);
+        if (!trace) continue;
+        out.push_back(TraceObservation{p, std::move(*trace), answer.region});
+      }
+      return out;
+    }();
+    return obs;
+  }
+
+ public:
+  static EnumerationResult run_with_iata_prob(double iata_prob) {
+    RdnsOracle::Config cfg;
+    cfg.iata_prob = iata_prob;
+    cfg.cctld_prob = std::min(0.2, 1.0 - iata_prob);
+    const RdnsOracle oracle{cfg, &shared_lab().world().graph, &shared_lab().registry(),
+                            {{cdn::catalog::kImpervaAsn, "incapdns.net"}}};
+    std::vector<CityId> published;
+    for (const cdn::Site& s : deployment().deployment.sites()) published.push_back(s.city);
+    return enumerate_sites(observations(), published, oracle,
+                           {&shared_lab().db(0), &shared_lab().db(1), &shared_lab().db(2)},
+                           {});
+  }
+};
+
+TEST_P(PipelineSweep, FractionsFormADistribution) {
+  const auto result = run_with_iata_prob(GetParam());
+  double phops = 0.0, traces = 0.0;
+  for (int t = 0; t < static_cast<int>(kTechniqueCount); ++t) {
+    const double pf = result.phop_fraction(static_cast<Technique>(t));
+    const double tf = result.trace_fraction(static_cast<Technique>(t));
+    EXPECT_GE(pf, 0.0);
+    EXPECT_LE(pf, 1.0);
+    phops += pf;
+    traces += tf;
+  }
+  EXPECT_NEAR(phops, 1.0, 1e-9);
+  EXPECT_NEAR(traces, 1.0, 1e-9);
+}
+
+TEST_P(PipelineSweep, EnumeratedSitesStayWithinPublishedList) {
+  const auto result = run_with_iata_prob(GetParam());
+  std::set<CityId> published;
+  for (const cdn::Site& s : deployment().deployment.sites()) published.insert(s.city);
+  for (const auto& [city, regions] : result.site_regions) {
+    EXPECT_TRUE(published.count(city));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IataProb, PipelineSweep, ::testing::Values(0.0, 0.3, 0.7, 1.0));
+
+TEST(PipelineMonotonicity, MoreCityHintsResolveMore) {
+  // Not a TEST_P: needs two configurations side by side.
+  const auto none = PipelineSweep::run_with_iata_prob(0.0);
+  const auto full = PipelineSweep::run_with_iata_prob(1.0);
+  EXPECT_LT(full.trace_fraction(Technique::Unresolved),
+            none.trace_fraction(Technique::Unresolved) + 1e-9);
+  EXPECT_GT(full.trace_fraction(Technique::Rdns), none.trace_fraction(Technique::Rdns));
+}
+
+}  // namespace
+}  // namespace ranycast::geoloc

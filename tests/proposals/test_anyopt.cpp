@@ -1,0 +1,91 @@
+#include "ranycast/proposals/anyopt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/tangled/testbed.hpp"
+
+namespace ranycast::proposals {
+namespace {
+
+class AnyOptTest : public ::testing::Test {
+ protected:
+  static lab::Lab make_lab() {
+    lab::LabConfig config;
+    config.world.stub_count = 500;
+    config.census.total_probes = 1200;
+    return lab::Lab::create(config);
+  }
+
+  AnyOptTest() : lab_(make_lab()) {}
+
+  lab::Lab lab_;
+};
+
+TEST_F(AnyOptTest, LearnsAllPairs) {
+  const auto spec = tangled::global_spec();
+  const auto model = AnyOptModel::learn(lab_, spec);
+  EXPECT_EQ(model.site_count(), 12u);
+}
+
+TEST_F(AnyOptTest, SingletonSubsetPredictsItself) {
+  const auto spec = tangled::global_spec();
+  const auto model = AnyOptModel::learn(lab_, spec);
+  const atlas::Probe* p = lab_.census().retained().front();
+  for (std::size_t s = 0; s < 3; ++s) {
+    const std::size_t subset[] = {s};
+    const auto predicted = model.predict(p->asn, subset);
+    ASSERT_TRUE(predicted.has_value());
+    EXPECT_EQ(*predicted, s);
+  }
+}
+
+TEST_F(AnyOptTest, EmptySubsetYieldsNullopt) {
+  const auto spec = tangled::global_spec();
+  const auto model = AnyOptModel::learn(lab_, spec);
+  const atlas::Probe* p = lab_.census().retained().front();
+  EXPECT_FALSE(model.predict(p->asn, {}).has_value());
+}
+
+TEST_F(AnyOptTest, PairwisePredictionMatchesPairwiseDeployment) {
+  // For two-site subsets the prediction is the measured experiment itself.
+  const auto spec = tangled::global_spec();
+  const auto model = AnyOptModel::learn(lab_, spec);
+  const std::size_t subset[] = {0, 5};
+  const atlas::Probe* p = lab_.census().retained().front();
+  const auto predicted = model.predict(p->asn, subset);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_TRUE(*predicted == 0 || *predicted == 5);
+}
+
+TEST_F(AnyOptTest, FullSetPredictionIsMostlyAccurate) {
+  // AnyOpt's premise: pairwise results predict full-deployment catchments.
+  const auto spec = tangled::global_spec();
+  const auto model = AnyOptModel::learn(lab_, spec);
+  const auto& full = lab_.add_deployment(spec);
+  const double accuracy = model.validate(lab_, full);
+  EXPECT_GT(accuracy, 0.75) << "pairwise tournament should predict most catchments";
+}
+
+TEST_F(AnyOptTest, OptimizerReturnsUsableSubset) {
+  const auto result = anyopt_optimize(lab_, tangled::global_spec());
+  ASSERT_FALSE(result.chosen_sites.empty());
+  EXPECT_LE(result.chosen_sites.size(), 12u);
+  ASSERT_NE(result.deployment, nullptr);
+  EXPECT_GT(result.measured_mean_ms, 0.0);
+  // The optimizer's subset should not be much worse than announcing
+  // everything (it may even be better - that is AnyOpt's point).
+  const auto& everything = lab_.add_deployment(tangled::global_spec());
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const atlas::Probe* p : lab_.census().retained()) {
+    if (const auto rtt = lab_.ping(*p, everything.deployment.regions()[0].service_ip)) {
+      total += rtt->ms;
+      ++counted;
+    }
+  }
+  const double all_mean = total / static_cast<double>(counted);
+  EXPECT_LT(result.measured_mean_ms, all_mean * 1.25);
+}
+
+}  // namespace
+}  // namespace ranycast::proposals

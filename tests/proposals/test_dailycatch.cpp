@@ -1,0 +1,79 @@
+#include "ranycast/proposals/dailycatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/tangled/testbed.hpp"
+
+namespace ranycast::proposals {
+namespace {
+
+class DailyCatchTest : public ::testing::Test {
+ protected:
+  static lab::Lab make_lab() {
+    lab::LabConfig config;
+    config.world.stub_count = 600;
+    config.census.total_probes = 1500;
+    return lab::Lab::create(config);
+  }
+
+  DailyCatchTest() : lab_(make_lab()) {}
+
+  lab::Lab lab_;
+};
+
+TEST_F(DailyCatchTest, TransitOnlyKeepsOnlyCustomerAttachments) {
+  const auto dep = filtered_deployment(cdn::catalog::imperva6(), true, false, lab_.world(),
+                                       lab_.registry());
+  for (const cdn::Site& s : dep.sites()) {
+    EXPECT_FALSE(s.attachments.empty());
+    for (const cdn::Attachment& a : s.attachments) {
+      EXPECT_EQ(a.rel, topo::Rel::Customer);
+    }
+  }
+}
+
+TEST_F(DailyCatchTest, AllPeerPrefersPeersButNeverStrands) {
+  const auto base = cdn::build_deployment(cdn::catalog::imperva6(), lab_.world(),
+                                          lab_.registry());
+  const auto dep = filtered_deployment(cdn::catalog::imperva6(), false, true, lab_.world(),
+                                       lab_.registry());
+  ASSERT_EQ(dep.sites().size(), base.sites().size());
+  for (std::size_t i = 0; i < dep.sites().size(); ++i) {
+    const auto& site = dep.sites()[i];
+    ASSERT_FALSE(site.attachments.empty()) << "stranded site " << i;
+    const bool base_had_peers =
+        std::any_of(base.sites()[i].attachments.begin(), base.sites()[i].attachments.end(),
+                    [](const cdn::Attachment& a) { return topo::is_peer(a.rel); });
+    for (const cdn::Attachment& a : site.attachments) {
+      if (base_had_peers) {
+        EXPECT_TRUE(topo::is_peer(a.rel));
+      } else {
+        EXPECT_EQ(a.rel, topo::Rel::Customer);  // the fallback transit uplink
+      }
+    }
+  }
+}
+
+TEST_F(DailyCatchTest, ChoosesTheBetterMeasuredConfiguration) {
+  const auto outcome = run_dailycatch(lab_, tangled::global_spec());
+  ASSERT_NE(outcome.transit_only, nullptr);
+  ASSERT_NE(outcome.all_peer, nullptr);
+  ASSERT_NE(outcome.chosen, nullptr);
+  const double chosen_mean =
+      outcome.chose_transit() ? outcome.transit_mean_ms : outcome.peer_mean_ms;
+  EXPECT_LE(chosen_mean, outcome.transit_mean_ms);
+  EXPECT_LE(chosen_mean, outcome.peer_mean_ms);
+}
+
+TEST_F(DailyCatchTest, BothConfigurationsRemainUsable) {
+  const auto outcome = run_dailycatch(lab_, tangled::global_spec());
+  const atlas::Probe* p = lab_.census().retained().front();
+  EXPECT_TRUE(
+      lab_.ping(*p, outcome.transit_only->deployment.regions()[0].service_ip).has_value());
+  EXPECT_TRUE(
+      lab_.ping(*p, outcome.all_peer->deployment.regions()[0].service_ip).has_value());
+}
+
+}  // namespace
+}  // namespace ranycast::proposals

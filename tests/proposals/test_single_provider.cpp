@@ -1,0 +1,86 @@
+#include "ranycast/proposals/single_provider.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/lab/lab.hpp"
+#include "ranycast/tangled/testbed.hpp"
+
+namespace ranycast::proposals {
+namespace {
+
+class SingleProviderTest : public ::testing::Test {
+ protected:
+  static lab::Lab make_lab() {
+    lab::LabConfig config;
+    config.world.stub_count = 600;
+    config.census.total_probes = 1500;
+    return lab::Lab::create(config);
+  }
+
+  SingleProviderTest() : lab_(make_lab()) {}
+
+  lab::Lab lab_;
+};
+
+TEST_F(SingleProviderTest, BestProviderIsTier1WithCoverage) {
+  const auto spec = tangled::global_spec();
+  const Asn provider = best_single_provider(spec, lab_.world());
+  ASSERT_NE(provider, kInvalidAsn);
+  const topo::AsNode* node = lab_.world().graph.find(provider);
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->kind, topo::AsKind::Tier1);
+}
+
+TEST_F(SingleProviderTest, EverySiteAttachesOnlyToProvider) {
+  const auto spec = tangled::global_spec();
+  const Asn provider = best_single_provider(spec, lab_.world());
+  const auto dep =
+      single_provider_deployment(spec, provider, lab_.world(), lab_.registry());
+  EXPECT_EQ(dep.sites().size(), spec.sites.size());
+  for (const cdn::Site& s : dep.sites()) {
+    ASSERT_EQ(s.attachments.size(), 1u);
+    EXPECT_EQ(s.attachments[0].neighbor, provider);
+    EXPECT_EQ(s.attachments[0].rel, topo::Rel::Customer);
+  }
+}
+
+TEST_F(SingleProviderTest, StaysDeployableAndReachable) {
+  const auto spec = tangled::global_spec();
+  const Asn provider = best_single_provider(spec, lab_.world());
+  const auto& handle = lab_.add_deployment(
+      single_provider_deployment(spec, provider, lab_.world(), lab_.registry()));
+  std::size_t reachable = 0;
+  const auto retained = lab_.census().retained();
+  for (const atlas::Probe* p : retained) {
+    if (lab_.ping(*p, handle.deployment.regions()[0].service_ip)) ++reachable;
+  }
+  EXPECT_EQ(reachable, retained.size());
+}
+
+TEST_F(SingleProviderTest, FreshPrefixesDoNotCollideWithBase) {
+  const auto spec = tangled::global_spec();
+  const auto& base = lab_.add_deployment(spec);
+  const Asn provider = best_single_provider(spec, lab_.world());
+  const auto& variant = lab_.add_deployment(
+      single_provider_deployment(spec, provider, lab_.world(), lab_.registry()));
+  EXPECT_NE(base.deployment.regions()[0].prefix, variant.deployment.regions()[0].prefix);
+}
+
+TEST_F(SingleProviderTest, CatchmentConfinedToProviderCone) {
+  // Inside one provider, BGP's inter-provider policies cannot act: every
+  // client's route enters the CDN through the chosen carrier.
+  const auto spec = tangled::global_spec();
+  const Asn provider = best_single_provider(spec, lab_.world());
+  const auto& handle = lab_.add_deployment(
+      single_provider_deployment(spec, provider, lab_.world(), lab_.registry()));
+  for (const atlas::Probe* p : lab_.census().retained()) {
+    const bgp::Route* r = handle.route_for(p->asn, 0);
+    ASSERT_NE(r, nullptr);
+    ASSERT_GE(r->as_path.size(), 2u);
+    EXPECT_EQ(r->as_path[1], provider);  // first hop out of the CDN
+  }
+}
+
+}  // namespace
+}  // namespace ranycast::proposals

@@ -1,0 +1,99 @@
+#include "ranycast/resilience/failover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+
+namespace ranycast::resilience {
+namespace {
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  static lab::Lab make_lab() {
+    lab::LabConfig config;
+    config.world.stub_count = 800;
+    config.census.total_probes = 2500;
+    return lab::Lab::create(config);
+  }
+
+  FailoverTest() : lab_(make_lab()), im6_(&lab_.add_deployment(cdn::catalog::imperva6())) {}
+
+  /// A site that actually serves probes (so the experiment has subjects).
+  SiteId busiest_site() {
+    std::map<std::uint16_t, int> counts;
+    for (const atlas::Probe* p : lab_.census().retained()) {
+      const auto answer = lab_.dns_lookup(*p, *im6_, dns::QueryMode::Ldns);
+      const bgp::Route* r = im6_->route_for(p->asn, answer.region);
+      if (r != nullptr) counts[value(r->origin_site)]++;
+    }
+    std::uint16_t best = 0;
+    int best_count = -1;
+    for (const auto& [site, count] : counts) {
+      if (count > best_count) {
+        best_count = count;
+        best = site;
+      }
+    }
+    return SiteId{best};
+  }
+
+  lab::Lab lab_;
+  const lab::DeploymentHandle* im6_;
+};
+
+TEST_F(FailoverTest, WithdrawSiteRemovesItsAnnouncements) {
+  const SiteId victim{0};
+  const auto dep = withdraw_site(im6_->deployment, victim, lab_.registry());
+  EXPECT_TRUE(dep.site(victim).regions.empty());
+  // Other sites keep announcing.
+  std::size_t announcing = 0;
+  for (const cdn::Site& s : dep.sites()) {
+    if (!s.regions.empty()) ++announcing;
+  }
+  EXPECT_EQ(announcing, dep.sites().size() - 1);
+}
+
+TEST_F(FailoverTest, WithdrawnDeploymentUsesFreshPrefixes) {
+  const auto dep = withdraw_site(im6_->deployment, SiteId{0}, lab_.registry());
+  for (std::size_t r = 0; r < dep.regions().size(); ++r) {
+    EXPECT_NE(dep.regions()[r].prefix, im6_->deployment.regions()[r].prefix);
+  }
+}
+
+TEST_F(FailoverTest, AllAffectedProbesSurviveFailover) {
+  // §4.5's robustness claim: regional prefixes stay reachable, so a site
+  // failure reroutes rather than blackholes (the US region has many sites).
+  const SiteId victim = busiest_site();
+  const auto report = fail_site(lab_, *im6_, victim);
+  ASSERT_GT(report.affected_probes, 10u);
+  EXPECT_EQ(report.still_served, report.affected_probes);
+  EXPECT_DOUBLE_EQ(report.survival_rate(), 1.0);
+}
+
+TEST_F(FailoverTest, FailoverCostsLatencyButStaysBounded) {
+  const SiteId victim = busiest_site();
+  const auto report = fail_site(lab_, *im6_, victim);
+  // Losing the best site cannot improve the median for its own catchment.
+  EXPECT_GE(report.after_p50_ms + 1.0, report.before_p50_ms);
+  // Regional failover is bounded: the spill stays inside the regional
+  // announcement set, not on another continent.
+  EXPECT_LT(report.after_p90_ms, 250.0);
+}
+
+TEST_F(FailoverTest, RegionalFailoverMostlyStaysInArea) {
+  const SiteId victim = busiest_site();
+  const auto report = fail_site(lab_, *im6_, victim);
+  ASSERT_GT(report.still_served, 0u);
+  EXPECT_GT(static_cast<double>(report.failover_in_region) /
+                static_cast<double>(report.still_served),
+            0.6);
+}
+
+TEST_F(FailoverTest, NobodyServedByOtherSitesIsAffected) {
+  const auto report = fail_site(lab_, *im6_, busiest_site());
+  const auto retained = lab_.census().retained();
+  EXPECT_LT(report.affected_probes, retained.size());
+}
+
+}  // namespace
+}  // namespace ranycast::resilience

@@ -1,0 +1,59 @@
+#include "ranycast/resilience/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+
+namespace ranycast::resilience {
+namespace {
+
+class StabilityTest : public ::testing::Test {
+ protected:
+  static lab::Lab make_lab() {
+    lab::LabConfig config;
+    config.world.stub_count = 600;
+    config.census.total_probes = 1200;
+    return lab::Lab::create(config);
+  }
+
+  StabilityTest() : lab_(make_lab()), im6_(&lab_.add_deployment(cdn::catalog::imperva6())) {}
+
+  lab::Lab lab_;
+  const lab::DeploymentHandle* im6_;
+};
+
+TEST_F(StabilityTest, MostCatchmentsArePinnedByPolicy) {
+  // The paper observed identical site partitions weekly for two months; in
+  // the model, most catchments must be invariant to the arbitrary tie-break
+  // (they are decided by local-pref, path length and geography). The CA
+  // region (2 sites, heavy tie-breaking) is the stress case; the clear
+  // majority must still be pinned.
+  const auto report = catchment_stability(lab_, im6_->deployment, 0, 5);
+  EXPECT_EQ(report.trials, 5u);
+  EXPECT_GT(report.ases_observed, 500u);
+  EXPECT_GT(report.stable_fraction(), 0.65);
+  EXPECT_GT(report.mean_pairwise_agreement, report.stable_fraction());
+}
+
+TEST_F(StabilityTest, SomeCatchmentsHangOnTieBreaks) {
+  // ... but not all: the paper's "BGP route-selection uncertainty" (§5.3)
+  // must exist, or identical-path RTT differences would be inexplicable.
+  const auto report = catchment_stability(lab_, im6_->deployment, 1, 5);
+  EXPECT_LT(report.stable_fraction(), 1.0);
+}
+
+TEST_F(StabilityTest, SingleTrialIsTriviallyStable) {
+  const auto report = catchment_stability(lab_, im6_->deployment, 0, 1);
+  EXPECT_DOUBLE_EQ(report.stable_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_pairwise_agreement, 1.0);
+}
+
+TEST_F(StabilityTest, DeterministicAcrossCalls) {
+  const auto a = catchment_stability(lab_, im6_->deployment, 0, 3);
+  const auto b = catchment_stability(lab_, im6_->deployment, 0, 3);
+  EXPECT_EQ(a.ases_stable, b.ases_stable);
+  EXPECT_DOUBLE_EQ(a.mean_pairwise_agreement, b.mean_pairwise_agreement);
+}
+
+}  // namespace
+}  // namespace ranycast::resilience

@@ -1,0 +1,85 @@
+#include "ranycast/tangled/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ranycast::tangled {
+namespace {
+
+class StudyTest : public ::testing::Test {
+ protected:
+  static lab::Lab make_lab() {
+    lab::LabConfig config;
+    config.world.stub_count = 800;
+    config.census.total_probes = 2500;
+    return lab::Lab::create(config);
+  }
+
+  StudyTest() : lab_(make_lab()), study_(run_study(lab_)) {}
+
+  lab::Lab lab_;
+  TangledStudy study_;
+};
+
+TEST_F(StudyTest, UnicastMatrixShapeMatchesTestbed) {
+  EXPECT_EQ(study_.input.site_cities.size(), 12u);
+  EXPECT_EQ(study_.input.unicast_ms.size(), lab_.census().retained().size());
+  for (const auto& row : study_.input.unicast_ms) {
+    ASSERT_EQ(row.size(), 12u);
+    for (double ms : row) EXPECT_GT(ms, 0.0);
+  }
+}
+
+TEST_F(StudyTest, ChosenKWithinSweepBounds) {
+  EXPECT_GE(study_.reopt.k, 3);
+  EXPECT_LE(study_.reopt.k, 6);
+  EXPECT_EQ(study_.reopt.sweep_mean_ms.size(), 4u);
+  // The chosen k has the minimal sweep value.
+  const double chosen = study_.reopt.sweep_mean_ms[static_cast<std::size_t>(study_.reopt.k - 3)];
+  for (double m : study_.reopt.sweep_mean_ms) EXPECT_GE(m + 1e-9, chosen);
+}
+
+TEST_F(StudyTest, EveryRegionHasAtLeastOneSite) {
+  std::set<int> used(study_.reopt.site_region.begin(), study_.reopt.site_region.end());
+  EXPECT_EQ(used.size(), static_cast<std::size_t>(study_.reopt.k));
+}
+
+TEST_F(StudyTest, ResultsCoverMostRetainedProbes) {
+  EXPECT_GT(study_.results.size(), lab_.census().retained().size() * 9 / 10);
+  for (const auto& r : study_.results) {
+    EXPECT_GT(r.global_ms, 0.0);
+    EXPECT_GT(r.direct_ms, 0.0);
+    EXPECT_GT(r.route53_ms, 0.0);
+  }
+}
+
+TEST_F(StudyTest, DirectAssignmentIsTheRegionalLowerBoundOnAverage) {
+  double direct = 0.0, route53 = 0.0;
+  for (const auto& r : study_.results) {
+    direct += r.direct_ms;
+    route53 += r.route53_ms;
+  }
+  // Country-level mapping can only add geolocation/majority-vote error.
+  EXPECT_LE(direct, route53 * 1.02);
+}
+
+TEST_F(StudyTest, RegionalBeatsGlobalOnMeanOverall) {
+  double regional = 0.0, global = 0.0;
+  for (const auto& r : study_.results) {
+    regional += r.route53_ms;
+    global += r.global_ms;
+  }
+  EXPECT_LT(regional, global);
+}
+
+TEST_F(StudyTest, DeploymentsRegistered) {
+  ASSERT_NE(study_.global, nullptr);
+  ASSERT_NE(study_.regional, nullptr);
+  EXPECT_TRUE(study_.global->deployment.is_global());
+  EXPECT_EQ(study_.regional->deployment.regions().size(),
+            static_cast<std::size_t>(study_.reopt.k));
+}
+
+}  // namespace
+}  // namespace ranycast::tangled

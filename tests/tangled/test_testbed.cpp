@@ -1,0 +1,48 @@
+#include "ranycast/tangled/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+
+namespace ranycast::tangled {
+namespace {
+
+TEST(Testbed, TwelveSites) {
+  EXPECT_EQ(site_cities().size(), 12u);
+}
+
+TEST(Testbed, GlobalSpecAnnouncesOnePrefixEverywhere) {
+  const auto spec = global_spec();
+  EXPECT_EQ(spec.region_names.size(), 1u);
+  EXPECT_EQ(spec.sites.size(), 12u);
+  for (const auto& s : spec.sites) {
+    ASSERT_EQ(s.regions.size(), 1u);
+    EXPECT_EQ(s.regions[0], 0u);
+  }
+}
+
+TEST(Testbed, RegionalSpecFollowsAssignment) {
+  const std::vector<int> assignment{0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 3, 3};
+  const auto spec = regional_spec(assignment, 4);
+  EXPECT_EQ(spec.region_names.size(), 4u);
+  ASSERT_EQ(spec.sites.size(), 12u);
+  for (std::size_t i = 0; i < spec.sites.size(); ++i) {
+    ASSERT_EQ(spec.sites[i].regions.size(), 1u);
+    EXPECT_EQ(spec.sites[i].regions[0], static_cast<std::size_t>(assignment[i]));
+  }
+}
+
+TEST(Testbed, UnicastSpecIsSingleSite) {
+  const auto spec = unicast_site_spec(3);
+  EXPECT_EQ(spec.sites.size(), 1u);
+  EXPECT_EQ(spec.sites[0].iata, cdn::catalog::tangled_sites()[3]);
+}
+
+TEST(Testbed, AllSpecsShareAttachmentSeedAndAsn) {
+  EXPECT_EQ(global_spec().attachment_seed, regional_spec(std::vector<int>(12, 0), 1).attachment_seed);
+  EXPECT_EQ(global_spec().attachment_seed, unicast_site_spec(0).attachment_seed);
+  EXPECT_EQ(global_spec().asn, make_asn(cdn::catalog::kTangledAsn));
+}
+
+}  // namespace
+}  // namespace ranycast::tangled

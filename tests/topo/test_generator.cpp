@@ -1,0 +1,200 @@
+#include "ranycast/topo/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ranycast::topo {
+namespace {
+
+GeneratorParams small_params(std::uint64_t seed = 1) {
+  GeneratorParams p;
+  p.seed = seed;
+  p.stub_count = 400;
+  p.international_transits = 24;
+  return p;
+}
+
+TEST(Generator, ProducesExpectedPopulation) {
+  const World world = generate_world(small_params());
+  const auto& g = world.graph;
+  std::size_t tier1 = 0, transit = 0, stub = 0;
+  for (const AsNode& n : g.nodes()) {
+    switch (n.kind) {
+      case AsKind::Tier1:
+        ++tier1;
+        break;
+      case AsKind::Transit:
+        ++transit;
+        break;
+      case AsKind::Stub:
+        ++stub;
+        break;
+    }
+  }
+  EXPECT_EQ(tier1, 24u);
+  EXPECT_GE(transit, 50u);
+  EXPECT_EQ(stub, 400u);
+}
+
+TEST(Generator, Tier1sFormFullClique) {
+  const World world = generate_world(small_params());
+  const auto& g = world.graph;
+  std::vector<Asn> tier1s;
+  for (const AsNode& n : g.nodes()) {
+    if (n.kind == AsKind::Tier1) tier1s.push_back(n.asn);
+  }
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+      EXPECT_TRUE(g.has_edge(tier1s[i], tier1s[j]));
+    }
+  }
+}
+
+TEST(Generator, Tier1sHaveNoProviders) {
+  const World world = generate_world(small_params());
+  for (const AsNode& n : world.graph.nodes()) {
+    if (n.kind != AsKind::Tier1) continue;
+    for (const Edge& e : n.edges) {
+      EXPECT_NE(e.rel, Rel::Provider) << "tier-1 AS " << value(n.asn) << " has a provider";
+    }
+  }
+}
+
+TEST(Generator, EveryStubHasAProvider) {
+  const World world = generate_world(small_params());
+  for (const AsNode& n : world.graph.nodes()) {
+    if (n.kind != AsKind::Stub) continue;
+    const bool has_provider = std::any_of(n.edges.begin(), n.edges.end(),
+                                          [](const Edge& e) { return e.rel == Rel::Provider; });
+    EXPECT_TRUE(has_provider) << "stub AS " << value(n.asn);
+  }
+}
+
+TEST(Generator, StubProvidersInterconnectAtStubHome) {
+  const World world = generate_world(small_params());
+  for (const AsNode& n : world.graph.nodes()) {
+    if (n.kind != AsKind::Stub) continue;
+    for (const Edge& e : n.edges) {
+      if (e.rel != Rel::Provider) continue;
+      ASSERT_EQ(e.cities.size(), 1u);
+      EXPECT_EQ(e.cities[0], n.home_city);
+    }
+  }
+}
+
+TEST(Generator, EdgeCitiesNeverEmpty) {
+  const World world = generate_world(small_params());
+  for (const AsNode& n : world.graph.nodes()) {
+    for (const Edge& e : n.edges) {
+      EXPECT_FALSE(e.cities.empty());
+    }
+  }
+}
+
+TEST(Generator, IxpsHaveMembersAndRouteServerSessions) {
+  const World world = generate_world(small_params());
+  EXPECT_GE(world.graph.ixps().size(), 10u);
+  std::size_t route_server_edges = 0;
+  for (const AsNode& n : world.graph.nodes()) {
+    for (const Edge& e : n.edges) {
+      if (e.rel == Rel::PeerRouteServer) ++route_server_edges;
+    }
+  }
+  EXPECT_GT(route_server_edges, 0u);
+}
+
+TEST(Generator, TransitIndexMatchesFootprints) {
+  const World world = generate_world(small_params());
+  for (const auto& [city, asns] : world.transits_by_city) {
+    for (Asn a : asns) {
+      const AsNode* n = world.graph.find(a);
+      ASSERT_NE(n, nullptr);
+      EXPECT_TRUE(n->present_in(city));
+    }
+  }
+}
+
+TEST(Generator, StubsIndexedByHomeCity) {
+  const World world = generate_world(small_params());
+  std::size_t indexed = 0;
+  for (const auto& [city, asns] : world.stubs_by_city) {
+    indexed += asns.size();
+    for (Asn a : asns) {
+      EXPECT_EQ(world.graph.find(a)->home_city, city);
+    }
+  }
+  EXPECT_EQ(indexed, 400u);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const World a = generate_world(small_params(77));
+  const World b = generate_world(small_params(77));
+  ASSERT_EQ(a.graph.nodes().size(), b.graph.nodes().size());
+  ASSERT_EQ(a.graph.edge_count(), b.graph.edge_count());
+  for (std::size_t i = 0; i < a.graph.nodes().size(); ++i) {
+    const AsNode& na = a.graph.nodes()[i];
+    const AsNode& nb = b.graph.nodes()[i];
+    EXPECT_EQ(na.asn, nb.asn);
+    EXPECT_EQ(na.kind, nb.kind);
+    EXPECT_EQ(na.home_city, nb.home_city);
+    ASSERT_EQ(na.edges.size(), nb.edges.size());
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const World a = generate_world(small_params(1));
+  const World b = generate_world(small_params(2));
+  // Stub placement is seed-dependent, so edge counts differ almost surely.
+  EXPECT_NE(a.graph.edge_count(), b.graph.edge_count());
+}
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, RelationshipsAreConsistentBothWays) {
+  const World world = generate_world(small_params(GetParam()));
+  const auto& g = world.graph;
+  for (const AsNode& n : g.nodes()) {
+    for (const Edge& e : n.edges) {
+      const AsNode* peer = g.find(e.neighbor);
+      ASSERT_NE(peer, nullptr);
+      const auto back = std::find_if(peer->edges.begin(), peer->edges.end(),
+                                     [&](const Edge& be) { return be.neighbor == n.asn; });
+      ASSERT_NE(back, peer->edges.end());
+      EXPECT_EQ(back->rel, reverse(e.rel));
+      EXPECT_EQ(back->cities, e.cities);
+    }
+  }
+}
+
+TEST_P(GeneratorSeedSweep, NoCustomerProviderCycles) {
+  // The provider hierarchy must be acyclic (tier-1s at the top).
+  const World world = generate_world(small_params(GetParam()));
+  const auto& g = world.graph;
+  const std::size_t n = g.nodes().size();
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  bool cycle = false;
+  // Recursive DFS along customer->provider edges (hierarchy depth is small).
+  auto dfs = [&](auto&& self, std::size_t node) -> void {
+    state[node] = 1;
+    for (const Edge& e : g.nodes()[node].edges) {
+      if (e.rel != Rel::Provider || cycle) continue;
+      const std::size_t next = *g.index_of(e.neighbor);
+      if (state[next] == 1) {
+        cycle = true;
+        return;
+      }
+      if (state[next] == 0) self(self, next);
+    }
+    state[node] = 2;
+  };
+  for (std::size_t start = 0; start < n && !cycle; ++start) {
+    if (state[start] == 0) dfs(dfs, start);
+  }
+  EXPECT_FALSE(cycle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep, ::testing::Values(1, 2, 3, 42, 1234));
+
+}  // namespace
+}  // namespace ranycast::topo

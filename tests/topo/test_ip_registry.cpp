@@ -1,0 +1,96 @@
+#include "ranycast/topo/ip_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::topo {
+namespace {
+
+TEST(IpRegistry, BlocksAreStablePerAsn) {
+  IpRegistry reg;
+  const Prefix p1 = reg.as_block(make_asn(10));
+  const Prefix p2 = reg.as_block(make_asn(20));
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(reg.as_block(make_asn(10)), p1);
+  EXPECT_EQ(p1.length(), 18);
+}
+
+TEST(IpRegistry, BlocksDoNotOverlap) {
+  IpRegistry reg;
+  const Prefix p1 = reg.as_block(make_asn(1));
+  const Prefix p2 = reg.as_block(make_asn(2));
+  EXPECT_FALSE(p1.contains(p2.address()));
+  EXPECT_FALSE(p2.contains(p1.address()));
+}
+
+TEST(IpRegistry, RouterIpInsideOwnerBlockAndReverseLookup) {
+  IpRegistry reg;
+  const Asn a = make_asn(7);
+  const CityId city{3};
+  const Ipv4Addr ip = reg.router_ip(a, city);
+  EXPECT_TRUE(reg.as_block(a).contains(ip));
+  const auto owner = reg.owner(ip);
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(owner->asn, a);
+  EXPECT_EQ(owner->city, city);
+  EXPECT_TRUE(owner->is_router);
+}
+
+TEST(IpRegistry, RouterIpDeterministic) {
+  IpRegistry reg;
+  EXPECT_EQ(reg.router_ip(make_asn(7), CityId{3}), reg.router_ip(make_asn(7), CityId{3}));
+  EXPECT_NE(reg.router_ip(make_asn(7), CityId{3}), reg.router_ip(make_asn(7), CityId{4}));
+}
+
+TEST(IpRegistry, ProbeIpRegistersCity) {
+  IpRegistry reg;
+  const Asn a = make_asn(9);
+  const Ipv4Addr ip = reg.probe_ip(a, 0, CityId{5});
+  const auto owner = reg.owner(ip);
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(owner->asn, a);
+  EXPECT_EQ(owner->city, CityId{5});
+  EXPECT_FALSE(owner->is_router);
+}
+
+TEST(IpRegistry, ProbeIpsDistinctPerHost) {
+  IpRegistry reg;
+  const Asn a = make_asn(9);
+  EXPECT_NE(reg.probe_ip(a, 0), reg.probe_ip(a, 1));
+}
+
+TEST(IpRegistry, UnallocatedSpaceHasNoOwner) {
+  IpRegistry reg;
+  EXPECT_FALSE(reg.owner(Ipv4Addr(1, 2, 3, 4)).has_value());
+}
+
+TEST(IpRegistry, BlockOwnershipWithoutExplicitRegistration) {
+  IpRegistry reg;
+  const Asn a = make_asn(11);
+  const Prefix block = reg.as_block(a);
+  const auto owner = reg.owner(block.at(12345));
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(owner->asn, a);
+  EXPECT_FALSE(owner->is_router);
+}
+
+TEST(IpRegistry, SpecialAllocationsAreAlignedAndDisjoint) {
+  IpRegistry reg;
+  const Prefix a = reg.allocate_special(24);
+  const Prefix b = reg.allocate_special(24);
+  EXPECT_EQ(a.address().bits() % 256, 0u);
+  EXPECT_EQ(b.address().bits() % 256, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.contains(b.address()));
+}
+
+TEST(IpRegistry, SpecialSpaceDoesNotCollideWithAsSpace) {
+  IpRegistry reg;
+  const Prefix special = reg.allocate_special(24);
+  for (int i = 0; i < 100; ++i) {
+    const Prefix block = reg.as_block(make_asn(static_cast<std::uint32_t>(i + 1)));
+    EXPECT_FALSE(block.contains(special.address()));
+  }
+}
+
+}  // namespace
+}  // namespace ranycast::topo

@@ -1,0 +1,80 @@
+#include "ranycast/verfploeter/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+
+namespace ranycast::verfploeter {
+namespace {
+
+class CensusTest : public ::testing::Test {
+ protected:
+  static lab::Lab make_lab() {
+    lab::LabConfig config;
+    config.world.stub_count = 800;
+    config.census.total_probes = 2500;
+    return lab::Lab::create(config);
+  }
+
+  CensusTest() : lab_(make_lab()), ns_(&lab_.add_deployment(cdn::catalog::imperva_ns())) {}
+
+  lab::Lab lab_;
+  const lab::DeploymentHandle* ns_;
+};
+
+TEST_F(CensusTest, FullCensusCoversAllStubAses) {
+  const auto census = full_census(lab_, *ns_, 0);
+  std::size_t stubs = 0;
+  for (const auto& n : lab_.world().graph.nodes()) {
+    if (n.kind == topo::AsKind::Stub) ++stubs;
+  }
+  EXPECT_EQ(census.total, stubs);  // global reachability: every stub routed
+  std::size_t summed = 0;
+  for (const auto& [site, count] : census.by_site) summed += count;
+  EXPECT_EQ(summed, census.total);
+}
+
+TEST_F(CensusTest, FractionsFormADistribution) {
+  const auto census = full_census(lab_, *ns_, 0);
+  double total = 0.0;
+  for (const auto& [site, count] : census.by_site) total += census.fraction(site);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(census.fraction(SiteId{999}), 0.0);
+}
+
+TEST_F(CensusTest, ProbeEstimateConvergesToCensus) {
+  const auto truth = full_census(lab_, *ns_, 0);
+  const auto tiny = probe_estimate(lab_, *ns_, 0, 50, 1);
+  const auto large = probe_estimate(lab_, *ns_, 0, 2000, 1);
+  const double tiny_error = total_variation(truth, tiny);
+  const double large_error = total_variation(truth, large);
+  EXPECT_LT(large_error, tiny_error);
+  EXPECT_LT(large_error, 0.35);
+}
+
+TEST_F(CensusTest, ProbeEstimateIsBiasedTowardProbeRichSites) {
+  // The probe platform's census skew (EMEA-heavy) shows up as nonzero
+  // divergence even with every probe used - Verfploeter's motivation.
+  const auto truth = full_census(lab_, *ns_, 0);
+  const auto all = probe_estimate(lab_, *ns_, 0, 100000, 1);
+  EXPECT_GT(total_variation(truth, all), 0.0);
+}
+
+TEST_F(CensusTest, TotalVariationProperties) {
+  const auto a = full_census(lab_, *ns_, 0);
+  EXPECT_DOUBLE_EQ(total_variation(a, a), 0.0);
+  CatchmentCensus empty;
+  EXPECT_LE(total_variation(a, empty), 1.0);
+  const auto b = probe_estimate(lab_, *ns_, 0, 100, 2);
+  EXPECT_DOUBLE_EQ(total_variation(a, b), total_variation(b, a));
+}
+
+TEST_F(CensusTest, EstimateDeterministicPerSeed) {
+  const auto a = probe_estimate(lab_, *ns_, 0, 200, 7);
+  const auto b = probe_estimate(lab_, *ns_, 0, 200, 7);
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.by_site, b.by_site);
+}
+
+}  // namespace
+}  // namespace ranycast::verfploeter

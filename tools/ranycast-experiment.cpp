@@ -1,0 +1,134 @@
+// ranycast-experiment — run a paper experiment from a JSON configuration.
+//
+//   ranycast-experiment [--config FILE] [--experiment NAME] [--format table|csv]
+//                       [--dump-config]
+//
+// Experiments:
+//   table3   Imperva-6 vs Imperva-NS tail latency (80/90/95th per area)
+//   fig6c    ReOpt regional vs global anycast on the Tangled testbed
+//   causes   §5.4 latency-reduction cause classification
+//
+// The configuration schema is documented in ranycast/io/config.hpp; any
+// omitted key keeps the library default, so {} is a valid config.
+#include <cstdio>
+#include <iostream>
+
+#include "ranycast/analysis/export.hpp"
+#include "ranycast/analysis/stats.hpp"
+#include "ranycast/analysis/table.hpp"
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/core/flags.hpp"
+#include "ranycast/io/config.hpp"
+#include "ranycast/lab/comparison.hpp"
+#include "ranycast/tangled/study.hpp"
+
+using namespace ranycast;
+
+namespace {
+
+int run_table3(lab::Lab& laboratory, bool csv) {
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  const auto& ns = laboratory.add_deployment(cdn::catalog::imperva_ns());
+  const auto result = lab::compare_regional_global(laboratory, im6, ns);
+  std::array<std::vector<double>, geo::kAreaCount> reg, glob;
+  for (const auto& g : result.groups) {
+    reg[static_cast<int>(g.area)].push_back(g.regional_ms);
+    glob[static_cast<int>(g.area)].push_back(g.global_ms);
+  }
+  analysis::CsvWriter out({"percentile", "area", "regional_ms", "global_ms"});
+  analysis::TextTable table({"percentile", "area", "regional", "global"});
+  for (const double p : {80.0, 90.0, 95.0}) {
+    for (std::size_t a = 0; a < geo::kAreaCount; ++a) {
+      const std::string area{geo::to_string(static_cast<geo::Area>(a))};
+      const double r = analysis::percentile(reg[a], p);
+      const double g = analysis::percentile(glob[a], p);
+      out.add_row({std::to_string(static_cast<int>(p)), area, std::to_string(r),
+                   std::to_string(g)});
+      table.add_row({std::to_string(static_cast<int>(p)) + "-th", area,
+                     analysis::fmt_ms(r), analysis::fmt_ms(g)});
+    }
+  }
+  if (csv) {
+    out.write(std::cout);
+  } else {
+    std::printf("%s", table.render().c_str());
+  }
+  return 0;
+}
+
+int run_fig6c(lab::Lab& laboratory, bool csv) {
+  const auto study = tangled::run_study(laboratory);
+  std::array<std::vector<double>, geo::kAreaCount> reg, glob;
+  for (const auto& r : study.results) {
+    reg[static_cast<int>(r.probe->area())].push_back(r.route53_ms);
+    glob[static_cast<int>(r.probe->area())].push_back(r.global_ms);
+  }
+  analysis::CsvWriter out({"area", "global_p90_ms", "regional_p90_ms"});
+  analysis::TextTable table({"area", "global p90", "regional p90"});
+  for (std::size_t a = 0; a < geo::kAreaCount; ++a) {
+    const std::string area{geo::to_string(static_cast<geo::Area>(a))};
+    const double g = analysis::percentile(glob[a], 90);
+    const double r = analysis::percentile(reg[a], 90);
+    out.add_row({area, std::to_string(g), std::to_string(r)});
+    table.add_row({area, analysis::fmt_ms(g), analysis::fmt_ms(r)});
+  }
+  if (csv) {
+    out.write(std::cout);
+  } else {
+    std::printf("chosen k = %d\n%s", study.reopt.k, table.render().c_str());
+  }
+  return 0;
+}
+
+int run_causes(lab::Lab& laboratory, bool csv) {
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  const auto& ns = laboratory.add_deployment(cdn::catalog::imperva_ns());
+  const auto result = lab::compare_regional_global(laboratory, im6, ns);
+  const auto causes = lab::classify_reduction_causes(result);
+  analysis::CsvWriter out({"cause", "groups"});
+  out.add_row({"as_relationship", std::to_string(causes.as_relationship)});
+  out.add_row({"peering_type", std::to_string(causes.peering_type)});
+  out.add_row({"unknown", std::to_string(causes.unknown)});
+  if (csv) {
+    out.write(std::cout);
+  } else {
+    std::printf("reduced groups: %zu\n  AS-relationship overrides: %zu\n"
+                "  peering-type overrides:    %zu\n  unclassified:              %zu\n",
+                causes.reduced_groups, causes.as_relationship, causes.peering_type,
+                causes.unknown);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const flags::Parser args(argc, argv);
+  for (const auto& bad : args.unknown({"config", "experiment", "format", "dump-config"})) {
+    std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
+    return 2;
+  }
+
+  lab::LabConfig config;
+  if (const auto path = args.get("config")) {
+    try {
+      config = io::lab_config_from_json(io::parse_json_or_throw(io::read_file(*path)));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "config error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (args.has("dump-config")) {
+    std::printf("%s\n", io::lab_config_to_json(config).dump(2).c_str());
+    return 0;
+  }
+
+  const bool csv = args.get_or("format", std::string("table")) == "csv";
+  const std::string experiment = args.get_or("experiment", std::string("table3"));
+  auto laboratory = lab::Lab::create(config);
+  if (experiment == "table3") return run_table3(laboratory, csv);
+  if (experiment == "fig6c") return run_fig6c(laboratory, csv);
+  if (experiment == "causes") return run_causes(laboratory, csv);
+  std::fprintf(stderr, "unknown experiment '%s' (table3|fig6c|causes)\n", experiment.c_str());
+  return 2;
+}
