@@ -14,6 +14,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("ablation_enumeration");
   bench::print_header("Ablation - site enumeration methods",
                       "sec 7 (iGreedy comparison) + Verfploeter-style census");
   auto laboratory = bench::default_lab();

@@ -16,6 +16,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("ablation_failover");
   bench::print_header("Ablation - site failure and catchment stability",
                       "sec 4.4 (partition stability) and sec 4.5 (robustness)");
   auto laboratory = bench::small_lab();

@@ -10,6 +10,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("ablation_ipasn");
   bench::print_header("Ablation - IP-to-AS mapping and IXP visibility",
                       "sec 5.3 tooling (pyasn over RouteViews; PeeringDB IXP LANs)");
   auto laboratory = bench::default_lab();

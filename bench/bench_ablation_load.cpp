@@ -25,6 +25,7 @@ std::vector<double> site_loads(const verfploeter::CatchmentCensus& census) {
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("ablation_load");
   bench::print_header("Ablation - catchment load balance, global vs regional",
                       "the introduction's load-balancing motivation, quantified");
   auto laboratory = bench::default_lab();

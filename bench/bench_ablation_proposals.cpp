@@ -45,6 +45,7 @@ void add_rows(analysis::TextTable& table, const char* label, const AreaStats& st
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("ablation_proposals");
   bench::print_header("Ablation - regional anycast vs alternative proposals",
                       "sec 2.2 related proposals (the paper's declared future work)");
   auto laboratory = bench::small_lab();

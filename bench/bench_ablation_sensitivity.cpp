@@ -40,16 +40,14 @@ Headline measure(const lab::LabConfig& config) {
                   analysis::percentile(reg[emea], 90), analysis::percentile(glob[emea], 90)};
 }
 
-lab::LabConfig small_config() {
-  lab::LabConfig config;
-  config.world.stub_count = 1200;
-  config.census.total_probes = 5000;
-  return config;
-}
+// The sweep runs at the shared harness preset so its baseline row matches
+// the other small-world benches exactly.
+lab::LabConfig small_config() { return bench::preset_config(bench::Preset::Sweep); }
 
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("ablation_sensitivity");
   bench::print_header("Ablation - sensitivity of the regional-vs-global headline",
                       "robustness of Table 3's NA/EMEA p90 reduction");
   analysis::TextTable table({"variant", "NA p90 reg", "NA p90 glob", "EMEA p90 reg",

@@ -22,6 +22,8 @@ constexpr Asn kCdn = make_asn(65000);
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("fig1_case_study");
+  bench::obs_pipeline_exercise();
   bench::print_header("Fig. 1 case study: customer-route preference vs regional anycast",
                       "Figure 1 (Washington D.C. probe, 252 ms -> 2 ms)");
 

@@ -124,6 +124,7 @@ void study_network(lab::Lab& laboratory, const lab::DeploymentHandle& handle,
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("fig2_partitions");
   bench::print_header("Fig. 2 - client and site partitions of regional anycast CDNs",
                       "Figure 2 (a,b,c), country single-IP stats (sec 4.3), reachability (sec 4.5)");
   auto laboratory = bench::default_lab();

@@ -31,6 +31,7 @@ geoloc::EnumerationResult run_pipeline(lab::Lab& laboratory,
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("fig3_geoloc");
   bench::print_header("Fig. 3 - p-hop geolocation technique fractions",
                       "Figure 3 (EG-3, EG-4, IM-6, IM-NS bars)");
   auto laboratory = bench::default_lab();

@@ -49,6 +49,7 @@ void print_series(const char* label, const Series& s) {
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("fig4_latency_cdfs");
   bench::print_header("Fig. 4a/4b - latency and catchment-distance CDFs",
                       "Figure 4 (a) Edgio-3 vs Edgio-4, (b) Imperva-6");
   auto laboratory = bench::default_lab();

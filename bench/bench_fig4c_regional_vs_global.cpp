@@ -8,6 +8,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("fig4c_regional_vs_global");
   bench::print_header("Fig. 4c - Imperva-6 vs Imperva-NS (same-footprint comparison)",
                       "Figure 4c + the sec 5.3 filtering pipeline");
   auto laboratory = bench::default_lab();

@@ -8,6 +8,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("fig5_deltas");
   bench::print_header("Fig. 5 - regional-minus-global RTT and distance deltas", "Figure 5");
   auto laboratory = bench::default_lab();
   const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());

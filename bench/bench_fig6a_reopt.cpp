@@ -14,6 +14,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("fig6a_reopt");
   bench::print_header("Fig. 6a - ReOpt latency-based partition of Tangled", "Figure 6a + sec 6.1");
   auto laboratory = bench::default_lab();
   const auto study = tangled::run_study(laboratory);

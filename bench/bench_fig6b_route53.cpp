@@ -7,6 +7,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("fig6b_route53");
   bench::print_header("Fig. 6b - direct assignment vs Route 53 country mapping", "Figure 6b");
   auto laboratory = bench::default_lab();
   const auto study = tangled::run_study(laboratory);

@@ -10,6 +10,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("fig6c_regional_vs_global");
   bench::print_header("Fig. 6c - ReOpt regional vs global anycast on Tangled",
                       "Figure 6c (+ abstract's 58.7%-78.6% p90 reduction)");
   auto laboratory = bench::default_lab();

@@ -18,6 +18,8 @@ constexpr Asn kCdn = make_asn(65000);
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("fig7_route_server");
+  bench::obs_pipeline_exercise();
   bench::print_header("Fig. 7 case study: public-peer preference vs route-server peering",
                       "Figure 7 (Belarusian probe in AS 6697, 350 ms -> 33 ms)");
 

@@ -10,6 +10,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("fig8_same_site");
   bench::print_header("Fig. 8 - same-site RTT via regional vs global address",
                       "Figure 8 (Appendix D)");
   auto laboratory = bench::default_lab();

@@ -14,6 +14,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("sec54_causes");
   bench::print_header("sec 5.4 - causes of latency reduction", "Section 5.4 percentages");
   auto laboratory = bench::default_lab();
   const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());

@@ -50,6 +50,7 @@ std::vector<CityId> cities_of(const std::vector<std::string>& iatas) {
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("table1_sites");
   bench::print_header("Table 1 - sites per geographic area", "Table 1");
   auto laboratory = bench::default_lab();
 

@@ -64,6 +64,7 @@ OutcomeCounts measure(lab::Lab& laboratory, const lab::DeploymentHandle& handle,
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("table2_dns_mapping");
   bench::print_header("Table 2 - DNS mapping efficiency", "Table 2");
   auto laboratory = bench::default_lab();
 

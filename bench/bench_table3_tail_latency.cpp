@@ -8,6 +8,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("table3_tail_latency");
   bench::print_header("Table 3 - tail latency, Imperva-6 vs Imperva-NS", "Table 3");
   auto laboratory = bench::default_lab();
   const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());

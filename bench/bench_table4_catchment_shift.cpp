@@ -10,6 +10,7 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("table4_catchment_shift");
   bench::print_header("Table 4 - RTT outcome vs catchment-site shift", "Table 4");
   auto laboratory = bench::default_lab();
   const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());

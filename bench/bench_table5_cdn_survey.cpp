@@ -8,6 +8,8 @@
 using namespace ranycast;
 
 int main() {
+  bench::ObsSession obs_session("table5_cdn_survey");
+  bench::obs_pipeline_exercise();
   bench::print_header("Table 5 - top-CDN redirection survey", "Table 5 / sec 4.1 / sec 4.2");
 
   analysis::TextTable table({"CDN", "redirection method", "top-10k share"});

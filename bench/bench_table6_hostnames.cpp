@@ -21,6 +21,7 @@ std::array<std::vector<double>, geo::kAreaCount> measure_hostname(
 }  // namespace
 
 int main() {
+  bench::ObsSession obs_session("table6_hostnames");
   bench::print_header("Table 6 - representative vs other hostnames", "Table 6 (Appendix C)");
   auto laboratory = bench::default_lab();
 

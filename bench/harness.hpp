@@ -1,11 +1,16 @@
 // Shared experiment-harness helpers for the per-table/per-figure benches.
 //
-// Every bench builds the same default laboratory (full paper scale: ~2750
-// ASes, ~11k probes) so results are comparable across binaries, then prints
-// the paper's rows/series next to the simulated values.
+// Every bench builds one of the named scale presets below so results are
+// comparable across binaries, then prints the paper's rows/series next to
+// the simulated values. When observability is on (RANYCAST_OBS=1), the
+// ObsSession each bench opens in main() also writes a machine-readable
+// BENCH_<name>.json telemetry report next to the text output; see
+// docs/observability.md for the schema.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -16,17 +21,96 @@
 #include "ranycast/atlas/grouping.hpp"
 #include "ranycast/cdn/catalog.hpp"
 #include "ranycast/lab/lab.hpp"
+#include "ranycast/obs/report.hpp"
+#include "ranycast/obs/span.hpp"
 
 namespace ranycast::bench {
 
-inline lab::Lab default_lab() { return lab::Lab::create(lab::LabConfig{}); }
+/// The laboratory scale presets benches run at. Paper is the full study
+/// scale (~2750 ASes, ~11k probes); Sweep is for benches that re-run many
+/// configurations; Tiny is for telemetry exercises and smoke checks.
+enum class Preset { Paper, Sweep, Tiny };
+
+inline const char* to_string(Preset p) {
+  switch (p) {
+    case Preset::Paper: return "paper";
+    case Preset::Sweep: return "sweep";
+    case Preset::Tiny: return "tiny";
+  }
+  return "?";
+}
+
+inline lab::LabConfig preset_config(Preset p) {
+  lab::LabConfig config;
+  switch (p) {
+    case Preset::Paper:
+      break;
+    case Preset::Sweep:
+      config.world.stub_count = 1200;
+      config.census.total_probes = 5000;
+      break;
+    case Preset::Tiny:
+      config.world.stub_count = 400;
+      config.census.total_probes = 1500;
+      break;
+  }
+  return config;
+}
+
+/// Build a lab at a named preset and record which one ran in the telemetry.
+inline lab::Lab make_lab(Preset p) {
+  obs::MetricsRegistry::global().set_label("bench.preset", to_string(p));
+  return lab::Lab::create(preset_config(p));
+}
+
+inline lab::Lab default_lab() { return make_lab(Preset::Paper); }
 
 /// Smaller world for benches that sweep many configurations.
-inline lab::Lab small_lab() {
-  lab::LabConfig config;
-  config.world.stub_count = 1200;
-  config.census.total_probes = 5000;
-  return lab::Lab::create(config);
+inline lab::Lab small_lab() { return make_lab(Preset::Sweep); }
+
+/// Per-bench telemetry session: construct one at the top of main(). On
+/// destruction, when observability is enabled, writes BENCH_<name>.json
+/// (stage timings, counters, span rollups, total wall time) into the
+/// current directory. A no-op under RANYCAST_OBS=0.
+class ObsSession {
+ public:
+  explicit ObsSession(const char* name)
+      : name_(name), start_(std::chrono::steady_clock::now()) {}
+
+  ~ObsSession() {
+    if (!obs::enabled()) return;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+            .count();
+    if (obs::write_bench_report(name_, wall_ms)) {
+      std::printf("\n[obs] wrote BENCH_%s.json\n", name_);
+    }
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// For micro-benches that never build a Lab of their own (hand-crafted
+/// graphs): when observability is on, run a miniature lab + measurement
+/// pass so their telemetry report still carries lab-construction phase
+/// timings and dns/ping counters. A no-op — zero extra work — otherwise.
+inline void obs_pipeline_exercise() {
+  if (!obs::enabled()) return;
+  auto laboratory = lab::Lab::create(preset_config(Preset::Tiny));
+  const auto& handle = laboratory.add_deployment(cdn::catalog::imperva6());
+  const auto retained = laboratory.census().retained();
+  const std::size_t n = std::min<std::size_t>(retained.size(), 200);
+  for (std::size_t i = 0; i < n; ++i) {
+    const atlas::Probe* probe = retained[i];
+    const auto answer = laboratory.dns_lookup(*probe, handle, dns::QueryMode::Ldns);
+    laboratory.ping(*probe, answer.address);
+    if (i % 50 == 0) laboratory.traceroute(*probe, answer.address);
+  }
 }
 
 // geo::to_string returns views of string literals, so .data() is NUL-safe.

@@ -6,6 +6,7 @@
 
 #include "ranycast/core/rng.hpp"
 #include "ranycast/geo/gazetteer.hpp"
+#include "ranycast/obs/span.hpp"
 
 namespace ranycast::bgp {
 
@@ -143,6 +144,15 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
   const auto nodes = graph.nodes();
   const std::size_t n = nodes.size();
 
+  static obs::Histogram& h_total =
+      obs::MetricsRegistry::global().histogram("bgp.solve.total_us");
+  obs::Span solve_span("bgp.solve");
+  obs::ScopedTimer solve_timer(h_total);
+  // Route-selection decision tallies, accumulated locally (plain increments
+  // in the comparator) and flushed to the registry once at the end.
+  std::uint64_t hot_potato_decisions = 0;
+  std::uint64_t tiebreak_hash_decisions = 0;
+
   // Stage results, indexed by dense node index.
   std::vector<std::optional<Route>> customer_best(n);
   std::vector<std::optional<Route>> stage2_best(n);  // customer or peer
@@ -162,6 +172,10 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
 
   // ---- Stage 1: customer routes climb to providers ------------------------
   {
+    obs::Span stage_span("bgp.solve.customer");
+    static obs::Histogram& h_stage =
+        obs::MetricsRegistry::global().histogram("bgp.solve.stage_customer_us");
+    obs::ScopedTimer stage_timer(h_stage);
     CandidateHeap heap;
     for (const OriginAttachment& o : origins) {
       if (o.neighbor_rel != topo::Rel::Customer) continue;
@@ -188,15 +202,23 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
 
   // Preference comparison across classes: higher class wins, then shorter
   // path, then lower tie-break.
-  auto better = [](const Route& a, const Route& b) {
+  auto better = [&](const Route& a, const Route& b) {
     if (a.cls != b.cls) return static_cast<int>(a.cls) > static_cast<int>(b.cls);
     if (a.path_length() != b.path_length()) return a.path_length() < b.path_length();
-    if (a.ingress_km != b.ingress_km) return a.ingress_km < b.ingress_km;  // hot potato
+    if (a.ingress_km != b.ingress_km) {  // hot potato
+      ++hot_potato_decisions;
+      return a.ingress_km < b.ingress_km;
+    }
+    ++tiebreak_hash_decisions;
     return a.tiebreak < b.tiebreak;
   };
 
   // ---- Stage 2: peer routes -----------------------------------------------
   {
+    obs::Span stage_span("bgp.solve.peer");
+    static obs::Histogram& h_stage =
+        obs::MetricsRegistry::global().histogram("bgp.solve.stage_peer_us");
+    obs::ScopedTimer stage_timer(h_stage);
     // Direct peer originations first.
     for (const OriginAttachment& o : origins) {
       if (!topo::is_peer(o.neighbor_rel)) continue;
@@ -228,6 +250,10 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
 
   // ---- Stage 3: provider routes descend to customers -----------------------
   {
+    obs::Span stage_span("bgp.solve.provider");
+    static obs::Histogram& h_stage =
+        obs::MetricsRegistry::global().histogram("bgp.solve.stage_provider_us");
+    obs::ScopedTimer stage_timer(h_stage);
     CandidateHeap heap;
     for (std::size_t i = 0; i < n; ++i) {
       if (!stage2_best[i]) continue;
@@ -252,6 +278,13 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
     }
   }
 
+  if (obs::enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("bgp.solve.calls").add(1);
+    registry.counter("bgp.solve.nodes").add(n);
+    registry.counter("bgp.solve.select.hot_potato").add(hot_potato_decisions);
+    registry.counter("bgp.solve.select.tiebreak_hash").add(tiebreak_hash_decisions);
+  }
   return RoutingOutcome{&graph, std::move(final_best)};
 }
 

@@ -19,4 +19,8 @@ std::string to_lower(std::string_view text);
 bool starts_with(std::string_view text, std::string_view prefix);
 bool ends_with(std::string_view text, std::string_view suffix);
 
+/// Boolean reading of flag/environment values: "", "0", "false" and "off"
+/// (ASCII case-insensitive) are false, anything else is true.
+bool truthy(std::string_view text);
+
 }  // namespace ranycast::strings

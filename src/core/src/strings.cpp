@@ -43,4 +43,9 @@ bool ends_with(std::string_view text, std::string_view suffix) {
   return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
 }
 
+bool truthy(std::string_view text) {
+  const std::string lower = to_lower(text);
+  return !(lower.empty() || lower == "0" || lower == "false" || lower == "off");
+}
+
 }  // namespace ranycast::strings

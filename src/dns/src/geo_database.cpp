@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <vector>
 
+#include "ranycast/obs/metrics.hpp"
+
 namespace ranycast::dns {
+
+namespace {
+
+obs::Counter& lookup_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("dns.geodb.lookups");
+  return counter;
+}
+
+}  // namespace
 
 GeoDatabase::GeoDatabase(Config config, const topo::Graph* graph,
                          const topo::IpRegistry* registry)
@@ -63,6 +75,7 @@ double hash01(std::uint64_t h) noexcept {
 }  // namespace
 
 std::optional<std::string_view> GeoDatabase::country(Ipv4Addr ip) const {
+  lookup_counter().add();
   const auto truth = truth_for(ip);
   if (!truth) return std::nullopt;
   const auto& gaz = geo::Gazetteer::world();
@@ -83,6 +96,7 @@ std::optional<std::string_view> GeoDatabase::country(Ipv4Addr ip) const {
 }
 
 std::optional<CityId> GeoDatabase::city_estimate(Ipv4Addr ip) const {
+  lookup_counter().add();
   const auto truth = truth_for(ip);
   if (!truth) return std::nullopt;
   const auto& gaz = geo::Gazetteer::world();

@@ -9,6 +9,10 @@ namespace ranycast::io {
 lab::LabConfig lab_config_from_json(const Json& json) {
   lab::LabConfig config;
   config.seed = static_cast<std::uint64_t>(json.int_or("seed", static_cast<std::int64_t>(config.seed)));
+  // Tri-state: absent or null leaves the RANYCAST_OBS environment default.
+  if (const Json* o = json.find("observability"); o != nullptr && o->is_bool()) {
+    config.observability = o->as_bool();
+  }
 
   if (const Json* world = json.find("world")) {
     auto& w = config.world;
@@ -111,6 +115,8 @@ Json lab_config_to_json(const lab::LabConfig& config) {
   }
   return Json(JsonObject{
       {"seed", Json(static_cast<std::int64_t>(config.seed))},
+      {"observability",
+       config.observability ? Json(*config.observability) : Json(nullptr)},
       {"world", Json(std::move(world))},
       {"census", Json(std::move(census))},
       {"latency", Json(std::move(latency))},

@@ -48,6 +48,10 @@ struct LabConfig {
       dns::GeoDatabase::Config{"edgescape-like", 0.017, 0.85, 0.22, 303},
   };
   std::uint64_t seed{2023};
+  /// Process-wide observability override applied by Lab::create: nullopt
+  /// leaves the RANYCAST_OBS environment setting alone, true/false forces
+  /// obs::set_enabled. See docs/observability.md.
+  std::optional<bool> observability{};
 };
 
 class Lab {

@@ -1,23 +1,55 @@
 #include "ranycast/lab/lab.hpp"
 
+#include "ranycast/obs/span.hpp"
+
 namespace ranycast::lab {
 
-Lab::Lab(const LabConfig& config)
-    : config_(config), world_(std::make_unique<topo::World>(topo::generate_world(config.world))) {
-  census_ = atlas::ProbeCensus::generate(*world_, registry_, config.census);
-  for (std::size_t i = 0; i < geo_dbs_.size(); ++i) {
-    geo_dbs_[i] =
-        std::make_unique<dns::GeoDatabase>(config.geo_dbs[i], &world_->graph, &registry_);
+namespace {
+
+obs::MetricsRegistry& metrics() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
+
+Lab::Lab(const LabConfig& config) : config_(config) {
+  obs::Span create_span("lab.create");
+  static obs::Histogram& h_total = metrics().histogram("lab.create.total_us");
+  obs::ScopedTimer create_timer(h_total);
+  {
+    obs::Span span("lab.create.topology");
+    static obs::Histogram& h = metrics().histogram("lab.create.topology_us");
+    obs::ScopedTimer timer(h);
+    world_ = std::make_unique<topo::World>(topo::generate_world(config.world));
   }
+  {
+    obs::Span span("lab.create.census");
+    static obs::Histogram& h = metrics().histogram("lab.create.census_us");
+    obs::ScopedTimer timer(h);
+    census_ = atlas::ProbeCensus::generate(*world_, registry_, config.census);
+  }
+  {
+    obs::Span span("lab.create.geodb");
+    static obs::Histogram& h = metrics().histogram("lab.create.geodb_us");
+    obs::ScopedTimer timer(h);
+    for (std::size_t i = 0; i < geo_dbs_.size(); ++i) {
+      geo_dbs_[i] =
+          std::make_unique<dns::GeoDatabase>(config.geo_dbs[i], &world_->graph, &registry_);
+    }
+  }
+  static obs::Counter& creates = metrics().counter("lab.create.calls");
+  creates.add();
 }
 
-Lab Lab::create(const LabConfig& config) { return Lab{config}; }
+Lab Lab::create(const LabConfig& config) {
+  if (config.observability) obs::set_enabled(*config.observability);
+  return Lab{config};
+}
 
 const DeploymentHandle& Lab::add_deployment(const cdn::DeploymentSpec& spec) {
   return add_deployment(cdn::build_deployment(spec, *world_, registry_));
 }
 
 const DeploymentHandle& Lab::add_deployment(cdn::Deployment deployment) {
+  obs::Span span("lab.add_deployment");
   DeploymentHandle handle{std::move(deployment), {}};
   const auto& dep = handle.deployment;
   handle.outcomes.reserve(dep.regions().size());
@@ -25,6 +57,10 @@ const DeploymentHandle& Lab::add_deployment(cdn::Deployment deployment) {
     const auto origins = dep.origins_for_region(r);
     handle.outcomes.push_back(solve_origins(dep.asn(), origins, r));
   }
+  static obs::Counter& deployments = metrics().counter("lab.deployments");
+  static obs::Counter& regions = metrics().counter("lab.regions_solved");
+  deployments.add();
+  regions.add(dep.regions().size());
   deployments_.push_back(std::move(handle));
   return deployments_.back();
 }
@@ -47,6 +83,10 @@ std::optional<Lab::AddressInfo> Lab::locate_address(Ipv4Addr address) const {
 
 Lab::DnsAnswer Lab::dns_lookup(const atlas::Probe& probe, const DeploymentHandle& handle,
                                dns::QueryMode mode) const {
+  static obs::Counter& calls = metrics().counter("lab.dns_lookup.calls");
+  static obs::Histogram& wall = metrics().histogram("lab.dns_lookup.wall_us");
+  calls.add();
+  obs::ScopedTimer timer(wall);
   const auto effective = dns::effective_address(probe.query_context(), mode);
   const std::size_t region = handle.deployment.map_client(effective, mapping_db());
   return DnsAnswer{region, handle.deployment.regions()[region].service_ip};
@@ -60,8 +100,18 @@ const bgp::Route* Lab::route_of(const atlas::Probe& probe, Ipv4Addr address) con
 
 std::optional<Rtt> Lab::ping(const atlas::Probe& probe, Ipv4Addr address,
                              std::uint64_t salt) const {
+  static obs::Counter& calls = metrics().counter("lab.ping.calls");
+  static obs::Counter& unreachable = metrics().counter("lab.ping.unreachable");
+  static obs::Histogram& wall = metrics().histogram("lab.ping.wall_us");
+  static obs::Histogram& rtt_hist =
+      metrics().histogram("lab.ping.rtt_ms", obs::kRttMsBounds);
+  calls.add();
+  obs::ScopedTimer timer(wall);
   const bgp::Route* route = route_of(probe, address);
-  if (route == nullptr) return std::nullopt;
+  if (route == nullptr) {
+    unreachable.add();
+    return std::nullopt;
+  }
   Rtt rtt = config_.latency.path_rtt(*route, probe.city, probe.asn, probe.access_extra_ms);
   if (salt != 0) {
     // Per-hostname measurement perturbation (used for the Appendix C
@@ -70,11 +120,16 @@ std::optional<Rtt> Lab::ping(const atlas::Probe& probe, Ipv4Addr address,
                                                address.bits()));
     rtt += Rtt{static_cast<double>(h >> 11) * 0x1.0p-53 * 1.0};
   }
+  rtt_hist.record(rtt.ms);
   return rtt;
 }
 
 std::optional<bgp::TracerouteResult> Lab::traceroute(const atlas::Probe& probe,
                                                      Ipv4Addr address) const {
+  static obs::Counter& calls = metrics().counter("lab.traceroute.calls");
+  static obs::Histogram& wall = metrics().histogram("lab.traceroute.wall_us");
+  calls.add();
+  obs::ScopedTimer timer(wall);
   const auto info = locate_address(address);
   if (!info) return std::nullopt;
   const bgp::Route* route = info->handle->route_for(probe.asn, info->region);

@@ -1,0 +1,80 @@
+// RAII tracing spans and scoped wall-time timers.
+//
+// A Span records one completed trace event (name, parent, depth, start,
+// duration) into a process-wide buffer; nesting is tracked per thread, so a
+// span opened while another is live on the same thread becomes its child.
+// Events are exportable as NDJSON (one JSON object per line) via
+// obs::trace_ndjson() and aggregated per name for the JSON report.
+//
+// A ScopedTimer is the cheaper cousin: no trace event, it just records the
+// scope's wall time in microseconds into a Histogram on destruction.
+//
+// Both are no-ops (no clock read, no allocation) when obs::enabled() is
+// false at construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ranycast/obs/metrics.hpp"
+
+namespace ranycast::obs {
+
+/// A completed span, in completion order.
+struct TraceEvent {
+  std::string name;
+  std::string parent;      ///< enclosing span on the same thread; "" if none
+  std::uint64_t start_ns;  ///< relative to the process trace epoch
+  std::uint64_t dur_ns;
+  std::uint32_t depth;     ///< nesting depth at open time (0 = top level)
+  std::uint64_t seq;       ///< process-wide completion sequence number
+};
+
+class Span {
+ public:
+  /// `name` must be a string with static storage duration (a literal).
+  explicit Span(const char* name) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_{nullptr};  // nullptr => observability was off at open
+  const char* parent_{nullptr};
+  std::uint64_t start_ns_{0};
+  std::uint32_t depth_{0};
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) noexcept;
+  /// Registry lookup by name (prefer the Histogram& overload plus a cached
+  /// reference in hot paths).
+  explicit ScopedTimer(const char* histogram_name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_{nullptr};  // nullptr => observability was off at open
+  std::uint64_t start_ns_{0};
+};
+
+/// Snapshot of all completed trace events.
+std::vector<TraceEvent> trace_events();
+void clear_trace();
+
+/// Per-name rollup of completed spans.
+struct SpanAggregate {
+  std::uint64_t count{0};
+  double total_us{0.0};
+  double min_us{0.0};
+  double max_us{0.0};
+};
+std::map<std::string, SpanAggregate> span_aggregates();
+
+}  // namespace ranycast::obs

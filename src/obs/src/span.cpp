@@ -1,0 +1,105 @@
+#include "ranycast/obs/span.hpp"
+
+#include <chrono>
+#include <mutex>
+
+namespace ranycast::obs {
+
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+/// Process trace epoch: timestamps in events are relative to the first
+/// enabled span/timer, keeping the numbers small and run-relative.
+std::uint64_t epoch_ns() noexcept {
+  static const std::uint64_t epoch = now_ns();
+  return epoch;
+}
+
+struct TraceBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint64_t next_seq{0};
+};
+
+TraceBuffer& trace_buffer() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+/// Per-thread stack of open span names, for parent/depth attribution.
+thread_local std::vector<const char*> t_open_spans;
+
+}  // namespace
+
+Span::Span(const char* name) noexcept {
+  if (!enabled()) return;
+  name_ = name;
+  parent_ = t_open_spans.empty() ? nullptr : t_open_spans.back();
+  depth_ = static_cast<std::uint32_t>(t_open_spans.size());
+  t_open_spans.push_back(name);
+  // Pin the epoch before reading the clock: the two calls have unspecified
+  // evaluation order in an expression, and the very first span must not see
+  // an epoch later than its own start.
+  const std::uint64_t epoch = epoch_ns();
+  start_ns_ = now_ns() - epoch;
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  const std::uint64_t end_ns = now_ns() - epoch_ns();
+  if (!t_open_spans.empty() && t_open_spans.back() == name_) t_open_spans.pop_back();
+  TraceBuffer& buffer = trace_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(TraceEvent{name_, parent_ == nullptr ? "" : parent_, start_ns_,
+                                     end_ns - start_ns_, depth_, buffer.next_seq++});
+}
+
+ScopedTimer::ScopedTimer(Histogram& histogram) noexcept {
+  if (!enabled()) return;
+  histogram_ = &histogram;
+  start_ns_ = now_ns();
+}
+
+ScopedTimer::ScopedTimer(const char* histogram_name) {
+  if (!enabled()) return;
+  histogram_ = &MetricsRegistry::global().histogram(histogram_name);
+  start_ns_ = now_ns();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ == nullptr) return;
+  histogram_->record(static_cast<double>(now_ns() - start_ns_) * 1e-3);
+}
+
+std::vector<TraceEvent> trace_events() {
+  TraceBuffer& buffer = trace_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  return buffer.events;
+}
+
+void clear_trace() {
+  TraceBuffer& buffer = trace_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.clear();
+  buffer.next_seq = 0;
+}
+
+std::map<std::string, SpanAggregate> span_aggregates() {
+  std::map<std::string, SpanAggregate> out;
+  for (const TraceEvent& e : trace_events()) {
+    SpanAggregate& agg = out[e.name];
+    const double us = static_cast<double>(e.dur_ns) * 1e-3;
+    if (agg.count == 0 || us < agg.min_us) agg.min_us = us;
+    if (agg.count == 0 || us > agg.max_us) agg.max_us = us;
+    agg.count += 1;
+    agg.total_us += us;
+  }
+  return out;
+}
+
+}  // namespace ranycast::obs

@@ -63,6 +63,27 @@ TEST(Config, RoundTripsThroughJson) {
                    original.geo_dbs[2].wrong_country_prob);
 }
 
+TEST(Config, ObservabilityTriStateRoundTrips) {
+  // Absent / null -> nullopt (defer to the RANYCAST_OBS environment switch).
+  EXPECT_FALSE(lab_config_from_json(parse_json_or_throw("{}")).observability.has_value());
+  EXPECT_FALSE(lab_config_from_json(parse_json_or_throw(R"({"observability": null})"))
+                   .observability.has_value());
+  const auto forced_on =
+      lab_config_from_json(parse_json_or_throw(R"({"observability": true})"));
+  ASSERT_TRUE(forced_on.observability.has_value());
+  EXPECT_TRUE(*forced_on.observability);
+  const auto forced_off =
+      lab_config_from_json(parse_json_or_throw(R"({"observability": false})"));
+  ASSERT_TRUE(forced_off.observability.has_value());
+  EXPECT_FALSE(*forced_off.observability);
+
+  lab::LabConfig original;
+  original.observability = false;
+  const auto restored = lab_config_from_json(lab_config_to_json(original));
+  ASSERT_TRUE(restored.observability.has_value());
+  EXPECT_FALSE(*restored.observability);
+}
+
 TEST(Config, SerializedFormParsesAsJson) {
   const auto json = lab_config_to_json(lab::LabConfig{});
   const auto reparsed = parse_json_or_throw(json.dump(2));

@@ -1,7 +1,7 @@
 // ranycast-experiment — run a paper experiment from a JSON configuration.
 //
 //   ranycast-experiment [--config FILE] [--experiment NAME] [--format table|csv]
-//                       [--dump-config]
+//                       [--dump-config] [--obs]
 //
 // Experiments:
 //   table3   Imperva-6 vs Imperva-NS tail latency (80/90/95th per area)
@@ -10,6 +10,9 @@
 //
 // The configuration schema is documented in ranycast/io/config.hpp; any
 // omitted key keeps the library default, so {} is a valid config.
+//
+// --obs force-enables observability and prints the JSON metrics/trace
+// report to stderr after the experiment (stdout keeps the table/csv).
 #include <cstdio>
 #include <iostream>
 
@@ -20,6 +23,8 @@
 #include "ranycast/core/flags.hpp"
 #include "ranycast/io/config.hpp"
 #include "ranycast/lab/comparison.hpp"
+#include "ranycast/obs/metrics.hpp"
+#include "ranycast/obs/report.hpp"
 #include "ranycast/tangled/study.hpp"
 
 using namespace ranycast;
@@ -104,10 +109,12 @@ int run_causes(lab::Lab& laboratory, bool csv) {
 
 int main(int argc, char** argv) {
   const flags::Parser args(argc, argv);
-  for (const auto& bad : args.unknown({"config", "experiment", "format", "dump-config"})) {
+  for (const auto& bad :
+       args.unknown({"config", "experiment", "format", "dump-config", "obs"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
     return 2;
   }
+  if (args.has("obs")) obs::set_enabled(true);
 
   lab::LabConfig config;
   if (const auto path = args.get("config")) {
@@ -126,9 +133,15 @@ int main(int argc, char** argv) {
   const bool csv = args.get_or("format", std::string("table")) == "csv";
   const std::string experiment = args.get_or("experiment", std::string("table3"));
   auto laboratory = lab::Lab::create(config);
-  if (experiment == "table3") return run_table3(laboratory, csv);
-  if (experiment == "fig6c") return run_fig6c(laboratory, csv);
-  if (experiment == "causes") return run_causes(laboratory, csv);
-  std::fprintf(stderr, "unknown experiment '%s' (table3|fig6c|causes)\n", experiment.c_str());
-  return 2;
+  std::optional<int> rc;
+  if (experiment == "table3") rc = run_table3(laboratory, csv);
+  if (experiment == "fig6c") rc = run_fig6c(laboratory, csv);
+  if (experiment == "causes") rc = run_causes(laboratory, csv);
+  if (!rc) {
+    std::fprintf(stderr, "unknown experiment '%s' (table3|fig6c|causes)\n",
+                 experiment.c_str());
+    return 2;
+  }
+  if (args.has("obs")) std::fprintf(stderr, "%s\n", obs::json_report().c_str());
+  return *rc;
 }
