@@ -191,6 +191,7 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
       customer_best[key.node] = std::move(route);
       const Route& best = *customer_best[key.node];
       for (const topo::Edge& e : holder.edges) {
+        if (!e.up) continue;  // failed adjacency (chaos engine)
         if (e.rel != topo::Rel::Provider) continue;  // climb only
         const auto nidx = graph.index_of(e.neighbor);
         if (!nidx || customer_best[*nidx]) continue;
@@ -231,6 +232,7 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
     for (std::size_t i = 0; i < n; ++i) {
       const AsNode& holder = nodes[i];
       for (const topo::Edge& e : holder.edges) {
+        if (!e.up) continue;  // failed adjacency (chaos engine)
         if (!topo::is_peer(e.rel)) continue;
         const auto nidx = graph.index_of(e.neighbor);
         if (!nidx || !customer_best[*nidx]) continue;
@@ -269,6 +271,7 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
       const AsNode& holder = nodes[key.node];
       const Route& exported = *final_best[key.node];
       for (const topo::Edge& e : holder.edges) {
+        if (!e.up) continue;  // failed adjacency (chaos engine)
         if (e.rel != topo::Rel::Customer) continue;  // descend only
         const auto nidx = graph.index_of(e.neighbor);
         if (!nidx || final_best[*nidx] || stage2_best[*nidx]) continue;

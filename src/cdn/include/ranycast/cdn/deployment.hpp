@@ -29,6 +29,9 @@ struct Attachment {
   /// Relationship from the neighbor's perspective (Customer = the CDN buys
   /// transit from this neighbor).
   topo::Rel rel{topo::Rel::Customer};
+  /// Operational state; a downed attachment is skipped when originating
+  /// (single-adjacency failure in the chaos fault model).
+  bool up{true};
 };
 
 struct Site {
@@ -66,6 +69,30 @@ class Deployment {
   SiteId add_site(Site s);  ///< id is assigned; returns it
   void set_country_region(std::string iso2, std::size_t region);
   void set_area_region(geo::Area a, std::size_t region);
+
+  // --- in-place fault operations (chaos engine) ---
+  //
+  // These mutate the announcement state so failure scenarios can be applied
+  // and rolled back without allocating fresh prefixes or rebuilding the
+  // deployment; callers re-solve routing afterwards (lab::Lab::resolve).
+
+  /// Withdraw every announcement of `site`. Returns the region list it
+  /// announced before (pass it back to `restore_site` to undo).
+  std::vector<std::size_t> withdraw_site(SiteId site);
+
+  /// Restore a previously withdrawn site's announcements.
+  void restore_site(SiteId site, std::vector<std::size_t> regions);
+
+  /// Withdraw one regional prefix everywhere. Returns the sites that were
+  /// announcing it (pass back to `restore_region` to undo).
+  std::vector<SiteId> withdraw_region(std::size_t region);
+
+  /// Re-announce a regional prefix at the given sites.
+  void restore_region(std::size_t region, const std::vector<SiteId>& sites);
+
+  /// Set the operational state of one site attachment (index into the
+  /// site's attachment list). Returns false if out of range.
+  bool set_attachment_state(SiteId site, std::size_t attachment, bool up);
 
   // --- client mapping policy ---
   /// Region intended for a (correctly geolocated) country.

@@ -27,6 +27,43 @@ void Deployment::set_area_region(geo::Area a, std::size_t region) {
   area_default_[static_cast<int>(a)] = region;
 }
 
+std::vector<std::size_t> Deployment::withdraw_site(SiteId site) {
+  Site& s = sites_[value(site)];
+  std::vector<std::size_t> previous = std::move(s.regions);
+  s.regions.clear();
+  return previous;
+}
+
+void Deployment::restore_site(SiteId site, std::vector<std::size_t> regions) {
+  sites_[value(site)].regions = std::move(regions);
+}
+
+std::vector<SiteId> Deployment::withdraw_region(std::size_t region) {
+  std::vector<SiteId> announcing;
+  for (Site& s : sites_) {
+    const auto it = std::find(s.regions.begin(), s.regions.end(), region);
+    if (it == s.regions.end()) continue;
+    s.regions.erase(it);
+    announcing.push_back(s.id);
+  }
+  return announcing;
+}
+
+void Deployment::restore_region(std::size_t region, const std::vector<SiteId>& sites) {
+  for (const SiteId id : sites) {
+    Site& s = sites_[value(id)];
+    if (!s.announces(region)) s.regions.push_back(region);
+  }
+}
+
+bool Deployment::set_attachment_state(SiteId site, std::size_t attachment, bool up) {
+  if (value(site) >= sites_.size()) return false;
+  Site& s = sites_[value(site)];
+  if (attachment >= s.attachments.size()) return false;
+  s.attachments[attachment].up = up;
+  return true;
+}
+
 std::optional<std::size_t> Deployment::region_for_country(std::string_view iso2) const {
   if (const auto it = country_region_.find(std::string(iso2)); it != country_region_.end()) {
     return it->second;
@@ -64,6 +101,7 @@ std::vector<bgp::OriginAttachment> Deployment::origins_for_region(std::size_t re
   for (const Site& s : sites_) {
     if (!s.announces(region)) continue;
     for (const Attachment& a : s.attachments) {
+      if (!a.up) continue;  // failed adjacency (chaos engine)
       out.push_back(bgp::OriginAttachment{s.id, s.city, a.neighbor, a.rel, s.onsite_router});
     }
   }

@@ -1,0 +1,99 @@
+// The chaos engine: apply a FaultPlan step by step and measure the blast
+// radius of every step.
+//
+// Each step: (1) snapshot every retained probe's DNS answer, selected route
+// and RTT, (2) apply the fault mutation in place (announcement state,
+// adjacency state, geo-DB mode or measurement-plane degradation), (3)
+// re-solve the deployment's regional prefixes over the mutated world with
+// the original tie-break salts, (4) re-measure and reduce the deltas into a
+// StepReport. Reports carry no wall-clock data and read no observability
+// counters, so two runs with the same seed and plan serialize to the same
+// bytes; timings and fault telemetry live in the obs layer instead.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ranycast/chaos/plan.hpp"
+#include "ranycast/core/expected.hpp"
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::chaos {
+
+/// Impact measurement of one applied fault event.
+struct StepReport {
+  std::size_t index{0};
+  std::string event;  ///< describe() of the applied event
+
+  // --- reconvergence churn over all retained probes ---
+  std::size_t probes{0};         ///< retained probes measured
+  std::size_t routes_before{0};  ///< probes with a route before the event
+  std::size_t routes_after{0};
+  std::size_t moved{0};   ///< routed both sides, landed on a different site
+  std::size_t lost{0};    ///< routed before, unreachable after
+  std::size_t gained{0};  ///< unreachable before, routed after
+
+  // --- service impact over the affected subset ---
+  // For SiteWithdraw the affected subset is exactly the failed site's
+  // catchment (resilience::fail_site semantics); for RegionWithdraw the
+  // withdrawn region's clients; otherwise every probe whose catchment
+  // moved or vanished.
+  std::size_t affected_probes{0};
+  std::size_t still_served{0};
+  std::size_t failover_in_region{0};  ///< failover stayed in the same geo area
+  std::size_t cross_region{0};        ///< served via another region's prefix
+  double before_p50_ms{0.0}, before_p90_ms{0.0};
+  double after_p50_ms{0.0}, after_p90_ms{0.0};
+
+  // --- measurement-plane effects observed while probing this step ---
+  std::size_t degraded_dns_answers{0};  ///< resolutions served the fallback
+  std::size_t lost_pings{0};            ///< route existed but probing gave up
+
+  /// Fraction of the routed-before population whose catchment changed.
+  double churn() const noexcept {
+    return routes_before == 0
+               ? 0.0
+               : static_cast<double>(moved + lost) / static_cast<double>(routes_before);
+  }
+  double survival_rate() const noexcept {
+    return affected_probes == 0 ? 1.0
+                                : static_cast<double>(still_served) /
+                                      static_cast<double>(affected_probes);
+  }
+};
+
+struct ChaosReport {
+  std::string plan;
+  std::string deployment;
+  std::uint64_t seed{0};
+  std::size_t probes{0};
+  std::vector<StepReport> steps;
+};
+
+/// Applies fault plans to one deployment of one laboratory. The engine
+/// mutates lab state in place (that is the point); after run() returns the
+/// faults of the plan remain applied unless the plan restored them.
+class Engine {
+ public:
+  Engine(lab::Lab& laboratory, const lab::DeploymentHandle& handle);
+
+  /// Apply every event of the plan in order. Fails (without measuring
+  /// further) on an unappliable event: unknown site/region/IXP/database
+  /// index, a restore with no matching withdrawal, or an unknown adjacency.
+  core::Expected<ChaosReport, std::string> run(const FaultPlan& plan);
+
+ private:
+  struct ProbeView;  // per-probe snapshot (answer, route, rtt)
+
+  std::string apply(const FaultEvent& e);  ///< "" on success, else the error
+  void snapshot(std::vector<ProbeView>& out) const;
+
+  lab::Lab& lab_;
+  lab::DeploymentHandle* handle_;
+  /// Undo state for restore events.
+  std::unordered_map<std::uint16_t, std::vector<std::size_t>> withdrawn_sites_;
+  std::unordered_map<std::size_t, std::vector<SiteId>> withdrawn_regions_;
+};
+
+}  // namespace ranycast::chaos

@@ -1,0 +1,72 @@
+// Fault plans: typed, ordered failure timelines for the chaos engine.
+//
+// A FaultPlan is the unit of a chaos experiment: a named sequence of fault
+// events applied to one deployment in one laboratory, with a catchment
+// re-solve and a measurement pass between steps. Plans are data (loadable
+// from JSON scenario files, see scenario.hpp), so the same timeline can be
+// replayed across worlds, seeds and deployments. Every event is
+// deterministic: same seed + same plan => byte-identical reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ranycast/core/types.hpp"
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::chaos {
+
+enum class FaultKind : std::uint8_t {
+  SiteWithdraw,    ///< withdraw every announcement of one site (§4.5 drill)
+  SiteRestore,     ///< undo a prior SiteWithdraw
+  SiteLinkDown,    ///< fail one site attachment (single-adjacency failure)
+  SiteLinkUp,      ///< restore a failed site attachment
+  LinkDown,        ///< fail an arbitrary AS-AS adjacency in the topology
+  LinkUp,          ///< restore an arbitrary adjacency
+  RouteServerDown, ///< IXP route-server outage: multilateral peerings drop
+  RouteServerUp,   ///< route server back: multilateral peerings return
+  RegionWithdraw,  ///< withdraw one regional prefix everywhere
+  RegionRestore,   ///< re-announce a withdrawn regional prefix
+  GeoDbStale,      ///< geolocation DB drifts: extra block-level country errors
+  GeoDbOutage,     ///< geolocation DB down: lookups fail, DNS serves fallback
+  GeoDbRestore,    ///< geolocation DB back to its configured error profile
+  MeasurementDegrade,  ///< packet loss + resolver timeouts on the probe plane
+  MeasurementRestore,  ///< measurement plane back to lossless
+};
+
+std::string_view to_string(FaultKind k) noexcept;
+
+/// One step of a fault timeline. Only the fields of the addressed kind are
+/// meaningful (site/attachment for Site*, a/b for Link*, ixp for
+/// RouteServer*, region for Region*, db/magnitude for GeoDb*, faults for
+/// MeasurementDegrade).
+struct FaultEvent {
+  FaultKind kind{FaultKind::SiteWithdraw};
+  std::string label;  ///< optional scenario-author description
+
+  SiteId site{kInvalidSite};
+  std::size_t attachment{0};
+  Asn a{kInvalidAsn}, b{kInvalidAsn};
+  std::size_t ixp{0};
+  std::size_t region{0};
+  std::size_t db{0};
+  /// GeoDbStale: extra block-granular wrong-country probability.
+  double magnitude{0.0};
+  /// MeasurementDegrade: the degradation profile to install.
+  lab::MeasurementFaults faults{};
+};
+
+/// Human-readable one-liner ("site_withdraw site=3 'drain FRA'").
+std::string describe(const FaultEvent& e);
+
+struct FaultPlan {
+  std::string name;
+  std::vector<FaultEvent> events;
+};
+
+/// The one-event plan equivalent to resilience::fail_site (the chaos engine
+/// subsumes it; tests assert the numbers match exactly).
+FaultPlan single_site_withdrawal(SiteId site);
+
+}  // namespace ranycast::chaos

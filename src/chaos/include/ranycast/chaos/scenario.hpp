@@ -1,0 +1,46 @@
+// JSON scenario files for the chaos engine.
+//
+// A scenario is a FaultPlan on disk (see docs/resilience.md for the full
+// schema):
+//   {
+//     "name": "cascade",
+//     "events": [
+//       {"type": "site_withdraw", "site": 3, "label": "drain busiest site"},
+//       {"type": "site_link_flap", "site": 2, "attachment": 0},
+//       {"type": "route_server_down", "ixp": 0},
+//       {"type": "geodb_stale", "db": 0, "extra_wrong_country_prob": 0.3},
+//       {"type": "measurement_degrade", "ping_loss_prob": 0.2,
+//        "dns_timeout_prob": 0.05, "max_retries": 2, "backoff_base_ms": 50},
+//       {"type": "site_restore", "site": 3}
+//     ]
+//   }
+// "*_flap" event types expand at parse time into a down+up event pair, so
+// the engine still produces one report per step. Loading never throws:
+// malformed documents come back as io::ConfigError with the file, byte
+// offset (syntax) or offending field (validation).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/chaos/plan.hpp"
+#include "ranycast/core/expected.hpp"
+#include "ranycast/io/config.hpp"
+#include "ranycast/io/json.hpp"
+
+namespace ranycast::chaos {
+
+/// Bind a parsed JSON document into a FaultPlan. `file` is only used to
+/// label errors.
+core::Expected<FaultPlan, io::ConfigError> plan_from_json(const io::Json& json,
+                                                          std::string_view file = {});
+
+/// Read + parse + bind a scenario file.
+core::Expected<FaultPlan, io::ConfigError> load_plan(const std::string& path);
+
+/// Serialize a chaos report (stable key order; no wall-clock content, so
+/// same seed + same plan dumps byte-identical documents).
+io::Json report_to_json(const ChaosReport& report);
+
+}  // namespace ranycast::chaos

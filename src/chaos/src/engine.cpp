@@ -1,0 +1,261 @@
+#include "ranycast/chaos/engine.hpp"
+
+#include "ranycast/analysis/stats.hpp"
+#include "ranycast/obs/span.hpp"
+
+namespace ranycast::chaos {
+
+namespace {
+
+obs::MetricsRegistry& metrics() { return obs::MetricsRegistry::global(); }
+
+}  // namespace
+
+/// What one probe saw during a measurement pass. Routes are captured by
+/// value (origin site), never by pointer: a re-solve frees the routes of
+/// the previous pass.
+struct Engine::ProbeView {
+  const atlas::Probe* probe{nullptr};
+  lab::Lab::DnsAnswer answer{};
+  bool routed{false};
+  SiteId site{kInvalidSite};
+  std::optional<Rtt> rtt{};
+};
+
+Engine::Engine(lab::Lab& laboratory, const lab::DeploymentHandle& handle)
+    : lab_(laboratory), handle_(laboratory.handle_mut(handle)) {}
+
+void Engine::snapshot(std::vector<ProbeView>& out) const {
+  out.clear();
+  const auto retained = lab_.census().retained();
+  out.reserve(retained.size());
+  for (const atlas::Probe* p : retained) {
+    ProbeView view;
+    view.probe = p;
+    view.answer = lab_.dns_lookup(*p, *handle_, dns::QueryMode::Ldns);
+    const bgp::Route* route = handle_->route_for(p->asn, view.answer.region);
+    if (route != nullptr) {
+      view.routed = true;
+      view.site = route->origin_site;
+      view.rtt = lab_.ping(*p, view.answer.address);
+    }
+    out.push_back(std::move(view));
+  }
+}
+
+std::string Engine::apply(const FaultEvent& e) {
+  cdn::Deployment& dep = handle_->deployment;
+  const auto sites = handle_->deployment.sites().size();
+  const auto regions = handle_->deployment.regions().size();
+  bool reroute = true;  // most faults change routing; geo-DB/measurement don't
+  switch (e.kind) {
+    case FaultKind::SiteWithdraw: {
+      if (value(e.site) >= sites) return "unknown site " + std::to_string(value(e.site));
+      if (withdrawn_sites_.count(value(e.site)) != 0) {
+        return "site " + std::to_string(value(e.site)) + " is already withdrawn";
+      }
+      withdrawn_sites_[value(e.site)] = dep.withdraw_site(e.site);
+      break;
+    }
+    case FaultKind::SiteRestore: {
+      const auto it = withdrawn_sites_.find(value(e.site));
+      if (it == withdrawn_sites_.end()) {
+        return "site " + std::to_string(value(e.site)) + " was not withdrawn";
+      }
+      dep.restore_site(e.site, std::move(it->second));
+      withdrawn_sites_.erase(it);
+      break;
+    }
+    case FaultKind::SiteLinkDown:
+    case FaultKind::SiteLinkUp: {
+      if (value(e.site) >= sites) return "unknown site " + std::to_string(value(e.site));
+      if (!dep.set_attachment_state(e.site, e.attachment, e.kind == FaultKind::SiteLinkUp)) {
+        return "site " + std::to_string(value(e.site)) + " has no attachment " +
+               std::to_string(e.attachment);
+      }
+      break;
+    }
+    case FaultKind::LinkDown:
+    case FaultKind::LinkUp: {
+      if (!lab_.graph_mut().set_link_state(e.a, e.b, e.kind == FaultKind::LinkUp)) {
+        return "no adjacency between AS" + std::to_string(value(e.a)) + " and AS" +
+               std::to_string(value(e.b));
+      }
+      break;
+    }
+    case FaultKind::RouteServerDown:
+    case FaultKind::RouteServerUp: {
+      if (e.ixp >= lab_.world().graph.ixps().size()) {
+        return "unknown IXP " + std::to_string(e.ixp);
+      }
+      lab_.graph_mut().set_route_server_state(e.ixp, e.kind == FaultKind::RouteServerUp);
+      break;
+    }
+    case FaultKind::RegionWithdraw: {
+      if (e.region >= regions) return "unknown region " + std::to_string(e.region);
+      if (withdrawn_regions_.count(e.region) != 0) {
+        return "region " + std::to_string(e.region) + " is already withdrawn";
+      }
+      withdrawn_regions_[e.region] = dep.withdraw_region(e.region);
+      break;
+    }
+    case FaultKind::RegionRestore: {
+      const auto it = withdrawn_regions_.find(e.region);
+      if (it == withdrawn_regions_.end()) {
+        return "region " + std::to_string(e.region) + " was not withdrawn";
+      }
+      dep.restore_region(e.region, it->second);
+      withdrawn_regions_.erase(it);
+      break;
+    }
+    case FaultKind::GeoDbStale: {
+      if (e.db >= 3) return "unknown geolocation database " + std::to_string(e.db);
+      if (e.magnitude < 0.0 || e.magnitude > 1.0) {
+        return "geodb_stale magnitude must be a probability in [0,1]";
+      }
+      auto fault = lab_.db_mut(e.db).fault();
+      fault.extra_wrong_country_prob = e.magnitude;
+      lab_.db_mut(e.db).set_fault(fault);
+      reroute = false;
+      break;
+    }
+    case FaultKind::GeoDbOutage: {
+      if (e.db >= 3) return "unknown geolocation database " + std::to_string(e.db);
+      auto fault = lab_.db_mut(e.db).fault();
+      fault.outage = true;
+      lab_.db_mut(e.db).set_fault(fault);
+      reroute = false;
+      break;
+    }
+    case FaultKind::GeoDbRestore: {
+      if (e.db >= 3) return "unknown geolocation database " + std::to_string(e.db);
+      lab_.db_mut(e.db).clear_fault();
+      reroute = false;
+      break;
+    }
+    case FaultKind::MeasurementDegrade: {
+      const auto& f = e.faults;
+      if (f.ping_loss_prob < 0.0 || f.ping_loss_prob > 1.0 || f.dns_timeout_prob < 0.0 ||
+          f.dns_timeout_prob > 1.0) {
+        return "measurement fault probabilities must be in [0,1]";
+      }
+      if (f.max_retries < 0) return "max_retries must be non-negative";
+      lab_.set_measurement_faults(f);
+      reroute = false;
+      break;
+    }
+    case FaultKind::MeasurementRestore:
+      lab_.set_measurement_faults(std::nullopt);
+      reroute = false;
+      break;
+  }
+  if (reroute) lab_.resolve(*handle_);
+  return "";
+}
+
+core::Expected<ChaosReport, std::string> Engine::run(const FaultPlan& plan) {
+  if (handle_ == nullptr) {
+    return core::unexpected(std::string("deployment handle is not registered in this lab"));
+  }
+  obs::Span run_span("chaos.run");
+  static obs::Counter& plans = metrics().counter("chaos.plans");
+  static obs::Counter& steps_counter = metrics().counter("chaos.steps");
+  static obs::Histogram& step_us = metrics().histogram("chaos.step.total_us");
+  plans.add();
+
+  ChaosReport report;
+  report.plan = plan.name;
+  report.deployment = handle_->deployment.name();
+  report.seed = lab_.config().seed;
+  report.probes = lab_.census().retained().size();
+
+  const auto& gaz = geo::Gazetteer::world();
+  const auto& dep = handle_->deployment;
+  std::vector<ProbeView> before, after;
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& event = plan.events[i];
+    obs::Span span("chaos.step");
+    obs::ScopedTimer timer(step_us);
+    steps_counter.add();
+
+    snapshot(before);
+    if (const std::string err = apply(event); !err.empty()) {
+      return core::unexpected("step " + std::to_string(i) + " (" + describe(event) +
+                              "): " + err);
+    }
+    snapshot(after);
+
+    StepReport step;
+    step.index = i;
+    step.event = describe(event);
+    step.probes = before.size();
+
+    std::vector<double> before_ms, after_ms;
+    for (std::size_t p = 0; p < before.size(); ++p) {
+      const ProbeView& b = before[p];
+      const ProbeView& a = after[p];
+      if (b.routed) ++step.routes_before;
+      if (a.routed) ++step.routes_after;
+      if (a.answer.degraded) ++step.degraded_dns_answers;
+      if (a.routed && !a.rtt) ++step.lost_pings;
+      const bool moved = b.routed && a.routed && b.site != a.site;
+      const bool lost = b.routed && !a.routed;
+      if (moved) ++step.moved;
+      if (lost) ++step.lost;
+      if (!b.routed && a.routed) ++step.gained;
+
+      // The affected subset: the failed element's own clients for the
+      // withdrawal kinds (resilience::fail_site semantics), otherwise any
+      // probe whose catchment changed.
+      bool affected = false;
+      switch (event.kind) {
+        case FaultKind::SiteWithdraw:
+          affected = b.routed && b.site == event.site;
+          break;
+        case FaultKind::RegionWithdraw:
+          affected = b.routed && b.answer.region == event.region;
+          break;
+        default:
+          affected = moved || lost;
+          break;
+      }
+      if (!affected) continue;
+      ++step.affected_probes;
+      if (b.rtt) before_ms.push_back(b.rtt->ms);
+
+      if (!a.routed) {
+        // The answered region is unreachable. The service survives if some
+        // other region's prefix — globally announced — still has a route
+        // (§4.5); the client lands cross-region on the nearest one.
+        std::optional<Rtt> best;
+        for (std::size_t r2 = 0; r2 < dep.regions().size(); ++r2) {
+          if (r2 == a.answer.region) continue;
+          if (handle_->route_for(b.probe->asn, r2) == nullptr) continue;
+          const auto rtt = lab_.ping(*b.probe, dep.regions()[r2].service_ip);
+          if (rtt && (!best || *rtt < *best)) best = rtt;
+        }
+        if (!best) continue;  // truly unreachable
+        ++step.still_served;
+        ++step.cross_region;
+        after_ms.push_back(best->ms);
+        continue;
+      }
+      ++step.still_served;
+      if (a.rtt) after_ms.push_back(a.rtt->ms);
+      const cdn::Site& landed = dep.site(a.site);
+      if (landed.announces(a.answer.region) && b.site != kInvalidSite) {
+        if (gaz.area_of_city(landed.city) == gaz.area_of_city(dep.site(b.site).city)) {
+          ++step.failover_in_region;
+        }
+      }
+    }
+    step.before_p50_ms = analysis::percentile(before_ms, 50);
+    step.before_p90_ms = analysis::percentile(before_ms, 90);
+    step.after_p50_ms = analysis::percentile(after_ms, 50);
+    step.after_p90_ms = analysis::percentile(after_ms, 90);
+    report.steps.push_back(std::move(step));
+  }
+  return report;
+}
+
+}  // namespace ranycast::chaos

@@ -1,0 +1,88 @@
+#include "ranycast/chaos/plan.hpp"
+
+#include <cstdio>
+
+namespace ranycast::chaos {
+
+std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::SiteWithdraw: return "site_withdraw";
+    case FaultKind::SiteRestore: return "site_restore";
+    case FaultKind::SiteLinkDown: return "site_link_down";
+    case FaultKind::SiteLinkUp: return "site_link_up";
+    case FaultKind::LinkDown: return "link_down";
+    case FaultKind::LinkUp: return "link_up";
+    case FaultKind::RouteServerDown: return "route_server_down";
+    case FaultKind::RouteServerUp: return "route_server_up";
+    case FaultKind::RegionWithdraw: return "region_withdraw";
+    case FaultKind::RegionRestore: return "region_restore";
+    case FaultKind::GeoDbStale: return "geodb_stale";
+    case FaultKind::GeoDbOutage: return "geodb_outage";
+    case FaultKind::GeoDbRestore: return "geodb_restore";
+    case FaultKind::MeasurementDegrade: return "measurement_degrade";
+    case FaultKind::MeasurementRestore: return "measurement_restore";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string describe(const FaultEvent& e) {
+  std::string out{to_string(e.kind)};
+  switch (e.kind) {
+    case FaultKind::SiteWithdraw:
+    case FaultKind::SiteRestore:
+      out += " site=" + std::to_string(value(e.site));
+      break;
+    case FaultKind::SiteLinkDown:
+    case FaultKind::SiteLinkUp:
+      out += " site=" + std::to_string(value(e.site)) +
+             " attachment=" + std::to_string(e.attachment);
+      break;
+    case FaultKind::LinkDown:
+    case FaultKind::LinkUp:
+      out += " " + std::to_string(value(e.a)) + "<->" + std::to_string(value(e.b));
+      break;
+    case FaultKind::RouteServerDown:
+    case FaultKind::RouteServerUp:
+      out += " ixp=" + std::to_string(e.ixp);
+      break;
+    case FaultKind::RegionWithdraw:
+    case FaultKind::RegionRestore:
+      out += " region=" + std::to_string(e.region);
+      break;
+    case FaultKind::GeoDbStale:
+      out += " db=" + std::to_string(e.db) + " extra_wrong_country_prob=" + fmt(e.magnitude);
+      break;
+    case FaultKind::GeoDbOutage:
+    case FaultKind::GeoDbRestore:
+      out += " db=" + std::to_string(e.db);
+      break;
+    case FaultKind::MeasurementDegrade:
+      out += " ping_loss=" + fmt(e.faults.ping_loss_prob) +
+             " dns_timeout=" + fmt(e.faults.dns_timeout_prob) +
+             " max_retries=" + std::to_string(e.faults.max_retries);
+      break;
+    case FaultKind::MeasurementRestore:
+      break;
+  }
+  if (!e.label.empty()) out += " '" + e.label + "'";
+  return out;
+}
+
+FaultPlan single_site_withdrawal(SiteId site) {
+  FaultEvent event;
+  event.kind = FaultKind::SiteWithdraw;
+  event.site = site;
+  return FaultPlan{"single-site-withdrawal", {std::move(event)}};
+}
+
+}  // namespace ranycast::chaos

@@ -1,0 +1,75 @@
+// A minimal expected<T, E>: either a value or a typed error.
+//
+// The library's hardened error paths (configuration loading, scenario
+// parsing, the chaos engine) return Expected instead of throwing, so CLIs
+// can print an actionable message and exit nonzero instead of aborting
+// through an unhandled exception. Close in spirit to std::expected (C++23),
+// restricted to what the codebase needs: distinct T/E construction via the
+// Unexpected wrapper, value/error access, and value_or.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace ranycast::core {
+
+/// Wrapper marking a constructor argument as the error alternative, so
+/// Expected<T, E> stays unambiguous even when T and E are convertible.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<std::decay_t<E>> unexpected(E&& e) {
+  return Unexpected<std::decay_t<E>>{std::forward<E>(e)};
+}
+
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> u) : storage_(std::in_place_index<1>, std::move(u.error)) {}
+
+  bool has_value() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+  E& error() & {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+  const E& error() const& {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+  E&& error() && {
+    assert(!has_value());
+    return std::get<1>(std::move(storage_));
+  }
+
+  T value_or(T fallback) const& { return has_value() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace ranycast::core

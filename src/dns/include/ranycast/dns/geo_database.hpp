@@ -37,9 +37,23 @@ class GeoDatabase {
     std::uint64_t seed{1};
   };
 
+  /// Degraded operating mode injected by the chaos engine. Staleness models
+  /// a database snapshot that has drifted from reality (extra block-granular
+  /// wrong-country decisions, drawn from a dedicated deterministic stream);
+  /// an outage makes every lookup fail (callers observe nullopt and fall
+  /// back, e.g. cdn::Deployment::map_client serves region 0).
+  struct Fault {
+    double extra_wrong_country_prob{0.0};
+    bool outage{false};
+  };
+
   GeoDatabase(Config config, const topo::Graph* graph, const topo::IpRegistry* registry);
 
   const std::string& name() const noexcept { return config_.name; }
+
+  void set_fault(Fault fault) noexcept { fault_ = fault; }
+  void clear_fault() noexcept { fault_ = Fault{}; }
+  const Fault& fault() const noexcept { return fault_; }
 
   /// Country-level lookup (ISO2). `nullopt` for unallocated space.
   std::optional<std::string_view> country(Ipv4Addr ip) const;
@@ -63,6 +77,7 @@ class GeoDatabase {
   Config config_;
   const topo::Graph* graph_;
   const topo::IpRegistry* registry_;
+  Fault fault_{};
 };
 
 }  // namespace ranycast::dns

@@ -15,6 +15,12 @@ obs::Counter& lookup_counter() {
   return counter;
 }
 
+obs::Counter& outage_counter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("dns.geodb.outage_lookups");
+  return counter;
+}
+
 }  // namespace
 
 GeoDatabase::GeoDatabase(Config config, const topo::Graph* graph,
@@ -76,6 +82,10 @@ double hash01(std::uint64_t h) noexcept {
 
 std::optional<std::string_view> GeoDatabase::country(Ipv4Addr ip) const {
   lookup_counter().add();
+  if (fault_.outage) {
+    outage_counter().add();
+    return std::nullopt;
+  }
   const auto truth = truth_for(ip);
   if (!truth) return std::nullopt;
   const auto& gaz = geo::Gazetteer::world();
@@ -92,11 +102,22 @@ std::optional<std::string_view> GeoDatabase::country(Ipv4Addr ip) const {
   if (hash01(block_hash(truth->asn, 0xBEEF)) < config_.wrong_country_prob) {
     return gaz.country_code(nearby_foreign_city(truth->city, block_hash(truth->asn, 0xC0DE)));
   }
+  // Staleness injected by the chaos engine: additional block-granular
+  // wrong-country decisions from an independent stream, so degraded and
+  // healthy operation disagree on exactly the extra-probability blocks.
+  if (fault_.extra_wrong_country_prob > 0.0 &&
+      hash01(block_hash(truth->asn, 0x57A1E)) < fault_.extra_wrong_country_prob) {
+    return gaz.country_code(nearby_foreign_city(truth->city, block_hash(truth->asn, 0x57A2E)));
+  }
   return gaz.country_code(truth->city);
 }
 
 std::optional<CityId> GeoDatabase::city_estimate(Ipv4Addr ip) const {
   lookup_counter().add();
+  if (fault_.outage) {
+    outage_counter().add();
+    return std::nullopt;
+  }
   const auto truth = truth_for(ip);
   if (!truth) return std::nullopt;
   const auto& gaz = geo::Gazetteer::world();
@@ -108,6 +129,11 @@ std::optional<CityId> GeoDatabase::city_estimate(Ipv4Addr ip) const {
     country_anchor = node != nullptr ? node->registered_city : truth->city;
   } else if (hash01(block_hash(truth->asn, 0xBEEF)) < config_.wrong_country_prob) {
     return nearby_foreign_city(truth->city, block_hash(truth->asn, 0xC0DE));
+  } else if (fault_.extra_wrong_country_prob > 0.0 &&
+             hash01(block_hash(truth->asn, 0x57A1E)) < fault_.extra_wrong_country_prob) {
+    // Same staleness stream as country(), so both views of a degraded
+    // database stay mutually consistent.
+    return nearby_foreign_city(truth->city, block_hash(truth->asn, 0x57A2E));
   }
   // Country correct; the city may still be off within the country.
   if (hash01(ip_hash(ip, 0xD00F)) < config_.wrong_city_prob) {

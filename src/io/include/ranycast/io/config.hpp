@@ -1,14 +1,33 @@
 // JSON bindings for the laboratory configuration: load experiment setups
-// from files (tools/ranycast-experiment) and persist the configuration
-// actually used next to results for reproducibility.
+// from files (tools/ranycast-experiment, tools/ranycast-chaos) and persist
+// the configuration actually used next to results for reproducibility.
+//
+// The loading surface is exception-free: every failure is reported as a
+// core::Expected error carrying the file, the byte offset (for syntax
+// errors) and the offending field (for validation errors), so CLIs print an
+// actionable message and exit nonzero instead of aborting.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
+#include "ranycast/core/expected.hpp"
 #include "ranycast/io/json.hpp"
 #include "ranycast/lab/lab.hpp"
 
 namespace ranycast::io {
+
+/// A configuration-loading failure with enough context to act on.
+struct ConfigError {
+  std::string file;       ///< path, or "<inline>" for in-memory documents
+  std::size_t offset{0};  ///< byte offset of a syntax error; 0 when n/a
+  std::string field;      ///< dotted path of the offending field; "" when n/a
+  std::string message;
+
+  /// "config.json: field 'census.total_probes': must be positive (got 0)"
+  std::string to_string() const;
+};
 
 /// Parse a LabConfig from a JSON object. Every field is optional and
 /// defaults to the library default; unknown keys are ignored (configs stay
@@ -27,7 +46,19 @@ lab::LabConfig lab_config_from_json(const Json& json);
 /// Serialize a LabConfig (the exact inverse of the reader for covered keys).
 Json lab_config_to_json(const lab::LabConfig& config);
 
-/// Read a file into a string; throws std::runtime_error on failure.
-std::string read_file(const std::string& path);
+/// Range-check a LabConfig (probabilities in [0,1], positive counts,
+/// non-negative latencies, non-negative geo-DB error rates). Returns the
+/// first violation, with `field` naming the offending key.
+std::optional<ConfigError> validate_lab_config(const lab::LabConfig& config,
+                                               std::string_view file = {});
+
+/// Read a file into a string.
+core::Expected<std::string, ConfigError> read_file(const std::string& path);
+
+/// Read + parse a JSON document; syntax errors carry the byte offset.
+core::Expected<Json, ConfigError> load_json(const std::string& path);
+
+/// Read + parse + bind + validate a laboratory configuration.
+core::Expected<lab::LabConfig, ConfigError> load_config(const std::string& path);
 
 }  // namespace ranycast::io

@@ -36,6 +36,27 @@ struct DeploymentHandle {
   }
 };
 
+/// Measurement-plane degradation (chaos engine): per-attempt packet loss on
+/// the active probing paths and resolver timeouts on DNS, with a bounded
+/// deterministic retry/backoff policy. Loss decisions are pure hashes of
+/// (seed, probe, target, attempt), so a degraded run is exactly reproducible
+/// and independent measurements do not perturb each other.
+struct MeasurementFaults {
+  /// Per-attempt loss probability for ping/traceroute packets.
+  double ping_loss_prob{0.0};
+  /// Per-attempt timeout probability for DNS resolutions.
+  double dns_timeout_prob{0.0};
+  /// Retries after the first attempt (total attempts = 1 + max_retries).
+  int max_retries{2};
+  /// Exponential backoff: attempt k waits backoff_base_ms * 2^k after a
+  /// loss. Accounted in telemetry (wasted wall time), never added to RTTs —
+  /// a retried ping still measures the true network RTT.
+  double backoff_base_ms{50.0};
+  std::uint64_t seed{0xFA117};
+
+  bool active() const noexcept { return ping_loss_prob > 0.0 || dns_timeout_prob > 0.0; }
+};
+
 struct LabConfig {
   topo::GeneratorParams world;
   atlas::CensusConfig census;
@@ -67,6 +88,10 @@ class Lab {
   Lab& operator=(Lab&&) = delete;
 
   const topo::World& world() const noexcept { return *world_; }
+  /// Mutable topology access for fault injection. After mutating the graph
+  /// (link state, route-server state), previously solved deployment handles
+  /// hold stale routes until re-solved with `resolve()`.
+  topo::Graph& graph_mut() noexcept { return world_->graph; }
   topo::IpRegistry& registry() noexcept { return registry_; }
   const atlas::ProbeCensus& census() const noexcept { return census_; }
   const bgp::LatencyModel& latency() const noexcept { return config_.latency; }
@@ -74,6 +99,8 @@ class Lab {
 
   /// The i-th commercial-style geolocation database (0..2).
   const dns::GeoDatabase& db(std::size_t i) const { return *geo_dbs_[i]; }
+  /// Mutable access for fault injection (staleness/outage).
+  dns::GeoDatabase& db_mut(std::size_t i) { return *geo_dbs_[i]; }
   /// The database CDN operators' DNS mapping uses.
   const dns::GeoDatabase& mapping_db() const { return *geo_dbs_[0]; }
 
@@ -85,6 +112,26 @@ class Lab {
   /// transformed one) and solve its regional prefixes.
   const DeploymentHandle& add_deployment(cdn::Deployment deployment);
 
+  /// Mutable access to a registered deployment handle (fault injection
+  /// mutates announcement state in place). `handle` must have been returned
+  /// by add_deployment on this Lab; returns nullptr otherwise.
+  DeploymentHandle* handle_mut(const DeploymentHandle& handle) noexcept;
+
+  /// Re-solve every regional prefix of a registered deployment in place,
+  /// with the same per-region tie-break salts as the original solve — the
+  /// re-solve-after-mutation operation the chaos engine is built on. The
+  /// routes referenced by earlier route_for() calls are invalidated.
+  void resolve(DeploymentHandle& handle) const;
+
+  // ---- measurement-plane degradation (chaos engine) ----
+
+  void set_measurement_faults(std::optional<MeasurementFaults> faults) noexcept {
+    measurement_faults_ = faults;
+  }
+  const std::optional<MeasurementFaults>& measurement_faults() const noexcept {
+    return measurement_faults_;
+  }
+
   /// Solve an ad-hoc origination (used for per-site unicast emulation).
   bgp::RoutingOutcome solve_origins(Asn cdn_asn,
                                     std::span<const bgp::OriginAttachment> origins,
@@ -95,6 +142,10 @@ class Lab {
   struct DnsAnswer {
     std::size_t region;
     Ipv4Addr address;
+    /// True when the answer came from the degraded path: every resolution
+    /// attempt timed out (measurement faults) and the authoritative logic
+    /// served its fallback region instead of a geo-mapped one.
+    bool degraded{false};
   };
 
   /// Resolve a deployment-served hostname from a probe.
@@ -134,6 +185,7 @@ class Lab {
   atlas::ProbeCensus census_;
   std::array<std::unique_ptr<dns::GeoDatabase>, 3> geo_dbs_;
   std::deque<DeploymentHandle> deployments_;  // deque: stable references
+  std::optional<MeasurementFaults> measurement_faults_;
 };
 
 }  // namespace ranycast::lab

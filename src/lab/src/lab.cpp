@@ -8,6 +8,40 @@ namespace {
 
 obs::MetricsRegistry& metrics() { return obs::MetricsRegistry::global(); }
 
+double hash01(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Stream tags separating the fault decisions of the three measurement
+// primitives, so a ping loss does not imply a DNS timeout for the same
+// probe/target pair.
+constexpr std::uint64_t kPingFaultTag = 0x1C39;
+constexpr std::uint64_t kDnsFaultTag = 0xD235;
+constexpr std::uint64_t kTraceFaultTag = 0x7A3C;
+
+/// Deterministic per-attempt loss decision.
+bool attempt_lost(const MeasurementFaults& f, std::uint64_t tag, ProbeId probe,
+                  std::uint64_t target, int attempt, double prob) noexcept {
+  const std::uint64_t h = mix64(hash_combine(
+      hash_combine(hash_combine(hash_combine(f.seed, tag), value(probe)), target),
+      static_cast<std::uint64_t>(attempt)));
+  return hash01(h) < prob;
+}
+
+/// Run the retry/backoff loop for one measurement. Returns the attempt
+/// index that succeeded, or nullopt when every attempt was lost. Lost
+/// attempts and the backoff they cost are recorded in `lost`/`backoff_ms`.
+std::optional<int> faulty_attempts(const MeasurementFaults& f, std::uint64_t tag,
+                                   ProbeId probe, std::uint64_t target, double prob,
+                                   obs::Counter& lost, obs::Histogram& backoff_ms) {
+  for (int attempt = 0; attempt <= f.max_retries; ++attempt) {
+    if (!attempt_lost(f, tag, probe, target, attempt, prob)) return attempt;
+    lost.add();
+    backoff_ms.record(f.backoff_base_ms * static_cast<double>(1u << attempt));
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 Lab::Lab(const LabConfig& config) : config_(config) {
@@ -65,6 +99,28 @@ const DeploymentHandle& Lab::add_deployment(cdn::Deployment deployment) {
   return deployments_.back();
 }
 
+DeploymentHandle* Lab::handle_mut(const DeploymentHandle& handle) noexcept {
+  for (DeploymentHandle& h : deployments_) {
+    if (&h == &handle) return &h;
+  }
+  return nullptr;
+}
+
+void Lab::resolve(DeploymentHandle& handle) const {
+  obs::Span span("lab.resolve");
+  static obs::Histogram& h_resolve = metrics().histogram("lab.resolve.total_us");
+  obs::ScopedTimer timer(h_resolve);
+  const auto& dep = handle.deployment;
+  for (std::size_t r = 0; r < dep.regions().size(); ++r) {
+    const auto origins = dep.origins_for_region(r);
+    // Same per-region salt as add_deployment: a re-solve of an unchanged
+    // deployment reproduces the original outcome bit-for-bit.
+    handle.outcomes[r] = solve_origins(dep.asn(), origins, r);
+  }
+  static obs::Counter& resolves = metrics().counter("lab.resolves");
+  resolves.add();
+}
+
 bgp::RoutingOutcome Lab::solve_origins(Asn cdn_asn,
                                        std::span<const bgp::OriginAttachment> origins,
                                        std::uint64_t salt) const {
@@ -87,9 +143,25 @@ Lab::DnsAnswer Lab::dns_lookup(const atlas::Probe& probe, const DeploymentHandle
   static obs::Histogram& wall = metrics().histogram("lab.dns_lookup.wall_us");
   calls.add();
   obs::ScopedTimer timer(wall);
+  if (measurement_faults_ && measurement_faults_->dns_timeout_prob > 0.0) {
+    static obs::Counter& timeouts = metrics().counter("lab.dns_lookup.fault_timeouts");
+    static obs::Counter& fallbacks = metrics().counter("lab.dns_lookup.fault_fallbacks");
+    static obs::Histogram& backoff =
+        metrics().histogram("lab.fault.backoff_ms", obs::kRttMsBounds);
+    const auto ok = faulty_attempts(*measurement_faults_, kDnsFaultTag, probe.id,
+                                    handle.deployment.regions()[0].service_ip.bits(),
+                                    measurement_faults_->dns_timeout_prob, timeouts, backoff);
+    if (!ok) {
+      // Every resolution attempt timed out: the client is served the stale
+      // fallback record (region 0, mirroring map_client's unknown-address
+      // fallback) instead of a geo-mapped answer.
+      fallbacks.add();
+      return DnsAnswer{0, handle.deployment.regions()[0].service_ip, true};
+    }
+  }
   const auto effective = dns::effective_address(probe.query_context(), mode);
   const std::size_t region = handle.deployment.map_client(effective, mapping_db());
-  return DnsAnswer{region, handle.deployment.regions()[region].service_ip};
+  return DnsAnswer{region, handle.deployment.regions()[region].service_ip, false};
 }
 
 const bgp::Route* Lab::route_of(const atlas::Probe& probe, Ipv4Addr address) const {
@@ -111,6 +183,19 @@ std::optional<Rtt> Lab::ping(const atlas::Probe& probe, Ipv4Addr address,
   if (route == nullptr) {
     unreachable.add();
     return std::nullopt;
+  }
+  if (measurement_faults_ && measurement_faults_->ping_loss_prob > 0.0) {
+    static obs::Counter& lost = metrics().counter("lab.ping.fault_lost_attempts");
+    static obs::Counter& gaveup = metrics().counter("lab.ping.fault_gaveup");
+    static obs::Histogram& backoff =
+        metrics().histogram("lab.fault.backoff_ms", obs::kRttMsBounds);
+    const auto ok = faulty_attempts(*measurement_faults_, kPingFaultTag, probe.id,
+                                    hash_combine(address.bits(), salt),
+                                    measurement_faults_->ping_loss_prob, lost, backoff);
+    if (!ok) {
+      gaveup.add();
+      return std::nullopt;  // every attempt lost: the probe reports failure
+    }
   }
   Rtt rtt = config_.latency.path_rtt(*route, probe.city, probe.asn, probe.access_extra_ms);
   if (salt != 0) {
@@ -134,6 +219,19 @@ std::optional<bgp::TracerouteResult> Lab::traceroute(const atlas::Probe& probe,
   if (!info) return std::nullopt;
   const bgp::Route* route = info->handle->route_for(probe.asn, info->region);
   if (route == nullptr) return std::nullopt;
+  if (measurement_faults_ && measurement_faults_->ping_loss_prob > 0.0) {
+    static obs::Counter& lost = metrics().counter("lab.traceroute.fault_lost_attempts");
+    static obs::Counter& gaveup = metrics().counter("lab.traceroute.fault_gaveup");
+    static obs::Histogram& backoff =
+        metrics().histogram("lab.fault.backoff_ms", obs::kRttMsBounds);
+    const auto ok = faulty_attempts(*measurement_faults_, kTraceFaultTag, probe.id,
+                                    address.bits(), measurement_faults_->ping_loss_prob,
+                                    lost, backoff);
+    if (!ok) {
+      gaveup.add();
+      return std::nullopt;
+    }
+  }
   const cdn::Site& site = info->handle->deployment.site(route->origin_site);
   return bgp::synth_traceroute(*route, probe.city, probe.asn, probe.access_extra_ms,
                                site.onsite_router, address, config_.latency,

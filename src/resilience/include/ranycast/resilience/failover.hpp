@@ -33,6 +33,11 @@ struct FailoverReport {
   double before_p90_ms{0.0}, after_p90_ms{0.0};
   /// Affected probes whose failover site is in the same region.
   std::size_t failover_in_region{0};
+  /// Affected probes whose own regional prefix became unreachable (the
+  /// failed site was its only announcer — §4.5's one-site-region case) but
+  /// that still reach the service through another region's globally-routed
+  /// prefix. Counted inside still_served, never inside failover_in_region.
+  std::size_t cross_region{0};
 
   double survival_rate() const {
     return affected_probes == 0

@@ -46,7 +46,24 @@ FailoverReport fail_site(lab::Lab& lab, const lab::DeploymentHandle& before, Sit
 
     // Same DNS answer (DNS does not react to BGP withdrawals), new routing.
     const bgp::Route* r_after = after.route_for(p->asn, answer.region);
-    if (r_after == nullptr) continue;
+    if (r_after == nullptr) {
+      // The probe's own regional prefix is gone entirely — the failed site
+      // was its only announcer (§4.5's one-site region). The service still
+      // survives if another region's prefix, being globally routed, is
+      // reachable; the client lands cross-region.
+      std::optional<Rtt> best;
+      for (std::size_t r2 = 0; r2 < after.deployment.regions().size(); ++r2) {
+        if (r2 == answer.region) continue;
+        if (after.route_for(p->asn, r2) == nullptr) continue;
+        const auto rtt = lab.ping(*p, after.deployment.regions()[r2].service_ip);
+        if (rtt && (!best || *rtt < *best)) best = rtt;
+      }
+      if (!best) continue;  // truly unreachable
+      ++report.still_served;
+      ++report.cross_region;
+      after_ms.push_back(best->ms);
+      continue;
+    }
     ++report.still_served;
     const auto rtt_after =
         lab.ping(*p, after.deployment.regions()[answer.region].service_ip);

@@ -54,6 +54,10 @@ constexpr Rel reverse(Rel r) noexcept {
 struct Edge {
   Asn neighbor{kInvalidAsn};
   Rel rel{Rel::PeerPublic};
+  /// Administrative/operational state. A downed adjacency stays in the graph
+  /// (so it can be restored cheaply by the fault-injection engine) but the
+  /// routing engine ignores it.
+  bool up{true};
   /// Interconnection points. Wide-footprint networks interconnect in many
   /// cities; the routing engine picks the one nearest a route's ingress
   /// (nearest-exit), which keeps intra-AS geography realistic.
@@ -110,6 +114,24 @@ class Graph {
   bool has_edge(Asn a, Asn b) const noexcept;
 
   std::size_t edge_count() const noexcept { return edge_count_; }
+
+  // --- fault-injection operations (chaos engine) ---
+  //
+  // Mutation is exposed as an operation so failure scenarios re-solve over
+  // the same graph instead of rebuilding the world from scratch.
+
+  /// Set the operational state of the a<->b adjacency (both directions).
+  /// Returns false if either AS or the adjacency is unknown.
+  bool set_link_state(Asn a, Asn b, bool up) noexcept;
+
+  /// Whether the a<->b adjacency exists and is up.
+  bool link_is_up(Asn a, Asn b) const noexcept;
+
+  /// Take the IXP's route server down (or back up): toggles every
+  /// route-server peering between two members that runs over the IXP's
+  /// city. Bilateral (public) peerings at the same IXP are unaffected.
+  /// Returns the number of adjacencies whose state changed.
+  std::size_t set_route_server_state(std::size_t ixp_index, bool up) noexcept;
 
  private:
   std::vector<AsNode> nodes_;

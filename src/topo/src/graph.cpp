@@ -54,8 +54,8 @@ bool Graph::add_transit(Asn customer, Asn provider, std::vector<CityId> cities) 
   AsNode* p = find(provider);
   if (c == nullptr || p == nullptr || customer == provider || cities.empty()) return false;
   if (has_edge(customer, provider)) return false;
-  c->edges.push_back(Edge{provider, Rel::Provider, cities});
-  p->edges.push_back(Edge{customer, Rel::Customer, std::move(cities)});
+  c->edges.push_back(Edge{provider, Rel::Provider, true, cities});
+  p->edges.push_back(Edge{customer, Rel::Customer, true, std::move(cities)});
   ++edge_count_;
   return true;
 }
@@ -66,8 +66,8 @@ bool Graph::add_peering(Asn a, Asn b, bool via_route_server, std::vector<CityId>
   if (na == nullptr || nb == nullptr || a == b || cities.empty()) return false;
   if (has_edge(a, b)) return false;
   const Rel rel = via_route_server ? Rel::PeerRouteServer : Rel::PeerPublic;
-  na->edges.push_back(Edge{b, rel, cities});
-  nb->edges.push_back(Edge{a, rel, std::move(cities)});
+  na->edges.push_back(Edge{b, rel, true, cities});
+  nb->edges.push_back(Edge{a, rel, true, std::move(cities)});
   ++edge_count_;
   return true;
 }
@@ -98,6 +98,54 @@ bool Graph::has_edge(Asn a, Asn b) const noexcept {
   if (na == nullptr) return false;
   return std::any_of(na->edges.begin(), na->edges.end(),
                      [b](const Edge& e) { return e.neighbor == b; });
+}
+
+namespace {
+
+Edge* edge_to(AsNode* from, Asn to) noexcept {
+  if (from == nullptr) return nullptr;
+  for (Edge& e : from->edges) {
+    if (e.neighbor == to) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool Graph::set_link_state(Asn a, Asn b, bool up) noexcept {
+  Edge* ab = edge_to(find(a), b);
+  Edge* ba = edge_to(find(b), a);
+  if (ab == nullptr || ba == nullptr) return false;
+  ab->up = up;
+  ba->up = up;
+  return true;
+}
+
+bool Graph::link_is_up(Asn a, Asn b) const noexcept {
+  const AsNode* na = find(a);
+  if (na == nullptr) return false;
+  return std::any_of(na->edges.begin(), na->edges.end(),
+                     [b](const Edge& e) { return e.neighbor == b && e.up; });
+}
+
+std::size_t Graph::set_route_server_state(std::size_t ixp_index, bool up) noexcept {
+  if (ixp_index >= ixps_.size()) return 0;
+  const Ixp& ixp = ixps_[ixp_index];
+  std::size_t changed = 0;
+  for (const Asn member : ixp.members) {
+    AsNode* node = find(member);
+    if (node == nullptr) continue;
+    for (Edge& e : node->edges) {
+      if (e.rel != Rel::PeerRouteServer || e.up == up) continue;
+      if (std::find(ixp.members.begin(), ixp.members.end(), e.neighbor) == ixp.members.end())
+        continue;
+      if (std::find(e.cities.begin(), e.cities.end(), ixp.city) == e.cities.end()) continue;
+      e.up = up;
+      ++changed;
+    }
+  }
+  // Each adjacency was visited from both endpoints.
+  return changed / 2;
 }
 
 }  // namespace ranycast::topo

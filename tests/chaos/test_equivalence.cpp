@@ -1,0 +1,72 @@
+// Acceptance check: a one-event chaos plan that withdraws a site reproduces
+// `resilience::fail_site` exactly. The two implementations differ completely
+// in mechanism — fail_site deploys a *fresh* withdrawn variant next to the
+// original, the chaos engine mutates the deployment *in place* and re-solves —
+// but the prefix-independent tie-break and address-independent latency model
+// make every reported number identical.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/resilience/failover.hpp"
+
+namespace ranycast::chaos {
+namespace {
+
+lab::LabConfig shared_config() {
+  lab::LabConfig config;
+  config.world.stub_count = 500;
+  config.census.total_probes = 1500;
+  return config;
+}
+
+SiteId busiest_site(lab::Lab& laboratory, const lab::DeploymentHandle& handle) {
+  std::map<std::uint16_t, int> counts;
+  for (const atlas::Probe* p : laboratory.census().retained()) {
+    const auto answer = laboratory.dns_lookup(*p, handle, dns::QueryMode::Ldns);
+    const bgp::Route* r = handle.route_for(p->asn, answer.region);
+    if (r != nullptr) counts[value(r->origin_site)]++;
+  }
+  std::uint16_t best = 0;
+  int best_count = -1;
+  for (const auto& [site, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best = site;
+    }
+  }
+  return SiteId{best};
+}
+
+TEST(Equivalence, SingleWithdrawalPlanMatchesFailSiteExactly) {
+  // Two labs from the same seed are the same world. Lab A runs the legacy
+  // fail_site experiment; lab B runs the chaos engine.
+  auto lab_a = lab::Lab::create(shared_config());
+  const auto& im6_a = lab_a.add_deployment(cdn::catalog::imperva6());
+  const SiteId victim = busiest_site(lab_a, im6_a);
+  const auto legacy = resilience::fail_site(lab_a, im6_a, victim);
+  ASSERT_GT(legacy.affected_probes, 0u);
+
+  auto lab_b = lab::Lab::create(shared_config());
+  const auto& im6_b = lab_b.add_deployment(cdn::catalog::imperva6());
+  Engine engine(lab_b, im6_b);
+  const auto report = engine.run(single_site_withdrawal(victim));
+  ASSERT_TRUE(report.has_value()) << report.error();
+  ASSERT_EQ(report->steps.size(), 1u);
+  const StepReport& step = report->steps[0];
+
+  EXPECT_EQ(step.affected_probes, legacy.affected_probes);
+  EXPECT_EQ(step.still_served, legacy.still_served);
+  EXPECT_EQ(step.failover_in_region, legacy.failover_in_region);
+  EXPECT_EQ(step.cross_region, legacy.cross_region);
+  EXPECT_DOUBLE_EQ(step.before_p50_ms, legacy.before_p50_ms);
+  EXPECT_DOUBLE_EQ(step.before_p90_ms, legacy.before_p90_ms);
+  EXPECT_DOUBLE_EQ(step.after_p50_ms, legacy.after_p50_ms);
+  EXPECT_DOUBLE_EQ(step.after_p90_ms, legacy.after_p90_ms);
+  EXPECT_DOUBLE_EQ(step.survival_rate(), legacy.survival_rate());
+}
+
+}  // namespace
+}  // namespace ranycast::chaos

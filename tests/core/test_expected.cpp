@@ -1,0 +1,62 @@
+#include "ranycast/core/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ranycast::core {
+namespace {
+
+struct Err {
+  int code{0};
+  std::string what;
+};
+
+TEST(Expected, HoldsValue) {
+  Expected<int, Err> e{42};
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int, Err> e = unexpected(Err{7, "broken"});
+  ASSERT_FALSE(e.has_value());
+  EXPECT_EQ(e.error().code, 7);
+  EXPECT_EQ(e.error().what, "broken");
+}
+
+TEST(Expected, ValueOr) {
+  Expected<int, Err> good{1};
+  Expected<int, Err> bad = unexpected(Err{});
+  EXPECT_EQ(good.value_or(9), 1);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(Expected, ArrowOperatorReachesMembers) {
+  Expected<std::string, Err> e{std::string("hello")};
+  EXPECT_EQ(e->size(), 5u);
+}
+
+TEST(Expected, WorksWhenValueAndErrorConvertible) {
+  // The Unexpected wrapper disambiguates same-ish types.
+  Expected<std::string, std::string> value{std::string("v")};
+  Expected<std::string, std::string> error = unexpected(std::string("e"));
+  EXPECT_TRUE(value.has_value());
+  EXPECT_FALSE(error.has_value());
+  EXPECT_EQ(error.error(), "e");
+}
+
+TEST(Expected, RvalueAccessMovesOut) {
+  Expected<std::string, Err> e{std::string("payload")};
+  const std::string moved = std::move(e).value();
+  EXPECT_EQ(moved, "payload");
+
+  Expected<int, Err> bad = unexpected(Err{1, "gone"});
+  const Err err = std::move(bad).error();
+  EXPECT_EQ(err.what, "gone");
+}
+
+}  // namespace
+}  // namespace ranycast::core

@@ -92,8 +92,50 @@ TEST(Config, SerializedFormParsesAsJson) {
   EXPECT_NE(reparsed.find("geo_dbs"), nullptr);
 }
 
-TEST(Config, ReadFileThrowsOnMissing) {
-  EXPECT_THROW(read_file("/nonexistent/path/config.json"), std::runtime_error);
+TEST(Config, ReadFileReportsMissingFileAsError) {
+  const auto result = read_file("/nonexistent/path/config.json");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().file, "/nonexistent/path/config.json");
+  EXPECT_NE(result.error().message.find("cannot open"), std::string::npos);
+  EXPECT_NE(result.error().to_string().find("/nonexistent/path/config.json"),
+            std::string::npos);
+}
+
+TEST(Config, LoadConfigReportsMissingFileAsError) {
+  const auto result = load_config("/nonexistent/path/config.json");
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().file, "/nonexistent/path/config.json");
+}
+
+TEST(Config, ValidationRejectsZeroProbes) {
+  lab::LabConfig config;
+  config.census.total_probes = 0;
+  const auto err = validate_lab_config(config, "lab.json");
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "census.total_probes");
+  EXPECT_EQ(err->file, "lab.json");
+  EXPECT_NE(err->to_string().find("census.total_probes"), std::string::npos);
+}
+
+TEST(Config, ValidationRejectsNegativeGeoDbErrorRate) {
+  lab::LabConfig config;
+  config.geo_dbs[1].wrong_country_prob = -0.25;
+  const auto err = validate_lab_config(config);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "geo_dbs[1].wrong_country_prob");
+  EXPECT_NE(err->message.find("[0,1]"), std::string::npos);
+}
+
+TEST(Config, ValidationRejectsProbabilityAboveOne) {
+  lab::LabConfig config;
+  config.world.stub_ixp_join_prob = 1.5;
+  const auto err = validate_lab_config(config);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->field, "world.stub_ixp_join_prob");
+}
+
+TEST(Config, ValidationAcceptsDefaults) {
+  EXPECT_FALSE(validate_lab_config(lab::LabConfig{}).has_value());
 }
 
 TEST(Config, ConfiguredLabIsUsable) {

@@ -95,5 +95,35 @@ TEST_F(FailoverTest, NobodyServedByOtherSitesIsAffected) {
   EXPECT_LT(report.affected_probes, retained.size());
 }
 
+TEST_F(FailoverTest, OneSiteRegionSurvivesOnlyViaOtherRegions) {
+  // §4.5's edge case: a region announced by exactly one site. Withdrawing
+  // that site removes the regional prefix from the routing system entirely —
+  // there is no in-region failover. The service survives anyway because the
+  // other regions' prefixes stay globally announced; the clients land
+  // cross-region.
+  cdn::DeploymentSpec spec;
+  spec.name = "solo-latam";
+  spec.asn = make_asn(64599);
+  spec.region_names = {"latam", "rest"};
+  spec.sites.push_back(cdn::SiteSpec{"GRU", {0}});  // the region's ONLY site
+  for (const char* iata : {"AMS", "FRA", "LHR", "JFK", "ORD", "LAX", "NRT", "SIN"}) {
+    spec.sites.push_back(cdn::SiteSpec{iata, {1}});
+  }
+  // geo::Area order: EMEA, NA, LatAm, APAC — LatAm clients to region 0.
+  spec.area_defaults = {1, 1, 0, 1};
+  const auto& handle = lab_.add_deployment(spec);
+
+  const auto report = fail_site(lab_, handle, SiteId{0});
+  ASSERT_GT(report.affected_probes, 0u);
+  // Everyone survives, but nobody fails over "within the region": the whole
+  // regional prefix is gone, so every survivor is a cross-region client.
+  EXPECT_EQ(report.still_served, report.affected_probes);
+  EXPECT_DOUBLE_EQ(report.survival_rate(), 1.0);
+  EXPECT_EQ(report.failover_in_region, 0u);
+  EXPECT_EQ(report.cross_region, report.still_served);
+  // The cross-region detour costs real latency.
+  EXPECT_GE(report.after_p50_ms, report.before_p50_ms);
+}
+
 }  // namespace
 }  // namespace ranycast::resilience

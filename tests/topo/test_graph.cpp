@@ -101,6 +101,54 @@ TEST(Rel, IsPeerClassifier) {
   EXPECT_FALSE(is_peer(Rel::Provider));
 }
 
+TEST(Graph, LinkStateTogglesBothDirections) {
+  Graph g;
+  const Asn a = g.add_as(AsKind::Transit, kCity, {kCity});
+  const Asn b = g.add_as(AsKind::Transit, kCity, {kCity});
+  ASSERT_TRUE(g.add_peering(a, b, false, {kCity}));
+  EXPECT_TRUE(g.link_is_up(a, b));
+  EXPECT_TRUE(g.link_is_up(b, a));
+
+  EXPECT_TRUE(g.set_link_state(a, b, false));
+  EXPECT_FALSE(g.link_is_up(a, b));
+  EXPECT_FALSE(g.link_is_up(b, a));
+  // The adjacency survives in the graph for cheap restoration.
+  EXPECT_TRUE(g.has_edge(a, b));
+
+  EXPECT_TRUE(g.set_link_state(b, a, true));
+  EXPECT_TRUE(g.link_is_up(a, b));
+}
+
+TEST(Graph, LinkStateRejectsUnknownAdjacency) {
+  Graph g;
+  const Asn a = g.add_as(AsKind::Transit, kCity, {kCity});
+  const Asn b = g.add_as(AsKind::Transit, kCity, {kCity});
+  EXPECT_FALSE(g.set_link_state(a, b, false));          // no edge
+  EXPECT_FALSE(g.set_link_state(a, make_asn(99), false));  // unknown AS
+  EXPECT_FALSE(g.link_is_up(a, b));
+}
+
+TEST(Graph, RouteServerStateTogglesMultilateralPeeringsOnly) {
+  Graph g;
+  const Asn a = g.add_as(AsKind::Transit, kCity, {kCity});
+  const Asn b = g.add_as(AsKind::Transit, kCity, {kCity});
+  const Asn c = g.add_as(AsKind::Transit, kCity, {kCity});
+  ASSERT_TRUE(g.add_peering(a, b, true, {kCity}));   // via route server
+  ASSERT_TRUE(g.add_peering(a, c, false, {kCity}));  // bilateral
+  Ixp ixp;
+  ixp.name = "IX-TST";
+  ixp.city = kCity;
+  ixp.members = {a, b, c};
+  const auto idx = g.add_ixp(std::move(ixp));
+
+  EXPECT_EQ(g.set_route_server_state(idx, false), 1u);
+  EXPECT_FALSE(g.link_is_up(a, b));  // multilateral peering dropped
+  EXPECT_TRUE(g.link_is_up(a, c));   // bilateral peering unaffected
+
+  EXPECT_EQ(g.set_route_server_state(idx, true), 1u);
+  EXPECT_TRUE(g.link_is_up(a, b));
+}
+
 TEST(Graph, IxpRegistry) {
   Graph g;
   const Asn a = g.add_as(AsKind::Transit, kCity, {kCity});

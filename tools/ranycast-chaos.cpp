@@ -1,0 +1,159 @@
+// ranycast-chaos — run a fault-injection scenario against a deployment.
+//
+//   ranycast-chaos --scenario FILE [--config FILE] [--cdn NAME] [--stubs N]
+//                  [--probes N] [--seed N] [--format table|json] [--out FILE]
+//                  [--describe] [--obs]
+//
+// Loads a JSON fault plan (schema in docs/resilience.md), builds a
+// laboratory, deploys the chosen CDN and applies the plan step by step,
+// printing one impact row (or JSON object) per fault event. All failure
+// modes — unreadable scenario, syntax error, bad field, unappliable event —
+// print an actionable message to stderr and exit 2.
+//
+// The run is fully deterministic: the same --seed and scenario produce a
+// byte-identical JSON report. --obs additionally writes BENCH_chaos.json
+// telemetry (timings live there, never in the report).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "ranycast/analysis/table.hpp"
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/chaos/scenario.hpp"
+#include "ranycast/core/flags.hpp"
+#include "ranycast/io/config.hpp"
+#include "ranycast/obs/metrics.hpp"
+#include "ranycast/obs/report.hpp"
+#include "ranycast/tangled/testbed.hpp"
+
+using namespace ranycast;
+
+namespace {
+
+std::optional<cdn::DeploymentSpec> spec_by_name(const std::string& name) {
+  if (name == "imperva6") return cdn::catalog::imperva6();
+  if (name == "imperva-ns") return cdn::catalog::imperva_ns();
+  if (name == "edgio3") return cdn::catalog::edgio3();
+  if (name == "edgio4") return cdn::catalog::edgio4();
+  if (name == "tangled") return tangled::global_spec();
+  return std::nullopt;
+}
+
+std::string render_table(const chaos::ChaosReport& report) {
+  analysis::TextTable table({"#", "event", "affected", "survive", "churn", "p50 before",
+                             "p50 after", "in-area", "x-region", "dns-degraded",
+                             "lost-pings"});
+  for (const chaos::StepReport& s : report.steps) {
+    table.add_row({std::to_string(s.index), s.event,
+                   analysis::fmt_count(s.affected_probes),
+                   analysis::fmt_pct(s.survival_rate()), analysis::fmt_pct(s.churn()),
+                   analysis::fmt_ms(s.before_p50_ms), analysis::fmt_ms(s.after_p50_ms),
+                   analysis::fmt_count(s.failover_in_region),
+                   analysis::fmt_count(s.cross_region),
+                   analysis::fmt_count(s.degraded_dns_answers),
+                   analysis::fmt_count(s.lost_pings)});
+  }
+  return table.render();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto start = std::chrono::steady_clock::now();
+  const flags::Parser args(argc, argv);
+  for (const auto& bad : args.unknown({"scenario", "config", "cdn", "stubs", "probes",
+                                       "seed", "format", "out", "describe", "obs"})) {
+    std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
+    return 2;
+  }
+  const std::string format = args.get_or("format", std::string("table"));
+  if (format != "table" && format != "json") {
+    std::fprintf(stderr, "unknown format '%s' (table|json)\n", format.c_str());
+    return 2;
+  }
+  const auto scenario_path = args.get("scenario");
+  if (!scenario_path) {
+    std::fprintf(stderr, "--scenario FILE is required\n");
+    return 2;
+  }
+  auto plan = chaos::load_plan(*scenario_path);
+  if (!plan) {
+    std::fprintf(stderr, "scenario error: %s\n", plan.error().to_string().c_str());
+    return 2;
+  }
+  if (args.has("describe")) {
+    std::printf("plan '%s' (%zu events)\n", plan->name.c_str(), plan->events.size());
+    for (std::size_t i = 0; i < plan->events.size(); ++i) {
+      std::printf("  %2zu  %s\n", i, chaos::describe(plan->events[i]).c_str());
+    }
+    return 0;
+  }
+
+  const std::string cdn_name = args.get_or("cdn", std::string("imperva6"));
+  const auto spec = spec_by_name(cdn_name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown CDN '%s'\n", cdn_name.c_str());
+    return 2;
+  }
+
+  if (args.has("obs")) obs::set_enabled(true);
+  obs::MetricsRegistry::global().set_label("tool", "ranycast-chaos");
+  obs::MetricsRegistry::global().set_label("chaos.plan", plan->name);
+
+  lab::LabConfig config;
+  if (const auto path = args.get("config")) {
+    auto loaded = io::load_config(*path);
+    if (!loaded) {
+      std::fprintf(stderr, "config error: %s\n", loaded.error().to_string().c_str());
+      return 2;
+    }
+    config = std::move(*loaded);
+  }
+  if (args.has("stubs")) {
+    config.world.stub_count = static_cast<int>(args.get_or("stubs", std::int64_t{1200}));
+  }
+  if (args.has("probes")) {
+    config.census.total_probes =
+        static_cast<int>(args.get_or("probes", std::int64_t{5000}));
+  }
+  if (args.has("seed")) {
+    config.seed = static_cast<std::uint64_t>(args.get_or("seed", std::int64_t{2023}));
+  }
+  if (auto err = io::validate_lab_config(config)) {
+    std::fprintf(stderr, "config error: %s\n", err->to_string().c_str());
+    return 2;
+  }
+
+  auto laboratory = lab::Lab::create(config);
+  const auto& handle = laboratory.add_deployment(*spec);
+  chaos::Engine engine(laboratory, handle);
+  const auto report = engine.run(*plan);
+  if (!report) {
+    std::fprintf(stderr, "chaos error: %s\n", report.error().c_str());
+    return 2;
+  }
+
+  const std::string rendered = format == "json" ? chaos::report_to_json(*report).dump(2) + "\n"
+                                                : render_table(*report);
+  if (const auto out_path = args.get("out")) {
+    std::ofstream out(*out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path->c_str());
+      return 2;
+    }
+    out << rendered;
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+
+  if (obs::enabled()) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (obs::write_bench_report("chaos", wall_ms)) {
+      std::fprintf(stderr, "[obs] wrote BENCH_chaos.json\n");
+    }
+  }
+  return 0;
+}

@@ -118,12 +118,12 @@ int main(int argc, char** argv) {
 
   lab::LabConfig config;
   if (const auto path = args.get("config")) {
-    try {
-      config = io::lab_config_from_json(io::parse_json_or_throw(io::read_file(*path)));
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "config error: %s\n", e.what());
+    auto loaded = io::load_config(*path);
+    if (!loaded) {
+      std::fprintf(stderr, "config error: %s\n", loaded.error().to_string().c_str());
       return 2;
     }
+    config = std::move(*loaded);
   }
   if (args.has("dump-config")) {
     std::printf("%s\n", io::lab_config_to_json(config).dump(2).c_str());
