@@ -48,8 +48,9 @@ void BM_PingAllProbes(benchmark::State& state) {
   const Ipv4Addr ip = handle.deployment.regions()[0].service_ip;
   for (auto _ : state) {
     double total = 0.0;
-    for (const atlas::Probe* p : retained) {
-      if (const auto rtt = laboratory.ping(*p, ip)) total += rtt->ms;
+    const auto rtts = laboratory.ping_all(retained, ip);
+    for (const auto& rtt : rtts) {
+      if (rtt) total += rtt->ms;
     }
     benchmark::DoNotOptimize(total);
   }
@@ -64,8 +65,9 @@ void BM_TracerouteAllProbes(benchmark::State& state) {
   const Ipv4Addr ip = handle.deployment.regions()[0].service_ip;
   for (auto _ : state) {
     std::size_t hops = 0;
-    for (const atlas::Probe* p : retained) {
-      if (const auto t = laboratory.traceroute(*p, ip)) hops += t->hops.size();
+    const auto traces = laboratory.traceroute_all(retained, ip);
+    for (const auto& t : traces) {
+      if (t) hops += t->hops.size();
     }
     benchmark::DoNotOptimize(hops);
   }

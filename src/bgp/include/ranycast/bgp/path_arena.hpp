@@ -1,0 +1,67 @@
+// Parent-indexed storage for BGP announcement paths.
+//
+// During a solve every edge relaxation used to copy the candidate route's
+// full `as_path`/`geo_path` vectors; with the arena a candidate stores only
+// the index of its parent path node plus the appended (ASN, city) hop, so
+// extending a route is O(1) in time and memory and the solver's working set
+// is two machine words per relaxation instead of O(path length). Full paths
+// are materialized lazily — walking the parent chain backwards — only when a
+// consumer (latency model, traceroute synthesis, analysis export, chaos
+// reports) asks for a concrete Route.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ranycast/core/types.hpp"
+
+namespace ranycast::bgp {
+
+class PathArena {
+ public:
+  /// Sentinel for "no parent" (an origination node) and for "no path at
+  /// all" (an unreachable entry in a routing outcome).
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  /// Append one hop. For an origination pass `parent = kNone`; `asn` is the
+  /// AS that exported the route (the origin ASN at a seed) and `city` the
+  /// interconnection city of the hop (the site city at a seed).
+  std::uint32_t append(std::uint32_t parent, Asn asn, CityId city) {
+    nodes_.push_back(Node{parent, asn, city});
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  /// Number of hops on the path ending at `node` (== as_path length).
+  std::size_t length(std::uint32_t node) const noexcept {
+    std::size_t len = 0;
+    for (std::uint32_t cur = node; cur != kNone; cur = nodes_[cur].parent) ++len;
+    return len;
+  }
+
+  /// Reconstruct the origin-first AS and geo paths ending at `node`.
+  void materialize(std::uint32_t node, std::vector<Asn>& as_path,
+                   std::vector<CityId>& geo_path) const {
+    const std::size_t len = length(node);
+    as_path.resize(len);
+    geo_path.resize(len);
+    std::size_t i = len;
+    for (std::uint32_t cur = node; cur != kNone; cur = nodes_[cur].parent) {
+      --i;
+      as_path[i] = nodes_[cur].asn;
+      geo_path[i] = nodes_[cur].city;
+    }
+  }
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::uint32_t parent;
+    Asn asn;
+    CityId city;
+  };
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ranycast::bgp

@@ -75,4 +75,32 @@ TracerouteResult synth_traceroute(const Route& route, CityId client_city, Asn cl
                                   Ipv4Addr destination, const LatencyModel& latency,
                                   const TracerouteConfig& config, topo::IpRegistry& registry);
 
+/// Read-only variant for concurrent fan-out: identical output, but never
+/// allocates registry state. Every (AS, city) pair on the path must already
+/// be registered — run the mutating overload (or Lab::traceroute_all's warm
+/// prepass) over the same routes first; throws std::bad_optional_access on a
+/// cold registry.
+TracerouteResult synth_traceroute(const Route& route, CityId client_city, Asn client_asn,
+                                  double client_access_extra_ms, bool onsite_router,
+                                  Ipv4Addr destination, const LatencyModel& latency,
+                                  const TracerouteConfig& config,
+                                  const topo::IpRegistry& registry);
+
+/// The registry-touch order of one synth_traceroute call, exposed so batch
+/// drivers can warm the registry serially (replicating the exact sequential
+/// first-touch order, which fixes block ordinals) before fanning out with
+/// the const overload. Calls `touch(asn, city)` once per hop, in hop order.
+template <typename TouchFn>
+void for_each_traceroute_interface(const Route& route, CityId client_city, Asn client_asn,
+                                   bool onsite_router, TouchFn&& touch) {
+  touch(client_asn, client_city);
+  for (std::size_t i = route.as_path.size(); i-- > 1;) {
+    touch(route.as_path[i], route.geo_path[i]);
+  }
+  const Asn phop_owner = onsite_router                ? route.origin_asn
+                         : route.as_path.size() > 1 ? route.as_path[1]
+                                                      : client_asn;
+  touch(phop_owner, route.geo_path.front());
+}
+
 }  // namespace ranycast::bgp

@@ -11,40 +11,79 @@
 // Selection order: local-pref class (customer > public peer > route-server
 // peer > provider), then AS-path length, then a deterministic hash tie-break
 // standing in for BGP's arbitrary tie-breaking (router ids, age).
+//
+// Candidates are held as compact parent-indexed references into a PathArena
+// (see path_arena.hpp); the outcome keeps the arena and materializes a full
+// Route only on the first route_for() for an AS. Materialization is
+// lock-free thread-safe, so the measurement plane may fan out over probes
+// while sharing one outcome.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "ranycast/bgp/path_arena.hpp"
 #include "ranycast/bgp/route.hpp"
 #include "ranycast/topo/graph.hpp"
 
 namespace ranycast::bgp {
 
-/// Per-AS routing result for one anycast prefix.
+/// Per-AS routing result for one anycast prefix. Movable, not copyable (the
+/// lazily materialized Route cache is identity-bound).
 class RoutingOutcome {
  public:
-  RoutingOutcome(const topo::Graph* graph, std::vector<std::optional<Route>> routes)
-      : graph_(graph), routes_(std::move(routes)) {}
+  /// Compact selected-route record for one AS; `path == PathArena::kNone`
+  /// means the prefix is unreachable from that AS.
+  struct Entry {
+    std::uint32_t path{PathArena::kNone};
+    std::uint16_t len{0};
+    SiteId origin_site{kInvalidSite};
+    RouteClass cls{RouteClass::Provider};
+    double ingress_km{0.0};
+    std::uint64_t tiebreak{0};
+  };
+
+  RoutingOutcome(const topo::Graph* graph, Asn origin_asn, std::vector<Entry> entries,
+                 PathArena arena);
+  ~RoutingOutcome();
+
+  RoutingOutcome(RoutingOutcome&& other) noexcept;
+  RoutingOutcome& operator=(RoutingOutcome&& other) noexcept;
+  RoutingOutcome(const RoutingOutcome&) = delete;
+  RoutingOutcome& operator=(const RoutingOutcome&) = delete;
 
   /// The route the AS selected, or nullptr if the prefix is unreachable.
+  /// Materializes the full path on first call for an AS; safe to call
+  /// concurrently, and the returned pointer stays valid for the outcome's
+  /// lifetime.
   const Route* route_for(Asn a) const noexcept;
 
-  /// Catchment: the site an AS's traffic reaches.
+  /// Catchment: the site an AS's traffic reaches. Reads the compact entry;
+  /// never materializes a path.
   std::optional<SiteId> catchment(Asn a) const noexcept;
 
   std::size_t reachable_count() const noexcept;
-  std::size_t as_count() const noexcept { return routes_.size(); }
+  std::size_t as_count() const noexcept { return entries_.size(); }
 
  private:
-  const topo::Graph* graph_;
-  std::vector<std::optional<Route>> routes_;  // indexed by dense node index
+  const Route* materialize(std::size_t idx) const noexcept;
+  void destroy_cache() noexcept;
+
+  const topo::Graph* graph_{nullptr};
+  Asn origin_asn_{kInvalidAsn};
+  std::vector<Entry> entries_;  // indexed by dense node index
+  PathArena arena_;
+  /// Lazily materialized Routes, CAS-installed; slot i covers entries_[i].
+  mutable std::unique_ptr<std::atomic<const Route*>[]> cache_;
 };
 
 /// Solve one anycast prefix. `seed` perturbs only the tie-break hash, which
 /// models BGP's arbitrary tie-breaking; all policy decisions are
-/// deterministic in the inputs.
+/// deterministic in the inputs. Pure in its inputs (reads the graph, never
+/// mutates it), so independent prefixes may be solved concurrently.
 RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
                              std::span<const OriginAttachment> origins, std::uint64_t seed);
 

@@ -40,10 +40,13 @@ Rtt LatencyModel::path_rtt(const Route& r, CityId client_city, Asn client_asn,
   return Rtt{propagation + hops + jitter + access_base_ms + client_access_extra_ms};
 }
 
-TracerouteResult synth_traceroute(const Route& route, CityId client_city, Asn client_asn,
-                                  double client_access_extra_ms, bool onsite_router,
-                                  Ipv4Addr destination, const LatencyModel& latency,
-                                  const TracerouteConfig& config, topo::IpRegistry& registry) {
+namespace {
+
+template <typename RouterIpFn>
+TracerouteResult synth_traceroute_impl(const Route& route, CityId client_city, Asn client_asn,
+                                       double client_access_extra_ms, bool onsite_router,
+                                       Ipv4Addr destination, const LatencyModel& latency,
+                                       const TracerouteConfig& config, RouterIpFn&& router_ip) {
   const auto& gaz = geo::Gazetteer::world();
   TracerouteResult out;
   out.destination = destination;
@@ -63,7 +66,7 @@ TracerouteResult synth_traceroute(const Route& route, CityId client_city, Asn cl
   };
 
   // First responding hop: the client AS's own border router.
-  out.hops.push_back(Hop{registry.router_ip(client_asn, client_city), client_asn, client_city,
+  out.hops.push_back(Hop{router_ip(client_asn, client_city), client_asn, client_city,
                          hop_rtt(client_city)});
 
   // Transit hops: walk the AS path from the client side (Ak ... A1); A_i's
@@ -74,7 +77,7 @@ TracerouteResult synth_traceroute(const Route& route, CityId client_city, Asn cl
   for (std::size_t i = as_path.size(); i-- > 1;) {
     const Asn owner = as_path[i];
     const CityId city = geo_path[i];
-    out.hops.push_back(Hop{registry.router_ip(owner, city), owner, city, hop_rtt(city)});
+    out.hops.push_back(Hop{router_ip(owner, city), owner, city, hop_rtt(city)});
   }
 
   // Penultimate hop at the site city: the CDN's own edge router if the site
@@ -83,12 +86,34 @@ TracerouteResult synth_traceroute(const Route& route, CityId client_city, Asn cl
   const Asn phop_owner = onsite_router ? route.origin_asn : as_path.size() > 1
                                              ? as_path[1]
                                              : client_asn;
-  out.hops.push_back(Hop{registry.router_ip(phop_owner, site_city), phop_owner, site_city,
+  out.hops.push_back(Hop{router_ip(phop_owner, site_city), phop_owner, site_city,
                          hop_rtt(site_city)});
 
   const std::uint64_t h = hash_combine(path_hash(route, client_asn, config.seed), 0x7E57);
   out.phop_valid = hash01(h) >= config.phop_loss_prob;
   return out;
+}
+
+}  // namespace
+
+TracerouteResult synth_traceroute(const Route& route, CityId client_city, Asn client_asn,
+                                  double client_access_extra_ms, bool onsite_router,
+                                  Ipv4Addr destination, const LatencyModel& latency,
+                                  const TracerouteConfig& config, topo::IpRegistry& registry) {
+  return synth_traceroute_impl(route, client_city, client_asn, client_access_extra_ms,
+                               onsite_router, destination, latency, config,
+                               [&](Asn a, CityId c) { return registry.router_ip(a, c); });
+}
+
+TracerouteResult synth_traceroute(const Route& route, CityId client_city, Asn client_asn,
+                                  double client_access_extra_ms, bool onsite_router,
+                                  Ipv4Addr destination, const LatencyModel& latency,
+                                  const TracerouteConfig& config,
+                                  const topo::IpRegistry& registry) {
+  return synth_traceroute_impl(route, client_city, client_asn, client_access_extra_ms,
+                               onsite_router, destination, latency, config, [&](Asn a, CityId c) {
+                                 return registry.router_ip_if_known(a, c).value();
+                               });
 }
 
 }  // namespace ranycast::bgp

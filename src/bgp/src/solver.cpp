@@ -24,24 +24,112 @@ std::string_view to_string(RouteClass c) noexcept {
   return "?";
 }
 
+// ---- RoutingOutcome ---------------------------------------------------------
+
+RoutingOutcome::RoutingOutcome(const topo::Graph* graph, Asn origin_asn,
+                               std::vector<Entry> entries, PathArena arena)
+    : graph_(graph),
+      origin_asn_(origin_asn),
+      entries_(std::move(entries)),
+      arena_(std::move(arena)),
+      cache_(std::make_unique<std::atomic<const Route*>[]>(entries_.size())) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    cache_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+void RoutingOutcome::destroy_cache() noexcept {
+  if (!cache_) return;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    delete cache_[i].load(std::memory_order_relaxed);
+  }
+  cache_.reset();
+}
+
+RoutingOutcome::~RoutingOutcome() { destroy_cache(); }
+
+RoutingOutcome::RoutingOutcome(RoutingOutcome&& other) noexcept
+    : graph_(other.graph_),
+      origin_asn_(other.origin_asn_),
+      entries_(std::move(other.entries_)),
+      arena_(std::move(other.arena_)),
+      cache_(std::move(other.cache_)) {
+  other.entries_.clear();
+}
+
+RoutingOutcome& RoutingOutcome::operator=(RoutingOutcome&& other) noexcept {
+  if (this == &other) return *this;
+  destroy_cache();
+  graph_ = other.graph_;
+  origin_asn_ = other.origin_asn_;
+  entries_ = std::move(other.entries_);
+  arena_ = std::move(other.arena_);
+  cache_ = std::move(other.cache_);
+  other.entries_.clear();
+  return *this;
+}
+
+const Route* RoutingOutcome::materialize(std::size_t idx) const noexcept {
+  const Entry& e = entries_[idx];
+  if (e.path == PathArena::kNone) return nullptr;
+  if (const Route* cached = cache_[idx].load(std::memory_order_acquire)) return cached;
+  auto* fresh = new Route;
+  fresh->origin_site = e.origin_site;
+  fresh->origin_asn = origin_asn_;
+  fresh->cls = e.cls;
+  arena_.materialize(e.path, fresh->as_path, fresh->geo_path);
+  fresh->ingress_km = e.ingress_km;
+  fresh->tiebreak = e.tiebreak;
+  const Route* expected = nullptr;
+  if (!cache_[idx].compare_exchange_strong(expected, fresh, std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+    // Another thread materialized the same entry first; the two Routes are
+    // byte-identical, keep theirs.
+    delete fresh;
+    return expected;
+  }
+  return fresh;
+}
+
 const Route* RoutingOutcome::route_for(Asn a) const noexcept {
   const auto idx = graph_->index_of(a);
-  if (!idx || !routes_[*idx]) return nullptr;
-  return &*routes_[*idx];
+  if (!idx) return nullptr;
+  return materialize(*idx);
 }
 
 std::optional<SiteId> RoutingOutcome::catchment(Asn a) const noexcept {
-  const Route* r = route_for(a);
-  if (r == nullptr) return std::nullopt;
-  return r->origin_site;
+  const auto idx = graph_->index_of(a);
+  if (!idx || entries_[*idx].path == PathArena::kNone) return std::nullopt;
+  return entries_[*idx].origin_site;
 }
 
 std::size_t RoutingOutcome::reachable_count() const noexcept {
   return static_cast<std::size_t>(
-      std::count_if(routes_.begin(), routes_.end(), [](const auto& r) { return r.has_value(); }));
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const Entry& e) { return e.path != PathArena::kNone; }));
 }
 
+// ---- solver -----------------------------------------------------------------
+
 namespace {
+
+/// A candidate route in flight: a parent-indexed path reference plus the
+/// incrementally maintained selection keys. ~48 bytes, trivially copyable —
+/// heap operations and stage hand-offs never touch the heap-allocated paths.
+struct CompactRoute {
+  std::uint32_t path{PathArena::kNone};  ///< arena node of the last hop
+  std::uint16_t len{0};                  ///< == as_path length
+  CityId last_city{kInvalidCity};        ///< geo_path.back(), for nearest-exit
+  SiteId origin_site{kInvalidSite};
+  RouteClass cls{RouteClass::Provider};
+  double ingress_km{0.0};
+  /// Running hash over (seed, origin city, as_path...): appending a hop is
+  /// one hash_combine instead of rehashing the whole path.
+  std::uint64_t hash_base{0};
+  std::uint64_t tiebreak{0};
+
+  bool valid() const noexcept { return path != PathArena::kNone; }
+};
 
 /// Candidate ordering inside one local-pref class: shorter AS path first,
 /// then the deterministic tie-break hash.
@@ -60,53 +148,31 @@ struct HeapKey {
 };
 
 struct CandidateHeap {
-  // Parallel storage: the heap holds keys + indexes into `pool` so that the
-  // Route payloads (vectors) are moved, not copied, during heap operations.
-  // The key is derived *inside* push, after the route has safely arrived --
-  // deriving it at the call site while also moving the route is an
-  // argument-evaluation-order trap.
   struct Entry {
     HeapKey key;
-    std::size_t pool_index;
+    CompactRoute route;
     bool operator>(const Entry& o) const noexcept { return key > o.key; }
   };
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-  std::vector<Route> pool;
 
-  void push(std::size_t node, Route route) {
-    const HeapKey key{route.path_length(), route.ingress_km, route.tiebreak, node};
-    pool.push_back(std::move(route));
-    heap.push(Entry{key, pool.size() - 1});
+  void push(std::size_t node, const CompactRoute& route) {
+    heap.push(Entry{HeapKey{route.len, route.ingress_km, route.tiebreak, node}, route});
   }
 
   bool empty() const { return heap.empty(); }
 
-  std::pair<HeapKey, Route> pop() {
+  std::pair<HeapKey, CompactRoute> pop() {
     Entry top = heap.top();
     heap.pop();
-    return {top.key, std::move(pool[top.pool_index])};
+    return {top.key, top.route};
   }
 };
 
-std::uint64_t route_tiebreak(std::uint64_t seed, const Route& r, Asn holder_hint) {
-  std::uint64_t h = seed;
-  // Hash the site's *city* rather than its deployment-local SiteId: the same
-  // physical announcement must resolve ties identically in every deployment
-  // it appears in (AnyOpt pairwise experiments, the §5.3 same-operator
-  // comparison), and SiteIds are renumbered per deployment.
-  h = hash_combine(h, value(r.geo_path.front()));
-  for (Asn a : r.as_path) h = hash_combine(h, value(a));
-  h = hash_combine(h, value(holder_hint));
-  return h;
-}
-
 /// Pick the interconnection point of `edge` nearest to the route's current
 /// ingress city (nearest-exit within the exporting AS).
-CityId egress_city(const Route& r, const topo::Edge& edge) {
+CityId egress_city(const geo::Gazetteer& gaz, CityId from, const topo::Edge& edge) {
   if (edge.cities.size() == 1) return edge.cities.front();
-  const auto& gaz = geo::Gazetteer::world();
-  const CityId from = r.geo_path.back();
   CityId best = edge.cities.front();
   double best_km = std::numeric_limits<double>::infinity();
   for (CityId c : edge.cities) {
@@ -119,23 +185,6 @@ CityId egress_city(const Route& r, const topo::Edge& edge) {
   return best;
 }
 
-/// Extend a route across an edge into the AS `next` (the receiver).
-Route extend(const Route& r, Asn via, const topo::Edge& edge, RouteClass cls,
-             std::uint64_t seed, const topo::AsNode& next) {
-  Route out;
-  out.origin_site = r.origin_site;
-  out.origin_asn = r.origin_asn;
-  out.cls = cls;
-  out.as_path.reserve(r.as_path.size() + 1);
-  out.as_path = r.as_path;
-  out.as_path.push_back(via);
-  out.geo_path = r.geo_path;
-  out.geo_path.push_back(egress_city(r, edge));
-  out.ingress_km = geo::Gazetteer::world().distance(next.home_city, out.geo_path.back()).km;
-  out.tiebreak = route_tiebreak(seed, out, next.asn);
-  return out;
-}
-
 }  // namespace
 
 RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
@@ -143,31 +192,57 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
   using topo::AsNode;
   const auto nodes = graph.nodes();
   const std::size_t n = nodes.size();
+  const auto& gaz = geo::Gazetteer::world();
 
   static obs::Histogram& h_total =
       obs::MetricsRegistry::global().histogram("bgp.solve.total_us");
   obs::Span solve_span("bgp.solve");
   obs::ScopedTimer solve_timer(h_total);
   // Route-selection decision tallies, accumulated locally (plain increments
-  // in the comparator) and flushed to the registry once at the end.
+  // in the comparator) and flushed to the registry once at the end — each
+  // concurrent solve owns its tallies, the flush is an atomic add.
   std::uint64_t hot_potato_decisions = 0;
   std::uint64_t tiebreak_hash_decisions = 0;
 
-  // Stage results, indexed by dense node index.
-  std::vector<std::optional<Route>> customer_best(n);
-  std::vector<std::optional<Route>> stage2_best(n);  // customer or peer
-  std::vector<std::optional<Route>> final_best(n);
+  PathArena arena;
 
-  auto seed_route = [&](const OriginAttachment& o, RouteClass cls, const topo::AsNode& holder) {
-    Route r;
+  // Stage results, indexed by dense node index; .valid() gates occupancy.
+  std::vector<CompactRoute> customer_best(n);
+  std::vector<CompactRoute> stage2_best(n);  // customer or peer
+  std::vector<CompactRoute> final_best(n);
+
+  // The tie-break hash matches the historical route_tiebreak() exactly: it
+  // folds the origination *city* (not the deployment-local SiteId — the same
+  // physical announcement must resolve ties identically in every deployment
+  // it appears in), then every as_path hop in order, then the holder ASN.
+  auto seed_route = [&](const OriginAttachment& o, RouteClass cls, const AsNode& holder) {
+    CompactRoute r;
     r.origin_site = o.site;
-    r.origin_asn = cdn_asn;
     r.cls = cls;
-    r.as_path = {cdn_asn};
-    r.geo_path = {o.site_city};
-    r.ingress_km = geo::Gazetteer::world().distance(holder.home_city, o.site_city).km;
-    r.tiebreak = route_tiebreak(seed, r, holder.asn);
+    r.path = arena.append(PathArena::kNone, cdn_asn, o.site_city);
+    r.len = 1;
+    r.last_city = o.site_city;
+    r.ingress_km = gaz.distance(holder.home_city, o.site_city).km;
+    r.hash_base = hash_combine(hash_combine(seed, value(o.site_city)), value(cdn_asn));
+    r.tiebreak = hash_combine(r.hash_base, value(holder.asn));
     return r;
+  };
+
+  /// Extend a route across an edge into the AS `next` (the receiver): one
+  /// arena append, one distance lookup, one hash_combine.
+  auto extend = [&](const CompactRoute& r, Asn via, const topo::Edge& edge, RouteClass cls,
+                    const AsNode& next) {
+    const CityId egress = egress_city(gaz, r.last_city, edge);
+    CompactRoute out;
+    out.origin_site = r.origin_site;
+    out.cls = cls;
+    out.path = arena.append(r.path, via, egress);
+    out.len = static_cast<std::uint16_t>(r.len + 1);
+    out.last_city = egress;
+    out.ingress_km = gaz.distance(next.home_city, egress).km;
+    out.hash_base = hash_combine(r.hash_base, value(via));
+    out.tiebreak = hash_combine(out.hash_base, value(next.asn));
+    return out;
   };
 
   // ---- Stage 1: customer routes climb to providers ------------------------
@@ -181,31 +256,28 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
       if (o.neighbor_rel != topo::Rel::Customer) continue;
       const auto idx = graph.index_of(o.neighbor);
       if (!idx) continue;
-      Route r = seed_route(o, RouteClass::Customer, nodes[*idx]);
-      heap.push(*idx, std::move(r));
+      heap.push(*idx, seed_route(o, RouteClass::Customer, nodes[*idx]));
     }
     while (!heap.empty()) {
       auto [key, route] = heap.pop();
-      if (customer_best[key.node]) continue;  // already finalized with a better key
+      if (customer_best[key.node].valid()) continue;  // finalized with a better key
       const AsNode& holder = nodes[key.node];
-      customer_best[key.node] = std::move(route);
-      const Route& best = *customer_best[key.node];
+      customer_best[key.node] = route;
       for (const topo::Edge& e : holder.edges) {
         if (!e.up) continue;  // failed adjacency (chaos engine)
         if (e.rel != topo::Rel::Provider) continue;  // climb only
         const auto nidx = graph.index_of(e.neighbor);
-        if (!nidx || customer_best[*nidx]) continue;
-        Route next = extend(best, holder.asn, e, RouteClass::Customer, seed, nodes[*nidx]);
-        heap.push(*nidx, std::move(next));
+        if (!nidx || customer_best[*nidx].valid()) continue;
+        heap.push(*nidx, extend(route, holder.asn, e, RouteClass::Customer, nodes[*nidx]));
       }
     }
   }
 
   // Preference comparison across classes: higher class wins, then shorter
   // path, then lower tie-break.
-  auto better = [&](const Route& a, const Route& b) {
+  auto better = [&](const CompactRoute& a, const CompactRoute& b) {
     if (a.cls != b.cls) return static_cast<int>(a.cls) > static_cast<int>(b.cls);
-    if (a.path_length() != b.path_length()) return a.path_length() < b.path_length();
+    if (a.len != b.len) return a.len < b.len;
     if (a.ingress_km != b.ingress_km) {  // hot potato
       ++hot_potato_decisions;
       return a.ingress_km < b.ingress_km;
@@ -225,8 +297,8 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
       if (!topo::is_peer(o.neighbor_rel)) continue;
       const auto idx = graph.index_of(o.neighbor);
       if (!idx) continue;
-      Route r = seed_route(o, class_of(o.neighbor_rel), nodes[*idx]);
-      if (!stage2_best[*idx] || better(r, *stage2_best[*idx])) stage2_best[*idx] = std::move(r);
+      const CompactRoute r = seed_route(o, class_of(o.neighbor_rel), nodes[*idx]);
+      if (!stage2_best[*idx].valid() || better(r, stage2_best[*idx])) stage2_best[*idx] = r;
     }
     // Then routes exported by peers: a peer exports only its customer routes.
     for (std::size_t i = 0; i < n; ++i) {
@@ -235,16 +307,17 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
         if (!e.up) continue;  // failed adjacency (chaos engine)
         if (!topo::is_peer(e.rel)) continue;
         const auto nidx = graph.index_of(e.neighbor);
-        if (!nidx || !customer_best[*nidx]) continue;
-        Route cand = extend(*customer_best[*nidx], e.neighbor, e, class_of(e.rel), seed,
-                            holder);
-        if (!stage2_best[i] || better(cand, *stage2_best[i])) stage2_best[i] = std::move(cand);
+        if (!nidx || !customer_best[*nidx].valid()) continue;
+        const CompactRoute cand =
+            extend(customer_best[*nidx], e.neighbor, e, class_of(e.rel), holder);
+        if (!stage2_best[i].valid() || better(cand, stage2_best[i])) stage2_best[i] = cand;
       }
     }
-    // Customer routes dominate peer routes.
+    // Customer routes dominate peer routes. (Compact copy: a few words, not
+    // a full Route with two vectors as before.)
     for (std::size_t i = 0; i < n; ++i) {
-      if (customer_best[i] &&
-          (!stage2_best[i] || better(*customer_best[i], *stage2_best[i]))) {
+      if (customer_best[i].valid() &&
+          (!stage2_best[i].valid() || better(customer_best[i], stage2_best[i]))) {
         stage2_best[i] = customer_best[i];
       }
     }
@@ -258,25 +331,23 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
     obs::ScopedTimer stage_timer(h_stage);
     CandidateHeap heap;
     for (std::size_t i = 0; i < n; ++i) {
-      if (!stage2_best[i]) continue;
+      if (!stage2_best[i].valid()) continue;
       // Seed with the AS's own best; it will be finalized first for itself.
-      heap.push(i, *stage2_best[i]);
+      heap.push(i, stage2_best[i]);
     }
     // Provider-side direct originations (the CDN buying transit) were handled
     // in stage 1; nothing to seed here.
     while (!heap.empty()) {
       auto [key, route] = heap.pop();
-      if (final_best[key.node]) continue;
-      final_best[key.node] = std::move(route);
+      if (final_best[key.node].valid()) continue;
+      final_best[key.node] = route;
       const AsNode& holder = nodes[key.node];
-      const Route& exported = *final_best[key.node];
       for (const topo::Edge& e : holder.edges) {
         if (!e.up) continue;  // failed adjacency (chaos engine)
         if (e.rel != topo::Rel::Customer) continue;  // descend only
         const auto nidx = graph.index_of(e.neighbor);
-        if (!nidx || final_best[*nidx] || stage2_best[*nidx]) continue;
-        Route next = extend(exported, holder.asn, e, RouteClass::Provider, seed, nodes[*nidx]);
-        heap.push(*nidx, std::move(next));
+        if (!nidx || final_best[*nidx].valid() || stage2_best[*nidx].valid()) continue;
+        heap.push(*nidx, extend(route, holder.asn, e, RouteClass::Provider, nodes[*nidx]));
       }
     }
   }
@@ -287,8 +358,17 @@ RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
     registry.counter("bgp.solve.nodes").add(n);
     registry.counter("bgp.solve.select.hot_potato").add(hot_potato_decisions);
     registry.counter("bgp.solve.select.tiebreak_hash").add(tiebreak_hash_decisions);
+    registry.counter("bgp.solve.arena_nodes").add(arena.size());
   }
-  return RoutingOutcome{&graph, std::move(final_best)};
+
+  std::vector<RoutingOutcome::Entry> entries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CompactRoute& r = final_best[i];
+    if (!r.valid()) continue;
+    entries[i] = RoutingOutcome::Entry{r.path, r.len, r.origin_site, r.cls, r.ingress_km,
+                                       r.tiebreak};
+  }
+  return RoutingOutcome{&graph, cdn_asn, std::move(entries), std::move(arena)};
 }
 
 }  // namespace ranycast::bgp

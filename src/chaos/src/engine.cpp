@@ -1,6 +1,7 @@
 #include "ranycast/chaos/engine.hpp"
 
 #include "ranycast/analysis/stats.hpp"
+#include "ranycast/exec/pool.hpp"
 #include "ranycast/obs/span.hpp"
 
 namespace ranycast::chaos {
@@ -26,10 +27,13 @@ Engine::Engine(lab::Lab& laboratory, const lab::DeploymentHandle& handle)
     : lab_(laboratory), handle_(laboratory.handle_mut(handle)) {}
 
 void Engine::snapshot(std::vector<ProbeView>& out) const {
-  out.clear();
   const auto retained = lab_.census().retained();
-  out.reserve(retained.size());
-  for (const atlas::Probe* p : retained) {
+  out.clear();
+  out.resize(retained.size());
+  // Each probe's view is pure in (probe, deployment state), so the fan-out
+  // writes disjoint slots and the snapshot is identical for any worker count.
+  exec::ThreadPool::global().parallel_for(retained.size(), [&](std::size_t i) {
+    const atlas::Probe* p = retained[i];
     ProbeView view;
     view.probe = p;
     view.answer = lab_.dns_lookup(*p, *handle_, dns::QueryMode::Ldns);
@@ -39,8 +43,8 @@ void Engine::snapshot(std::vector<ProbeView>& out) const {
       view.site = route->origin_site;
       view.rtt = lab_.ping(*p, view.answer.address);
     }
-    out.push_back(std::move(view));
-  }
+    out[i] = std::move(view);
+  });
 }
 
 std::string Engine::apply(const FaultEvent& e) {

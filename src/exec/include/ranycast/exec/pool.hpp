@@ -1,0 +1,95 @@
+// Deterministic data-parallel execution.
+//
+// The pool is deliberately work-stealing-free: a parallel_for over n items
+// hands out fixed-size index blocks from an atomic cursor, every item i is
+// computed by exactly one worker, and results are written to slot i of a
+// caller-owned output. Because each item's computation is a pure function of
+// its index (no cross-item state, no per-thread RNG), the produced values are
+// byte-identical for any worker count — including the serial fallback — and
+// reductions over the output array are performed by the caller in index
+// order, never in completion order.
+//
+// The default worker count comes from the RANYCAST_THREADS environment
+// variable (clamped to [1, hardware]); unset or 0 means one worker per
+// hardware thread. See docs/performance.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ranycast::exec {
+
+/// Worker count the global pool starts with: RANYCAST_THREADS if set and
+/// positive, otherwise std::thread::hardware_concurrency(), never below 1.
+unsigned default_worker_count() noexcept;
+
+class ThreadPool {
+ public:
+  /// `workers == 0` means default_worker_count(). A pool of one worker runs
+  /// every task inline on the calling thread (no threads are spawned).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned worker_count() const noexcept { return workers_wanted_; }
+
+  /// Join the current workers and respawn with a new count. Must not be
+  /// called concurrently with parallel_for. Intended for tests sweeping
+  /// thread counts; production code sizes the pool once at startup.
+  void resize(unsigned workers);
+
+  /// Invoke fn(i) for every i in [0, n). Blocks until all items completed.
+  /// The calling thread participates. Nested calls (fn itself calling
+  /// parallel_for on the same pool) run the inner loop serially inline, so
+  /// composition cannot deadlock. The first exception thrown by fn is
+  /// rethrown on the caller after the loop drains.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The process-wide pool used by the lab, solver and chaos engine.
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn{nullptr};
+    std::size_t total{0};
+    std::size_t chunk{1};
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+  };
+
+  void spawn_workers();
+  void join_workers();
+  void worker_loop();
+  void run_chunks();
+
+  unsigned workers_wanted_{1};
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals a new job generation
+  std::condition_variable done_cv_;   // signals job completion
+  std::uint64_t generation_{0};
+  bool shutdown_{false};
+  Job job_;
+  std::exception_ptr first_error_;
+};
+
+/// parallel_for writing fn(i) into slot i of a fresh vector. T must be
+/// move-assignable and default-constructible.
+template <typename T, typename F>
+std::vector<T> parallel_map(ThreadPool& pool, std::size_t n, F&& fn) {
+  std::vector<T> out(n);
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace ranycast::exec

@@ -1,0 +1,150 @@
+#include "ranycast/exec/pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ranycast::exec {
+
+namespace {
+
+/// Set while a thread is executing chunks of a parallel_for; nested loops on
+/// the same thread run serially inline instead of re-entering the pool.
+thread_local bool t_inside_pool = false;
+
+}  // namespace
+
+unsigned default_worker_count() noexcept {
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  if (const char* env = std::getenv("RANYCAST_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && parsed > 0) {
+      // Allow oversubscription (tests sweep counts above the core count)
+      // but keep a sane ceiling.
+      return static_cast<unsigned>(std::min(parsed, 64ul));
+    }
+  }
+  return hardware;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+    : workers_wanted_(workers == 0 ? default_worker_count() : workers) {
+  spawn_workers();
+}
+
+ThreadPool::~ThreadPool() { join_workers(); }
+
+void ThreadPool::spawn_workers() {
+  // The calling thread is worker 0; only the extra workers need threads.
+  threads_.reserve(workers_wanted_ > 0 ? workers_wanted_ - 1 : 0);
+  for (unsigned w = 1; w < workers_wanted_; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::join_workers() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = false;
+  }
+}
+
+void ThreadPool::resize(unsigned workers) {
+  join_workers();
+  workers_wanted_ = workers == 0 ? default_worker_count() : workers;
+  spawn_workers();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    run_chunks();
+  }
+}
+
+void ThreadPool::run_chunks() {
+  t_inside_pool = true;
+  std::size_t completed_here = 0;
+  for (;;) {
+    const std::size_t begin = job_.cursor.fetch_add(job_.chunk, std::memory_order_relaxed);
+    if (begin >= job_.total) break;
+    const std::size_t end = std::min(begin + job_.chunk, job_.total);
+    for (std::size_t i = begin; i < end; ++i) {
+      // After a failure the loop still drains its items (so `done` reaches
+      // `total`), but stops invoking the callback.
+      if (job_.failed.load(std::memory_order_relaxed)) continue;
+      try {
+        (*job_.fn)(i);
+      } catch (...) {
+        job_.failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+    completed_here += end - begin;
+  }
+  t_inside_pool = false;
+  if (completed_here > 0 &&
+      job_.done.fetch_add(completed_here, std::memory_order_acq_rel) + completed_here ==
+          job_.total) {
+    // Last chunk: wake the caller. The lock orders the notify after the
+    // caller's wait predicate check.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_wanted_ <= 1 || n == 1 || t_inside_pool) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_.fn = &fn;
+    job_.total = n;
+    // Chunks sized so each worker sees several (tail-balancing) but cursor
+    // contention stays negligible.
+    job_.chunk = std::max<std::size_t>(1, n / (static_cast<std::size_t>(workers_wanted_) * 8));
+    job_.cursor.store(0, std::memory_order_relaxed);
+    job_.done.store(0, std::memory_order_relaxed);
+    job_.failed.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  run_chunks();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return job_.done.load(std::memory_order_acquire) == job_.total; });
+  job_.fn = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ranycast::exec

@@ -103,8 +103,12 @@ class Gazetteer {
   /// The city in the table closest to `p` (ties by lower id).
   CityId nearest_city(GeoPoint p) const;
 
+  /// Great-circle distance between two cities. Served from a precomputed
+  /// city×city matrix (filled with haversine() at construction, so values are
+  /// bit-identical to computing on demand); the solver's nearest-exit scans
+  /// and the latency model hit this on every hop.
   Km distance(CityId a, CityId b) const {
-    return haversine(city(a).location, city(b).location);
+    return Km{dist_km_[value(a) * cities_.size() + value(b)]};
   }
 
  private:
@@ -112,6 +116,7 @@ class Gazetteer {
 
   std::vector<Country> countries_;
   std::vector<City> cities_;
+  std::vector<double> dist_km_;  ///< row-major cities×cities haversine matrix
 };
 
 }  // namespace ranycast::geo

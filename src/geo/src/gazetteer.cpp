@@ -432,6 +432,19 @@ Gazetteer::Gazetteer() {
     // caught by the unit tests, but we fail safe to country 0 in release.
     cities_.push_back(City{c.name, c.iata, idx.value_or(0), GeoPoint{c.lat, c.lon}});
   }
+  // Precompute the full pairwise distance plane once (~170 cities → a few
+  // hundred KB). The matrix is symmetric with a zero diagonal but we store it
+  // dense: distance() stays a single multiply-add-index with no branch.
+  const std::size_t n = cities_.size();
+  dist_km_.resize(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dist_km_[i * n + i] = 0.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = haversine(cities_[i].location, cities_[j].location).km;
+      dist_km_[i * n + j] = d;
+      dist_km_[j * n + i] = d;
+    }
+  }
 }
 
 const Gazetteer& Gazetteer::world() {

@@ -13,6 +13,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "ranycast/atlas/census.hpp"
@@ -161,6 +162,31 @@ class Lab {
   /// Traceroute from a probe to an address in a registered deployment.
   std::optional<bgp::TracerouteResult> traceroute(const atlas::Probe& probe,
                                                   Ipv4Addr address) const;
+
+  // ---- batch measurement fan-out ----
+  //
+  // The batch variants answer the same question as N calls of the scalar
+  // primitive — slot i holds exactly what the scalar call for probes[i]
+  // would have returned — but fan the probes out over the deterministic
+  // thread pool (ranycast::exec). Telemetry counters are recorded with the
+  // same totals; only their interleaving differs.
+
+  /// dns_lookup for every probe. Safe concurrently: resolution is pure in
+  /// (probe, deployment, databases).
+  std::vector<DnsAnswer> dns_lookup_all(std::span<const atlas::Probe* const> probes,
+                                        const DeploymentHandle& handle,
+                                        dns::QueryMode mode) const;
+
+  /// ping for every probe against one address.
+  std::vector<std::optional<Rtt>> ping_all(std::span<const atlas::Probe* const> probes,
+                                           Ipv4Addr address, std::uint64_t salt = 0) const;
+
+  /// traceroute for every probe against one address. A serial prepass warms
+  /// the IP registry in the exact order the sequential loop would have
+  /// touched it (first touch fixes an AS's block ordinal), then the hop
+  /// synthesis fans out read-only.
+  std::vector<std::optional<bgp::TracerouteResult>> traceroute_all(
+      std::span<const atlas::Probe* const> probes, Ipv4Addr address) const;
 
   /// The route a probe's AS selected for a deployment region (nullptr if
   /// unreachable or the address is not registered).

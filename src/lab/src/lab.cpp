@@ -1,5 +1,6 @@
 #include "ranycast/lab/lab.hpp"
 
+#include "ranycast/exec/pool.hpp"
 #include "ranycast/obs/span.hpp"
 
 namespace ranycast::lab {
@@ -40,6 +41,23 @@ std::optional<int> faulty_attempts(const MeasurementFaults& f, std::uint64_t tag
     backoff_ms.record(f.backoff_base_ms * static_cast<double>(1u << attempt));
   }
   return std::nullopt;
+}
+
+/// Solve every region of a deployment concurrently. Region r's outcome
+/// depends only on (graph, origins_for_region(r), salt r), so each worker
+/// writes its own slot and the assembled vector is independent of the thread
+/// count and of which region finished first.
+std::vector<bgp::RoutingOutcome> solve_regions(const Lab& laboratory,
+                                               const cdn::Deployment& dep) {
+  const std::size_t count = dep.regions().size();
+  std::vector<std::optional<bgp::RoutingOutcome>> slots(count);
+  exec::ThreadPool::global().parallel_for(count, [&](std::size_t r) {
+    slots[r].emplace(laboratory.solve_origins(dep.asn(), dep.origins_for_region(r), r));
+  });
+  std::vector<bgp::RoutingOutcome> outcomes;
+  outcomes.reserve(count);
+  for (auto& slot : slots) outcomes.push_back(std::move(*slot));
+  return outcomes;
 }
 
 }  // namespace
@@ -86,11 +104,7 @@ const DeploymentHandle& Lab::add_deployment(cdn::Deployment deployment) {
   obs::Span span("lab.add_deployment");
   DeploymentHandle handle{std::move(deployment), {}};
   const auto& dep = handle.deployment;
-  handle.outcomes.reserve(dep.regions().size());
-  for (std::size_t r = 0; r < dep.regions().size(); ++r) {
-    const auto origins = dep.origins_for_region(r);
-    handle.outcomes.push_back(solve_origins(dep.asn(), origins, r));
-  }
+  handle.outcomes = solve_regions(*this, dep);
   static obs::Counter& deployments = metrics().counter("lab.deployments");
   static obs::Counter& regions = metrics().counter("lab.regions_solved");
   deployments.add();
@@ -110,13 +124,9 @@ void Lab::resolve(DeploymentHandle& handle) const {
   obs::Span span("lab.resolve");
   static obs::Histogram& h_resolve = metrics().histogram("lab.resolve.total_us");
   obs::ScopedTimer timer(h_resolve);
-  const auto& dep = handle.deployment;
-  for (std::size_t r = 0; r < dep.regions().size(); ++r) {
-    const auto origins = dep.origins_for_region(r);
-    // Same per-region salt as add_deployment: a re-solve of an unchanged
-    // deployment reproduces the original outcome bit-for-bit.
-    handle.outcomes[r] = solve_origins(dep.asn(), origins, r);
-  }
+  // Same per-region salts as add_deployment: a re-solve of an unchanged
+  // deployment reproduces the original outcome bit-for-bit.
+  handle.outcomes = solve_regions(*this, handle.deployment);
   static obs::Counter& resolves = metrics().counter("lab.resolves");
   resolves.add();
 }
@@ -236,6 +246,83 @@ std::optional<bgp::TracerouteResult> Lab::traceroute(const atlas::Probe& probe,
   return bgp::synth_traceroute(*route, probe.city, probe.asn, probe.access_extra_ms,
                                site.onsite_router, address, config_.latency,
                                config_.traceroute, registry_);
+}
+
+std::vector<Lab::DnsAnswer> Lab::dns_lookup_all(std::span<const atlas::Probe* const> probes,
+                                                const DeploymentHandle& handle,
+                                                dns::QueryMode mode) const {
+  obs::Span span("lab.dns_lookup_all");
+  std::vector<DnsAnswer> out(probes.size());
+  exec::ThreadPool::global().parallel_for(probes.size(), [&](std::size_t i) {
+    out[i] = dns_lookup(*probes[i], handle, mode);
+  });
+  return out;
+}
+
+std::vector<std::optional<Rtt>> Lab::ping_all(std::span<const atlas::Probe* const> probes,
+                                              Ipv4Addr address, std::uint64_t salt) const {
+  obs::Span span("lab.ping_all");
+  std::vector<std::optional<Rtt>> out(probes.size());
+  exec::ThreadPool::global().parallel_for(probes.size(), [&](std::size_t i) {
+    out[i] = ping(*probes[i], address, salt);
+  });
+  return out;
+}
+
+std::vector<std::optional<bgp::TracerouteResult>> Lab::traceroute_all(
+    std::span<const atlas::Probe* const> probes, Ipv4Addr address) const {
+  obs::Span span("lab.traceroute_all");
+  std::vector<std::optional<bgp::TracerouteResult>> out(probes.size());
+  static obs::Counter& calls = metrics().counter("lab.traceroute.calls");
+  const auto info = locate_address(address);
+  if (!info) {
+    calls.add(probes.size());
+    return out;
+  }
+
+  // Serial prepass: decide which probes measure (recording the fault
+  // telemetry the scalar path would) and touch the registry in the exact
+  // hop order of the sequential loop — first touch assigns an AS's block
+  // ordinal, so this order must not depend on the thread count.
+  std::vector<const bgp::Route*> routes(probes.size(), nullptr);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const atlas::Probe& probe = *probes[i];
+    calls.add();
+    const bgp::Route* route = info->handle->route_for(probe.asn, info->region);
+    if (route == nullptr) continue;
+    if (measurement_faults_ && measurement_faults_->ping_loss_prob > 0.0) {
+      static obs::Counter& lost = metrics().counter("lab.traceroute.fault_lost_attempts");
+      static obs::Counter& gaveup = metrics().counter("lab.traceroute.fault_gaveup");
+      static obs::Histogram& backoff =
+          metrics().histogram("lab.fault.backoff_ms", obs::kRttMsBounds);
+      const auto ok = faulty_attempts(*measurement_faults_, kTraceFaultTag, probe.id,
+                                      address.bits(), measurement_faults_->ping_loss_prob,
+                                      lost, backoff);
+      if (!ok) {
+        gaveup.add();
+        continue;
+      }
+    }
+    routes[i] = route;
+    const cdn::Site& site = info->handle->deployment.site(route->origin_site);
+    bgp::for_each_traceroute_interface(
+        *route, probe.city, probe.asn, site.onsite_router,
+        [&](Asn a, CityId c) { registry_.router_ip(a, c); });
+  }
+
+  // Parallel hop synthesis against the now-complete, read-only registry.
+  static obs::Histogram& wall = metrics().histogram("lab.traceroute.wall_us");
+  const topo::IpRegistry& warmed = registry_;
+  exec::ThreadPool::global().parallel_for(probes.size(), [&](std::size_t i) {
+    if (routes[i] == nullptr) return;
+    obs::ScopedTimer timer(wall);
+    const atlas::Probe& probe = *probes[i];
+    const cdn::Site& site = info->handle->deployment.site(routes[i]->origin_site);
+    out[i] = bgp::synth_traceroute(*routes[i], probe.city, probe.asn, probe.access_extra_ms,
+                                   site.onsite_router, address, config_.latency,
+                                   config_.traceroute, warmed);
+  });
+  return out;
 }
 
 std::optional<SiteId> Lab::catchment_of(const atlas::Probe& probe, Ipv4Addr address) const {

@@ -1,5 +1,7 @@
 #include "ranycast/resilience/stability.hpp"
 
+#include "ranycast/exec/pool.hpp"
+
 namespace ranycast::resilience {
 
 StabilityReport catchment_stability(lab::Lab& lab, const cdn::Deployment& deployment,
@@ -12,14 +14,15 @@ StabilityReport catchment_stability(lab::Lab& lab, const cdn::Deployment& deploy
   const std::size_t n = lab.world().graph.nodes().size();
   std::vector<std::vector<std::optional<SiteId>>> catchments(
       static_cast<std::size_t>(trials), std::vector<std::optional<SiteId>>(n));
-  for (int t = 0; t < trials; ++t) {
-    const auto outcome =
-        lab.solve_origins(deployment.asn(), origins, 0xB16B00B5 + static_cast<std::uint64_t>(t));
+  // Trials differ only in their tie-break salt; each writes its own row, so
+  // the fan-out result is independent of the worker count.
+  const auto nodes = lab.world().graph.nodes();
+  exec::ThreadPool::global().parallel_for(static_cast<std::size_t>(trials), [&](std::size_t t) {
+    const auto outcome = lab.solve_origins(deployment.asn(), origins, 0xB16B00B5 + t);
     for (std::size_t i = 0; i < n; ++i) {
-      catchments[static_cast<std::size_t>(t)][i] =
-          outcome.catchment(lab.world().graph.nodes()[i].asn);
+      catchments[t][i] = outcome.catchment(nodes[i].asn);
     }
-  }
+  });
 
   std::size_t pair_agreements = 0, pair_total = 0;
   for (std::size_t i = 0; i < n; ++i) {

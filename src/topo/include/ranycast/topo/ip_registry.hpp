@@ -29,6 +29,12 @@ class IpRegistry {
   /// Deterministic router interface address for an AS at a city.
   Ipv4Addr router_ip(Asn a, CityId city);
 
+  /// Read-only router_ip: the address the mutating overload would return,
+  /// or nullopt when the AS has no block yet. Never allocates or records
+  /// anything, so concurrent callers are safe once the registry has been
+  /// warmed (see Lab::traceroute_all's serial prepass).
+  std::optional<Ipv4Addr> router_ip_if_known(Asn a, CityId city) const;
+
   /// Deterministic host address for the i-th probe homed in an AS. The host's
   /// true city is recorded so that geolocation oracles can corrupt it.
   Ipv4Addr probe_ip(Asn a, std::uint32_t host_index, CityId city = kInvalidCity);

@@ -15,6 +15,13 @@ Ipv4Addr IpRegistry::router_ip(Asn a, CityId city) {
   return ip;
 }
 
+std::optional<Ipv4Addr> IpRegistry::router_ip_if_known(Asn a, CityId city) const {
+  const auto it = block_index_.find(a);
+  if (it == block_index_.end()) return std::nullopt;
+  const Prefix block{Ipv4Addr{kAsSpaceBase + it->second * kAsBlockSize}, kAsBlockLen};
+  return block.at(1 + value(city) % (kRouterRegionSize - 1));
+}
+
 Ipv4Addr IpRegistry::probe_ip(Asn a, std::uint32_t host_index, CityId city) {
   const Prefix block = as_block(a);
   const Ipv4Addr ip = block.at(kRouterRegionSize + host_index % (kAsBlockSize - kRouterRegionSize));

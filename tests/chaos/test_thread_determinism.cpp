@@ -1,0 +1,93 @@
+// ISSUE acceptance gate: the parallel catchment engine must be byte-identical
+// for any worker count. We sweep the global pool over {1, 2, hardware} and
+// fingerprint the full pipeline — multi-region solve, DNS answers, catchment
+// sites, ping RTTs, and a chaos cascade's serialized report — expecting
+// byte-equality with the single-worker (sequential-order) run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/chaos/scenario.hpp"
+#include "ranycast/exec/pool.hpp"
+
+namespace ranycast::chaos {
+namespace {
+
+lab::LabConfig tiny_config() {
+  lab::LabConfig config;
+  config.world.stub_count = 400;
+  config.census.total_probes = 1200;
+  config.seed = 2023;
+  return config;
+}
+
+/// Serialize every retained probe's DNS answer, catchment site, ping RTT and
+/// traceroute hops (owner/city/IP) through the batch fan-out APIs.
+std::string pipeline_fingerprint() {
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  const auto retained = laboratory.census().retained();
+
+  std::string out;
+  const auto answers = laboratory.dns_lookup_all(retained, im6, dns::QueryMode::Ldns);
+  for (std::size_t i = 0; i < retained.size(); ++i) {
+    out += std::to_string(answers[i].region);
+    out += ':';
+    const bgp::Route* r = im6.route_for(retained[i]->asn, answers[i].region);
+    out += r != nullptr ? std::to_string(value(r->origin_site)) : std::string("-");
+    out += ';';
+  }
+  const Ipv4Addr ip = im6.deployment.regions()[0].service_ip;
+  for (const auto& rtt : laboratory.ping_all(retained, ip)) {
+    out += rtt ? std::to_string(rtt->ms) : std::string("x");
+    out += ';';
+  }
+  for (const auto& trace : laboratory.traceroute_all(retained, ip)) {
+    if (!trace) {
+      out += "x;";
+      continue;
+    }
+    for (const auto& hop : trace->hops) {
+      out += std::to_string(hop.ip.bits());
+      out += ',';
+      out += std::to_string(value(hop.owner));
+      out += ',';
+      out += std::to_string(value(hop.city));
+      out += '|';
+    }
+    out += ';';
+  }
+
+  // Chaos cascade on top: withdraw a site, re-solve, serialize the report.
+  Engine engine(laboratory, im6);
+  const auto report = engine.run(single_site_withdrawal(SiteId{0}));
+  EXPECT_TRUE(report.has_value());
+  if (report.has_value()) out += report_to_json(*report).dump(2);
+  return out;
+}
+
+TEST(ThreadDeterminism, PipelineByteIdenticalForAnyWorkerCount) {
+  auto& pool = exec::ThreadPool::global();
+  const unsigned original = pool.worker_count();
+
+  pool.resize(1);
+  const std::string sequential = pipeline_fingerprint();
+  ASSERT_FALSE(sequential.empty());
+
+  std::vector<unsigned> sweep{2};
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  if (hardware != 2) sweep.push_back(hardware);
+  for (unsigned workers : sweep) {
+    pool.resize(workers);
+    EXPECT_EQ(pipeline_fingerprint(), sequential) << workers << " workers";
+  }
+
+  pool.resize(original);
+}
+
+}  // namespace
+}  // namespace ranycast::chaos

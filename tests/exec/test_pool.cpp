@@ -1,0 +1,130 @@
+// ranycast::exec — the deterministic thread pool the parallel catchment
+// engine and measurement fan-out are built on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "ranycast/exec/pool.hpp"
+
+namespace ranycast::exec {
+namespace {
+
+TEST(ThreadPool, EveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroAndOneItems) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "fn called for n=0"; });
+  int called = 0;
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++called;
+  });
+  EXPECT_EQ(called, 1);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(100, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ResultsIdenticalAcrossWorkerCounts) {
+  constexpr std::size_t kN = 5'000;
+  auto compute = [](ThreadPool& pool) {
+    return parallel_map<std::uint64_t>(pool, kN, [](std::size_t i) {
+      std::uint64_t h = i * 0x9E3779B97F4A7C15ull;
+      h ^= h >> 31;
+      return h * 0xBF58476D1CE4E5B9ull;
+    });
+  };
+  ThreadPool serial(1);
+  const auto expected = compute(serial);
+  for (unsigned workers : {2u, 3u, 8u}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(compute(pool), expected) << workers << " workers";
+  }
+}
+
+TEST(ThreadPool, ResizeSweepsWorkerCounts) {
+  ThreadPool pool(1);
+  constexpr std::size_t kN = 2'000;
+  auto sum = [&] {
+    std::vector<std::uint64_t> out(kN);
+    pool.parallel_for(kN, [&](std::size_t i) { out[i] = i * i; });
+    return std::accumulate(out.begin(), out.end(), std::uint64_t{0});
+  };
+  const std::uint64_t expected = sum();
+  for (unsigned workers : {2u, 4u, 1u, 3u}) {
+    pool.resize(workers);
+    EXPECT_EQ(pool.worker_count(), workers);
+    EXPECT_EQ(sum(), expected) << workers << " workers";
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::uint64_t> out(kOuter, 0);
+  pool.parallel_for(kOuter, [&](std::size_t o) {
+    // The inner loop must not re-enter the pool (deadlock) — it runs
+    // serially on the worker that owns item `o`.
+    std::uint64_t acc = 0;
+    pool.parallel_for(kInner, [&](std::size_t i) { acc += o * kInner + i; });
+    out[o] = acc;
+  });
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i < kInner; ++i) expected += o * kInner + i;
+    EXPECT_EQ(out[o], expected);
+  }
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1'000,
+                        [&](std::size_t i) {
+                          if (i == 417) throw std::runtime_error("item 417");
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, DefaultWorkerCountHonorsEnv) {
+  ::setenv("RANYCAST_THREADS", "3", 1);
+  EXPECT_EQ(default_worker_count(), 3u);
+  ::setenv("RANYCAST_THREADS", "0", 1);
+  EXPECT_GE(default_worker_count(), 1u);  // invalid -> hardware fallback
+  ::setenv("RANYCAST_THREADS", "999", 1);
+  EXPECT_EQ(default_worker_count(), 64u);  // oversubscription ceiling
+  ::unsetenv("RANYCAST_THREADS");
+  EXPECT_GE(default_worker_count(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.worker_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ranycast::exec

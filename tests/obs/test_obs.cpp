@@ -235,5 +235,50 @@ TEST_F(ObsTest, BenchReportWrittenOnlyWhenEnabled) {
   std::remove(path);
 }
 
+TEST_F(ObsTest, RegistryAndHistogramSafeUnderConcurrentSolves) {
+  // The parallel catchment engine has many workers registering and recording
+  // the same metrics at once. Registration must converge on one instance and
+  // every recorded sample must land.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      auto& registry = MetricsRegistry::global();
+      auto& counter = registry.counter("test.concurrent.calls");
+      auto& hist = registry.histogram("test.concurrent.us");
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        hist.record(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto& registry = MetricsRegistry::global();
+  EXPECT_EQ(registry.counter("test.concurrent.calls").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.histogram("test.concurrent.us").count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, SpansAreThreadLocalUnderConcurrency) {
+  // Span stacks are thread-local: concurrent spans must neither corrupt each
+  // other's nesting nor lose completions.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span outer("test.span.outer");
+        Span inner("test.span.inner");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  SUCCEED();  // no crash/corruption; completion counts are best-effort
+}
+
 }  // namespace
 }  // namespace ranycast::obs

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
+                              [--filter BM_AnycastSolve] [--all]
+
+Fails (exit 1) when any benchmark matching --filter is slower than the
+baseline's real_time by more than the threshold fraction. Benchmarks present
+on only one side are reported but never fail the check (machines and
+benchmark sets drift). To refresh the committed baseline after an intended
+performance change:
+
+    ./build/bench/bench_perf_engine \
+        --benchmark_out=bench/BENCH_perf_engine.json --benchmark_out_format=json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) of repeated runs.
+        if b.get("run_type") == "aggregate":
+            continue
+        times[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed slowdown fraction (default 0.25 = +25%%)")
+    ap.add_argument("--filter", default="BM_AnycastSolve",
+                    help="substring of benchmark names to gate on")
+    ap.add_argument("--all", action="store_true",
+                    help="gate on every common benchmark, not just --filter")
+    args = ap.parse_args()
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+
+    gated = sorted(n for n in base
+                   if n in cur and (args.all or args.filter in n))
+    if not gated:
+        print(f"error: no common benchmarks match filter '{args.filter}'")
+        return 1
+
+    failures = []
+    for name in gated:
+        b_time, b_unit = base[name]
+        c_time, c_unit = cur[name]
+        if b_unit != c_unit:
+            print(f"error: {name}: unit mismatch ({b_unit} vs {c_unit})")
+            return 1
+        ratio = c_time / b_time if b_time > 0 else float("inf")
+        verdict = "OK"
+        if ratio > 1.0 + args.threshold:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"{verdict:>10}  {name}: {b_time:.3f} -> {c_time:.3f} {b_unit} "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+
+    for name in sorted(set(base) - set(cur)):
+        print(f"      note  {name}: only in baseline")
+    for name in sorted(set(cur) - set(base)):
+        print(f"      note  {name}: only in current run")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold * 100:.0f}% vs {args.baseline}")
+        return 1
+    print(f"\nno regression beyond {args.threshold * 100:.0f}% in "
+          f"{len(gated)} gated benchmark(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
