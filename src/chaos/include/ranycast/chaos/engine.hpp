@@ -17,6 +17,8 @@
 
 #include "ranycast/chaos/plan.hpp"
 #include "ranycast/core/expected.hpp"
+#include "ranycast/guard/runtime.hpp"
+#include "ranycast/guard/sweep.hpp"
 #include "ranycast/lab/lab.hpp"
 
 namespace ranycast::chaos {
@@ -68,7 +70,21 @@ struct ChaosReport {
   std::string deployment;
   std::uint64_t seed{0};
   std::size_t probes{0};
+  /// Partial-run accounting: a deadline-truncated run reports exactly how
+  /// many of the planned events it measured instead of silently looking
+  /// like a shorter plan. run() always completes (or fails), so there
+  /// planned == completed; run_guarded() may stop early.
+  std::size_t planned_steps{0};
+  std::size_t completed_steps{0};
+  bool truncated{false};
   std::vector<StepReport> steps;
+};
+
+/// Outcome of a supervised run: the (possibly partial) report plus how the
+/// sweep ended — whether it resumed, how far it got and why it stopped.
+struct GuardedChaosRun {
+  ChaosReport report;
+  guard::SweepResult sweep;
 };
 
 /// Applies fault plans to one deployment of one laboratory. The engine
@@ -83,11 +99,30 @@ class Engine {
   /// index, a restore with no matching withdrawal, or an unknown adjacency.
   core::Expected<ChaosReport, std::string> run(const FaultPlan& plan);
 
+  /// run() under a guard::Supervisor: the timeline stops cooperatively at
+  /// step boundaries on cancel/deadline/stall (the report is then marked
+  /// truncated with completed-vs-planned accounting), persists a
+  /// checkpoint on the policy's cadence, and resumes from one by replaying
+  /// the already-measured events (mutations only, no re-measurement — the
+  /// measurements are pure in lab state) so a killed-and-resumed run's
+  /// final report is byte-identical to an uninterrupted same-seed run.
+  /// The checkpoint fingerprint binds config, seed, deployment and plan;
+  /// resuming across any of those fails with FingerprintMismatch.
+  core::Expected<GuardedChaosRun, std::string> run_guarded(
+      const FaultPlan& plan, guard::Supervisor& supervisor,
+      const guard::CheckpointPolicy& policy);
+
  private:
   struct ProbeView;  // per-probe snapshot (answer, route, rtt)
 
   std::string apply(const FaultEvent& e);  ///< "" on success, else the error
   void snapshot(std::vector<ProbeView>& out) const;
+  /// snapshot → apply → snapshot → reduce for one event; shared between
+  /// run() and run_guarded().
+  core::Expected<StepReport, std::string> execute_step(const FaultPlan& plan,
+                                                       std::size_t index,
+                                                       std::vector<ProbeView>& before,
+                                                       std::vector<ProbeView>& after);
 
   lab::Lab& lab_;
   lab::DeploymentHandle* handle_;

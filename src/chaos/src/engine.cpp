@@ -1,7 +1,10 @@
 #include "ranycast/chaos/engine.hpp"
 
 #include "ranycast/analysis/stats.hpp"
+#include "ranycast/core/crc32.hpp"
+#include "ranycast/core/rng.hpp"
 #include "ranycast/exec/pool.hpp"
+#include "ranycast/io/config.hpp"
 #include "ranycast/obs/span.hpp"
 
 namespace ranycast::chaos {
@@ -9,6 +12,76 @@ namespace ranycast::chaos {
 namespace {
 
 obs::MetricsRegistry& metrics() { return obs::MetricsRegistry::global(); }
+
+// --- checkpoint payload (under the guard envelope) -------------------------
+// u64 step count, then each StepReport field-by-field in declaration order.
+// Doubles travel as raw IEEE-754 bits (ByteWriter::f64), so a loaded report
+// is bit-for-bit the one that was saved — the property the byte-identical
+// resume guarantee rests on.
+
+void write_step(guard::ByteWriter& w, const StepReport& s) {
+  w.u64(s.index);
+  w.str(s.event);
+  w.u64(s.probes);
+  w.u64(s.routes_before);
+  w.u64(s.routes_after);
+  w.u64(s.moved);
+  w.u64(s.lost);
+  w.u64(s.gained);
+  w.u64(s.affected_probes);
+  w.u64(s.still_served);
+  w.u64(s.failover_in_region);
+  w.u64(s.cross_region);
+  w.f64(s.before_p50_ms);
+  w.f64(s.before_p90_ms);
+  w.f64(s.after_p50_ms);
+  w.f64(s.after_p90_ms);
+  w.u64(s.degraded_dns_answers);
+  w.u64(s.lost_pings);
+}
+
+StepReport read_step(guard::ByteReader& r) {
+  StepReport s;
+  s.index = r.u64();
+  s.event = r.str();
+  s.probes = r.u64();
+  s.routes_before = r.u64();
+  s.routes_after = r.u64();
+  s.moved = r.u64();
+  s.lost = r.u64();
+  s.gained = r.u64();
+  s.affected_probes = r.u64();
+  s.still_served = r.u64();
+  s.failover_in_region = r.u64();
+  s.cross_region = r.u64();
+  s.before_p50_ms = r.f64();
+  s.before_p90_ms = r.f64();
+  s.after_p50_ms = r.f64();
+  s.after_p90_ms = r.f64();
+  s.degraded_dns_answers = r.u64();
+  s.lost_pings = r.u64();
+  return s;
+}
+
+/// Binds a checkpoint to (config, seed, deployment, plan): resuming after
+/// changing any of them is a different experiment and must be refused.
+std::uint64_t run_fingerprint(const lab::Lab& laboratory, const cdn::Deployment& dep,
+                              const FaultPlan& plan) {
+  std::uint64_t h = io::config_fingerprint(laboratory.config());
+  h = hash_combine(h, core::crc32(dep.name().data(), dep.name().size()));
+  h = hash_combine(h, core::crc32(plan.name.data(), plan.name.size()));
+  for (const FaultEvent& e : plan.events) {
+    const std::string d = describe(e);
+    h = hash_combine(h, core::crc32(d.data(), d.size()));
+  }
+  return h;
+}
+
+/// Thrown out of the sweep's process hook on an unappliable event; caught
+/// in run_guarded and converted back into the Expected error channel.
+struct StepFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 }  // namespace
 
@@ -157,14 +230,104 @@ std::string Engine::apply(const FaultEvent& e) {
   return "";
 }
 
+core::Expected<StepReport, std::string> Engine::execute_step(const FaultPlan& plan,
+                                                             std::size_t index,
+                                                             std::vector<ProbeView>& before,
+                                                             std::vector<ProbeView>& after) {
+  static obs::Counter& steps_counter = metrics().counter("chaos.steps");
+  static obs::Histogram& step_us = metrics().histogram("chaos.step.total_us");
+  const FaultEvent& event = plan.events[index];
+  obs::Span span("chaos.step");
+  obs::ScopedTimer timer(step_us);
+  steps_counter.add();
+
+  const auto& gaz = geo::Gazetteer::world();
+  const auto& dep = handle_->deployment;
+
+  snapshot(before);
+  if (const std::string err = apply(event); !err.empty()) {
+    return core::unexpected("step " + std::to_string(index) + " (" + describe(event) +
+                            "): " + err);
+  }
+  snapshot(after);
+
+  StepReport step;
+  step.index = index;
+  step.event = describe(event);
+  step.probes = before.size();
+
+  std::vector<double> before_ms, after_ms;
+  for (std::size_t p = 0; p < before.size(); ++p) {
+    const ProbeView& b = before[p];
+    const ProbeView& a = after[p];
+    if (b.routed) ++step.routes_before;
+    if (a.routed) ++step.routes_after;
+    if (a.answer.degraded) ++step.degraded_dns_answers;
+    if (a.routed && !a.rtt) ++step.lost_pings;
+    const bool moved = b.routed && a.routed && b.site != a.site;
+    const bool lost = b.routed && !a.routed;
+    if (moved) ++step.moved;
+    if (lost) ++step.lost;
+    if (!b.routed && a.routed) ++step.gained;
+
+    // The affected subset: the failed element's own clients for the
+    // withdrawal kinds (resilience::fail_site semantics), otherwise any
+    // probe whose catchment changed.
+    bool affected = false;
+    switch (event.kind) {
+      case FaultKind::SiteWithdraw:
+        affected = b.routed && b.site == event.site;
+        break;
+      case FaultKind::RegionWithdraw:
+        affected = b.routed && b.answer.region == event.region;
+        break;
+      default:
+        affected = moved || lost;
+        break;
+    }
+    if (!affected) continue;
+    ++step.affected_probes;
+    if (b.rtt) before_ms.push_back(b.rtt->ms);
+
+    if (!a.routed) {
+      // The answered region is unreachable. The service survives if some
+      // other region's prefix — globally announced — still has a route
+      // (§4.5); the client lands cross-region on the nearest one.
+      std::optional<Rtt> best;
+      for (std::size_t r2 = 0; r2 < dep.regions().size(); ++r2) {
+        if (r2 == a.answer.region) continue;
+        if (handle_->route_for(b.probe->asn, r2) == nullptr) continue;
+        const auto rtt = lab_.ping(*b.probe, dep.regions()[r2].service_ip);
+        if (rtt && (!best || *rtt < *best)) best = rtt;
+      }
+      if (!best) continue;  // truly unreachable
+      ++step.still_served;
+      ++step.cross_region;
+      after_ms.push_back(best->ms);
+      continue;
+    }
+    ++step.still_served;
+    if (a.rtt) after_ms.push_back(a.rtt->ms);
+    const cdn::Site& landed = dep.site(a.site);
+    if (landed.announces(a.answer.region) && b.site != kInvalidSite) {
+      if (gaz.area_of_city(landed.city) == gaz.area_of_city(dep.site(b.site).city)) {
+        ++step.failover_in_region;
+      }
+    }
+  }
+  step.before_p50_ms = analysis::percentile(before_ms, 50);
+  step.before_p90_ms = analysis::percentile(before_ms, 90);
+  step.after_p50_ms = analysis::percentile(after_ms, 50);
+  step.after_p90_ms = analysis::percentile(after_ms, 90);
+  return step;
+}
+
 core::Expected<ChaosReport, std::string> Engine::run(const FaultPlan& plan) {
   if (handle_ == nullptr) {
     return core::unexpected(std::string("deployment handle is not registered in this lab"));
   }
   obs::Span run_span("chaos.run");
   static obs::Counter& plans = metrics().counter("chaos.plans");
-  static obs::Counter& steps_counter = metrics().counter("chaos.steps");
-  static obs::Histogram& step_us = metrics().histogram("chaos.step.total_us");
   plans.add();
 
   ChaosReport report;
@@ -172,94 +335,83 @@ core::Expected<ChaosReport, std::string> Engine::run(const FaultPlan& plan) {
   report.deployment = handle_->deployment.name();
   report.seed = lab_.config().seed;
   report.probes = lab_.census().retained().size();
+  report.planned_steps = plan.events.size();
 
-  const auto& gaz = geo::Gazetteer::world();
-  const auto& dep = handle_->deployment;
   std::vector<ProbeView> before, after;
   for (std::size_t i = 0; i < plan.events.size(); ++i) {
-    const FaultEvent& event = plan.events[i];
-    obs::Span span("chaos.step");
-    obs::ScopedTimer timer(step_us);
-    steps_counter.add();
-
-    snapshot(before);
-    if (const std::string err = apply(event); !err.empty()) {
-      return core::unexpected("step " + std::to_string(i) + " (" + describe(event) +
-                              "): " + err);
-    }
-    snapshot(after);
-
-    StepReport step;
-    step.index = i;
-    step.event = describe(event);
-    step.probes = before.size();
-
-    std::vector<double> before_ms, after_ms;
-    for (std::size_t p = 0; p < before.size(); ++p) {
-      const ProbeView& b = before[p];
-      const ProbeView& a = after[p];
-      if (b.routed) ++step.routes_before;
-      if (a.routed) ++step.routes_after;
-      if (a.answer.degraded) ++step.degraded_dns_answers;
-      if (a.routed && !a.rtt) ++step.lost_pings;
-      const bool moved = b.routed && a.routed && b.site != a.site;
-      const bool lost = b.routed && !a.routed;
-      if (moved) ++step.moved;
-      if (lost) ++step.lost;
-      if (!b.routed && a.routed) ++step.gained;
-
-      // The affected subset: the failed element's own clients for the
-      // withdrawal kinds (resilience::fail_site semantics), otherwise any
-      // probe whose catchment changed.
-      bool affected = false;
-      switch (event.kind) {
-        case FaultKind::SiteWithdraw:
-          affected = b.routed && b.site == event.site;
-          break;
-        case FaultKind::RegionWithdraw:
-          affected = b.routed && b.answer.region == event.region;
-          break;
-        default:
-          affected = moved || lost;
-          break;
-      }
-      if (!affected) continue;
-      ++step.affected_probes;
-      if (b.rtt) before_ms.push_back(b.rtt->ms);
-
-      if (!a.routed) {
-        // The answered region is unreachable. The service survives if some
-        // other region's prefix — globally announced — still has a route
-        // (§4.5); the client lands cross-region on the nearest one.
-        std::optional<Rtt> best;
-        for (std::size_t r2 = 0; r2 < dep.regions().size(); ++r2) {
-          if (r2 == a.answer.region) continue;
-          if (handle_->route_for(b.probe->asn, r2) == nullptr) continue;
-          const auto rtt = lab_.ping(*b.probe, dep.regions()[r2].service_ip);
-          if (rtt && (!best || *rtt < *best)) best = rtt;
-        }
-        if (!best) continue;  // truly unreachable
-        ++step.still_served;
-        ++step.cross_region;
-        after_ms.push_back(best->ms);
-        continue;
-      }
-      ++step.still_served;
-      if (a.rtt) after_ms.push_back(a.rtt->ms);
-      const cdn::Site& landed = dep.site(a.site);
-      if (landed.announces(a.answer.region) && b.site != kInvalidSite) {
-        if (gaz.area_of_city(landed.city) == gaz.area_of_city(dep.site(b.site).city)) {
-          ++step.failover_in_region;
-        }
-      }
-    }
-    step.before_p50_ms = analysis::percentile(before_ms, 50);
-    step.before_p90_ms = analysis::percentile(before_ms, 90);
-    step.after_p50_ms = analysis::percentile(after_ms, 50);
-    step.after_p90_ms = analysis::percentile(after_ms, 90);
-    report.steps.push_back(std::move(step));
+    auto step = execute_step(plan, i, before, after);
+    if (!step) return core::unexpected(std::move(step).error());
+    report.steps.push_back(std::move(*step));
+    report.completed_steps = i + 1;
   }
   return report;
+}
+
+core::Expected<GuardedChaosRun, std::string> Engine::run_guarded(
+    const FaultPlan& plan, guard::Supervisor& supervisor,
+    const guard::CheckpointPolicy& policy) {
+  if (handle_ == nullptr) {
+    return core::unexpected(std::string("deployment handle is not registered in this lab"));
+  }
+  obs::Span run_span("chaos.run_guarded");
+  static obs::Counter& plans = metrics().counter("chaos.plans");
+  plans.add();
+
+  GuardedChaosRun out;
+  ChaosReport& report = out.report;
+  report.plan = plan.name;
+  report.deployment = handle_->deployment.name();
+  report.seed = lab_.config().seed;
+  report.probes = lab_.census().retained().size();
+  report.planned_steps = plan.events.size();
+
+  const std::uint64_t fingerprint = run_fingerprint(lab_, handle_->deployment, plan);
+
+  std::vector<ProbeView> before, after;
+  guard::SweepHooks hooks;
+  hooks.process = [&](std::size_t i) {
+    auto step = execute_step(plan, i, before, after);
+    if (!step) throw StepFailure(std::move(step).error());
+    report.steps.push_back(std::move(*step));
+  };
+  hooks.save = [&](guard::ByteWriter& w) {
+    w.u64(report.steps.size());
+    for (const StepReport& s : report.steps) write_step(w, s);
+  };
+  hooks.load = [&](guard::ByteReader& r) {
+    const std::uint64_t count = r.u64();
+    if (!r.ok() || count > plan.events.size()) return false;
+    report.steps.clear();
+    report.steps.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) report.steps.push_back(read_step(r));
+    if (!r.ok() || !r.at_end()) return false;
+    // Fast-forward: re-apply the already-measured events so the lab reaches
+    // the exact state the checkpoint was taken in. No re-measurement — the
+    // measurement passes read lab state but never change it, so mutations
+    // alone (with the original tie-break salts inside resolve()) are enough.
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (!apply(plan.events[i]).empty()) return false;
+    }
+    return true;
+  };
+
+  try {
+    auto swept = guard::run_sweep(plan.events.size(), fingerprint, supervisor, policy, hooks);
+    if (!swept) return core::unexpected(swept.error().to_string());
+    out.sweep = *swept;
+  } catch (const StepFailure& failure) {
+    return core::unexpected(std::string(failure.what()));
+  }
+  // The checkpoint's cursor and step list must agree: completed = cursor +
+  // newly-measured steps, so a payload whose step count diverged from its
+  // cursor shows up as a size mismatch here.
+  if (report.steps.size() != out.sweep.completed) {
+    return core::unexpected(policy.path +
+                            ": checkpoint cursor disagrees with its step list");
+  }
+  report.completed_steps = out.sweep.completed;
+  report.truncated = !out.sweep.complete();
+  return out;
 }
 
 }  // namespace ranycast::chaos

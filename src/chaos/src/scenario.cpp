@@ -248,6 +248,9 @@ io::Json report_to_json(const ChaosReport& report) {
       {"deployment", io::Json(report.deployment)},
       {"seed", io::Json(static_cast<std::int64_t>(report.seed))},
       {"probes", io::Json(static_cast<std::int64_t>(report.probes))},
+      {"planned_steps", io::Json(static_cast<std::int64_t>(report.planned_steps))},
+      {"completed_steps", io::Json(static_cast<std::int64_t>(report.completed_steps))},
+      {"truncated", io::Json(report.truncated)},
       {"steps", io::Json(std::move(steps))},
   });
 }

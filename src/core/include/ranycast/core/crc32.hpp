@@ -1,0 +1,55 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven and header-only.
+//
+// Used to checksum guard checkpoints so a truncated or bit-flipped file is
+// rejected before any of its payload is trusted. Matches zlib's crc32 for
+// the same byte stream (standard reflected algorithm, initial value and
+// final XOR of 0xFFFFFFFF).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ranycast::core {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Incrementally extend a CRC-32. Start from crc32_init(), feed byte ranges
+/// in order, finish with crc32_final().
+constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+inline std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                  std::size_t size) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state = detail::kCrc32Table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a byte range.
+inline std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data, size));
+}
+
+}  // namespace ranycast::core

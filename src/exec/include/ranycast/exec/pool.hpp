@@ -20,6 +20,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -28,6 +29,47 @@ namespace ranycast::exec {
 /// Worker count the global pool starts with: RANYCAST_THREADS if set and
 /// positive, otherwise std::thread::hardware_concurrency(), never below 1.
 unsigned default_worker_count() noexcept;
+
+/// Cooperative cancellation flag observed by parallel_for between items.
+/// request() may be called from any thread; a loop that observes the flag
+/// stops dispatching work, drains its bookkeeping and throws CancelledError
+/// on the calling thread, leaving the pool fully reusable.
+class CancelFlag {
+ public:
+  void request() noexcept { requested_.store(true, std::memory_order_release); }
+  bool requested() const noexcept { return requested_.load(std::memory_order_relaxed); }
+  void reset() noexcept { requested_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> requested_{false};
+};
+
+/// Thrown by parallel_for on the calling thread after a cancellation was
+/// acknowledged (some items were skipped). If an item also threw, that
+/// exception wins and CancelledError is not raised — exactly one error
+/// propagates.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("parallel loop cancelled") {}
+};
+
+/// Installs `flag` as the process-wide default observed by every
+/// parallel_for not given an explicit flag (solver fan-outs, lab batch
+/// measurements, chaos snapshots), so a supervised run can time-box or stop
+/// arbitrary nested solves without threading a parameter through every
+/// layer. Restores the previous default on destruction. Scopes may nest;
+/// concurrent guarded runs are not supported (one experiment per process).
+class ScopedCancel {
+ public:
+  explicit ScopedCancel(const CancelFlag* flag) noexcept;
+  ~ScopedCancel();
+
+  ScopedCancel(const ScopedCancel&) = delete;
+  ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+ private:
+  const CancelFlag* previous_;
+};
 
 class ThreadPool {
  public:
@@ -51,7 +93,15 @@ class ThreadPool {
   /// parallel_for on the same pool) run the inner loop serially inline, so
   /// composition cannot deadlock. The first exception thrown by fn is
   /// rethrown on the caller after the loop drains.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// `cancel` (or, when null, the ScopedCancel-installed default) is polled
+  /// between items: once requested, no further item starts, the loop drains
+  /// and CancelledError is thrown — unless every item had already run, in
+  /// which case the loop completed and returns normally. An exception thrown
+  /// by an item always takes precedence over cancellation; exactly one error
+  /// propagates either way, and the pool stays reusable.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    const CancelFlag* cancel = nullptr);
 
   /// The process-wide pool used by the lab, solver and chaos engine.
   static ThreadPool& global();
@@ -59,11 +109,13 @@ class ThreadPool {
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn{nullptr};
+    const CancelFlag* cancel{nullptr};
     std::size_t total{0};
     std::size_t chunk{1};
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> done{0};
     std::atomic<bool> failed{false};
+    std::atomic<bool> cancel_observed{false};
   };
 
   void spawn_workers();

@@ -11,7 +11,17 @@ namespace {
 /// the same thread run serially inline instead of re-entering the pool.
 thread_local bool t_inside_pool = false;
 
+/// The ScopedCancel-installed default flag (nullptr outside guarded runs).
+std::atomic<const CancelFlag*> g_default_cancel{nullptr};
+
 }  // namespace
+
+ScopedCancel::ScopedCancel(const CancelFlag* flag) noexcept
+    : previous_(g_default_cancel.exchange(flag, std::memory_order_acq_rel)) {}
+
+ScopedCancel::~ScopedCancel() {
+  g_default_cancel.store(previous_, std::memory_order_release);
+}
 
 unsigned default_worker_count() noexcept {
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
@@ -77,15 +87,21 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_chunks() {
   t_inside_pool = true;
+  const CancelFlag* cancel = job_.cancel;
   std::size_t completed_here = 0;
   for (;;) {
     const std::size_t begin = job_.cursor.fetch_add(job_.chunk, std::memory_order_relaxed);
     if (begin >= job_.total) break;
     const std::size_t end = std::min(begin + job_.chunk, job_.total);
     for (std::size_t i = begin; i < end; ++i) {
-      // After a failure the loop still drains its items (so `done` reaches
-      // `total`), but stops invoking the callback.
+      // After a failure or an acknowledged cancellation the loop still
+      // drains its items (so `done` reaches `total`), but stops invoking
+      // the callback.
       if (job_.failed.load(std::memory_order_relaxed)) continue;
+      if (cancel != nullptr && cancel->requested()) {
+        job_.cancel_observed.store(true, std::memory_order_relaxed);
+        continue;
+      }
       try {
         (*job_.fn)(i);
       } catch (...) {
@@ -107,16 +123,22 @@ void ThreadPool::run_chunks() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                              const CancelFlag* cancel) {
   if (n == 0) return;
+  if (cancel == nullptr) cancel = g_default_cancel.load(std::memory_order_acquire);
   if (workers_wanted_ <= 1 || n == 1 || t_inside_pool) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->requested()) throw CancelledError();
+      fn(i);
+    }
     return;
   }
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job_.fn = &fn;
+    job_.cancel = cancel;
     job_.total = n;
     // Chunks sized so each worker sees several (tail-balancing) but cursor
     // contention stays negligible.
@@ -124,6 +146,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     job_.cursor.store(0, std::memory_order_relaxed);
     job_.done.store(0, std::memory_order_relaxed);
     job_.failed.store(false, std::memory_order_relaxed);
+    job_.cancel_observed.store(false, std::memory_order_relaxed);
     first_error_ = nullptr;
     ++generation_;
   }
@@ -134,11 +157,16 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return job_.done.load(std::memory_order_acquire) == job_.total; });
   job_.fn = nullptr;
+  job_.cancel = nullptr;
   if (first_error_) {
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;
     lock.unlock();
     std::rethrow_exception(err);
+  }
+  if (job_.cancel_observed.load(std::memory_order_relaxed)) {
+    lock.unlock();
+    throw CancelledError();
   }
 }
 

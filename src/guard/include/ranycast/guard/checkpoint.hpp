@@ -1,0 +1,125 @@
+// Crash-safe experiment checkpoints: versioned, checksummed, atomic.
+//
+// A checkpoint is one binary file:
+//
+//   magic "RGRD" | format u32 | kind u32 | fingerprint u64
+//   | payload_size u64 | payload bytes | crc32 u32
+//
+// All integers little-endian; the CRC-32 covers every byte before it, so a
+// truncated, bit-flipped or foreign file is rejected before any payload is
+// trusted. `fingerprint` binds the checkpoint to the exact (config, seed,
+// plan) it was taken from: resume refuses to splice progress into a
+// different experiment, which is what makes resumed runs byte-identical to
+// uninterrupted ones. Writes go to "<path>.tmp", are fsync'd and renamed
+// into place, so a crash mid-write leaves the previous checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "ranycast/core/expected.hpp"
+#include "ranycast/guard/error.hpp"
+
+namespace ranycast::guard {
+
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/// What kind of progress the payload encodes. Mismatched kinds are rejected
+/// like mismatched fingerprints (a stability checkpoint can never resume a
+/// chaos timeline).
+enum class CheckpointKind : std::uint32_t {
+  ChaosTimeline = 1,
+  StabilityTrials = 2,
+  MeasurementSweep = 3,
+};
+
+/// Append-only little-endian encoder for checkpoint payloads.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  /// Doubles are stored as their raw IEEE-754 bits: a round trip is exact,
+  /// which the byte-identical resume guarantee depends on.
+  void f64(double v);
+  void str(std::string_view s);
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian decoder. Reads past the end return zero
+/// values and latch ok() to false — check ok() once after decoding instead
+/// of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint16_t u16() { return take_le<std::uint16_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  double f64();
+  std::string str();
+
+  bool ok() const noexcept { return ok_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T take_le() {
+    if (data_.size() - pos_ < sizeof(T)) {
+      ok_ = false;
+      pos_ = data_.size();
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+/// Atomically persist a checkpoint (tmp + fsync + rename).
+core::Expected<std::monostate, GuardError> write_checkpoint(
+    const std::string& path, CheckpointKind kind, std::uint64_t fingerprint,
+    std::span<const std::uint8_t> payload);
+
+/// Read and fully validate a checkpoint; returns the payload bytes.
+/// Rejects: unreadable file (Io), short/garbled envelope or CRC mismatch
+/// (Corrupt), other format version (VersionMismatch), other kind (Corrupt)
+/// and other fingerprint (FingerprintMismatch).
+core::Expected<std::vector<std::uint8_t>, GuardError> read_checkpoint(
+    const std::string& path, CheckpointKind expected_kind,
+    std::uint64_t expected_fingerprint);
+
+/// Whether a checkpoint file exists at `path` (resume probing; contents are
+/// validated by read_checkpoint).
+bool checkpoint_exists(const std::string& path) noexcept;
+
+}  // namespace ranycast::guard

@@ -1,0 +1,42 @@
+// The guard error taxonomy: every way a supervised run can fail, as data.
+//
+// Guard APIs return core::Expected<T, GuardError> — the same exception-free
+// convention as io::ConfigError — so the CLIs print one actionable line and
+// exit nonzero instead of aborting. Configuration failures encountered while
+// resuming (bad checkpoint path, mismatched scenario) are folded into the
+// same taxonomy via GuardError::from.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ranycast/io/config.hpp"
+
+namespace ranycast::guard {
+
+enum class GuardErrorKind : std::uint8_t {
+  Io,                   ///< checkpoint file unreadable / unwritable
+  Corrupt,              ///< bad magic, truncated envelope or CRC mismatch
+  VersionMismatch,      ///< checkpoint written by a different format version
+  FingerprintMismatch,  ///< checkpoint belongs to a different config/seed/plan
+  Config,               ///< wrapped io::ConfigError (scenario/config loading)
+  Cancelled,            ///< run stopped by an external cancellation
+  DeadlineExpired,      ///< run stopped by the --deadline budget
+  Stalled,              ///< watchdog saw no heartbeat for the stall timeout
+};
+
+std::string_view to_string(GuardErrorKind kind) noexcept;
+
+struct GuardError {
+  GuardErrorKind kind{GuardErrorKind::Io};
+  std::string path;  ///< checkpoint file or resource; "" when not file-bound
+  std::string message;
+
+  /// "chaos.ckpt: [corrupt] CRC mismatch (stored 0x1234, computed 0x5678)"
+  std::string to_string() const;
+
+  /// Fold a configuration-loading failure into the guard taxonomy.
+  static GuardError from(const io::ConfigError& err);
+};
+
+}  // namespace ranycast::guard

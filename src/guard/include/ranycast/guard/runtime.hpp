@@ -1,0 +1,95 @@
+// The supervised execution runtime: deadline, watchdog and checkpoint policy
+// for long-running experiments.
+//
+// A Supervisor owns one run's cancellation token and — while it is alive —
+// installs that token as the process-wide default cancel flag, so every
+// parallel_for underneath the run (BGP solves, measurement fan-outs, chaos
+// snapshots) can be stopped or time-boxed at chunk granularity without any
+// signature plumbing. A background watchdog thread enforces the deadline
+// mid-step and detects stalls: the runner calls heartbeat() once per
+// completed unit of progress (also exported as the obs counter
+// "guard.heartbeats"); if the count stops advancing for stall_timeout_s the
+// watchdog cancels the run and the caller reports GuardErrorKind::Stalled
+// instead of hanging forever. See docs/reliability.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "ranycast/exec/pool.hpp"
+#include "ranycast/guard/cancel.hpp"
+#include "ranycast/guard/error.hpp"
+
+namespace ranycast::guard {
+
+struct RunLimits {
+  /// Wall-clock budget in seconds; 0 means unlimited.
+  double deadline_s{0.0};
+  /// Watchdog stall threshold: fail the run when no heartbeat arrives for
+  /// this long. 0 disables stall detection.
+  double stall_timeout_s{0.0};
+  /// Watchdog polling cadence (only read when the watchdog runs).
+  double poll_interval_s{0.02};
+};
+
+/// When and where a runner persists progress.
+struct CheckpointPolicy {
+  std::string path;      ///< checkpoint file; empty disables checkpointing
+  std::size_t every{1};  ///< persist after every k-th completed step
+  bool resume{false};    ///< load `path` (if present) before running
+  /// Invoked after every completed step with (completed, planned) — the
+  /// CLI progress hook; tests also use it to force aborts at exact steps.
+  std::function<void(std::size_t, std::size_t)> after_step;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(const RunLimits& limits = {});
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  CancellationToken& token() noexcept { return token_; }
+  const Deadline& deadline() const noexcept { return deadline_; }
+
+  /// Progress signal: call once per completed step/trial/item. Feeds the
+  /// watchdog and the "guard.heartbeats" obs counter.
+  void heartbeat() noexcept;
+
+  /// External cancellation (e.g. a signal handler or another thread).
+  void cancel() noexcept { token_.request(StopReason::Cancelled); }
+
+  /// Checked at step boundaries: also enforces the deadline inline, so a
+  /// run without the watchdog thread still stops at the next boundary.
+  bool should_stop() noexcept;
+  StopReason stop_reason() const noexcept { return token_.reason(); }
+
+  /// The structured error matching the active stop reason. Only meaningful
+  /// once should_stop() returned true.
+  GuardError stop_error() const;
+
+ private:
+  void watchdog_loop();
+
+  RunLimits limits_;
+  Deadline deadline_;
+  CancellationToken token_;
+  // Installed for the Supervisor's whole lifetime: a guarded run is defined
+  // as "everything executed while its Supervisor is alive".
+  exec::ScopedCancel scoped_;
+  std::atomic<std::uint64_t> heartbeats_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool shutdown_{false};
+  std::thread watchdog_;
+};
+
+}  // namespace ranycast::guard

@@ -1,0 +1,167 @@
+#include "ranycast/guard/checkpoint.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "ranycast/core/crc32.hpp"
+
+namespace ranycast::guard {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'G', 'R', 'D'};
+// Envelope bytes before the payload: magic + format + kind + fingerprint
+// + payload size.
+constexpr std::size_t kHeaderSize = 4 + 4 + 4 + 8 + 8;
+constexpr std::size_t kCrcSize = 4;
+
+GuardError make_error(GuardErrorKind kind, const std::string& path, std::string message) {
+  GuardError err;
+  err.kind = kind;
+  err.path = path;
+  err.message = std::move(message);
+  return err;
+}
+
+GuardError io_error(const std::string& path, const std::string& what) {
+  return make_error(GuardErrorKind::Io, path, what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t size = u32();
+  if (!ok_ || data_.size() - pos_ < size) {
+    ok_ = false;
+    pos_ = data_.size();
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), size);
+  pos_ += size;
+  return out;
+}
+
+core::Expected<std::monostate, GuardError> write_checkpoint(
+    const std::string& path, CheckpointKind kind, std::uint64_t fingerprint,
+    std::span<const std::uint8_t> payload) {
+  ByteWriter envelope;
+  envelope.bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(kMagic), sizeof kMagic));
+  envelope.u32(kCheckpointFormatVersion);
+  envelope.u32(static_cast<std::uint32_t>(kind));
+  envelope.u64(fingerprint);
+  envelope.u64(payload.size());
+  envelope.bytes(payload);
+  const std::uint32_t crc = core::crc32(envelope.data().data(), envelope.data().size());
+  envelope.u32(crc);
+
+  // tmp + fsync + rename: a crash at any point leaves either the previous
+  // checkpoint or a complete new one, never a torn file under `path`.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return core::unexpected(io_error(tmp, "cannot open for writing"));
+  const auto& bytes = envelope.data();
+  const bool wrote = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool flushed = wrote && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  if (std::fclose(f) != 0 || !flushed) {
+    ::unlink(tmp.c_str());
+    return core::unexpected(io_error(tmp, "write failed"));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return core::unexpected(io_error(path, "rename failed"));
+  }
+  return std::monostate{};
+}
+
+core::Expected<std::vector<std::uint8_t>, GuardError> read_checkpoint(
+    const std::string& path, CheckpointKind expected_kind,
+    std::uint64_t expected_fingerprint) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return core::unexpected(io_error(path, "cannot open checkpoint"));
+  std::vector<std::uint8_t> raw;
+  std::uint8_t buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    raw.insert(raw.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return core::unexpected(io_error(path, "read failed"));
+
+  if (raw.size() < kHeaderSize + kCrcSize) {
+    return core::unexpected(make_error(GuardErrorKind::Corrupt, path,
+                                       "file too short to be a checkpoint (" +
+                                           std::to_string(raw.size()) + " bytes)"));
+  }
+  // Validate the CRC before trusting any header field.
+  const std::size_t body = raw.size() - kCrcSize;
+  const std::uint32_t computed = core::crc32(raw.data(), body);
+  const std::span<const std::uint8_t> raw_span(raw.data(), raw.size());
+  ByteReader crc_reader(raw_span.subspan(body));
+  const std::uint32_t stored = crc_reader.u32();
+  if (computed != stored) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg, "CRC mismatch (stored 0x%08x, computed 0x%08x)", stored,
+                  computed);
+    return core::unexpected(make_error(GuardErrorKind::Corrupt, path, msg));
+  }
+
+  ByteReader reader(raw_span.first(body));
+  std::uint8_t magic[4];
+  for (auto& b : magic) b = reader.u8();
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return core::unexpected(
+        make_error(GuardErrorKind::Corrupt, path, "bad magic: not a guard checkpoint"));
+  }
+  const std::uint32_t version = reader.u32();
+  if (version != kCheckpointFormatVersion) {
+    return core::unexpected(make_error(
+        GuardErrorKind::VersionMismatch, path,
+        "format version " + std::to_string(version) + " (this build reads version " +
+            std::to_string(kCheckpointFormatVersion) + ")"));
+  }
+  const std::uint32_t kind = reader.u32();
+  if (kind != static_cast<std::uint32_t>(expected_kind)) {
+    return core::unexpected(make_error(GuardErrorKind::Corrupt, path,
+                                       "checkpoint kind " + std::to_string(kind) +
+                                           " does not match this runner"));
+  }
+  const std::uint64_t fingerprint = reader.u64();
+  if (fingerprint != expected_fingerprint) {
+    char msg[128];
+    std::snprintf(msg, sizeof msg,
+                  "fingerprint 0x%016llx was taken from a different config/seed/plan "
+                  "(expected 0x%016llx)",
+                  static_cast<unsigned long long>(fingerprint),
+                  static_cast<unsigned long long>(expected_fingerprint));
+    return core::unexpected(make_error(GuardErrorKind::FingerprintMismatch, path, msg));
+  }
+  const std::uint64_t payload_size = reader.u64();
+  if (!reader.ok() || payload_size != reader.remaining()) {
+    return core::unexpected(
+        make_error(GuardErrorKind::Corrupt, path, "payload size does not match file size"));
+  }
+  return std::vector<std::uint8_t>(raw.begin() + static_cast<std::ptrdiff_t>(kHeaderSize),
+                                   raw.begin() + static_cast<std::ptrdiff_t>(body));
+}
+
+bool checkpoint_exists(const std::string& path) noexcept {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace ranycast::guard

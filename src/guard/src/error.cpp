@@ -1,0 +1,42 @@
+#include "ranycast/guard/error.hpp"
+
+namespace ranycast::guard {
+
+std::string_view to_string(GuardErrorKind kind) noexcept {
+  switch (kind) {
+    case GuardErrorKind::Io: return "io";
+    case GuardErrorKind::Corrupt: return "corrupt";
+    case GuardErrorKind::VersionMismatch: return "version-mismatch";
+    case GuardErrorKind::FingerprintMismatch: return "fingerprint-mismatch";
+    case GuardErrorKind::Config: return "config";
+    case GuardErrorKind::Cancelled: return "cancelled";
+    case GuardErrorKind::DeadlineExpired: return "deadline-expired";
+    case GuardErrorKind::Stalled: return "stalled";
+  }
+  return "unknown";
+}
+
+std::string GuardError::to_string() const {
+  std::string out = path.empty() ? std::string("<run>") : path;
+  out += ": [";
+  out += guard::to_string(kind);
+  out += "] ";
+  out += message;
+  return out;
+}
+
+GuardError GuardError::from(const io::ConfigError& err) {
+  GuardError g;
+  g.kind = GuardErrorKind::Config;
+  g.path = err.file;
+  if (err.offset != 0) {
+    g.message += "byte " + std::to_string(err.offset) + ": ";
+  }
+  if (!err.field.empty()) {
+    g.message += "field '" + err.field + "': ";
+  }
+  g.message += err.message;
+  return g;
+}
+
+}  // namespace ranycast::guard

@@ -1,0 +1,101 @@
+#include "ranycast/guard/runtime.hpp"
+
+#include <chrono>
+
+#include "ranycast/obs/metrics.hpp"
+
+namespace ranycast::guard {
+
+namespace {
+
+obs::Counter& heartbeat_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("guard.heartbeats");
+  return c;
+}
+
+}  // namespace
+
+Supervisor::Supervisor(const RunLimits& limits)
+    : limits_(limits),
+      deadline_(limits.deadline_s > 0.0 ? Deadline::in_seconds(limits.deadline_s)
+                                        : Deadline::never()),
+      scoped_(&token_.flag()) {
+  if (deadline_.set() || limits_.stall_timeout_s > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
+
+Supervisor::~Supervisor() {
+  if (watchdog_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    watchdog_.join();
+  }
+}
+
+void Supervisor::heartbeat() noexcept {
+  heartbeats_.fetch_add(1, std::memory_order_relaxed);
+  // The same count is exported for dashboards/ranycast-stats; the watchdog
+  // reads the atomic (the obs counter no-ops when observability is off).
+  heartbeat_counter().add();
+}
+
+bool Supervisor::should_stop() noexcept {
+  if (token_.stop_requested()) return true;
+  if (deadline_.expired()) {
+    token_.request(StopReason::DeadlineExpired);
+    return true;
+  }
+  return false;
+}
+
+GuardError Supervisor::stop_error() const {
+  GuardError err;
+  switch (stop_reason()) {
+    case StopReason::DeadlineExpired:
+      err.kind = GuardErrorKind::DeadlineExpired;
+      err.message = "wall-clock deadline of " + std::to_string(limits_.deadline_s) +
+                    "s expired";
+      break;
+    case StopReason::Stalled:
+      err.kind = GuardErrorKind::Stalled;
+      err.message = "no heartbeat for " + std::to_string(limits_.stall_timeout_s) +
+                    "s (watchdog)";
+      break;
+    case StopReason::Cancelled:
+    case StopReason::None:
+      err.kind = GuardErrorKind::Cancelled;
+      err.message = "run cancelled";
+      break;
+  }
+  return err;
+}
+
+void Supervisor::watchdog_loop() {
+  const auto poll = std::chrono::duration<double>(
+      limits_.poll_interval_s > 0.0 ? limits_.poll_interval_s : 0.02);
+  std::uint64_t last_count = heartbeats_.load(std::memory_order_relaxed);
+  auto last_progress = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    cv_.wait_for(lock, poll, [&] { return shutdown_; });
+    if (shutdown_) return;
+    if (deadline_.expired()) token_.request(StopReason::DeadlineExpired);
+    if (limits_.stall_timeout_s > 0.0) {
+      const std::uint64_t count = heartbeats_.load(std::memory_order_relaxed);
+      const auto now = std::chrono::steady_clock::now();
+      if (count != last_count) {
+        last_count = count;
+        last_progress = now;
+      } else if (std::chrono::duration<double>(now - last_progress).count() >
+                 limits_.stall_timeout_s) {
+        token_.request(StopReason::Stalled);
+      }
+    }
+  }
+}
+
+}  // namespace ranycast::guard

@@ -1,0 +1,73 @@
+#include "ranycast/guard/sweep.hpp"
+
+namespace ranycast::guard {
+
+namespace {
+
+core::Expected<std::monostate, GuardError> persist(const std::string& path,
+                                                   std::uint64_t fingerprint,
+                                                   std::size_t cursor,
+                                                   const SweepHooks& hooks) {
+  ByteWriter payload;
+  payload.u64(cursor);
+  if (hooks.save) hooks.save(payload);
+  return write_checkpoint(path, CheckpointKind::MeasurementSweep, fingerprint,
+                          payload.data());
+}
+
+}  // namespace
+
+core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
+                                                  std::uint64_t fingerprint,
+                                                  Supervisor& supervisor,
+                                                  const CheckpointPolicy& policy,
+                                                  const SweepHooks& hooks) {
+  SweepResult result;
+  result.total = total;
+
+  std::size_t start = 0;
+  if (policy.resume && !policy.path.empty() && checkpoint_exists(policy.path)) {
+    auto payload = read_checkpoint(policy.path, CheckpointKind::MeasurementSweep,
+                                   fingerprint);
+    if (!payload) return core::unexpected(std::move(payload).error());
+    ByteReader reader(*payload);
+    const std::uint64_t cursor = reader.u64();
+    if (!reader.ok() || cursor > total || !hooks.load || !hooks.load(reader)) {
+      GuardError err;
+      err.kind = GuardErrorKind::Corrupt;
+      err.path = policy.path;
+      err.message = "sweep payload failed to decode";
+      return core::unexpected(std::move(err));
+    }
+    start = static_cast<std::size_t>(cursor);
+    result.resumed = true;
+    result.resumed_from = start;
+  }
+
+  const std::size_t every = policy.every == 0 ? 1 : policy.every;
+  result.completed = start;
+  for (std::size_t i = start; i < total; ++i) {
+    if (supervisor.should_stop()) break;
+    try {
+      hooks.process(i);
+    } catch (const exec::CancelledError&) {
+      // A fan-out inside the item acknowledged the cancellation; the item
+      // did not complete, so the cursor stays at i.
+      break;
+    }
+    result.completed = i + 1;
+    supervisor.heartbeat();
+    if (!policy.path.empty() && ((i + 1) % every == 0 || i + 1 == total)) {
+      if (auto written = persist(policy.path, fingerprint, i + 1, hooks); !written) {
+        return core::unexpected(std::move(written).error());
+      }
+    }
+    // After the checkpoint is durable: a crash inside this hook (tests use
+    // it to simulate SIGKILL at exact steps) loses nothing.
+    if (policy.after_step) policy.after_step(result.completed, total);
+  }
+  if (result.completed < total) result.stopped = supervisor.stop_reason();
+  return result;
+}
+
+}  // namespace ranycast::guard

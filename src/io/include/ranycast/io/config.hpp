@@ -46,6 +46,12 @@ lab::LabConfig lab_config_from_json(const Json& json);
 /// Serialize a LabConfig (the exact inverse of the reader for covered keys).
 Json lab_config_to_json(const lab::LabConfig& config);
 
+/// Stable 64-bit fingerprint of a configuration: a hash of its canonical
+/// JSON serialization mixed with the seed. Two configs fingerprint equal
+/// iff every covered knob matches — the binding guard checkpoints use to
+/// refuse resuming one experiment's progress into another.
+std::uint64_t config_fingerprint(const lab::LabConfig& config);
+
 /// Range-check a LabConfig (probabilities in [0,1], positive counts,
 /// non-negative latencies, non-negative geo-DB error rates). Returns the
 /// first violation, with `field` naming the offending key.

@@ -5,6 +5,9 @@
 #include <limits>
 #include <sstream>
 
+#include "ranycast/core/crc32.hpp"
+#include "ranycast/core/rng.hpp"
+
 namespace ranycast::io {
 
 std::string ConfigError::to_string() const {
@@ -139,6 +142,17 @@ Json lab_config_to_json(const lab::LabConfig& config) {
       {"latency", Json(std::move(latency))},
       {"geo_dbs", Json(std::move(dbs))},
   });
+}
+
+std::uint64_t config_fingerprint(const lab::LabConfig& config) {
+  // Canonical form: compact dump of the sorted-key JSON serialization.
+  // Observability is a reporting switch, not an experiment input, so it is
+  // excluded — toggling --obs must not invalidate a checkpoint.
+  Json json = lab_config_to_json(config);
+  json.as_object().erase("observability");
+  const std::string canonical = json.dump();
+  const std::uint32_t crc = core::crc32(canonical.data(), canonical.size());
+  return hash_combine(hash_combine(config.seed, canonical.size()), crc);
 }
 
 namespace {

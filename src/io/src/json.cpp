@@ -146,6 +146,19 @@ class Parser {
   }
 
  private:
+  // The parser recurses per nesting level; a hostile document ("[[[[…")
+  // would otherwise overflow the stack. 256 levels is far beyond any real
+  // configuration and keeps worst-case stack usage bounded.
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : parser(p) {
+      if (++parser->depth_ > kMaxDepth) parser->fail("nesting exceeds 256 levels");
+    }
+    ~DepthGuard() { --parser->depth_; }
+    Parser* parser;
+  };
+
   JsonParseError fail(std::string message) {
     if (!error_) error_ = JsonParseError{pos_, std::move(message)};
     return *error_;
@@ -291,6 +304,8 @@ class Parser {
 
   std::optional<Json> parse_array() {
     ++pos_;  // '['
+    const DepthGuard guard(this);
+    if (error_) return std::nullopt;
     JsonArray out;
     skip_ws();
     if (consume(']')) return Json(std::move(out));
@@ -310,6 +325,8 @@ class Parser {
 
   std::optional<Json> parse_object() {
     ++pos_;  // '{'
+    const DepthGuard guard(this);
+    if (error_) return std::nullopt;
     JsonObject out;
     skip_ws();
     if (consume('}')) return Json(std::move(out));
@@ -341,6 +358,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_{0};
+  int depth_{0};
   std::optional<JsonParseError> error_;
 };
 

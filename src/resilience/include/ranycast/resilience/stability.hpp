@@ -10,6 +10,9 @@
 
 #include <vector>
 
+#include "ranycast/core/expected.hpp"
+#include "ranycast/guard/runtime.hpp"
+#include "ranycast/guard/sweep.hpp"
 #include "ranycast/lab/lab.hpp"
 
 namespace ranycast::resilience {
@@ -33,5 +36,25 @@ struct StabilityReport {
 /// tie-break seeds and compare the catchment maps.
 StabilityReport catchment_stability(lab::Lab& lab, const cdn::Deployment& deployment,
                                     std::size_t region, int trials);
+
+/// Outcome of a supervised stability campaign: the report over every trial
+/// that completed, plus how the sweep ended (resumed? stopped why?). When
+/// the sweep is incomplete the report covers exactly `sweep.completed`
+/// trials — partial progress is explicit, never silently renumbered.
+struct GuardedStability {
+  StabilityReport report;
+  guard::SweepResult sweep;
+};
+
+/// catchment_stability under a guard::Supervisor: trials run one at a time
+/// (each trial's solve still fans out internally), the catchment rows are
+/// checkpointed on the policy's cadence, and a resumed campaign produces a
+/// report identical to an uninterrupted one — each trial's catchment map
+/// depends only on (lab state, salt 0xB16B00B5 + t), never on which run
+/// computed it. The checkpoint fingerprint binds config, seed, deployment,
+/// region and trial count.
+core::Expected<GuardedStability, guard::GuardError> catchment_stability_guarded(
+    lab::Lab& lab, const cdn::Deployment& deployment, std::size_t region, int trials,
+    guard::Supervisor& supervisor, const guard::CheckpointPolicy& policy);
 
 }  // namespace ranycast::resilience

@@ -1,45 +1,42 @@
 #include "ranycast/resilience/stability.hpp"
 
+#include "ranycast/core/crc32.hpp"
+#include "ranycast/core/rng.hpp"
 #include "ranycast/exec/pool.hpp"
+#include "ranycast/io/config.hpp"
 
 namespace ranycast::resilience {
 
-StabilityReport catchment_stability(lab::Lab& lab, const cdn::Deployment& deployment,
-                                    std::size_t region, int trials) {
-  StabilityReport report;
-  report.trials = static_cast<std::size_t>(trials);
-  const auto origins = deployment.origins_for_region(region);
+namespace {
 
-  // catchments[t][as_index]
-  const std::size_t n = lab.world().graph.nodes().size();
-  std::vector<std::vector<std::optional<SiteId>>> catchments(
-      static_cast<std::size_t>(trials), std::vector<std::optional<SiteId>>(n));
-  // Trials differ only in their tie-break salt; each writes its own row, so
-  // the fan-out result is independent of the worker count.
-  const auto nodes = lab.world().graph.nodes();
-  exec::ThreadPool::global().parallel_for(static_cast<std::size_t>(trials), [&](std::size_t t) {
-    const auto outcome = lab.solve_origins(deployment.asn(), origins, 0xB16B00B5 + t);
-    for (std::size_t i = 0; i < n; ++i) {
-      catchments[t][i] = outcome.catchment(nodes[i].asn);
-    }
-  });
+using CatchmentRows = std::vector<std::vector<std::optional<SiteId>>>;
+
+/// The tie-break salt of trial t. Shared by the plain and guarded paths so
+/// both compute the same catchment maps.
+constexpr std::uint64_t trial_salt(std::size_t t) { return 0xB16B00B5 + t; }
+
+/// Compare the first `trials` catchment rows. Pure in its inputs, so a
+/// resumed campaign whose rows round-tripped through a checkpoint reduces
+/// to the same report as an uninterrupted one.
+StabilityReport reduce_rows(const CatchmentRows& catchments, std::size_t trials,
+                            std::size_t n) {
+  StabilityReport report;
+  report.trials = trials;
+  if (trials == 0) return report;
 
   std::size_t pair_agreements = 0, pair_total = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!catchments[0][i]) continue;
     ++report.ases_observed;
     bool stable = true;
-    for (int t = 1; t < trials; ++t) {
-      if (catchments[static_cast<std::size_t>(t)][i] != catchments[0][i]) stable = false;
+    for (std::size_t t = 1; t < trials; ++t) {
+      if (catchments[t][i] != catchments[0][i]) stable = false;
     }
     if (stable) ++report.ases_stable;
-    for (int a = 0; a < trials; ++a) {
-      for (int b = a + 1; b < trials; ++b) {
+    for (std::size_t a = 0; a < trials; ++a) {
+      for (std::size_t b = a + 1; b < trials; ++b) {
         ++pair_total;
-        if (catchments[static_cast<std::size_t>(a)][i] ==
-            catchments[static_cast<std::size_t>(b)][i]) {
-          ++pair_agreements;
-        }
+        if (catchments[a][i] == catchments[b][i]) ++pair_agreements;
       }
     }
   }
@@ -47,6 +44,99 @@ StabilityReport catchment_stability(lab::Lab& lab, const cdn::Deployment& deploy
       pair_total == 0 ? 1.0
                       : static_cast<double>(pair_agreements) / static_cast<double>(pair_total);
   return report;
+}
+
+}  // namespace
+
+StabilityReport catchment_stability(lab::Lab& lab, const cdn::Deployment& deployment,
+                                    std::size_t region, int trials) {
+  const auto origins = deployment.origins_for_region(region);
+
+  // catchments[t][as_index]
+  const std::size_t n = lab.world().graph.nodes().size();
+  CatchmentRows catchments(static_cast<std::size_t>(trials),
+                           std::vector<std::optional<SiteId>>(n));
+  // Trials differ only in their tie-break salt; each writes its own row, so
+  // the fan-out result is independent of the worker count.
+  const auto nodes = lab.world().graph.nodes();
+  exec::ThreadPool::global().parallel_for(static_cast<std::size_t>(trials), [&](std::size_t t) {
+    const auto outcome = lab.solve_origins(deployment.asn(), origins, trial_salt(t));
+    for (std::size_t i = 0; i < n; ++i) {
+      catchments[t][i] = outcome.catchment(nodes[i].asn);
+    }
+  });
+
+  return reduce_rows(catchments, static_cast<std::size_t>(trials), n);
+}
+
+core::Expected<GuardedStability, guard::GuardError> catchment_stability_guarded(
+    lab::Lab& lab, const cdn::Deployment& deployment, std::size_t region, int trials,
+    guard::Supervisor& supervisor, const guard::CheckpointPolicy& policy) {
+  const auto origins = deployment.origins_for_region(region);
+  const std::size_t total = trials < 0 ? 0 : static_cast<std::size_t>(trials);
+  const std::size_t n = lab.world().graph.nodes().size();
+  const auto nodes = lab.world().graph.nodes();
+
+  // Bind the checkpoint to (config, seed, deployment, region, trials): any
+  // of them changing makes previous rows meaningless.
+  std::uint64_t fingerprint = io::config_fingerprint(lab.config());
+  const std::string& name = deployment.name();
+  fingerprint = hash_combine(fingerprint, core::crc32(name.data(), name.size()));
+  fingerprint = hash_combine(fingerprint, region);
+  fingerprint = hash_combine(fingerprint, total);
+
+  CatchmentRows catchments(total, std::vector<std::optional<SiteId>>(n));
+  std::size_t rows_done = 0;
+
+  guard::SweepHooks hooks;
+  hooks.process = [&](std::size_t t) {
+    const auto outcome = lab.solve_origins(deployment.asn(), origins, trial_salt(t));
+    for (std::size_t i = 0; i < n; ++i) {
+      catchments[t][i] = outcome.catchment(nodes[i].asn);
+    }
+    rows_done = t + 1;
+  };
+  // A row entry travels as one u16: the site, or 0xFFFF (kInvalidSite, never
+  // a real site) for "no catchment".
+  hooks.save = [&](guard::ByteWriter& w) {
+    w.u64(rows_done);
+    w.u64(n);
+    for (std::size_t t = 0; t < rows_done; ++t) {
+      for (std::size_t i = 0; i < n; ++i) {
+        w.u16(catchments[t][i] ? static_cast<std::uint16_t>(*catchments[t][i]) : 0xFFFFu);
+      }
+    }
+  };
+  hooks.load = [&](guard::ByteReader& r) {
+    const std::uint64_t rows = r.u64();
+    const std::uint64_t cols = r.u64();
+    if (!r.ok() || rows > total || cols != n) return false;
+    for (std::uint64_t t = 0; t < rows; ++t) {
+      for (std::uint64_t i = 0; i < cols; ++i) {
+        const std::uint16_t v = r.u16();
+        catchments[t][i] =
+            v == 0xFFFFu ? std::nullopt : std::optional<SiteId>(static_cast<SiteId>(v));
+      }
+    }
+    if (!r.ok() || !r.at_end()) return false;
+    rows_done = rows;
+    return true;
+  };
+
+  auto swept = guard::run_sweep(total, fingerprint, supervisor, policy, hooks);
+  if (!swept) return core::unexpected(std::move(swept).error());
+
+  GuardedStability out;
+  out.sweep = *swept;
+  if (rows_done != out.sweep.completed) {
+    guard::GuardError err;
+    err.kind = guard::GuardErrorKind::Corrupt;
+    err.path = policy.path;
+    err.message = "checkpoint cursor disagrees with its catchment rows";
+    return core::unexpected(std::move(err));
+  }
+  out.report = reduce_rows(catchments, out.sweep.completed, n);
+  return out;
 }
 
 }  // namespace ranycast::resilience

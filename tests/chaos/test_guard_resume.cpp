@@ -1,0 +1,294 @@
+// ISSUE acceptance gate: a chaos timeline killed at any step and resumed
+// from its checkpoint must produce a final report byte-identical to an
+// uninterrupted same-seed run — at worker counts {1, 2, hardware}. Also:
+// corrupted or foreign checkpoints are rejected, never silently replayed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/chaos/scenario.hpp"
+#include "ranycast/exec/pool.hpp"
+
+namespace ranycast::chaos {
+namespace {
+
+namespace fs = std::filesystem;
+
+lab::LabConfig tiny_config(std::uint64_t seed = 2023) {
+  lab::LabConfig config;
+  config.world.stub_count = 400;
+  config.census.total_probes = 1200;
+  config.seed = seed;
+  return config;
+}
+
+/// A timeline exercising routing, geo-DB and measurement-plane faults, with
+/// withdraw/restore pairs so fast-forward replay must track undo state too.
+FaultPlan cascade_plan() {
+  FaultPlan plan;
+  plan.name = "resume-cascade";
+  FaultEvent e;
+
+  e.kind = FaultKind::SiteWithdraw;
+  e.site = SiteId{0};
+  plan.events.push_back(e);
+
+  e = FaultEvent{};
+  e.kind = FaultKind::GeoDbStale;
+  e.db = 0;
+  e.magnitude = 0.4;
+  plan.events.push_back(e);
+
+  e = FaultEvent{};
+  e.kind = FaultKind::MeasurementDegrade;
+  e.faults.ping_loss_prob = 0.2;
+  e.faults.dns_timeout_prob = 0.1;
+  plan.events.push_back(e);
+
+  e = FaultEvent{};
+  e.kind = FaultKind::SiteRestore;
+  e.site = SiteId{0};
+  plan.events.push_back(e);
+
+  e = FaultEvent{};
+  e.kind = FaultKind::RegionWithdraw;
+  e.region = 0;
+  plan.events.push_back(e);
+
+  e = FaultEvent{};
+  e.kind = FaultKind::RegionRestore;
+  e.region = 0;
+  plan.events.push_back(e);
+
+  e = FaultEvent{};
+  e.kind = FaultKind::MeasurementRestore;
+  plan.events.push_back(e);
+
+  return plan;
+}
+
+std::string checkpoint_path(const std::string& tag) {
+  const auto dir = fs::temp_directory_path() / "ranycast_chaos_resume";
+  fs::create_directories(dir);
+  return (dir / (tag + ".ck")).string();
+}
+
+/// Uninterrupted baseline through the *guarded* path (no checkpoint file),
+/// serialized to the exact bytes the CLI would emit.
+std::string baseline_json(std::uint64_t seed = 2023) {
+  auto laboratory = lab::Lab::create(tiny_config(seed));
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  Engine engine(laboratory, im6);
+  guard::Supervisor supervisor;
+  guard::CheckpointPolicy policy;
+  auto outcome = engine.run_guarded(cascade_plan(), supervisor, policy);
+  EXPECT_TRUE(outcome.has_value()) << outcome.error();
+  return outcome ? report_to_json(outcome->report).dump(2) : std::string();
+}
+
+/// Run to `abort_at` completed steps with checkpointing, stop, then resume
+/// in a fresh lab and return the final report bytes.
+std::string abort_and_resume_json(std::size_t abort_at, const std::string& tag,
+                                  std::uint64_t seed = 2023) {
+  const std::string ck = checkpoint_path(tag);
+  fs::remove(ck);
+  {
+    auto laboratory = lab::Lab::create(tiny_config(seed));
+    const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+    Engine engine(laboratory, im6);
+    guard::Supervisor supervisor;
+    guard::CheckpointPolicy policy;
+    policy.path = ck;
+    policy.after_step = [&](std::size_t done, std::size_t) {
+      if (done == abort_at) supervisor.cancel();
+    };
+    auto first = engine.run_guarded(cascade_plan(), supervisor, policy);
+    EXPECT_TRUE(first.has_value()) << first.error();
+    if (!first) return {};
+    EXPECT_EQ(first->sweep.completed, abort_at);
+    EXPECT_TRUE(first->report.truncated);
+    EXPECT_EQ(first->report.completed_steps, abort_at);
+    EXPECT_EQ(first->report.steps.size(), abort_at);
+  }
+  auto laboratory = lab::Lab::create(tiny_config(seed));
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  Engine engine(laboratory, im6);
+  guard::Supervisor supervisor;
+  guard::CheckpointPolicy policy;
+  policy.path = ck;
+  policy.resume = true;
+  auto second = engine.run_guarded(cascade_plan(), supervisor, policy);
+  EXPECT_TRUE(second.has_value()) << second.error();
+  if (!second) return {};
+  EXPECT_TRUE(second->sweep.resumed);
+  EXPECT_EQ(second->sweep.resumed_from, abort_at);
+  EXPECT_FALSE(second->report.truncated);
+  fs::remove(ck);
+  return report_to_json(second->report).dump(2);
+}
+
+TEST(GuardResume, ByteIdenticalAtEveryAbortPoint) {
+  const std::string expected = baseline_json();
+  ASSERT_FALSE(expected.empty());
+  const std::size_t n = cascade_plan().events.size();
+  // The ISSUE's abort matrix: first step, middle, last-but-one.
+  for (const std::size_t abort_at : {std::size_t{1}, n / 2, n - 1}) {
+    EXPECT_EQ(abort_and_resume_json(abort_at, "abort_" + std::to_string(abort_at)),
+              expected)
+        << "aborted after step " << abort_at;
+  }
+}
+
+TEST(GuardResume, ByteIdenticalAcrossWorkerCounts) {
+  auto& pool = exec::ThreadPool::global();
+  const unsigned original = pool.worker_count();
+
+  pool.resize(1);
+  const std::string expected = baseline_json();
+  const std::size_t n = cascade_plan().events.size();
+
+  std::vector<unsigned> sweep{1, 2};
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  if (hardware != 2 && hardware != 1) sweep.push_back(hardware);
+  for (const unsigned workers : sweep) {
+    pool.resize(workers);
+    EXPECT_EQ(baseline_json(), expected) << workers << " workers, uninterrupted";
+    EXPECT_EQ(abort_and_resume_json(n / 2, "threads_" + std::to_string(workers)),
+              expected)
+        << workers << " workers, abort at " << n / 2;
+  }
+  pool.resize(original);
+}
+
+TEST(GuardResume, GuardedMatchesUnguardedRun) {
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  Engine engine(laboratory, im6);
+  auto plain = engine.run(cascade_plan());
+  ASSERT_TRUE(plain.has_value()) << plain.error();
+  EXPECT_EQ(plain->completed_steps, plain->planned_steps);
+  EXPECT_FALSE(plain->truncated);
+  EXPECT_EQ(report_to_json(*plain).dump(2), baseline_json());
+}
+
+TEST(GuardResume, CorruptedCheckpointIsRejected) {
+  const std::string ck = checkpoint_path("corrupt");
+  fs::remove(ck);
+  {
+    auto laboratory = lab::Lab::create(tiny_config());
+    const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+    Engine engine(laboratory, im6);
+    guard::Supervisor supervisor;
+    guard::CheckpointPolicy policy;
+    policy.path = ck;
+    policy.after_step = [&](std::size_t done, std::size_t) {
+      if (done == 2) supervisor.cancel();
+    };
+    ASSERT_TRUE(engine.run_guarded(cascade_plan(), supervisor, policy).has_value());
+  }
+  // Flip one payload byte; the CRC must catch it on resume.
+  {
+    std::fstream f(ck, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(40);
+    char byte{};
+    f.seekg(40);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  Engine engine(laboratory, im6);
+  guard::Supervisor supervisor;
+  guard::CheckpointPolicy policy;
+  policy.path = ck;
+  policy.resume = true;
+  auto outcome = engine.run_guarded(cascade_plan(), supervisor, policy);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_NE(outcome.error().find("CRC"), std::string::npos) << outcome.error();
+  fs::remove(ck);
+}
+
+TEST(GuardResume, TruncatedCheckpointIsRejected) {
+  const std::string ck = checkpoint_path("truncated");
+  fs::remove(ck);
+  {
+    auto laboratory = lab::Lab::create(tiny_config());
+    const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+    Engine engine(laboratory, im6);
+    guard::Supervisor supervisor;
+    guard::CheckpointPolicy policy;
+    policy.path = ck;
+    policy.after_step = [&](std::size_t done, std::size_t) {
+      if (done == 2) supervisor.cancel();
+    };
+    ASSERT_TRUE(engine.run_guarded(cascade_plan(), supervisor, policy).has_value());
+  }
+  const auto full_size = fs::file_size(ck);
+  fs::resize_file(ck, full_size / 2);
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  Engine engine(laboratory, im6);
+  guard::Supervisor supervisor;
+  guard::CheckpointPolicy policy;
+  policy.path = ck;
+  policy.resume = true;
+  EXPECT_FALSE(engine.run_guarded(cascade_plan(), supervisor, policy).has_value());
+  fs::remove(ck);
+}
+
+TEST(GuardResume, CheckpointFromOtherSeedIsRejected) {
+  const std::string ck = checkpoint_path("other_seed");
+  fs::remove(ck);
+  {
+    auto laboratory = lab::Lab::create(tiny_config(2023));
+    const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+    Engine engine(laboratory, im6);
+    guard::Supervisor supervisor;
+    guard::CheckpointPolicy policy;
+    policy.path = ck;
+    policy.after_step = [&](std::size_t done, std::size_t) {
+      if (done == 2) supervisor.cancel();
+    };
+    ASSERT_TRUE(engine.run_guarded(cascade_plan(), supervisor, policy).has_value());
+  }
+  auto laboratory = lab::Lab::create(tiny_config(777));  // different experiment
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  Engine engine(laboratory, im6);
+  guard::Supervisor supervisor;
+  guard::CheckpointPolicy policy;
+  policy.path = ck;
+  policy.resume = true;
+  auto outcome = engine.run_guarded(cascade_plan(), supervisor, policy);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_NE(outcome.error().find("fingerprint"), std::string::npos) << outcome.error();
+  fs::remove(ck);
+}
+
+TEST(GuardResume, DeadlineTruncationIsAccountedExplicitly) {
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  Engine engine(laboratory, im6);
+  guard::RunLimits limits;
+  limits.deadline_s = 1e-9;  // already expired at the first boundary
+  guard::Supervisor supervisor(limits);
+  guard::CheckpointPolicy policy;
+  auto outcome = engine.run_guarded(cascade_plan(), supervisor, policy);
+  ASSERT_TRUE(outcome.has_value()) << outcome.error();
+  EXPECT_TRUE(outcome->report.truncated);
+  EXPECT_EQ(outcome->report.completed_steps, 0u);
+  EXPECT_EQ(outcome->report.planned_steps, cascade_plan().events.size());
+  EXPECT_EQ(outcome->sweep.stopped, guard::StopReason::DeadlineExpired);
+  const io::Json json = report_to_json(outcome->report);
+  EXPECT_TRUE(json.as_object().at("truncated").as_bool());
+}
+
+}  // namespace
+}  // namespace ranycast::chaos

@@ -1,0 +1,162 @@
+// Cooperative cancellation of parallel_for: a cancelled loop throws
+// exec::CancelledError, never runs another item after acknowledging the
+// request, never poisons the pool, and loses to a real exception when both
+// race (exactly one error propagates).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "ranycast/exec/pool.hpp"
+
+namespace ranycast::exec {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Cancellation, RequestFromAnotherThreadStopsTheLoop) {
+  ThreadPool pool(4);
+  CancelFlag cancel;
+  std::atomic<std::size_t> started{0};
+  constexpr std::size_t kN = 1'000'000;
+
+  std::thread canceller([&] {
+    // Wait until the loop is demonstrably in flight, then pull the plug.
+    while (started.load() < 64) std::this_thread::yield();
+    cancel.request();
+  });
+  EXPECT_THROW(pool.parallel_for(
+                   kN,
+                   [&](std::size_t) {
+                     started.fetch_add(1);
+                     std::this_thread::sleep_for(50us);
+                   },
+                   &cancel),
+               CancelledError);
+  canceller.join();
+  // Far fewer items than kN ran: the loop stopped at a chunk boundary
+  // instead of draining a million sleeps.
+  EXPECT_LT(started.load(), kN);
+}
+
+TEST(Cancellation, NoItemRunsAfterTheThrow) {
+  ThreadPool pool(4);
+  CancelFlag cancel;
+  std::atomic<std::size_t> ran{0};
+  std::thread canceller([&] {
+    while (ran.load() < 32) std::this_thread::yield();
+    cancel.request();
+  });
+  EXPECT_THROW(pool.parallel_for(
+                   100'000,
+                   [&](std::size_t) {
+                     ran.fetch_add(1);
+                     std::this_thread::sleep_for(20us);
+                   },
+                   &cancel),
+               CancelledError);
+  canceller.join();
+  // parallel_for drained every worker before throwing: the count must be
+  // frozen now. Any still-running task would show up within this window.
+  const std::size_t frozen = ran.load();
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(ran.load(), frozen);
+}
+
+TEST(Cancellation, PoolStaysReusableAfterCancel) {
+  ThreadPool pool(4);
+  CancelFlag cancel;
+  cancel.request();
+  EXPECT_THROW(
+      pool.parallel_for(10'000, [](std::size_t) {}, &cancel), CancelledError);
+  cancel.reset();
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(
+      1'000, [&](std::size_t) { count.fetch_add(1); }, &cancel);
+  EXPECT_EQ(count.load(), 1'000u);
+}
+
+TEST(Cancellation, PreCancelledSerialLoopRunsNothing) {
+  ThreadPool pool(1);
+  CancelFlag cancel;
+  cancel.request();
+  std::size_t ran = 0;
+  EXPECT_THROW(
+      pool.parallel_for(100, [&](std::size_t) { ++ran; }, &cancel), CancelledError);
+  EXPECT_EQ(ran, 0u);
+}
+
+TEST(Cancellation, CompletedLoopIgnoresLateRequest) {
+  ThreadPool pool(4);
+  CancelFlag cancel;
+  std::atomic<std::size_t> count{0};
+  // Cancel requested only after every item already ran: no CancelledError,
+  // because nothing was actually skipped.
+  pool.parallel_for(
+      500, [&](std::size_t) { count.fetch_add(1); }, &cancel);
+  cancel.request();
+  EXPECT_EQ(count.load(), 500u);
+}
+
+TEST(Cancellation, ExceptionWinsOverCancellation) {
+  ThreadPool pool(4);
+  CancelFlag cancel;
+  // The failing item requests cancellation itself right after throwing
+  // range-wide: both stop paths race, exactly one error must come out, and
+  // it must be the exception (the cause), not CancelledError (the effect).
+  try {
+    pool.parallel_for(
+        100'000,
+        [&](std::size_t i) {
+          if (i == 1'000) {
+            cancel.request();
+            throw std::runtime_error("item 1000 failed");
+          }
+          std::this_thread::sleep_for(5us);
+        },
+        &cancel);
+    FAIL() << "expected an exception";
+  } catch (const CancelledError&) {
+    FAIL() << "CancelledError shadowed the real failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "item 1000 failed");
+  }
+}
+
+TEST(Cancellation, ScopedCancelGovernsImplicitFlag) {
+  ThreadPool pool(4);
+  CancelFlag cancel;
+  cancel.request();
+  {
+    ScopedCancel scope(&cancel);
+    // No explicit flag passed: the loop picks up the installed default.
+    EXPECT_THROW(pool.parallel_for(10'000, [](std::size_t) {}), CancelledError);
+  }
+  // Scope ended: the same call runs to completion again.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(1'000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1'000u);
+}
+
+TEST(Cancellation, ScopedCancelRestoresPreviousFlag) {
+  ThreadPool pool(2);
+  CancelFlag outer;
+  outer.request();
+  {
+    ScopedCancel outer_scope(&outer);
+    {
+      CancelFlag inner;  // not requested
+      ScopedCancel inner_scope(&inner);
+      std::atomic<std::size_t> count{0};
+      pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
+      EXPECT_EQ(count.load(), 100u);
+    }
+    // Inner scope gone: the outer (requested) flag is in force again.
+    EXPECT_THROW(pool.parallel_for(10'000, [](std::size_t) {}), CancelledError);
+  }
+}
+
+}  // namespace
+}  // namespace ranycast::exec

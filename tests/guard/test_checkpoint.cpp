@@ -1,0 +1,250 @@
+// Checkpoint envelope: exact round trips, and rejection of every kind of
+// damage (truncation, bit flips, foreign files, other versions, other
+// experiments) before any payload byte is trusted.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <vector>
+
+#include "ranycast/core/crc32.hpp"
+#include "ranycast/guard/checkpoint.hpp"
+
+namespace ranycast::guard {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ranycast_guard_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static std::vector<std::uint8_t> slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  static void spit(const std::string& p, const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Recompute the trailing CRC after tampering with the body, so the test
+  /// exercises the *semantic* check (version/kind/fingerprint) rather than
+  /// tripping over the CRC first.
+  static void refresh_crc(std::vector<std::uint8_t>& bytes) {
+    const std::size_t body = bytes.size() - 4;
+    const std::uint32_t crc = core::crc32(bytes.data(), body);
+    for (std::size_t i = 0; i < 4; ++i) {
+      bytes[body + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+    }
+  }
+
+  fs::path dir_;
+};
+
+TEST(ByteCodec, IntegersRoundTripLittleEndian) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+  // Explicit wire format: u16 0x1234 is 34 12.
+  EXPECT_EQ(w.data()[1], 0x34);
+  EXPECT_EQ(w.data()[2], 0x12);
+}
+
+TEST(ByteCodec, DoublesRoundTripBitExact) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.5,
+                           -1234.56789,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max()};
+  ByteWriter w;
+  for (double v : values) w.f64(v);
+  ByteReader r(w.data());
+  for (double v : values) {
+    const double back = r.f64();
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0) << v;
+  }
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ByteCodec, StringsRoundTrip) {
+  ByteWriter w;
+  w.str("");
+  w.str("site_withdraw site=3");
+  w.str(std::string(1, '\0') + "binary");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "site_withdraw site=3");
+  EXPECT_EQ(r.str(), std::string(1, '\0') + "binary");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteCodec, UnderflowLatchesNotOk) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u64(), 0u);  // short read returns zero …
+  EXPECT_FALSE(r.ok());    // … and latches failure
+  EXPECT_EQ(r.u16(), 0u);  // everything after stays zero
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(CheckpointTest, RoundTripReturnsExactPayload) {
+  ByteWriter payload;
+  payload.u64(42);
+  payload.str("nine steps of chaos");
+  payload.f64(3.14159);
+  const std::string p = path("ck.bin");
+  auto written =
+      write_checkpoint(p, CheckpointKind::ChaosTimeline, 0xFEEDFACE, payload.data());
+  ASSERT_TRUE(written.has_value()) << written.error().to_string();
+
+  auto back = read_checkpoint(p, CheckpointKind::ChaosTimeline, 0xFEEDFACE);
+  ASSERT_TRUE(back.has_value()) << back.error().to_string();
+  EXPECT_EQ(*back, payload.data());
+  // The tmp staging file was renamed away, not left behind.
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+}
+
+TEST_F(CheckpointTest, OverwriteReplacesAtomically) {
+  const std::string p = path("ck.bin");
+  ByteWriter first;
+  first.u64(1);
+  ASSERT_TRUE(write_checkpoint(p, CheckpointKind::MeasurementSweep, 7, first.data()));
+  ByteWriter second;
+  second.u64(2);
+  second.u64(3);
+  ASSERT_TRUE(write_checkpoint(p, CheckpointKind::MeasurementSweep, 7, second.data()));
+  auto back = read_checkpoint(p, CheckpointKind::MeasurementSweep, 7);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, second.data());
+}
+
+TEST_F(CheckpointTest, MissingFileIsIoError) {
+  auto result = read_checkpoint(path("absent.bin"), CheckpointKind::ChaosTimeline, 1);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, GuardErrorKind::Io);
+}
+
+TEST_F(CheckpointTest, EveryBitFlipIsRejected) {
+  ByteWriter payload;
+  payload.u64(99);
+  const std::string p = path("ck.bin");
+  ASSERT_TRUE(write_checkpoint(p, CheckpointKind::ChaosTimeline, 5, payload.data()));
+  const auto pristine = slurp(p);
+  // Flip one bit at a time across the whole file — envelope, payload and
+  // CRC alike — and require the reader to refuse every mutant.
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    auto mutant = pristine;
+    mutant[i] ^= 0x01;
+    spit(p, mutant);
+    auto result = read_checkpoint(p, CheckpointKind::ChaosTimeline, 5);
+    EXPECT_FALSE(result.has_value()) << "flip at byte " << i;
+  }
+}
+
+TEST_F(CheckpointTest, TruncationIsCorrupt) {
+  ByteWriter payload;
+  for (int i = 0; i < 16; ++i) payload.u64(static_cast<std::uint64_t>(i));
+  const std::string p = path("ck.bin");
+  ASSERT_TRUE(write_checkpoint(p, CheckpointKind::StabilityTrials, 11, payload.data()));
+  const auto pristine = slurp(p);
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{27},
+                                 pristine.size() - 5, pristine.size() - 1}) {
+    spit(p, {pristine.begin(), pristine.begin() + static_cast<std::ptrdiff_t>(keep)});
+    auto result = read_checkpoint(p, CheckpointKind::StabilityTrials, 11);
+    ASSERT_FALSE(result.has_value()) << "kept " << keep << " bytes";
+    EXPECT_EQ(result.error().kind, GuardErrorKind::Corrupt) << "kept " << keep;
+  }
+}
+
+TEST_F(CheckpointTest, ForeignFileIsCorrupt) {
+  const std::string p = path("ck.bin");
+  spit(p, {'{', '"', 'n', 'o', 't', ' ', 'a', ' ', 'c', 'h', 'e', 'c', 'k', 'p', 'o',
+           'i', 'n', 't', '"', '}', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  auto result = read_checkpoint(p, CheckpointKind::ChaosTimeline, 1);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, GuardErrorKind::Corrupt);
+}
+
+TEST_F(CheckpointTest, OtherFormatVersionIsVersionMismatch) {
+  ByteWriter payload;
+  payload.u64(1);
+  const std::string p = path("ck.bin");
+  ASSERT_TRUE(write_checkpoint(p, CheckpointKind::ChaosTimeline, 5, payload.data()));
+  auto bytes = slurp(p);
+  bytes[4] = static_cast<std::uint8_t>(kCheckpointFormatVersion + 1);  // format u32
+  refresh_crc(bytes);
+  spit(p, bytes);
+  auto result = read_checkpoint(p, CheckpointKind::ChaosTimeline, 5);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, GuardErrorKind::VersionMismatch);
+}
+
+TEST_F(CheckpointTest, OtherKindIsRejected) {
+  ByteWriter payload;
+  payload.u64(1);
+  const std::string p = path("ck.bin");
+  ASSERT_TRUE(write_checkpoint(p, CheckpointKind::ChaosTimeline, 5, payload.data()));
+  auto result = read_checkpoint(p, CheckpointKind::StabilityTrials, 5);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, GuardErrorKind::Corrupt);
+}
+
+TEST_F(CheckpointTest, OtherFingerprintIsFingerprintMismatch) {
+  ByteWriter payload;
+  payload.u64(1);
+  const std::string p = path("ck.bin");
+  ASSERT_TRUE(write_checkpoint(p, CheckpointKind::ChaosTimeline, 5, payload.data()));
+  auto result = read_checkpoint(p, CheckpointKind::ChaosTimeline, 6);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().kind, GuardErrorKind::FingerprintMismatch);
+  // The message names both fingerprints so the operator can see which
+  // experiment the file actually belongs to.
+  EXPECT_NE(result.error().message.find("0x"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, EmptyPayloadIsValid) {
+  const std::string p = path("ck.bin");
+  ASSERT_TRUE(write_checkpoint(p, CheckpointKind::MeasurementSweep, 0, {}));
+  auto back = read_checkpoint(p, CheckpointKind::MeasurementSweep, 0);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST_F(CheckpointTest, ExistsProbe) {
+  EXPECT_FALSE(checkpoint_exists(path("absent.bin")));
+  ASSERT_TRUE(write_checkpoint(path("ck.bin"), CheckpointKind::ChaosTimeline, 1, {}));
+  EXPECT_TRUE(checkpoint_exists(path("ck.bin")));
+  EXPECT_FALSE(checkpoint_exists(dir_.string()));  // a directory is not a checkpoint
+}
+
+}  // namespace
+}  // namespace ranycast::guard

@@ -20,15 +20,37 @@ import json
 import sys
 
 
+class BenchFileError(Exception):
+    """A benchmark JSON file that cannot be gated on, with a usable message."""
+
+
 def load_times(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise BenchFileError(
+            f"{path}: cannot read benchmark file ({e.strerror or e}). "
+            f"Run the benchmark with --benchmark_out={path} "
+            f"--benchmark_out_format=json first.") from e
+    except json.JSONDecodeError as e:
+        raise BenchFileError(
+            f"{path}: not valid JSON (line {e.lineno}, column {e.colno}: "
+            f"{e.msg}). Was the benchmark run interrupted?") from e
+    if not isinstance(doc, dict) or not isinstance(doc.get("benchmarks"), list):
+        raise BenchFileError(
+            f"{path}: no 'benchmarks' array — this is not google-benchmark "
+            f"JSON output (--benchmark_out_format=json).")
     times = {}
-    for b in doc.get("benchmarks", []):
+    for b in doc["benchmarks"]:
         # Skip aggregate rows (mean/median/stddev) of repeated runs.
-        if b.get("run_type") == "aggregate":
+        if not isinstance(b, dict) or b.get("run_type") == "aggregate":
             continue
-        times[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+        try:
+            times[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+        except (KeyError, TypeError, ValueError) as e:
+            raise BenchFileError(
+                f"{path}: malformed benchmark entry {b!r} ({e}).") from e
     return times
 
 
@@ -44,13 +66,26 @@ def main():
                     help="gate on every common benchmark, not just --filter")
     args = ap.parse_args()
 
-    base = load_times(args.baseline)
-    cur = load_times(args.current)
+    try:
+        base = load_times(args.baseline)
+        cur = load_times(args.current)
+    except BenchFileError as e:
+        print(f"error: {e}")
+        return 1
 
     gated = sorted(n for n in base
                    if n in cur and (args.all or args.filter in n))
     if not gated:
         print(f"error: no common benchmarks match filter '{args.filter}'")
+        in_base = sorted(n for n in base if args.all or args.filter in n)
+        in_cur = sorted(n for n in cur if args.all or args.filter in n)
+        if not in_base:
+            print(f"  baseline {args.baseline} has no matching entry "
+                  f"({len(base)} benchmark(s) total) — refresh it as shown "
+                  f"in --help")
+        if not in_cur:
+            print(f"  current run {args.current} has no matching entry "
+                  f"({len(cur)} benchmark(s) total)")
         return 1
 
     failures = []

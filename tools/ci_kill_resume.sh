@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Kill/resume integration check for the guard runtime.
+#
+# Runs ranycast-chaos three ways against the same scenario and seed:
+#   1. uninterrupted                          -> baseline report
+#   2. checkpointing, hard-killed mid-run     -> must exit 137, leave a checkpoint
+#   3. resumed from that checkpoint           -> must exit 0
+# and then byte-compares the resumed report against the baseline. Also
+# asserts the deadline path: an already-expired --deadline must exit 3 and
+# mark the report truncated.
+#
+# Usage: ci_kill_resume.sh CHAOS_BINARY SCENARIO_JSON [WORKDIR]
+set -u
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 CHAOS_BINARY SCENARIO_JSON [WORKDIR]" >&2
+  exit 2
+fi
+
+CHAOS="$1"
+SCENARIO="$2"
+WORKDIR="${3:-$(mktemp -d)}"
+mkdir -p "$WORKDIR"
+
+SIZING=(--stubs 400 --probes 1200 --seed 2023)
+ABORT_AT=2
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+echo "== 1/4 uninterrupted baseline =="
+"$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
+  --format json --out "$WORKDIR/baseline.json" \
+  || fail "baseline run exited $?"
+
+echo "== 2/4 checkpointed run, killed after step $ABORT_AT =="
+rm -f "$WORKDIR/run.ck"
+"$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
+  --format json --out "$WORKDIR/killed.json" \
+  --checkpoint "$WORKDIR/run.ck" --abort-after "$ABORT_AT"
+rc=$?
+[ "$rc" -eq 137 ] || fail "expected the aborted run to exit 137, got $rc"
+[ -s "$WORKDIR/run.ck" ] || fail "no checkpoint left behind after the kill"
+
+echo "== 3/4 resume from the checkpoint =="
+"$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
+  --format json --out "$WORKDIR/resumed.json" \
+  --checkpoint "$WORKDIR/run.ck" --resume \
+  || fail "resume exited $?"
+
+cmp "$WORKDIR/baseline.json" "$WORKDIR/resumed.json" \
+  || fail "resumed report differs from the uninterrupted baseline"
+echo "resumed report is byte-identical to the baseline"
+
+echo "== 4/4 expired deadline truncates with exit 3 =="
+"$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
+  --format json --out "$WORKDIR/truncated.json" --deadline 0.000001
+rc=$?
+[ "$rc" -eq 3 ] || fail "expected the deadline run to exit 3, got $rc"
+grep -q '"truncated": true' "$WORKDIR/truncated.json" \
+  || fail "deadline report is not marked truncated"
+
+echo "OK: kill/resume and deadline paths all check out"

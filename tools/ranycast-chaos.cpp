@@ -3,6 +3,9 @@
 //   ranycast-chaos --scenario FILE [--config FILE] [--cdn NAME] [--stubs N]
 //                  [--probes N] [--seed N] [--format table|json] [--out FILE]
 //                  [--describe] [--obs]
+//                  [--deadline SECONDS] [--stall-timeout SECONDS]
+//                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
+//                  [--abort-after N]
 //
 // Loads a JSON fault plan (schema in docs/resilience.md), builds a
 // laboratory, deploys the chosen CDN and applies the plan step by step,
@@ -13,9 +16,20 @@
 // The run is fully deterministic: the same --seed and scenario produce a
 // byte-identical JSON report. --obs additionally writes BENCH_chaos.json
 // telemetry (timings live there, never in the report).
+//
+// Guard flags (docs/reliability.md) run the timeline under a supervisor:
+// --deadline time-boxes the run (a truncated report is still emitted, with
+// completed-vs-planned accounting, and the tool exits 3), --checkpoint
+// persists progress every K steps so a killed run can be continued with
+// --resume — the resumed report is byte-identical to an uninterrupted one.
+// --abort-after N hard-kills the process (as SIGKILL would) after N
+// completed steps; it exists for crash-recovery tests and CI.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+
+#include "ranycast/guard/runtime.hpp"
 
 #include "ranycast/analysis/table.hpp"
 #include "ranycast/cdn/catalog.hpp"
@@ -63,7 +77,9 @@ int main(int argc, char** argv) {
   const auto start = std::chrono::steady_clock::now();
   const flags::Parser args(argc, argv);
   for (const auto& bad : args.unknown({"scenario", "config", "cdn", "stubs", "probes",
-                                       "seed", "format", "out", "describe", "obs"})) {
+                                       "seed", "format", "out", "describe", "obs",
+                                       "deadline", "stall-timeout", "checkpoint",
+                                       "checkpoint-every", "resume", "abort-after"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
     return 2;
   }
@@ -128,14 +144,61 @@ int main(int argc, char** argv) {
   auto laboratory = lab::Lab::create(config);
   const auto& handle = laboratory.add_deployment(*spec);
   chaos::Engine engine(laboratory, handle);
-  const auto report = engine.run(*plan);
-  if (!report) {
-    std::fprintf(stderr, "chaos error: %s\n", report.error().c_str());
-    return 2;
+
+  const bool guarded = args.has("deadline") || args.has("stall-timeout") ||
+                       args.has("checkpoint") || args.has("resume");
+  chaos::ChaosReport report;
+  bool truncated = false;
+  if (guarded) {
+    guard::RunLimits limits;
+    limits.deadline_s = args.get_or("deadline", 0.0);
+    limits.stall_timeout_s = args.get_or("stall-timeout", 0.0);
+    guard::CheckpointPolicy policy;
+    policy.path = args.get_or("checkpoint", std::string());
+    policy.every = static_cast<std::size_t>(args.get_or("checkpoint-every", std::int64_t{1}));
+    policy.resume = args.has("resume");
+    if (policy.resume && policy.path.empty()) {
+      std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
+      return 2;
+    }
+    if (args.has("abort-after")) {
+      // Simulate a crash for recovery tests: no cleanup, no stream flush —
+      // the checkpoint fsynced after step N is all a resume may rely on.
+      const auto fatal_step = static_cast<std::size_t>(
+          args.get_or("abort-after", std::int64_t{0}));
+      policy.after_step = [fatal_step](std::size_t done, std::size_t) {
+        if (done == fatal_step) std::_Exit(137);
+      };
+    }
+    guard::Supervisor supervisor(limits);
+    auto outcome = engine.run_guarded(*plan, supervisor, policy);
+    if (!outcome) {
+      std::fprintf(stderr, "chaos error: %s\n", outcome.error().c_str());
+      return 2;
+    }
+    if (outcome->sweep.resumed) {
+      std::fprintf(stderr, "[guard] resumed from %s at step %zu/%zu\n",
+                   policy.path.c_str(), outcome->sweep.resumed_from,
+                   outcome->sweep.total);
+    }
+    report = std::move(outcome->report);
+    truncated = report.truncated;
+    if (truncated) {
+      std::fprintf(stderr, "[guard] stopped (%s): completed %zu of %zu steps\n",
+                   std::string(guard::to_string(outcome->sweep.stopped)).c_str(),
+                   report.completed_steps, report.planned_steps);
+    }
+  } else {
+    auto outcome = engine.run(*plan);
+    if (!outcome) {
+      std::fprintf(stderr, "chaos error: %s\n", outcome.error().c_str());
+      return 2;
+    }
+    report = std::move(*outcome);
   }
 
-  const std::string rendered = format == "json" ? chaos::report_to_json(*report).dump(2) + "\n"
-                                                : render_table(*report);
+  const std::string rendered = format == "json" ? chaos::report_to_json(report).dump(2) + "\n"
+                                                : render_table(report);
   if (const auto out_path = args.get("out")) {
     std::ofstream out(*out_path, std::ios::binary);
     if (!out) {
@@ -155,5 +218,5 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[obs] wrote BENCH_chaos.json\n");
     }
   }
-  return 0;
+  return truncated ? 3 : 0;
 }

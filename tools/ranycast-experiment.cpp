@@ -2,19 +2,35 @@
 //
 //   ranycast-experiment [--config FILE] [--experiment NAME] [--format table|csv]
 //                       [--dump-config] [--obs]
+//                       [--cdn NAME] [--region N] [--trials N]
+//                       [--stubs N] [--probes N] [--seed N]
+//                       [--deadline SECONDS] [--stall-timeout SECONDS]
+//                       [--checkpoint FILE] [--checkpoint-every K] [--resume]
+//                       [--abort-after N]
 //
 // Experiments:
-//   table3   Imperva-6 vs Imperva-NS tail latency (80/90/95th per area)
-//   fig6c    ReOpt regional vs global anycast on the Tangled testbed
-//   causes   §5.4 latency-reduction cause classification
+//   table3     Imperva-6 vs Imperva-NS tail latency (80/90/95th per area)
+//   fig6c      ReOpt regional vs global anycast on the Tangled testbed
+//   causes     §5.4 latency-reduction cause classification
+//   stability  §5.3 catchment stability across --trials tie-break seeds
 //
 // The configuration schema is documented in ranycast/io/config.hpp; any
 // omitted key keeps the library default, so {} is a valid config.
 //
 // --obs force-enables observability and prints the JSON metrics/trace
 // report to stderr after the experiment (stdout keeps the table/csv).
+//
+// The stability experiment honours the guard flags (docs/reliability.md):
+// under --deadline it emits the trials completed so far and exits 3, and
+// --checkpoint/--resume continue a killed campaign with a final report
+// identical to an uninterrupted run. --abort-after N hard-kills the process
+// after N trials (crash-recovery tests and CI).
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+
+#include "ranycast/guard/runtime.hpp"
+#include "ranycast/resilience/stability.hpp"
 
 #include "ranycast/analysis/export.hpp"
 #include "ranycast/analysis/stats.hpp"
@@ -105,12 +121,101 @@ int run_causes(lab::Lab& laboratory, bool csv) {
   return 0;
 }
 
+std::optional<cdn::DeploymentSpec> spec_by_name(const std::string& name) {
+  if (name == "imperva6") return cdn::catalog::imperva6();
+  if (name == "imperva-ns") return cdn::catalog::imperva_ns();
+  if (name == "edgio3") return cdn::catalog::edgio3();
+  if (name == "edgio4") return cdn::catalog::edgio4();
+  return std::nullopt;
+}
+
+void print_stability(const resilience::StabilityReport& report, bool csv) {
+  if (csv) {
+    analysis::CsvWriter out({"trials", "ases_observed", "ases_stable", "stable_fraction",
+                             "mean_pairwise_agreement"});
+    out.add_row({std::to_string(report.trials), std::to_string(report.ases_observed),
+                 std::to_string(report.ases_stable), std::to_string(report.stable_fraction()),
+                 std::to_string(report.mean_pairwise_agreement)});
+    out.write(std::cout);
+  } else {
+    std::printf("trials: %zu\n  ASes observed: %zu\n  ASes stable:   %zu (%.1f%%)\n"
+                "  mean pairwise agreement: %.3f\n",
+                report.trials, report.ases_observed, report.ases_stable,
+                report.stable_fraction() * 100.0, report.mean_pairwise_agreement);
+  }
+}
+
+int run_stability(lab::Lab& laboratory, bool csv, const flags::Parser& args) {
+  const std::string cdn_name = args.get_or("cdn", std::string("imperva6"));
+  const auto spec = spec_by_name(cdn_name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown CDN '%s'\n", cdn_name.c_str());
+    return 2;
+  }
+  const auto& handle = laboratory.add_deployment(*spec);
+  const auto region = static_cast<std::size_t>(args.get_or("region", std::int64_t{0}));
+  const int trials = static_cast<int>(args.get_or("trials", std::int64_t{8}));
+  if (region >= handle.deployment.regions().size()) {
+    std::fprintf(stderr, "deployment '%s' has no region %zu\n", cdn_name.c_str(), region);
+    return 2;
+  }
+
+  const bool guarded = args.has("deadline") || args.has("stall-timeout") ||
+                       args.has("checkpoint") || args.has("resume");
+  if (!guarded) {
+    print_stability(
+        resilience::catchment_stability(laboratory, handle.deployment, region, trials), csv);
+    return 0;
+  }
+
+  guard::RunLimits limits;
+  limits.deadline_s = args.get_or("deadline", 0.0);
+  limits.stall_timeout_s = args.get_or("stall-timeout", 0.0);
+  guard::CheckpointPolicy policy;
+  policy.path = args.get_or("checkpoint", std::string());
+  policy.every = static_cast<std::size_t>(args.get_or("checkpoint-every", std::int64_t{1}));
+  policy.resume = args.has("resume");
+  if (policy.resume && policy.path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint FILE\n");
+    return 2;
+  }
+  if (args.has("abort-after")) {
+    const auto fatal_step =
+        static_cast<std::size_t>(args.get_or("abort-after", std::int64_t{0}));
+    policy.after_step = [fatal_step](std::size_t done, std::size_t) {
+      if (done == fatal_step) std::_Exit(137);
+    };
+  }
+  guard::Supervisor supervisor(limits);
+  auto outcome = resilience::catchment_stability_guarded(laboratory, handle.deployment,
+                                                         region, trials, supervisor, policy);
+  if (!outcome) {
+    std::fprintf(stderr, "stability error: %s\n", outcome.error().to_string().c_str());
+    return 2;
+  }
+  if (outcome->sweep.resumed) {
+    std::fprintf(stderr, "[guard] resumed from %s at trial %zu/%zu\n", policy.path.c_str(),
+                 outcome->sweep.resumed_from, outcome->sweep.total);
+  }
+  print_stability(outcome->report, csv);
+  if (!outcome->sweep.complete()) {
+    std::fprintf(stderr, "[guard] stopped (%s): completed %zu of %zu trials\n",
+                 std::string(guard::to_string(outcome->sweep.stopped)).c_str(),
+                 outcome->sweep.completed, outcome->sweep.total);
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const flags::Parser args(argc, argv);
   for (const auto& bad :
-       args.unknown({"config", "experiment", "format", "dump-config", "obs"})) {
+       args.unknown({"config", "experiment", "format", "dump-config", "obs", "cdn",
+                     "region", "trials", "stubs", "probes", "seed", "deadline",
+                     "stall-timeout", "checkpoint", "checkpoint-every", "resume",
+                     "abort-after"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
     return 2;
   }
@@ -125,6 +230,16 @@ int main(int argc, char** argv) {
     }
     config = std::move(*loaded);
   }
+  if (args.has("stubs")) {
+    config.world.stub_count = static_cast<int>(args.get_or("stubs", std::int64_t{2600}));
+  }
+  if (args.has("probes")) {
+    config.census.total_probes =
+        static_cast<int>(args.get_or("probes", std::int64_t{11000}));
+  }
+  if (args.has("seed")) {
+    config.seed = static_cast<std::uint64_t>(args.get_or("seed", std::int64_t{2023}));
+  }
   if (args.has("dump-config")) {
     std::printf("%s\n", io::lab_config_to_json(config).dump(2).c_str());
     return 0;
@@ -137,8 +252,9 @@ int main(int argc, char** argv) {
   if (experiment == "table3") rc = run_table3(laboratory, csv);
   if (experiment == "fig6c") rc = run_fig6c(laboratory, csv);
   if (experiment == "causes") rc = run_causes(laboratory, csv);
+  if (experiment == "stability") rc = run_stability(laboratory, csv, args);
   if (!rc) {
-    std::fprintf(stderr, "unknown experiment '%s' (table3|fig6c|causes)\n",
+    std::fprintf(stderr, "unknown experiment '%s' (table3|fig6c|causes|stability)\n",
                  experiment.c_str());
     return 2;
   }
