@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chaos.dir/bench_ablation_chaos.cpp.o"
+  "CMakeFiles/bench_ablation_chaos.dir/bench_ablation_chaos.cpp.o.d"
+  "bench_ablation_chaos"
+  "bench_ablation_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_enumeration.dir/bench_ablation_enumeration.cpp.o"
+  "CMakeFiles/bench_ablation_enumeration.dir/bench_ablation_enumeration.cpp.o.d"
+  "bench_ablation_enumeration"
+  "bench_ablation_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_failover.dir/bench_ablation_failover.cpp.o"
+  "CMakeFiles/bench_ablation_failover.dir/bench_ablation_failover.cpp.o.d"
+  "bench_ablation_failover"
+  "bench_ablation_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

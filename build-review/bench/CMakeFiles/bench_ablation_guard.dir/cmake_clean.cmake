@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_guard.dir/bench_ablation_guard.cpp.o"
+  "CMakeFiles/bench_ablation_guard.dir/bench_ablation_guard.cpp.o.d"
+  "bench_ablation_guard"
+  "bench_ablation_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ipasn.dir/bench_ablation_ipasn.cpp.o"
+  "CMakeFiles/bench_ablation_ipasn.dir/bench_ablation_ipasn.cpp.o.d"
+  "bench_ablation_ipasn"
+  "bench_ablation_ipasn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ipasn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

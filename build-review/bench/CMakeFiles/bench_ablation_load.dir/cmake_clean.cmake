@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_load.dir/bench_ablation_load.cpp.o"
+  "CMakeFiles/bench_ablation_load.dir/bench_ablation_load.cpp.o.d"
+  "bench_ablation_load"
+  "bench_ablation_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

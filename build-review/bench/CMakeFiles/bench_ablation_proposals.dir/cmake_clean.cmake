@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_proposals.dir/bench_ablation_proposals.cpp.o"
+  "CMakeFiles/bench_ablation_proposals.dir/bench_ablation_proposals.cpp.o.d"
+  "bench_ablation_proposals"
+  "bench_ablation_proposals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_proposals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_sensitivity.cpp" "bench/CMakeFiles/bench_ablation_sensitivity.dir/bench_ablation_sensitivity.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_sensitivity.dir/bench_ablation_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/lab/CMakeFiles/ranycast_lab.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geoloc/CMakeFiles/ranycast_geoloc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/ranycast_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/partition/CMakeFiles/ranycast_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tangled/CMakeFiles/ranycast_tangled.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/ranycast_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/atlas/CMakeFiles/ranycast_atlas.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cdn/CMakeFiles/ranycast_cdn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bgp/CMakeFiles/ranycast_bgp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dns/CMakeFiles/ranycast_dns.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ranycast_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/topo/CMakeFiles/ranycast_topo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/ranycast_geo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/ranycast_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

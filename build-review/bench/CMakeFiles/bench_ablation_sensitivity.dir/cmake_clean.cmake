@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sensitivity.dir/bench_ablation_sensitivity.cpp.o"
+  "CMakeFiles/bench_ablation_sensitivity.dir/bench_ablation_sensitivity.cpp.o.d"
+  "bench_ablation_sensitivity"
+  "bench_ablation_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_partitions.dir/bench_fig2_partitions.cpp.o"
+  "CMakeFiles/bench_fig2_partitions.dir/bench_fig2_partitions.cpp.o.d"
+  "bench_fig2_partitions"
+  "bench_fig2_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

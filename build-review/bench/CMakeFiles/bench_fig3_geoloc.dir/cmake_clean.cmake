@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_geoloc.dir/bench_fig3_geoloc.cpp.o"
+  "CMakeFiles/bench_fig3_geoloc.dir/bench_fig3_geoloc.cpp.o.d"
+  "bench_fig3_geoloc"
+  "bench_fig3_geoloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_geoloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

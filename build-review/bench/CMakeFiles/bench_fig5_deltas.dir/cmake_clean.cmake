@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_deltas.dir/bench_fig5_deltas.cpp.o"
+  "CMakeFiles/bench_fig5_deltas.dir/bench_fig5_deltas.cpp.o.d"
+  "bench_fig5_deltas"
+  "bench_fig5_deltas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_deltas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

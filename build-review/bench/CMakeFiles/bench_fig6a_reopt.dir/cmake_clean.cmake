@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_reopt.dir/bench_fig6a_reopt.cpp.o"
+  "CMakeFiles/bench_fig6a_reopt.dir/bench_fig6a_reopt.cpp.o.d"
+  "bench_fig6a_reopt"
+  "bench_fig6a_reopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_reopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_route53.dir/bench_fig6b_route53.cpp.o"
+  "CMakeFiles/bench_fig6b_route53.dir/bench_fig6b_route53.cpp.o.d"
+  "bench_fig6b_route53"
+  "bench_fig6b_route53.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_route53.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

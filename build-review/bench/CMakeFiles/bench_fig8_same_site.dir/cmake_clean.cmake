@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_same_site.dir/bench_fig8_same_site.cpp.o"
+  "CMakeFiles/bench_fig8_same_site.dir/bench_fig8_same_site.cpp.o.d"
+  "bench_fig8_same_site"
+  "bench_fig8_same_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_same_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec54_causes.dir/bench_sec54_causes.cpp.o"
+  "CMakeFiles/bench_sec54_causes.dir/bench_sec54_causes.cpp.o.d"
+  "bench_sec54_causes"
+  "bench_sec54_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

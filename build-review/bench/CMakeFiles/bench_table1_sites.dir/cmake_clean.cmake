@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sites.dir/bench_table1_sites.cpp.o"
+  "CMakeFiles/bench_table1_sites.dir/bench_table1_sites.cpp.o.d"
+  "bench_table1_sites"
+  "bench_table1_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

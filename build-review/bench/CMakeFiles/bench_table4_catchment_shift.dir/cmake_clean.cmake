@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_catchment_shift.dir/bench_table4_catchment_shift.cpp.o"
+  "CMakeFiles/bench_table4_catchment_shift.dir/bench_table4_catchment_shift.cpp.o.d"
+  "bench_table4_catchment_shift"
+  "bench_table4_catchment_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_catchment_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

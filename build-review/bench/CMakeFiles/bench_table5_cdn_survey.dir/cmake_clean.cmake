@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_cdn_survey.dir/bench_table5_cdn_survey.cpp.o"
+  "CMakeFiles/bench_table5_cdn_survey.dir/bench_table5_cdn_survey.cpp.o.d"
+  "bench_table5_cdn_survey"
+  "bench_table5_cdn_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_cdn_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

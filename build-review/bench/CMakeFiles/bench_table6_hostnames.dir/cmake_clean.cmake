@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_hostnames.dir/bench_table6_hostnames.cpp.o"
+  "CMakeFiles/bench_table6_hostnames.dir/bench_table6_hostnames.cpp.o.d"
+  "bench_table6_hostnames"
+  "bench_table6_hostnames.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_hostnames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anycast_designer.dir/anycast_designer.cpp.o"
+  "CMakeFiles/anycast_designer.dir/anycast_designer.cpp.o.d"
+  "anycast_designer"
+  "anycast_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anycast_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

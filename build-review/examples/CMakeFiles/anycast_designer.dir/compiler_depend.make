@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for anycast_designer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_deployment_study.dir/cdn_deployment_study.cpp.o"
+  "CMakeFiles/cdn_deployment_study.dir/cdn_deployment_study.cpp.o.d"
+  "cdn_deployment_study"
+  "cdn_deployment_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_deployment_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_mapping_audit.dir/dns_mapping_audit.cpp.o"
+  "CMakeFiles/dns_mapping_audit.dir/dns_mapping_audit.cpp.o.d"
+  "dns_mapping_audit"
+  "dns_mapping_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_mapping_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

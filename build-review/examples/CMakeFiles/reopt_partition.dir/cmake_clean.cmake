@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reopt_partition.dir/reopt_partition.cpp.o"
+  "CMakeFiles/reopt_partition.dir/reopt_partition.cpp.o.d"
+  "reopt_partition"
+  "reopt_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reopt_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

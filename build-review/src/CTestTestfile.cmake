@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("exec")
+subdirs("obs")
+subdirs("geo")
+subdirs("topo")
+subdirs("bgp")
+subdirs("dns")
+subdirs("cdn")
+subdirs("atlas")
+subdirs("lab")
+subdirs("geoloc")
+subdirs("analysis")
+subdirs("partition")
+subdirs("tangled")
+subdirs("bgpdata")
+subdirs("proposals")
+subdirs("resilience")
+subdirs("verfploeter")
+subdirs("io")
+subdirs("guard")
+subdirs("chaos")

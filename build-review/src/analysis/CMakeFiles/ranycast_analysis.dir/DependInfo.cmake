@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/src/ascii_map.cpp" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/ascii_map.cpp.o" "gcc" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/ascii_map.cpp.o.d"
+  "/root/repo/src/analysis/src/classify.cpp" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/classify.cpp.o" "gcc" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/classify.cpp.o.d"
+  "/root/repo/src/analysis/src/export.cpp" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/export.cpp.o" "gcc" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/export.cpp.o.d"
+  "/root/repo/src/analysis/src/load.cpp" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/load.cpp.o" "gcc" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/load.cpp.o.d"
+  "/root/repo/src/analysis/src/stats.cpp" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/stats.cpp.o.d"
+  "/root/repo/src/analysis/src/table.cpp" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/table.cpp.o" "gcc" "src/analysis/CMakeFiles/ranycast_analysis.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ranycast_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bgp/CMakeFiles/ranycast_bgp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ranycast_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/topo/CMakeFiles/ranycast_topo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/ranycast_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_analysis.dir/src/ascii_map.cpp.o"
+  "CMakeFiles/ranycast_analysis.dir/src/ascii_map.cpp.o.d"
+  "CMakeFiles/ranycast_analysis.dir/src/classify.cpp.o"
+  "CMakeFiles/ranycast_analysis.dir/src/classify.cpp.o.d"
+  "CMakeFiles/ranycast_analysis.dir/src/export.cpp.o"
+  "CMakeFiles/ranycast_analysis.dir/src/export.cpp.o.d"
+  "CMakeFiles/ranycast_analysis.dir/src/load.cpp.o"
+  "CMakeFiles/ranycast_analysis.dir/src/load.cpp.o.d"
+  "CMakeFiles/ranycast_analysis.dir/src/stats.cpp.o"
+  "CMakeFiles/ranycast_analysis.dir/src/stats.cpp.o.d"
+  "CMakeFiles/ranycast_analysis.dir/src/table.cpp.o"
+  "CMakeFiles/ranycast_analysis.dir/src/table.cpp.o.d"
+  "libranycast_analysis.a"
+  "libranycast_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_atlas.dir/src/census.cpp.o"
+  "CMakeFiles/ranycast_atlas.dir/src/census.cpp.o.d"
+  "CMakeFiles/ranycast_atlas.dir/src/grouping.cpp.o"
+  "CMakeFiles/ranycast_atlas.dir/src/grouping.cpp.o.d"
+  "CMakeFiles/ranycast_atlas.dir/src/probe.cpp.o"
+  "CMakeFiles/ranycast_atlas.dir/src/probe.cpp.o.d"
+  "libranycast_atlas.a"
+  "libranycast_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/src/path_metrics.cpp" "src/bgp/CMakeFiles/ranycast_bgp.dir/src/path_metrics.cpp.o" "gcc" "src/bgp/CMakeFiles/ranycast_bgp.dir/src/path_metrics.cpp.o.d"
+  "/root/repo/src/bgp/src/solver.cpp" "src/bgp/CMakeFiles/ranycast_bgp.dir/src/solver.cpp.o" "gcc" "src/bgp/CMakeFiles/ranycast_bgp.dir/src/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ranycast_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ranycast_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/ranycast_geo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/topo/CMakeFiles/ranycast_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_bgp.dir/src/path_metrics.cpp.o"
+  "CMakeFiles/ranycast_bgp.dir/src/path_metrics.cpp.o.d"
+  "CMakeFiles/ranycast_bgp.dir/src/solver.cpp.o"
+  "CMakeFiles/ranycast_bgp.dir/src/solver.cpp.o.d"
+  "libranycast_bgp.a"
+  "libranycast_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

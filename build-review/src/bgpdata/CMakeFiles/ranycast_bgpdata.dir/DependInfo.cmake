@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgpdata/src/rib_snapshot.cpp" "src/bgpdata/CMakeFiles/ranycast_bgpdata.dir/src/rib_snapshot.cpp.o" "gcc" "src/bgpdata/CMakeFiles/ranycast_bgpdata.dir/src/rib_snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ranycast_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/topo/CMakeFiles/ranycast_topo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cdn/CMakeFiles/ranycast_cdn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bgp/CMakeFiles/ranycast_bgp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dns/CMakeFiles/ranycast_dns.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/ranycast_geo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ranycast_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_bgpdata.dir/src/rib_snapshot.cpp.o"
+  "CMakeFiles/ranycast_bgpdata.dir/src/rib_snapshot.cpp.o.d"
+  "libranycast_bgpdata.a"
+  "libranycast_bgpdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_bgpdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_cdn.dir/src/builder.cpp.o"
+  "CMakeFiles/ranycast_cdn.dir/src/builder.cpp.o.d"
+  "CMakeFiles/ranycast_cdn.dir/src/catalog.cpp.o"
+  "CMakeFiles/ranycast_cdn.dir/src/catalog.cpp.o.d"
+  "CMakeFiles/ranycast_cdn.dir/src/deployment.cpp.o"
+  "CMakeFiles/ranycast_cdn.dir/src/deployment.cpp.o.d"
+  "CMakeFiles/ranycast_cdn.dir/src/survey.cpp.o"
+  "CMakeFiles/ranycast_cdn.dir/src/survey.cpp.o.d"
+  "libranycast_cdn.a"
+  "libranycast_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

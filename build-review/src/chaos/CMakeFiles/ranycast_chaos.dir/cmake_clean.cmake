@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_chaos.dir/src/engine.cpp.o"
+  "CMakeFiles/ranycast_chaos.dir/src/engine.cpp.o.d"
+  "CMakeFiles/ranycast_chaos.dir/src/plan.cpp.o"
+  "CMakeFiles/ranycast_chaos.dir/src/plan.cpp.o.d"
+  "CMakeFiles/ranycast_chaos.dir/src/scenario.cpp.o"
+  "CMakeFiles/ranycast_chaos.dir/src/scenario.cpp.o.d"
+  "libranycast_chaos.a"
+  "libranycast_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/flags.cpp" "src/core/CMakeFiles/ranycast_core.dir/src/flags.cpp.o" "gcc" "src/core/CMakeFiles/ranycast_core.dir/src/flags.cpp.o.d"
+  "/root/repo/src/core/src/ipv4.cpp" "src/core/CMakeFiles/ranycast_core.dir/src/ipv4.cpp.o" "gcc" "src/core/CMakeFiles/ranycast_core.dir/src/ipv4.cpp.o.d"
+  "/root/repo/src/core/src/strings.cpp" "src/core/CMakeFiles/ranycast_core.dir/src/strings.cpp.o" "gcc" "src/core/CMakeFiles/ranycast_core.dir/src/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_core.dir/src/flags.cpp.o"
+  "CMakeFiles/ranycast_core.dir/src/flags.cpp.o.d"
+  "CMakeFiles/ranycast_core.dir/src/ipv4.cpp.o"
+  "CMakeFiles/ranycast_core.dir/src/ipv4.cpp.o.d"
+  "CMakeFiles/ranycast_core.dir/src/strings.cpp.o"
+  "CMakeFiles/ranycast_core.dir/src/strings.cpp.o.d"
+  "libranycast_core.a"
+  "libranycast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

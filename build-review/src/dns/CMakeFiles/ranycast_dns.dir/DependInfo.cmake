@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/src/geo_database.cpp" "src/dns/CMakeFiles/ranycast_dns.dir/src/geo_database.cpp.o" "gcc" "src/dns/CMakeFiles/ranycast_dns.dir/src/geo_database.cpp.o.d"
+  "/root/repo/src/dns/src/resolver.cpp" "src/dns/CMakeFiles/ranycast_dns.dir/src/resolver.cpp.o" "gcc" "src/dns/CMakeFiles/ranycast_dns.dir/src/resolver.cpp.o.d"
+  "/root/repo/src/dns/src/route53.cpp" "src/dns/CMakeFiles/ranycast_dns.dir/src/route53.cpp.o" "gcc" "src/dns/CMakeFiles/ranycast_dns.dir/src/route53.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ranycast_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ranycast_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/ranycast_geo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/topo/CMakeFiles/ranycast_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_dns.dir/src/geo_database.cpp.o"
+  "CMakeFiles/ranycast_dns.dir/src/geo_database.cpp.o.d"
+  "CMakeFiles/ranycast_dns.dir/src/resolver.cpp.o"
+  "CMakeFiles/ranycast_dns.dir/src/resolver.cpp.o.d"
+  "CMakeFiles/ranycast_dns.dir/src/route53.cpp.o"
+  "CMakeFiles/ranycast_dns.dir/src/route53.cpp.o.d"
+  "libranycast_dns.a"
+  "libranycast_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_exec.dir/src/pool.cpp.o"
+  "CMakeFiles/ranycast_exec.dir/src/pool.cpp.o.d"
+  "libranycast_exec.a"
+  "libranycast_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

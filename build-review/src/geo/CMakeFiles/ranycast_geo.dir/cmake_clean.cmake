@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_geo.dir/src/earth.cpp.o"
+  "CMakeFiles/ranycast_geo.dir/src/earth.cpp.o.d"
+  "CMakeFiles/ranycast_geo.dir/src/gazetteer.cpp.o"
+  "CMakeFiles/ranycast_geo.dir/src/gazetteer.cpp.o.d"
+  "libranycast_geo.a"
+  "libranycast_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geoloc/src/igreedy.cpp" "src/geoloc/CMakeFiles/ranycast_geoloc.dir/src/igreedy.cpp.o" "gcc" "src/geoloc/CMakeFiles/ranycast_geoloc.dir/src/igreedy.cpp.o.d"
+  "/root/repo/src/geoloc/src/pipeline.cpp" "src/geoloc/CMakeFiles/ranycast_geoloc.dir/src/pipeline.cpp.o" "gcc" "src/geoloc/CMakeFiles/ranycast_geoloc.dir/src/pipeline.cpp.o.d"
+  "/root/repo/src/geoloc/src/rdns.cpp" "src/geoloc/CMakeFiles/ranycast_geoloc.dir/src/rdns.cpp.o" "gcc" "src/geoloc/CMakeFiles/ranycast_geoloc.dir/src/rdns.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ranycast_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/ranycast_geo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/topo/CMakeFiles/ranycast_topo.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/bgp/CMakeFiles/ranycast_bgp.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dns/CMakeFiles/ranycast_dns.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/atlas/CMakeFiles/ranycast_atlas.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/ranycast_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

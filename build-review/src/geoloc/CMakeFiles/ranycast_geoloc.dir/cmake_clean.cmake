@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_geoloc.dir/src/igreedy.cpp.o"
+  "CMakeFiles/ranycast_geoloc.dir/src/igreedy.cpp.o.d"
+  "CMakeFiles/ranycast_geoloc.dir/src/pipeline.cpp.o"
+  "CMakeFiles/ranycast_geoloc.dir/src/pipeline.cpp.o.d"
+  "CMakeFiles/ranycast_geoloc.dir/src/rdns.cpp.o"
+  "CMakeFiles/ranycast_geoloc.dir/src/rdns.cpp.o.d"
+  "libranycast_geoloc.a"
+  "libranycast_geoloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_geoloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_guard.dir/src/checkpoint.cpp.o"
+  "CMakeFiles/ranycast_guard.dir/src/checkpoint.cpp.o.d"
+  "CMakeFiles/ranycast_guard.dir/src/error.cpp.o"
+  "CMakeFiles/ranycast_guard.dir/src/error.cpp.o.d"
+  "CMakeFiles/ranycast_guard.dir/src/runtime.cpp.o"
+  "CMakeFiles/ranycast_guard.dir/src/runtime.cpp.o.d"
+  "CMakeFiles/ranycast_guard.dir/src/sweep.cpp.o"
+  "CMakeFiles/ranycast_guard.dir/src/sweep.cpp.o.d"
+  "libranycast_guard.a"
+  "libranycast_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

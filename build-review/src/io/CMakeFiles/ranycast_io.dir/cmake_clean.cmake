@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_io.dir/src/config.cpp.o"
+  "CMakeFiles/ranycast_io.dir/src/config.cpp.o.d"
+  "CMakeFiles/ranycast_io.dir/src/json.cpp.o"
+  "CMakeFiles/ranycast_io.dir/src/json.cpp.o.d"
+  "libranycast_io.a"
+  "libranycast_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_lab.dir/src/comparison.cpp.o"
+  "CMakeFiles/ranycast_lab.dir/src/comparison.cpp.o.d"
+  "CMakeFiles/ranycast_lab.dir/src/lab.cpp.o"
+  "CMakeFiles/ranycast_lab.dir/src/lab.cpp.o.d"
+  "libranycast_lab.a"
+  "libranycast_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/src/metrics.cpp" "src/obs/CMakeFiles/ranycast_obs.dir/src/metrics.cpp.o" "gcc" "src/obs/CMakeFiles/ranycast_obs.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/obs/src/report.cpp" "src/obs/CMakeFiles/ranycast_obs.dir/src/report.cpp.o" "gcc" "src/obs/CMakeFiles/ranycast_obs.dir/src/report.cpp.o.d"
+  "/root/repo/src/obs/src/span.cpp" "src/obs/CMakeFiles/ranycast_obs.dir/src/span.cpp.o" "gcc" "src/obs/CMakeFiles/ranycast_obs.dir/src/span.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ranycast_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_obs.dir/src/metrics.cpp.o"
+  "CMakeFiles/ranycast_obs.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/ranycast_obs.dir/src/report.cpp.o"
+  "CMakeFiles/ranycast_obs.dir/src/report.cpp.o.d"
+  "CMakeFiles/ranycast_obs.dir/src/span.cpp.o"
+  "CMakeFiles/ranycast_obs.dir/src/span.cpp.o.d"
+  "libranycast_obs.a"
+  "libranycast_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

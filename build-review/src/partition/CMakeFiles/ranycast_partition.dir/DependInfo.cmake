@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/src/kmeans.cpp" "src/partition/CMakeFiles/ranycast_partition.dir/src/kmeans.cpp.o" "gcc" "src/partition/CMakeFiles/ranycast_partition.dir/src/kmeans.cpp.o.d"
+  "/root/repo/src/partition/src/reopt.cpp" "src/partition/CMakeFiles/ranycast_partition.dir/src/reopt.cpp.o" "gcc" "src/partition/CMakeFiles/ranycast_partition.dir/src/reopt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ranycast_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/ranycast_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

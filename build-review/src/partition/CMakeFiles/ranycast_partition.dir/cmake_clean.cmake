@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_partition.dir/src/kmeans.cpp.o"
+  "CMakeFiles/ranycast_partition.dir/src/kmeans.cpp.o.d"
+  "CMakeFiles/ranycast_partition.dir/src/reopt.cpp.o"
+  "CMakeFiles/ranycast_partition.dir/src/reopt.cpp.o.d"
+  "libranycast_partition.a"
+  "libranycast_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

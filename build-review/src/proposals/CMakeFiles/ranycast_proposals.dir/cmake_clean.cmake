@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_proposals.dir/src/anyopt.cpp.o"
+  "CMakeFiles/ranycast_proposals.dir/src/anyopt.cpp.o.d"
+  "CMakeFiles/ranycast_proposals.dir/src/dailycatch.cpp.o"
+  "CMakeFiles/ranycast_proposals.dir/src/dailycatch.cpp.o.d"
+  "CMakeFiles/ranycast_proposals.dir/src/single_provider.cpp.o"
+  "CMakeFiles/ranycast_proposals.dir/src/single_provider.cpp.o.d"
+  "libranycast_proposals.a"
+  "libranycast_proposals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_proposals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_resilience.dir/src/failover.cpp.o"
+  "CMakeFiles/ranycast_resilience.dir/src/failover.cpp.o.d"
+  "CMakeFiles/ranycast_resilience.dir/src/stability.cpp.o"
+  "CMakeFiles/ranycast_resilience.dir/src/stability.cpp.o.d"
+  "libranycast_resilience.a"
+  "libranycast_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_tangled.dir/src/study.cpp.o"
+  "CMakeFiles/ranycast_tangled.dir/src/study.cpp.o.d"
+  "CMakeFiles/ranycast_tangled.dir/src/testbed.cpp.o"
+  "CMakeFiles/ranycast_tangled.dir/src/testbed.cpp.o.d"
+  "libranycast_tangled.a"
+  "libranycast_tangled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_tangled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

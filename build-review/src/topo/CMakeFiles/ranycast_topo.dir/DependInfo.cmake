@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/src/generator.cpp" "src/topo/CMakeFiles/ranycast_topo.dir/src/generator.cpp.o" "gcc" "src/topo/CMakeFiles/ranycast_topo.dir/src/generator.cpp.o.d"
+  "/root/repo/src/topo/src/graph.cpp" "src/topo/CMakeFiles/ranycast_topo.dir/src/graph.cpp.o" "gcc" "src/topo/CMakeFiles/ranycast_topo.dir/src/graph.cpp.o.d"
+  "/root/repo/src/topo/src/ip_registry.cpp" "src/topo/CMakeFiles/ranycast_topo.dir/src/ip_registry.cpp.o" "gcc" "src/topo/CMakeFiles/ranycast_topo.dir/src/ip_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/ranycast_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/geo/CMakeFiles/ranycast_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

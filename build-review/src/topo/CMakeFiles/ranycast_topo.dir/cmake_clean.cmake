@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_topo.dir/src/generator.cpp.o"
+  "CMakeFiles/ranycast_topo.dir/src/generator.cpp.o.d"
+  "CMakeFiles/ranycast_topo.dir/src/graph.cpp.o"
+  "CMakeFiles/ranycast_topo.dir/src/graph.cpp.o.d"
+  "CMakeFiles/ranycast_topo.dir/src/ip_registry.cpp.o"
+  "CMakeFiles/ranycast_topo.dir/src/ip_registry.cpp.o.d"
+  "libranycast_topo.a"
+  "libranycast_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

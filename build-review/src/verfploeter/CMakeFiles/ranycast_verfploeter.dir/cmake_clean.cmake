@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast_verfploeter.dir/src/census.cpp.o"
+  "CMakeFiles/ranycast_verfploeter.dir/src/census.cpp.o.d"
+  "libranycast_verfploeter.a"
+  "libranycast_verfploeter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast_verfploeter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

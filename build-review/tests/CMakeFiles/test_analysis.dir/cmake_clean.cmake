@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_ascii_map.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_ascii_map.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_classify.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_classify.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_export_load.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_export_load.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_stats.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_stats.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_table.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_table.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

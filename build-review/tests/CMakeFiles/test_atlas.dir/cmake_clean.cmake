@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atlas.dir/atlas/test_census.cpp.o"
+  "CMakeFiles/test_atlas.dir/atlas/test_census.cpp.o.d"
+  "CMakeFiles/test_atlas.dir/atlas/test_grouping.cpp.o"
+  "CMakeFiles/test_atlas.dir/atlas/test_grouping.cpp.o.d"
+  "test_atlas"
+  "test_atlas.pdb"
+  "test_atlas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

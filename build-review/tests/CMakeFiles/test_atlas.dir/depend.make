@@ -1,0 +1,2 @@
+# Empty dependencies file for test_atlas.
+# This may be replaced when dependencies are built.

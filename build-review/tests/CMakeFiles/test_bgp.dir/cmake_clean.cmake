@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgp.dir/bgp/test_case_studies.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_case_studies.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_path_metrics.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_path_metrics.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_solver.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_solver.cpp.o.d"
+  "CMakeFiles/test_bgp.dir/bgp/test_solver_advanced.cpp.o"
+  "CMakeFiles/test_bgp.dir/bgp/test_solver_advanced.cpp.o.d"
+  "test_bgp"
+  "test_bgp.pdb"
+  "test_bgp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bgpdata.dir/bgpdata/test_prefix_trie.cpp.o"
+  "CMakeFiles/test_bgpdata.dir/bgpdata/test_prefix_trie.cpp.o.d"
+  "CMakeFiles/test_bgpdata.dir/bgpdata/test_rib_snapshot.cpp.o"
+  "CMakeFiles/test_bgpdata.dir/bgpdata/test_rib_snapshot.cpp.o.d"
+  "test_bgpdata"
+  "test_bgpdata.pdb"
+  "test_bgpdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bgpdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdn.dir/cdn/test_builder.cpp.o"
+  "CMakeFiles/test_cdn.dir/cdn/test_builder.cpp.o.d"
+  "CMakeFiles/test_cdn.dir/cdn/test_catalog.cpp.o"
+  "CMakeFiles/test_cdn.dir/cdn/test_catalog.cpp.o.d"
+  "CMakeFiles/test_cdn.dir/cdn/test_deployment.cpp.o"
+  "CMakeFiles/test_cdn.dir/cdn/test_deployment.cpp.o.d"
+  "CMakeFiles/test_cdn.dir/cdn/test_survey.cpp.o"
+  "CMakeFiles/test_cdn.dir/cdn/test_survey.cpp.o.d"
+  "test_cdn"
+  "test_cdn.pdb"
+  "test_cdn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

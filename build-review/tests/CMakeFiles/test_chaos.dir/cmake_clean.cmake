@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chaos.dir/chaos/test_determinism.cpp.o"
+  "CMakeFiles/test_chaos.dir/chaos/test_determinism.cpp.o.d"
+  "CMakeFiles/test_chaos.dir/chaos/test_engine.cpp.o"
+  "CMakeFiles/test_chaos.dir/chaos/test_engine.cpp.o.d"
+  "CMakeFiles/test_chaos.dir/chaos/test_equivalence.cpp.o"
+  "CMakeFiles/test_chaos.dir/chaos/test_equivalence.cpp.o.d"
+  "CMakeFiles/test_chaos.dir/chaos/test_guard_resume.cpp.o"
+  "CMakeFiles/test_chaos.dir/chaos/test_guard_resume.cpp.o.d"
+  "CMakeFiles/test_chaos.dir/chaos/test_scenario.cpp.o"
+  "CMakeFiles/test_chaos.dir/chaos/test_scenario.cpp.o.d"
+  "CMakeFiles/test_chaos.dir/chaos/test_thread_determinism.cpp.o"
+  "CMakeFiles/test_chaos.dir/chaos/test_thread_determinism.cpp.o.d"
+  "test_chaos"
+  "test_chaos.pdb"
+  "test_chaos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_expected.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_expected.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_flags.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_flags.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ipv4.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ipv4.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rng.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rng.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_strings.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_strings.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

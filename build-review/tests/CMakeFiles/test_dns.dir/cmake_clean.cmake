@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns.dir/dns/test_geo_database.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_geo_database.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/test_resolver.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_resolver.cpp.o.d"
+  "CMakeFiles/test_dns.dir/dns/test_route53.cpp.o"
+  "CMakeFiles/test_dns.dir/dns/test_route53.cpp.o.d"
+  "test_dns"
+  "test_dns.pdb"
+  "test_dns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo.dir/geo/test_earth.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_earth.cpp.o.d"
+  "CMakeFiles/test_geo.dir/geo/test_gazetteer.cpp.o"
+  "CMakeFiles/test_geo.dir/geo/test_gazetteer.cpp.o.d"
+  "test_geo"
+  "test_geo.pdb"
+  "test_geo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

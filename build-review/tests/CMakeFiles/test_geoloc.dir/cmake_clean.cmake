@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geoloc.dir/geoloc/test_igreedy.cpp.o"
+  "CMakeFiles/test_geoloc.dir/geoloc/test_igreedy.cpp.o.d"
+  "CMakeFiles/test_geoloc.dir/geoloc/test_pipeline.cpp.o"
+  "CMakeFiles/test_geoloc.dir/geoloc/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_geoloc.dir/geoloc/test_rdns.cpp.o"
+  "CMakeFiles/test_geoloc.dir/geoloc/test_rdns.cpp.o.d"
+  "test_geoloc"
+  "test_geoloc.pdb"
+  "test_geoloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geoloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

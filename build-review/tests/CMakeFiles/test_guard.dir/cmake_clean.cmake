@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guard.dir/guard/test_checkpoint.cpp.o"
+  "CMakeFiles/test_guard.dir/guard/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_guard.dir/guard/test_runtime.cpp.o"
+  "CMakeFiles/test_guard.dir/guard/test_runtime.cpp.o.d"
+  "test_guard"
+  "test_guard.pdb"
+  "test_guard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lab.dir/lab/test_batch_measurements.cpp.o"
+  "CMakeFiles/test_lab.dir/lab/test_batch_measurements.cpp.o.d"
+  "CMakeFiles/test_lab.dir/lab/test_comparison.cpp.o"
+  "CMakeFiles/test_lab.dir/lab/test_comparison.cpp.o.d"
+  "CMakeFiles/test_lab.dir/lab/test_lab.cpp.o"
+  "CMakeFiles/test_lab.dir/lab/test_lab.cpp.o.d"
+  "test_lab"
+  "test_lab.pdb"
+  "test_lab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

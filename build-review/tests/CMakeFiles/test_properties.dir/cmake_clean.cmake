@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/test_invariants_deployment.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_invariants_deployment.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_invariants_pipeline.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_invariants_pipeline.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_invariants_world.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_invariants_world.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

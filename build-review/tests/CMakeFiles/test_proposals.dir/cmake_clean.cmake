@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proposals.dir/proposals/test_anyopt.cpp.o"
+  "CMakeFiles/test_proposals.dir/proposals/test_anyopt.cpp.o.d"
+  "CMakeFiles/test_proposals.dir/proposals/test_dailycatch.cpp.o"
+  "CMakeFiles/test_proposals.dir/proposals/test_dailycatch.cpp.o.d"
+  "CMakeFiles/test_proposals.dir/proposals/test_single_provider.cpp.o"
+  "CMakeFiles/test_proposals.dir/proposals/test_single_provider.cpp.o.d"
+  "test_proposals"
+  "test_proposals.pdb"
+  "test_proposals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proposals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resilience.dir/resilience/test_failover.cpp.o"
+  "CMakeFiles/test_resilience.dir/resilience/test_failover.cpp.o.d"
+  "CMakeFiles/test_resilience.dir/resilience/test_stability.cpp.o"
+  "CMakeFiles/test_resilience.dir/resilience/test_stability.cpp.o.d"
+  "CMakeFiles/test_resilience.dir/resilience/test_stability_guarded.cpp.o"
+  "CMakeFiles/test_resilience.dir/resilience/test_stability_guarded.cpp.o.d"
+  "test_resilience"
+  "test_resilience.pdb"
+  "test_resilience[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tangled.dir/tangled/test_study.cpp.o"
+  "CMakeFiles/test_tangled.dir/tangled/test_study.cpp.o.d"
+  "CMakeFiles/test_tangled.dir/tangled/test_testbed.cpp.o"
+  "CMakeFiles/test_tangled.dir/tangled/test_testbed.cpp.o.d"
+  "test_tangled"
+  "test_tangled.pdb"
+  "test_tangled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tangled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

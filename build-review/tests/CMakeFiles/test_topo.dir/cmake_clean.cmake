@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo.dir/topo/test_generator.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_generator.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_graph.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_graph.cpp.o.d"
+  "CMakeFiles/test_topo.dir/topo/test_ip_registry.cpp.o"
+  "CMakeFiles/test_topo.dir/topo/test_ip_registry.cpp.o.d"
+  "test_topo"
+  "test_topo.pdb"
+  "test_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verfploeter.dir/verfploeter/test_census.cpp.o"
+  "CMakeFiles/test_verfploeter.dir/verfploeter/test_census.cpp.o.d"
+  "test_verfploeter"
+  "test_verfploeter.pdb"
+  "test_verfploeter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verfploeter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/test_geo[1]_include.cmake")
+include("/root/repo/build-review/tests/test_exec[1]_include.cmake")
+include("/root/repo/build-review/tests/test_guard[1]_include.cmake")
+include("/root/repo/build-review/tests/test_topo[1]_include.cmake")
+include("/root/repo/build-review/tests/test_bgp[1]_include.cmake")
+include("/root/repo/build-review/tests/test_dns[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cdn[1]_include.cmake")
+include("/root/repo/build-review/tests/test_atlas[1]_include.cmake")
+include("/root/repo/build-review/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build-review/tests/test_geoloc[1]_include.cmake")
+include("/root/repo/build-review/tests/test_partition[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tangled[1]_include.cmake")
+include("/root/repo/build-review/tests/test_lab[1]_include.cmake")
+include("/root/repo/build-review/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_bgpdata[1]_include.cmake")
+include("/root/repo/build-review/tests/test_proposals[1]_include.cmake")
+include("/root/repo/build-review/tests/test_resilience[1]_include.cmake")
+include("/root/repo/build-review/tests/test_verfploeter[1]_include.cmake")
+include("/root/repo/build-review/tests/test_io[1]_include.cmake")
+include("/root/repo/build-review/tests/test_chaos[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build-review/tests/test_obs[1]_include.cmake")
+include("/root/repo/build-review/tests/test_properties[1]_include.cmake")

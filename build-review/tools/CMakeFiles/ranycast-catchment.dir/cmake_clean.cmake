@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast-catchment.dir/ranycast-catchment.cpp.o"
+  "CMakeFiles/ranycast-catchment.dir/ranycast-catchment.cpp.o.d"
+  "ranycast-catchment"
+  "ranycast-catchment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast-catchment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast-chaos.dir/ranycast-chaos.cpp.o"
+  "CMakeFiles/ranycast-chaos.dir/ranycast-chaos.cpp.o.d"
+  "ranycast-chaos"
+  "ranycast-chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast-chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

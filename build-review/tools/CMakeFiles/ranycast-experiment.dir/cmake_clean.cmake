@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast-experiment.dir/ranycast-experiment.cpp.o"
+  "CMakeFiles/ranycast-experiment.dir/ranycast-experiment.cpp.o.d"
+  "ranycast-experiment"
+  "ranycast-experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast-experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast-stats.dir/ranycast-stats.cpp.o"
+  "CMakeFiles/ranycast-stats.dir/ranycast-stats.cpp.o.d"
+  "ranycast-stats"
+  "ranycast-stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast-stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

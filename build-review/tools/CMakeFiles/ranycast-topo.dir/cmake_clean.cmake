@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast-topo.dir/ranycast-topo.cpp.o"
+  "CMakeFiles/ranycast-topo.dir/ranycast-topo.cpp.o.d"
+  "ranycast-topo"
+  "ranycast-topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast-topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranycast-trace.dir/ranycast-trace.cpp.o"
+  "CMakeFiles/ranycast-trace.dir/ranycast-trace.cpp.o.d"
+  "ranycast-trace"
+  "ranycast-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranycast-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
