@@ -1,0 +1,74 @@
+// Ablation — transient BGP convergence during regional failover.
+//
+// The paper's robustness story (§4.5) is steady-state: withdraw a regional
+// prefix, re-solve, compare catchments. This ablation runs the same
+// failover through the event-driven convergence plane and reports what the
+// instantaneous solver cannot see — how long clients black-hole before DNS
+// failover or path hunting rescues them — as a function of the MRAI timer,
+// the main knob a real operator has on reconvergence speed.
+#include "harness.hpp"
+
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/chaos/scenario.hpp"
+
+using namespace ranycast;
+
+int main() {
+  bench::ObsSession obs_session("ablation_convergence");
+  bench::print_header("Ablation - transient convergence vs MRAI",
+                      "sec 4.5 (robustness), transient view of regional failover");
+
+  chaos::FaultPlan plan;
+  plan.name = "regional-failover";
+  chaos::FaultEvent e;
+  e.kind = chaos::FaultKind::RegionWithdraw;
+  e.region = 1;
+  plan.events.push_back(e);
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::RegionRestore;
+  e.region = 1;
+  plan.events.push_back(e);
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::SiteWithdraw;
+  e.site = SiteId{0};
+  plan.events.push_back(e);
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::SiteRestore;
+  e.site = SiteId{0};
+  plan.events.push_back(e);
+
+  analysis::TextTable table({"mrai", "event", "blackholed", "flipped", "reconv p50",
+                             "reconv p90", "reconv max", "dark p50", "dark max",
+                             "steady"});
+  for (const std::uint64_t mrai_s : {1, 5, 15}) {
+    auto laboratory = bench::small_lab();
+    const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+    chaos::Engine engine(laboratory, im6);
+    converge::Config cfg;
+    cfg.timers.mrai_us = mrai_s * 1'000'000;
+    engine.enable_transient(cfg);
+    const auto report = engine.run(plan);
+    if (!report) {
+      std::fprintf(stderr, "chaos error: %s\n", report.error().c_str());
+      return 1;
+    }
+    for (const converge::StepTransient& t : report->transient) {
+      table.add_row({std::to_string(mrai_s) + "s", t.event,
+                     analysis::fmt_count(t.probes_blackholed),
+                     analysis::fmt_count(t.probes_flipped),
+                     analysis::fmt_ms(t.reconverge_p50_ms),
+                     analysis::fmt_ms(t.reconverge_p90_ms),
+                     analysis::fmt_ms(t.reconverge_max_ms),
+                     analysis::fmt_ms(t.blackhole_p50_ms),
+                     analysis::fmt_ms(t.blackhole_max_ms),
+                     t.matches_steady ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("expected: reconvergence scales with MRAI (path hunting is MRAI-gated);\n"
+              "a withdrawn region's clients stay dark for the full DNS failover\n"
+              "window regardless (no alternative origin on that prefix), while\n"
+              "site-level failover reconverges in sub-MRAI time; every step ends\n"
+              "byte-identical to the steady-state solver (steady = yes).\n");
+  return 0;
+}

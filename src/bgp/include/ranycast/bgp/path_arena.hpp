@@ -54,6 +54,13 @@ class PathArena {
 
   std::size_t size() const noexcept { return nodes_.size(); }
 
+  // Per-hop access for consumers that walk paths without materializing
+  // them (the convergence plane's AS-path loop check visits each hop once
+  // and needs no vectors).
+  std::uint32_t parent_of(std::uint32_t node) const noexcept { return nodes_[node].parent; }
+  Asn asn_of(std::uint32_t node) const noexcept { return nodes_[node].asn; }
+  CityId city_of(std::uint32_t node) const noexcept { return nodes_[node].city; }
+
  private:
   struct Node {
     std::uint32_t parent;

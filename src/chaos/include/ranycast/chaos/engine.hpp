@@ -11,11 +11,14 @@
 // bytes; timings and fault telemetry live in the obs layer instead.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ranycast/chaos/plan.hpp"
+#include "ranycast/converge/plane.hpp"
 #include "ranycast/core/expected.hpp"
 #include "ranycast/guard/runtime.hpp"
 #include "ranycast/guard/sweep.hpp"
@@ -78,6 +81,9 @@ struct ChaosReport {
   std::size_t completed_steps{0};
   bool truncated{false};
   std::vector<StepReport> steps;
+  /// Transient convergence of every completed step, parallel to `steps`.
+  /// Empty unless Engine::enable_transient was called before the run.
+  std::vector<converge::StepTransient> transient;
 };
 
 /// Outcome of a supervised run: the (possibly partial) report plus how the
@@ -93,6 +99,14 @@ struct GuardedChaosRun {
 class Engine {
  public:
   Engine(lab::Lab& laboratory, const lab::DeploymentHandle& handle);
+
+  /// Record the transient convergence of every subsequent step: a
+  /// converge::Plane is cold-started lazily before the first step and fed
+  /// each step's origin deltas, filling ChaosReport::transient alongside
+  /// ChaosReport::steps. The convergence config is folded into the guarded
+  /// checkpoint fingerprint, so a transient run never resumes from (or into)
+  /// a steady-only checkpoint.
+  void enable_transient(const converge::Config& cfg);
 
   /// Apply every event of the plan in order. Fails (without measuring
   /// further) on an unappliable event: unknown site/region/IXP/database
@@ -117,18 +131,23 @@ class Engine {
 
   std::string apply(const FaultEvent& e);  ///< "" on success, else the error
   void snapshot(std::vector<ProbeView>& out) const;
+  /// Build (or rebuild after a resume) the convergence plane from the lab's
+  /// current state; no-op unless enable_transient was called.
+  void ensure_plane();
   /// snapshot → apply → snapshot → reduce for one event; shared between
-  /// run() and run_guarded().
-  core::Expected<StepReport, std::string> execute_step(const FaultPlan& plan,
-                                                       std::size_t index,
-                                                       std::vector<ProbeView>& before,
-                                                       std::vector<ProbeView>& after);
+  /// run() and run_guarded(). When transient recording is on, also runs the
+  /// convergence plane for the step and appends to *transient_out.
+  core::Expected<StepReport, std::string> execute_step(
+      const FaultPlan& plan, std::size_t index, std::vector<ProbeView>& before,
+      std::vector<ProbeView>& after, std::vector<converge::StepTransient>* transient_out);
 
   lab::Lab& lab_;
   lab::DeploymentHandle* handle_;
   /// Undo state for restore events.
   std::unordered_map<std::uint16_t, std::vector<std::size_t>> withdrawn_sites_;
   std::unordered_map<std::size_t, std::vector<SiteId>> withdrawn_regions_;
+  std::optional<converge::Config> transient_cfg_;
+  std::unique_ptr<converge::Plane> plane_;
 };
 
 }  // namespace ranycast::chaos

@@ -40,6 +40,45 @@ void write_step(guard::ByteWriter& w, const StepReport& s) {
   w.u64(s.lost_pings);
 }
 
+void write_region_transient(guard::ByteWriter& w, const converge::RegionTransient& t) {
+  w.u64(t.events);
+  w.u64(t.updates_sent);
+  w.u64(t.withdrawals_sent);
+  w.u64(t.rib_changes);
+  w.u64(t.converged_us);
+  w.u64(t.last_event_us);
+  w.u64(t.transient_loops);
+  w.u64(t.suppressed);
+  w.u64(t.site_flips);
+  w.u64(t.nodes_changed);
+  w.u64(t.nodes_blackholed);
+  w.u64(t.nodes_dark_at_end);
+  w.u64(t.max_blackhole_us);
+  w.u8(t.oscillating ? 1 : 0);
+  w.u8(t.matches_steady ? 1 : 0);
+  w.u64(t.mismatches);
+}
+
+void write_transient(guard::ByteWriter& w, const converge::StepTransient& s) {
+  w.u64(s.index);
+  w.str(s.event);
+  w.u64(s.regions.size());
+  for (const converge::RegionTransient& t : s.regions) write_region_transient(w, t);
+  w.u64(s.probes);
+  w.u64(s.probes_blackholed);
+  w.u64(s.probes_looped);
+  w.u64(s.probes_flipped);
+  w.u64(s.probes_dark_at_end);
+  w.f64(s.reconverge_p50_ms);
+  w.f64(s.reconverge_p90_ms);
+  w.f64(s.reconverge_max_ms);
+  w.f64(s.blackhole_p50_ms);
+  w.f64(s.blackhole_p90_ms);
+  w.f64(s.blackhole_max_ms);
+  w.u8(s.matches_steady ? 1 : 0);
+  w.u8(s.oscillating ? 1 : 0);
+}
+
 StepReport read_step(guard::ByteReader& r) {
   StepReport s;
   s.index = r.u64();
@@ -60,6 +99,53 @@ StepReport read_step(guard::ByteReader& r) {
   s.after_p90_ms = r.f64();
   s.degraded_dns_answers = r.u64();
   s.lost_pings = r.u64();
+  return s;
+}
+
+converge::RegionTransient read_region_transient(guard::ByteReader& r) {
+  converge::RegionTransient t;
+  t.events = r.u64();
+  t.updates_sent = r.u64();
+  t.withdrawals_sent = r.u64();
+  t.rib_changes = r.u64();
+  t.converged_us = r.u64();
+  t.last_event_us = r.u64();
+  t.transient_loops = r.u64();
+  t.suppressed = r.u64();
+  t.site_flips = r.u64();
+  t.nodes_changed = r.u64();
+  t.nodes_blackholed = r.u64();
+  t.nodes_dark_at_end = r.u64();
+  t.max_blackhole_us = r.u64();
+  t.oscillating = r.u8() != 0;
+  t.matches_steady = r.u8() != 0;
+  t.mismatches = r.u64();
+  return t;
+}
+
+converge::StepTransient read_transient(guard::ByteReader& r) {
+  converge::StepTransient s;
+  s.index = r.u64();
+  s.event = r.str();
+  const std::uint64_t regions = r.u64();
+  if (!r.ok()) return s;
+  s.regions.reserve(regions);
+  for (std::uint64_t i = 0; i < regions && r.ok(); ++i) {
+    s.regions.push_back(read_region_transient(r));
+  }
+  s.probes = r.u64();
+  s.probes_blackholed = r.u64();
+  s.probes_looped = r.u64();
+  s.probes_flipped = r.u64();
+  s.probes_dark_at_end = r.u64();
+  s.reconverge_p50_ms = r.f64();
+  s.reconverge_p90_ms = r.f64();
+  s.reconverge_max_ms = r.f64();
+  s.blackhole_p50_ms = r.f64();
+  s.blackhole_p90_ms = r.f64();
+  s.blackhole_max_ms = r.f64();
+  s.matches_steady = r.u8() != 0;
+  s.oscillating = r.u8() != 0;
   return s;
 }
 
@@ -98,6 +184,22 @@ struct Engine::ProbeView {
 
 Engine::Engine(lab::Lab& laboratory, const lab::DeploymentHandle& handle)
     : lab_(laboratory), handle_(laboratory.handle_mut(handle)) {}
+
+void Engine::enable_transient(const converge::Config& cfg) {
+  transient_cfg_ = cfg;
+  plane_.reset();
+}
+
+void Engine::ensure_plane() {
+  if (!transient_cfg_ || plane_ != nullptr || handle_ == nullptr) return;
+  // Cold-start on whatever the lab looks like right now — before the first
+  // step of a fresh run, or after a resume's fast-forward replay. Either
+  // way the plane quiesces onto the unique stable state of the current
+  // topology, so the transients of the remaining steps are byte-identical
+  // to an uninterrupted run's.
+  plane_ = std::make_unique<converge::Plane>(lab_, *handle_, *transient_cfg_);
+  plane_->rebuild();
+}
 
 void Engine::snapshot(std::vector<ProbeView>& out) const {
   const auto retained = lab_.census().retained();
@@ -230,10 +332,9 @@ std::string Engine::apply(const FaultEvent& e) {
   return "";
 }
 
-core::Expected<StepReport, std::string> Engine::execute_step(const FaultPlan& plan,
-                                                             std::size_t index,
-                                                             std::vector<ProbeView>& before,
-                                                             std::vector<ProbeView>& after) {
+core::Expected<StepReport, std::string> Engine::execute_step(
+    const FaultPlan& plan, std::size_t index, std::vector<ProbeView>& before,
+    std::vector<ProbeView>& after, std::vector<converge::StepTransient>* transient_out) {
   static obs::Counter& steps_counter = metrics().counter("chaos.steps");
   static obs::Histogram& step_us = metrics().histogram("chaos.step.total_us");
   const FaultEvent& event = plan.events[index];
@@ -243,6 +344,13 @@ core::Expected<StepReport, std::string> Engine::execute_step(const FaultPlan& pl
 
   const auto& gaz = geo::Gazetteer::world();
   const auto& dep = handle_->deployment;
+
+  const bool transient = transient_cfg_.has_value() && transient_out != nullptr;
+  std::vector<std::vector<bgp::OriginAttachment>> origins_before;
+  if (transient) {
+    ensure_plane();  // baseline must quiesce on the pre-fault state
+    origins_before = converge::origins_by_region(dep);
+  }
 
   snapshot(before);
   if (const std::string err = apply(event); !err.empty()) {
@@ -319,6 +427,19 @@ core::Expected<StepReport, std::string> Engine::execute_step(const FaultPlan& pl
   step.before_p90_ms = analysis::percentile(before_ms, 90);
   step.after_p50_ms = analysis::percentile(after_ms, 50);
   step.after_p90_ms = analysis::percentile(after_ms, 90);
+
+  if (transient) {
+    const auto deltas = converge::diff_origins(origins_before, converge::origins_by_region(dep));
+    // Probes enter the transient rollup from the pre-fault view: the AS they
+    // measure from and the regional prefix they were being served from when
+    // the fault hit — that prefix's convergence is their outage.
+    std::vector<converge::ProbeRef> refs;
+    refs.reserve(before.size());
+    for (const ProbeView& b : before) {
+      refs.push_back(converge::ProbeRef{b.probe->asn, b.answer.region});
+    }
+    transient_out->push_back(plane_->step(index, describe(event), deltas, refs));
+  }
   return step;
 }
 
@@ -339,7 +460,7 @@ core::Expected<ChaosReport, std::string> Engine::run(const FaultPlan& plan) {
 
   std::vector<ProbeView> before, after;
   for (std::size_t i = 0; i < plan.events.size(); ++i) {
-    auto step = execute_step(plan, i, before, after);
+    auto step = execute_step(plan, i, before, after, &report.transient);
     if (!step) return core::unexpected(std::move(step).error());
     report.steps.push_back(std::move(*step));
     report.completed_steps = i + 1;
@@ -365,18 +486,27 @@ core::Expected<GuardedChaosRun, std::string> Engine::run_guarded(
   report.probes = lab_.census().retained().size();
   report.planned_steps = plan.events.size();
 
-  const std::uint64_t fingerprint = run_fingerprint(lab_, handle_->deployment, plan);
+  std::uint64_t fingerprint = run_fingerprint(lab_, handle_->deployment, plan);
+  // A transient run's checkpoints are a different experiment from a
+  // steady-only run's (and from a transient run under other timers).
+  if (transient_cfg_) {
+    fingerprint = hash_combine(fingerprint, converge::fingerprint(*transient_cfg_));
+  }
 
   std::vector<ProbeView> before, after;
   guard::SweepHooks hooks;
   hooks.process = [&](std::size_t i) {
-    auto step = execute_step(plan, i, before, after);
+    auto step = execute_step(plan, i, before, after, &report.transient);
     if (!step) throw StepFailure(std::move(step).error());
     report.steps.push_back(std::move(*step));
   };
   hooks.save = [&](guard::ByteWriter& w) {
     w.u64(report.steps.size());
     for (const StepReport& s : report.steps) write_step(w, s);
+    if (transient_cfg_) {
+      w.u64(report.transient.size());
+      for (const converge::StepTransient& t : report.transient) write_transient(w, t);
+    }
   };
   hooks.load = [&](guard::ByteReader& r) {
     const std::uint64_t count = r.u64();
@@ -384,7 +514,26 @@ core::Expected<GuardedChaosRun, std::string> Engine::run_guarded(
     report.steps.clear();
     report.steps.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) report.steps.push_back(read_step(r));
+    if (!r.ok()) return false;
+    if (transient_cfg_) {
+      const std::uint64_t tcount = r.u64();
+      if (!r.ok() || tcount != count) return false;
+      report.transient.clear();
+      report.transient.reserve(tcount);
+      for (std::uint64_t i = 0; i < tcount; ++i) report.transient.push_back(read_transient(r));
+      // An oscillation-truncated step leaves the convergence plane in a
+      // mid-flight state that the *next* step repairs with an in-step
+      // re-flood. A resumed plane cold-starts onto the stable state instead
+      // and would not replay those repair events, so a history containing an
+      // oscillation cannot be resumed byte-identically — reject it.
+      for (const converge::StepTransient& t : report.transient) {
+        if (t.oscillating) return false;
+      }
+    }
     if (!r.ok() || !r.at_end()) return false;
+    // The plane (if any) must cold-start after the replay below, on the
+    // checkpoint's topology, not before it.
+    plane_.reset();
     // Fast-forward: re-apply the already-measured events so the lab reaches
     // the exact state the checkpoint was taken in. No re-measurement — the
     // measurement passes read lab state but never change it, so mutations
@@ -408,6 +557,10 @@ core::Expected<GuardedChaosRun, std::string> Engine::run_guarded(
   if (report.steps.size() != out.sweep.completed) {
     return core::unexpected(policy.path +
                             ": checkpoint cursor disagrees with its step list");
+  }
+  if (transient_cfg_ && report.transient.size() != report.steps.size()) {
+    return core::unexpected(policy.path +
+                            ": transient records disagree with the step list");
   }
   report.completed_steps = out.sweep.completed;
   report.truncated = !out.sweep.complete();

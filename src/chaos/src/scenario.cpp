@@ -1,5 +1,7 @@
 #include "ranycast/chaos/scenario.hpp"
 
+#include "ranycast/converge/report.hpp"
+
 namespace ranycast::chaos {
 
 namespace {
@@ -243,7 +245,7 @@ io::Json report_to_json(const ChaosReport& report) {
         {"lost_pings", io::Json(static_cast<std::int64_t>(s.lost_pings))},
     }));
   }
-  return io::Json(io::JsonObject{
+  io::JsonObject out{
       {"plan", io::Json(report.plan)},
       {"deployment", io::Json(report.deployment)},
       {"seed", io::Json(static_cast<std::int64_t>(report.seed))},
@@ -252,7 +254,16 @@ io::Json report_to_json(const ChaosReport& report) {
       {"completed_steps", io::Json(static_cast<std::int64_t>(report.completed_steps))},
       {"truncated", io::Json(report.truncated)},
       {"steps", io::Json(std::move(steps))},
-  });
+  };
+  if (!report.transient.empty()) {
+    io::JsonArray transient;
+    transient.reserve(report.transient.size());
+    for (const converge::StepTransient& t : report.transient) {
+      transient.push_back(converge::transient_to_json(t));
+    }
+    out["transient"] = io::Json(std::move(transient));
+  }
+  return io::Json(std::move(out));
 }
 
 }  // namespace ranycast::chaos

@@ -1,0 +1,98 @@
+// Deployment-wide transient convergence: one PrefixSim per regional prefix,
+// fanned out over the deterministic thread pool, rolled up to probe-level
+// outage statistics.
+//
+// The Plane sits between the chaos engine and the per-prefix simulators. The
+// engine mutates topology/announcement state, hands the plane the origin
+// deltas it caused, and gets back a StepTransient: per-region convergence
+// aggregates plus per-probe blackhole/loop/flip accounting and a
+// differential verdict against the freshly re-solved steady state. Regions
+// are independent (one prefix each), so they run concurrently; every
+// per-region computation is single-threaded and integer-time, which keeps
+// reports byte-identical across thread counts.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ranycast/converge/sim.hpp"
+#include "ranycast/lab/lab.hpp"
+
+namespace ranycast::converge {
+
+/// A probe as the convergence plane sees it: the AS it measures from and the
+/// regional prefix it was being served from when the step began.
+struct ProbeRef {
+  Asn asn{kInvalidAsn};
+  std::size_t region{0};
+};
+
+/// One chaos step's transient, across all regions of a deployment.
+struct StepTransient {
+  std::size_t index{0};
+  std::string event;
+  std::vector<RegionTransient> regions;
+
+  std::uint64_t probes{0};
+  std::uint64_t probes_blackholed{0};  ///< saw a routed->unrouted window
+  std::uint64_t probes_looped{0};      ///< sat on a transient forwarding loop
+  std::uint64_t probes_flipped{0};     ///< interim catchment change
+  std::uint64_t probes_dark_at_end{0};
+
+  /// Time-to-reconverge over the probes whose route changed, milliseconds.
+  double reconverge_p50_ms{0.0};
+  double reconverge_p90_ms{0.0};
+  double reconverge_max_ms{0.0};
+
+  /// Blackhole time over the probes that went dark at all, milliseconds.
+  double blackhole_p50_ms{0.0};
+  double blackhole_p90_ms{0.0};
+  double blackhole_max_ms{0.0};
+
+  bool matches_steady{true};  ///< every region quiesced onto the solver's answer
+  bool oscillating{false};    ///< any region hit its event budget
+};
+
+/// Snapshot of a deployment's origination state, per region — the input to
+/// diff_origins. Captured before and after the engine applies a fault.
+std::vector<std::vector<bgp::OriginAttachment>> origins_by_region(
+    const cdn::Deployment& dep);
+
+/// Per-region origin deltas turning `before` into `after`: withdrawals
+/// first, then announcements, both in `before`/`after` order.
+std::vector<std::vector<OriginDelta>> diff_origins(
+    const std::vector<std::vector<bgp::OriginAttachment>>& before,
+    const std::vector<std::vector<bgp::OriginAttachment>>& after);
+
+class Plane {
+ public:
+  /// The lab and handle must outlive the plane; the handle's outcomes must
+  /// be re-solved by the caller before step() so the differential check
+  /// compares against the current steady state.
+  Plane(const lab::Lab& lab, const lab::DeploymentHandle& handle, const Config& cfg);
+
+  /// Cold-start every region's simulator on the graph's and deployment's
+  /// current state (no transient recorded — this is the baseline the first
+  /// step diverges from).
+  void rebuild();
+
+  std::size_t region_count() const noexcept { return sims_.size(); }
+
+  /// Run one transient step: per-region origin deltas (from diff_origins)
+  /// feed each region's simulator, which also discovers link-state changes
+  /// by diffing its session overlay against the graph. Regions fan out over
+  /// the thread pool; the rollup is reduced in region/probe order.
+  StepTransient step(std::size_t index, std::string event,
+                     std::span<const std::vector<OriginDelta>> deltas_by_region,
+                     std::span<const ProbeRef> probes);
+
+ private:
+  const lab::Lab& lab_;
+  const lab::DeploymentHandle& handle_;
+  Config cfg_;
+  std::vector<std::unique_ptr<PrefixSim>> sims_;
+};
+
+}  // namespace ranycast::converge

@@ -1,0 +1,13 @@
+// JSON projection of transient convergence results, shared by the chaos
+// scenario reporter, the CLI and the tests.
+#pragma once
+
+#include "ranycast/converge/plane.hpp"
+#include "ranycast/io/json.hpp"
+
+namespace ranycast::converge {
+
+io::Json region_to_json(const RegionTransient& r);
+io::Json transient_to_json(const StepTransient& s);
+
+}  // namespace ranycast::converge

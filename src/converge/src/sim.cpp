@@ -1,0 +1,666 @@
+#include "ranycast/converge/sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "ranycast/core/rng.hpp"
+#include "ranycast/exec/pool.hpp"
+#include "ranycast/geo/gazetteer.hpp"
+
+namespace ranycast::converge {
+
+std::uint64_t fingerprint(const Config& c) noexcept {
+  auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  std::uint64_t h = hash_combine(0x434f4e56u /* "CONV" */, c.timers.proc_delay_us);
+  h = hash_combine(h, c.timers.proc_jitter_us);
+  h = hash_combine(h, c.timers.link_base_delay_us);
+  h = hash_combine(h, bits(c.timers.link_us_per_km));
+  h = hash_combine(h, c.timers.mrai_us);
+  h = hash_combine(h, static_cast<std::uint64_t>(c.timers.mrai_jitter));
+  h = hash_combine(h, static_cast<std::uint64_t>(c.damping.enabled));
+  h = hash_combine(h, bits(c.damping.flap_penalty));
+  h = hash_combine(h, bits(c.damping.suppress_threshold));
+  h = hash_combine(h, bits(c.damping.reuse_threshold));
+  h = hash_combine(h, c.damping.half_life_us);
+  h = hash_combine(h, c.max_events);
+  h = hash_combine(h, c.dns_failover_us);
+  return h;
+}
+
+namespace detail {
+
+std::vector<std::uint32_t> forwarding_cycle(std::span<const std::int32_t> next_hop,
+                                            std::uint32_t start) {
+  std::vector<std::uint32_t> trail;
+  std::uint32_t cur = start;
+  while (trail.size() <= next_hop.size()) {
+    for (std::size_t k = 0; k < trail.size(); ++k) {
+      if (trail[k] == cur) return {trail.begin() + static_cast<std::ptrdiff_t>(k), trail.end()};
+    }
+    trail.push_back(cur);
+    const std::int32_t nh = next_hop[cur];
+    if (nh < 0) return {};  // terminated at an origin (-2) or a blackhole (-1)
+    cur = static_cast<std::uint32_t>(nh);
+  }
+  return trail;  // unreachable: a revisit always fires within n+1 steps
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Nearest interconnection point to the route's current ingress city — must
+/// mirror the solver's egress_city exactly (same first-minimal scan order)
+/// for quiesced attributes to be bit-equal to the steady-state solve.
+CityId egress_city(const geo::Gazetteer& gaz, CityId from, const topo::Edge& edge) {
+  if (edge.cities.size() == 1) return edge.cities.front();
+  CityId best = edge.cities.front();
+  double best_km = std::numeric_limits<double>::infinity();
+  for (CityId c : edge.cities) {
+    const double d = gaz.distance(from, c).km;
+    if (d < best_km) {
+      best_km = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PrefixSim::PrefixSim(const topo::Graph& graph, Asn cdn_asn, std::uint64_t seed,
+                     const Config& cfg)
+    : graph_(graph), cdn_asn_(cdn_asn), seed_(seed), cfg_(cfg) {
+  const auto nodes = graph_.nodes();
+  const std::size_t n = nodes.size();
+  budget_ = cfg_.max_events != 0 ? cfg_.max_events : 4096 + 2048 * static_cast<std::uint64_t>(n);
+
+  nodes_.resize(n);
+  next_hop_.assign(n, -1);
+  timelines_.assign(n, NodeTimeline{});
+  mirror_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const topo::AsNode& node = nodes[i];
+    nodes_[i].adj.resize(node.edges.size());
+    nodes_[i].proc_delay_us =
+        cfg_.timers.proc_delay_us +
+        (cfg_.timers.proc_jitter_us == 0
+             ? 0
+             : hash_combine(hash_combine(seed_, 0x70726f63u /* "proc" */), value(node.asn)) %
+                   (cfg_.timers.proc_jitter_us + 1));
+    mirror_[i].resize(node.edges.size());
+    for (std::size_t j = 0; j < node.edges.size(); ++j) {
+      nodes_[i].adj[j].up = node.edges[j].up;
+      const auto nidx = graph_.index_of(node.edges[j].neighbor);
+      std::uint32_t redge = 0;
+      if (nidx) {
+        const auto& redges = nodes[*nidx].edges;
+        for (std::size_t k = 0; k < redges.size(); ++k) {
+          if (redges[k].neighbor == node.asn) {
+            redge = static_cast<std::uint32_t>(k);
+            break;
+          }
+        }
+      }
+      mirror_[i][j] = {static_cast<std::uint32_t>(nidx.value_or(0)), redge};
+    }
+  }
+}
+
+// ---- route arithmetic (mirrors bgp::solve_anycast) --------------------------
+
+bool PrefixSim::better(const Cand& a, const Cand& b) const noexcept {
+  if (a.cls != b.cls) return static_cast<int>(a.cls) > static_cast<int>(b.cls);
+  if (a.len != b.len) return a.len < b.len;
+  if (a.ingress_km != b.ingress_km) return a.ingress_km < b.ingress_km;
+  return a.tiebreak < b.tiebreak;
+}
+
+bool PrefixSim::same_route(const Cand& a, const Cand& b) noexcept {
+  if (a.valid() != b.valid()) return false;
+  if (!a.valid()) return true;
+  return a.origin_site == b.origin_site && a.cls == b.cls && a.len == b.len &&
+         a.last_city == b.last_city && a.ingress_km == b.ingress_km &&
+         a.hash_base == b.hash_base && a.tiebreak == b.tiebreak;
+}
+
+PrefixSim::Cand PrefixSim::seed_cand(const bgp::OriginAttachment& o,
+                                     const topo::AsNode& holder) {
+  const auto& gaz = geo::Gazetteer::world();
+  Cand r;
+  r.origin_site = o.site;
+  r.cls = bgp::class_of(o.neighbor_rel);
+  r.path = arena_.append(bgp::PathArena::kNone, cdn_asn_, o.site_city);
+  r.len = 1;
+  r.last_city = o.site_city;
+  r.ingress_km = gaz.distance(holder.home_city, o.site_city).km;
+  r.hash_base = hash_combine(hash_combine(seed_, value(o.site_city)), value(cdn_asn_));
+  r.tiebreak = hash_combine(r.hash_base, value(holder.asn));
+  return r;
+}
+
+PrefixSim::Cand PrefixSim::extend_into(const Cand& r, Asn via, const topo::Edge& edge,
+                                       const topo::AsNode& receiver) {
+  const auto& gaz = geo::Gazetteer::world();
+  const CityId egress = egress_city(gaz, r.last_city, edge);
+  Cand out;
+  out.origin_site = r.origin_site;
+  out.cls = bgp::class_of(edge.rel);  // classified by the receiver's side of the session
+  out.path = arena_.append(r.path, via, egress);
+  out.len = static_cast<std::uint16_t>(r.len + 1);
+  out.last_city = egress;
+  out.ingress_km = gaz.distance(receiver.home_city, egress).km;
+  out.hash_base = hash_combine(r.hash_base, value(via));
+  out.tiebreak = hash_combine(out.hash_base, value(receiver.asn));
+  return out;
+}
+
+bool PrefixSim::path_contains(std::uint32_t path, Asn asn) const noexcept {
+  for (std::uint32_t cur = path; cur != bgp::PathArena::kNone; cur = arena_.parent_of(cur)) {
+    if (arena_.asn_of(cur) == asn) return true;
+  }
+  return false;
+}
+
+// ---- timers -----------------------------------------------------------------
+
+std::uint64_t PrefixSim::mrai_us(std::size_t node, std::size_t edge) const noexcept {
+  const std::uint64_t base = cfg_.timers.mrai_us;
+  if (!cfg_.timers.mrai_jitter || base == 0) return base;
+  const Asn me = graph_.nodes()[node].asn;
+  const Asn nbr = graph_.nodes()[node].edges[edge].neighbor;
+  const std::uint64_t h = hash_combine(hash_combine(seed_, value(me)), value(nbr));
+  return base - h % (base / 4 + 1);
+}
+
+std::uint64_t PrefixSim::link_delay_us(std::size_t node, std::size_t edge) const noexcept {
+  const auto& gaz = geo::Gazetteer::world();
+  const topo::AsNode& me = graph_.nodes()[node];
+  const auto [rn, re] = mirror_[node][edge];
+  const double km = gaz.distance(me.home_city, graph_.nodes()[rn].home_city).km;
+  return cfg_.timers.link_base_delay_us +
+         static_cast<std::uint64_t>(std::llround(cfg_.timers.link_us_per_km * km));
+}
+
+// ---- event machinery --------------------------------------------------------
+
+void PrefixSim::push(Event e) {
+  e.seq = seq_++;
+  queue_.push(std::move(e));
+}
+
+void PrefixSim::schedule_send(std::size_t node, std::size_t edge, std::uint64_t now) {
+  AdjState& a = nodes_[node].adj[edge];
+  if (!a.up || a.pending) return;
+  a.pending = true;
+  Event ev;
+  ev.kind = Event::Kind::Send;
+  ev.time = std::max(now, a.next_ok_us);  // MRAI coalescing point
+  ev.node = static_cast<std::uint32_t>(node);
+  ev.edge = static_cast<std::uint32_t>(edge);
+  push(std::move(ev));
+}
+
+PrefixSim::Cand PrefixSim::eligible_export(std::size_t node, std::size_t edge) const {
+  const NodeState& n = nodes_[node];
+  const Cand& b = n.best;
+  if (!b.valid()) return {};
+  const topo::Edge& e = graph_.nodes()[node].edges[edge];
+  // Gao-Rexford export: everything to customers; only customer routes to
+  // peers and providers (e.rel is the neighbor's role from our perspective).
+  if (e.rel != topo::Rel::Customer && b.cls != bgp::RouteClass::Customer) return {};
+  // Sender-side AS-path loop check: the receiver would reject it anyway;
+  // suppressing here halves the message volume and implicitly withdraws a
+  // previously advertised route that now points back through the receiver.
+  if (path_contains(b.path, e.neighbor)) return {};
+  return b;
+}
+
+void PrefixSim::fire_send(std::size_t node, std::size_t edge, std::uint64_t now) {
+  AdjState& a = nodes_[node].adj[edge];
+  a.pending = false;
+  if (!a.up) return;  // session died between scheduling and firing
+  const Cand content = eligible_export(node, edge);
+  if (same_route(content, a.sent)) return;  // nothing new to say
+  a.sent = content;
+  a.next_ok_us = now + mrai_us(node, edge);
+  const auto [rn, re] = mirror_[node][edge];
+  Event ev;
+  ev.kind = Event::Kind::Update;
+  ev.time = now + link_delay_us(node, edge) + nodes_[rn].proc_delay_us;
+  ev.node = rn;
+  ev.edge = re;
+  ev.gen = nodes_[rn].adj[re].gen;
+  ev.announce = content.valid();
+  ev.route = content;
+  ev.via = graph_.nodes()[node].asn;
+  push(std::move(ev));
+  if (content.valid()) {
+    ++updates_sent_;
+  } else {
+    ++withdrawals_sent_;
+  }
+}
+
+void PrefixSim::accept_update(const Event& e) {
+  AdjState& a = nodes_[e.node].adj[e.edge];
+  if (!a.up || e.gen != a.gen) return;  // stale: rode a session that reset
+  Cand next{};
+  if (e.announce) {
+    next = extend_into(e.route, e.via, graph_.nodes()[e.node].edges[e.edge],
+                       graph_.nodes()[e.node]);
+  }
+  if (same_route(a.in, next)) return;
+  if (cfg_.damping.enabled && a.in.valid()) bump_penalty(e.node, e.edge, e.time);
+  a.in = next;
+  reselect(e.node, e.time);  // reselect skips suppressed sessions
+}
+
+void PrefixSim::bump_penalty(std::size_t node, std::size_t edge, std::uint64_t now) {
+  AdjState& a = nodes_[node].adj[edge];
+  if (a.penalty > 0.0 && now > a.penalty_at_us) {
+    a.penalty *= std::exp2(-static_cast<double>(now - a.penalty_at_us) /
+                           static_cast<double>(cfg_.damping.half_life_us));
+  }
+  a.penalty_at_us = now;
+  a.penalty += cfg_.damping.flap_penalty;
+  if (!a.suppressed && a.penalty >= cfg_.damping.suppress_threshold) {
+    a.suppressed = true;
+    ++suppressed_;
+  }
+  if (a.suppressed && !a.reuse_queued) {
+    const double ratio = a.penalty / cfg_.damping.reuse_threshold;
+    const std::uint64_t wait =
+        ratio <= 1.0 ? 1
+                     : static_cast<std::uint64_t>(std::ceil(
+                           static_cast<double>(cfg_.damping.half_life_us) * std::log2(ratio)));
+    Event ev;
+    ev.kind = Event::Kind::Reuse;
+    ev.time = now + wait;
+    ev.node = static_cast<std::uint32_t>(node);
+    ev.edge = static_cast<std::uint32_t>(edge);
+    push(std::move(ev));
+    a.reuse_queued = true;
+  }
+}
+
+void PrefixSim::fire_reuse(std::size_t node, std::size_t edge, std::uint64_t now) {
+  AdjState& a = nodes_[node].adj[edge];
+  a.reuse_queued = false;
+  if (!a.suppressed) return;  // session reset cleared the penalty meanwhile
+  if (a.penalty > 0.0 && now > a.penalty_at_us) {
+    a.penalty *= std::exp2(-static_cast<double>(now - a.penalty_at_us) /
+                           static_cast<double>(cfg_.damping.half_life_us));
+  }
+  a.penalty_at_us = now;
+  if (a.penalty <= cfg_.damping.reuse_threshold) {
+    a.suppressed = false;
+    reselect(node, now);
+  } else {
+    const double ratio = a.penalty / cfg_.damping.reuse_threshold;
+    Event ev;
+    ev.kind = Event::Kind::Reuse;
+    ev.time = now + static_cast<std::uint64_t>(std::ceil(
+                        static_cast<double>(cfg_.damping.half_life_us) * std::log2(ratio)));
+    ev.node = static_cast<std::uint32_t>(node);
+    ev.edge = static_cast<std::uint32_t>(edge);
+    push(std::move(ev));
+    a.reuse_queued = true;
+  }
+}
+
+void PrefixSim::record_change(std::size_t node, const Cand& next, std::uint64_t now) {
+  NodeTimeline& t = timelines_[node];
+  const Cand& old = nodes_[node].best;
+  if (!t.changed) {
+    t.changed = true;
+    t.first_change_us = now;
+  }
+  t.last_change_us = now;
+  ++t.rib_changes;
+  const bool was = old.valid();
+  const bool is = next.valid();
+  if (was && is && old.origin_site != next.origin_site) ++t.site_flips;
+  if (was && !is && !t.dark) {
+    t.dark = true;
+    t.dark_since_us = now;
+  }
+  if (!was && is && t.dark) {
+    t.blackhole_us += std::min(now - t.dark_since_us, cfg_.dns_failover_us);
+    t.dark = false;
+  }
+}
+
+void PrefixSim::reselect(std::size_t node, std::uint64_t now) {
+  NodeState& n = nodes_[node];
+  Cand best{};
+  std::int32_t hop = -1;
+  for (const auto& [origin, cand] : n.seeds) {
+    if (!best.valid() || better(cand, best)) {
+      best = cand;
+      hop = -2;
+    }
+  }
+  for (std::size_t j = 0; j < n.adj.size(); ++j) {
+    const AdjState& a = n.adj[j];
+    if (!a.in.valid() || a.suppressed) continue;
+    if (!best.valid() || better(a.in, best)) {
+      best = a.in;
+      hop = static_cast<std::int32_t>(mirror_[node][j].first);
+    }
+  }
+  if (same_route(best, n.best)) return;
+
+  record_change(node, best, now);
+  n.best = best;
+  next_hop_[node] = best.valid() ? hop : -1;
+
+  if (best.valid()) {
+    const auto cycle = detail::forwarding_cycle(next_hop_, static_cast<std::uint32_t>(node));
+    if (!cycle.empty()) {
+      ++transient_loops_;
+      for (const std::uint32_t idx : cycle) timelines_[idx].looped = true;
+    }
+  }
+
+  for (std::size_t j = 0; j < n.adj.size(); ++j) {
+    const AdjState& a = n.adj[j];
+    if (!a.up || a.pending) continue;
+    // Pre-filter: only wake the session if the export content would differ
+    // from what it last carried. The Send recomputes at fire time, so
+    // intermediate changes coalesce under the MRAI.
+    if (!same_route(eligible_export(node, j), a.sent)) schedule_send(node, j, now);
+  }
+}
+
+void PrefixSim::apply_link_transition(std::size_t node, std::size_t edge, bool up,
+                                      std::uint64_t now) {
+  AdjState& a = nodes_[node].adj[edge];
+  a.up = up;
+  ++a.gen;
+  a.sent = Cand{};
+  a.pending = false;
+  a.next_ok_us = 0;
+  a.penalty = 0.0;
+  a.penalty_at_us = 0;
+  a.suppressed = false;
+  a.reuse_queued = false;
+  if (up) {
+    schedule_send(node, edge, now);  // fresh session: full re-advertisement
+  } else if (a.in.valid()) {
+    a.in = Cand{};  // implicit withdraw of everything learned on the session
+    reselect(node, now);
+  }
+}
+
+void PrefixSim::apply_origin_delta(const OriginDelta& d) {
+  // Provider-relationship originations never enter the solver's candidate
+  // set (stage 1 takes customers, stage 2 peers); skip them here too so the
+  // quiesced state matches.
+  if (d.origin.neighbor_rel == topo::Rel::Provider) return;
+  const auto idx = graph_.index_of(d.origin.neighbor);
+  if (!idx) return;
+  NodeState& n = nodes_[*idx];
+  if (d.announce) {
+    n.seeds.emplace_back(d.origin, seed_cand(d.origin, graph_.nodes()[*idx]));
+  } else {
+    const auto match = [&](const auto& s) {
+      const bgp::OriginAttachment& o = s.first;
+      return o.site == d.origin.site && o.site_city == d.origin.site_city &&
+             o.neighbor == d.origin.neighbor && o.neighbor_rel == d.origin.neighbor_rel &&
+             o.onsite_router == d.origin.onsite_router;
+    };
+    const auto it = std::find_if(n.seeds.begin(), n.seeds.end(), match);
+    if (it == n.seeds.end()) return;
+    n.seeds.erase(it);
+  }
+  reselect(*idx, 0);
+}
+
+void PrefixSim::sync_overlay_with_graph() {
+  const auto nodes = graph_.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = 0; j < nodes[i].edges.size(); ++j) {
+      const bool gup = nodes[i].edges[j].up;
+      if (nodes_[i].adj[j].up != gup) apply_link_transition(i, j, gup, 0);
+    }
+  }
+}
+
+void PrefixSim::reset_epoch_controls() {
+  for (NodeState& n : nodes_) {
+    for (AdjState& a : n.adj) {
+      a.pending = false;
+      a.gen = 0;
+      a.next_ok_us = 0;
+      a.penalty = 0.0;
+      a.penalty_at_us = 0;
+      a.suppressed = false;
+      a.reuse_queued = false;
+    }
+  }
+  queue_ = {};
+  seq_ = 0;
+  events_ = 0;
+  updates_sent_ = 0;
+  withdrawals_sent_ = 0;
+  transient_loops_ = 0;
+  suppressed_ = 0;
+  last_event_us_ = 0;
+  oscillating_ = false;
+}
+
+// ---- arena compaction --------------------------------------------------------
+
+std::uint32_t PrefixSim::reintern(const bgp::PathArena& from, std::uint32_t path,
+                                  bgp::PathArena& into) const {
+  if (path == bgp::PathArena::kNone) return bgp::PathArena::kNone;
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t cur = path; cur != bgp::PathArena::kNone; cur = from.parent_of(cur)) {
+    chain.push_back(cur);
+  }
+  std::uint32_t parent = bgp::PathArena::kNone;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    parent = into.append(parent, from.asn_of(*it), from.city_of(*it));
+  }
+  return parent;
+}
+
+void PrefixSim::compact_arena() {
+  // Every in-flight path died with the drained queue; only the RIB state
+  // survives an epoch. Re-interning it into a fresh arena bounds memory by
+  // the RIB size instead of the cumulative update volume.
+  bgp::PathArena fresh;
+  for (NodeState& n : nodes_) {
+    for (auto& [origin, cand] : n.seeds) cand.path = reintern(arena_, cand.path, fresh);
+    for (AdjState& a : n.adj) {
+      a.in.path = reintern(arena_, a.in.path, fresh);
+      a.sent.path = reintern(arena_, a.sent.path, fresh);
+    }
+    n.best.path = reintern(arena_, n.best.path, fresh);
+  }
+  arena_ = std::move(fresh);
+}
+
+// ---- run loops ----------------------------------------------------------------
+
+RegionTransient PrefixSim::drain() {
+  while (!queue_.empty()) {
+    const Event e = queue_.top();
+    queue_.pop();
+    ++events_;
+    if (events_ > budget_) {
+      // Oscillation guard: flag and stop instead of spinning. The dropped
+      // in-flight updates leave sessions inconsistent (a sender's Adj-RIB-Out
+      // may record a delivery the receiver never saw), so the next epoch
+      // must re-flood from scratch rather than trust the session state.
+      oscillating_ = true;
+      rebuild_pending_ = true;
+      queue_ = {};
+      break;
+    }
+    if ((events_ & 0x3FFu) == 0) {
+      if (const exec::CancelFlag* flag = exec::installed_cancel_flag();
+          flag != nullptr && flag->requested()) {
+        throw exec::CancelledError{};
+      }
+    }
+    last_event_us_ = e.time;
+    switch (e.kind) {
+      case Event::Kind::Update:
+        accept_update(e);
+        break;
+      case Event::Kind::Send:
+        fire_send(e.node, e.edge, e.time);
+        break;
+      case Event::Kind::Reuse:
+        fire_reuse(e.node, e.edge, e.time);
+        break;
+      case Event::Kind::LinkFlip: {
+        const TimedLinkFlip& f = schedule_[e.edge];
+        const auto ia = graph_.index_of(f.a);
+        const auto ib = graph_.index_of(f.b);
+        if (!ia || !ib) break;
+        const auto& edges = graph_.nodes()[*ia].edges;
+        for (std::size_t j = 0; j < edges.size(); ++j) {
+          if (edges[j].neighbor != f.b) continue;
+          const auto [rn, re] = mirror_[*ia][j];
+          apply_link_transition(*ia, j, f.up, e.time);
+          apply_link_transition(rn, re, f.up, e.time);
+          break;
+        }
+        break;
+      }
+    }
+  }
+  return finalize(RegionTransient{});
+}
+
+RegionTransient PrefixSim::finalize(RegionTransient out) {
+  out.events = events_;
+  out.updates_sent = updates_sent_;
+  out.withdrawals_sent = withdrawals_sent_;
+  out.transient_loops = transient_loops_;
+  out.suppressed = suppressed_;
+  out.last_event_us = last_event_us_;
+  out.oscillating = oscillating_;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeTimeline& t = timelines_[i];
+    t.routed_finally = nodes_[i].best.valid();
+    if (t.dark) {
+      // Never got a route back this epoch: the client's outage runs until
+      // DNS-level failover rescues it, so charge the full window.
+      t.blackhole_us += cfg_.dns_failover_us;
+      t.dark = false;
+      t.dark_at_end = true;
+    }
+    if (t.changed) {
+      ++out.nodes_changed;
+      out.converged_us = std::max(out.converged_us, t.last_change_us);
+    }
+    out.rib_changes += t.rib_changes;
+    out.site_flips += t.site_flips;
+    if (t.blackhole_us > 0) ++out.nodes_blackholed;
+    if (t.dark_at_end) ++out.nodes_dark_at_end;
+    out.max_blackhole_us = std::max(out.max_blackhole_us, t.blackhole_us);
+  }
+  return out;
+}
+
+RegionTransient PrefixSim::cold_start(std::span<const bgp::OriginAttachment> origins) {
+  arena_ = bgp::PathArena{};
+  const auto nodes = graph_.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    NodeState& n = nodes_[i];
+    n.seeds.clear();
+    n.best = Cand{};
+    for (std::size_t j = 0; j < n.adj.size(); ++j) {
+      n.adj[j] = AdjState{};
+      n.adj[j].up = nodes[i].edges[j].up;
+    }
+  }
+  std::fill(next_hop_.begin(), next_hop_.end(), -1);
+  timelines_.assign(nodes_.size(), NodeTimeline{});
+  reset_epoch_controls();
+  rebuild_pending_ = false;
+  schedule_.clear();
+  for (const bgp::OriginAttachment& o : origins) {
+    apply_origin_delta(OriginDelta{true, o});
+  }
+  return drain();
+}
+
+RegionTransient PrefixSim::run_step(std::span<const OriginDelta> origin_deltas,
+                                    std::span<const TimedLinkFlip> schedule) {
+  compact_arena();
+  timelines_.assign(nodes_.size(), NodeTimeline{});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    timelines_[i].routed_initially = nodes_[i].best.valid();
+  }
+  reset_epoch_controls();
+  // Recover from an oscillation-truncated epoch: drop every session's
+  // Adj-RIB-In/Out (mid-flight state of unknowable consistency) and force a
+  // full reselect + re-flood below, exactly like a cold start except that
+  // the timelines keep charging from the (possibly wrong) pre-step routes.
+  const bool rebuild = rebuild_pending_;
+  rebuild_pending_ = false;
+  if (rebuild) {
+    for (NodeState& n : nodes_) {
+      for (AdjState& a : n.adj) {
+        a.in = Cand{};
+        a.sent = Cand{};
+      }
+    }
+  }
+  schedule_.assign(schedule.begin(), schedule.end());
+  for (std::size_t k = 0; k < schedule_.size(); ++k) {
+    Event ev;
+    ev.kind = Event::Kind::LinkFlip;
+    ev.time = schedule_[k].at_us;
+    ev.edge = static_cast<std::uint32_t>(k);
+    push(std::move(ev));
+  }
+  sync_overlay_with_graph();
+  for (const OriginDelta& d : origin_deltas) apply_origin_delta(d);
+  if (rebuild) {
+    // reselect alone is not enough to restart the flood: a node whose best
+    // is unchanged (an origin holder, say) early-outs without waking its
+    // exports, and its cleared Adj-RIB-Out means nothing would ever flow.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      reselect(i, 0);
+      NodeState& n = nodes_[i];
+      for (std::size_t j = 0; j < n.adj.size(); ++j) {
+        if (n.adj[j].up && eligible_export(i, j).valid()) schedule_send(i, j, 0);
+      }
+    }
+  }
+  return drain();
+}
+
+// ---- accessors -----------------------------------------------------------------
+
+bool PrefixSim::has_route(std::size_t node) const noexcept {
+  return nodes_[node].best.valid();
+}
+
+std::optional<SiteId> PrefixSim::catchment(std::size_t node) const noexcept {
+  if (!nodes_[node].best.valid()) return std::nullopt;
+  return nodes_[node].best.origin_site;
+}
+
+PrefixSim::RouteView PrefixSim::route_view(std::size_t node) const noexcept {
+  const Cand& b = nodes_[node].best;
+  RouteView v;
+  v.valid = b.valid();
+  if (!v.valid) return v;
+  v.site = b.origin_site;
+  v.cls = b.cls;
+  v.len = b.len;
+  v.ingress_km = b.ingress_km;
+  v.tiebreak = b.tiebreak;
+  return v;
+}
+
+}  // namespace ranycast::converge

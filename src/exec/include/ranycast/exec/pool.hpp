@@ -71,6 +71,13 @@ class ScopedCancel {
   const CancelFlag* previous_;
 };
 
+/// The ScopedCancel-installed process-wide flag (nullptr outside guarded
+/// runs). Long *serial* loops — the convergence event loop, big exports —
+/// poll this on their own cadence and throw CancelledError, giving the
+/// supervisor the same cooperative stop it gets from parallel_for without
+/// forcing every loop through the pool.
+const CancelFlag* installed_cancel_flag() noexcept;
+
 class ThreadPool {
  public:
   /// `workers == 0` means default_worker_count(). A pool of one worker runs

@@ -23,6 +23,10 @@ ScopedCancel::~ScopedCancel() {
   g_default_cancel.store(previous_, std::memory_order_release);
 }
 
+const CancelFlag* installed_cancel_flag() noexcept {
+  return g_default_cancel.load(std::memory_order_acquire);
+}
+
 unsigned default_worker_count() noexcept {
   const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
   if (const char* env = std::getenv("RANYCAST_THREADS")) {

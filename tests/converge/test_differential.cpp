@@ -1,0 +1,153 @@
+// ISSUE acceptance gate: for EVERY scenario in configs/, the transient
+// plane's final converged catchments are byte-identical to the steady-state
+// re-solve after each step, the oscillation detector never fires on real
+// plans, a regional withdrawal produces a nonzero blackhole window with a
+// finite time-to-reconverge, and the full transient report serializes to
+// the same bytes at 1, 2 and hardware_concurrency workers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/chaos/scenario.hpp"
+#include "ranycast/exec/pool.hpp"
+
+namespace ranycast::converge {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string> scenario_paths() {
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(RANYCAST_CONFIGS_DIR)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("chaos_", 0) == 0 && entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+lab::LabConfig tiny_config() {
+  lab::LabConfig config;
+  config.world.stub_count = 400;
+  config.census.total_probes = 1200;
+  config.seed = 2023;
+  return config;
+}
+
+Config fast_transient() {
+  Config cfg;
+  cfg.timers.mrai_us = 500'000;  // keep the MRAI hunt short in tests
+  return cfg;
+}
+
+/// Run one scenario with transient recording and return the report JSON.
+std::string transient_report_json(const chaos::FaultPlan& plan) {
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  chaos::Engine engine(laboratory, im6);
+  engine.enable_transient(fast_transient());
+  auto outcome = engine.run(plan);
+  EXPECT_TRUE(outcome.has_value()) << outcome.error();
+  if (!outcome) return {};
+  EXPECT_EQ(outcome->transient.size(), outcome->steps.size());
+  return chaos::report_to_json(*outcome).dump(2);
+}
+
+TEST(ConvergeDifferential, EveryScenarioQuiescesOntoSteadyState) {
+  const auto paths = scenario_paths();
+  ASSERT_FALSE(paths.empty()) << "no chaos_*.json under " << RANYCAST_CONFIGS_DIR;
+
+  bool saw_region_withdraw = false;
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    auto plan = chaos::load_plan(path);
+    ASSERT_TRUE(plan.has_value()) << plan.error().to_string();
+
+    auto laboratory = lab::Lab::create(tiny_config());
+    const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+    chaos::Engine engine(laboratory, im6);
+    engine.enable_transient(fast_transient());
+    auto outcome = engine.run(*plan);
+    ASSERT_TRUE(outcome.has_value()) << outcome.error();
+    ASSERT_EQ(outcome->transient.size(), plan->events.size());
+
+    for (std::size_t i = 0; i < outcome->transient.size(); ++i) {
+      const StepTransient& t = outcome->transient[i];
+      SCOPED_TRACE("step " + std::to_string(i) + ": " + t.event);
+      // The tentpole invariant: after the transient plays out, every
+      // region's catchment equals the instantaneous solver's.
+      EXPECT_TRUE(t.matches_steady);
+      for (const RegionTransient& r : t.regions) EXPECT_EQ(r.mismatches, 0u);
+      EXPECT_FALSE(t.oscillating);
+      EXPECT_TRUE(std::isfinite(t.reconverge_max_ms));
+      EXPECT_GE(t.reconverge_p90_ms, t.reconverge_p50_ms);
+      EXPECT_GE(t.reconverge_max_ms, t.reconverge_p90_ms);
+
+      if (plan->events[i].kind == chaos::FaultKind::RegionWithdraw) {
+        saw_region_withdraw = true;
+        // Killing a whole regional prefix must black-hole someone: its
+        // clients lose the route and either fail over via DNS (charged up
+        // to the TTL window) or hunt to another origin.
+        EXPECT_GE(t.probes_blackholed, 1u);
+        EXPECT_GT(t.blackhole_max_ms, 0.0);
+        EXPECT_GT(t.reconverge_max_ms, 0.0);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_region_withdraw)
+      << "no configs/ scenario exercises region_withdraw; the blackhole "
+         "acceptance criterion went untested";
+}
+
+TEST(ConvergeDifferential, ReportBytesIdenticalAcrossWorkerCounts) {
+  const auto paths = scenario_paths();
+  ASSERT_FALSE(paths.empty());
+
+  auto& pool = exec::ThreadPool::global();
+  const unsigned original = pool.worker_count();
+  std::vector<unsigned> sweep{1, 2};
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  if (hardware != 2 && hardware != 1) sweep.push_back(hardware);
+
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    auto plan = chaos::load_plan(path);
+    ASSERT_TRUE(plan.has_value()) << plan.error().to_string();
+
+    pool.resize(1);
+    const std::string expected = transient_report_json(*plan);
+    ASSERT_FALSE(expected.empty());
+    for (const unsigned workers : sweep) {
+      pool.resize(workers);
+      EXPECT_EQ(transient_report_json(*plan), expected) << workers << " workers";
+    }
+  }
+  pool.resize(original);
+}
+
+TEST(ConvergeDifferential, TransientIsOptInAndOffByDefault) {
+  auto plan = chaos::load_plan(std::string(RANYCAST_CONFIGS_DIR) + "/chaos_smoke.json");
+  ASSERT_TRUE(plan.has_value());
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  chaos::Engine engine(laboratory, im6);
+  auto outcome = engine.run(*plan);
+  ASSERT_TRUE(outcome.has_value()) << outcome.error();
+  EXPECT_TRUE(outcome->transient.empty());
+  // ...and the report JSON then has no transient member at all, so steady
+  // reports keep their exact pre-transient serialization.
+  const io::Json json = chaos::report_to_json(*outcome);
+  EXPECT_EQ(json.as_object().count("transient"), 0u);
+}
+
+}  // namespace
+}  // namespace ranycast::converge

@@ -4,11 +4,14 @@
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
                               [--filter BM_AnycastSolve] [--all]
+                              [--require BM_Name ...]
 
 Fails (exit 1) when any benchmark matching --filter is slower than the
 baseline's real_time by more than the threshold fraction. Benchmarks present
 on only one side are reported but never fail the check (machines and
-benchmark sets drift). To refresh the committed baseline after an intended
+benchmark sets drift) — except names passed via --require (repeatable),
+which must exist on both sides and are always gated: a required benchmark
+that silently vanished from the suite or the baseline is itself a failure. To refresh the committed baseline after an intended
 performance change:
 
     ./build/bench/bench_perf_engine \
@@ -64,6 +67,11 @@ def main():
                     help="substring of benchmark names to gate on")
     ap.add_argument("--all", action="store_true",
                     help="gate on every common benchmark, not just --filter")
+    ap.add_argument("--require", action="append", default=[], metavar="NAME",
+                    help="benchmark name that must be present in BOTH files "
+                         "and is always gated (repeatable); a missing "
+                         "required benchmark fails the check instead of "
+                         "being a drift note")
     args = ap.parse_args()
 
     try:
@@ -73,8 +81,24 @@ def main():
         print(f"error: {e}")
         return 1
 
+    missing = False
+    for name in args.require:
+        if name not in base:
+            print(f"error: required benchmark '{name}' is missing from the "
+                  f"baseline {args.baseline} — refresh the baseline as shown "
+                  f"in --help")
+            missing = True
+        if name not in cur:
+            print(f"error: required benchmark '{name}' is missing from the "
+                  f"current run {args.current} — was it renamed or dropped "
+                  f"from the suite?")
+            missing = True
+    if missing:
+        return 1
+
     gated = sorted(n for n in base
-                   if n in cur and (args.all or args.filter in n))
+                   if n in cur and (args.all or args.filter in n
+                                    or n in args.require))
     if not gated:
         print(f"error: no common benchmarks match filter '{args.filter}'")
         in_base = sorted(n for n in base if args.all or args.filter in n)

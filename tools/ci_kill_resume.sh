@@ -10,6 +10,11 @@
 # mark the report truncated.
 #
 # Usage: ci_kill_resume.sh CHAOS_BINARY SCENARIO_JSON [WORKDIR]
+#
+# CHAOS_EXTRA_FLAGS (env, optional): extra flags appended to every chaos
+# invocation — e.g. "--transient" to run the whole matrix with transient
+# convergence recording, whose report section must survive kill/resume
+# byte-identically too.
 set -u
 
 if [ "$#" -lt 2 ]; then
@@ -23,6 +28,8 @@ WORKDIR="${3:-$(mktemp -d)}"
 mkdir -p "$WORKDIR"
 
 SIZING=(--stubs 400 --probes 1200 --seed 2023)
+read -r -a EXTRA <<< "${CHAOS_EXTRA_FLAGS:-}"
+SIZING+=(${EXTRA[@]+"${EXTRA[@]}"})
 ABORT_AT=2
 
 fail() { echo "FAIL: $*" >&2; exit 1; }

@@ -3,6 +3,8 @@
 //   ranycast-chaos --scenario FILE [--config FILE] [--cdn NAME] [--stubs N]
 //                  [--probes N] [--seed N] [--format table|json] [--out FILE]
 //                  [--describe] [--obs]
+//                  [--transient] [--mrai-ms N] [--proc-ms N] [--damping]
+//                  [--dns-ttl-ms N] [--max-events N]
 //                  [--deadline SECONDS] [--stall-timeout SECONDS]
 //                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
 //                  [--abort-after N]
@@ -16,6 +18,13 @@
 // The run is fully deterministic: the same --seed and scenario produce a
 // byte-identical JSON report. --obs additionally writes BENCH_chaos.json
 // telemetry (timings live there, never in the report).
+//
+// --transient additionally runs every step through the event-driven BGP
+// convergence plane (docs/convergence.md): the report gains per-step
+// blackhole windows, transient loops, interim catchment flips and the time
+// to reconverge, and the table output a second "transient convergence"
+// section. --mrai-ms / --proc-ms / --damping / --dns-ttl-ms / --max-events
+// tune the plane's timers.
 //
 // Guard flags (docs/reliability.md) run the timeline under a supervisor:
 // --deadline time-boxes the run (a truncated report is still emitted, with
@@ -54,6 +63,24 @@ std::optional<cdn::DeploymentSpec> spec_by_name(const std::string& name) {
   return std::nullopt;
 }
 
+std::string render_transient_table(const chaos::ChaosReport& report) {
+  analysis::TextTable table({"#", "event", "blackholed", "looped", "flipped", "reconv p50",
+                             "reconv p90", "dark p50", "dark max", "steady", "oscill"});
+  for (const converge::StepTransient& t : report.transient) {
+    table.add_row({std::to_string(t.index), t.event,
+                   analysis::fmt_count(t.probes_blackholed),
+                   analysis::fmt_count(t.probes_looped),
+                   analysis::fmt_count(t.probes_flipped),
+                   analysis::fmt_ms(t.reconverge_p50_ms),
+                   analysis::fmt_ms(t.reconverge_p90_ms),
+                   analysis::fmt_ms(t.blackhole_p50_ms),
+                   analysis::fmt_ms(t.blackhole_max_ms),
+                   t.matches_steady ? "yes" : "NO",
+                   t.oscillating ? "YES" : "no"});
+  }
+  return table.render();
+}
+
 std::string render_table(const chaos::ChaosReport& report) {
   analysis::TextTable table({"#", "event", "affected", "survive", "churn", "p50 before",
                              "p50 after", "in-area", "x-region", "dns-degraded",
@@ -78,6 +105,8 @@ int main(int argc, char** argv) {
   const flags::Parser args(argc, argv);
   for (const auto& bad : args.unknown({"scenario", "config", "cdn", "stubs", "probes",
                                        "seed", "format", "out", "describe", "obs",
+                                       "transient", "mrai-ms", "proc-ms", "damping",
+                                       "dns-ttl-ms", "max-events",
                                        "deadline", "stall-timeout", "checkpoint",
                                        "checkpoint-every", "resume", "abort-after"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
@@ -145,6 +174,19 @@ int main(int argc, char** argv) {
   const auto& handle = laboratory.add_deployment(*spec);
   chaos::Engine engine(laboratory, handle);
 
+  if (args.has("transient")) {
+    converge::Config ccfg;
+    ccfg.timers.mrai_us =
+        static_cast<std::uint64_t>(args.get_or("mrai-ms", std::int64_t{5000})) * 1000;
+    ccfg.timers.proc_delay_us =
+        static_cast<std::uint64_t>(args.get_or("proc-ms", std::int64_t{10})) * 1000;
+    ccfg.damping.enabled = args.has("damping");
+    ccfg.dns_failover_us =
+        static_cast<std::uint64_t>(args.get_or("dns-ttl-ms", std::int64_t{30000})) * 1000;
+    ccfg.max_events = static_cast<std::uint64_t>(args.get_or("max-events", std::int64_t{0}));
+    engine.enable_transient(ccfg);
+  }
+
   const bool guarded = args.has("deadline") || args.has("stall-timeout") ||
                        args.has("checkpoint") || args.has("resume");
   chaos::ChaosReport report;
@@ -197,8 +239,11 @@ int main(int argc, char** argv) {
     report = std::move(*outcome);
   }
 
-  const std::string rendered = format == "json" ? chaos::report_to_json(report).dump(2) + "\n"
-                                                : render_table(report);
+  std::string rendered = format == "json" ? chaos::report_to_json(report).dump(2) + "\n"
+                                          : render_table(report);
+  if (format == "table" && !report.transient.empty()) {
+    rendered += "\ntransient convergence\n" + render_transient_table(report);
+  }
   if (const auto out_path = args.get("out")) {
     std::ofstream out(*out_path, std::ios::binary);
     if (!out) {
