@@ -12,6 +12,8 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,7 +22,10 @@
 #include "ranycast/analysis/table.hpp"
 #include "ranycast/atlas/grouping.hpp"
 #include "ranycast/cdn/catalog.hpp"
+#include "ranycast/exec/pool.hpp"
 #include "ranycast/lab/lab.hpp"
+#include "ranycast/obs/flight.hpp"
+#include "ranycast/obs/journal.hpp"
 #include "ranycast/obs/report.hpp"
 #include "ranycast/obs/span.hpp"
 
@@ -75,13 +80,45 @@ inline lab::Lab small_lab() { return make_lab(Preset::Sweep); }
 class ObsSession {
  public:
   explicit ObsSession(const char* name)
-      : name_(name), start_(std::chrono::steady_clock::now()) {}
+      : name_(name), start_(std::chrono::steady_clock::now()) {
+    obs::set_thread_name("main");
+    // RANYCAST_JOURNAL routes a bench_sample event stream to an NDJSON run
+    // journal (appending, so a suite of benches shares one journal).
+    if (obs::enabled()) {
+      if (const char* path = std::getenv("RANYCAST_JOURNAL");
+          path != nullptr && *path != '\0') {
+        const auto parent = std::filesystem::path(path).parent_path();
+        if (!parent.empty()) {
+          std::error_code ec;
+          std::filesystem::create_directories(parent, ec);
+        }
+        if (journal_.open(path, /*append=*/true)) {
+          obs::set_journal(&journal_);
+        } else {
+          std::fprintf(stderr, "[obs] RANYCAST_JOURNAL: %s\n", journal_.error().c_str());
+        }
+      }
+    }
+  }
 
   ~ObsSession() {
+    if (journal_.is_open()) obs::set_journal(nullptr);
     if (!obs::enabled()) return;
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
             .count();
+    // Fold end-of-run process telemetry into the report: pool utilization
+    // and the RSS high-water mark.
+    exec::ThreadPool::global().publish_stats();
+    const std::uint64_t rss_kb = obs::rss_high_water_kb();
+    if (journal_.is_open()) {
+      using F = obs::JournalField;
+      journal_.event("bench_sample",
+                     {F::str("bench", name_), F::f64_field("wall_ms", wall_ms),
+                      F::u64_field("rss_hwm_kb", rss_kb),
+                      F::u64_field("dropped_events", obs::dropped_events())},
+                     /*durable=*/true);
+    }
     if (obs::write_bench_report(name_, wall_ms)) {
       std::printf("\n[obs] wrote BENCH_%s.json\n", name_);
     }
@@ -93,6 +130,7 @@ class ObsSession {
  private:
   const char* name_;
   std::chrono::steady_clock::time_point start_;
+  obs::Journal journal_;
 };
 
 /// For micro-benches that never build a Lab of their own (hand-crafted

@@ -5,6 +5,7 @@
 #include "ranycast/core/rng.hpp"
 #include "ranycast/exec/pool.hpp"
 #include "ranycast/io/config.hpp"
+#include "ranycast/obs/journal.hpp"
 #include "ranycast/obs/span.hpp"
 
 namespace ranycast::chaos {
@@ -168,6 +169,32 @@ std::uint64_t run_fingerprint(const lab::Lab& laboratory, const cdn::Deployment&
 struct StepFailure : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
+
+/// One journal line per *measured* step. Resumed runs replay already-measured
+/// events without re-measuring, so replayed steps are never re-emitted — a
+/// journal's chaos_step events after dedup by index are exactly the report's
+/// steps (a mid-step kill can leave one duplicate index before the resume
+/// marker; consumers keep the last occurrence).
+void journal_step(const StepReport& s, std::uint64_t dur_ns) {
+  if (obs::journal() == nullptr) return;
+  using F = obs::JournalField;
+  obs::journal_event(
+      "chaos_step",
+      {F::u64_field("index", s.index), F::str("event", s.event),
+       F::u64_field("probes", s.probes), F::u64_field("routes_before", s.routes_before),
+       F::u64_field("routes_after", s.routes_after), F::u64_field("moved", s.moved),
+       F::u64_field("lost", s.lost), F::u64_field("gained", s.gained),
+       F::u64_field("affected_probes", s.affected_probes),
+       F::u64_field("still_served", s.still_served),
+       F::u64_field("failover_in_region", s.failover_in_region),
+       F::u64_field("cross_region", s.cross_region),
+       F::f64_field("before_p50_ms", s.before_p50_ms),
+       F::f64_field("before_p90_ms", s.before_p90_ms),
+       F::f64_field("after_p50_ms", s.after_p50_ms),
+       F::f64_field("after_p90_ms", s.after_p90_ms),
+       F::u64_field("degraded_dns_answers", s.degraded_dns_answers),
+       F::u64_field("lost_pings", s.lost_pings), F::u64_field("dur_ns", dur_ns)});
+}
 
 }  // namespace
 
@@ -341,6 +368,7 @@ core::Expected<StepReport, std::string> Engine::execute_step(
   obs::Span span("chaos.step");
   obs::ScopedTimer timer(step_us);
   steps_counter.add();
+  const std::uint64_t step_start_ns = obs::trace_now_ns();
 
   const auto& gaz = geo::Gazetteer::world();
   const auto& dep = handle_->deployment;
@@ -440,6 +468,7 @@ core::Expected<StepReport, std::string> Engine::execute_step(
     }
     transient_out->push_back(plane_->step(index, describe(event), deltas, refs));
   }
+  journal_step(step, obs::trace_now_ns() - step_start_ns);
   return step;
 }
 

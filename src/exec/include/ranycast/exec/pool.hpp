@@ -19,10 +19,13 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "ranycast/obs/span.hpp"
 
 namespace ranycast::exec {
 
@@ -113,25 +116,52 @@ class ThreadPool {
   /// The process-wide pool used by the lab, solver and chaos engine.
   static ThreadPool& global();
 
+  /// Pool-utilization telemetry, accumulated since construction / resize().
+  /// Slot 0 is the calling thread (it participates in every loop), slots
+  /// 1..workers-1 are the spawned workers. busy_ns only accumulates while
+  /// obs::enabled() (no clock reads otherwise); chunk/item counts always do.
+  struct WorkerStats {
+    std::uint64_t busy_ns{0};  ///< wall time spent inside run_chunks
+    std::uint64_t chunks{0};   ///< index blocks claimed from the cursor
+    std::uint64_t items{0};    ///< items this worker iterated
+  };
+  std::vector<WorkerStats> worker_stats() const;
+
+  /// Mirrors the aggregate of worker_stats() into the metrics registry
+  /// (exec.pool.workers / busy_ns_total / busy_ns_max / chunks / items), so
+  /// end-of-run reports and traces carry pool utilization. No-op when
+  /// observability is disabled.
+  void publish_stats() const;
+
  private:
   struct Job {
     const std::function<void(std::size_t)>* fn{nullptr};
     const CancelFlag* cancel{nullptr};
     std::size_t total{0};
     std::size_t chunk{1};
+    obs::SpanContext parent_ctx;  ///< span open on the enqueuing thread
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::size_t> done{0};
     std::atomic<bool> failed{false};
     std::atomic<bool> cancel_observed{false};
   };
 
+  /// Per-worker accumulators (atomics: read by worker_stats() while workers
+  /// may still be mid-loop).
+  struct WorkerSlot {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> items{0};
+  };
+
   void spawn_workers();
   void join_workers();
-  void worker_loop();
-  void run_chunks();
+  void worker_loop(unsigned worker_index);
+  void run_chunks(unsigned worker_index);
 
   unsigned workers_wanted_{1};
   std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<WorkerSlot>> stats_;
 
   std::mutex mutex_;
   std::condition_variable work_cv_;   // signals a new job generation

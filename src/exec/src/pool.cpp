@@ -1,7 +1,12 @@
 #include "ranycast/exec/pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <string>
+
+#include "ranycast/obs/flight.hpp"
+#include "ranycast/obs/metrics.hpp"
 
 namespace ranycast::exec {
 
@@ -49,10 +54,15 @@ ThreadPool::ThreadPool(unsigned workers)
 ThreadPool::~ThreadPool() { join_workers(); }
 
 void ThreadPool::spawn_workers() {
+  stats_.clear();
+  stats_.reserve(std::max(1u, workers_wanted_));
+  for (unsigned w = 0; w < std::max(1u, workers_wanted_); ++w) {
+    stats_.push_back(std::make_unique<WorkerSlot>());
+  }
   // The calling thread is worker 0; only the extra workers need threads.
   threads_.reserve(workers_wanted_ > 0 ? workers_wanted_ - 1 : 0);
   for (unsigned w = 1; w < workers_wanted_; ++w) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, w] { worker_loop(w); });
   }
 }
 
@@ -76,27 +86,38 @@ void ThreadPool::resize(unsigned workers) {
   spawn_workers();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker_index) {
+  obs::set_thread_name("exec.worker-" + std::to_string(worker_index));
   std::uint64_t seen_generation = 0;
   for (;;) {
+    obs::SpanContext parent_ctx;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
       if (shutdown_) return;
       seen_generation = generation_;
+      parent_ctx = job_.parent_ctx;
     }
-    run_chunks();
+    // Spans opened by job items on this worker nest under the span that was
+    // open on the enqueuing thread, so cross-thread flame graphs line up.
+    const obs::InheritedSpanScope inherit(parent_ctx);
+    run_chunks(worker_index);
   }
 }
 
-void ThreadPool::run_chunks() {
+void ThreadPool::run_chunks(unsigned worker_index) {
   t_inside_pool = true;
+  const bool timed = obs::enabled();
+  const auto busy_start =
+      timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+  std::size_t chunks_here = 0;
   const CancelFlag* cancel = job_.cancel;
   std::size_t completed_here = 0;
   for (;;) {
     const std::size_t begin = job_.cursor.fetch_add(job_.chunk, std::memory_order_relaxed);
     if (begin >= job_.total) break;
     const std::size_t end = std::min(begin + job_.chunk, job_.total);
+    ++chunks_here;
     for (std::size_t i = begin; i < end; ++i) {
       // After a failure or an acknowledged cancellation the loop still
       // drains its items (so `done` reaches `total`), but stops invoking
@@ -117,6 +138,18 @@ void ThreadPool::run_chunks() {
     completed_here += end - begin;
   }
   t_inside_pool = false;
+  if (worker_index < stats_.size() && chunks_here > 0) {
+    WorkerSlot& slot = *stats_[worker_index];
+    slot.chunks.fetch_add(chunks_here, std::memory_order_relaxed);
+    slot.items.fetch_add(completed_here, std::memory_order_relaxed);
+    if (timed) {
+      const auto busy = std::chrono::steady_clock::now() - busy_start;
+      slot.busy_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(busy).count()),
+          std::memory_order_relaxed);
+    }
+  }
   if (completed_here > 0 &&
       job_.done.fetch_add(completed_here, std::memory_order_acq_rel) + completed_here ==
           job_.total) {
@@ -147,6 +180,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     // Chunks sized so each worker sees several (tail-balancing) but cursor
     // contention stays negligible.
     job_.chunk = std::max<std::size_t>(1, n / (static_cast<std::size_t>(workers_wanted_) * 8));
+    job_.parent_ctx = obs::current_span_context();
     job_.cursor.store(0, std::memory_order_relaxed);
     job_.done.store(0, std::memory_order_relaxed);
     job_.failed.store(false, std::memory_order_relaxed);
@@ -156,7 +190,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
   work_cv_.notify_all();
 
-  run_chunks();
+  run_chunks(0);
 
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return job_.done.load(std::memory_order_acquire) == job_.total; });
@@ -172,6 +206,39 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     lock.unlock();
     throw CancelledError();
   }
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> out;
+  out.reserve(stats_.size());
+  for (const auto& slot : stats_) {
+    WorkerStats s;
+    s.busy_ns = slot->busy_ns.load(std::memory_order_relaxed);
+    s.chunks = slot->chunks.load(std::memory_order_relaxed);
+    s.items = slot->items.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void ThreadPool::publish_stats() const {
+  if (!obs::enabled()) return;
+  std::uint64_t busy_total = 0;
+  std::uint64_t busy_max = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t items = 0;
+  for (const WorkerStats& s : worker_stats()) {
+    busy_total += s.busy_ns;
+    busy_max = std::max(busy_max, s.busy_ns);
+    chunks += s.chunks;
+    items += s.items;
+  }
+  auto& registry = obs::MetricsRegistry::global();
+  registry.gauge("exec.pool.workers").set(static_cast<double>(workers_wanted_));
+  registry.gauge("exec.pool.busy_ns_total").set(static_cast<double>(busy_total));
+  registry.gauge("exec.pool.busy_ns_max").set(static_cast<double>(busy_max));
+  registry.gauge("exec.pool.chunks").set(static_cast<double>(chunks));
+  registry.gauge("exec.pool.items").set(static_cast<double>(items));
 }
 
 ThreadPool& ThreadPool::global() {

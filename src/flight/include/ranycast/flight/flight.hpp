@@ -1,0 +1,73 @@
+// Reading run journals and flight-recorder dumps back, and converting them
+// into Chrome `traceEvents` JSON loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// This sits above ranycast::io (it parses JSON); the write side lives in
+// ranycast::obs, which sits below io and only emits. The split keeps obs
+// linkable from the innermost layers while forensics tooling gets a real
+// parser.
+//
+// Export mapping (see docs/observability.md for the walkthrough):
+//   flight spans        -> "X" complete events, keyed by the real OS tid
+//   chaos_step          -> async "b"/"e" pair on the journal track (id=index)
+//   transient_window    -> async "b"/"e" blackhole window per affected region
+//                          (virtual converge time, rendered schematically)
+//   other journal lines -> "i" instant events (manifest, phases, checkpoint,
+//                          resumed, stopped, bench_sample)
+//   step duration / RSS -> "C" counter samples
+// All ts/dur are microseconds since the process trace epoch. Async pairs are
+// synthesized from (ts_ns, dur_ns) of completed events, so they are balanced
+// by construction even for journals cut short by SIGKILL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ranycast/core/expected.hpp"
+#include "ranycast/io/json.hpp"
+#include "ranycast/obs/flight.hpp"
+
+namespace ranycast::flight {
+
+/// One parsed journal line.
+struct JournalEvent {
+  std::string type;
+  std::uint64_t ts_ns{0};
+  io::Json fields;  ///< the whole line as a JSON object
+};
+
+struct JournalFile {
+  std::vector<JournalEvent> events;  ///< in file order
+  std::size_t malformed_lines{0};    ///< unparseable lines (a SIGKILL can cut the tail)
+  std::size_t resume_markers{0};     ///< "resumed" events seen
+};
+
+/// Reads an NDJSON journal. Unparseable lines are counted, not fatal — the
+/// journal of a killed run must stay readable up to the last completed step.
+/// Fails only when the file cannot be read at all.
+core::Expected<JournalFile, std::string> load_journal(const std::string& path);
+
+/// Reads an obs::flight_ndjson() dump back into per-thread snapshots
+/// (grouped by tid, thread names preserved, events in file order).
+core::Expected<std::vector<obs::FlightThreadSnapshot>, std::string> load_flight_dump(
+    const std::string& path);
+
+struct TraceOptions {
+  std::uint64_t pid{0};  ///< 0: use the current process id
+};
+
+/// Converts a journal plus flight-recorder threads into one Chrome
+/// `{"traceEvents":[...]}` JSON document. Either input may be empty.
+std::string chrome_trace(const JournalFile& journal,
+                         const std::vector<obs::FlightThreadSnapshot>& threads,
+                         const TraceOptions& options = {});
+
+/// Human-oriented rollup of a journal: events per type, chaos step count
+/// (after last-wins dedup by index), resume markers, stop reason if any.
+std::string summarize(const JournalFile& journal);
+
+/// The last `n` journal events, one rendered line each (most recent last).
+std::string tail(const JournalFile& journal, std::size_t n);
+
+}  // namespace ranycast::flight

@@ -1,0 +1,71 @@
+#include <fstream>
+#include <map>
+
+#include "ranycast/flight/flight.hpp"
+
+namespace ranycast::flight {
+
+core::Expected<JournalFile, std::string> load_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return core::unexpected("cannot read journal '" + path + "'");
+  JournalFile out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = io::parse_json(line);
+    if (std::holds_alternative<io::JsonParseError>(parsed) ||
+        !std::get<io::Json>(parsed).is_object()) {
+      // A SIGKILL can cut the last line short; count and move on so the
+      // journal stays readable up to the last completed step.
+      ++out.malformed_lines;
+      continue;
+    }
+    JournalEvent e;
+    e.fields = std::move(std::get<io::Json>(parsed));
+    e.type = e.fields.string_or("type", "");
+    e.ts_ns = static_cast<std::uint64_t>(e.fields.number_or("ts_ns", 0.0));
+    if (e.type == "resumed") ++out.resume_markers;
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+core::Expected<std::vector<obs::FlightThreadSnapshot>, std::string> load_flight_dump(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return core::unexpected("cannot read flight dump '" + path + "'");
+  std::vector<obs::FlightThreadSnapshot> threads;
+  std::map<std::uint64_t, std::size_t> by_tid;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = io::parse_json(line);
+    if (std::holds_alternative<io::JsonParseError>(parsed) ||
+        !std::get<io::Json>(parsed).is_object()) {
+      continue;  // tolerate a cut tail, same as journals
+    }
+    const io::Json& j = std::get<io::Json>(parsed);
+    obs::TraceEvent e;
+    e.name = j.string_or("name", "");
+    e.parent = j.string_or("parent", "");
+    e.depth = static_cast<std::uint32_t>(j.number_or("depth", 0.0));
+    e.start_ns = static_cast<std::uint64_t>(j.number_or("start_ns", 0.0));
+    e.dur_ns = static_cast<std::uint64_t>(j.number_or("dur_ns", 0.0));
+    e.seq = static_cast<std::uint64_t>(j.number_or("seq", 0.0));
+    e.tid = static_cast<std::uint64_t>(j.number_or("tid", 0.0));
+    const auto [it, inserted] = by_tid.try_emplace(e.tid, threads.size());
+    if (inserted) {
+      obs::FlightThreadSnapshot t;
+      t.slot = static_cast<std::uint32_t>(threads.size());
+      t.os_tid = e.tid;
+      t.name = j.string_or("thread", "thread-" + std::to_string(threads.size()));
+      threads.push_back(std::move(t));
+    }
+    obs::FlightThreadSnapshot& t = threads[it->second];
+    t.events.push_back(std::move(e));
+    ++t.recorded;
+  }
+  return threads;
+}
+
+}  // namespace ranycast::flight

@@ -1,5 +1,7 @@
 #include "ranycast/guard/sweep.hpp"
 
+#include "ranycast/obs/journal.hpp"
+
 namespace ranycast::guard {
 
 namespace {
@@ -15,6 +17,16 @@ core::Expected<std::monostate, GuardError> persist(const std::string& path,
                           payload.data());
 }
 
+const char* reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::DeadlineExpired: return "deadline_expired";
+    case StopReason::Stalled: return "stalled";
+    case StopReason::Cancelled: return "cancelled";
+    case StopReason::None: break;
+  }
+  return "none";
+}
+
 }  // namespace
 
 core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
@@ -22,6 +34,7 @@ core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
                                                   Supervisor& supervisor,
                                                   const CheckpointPolicy& policy,
                                                   const SweepHooks& hooks) {
+  using F = obs::JournalField;
   SweepResult result;
   result.total = total;
 
@@ -42,6 +55,13 @@ core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
     start = static_cast<std::size_t>(cursor);
     result.resumed = true;
     result.resumed_from = start;
+    // The explicit resume marker: everything after this line in the journal
+    // was produced by the resumed process; everything before it (including a
+    // possibly duplicated step from a mid-step kill) by earlier attempts.
+    obs::journal_event("resumed",
+                       {F::u64_field("cursor", cursor), F::u64_field("total", total),
+                        F::str("checkpoint", policy.path)},
+                       /*durable=*/true);
   }
 
   const std::size_t every = policy.every == 0 ? 1 : policy.every;
@@ -57,16 +77,31 @@ core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
     }
     result.completed = i + 1;
     supervisor.heartbeat();
+    // Step granularity durability: everything the item appended to the
+    // journal (chaos_step, transient_window, ...) survives a SIGKILL from
+    // here on, so a dead run's journal is readable up to the last completed
+    // step.
+    if (obs::Journal* j = obs::journal()) j->sync();
     if (!policy.path.empty() && ((i + 1) % every == 0 || i + 1 == total)) {
       if (auto written = persist(policy.path, fingerprint, i + 1, hooks); !written) {
         return core::unexpected(std::move(written).error());
       }
+      obs::journal_event("checkpoint",
+                         {F::u64_field("cursor", i + 1), F::str("path", policy.path)},
+                         /*durable=*/true);
     }
     // After the checkpoint is durable: a crash inside this hook (tests use
     // it to simulate SIGKILL at exact steps) loses nothing.
     if (policy.after_step) policy.after_step(result.completed, total);
   }
-  if (result.completed < total) result.stopped = supervisor.stop_reason();
+  if (result.completed < total) {
+    result.stopped = supervisor.stop_reason();
+    obs::journal_event("stopped",
+                       {F::str("reason", reason_name(result.stopped)),
+                        F::u64_field("completed", result.completed),
+                        F::u64_field("total", total)},
+                       /*durable=*/true);
+  }
   return result;
 }
 

@@ -1,0 +1,67 @@
+// The flight recorder: per-thread bounded span rings + process telemetry.
+//
+// Every thread that completes a Span owns a fixed-capacity ring buffer.
+// Writes are single-producer (the owning thread), lock-free and relaxed;
+// once the ring is full the oldest events are overwritten and counted in
+// the thread's `dropped` tally — a long run keeps the *most recent* window
+// of events per thread at a bounded, predictable memory cost, instead of
+// growing an unbounded global vector. Snapshots are taken from quiesced
+// threads (after joins / parallel_for completion, which establish the
+// necessary happens-before edges).
+//
+// Thread identity is preserved: the OS tid plus a registered name
+// (set_thread_name), so exported traces can be keyed by real thread.
+//
+// rss_high_water_kb() samples the process's peak resident set (VmHWM) and
+// mirrors it into the "process.rss_hwm_kb" gauge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ranycast/obs/span.hpp"
+
+namespace ranycast::obs {
+
+/// One thread's ring, snapshotted.
+struct FlightThreadSnapshot {
+  std::uint32_t slot{0};    ///< registration order (0 = first recording thread)
+  std::uint64_t os_tid{0};  ///< OS thread id
+  std::string name;         ///< registered name, or "thread-<slot>"
+  std::uint64_t recorded{0};  ///< spans ever recorded on this thread
+  std::uint64_t dropped{0};   ///< spans overwritten once the ring filled
+  std::vector<TraceEvent> events;  ///< retained events, oldest first
+};
+
+/// Name the calling thread for trace exports ("main", "exec.worker-3", …).
+/// Cheap and allocation-free until the thread records its first span.
+void set_thread_name(std::string name);
+
+/// Ring capacity (events per thread). The default is 16384, overridable
+/// with the RANYCAST_FLIGHT_CAPACITY environment variable (clamped to
+/// [64, 1<<22]). set_flight_capacity resizes every existing ring and
+/// applies to future threads; call it only while no spans are being
+/// recorded (startup or tests).
+std::size_t flight_capacity() noexcept;
+void set_flight_capacity(std::size_t events_per_thread);
+
+/// Snapshot every thread's ring (threads that recorded at least one span,
+/// plus any that registered a name), ordered by registration slot.
+std::vector<FlightThreadSnapshot> flight_snapshot();
+
+/// Total spans lost to ring overwrites across all threads.
+std::uint64_t dropped_events();
+
+/// The flight snapshot as NDJSON: one {"name","parent","depth","start_ns",
+/// "dur_ns","seq","tid","thread"} object per retained event — the on-disk
+/// dump format `ranycast-flight export --flight` consumes.
+std::string flight_ndjson();
+
+/// Peak resident set size of the process in KiB (0 when unavailable).
+/// Also records the value into the "process.rss_hwm_kb" gauge when
+/// observability is enabled.
+std::uint64_t rss_high_water_kb();
+
+}  // namespace ranycast::obs

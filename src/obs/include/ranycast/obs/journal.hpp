@@ -1,0 +1,100 @@
+// The structured run journal: a typed, append-only NDJSON event stream.
+//
+// Each event is one JSON object on one line: {"type":"<kind>","ts_ns":N,...}.
+// Lines are composed in memory and written with a single O_APPEND write, so
+// concurrent writers (and a resumed run appending to an earlier journal)
+// interleave at line granularity, never mid-line. Events marked durable are
+// fsync'd before the call returns — guard uses this at step granularity, so
+// the journal of a SIGKILL'd run is readable up to the last completed step.
+//
+// Event kinds emitted by the codebase (see docs/observability.md for the
+// full field tables):
+//   run_manifest, phase_begin, phase_end, chaos_step, transient_window,
+//   checkpoint, resumed, stopped, bench_sample
+//
+// The journal deliberately lives in obs (below ranycast::io): it writes
+// JSON with its own tiny emitter and parses nothing. Reading journals back
+// is ranycast::flight's job.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ranycast::obs {
+
+/// One typed key/value in a journal event.
+struct JournalField {
+  enum class Kind { String, U64, I64, F64, Bool, RawJson };
+
+  std::string key;
+  Kind kind{Kind::String};
+  std::string text;       // String / RawJson payload
+  std::uint64_t u64{0};
+  std::int64_t i64{0};
+  double f64{0.0};
+  bool boolean{false};
+
+  static JournalField str(std::string key, std::string_view value);
+  static JournalField u64_field(std::string key, std::uint64_t value);
+  static JournalField i64_field(std::string key, std::int64_t value);
+  static JournalField f64_field(std::string key, double value);
+  static JournalField bool_field(std::string key, bool value);
+  /// `json` must already be a valid JSON value (object/array/number/...);
+  /// it is spliced into the line verbatim.
+  static JournalField raw(std::string key, std::string json);
+};
+
+/// Append-only NDJSON writer over a POSIX fd. Not copyable; movable.
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+
+  /// Opens (creating if needed) `path` for appending. Truncates first unless
+  /// `append` — a fresh run starts a fresh journal, `--resume` appends.
+  /// Returns false (and records error()) on failure.
+  bool open(const std::string& path, bool append);
+  void close();
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Appends one event line. `ts_ns` is stamped automatically from
+  /// obs::trace_now_ns() so journal events align with flight-recorder spans.
+  /// When `durable`, the line is fsync'd before returning.
+  bool event(std::string_view type, const std::vector<JournalField>& fields,
+             bool durable = false);
+
+  /// fsync the underlying fd (used at phase boundaries).
+  bool sync();
+
+  std::uint64_t events_written() const noexcept { return events_written_; }
+
+ private:
+  int fd_{-1};
+  std::string path_;
+  std::string error_;
+  std::uint64_t events_written_{0};
+};
+
+/// Process-global journal used by library emitters (chaos::Engine,
+/// converge::Plane, guard, the bench harness). Null when no journal is
+/// installed; emitters must treat that as "journal off". The caller that
+/// opens the journal owns it and must uninstall (set_journal(nullptr))
+/// before destroying it.
+void set_journal(Journal* journal) noexcept;
+Journal* journal() noexcept;
+
+/// Convenience: appends an event to the installed journal, if any.
+/// Returns false only on a write error (not when no journal is installed).
+bool journal_event(std::string_view type, const std::vector<JournalField>& fields,
+                   bool durable = false);
+
+}  // namespace ranycast::obs

@@ -1,0 +1,236 @@
+#include "ranycast/obs/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "ranycast/obs/span.hpp"
+
+namespace ranycast::obs {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_field(std::string& out, const JournalField& f) {
+  append_escaped(out, f.key);
+  out += ':';
+  switch (f.kind) {
+    case JournalField::Kind::String:
+      append_escaped(out, f.text);
+      break;
+    case JournalField::Kind::U64: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(f.u64));
+      out += buf;
+      break;
+    }
+    case JournalField::Kind::I64: {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(f.i64));
+      out += buf;
+      break;
+    }
+    case JournalField::Kind::F64: {
+      if (!std::isfinite(f.f64)) {
+        out += '0';
+        break;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.10g", f.f64);
+      out += buf;
+      break;
+    }
+    case JournalField::Kind::Bool:
+      out += f.boolean ? "true" : "false";
+      break;
+    case JournalField::Kind::RawJson:
+      out += f.text.empty() ? "null" : f.text;
+      break;
+  }
+}
+
+std::atomic<Journal*> g_journal{nullptr};
+
+}  // namespace
+
+JournalField JournalField::str(std::string key, std::string_view value) {
+  JournalField f;
+  f.key = std::move(key);
+  f.kind = Kind::String;
+  f.text = std::string(value);
+  return f;
+}
+
+JournalField JournalField::u64_field(std::string key, std::uint64_t value) {
+  JournalField f;
+  f.key = std::move(key);
+  f.kind = Kind::U64;
+  f.u64 = value;
+  return f;
+}
+
+JournalField JournalField::i64_field(std::string key, std::int64_t value) {
+  JournalField f;
+  f.key = std::move(key);
+  f.kind = Kind::I64;
+  f.i64 = value;
+  return f;
+}
+
+JournalField JournalField::f64_field(std::string key, double value) {
+  JournalField f;
+  f.key = std::move(key);
+  f.kind = Kind::F64;
+  f.f64 = value;
+  return f;
+}
+
+JournalField JournalField::bool_field(std::string key, bool value) {
+  JournalField f;
+  f.key = std::move(key);
+  f.kind = Kind::Bool;
+  f.boolean = value;
+  return f;
+}
+
+JournalField JournalField::raw(std::string key, std::string json) {
+  JournalField f;
+  f.key = std::move(key);
+  f.kind = Kind::RawJson;
+  f.text = std::move(json);
+  return f;
+}
+
+Journal::~Journal() { close(); }
+
+Journal::Journal(Journal&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      error_(std::move(other.error_)),
+      events_written_(other.events_written_) {
+  other.fd_ = -1;
+  other.events_written_ = 0;
+}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    error_ = std::move(other.error_);
+    events_written_ = other.events_written_;
+    other.fd_ = -1;
+    other.events_written_ = 0;
+  }
+  return *this;
+}
+
+bool Journal::open(const std::string& path, bool append) {
+  close();
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (!append) flags |= O_TRUNC;
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    error_ = "cannot open journal '" + path + "': " + std::strerror(errno);
+    return false;
+  }
+  fd_ = fd;
+  path_ = path;
+  error_.clear();
+  events_written_ = 0;
+  return true;
+}
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Journal::event(std::string_view type, const std::vector<JournalField>& fields,
+                    bool durable) {
+  if (fd_ < 0) return false;
+  std::string line = "{\"type\":";
+  append_escaped(line, type);
+  line += ",\"ts_ns\":";
+  {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(trace_now_ns()));
+    line += buf;
+  }
+  for (const JournalField& f : fields) {
+    line += ',';
+    append_field(line, f);
+  }
+  line += "}\n";
+
+  // One write per line: with O_APPEND, lines from concurrent writers (or a
+  // resumed process) never interleave mid-line for writes of this size.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = "journal write failed: " + std::string(std::strerror(errno));
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ++events_written_;
+  if (durable) return sync();
+  return true;
+}
+
+bool Journal::sync() {
+  if (fd_ < 0) return false;
+  if (::fsync(fd_) != 0) {
+    error_ = "journal fsync failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+void set_journal(Journal* journal) noexcept {
+  g_journal.store(journal, std::memory_order_release);
+}
+
+Journal* journal() noexcept { return g_journal.load(std::memory_order_acquire); }
+
+bool journal_event(std::string_view type, const std::vector<JournalField>& fields,
+                   bool durable) {
+  Journal* j = journal();
+  if (j == nullptr) return true;
+  return j->event(type, fields, durable);
+}
+
+}  // namespace ranycast::obs

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
+#include "ranycast/obs/flight.hpp"
 #include "ranycast/obs/span.hpp"
 
 namespace ranycast::obs {
@@ -136,22 +139,45 @@ std::string json_report() {
   return out;
 }
 
+namespace {
+
+void append_event(std::string& out, const TraceEvent& e) {
+  out += "{\"name\":";
+  append_escaped(out, e.name);
+  out += ",\"parent\":";
+  append_escaped(out, e.parent);
+  out += ",\"depth\":";
+  append_number(out, static_cast<std::uint64_t>(e.depth));
+  out += ",\"start_ns\":";
+  append_number(out, e.start_ns);
+  out += ",\"dur_ns\":";
+  append_number(out, e.dur_ns);
+  out += ",\"seq\":";
+  append_number(out, e.seq);
+  out += ",\"tid\":";
+  append_number(out, e.tid);
+}
+
+}  // namespace
+
 std::string trace_ndjson() {
   std::string out;
   for (const TraceEvent& e : trace_events()) {
-    out += "{\"name\":";
-    append_escaped(out, e.name);
-    out += ",\"parent\":";
-    append_escaped(out, e.parent);
-    out += ",\"depth\":";
-    append_number(out, static_cast<std::uint64_t>(e.depth));
-    out += ",\"start_ns\":";
-    append_number(out, e.start_ns);
-    out += ",\"dur_ns\":";
-    append_number(out, e.dur_ns);
-    out += ",\"seq\":";
-    append_number(out, e.seq);
+    append_event(out, e);
     out += "}\n";
+  }
+  return out;
+}
+
+std::string flight_ndjson() {
+  std::string out;
+  for (const FlightThreadSnapshot& t : flight_snapshot()) {
+    for (const TraceEvent& e : t.events) {
+      append_event(out, e);
+      out += ",\"thread\":";
+      append_escaped(out, t.name);
+      out += "}\n";
+    }
   }
   return out;
 }
@@ -227,7 +253,19 @@ bool write_bench_report(std::string_view bench_name, double wall_ms) {
   out += json_report();
   out += "}\n";
 
-  const std::string path = "BENCH_" + std::string(bench_name) + ".json";
+  // Telemetry routes to RANYCAST_OBS_DIR when set (created if missing), so
+  // CI and bench runs can collect reports without cd'ing around.
+  std::string path = "BENCH_" + std::string(bench_name) + ".json";
+  if (const char* dir = std::getenv("RANYCAST_OBS_DIR"); dir != nullptr && *dir != '\0') {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec || !std::filesystem::is_directory(dir)) {
+      std::fprintf(stderr, "[obs] RANYCAST_OBS_DIR='%s' cannot be created: %s\n", dir,
+                   ec ? ec.message().c_str() : "not a directory");
+      return false;
+    }
+    path = (std::filesystem::path(dir) / path).string();
+  }
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return false;
   file << out;

@@ -1,7 +1,18 @@
 #include "ranycast/obs/span.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <thread>
+
+#include "ranycast/obs/flight.hpp"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 namespace ranycast::obs {
 
@@ -20,27 +31,168 @@ std::uint64_t epoch_ns() noexcept {
   return epoch;
 }
 
-struct TraceBuffer {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
-  std::uint64_t next_seq{0};
+std::uint64_t os_thread_id() noexcept {
+#if defined(__linux__)
+  return static_cast<std::uint64_t>(::gettid());
+#else
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+#endif
+}
+
+/// A ring slot: raw pointers only (span names are literals), written by the
+/// owning thread, read from snapshots after a happens-before edge.
+struct FlightSlot {
+  const char* name{nullptr};
+  const char* parent{nullptr};
+  std::uint64_t start_ns{0};
+  std::uint64_t dur_ns{0};
+  std::uint32_t depth{0};
+  std::uint64_t seq{0};
 };
 
-TraceBuffer& trace_buffer() {
-  static TraceBuffer buffer;
-  return buffer;
+constexpr std::size_t kDefaultCapacity = 16384;
+constexpr std::size_t kMinCapacity = 64;
+constexpr std::size_t kMaxCapacity = std::size_t{1} << 22;
+
+std::size_t clamp_capacity(std::size_t c) noexcept {
+  return std::clamp(c, kMinCapacity, kMaxCapacity);
+}
+
+std::size_t initial_capacity() noexcept {
+  if (const char* env = std::getenv("RANYCAST_FLIGHT_CAPACITY")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && parsed > 0) return clamp_capacity(static_cast<std::size_t>(parsed));
+  }
+  return kDefaultCapacity;
+}
+
+/// One thread's recorder. Owned by the registry (never freed, so events
+/// survive thread exit); written only by the owning thread.
+struct ThreadRecorder {
+  explicit ThreadRecorder(std::size_t capacity) : ring(capacity) {}
+
+  void record(const char* name, const char* parent, std::uint64_t start_ns,
+              std::uint64_t dur_ns, std::uint32_t depth, std::uint64_t seq) noexcept {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    FlightSlot& slot = ring[static_cast<std::size_t>(h % ring.size())];
+    slot.name = name;
+    slot.parent = parent;
+    slot.start_ns = start_ns;
+    slot.dur_ns = dur_ns;
+    slot.depth = depth;
+    slot.seq = seq;
+    head.store(h + 1, std::memory_order_relaxed);
+  }
+
+  std::uint32_t slot_index{0};
+  std::uint64_t os_tid{0};
+  std::string name;                       // guarded by the registry mutex
+  std::vector<FlightSlot> ring;           // fixed capacity once constructed
+  std::atomic<std::uint64_t> head{0};     // total events ever recorded
+};
+
+struct FlightRegistry {
+  std::mutex mutex;
+  std::vector<ThreadRecorder*> recorders;  // never shrinks; leaked at exit
+  std::size_t capacity{initial_capacity()};
+  std::atomic<std::uint64_t> next_seq{0};
+};
+
+FlightRegistry& registry() {
+  static FlightRegistry* r = new FlightRegistry();  // leaked: recorders outlive threads
+  return *r;
 }
 
 /// Per-thread stack of open span names, for parent/depth attribution.
 thread_local std::vector<const char*> t_open_spans;
+/// Logical parent inherited from an enqueuing thread (exec pool workers).
+thread_local SpanContext t_inherited;
+/// This thread's recorder (nullptr until the first recorded span).
+thread_local ThreadRecorder* t_recorder = nullptr;
+/// Name set before the recorder existed, picked up at registration.
+thread_local std::string t_pending_name;
+thread_local bool t_has_pending_name = false;
+
+ThreadRecorder& recorder() {
+  if (t_recorder != nullptr) return *t_recorder;
+  FlightRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  auto* rec = new ThreadRecorder(reg.capacity);
+  rec->slot_index = static_cast<std::uint32_t>(reg.recorders.size());
+  rec->os_tid = os_thread_id();
+  if (t_has_pending_name) {
+    rec->name = std::move(t_pending_name);
+    t_has_pending_name = false;
+  } else {
+    rec->name = rec->slot_index == 0 ? "main" : "thread-" + std::to_string(rec->slot_index);
+  }
+  reg.recorders.push_back(rec);
+  t_recorder = rec;
+  return *rec;
+}
+
+TraceEvent to_event(const FlightSlot& slot, std::uint64_t tid) {
+  TraceEvent e;
+  e.name = slot.name == nullptr ? "" : slot.name;
+  e.parent = slot.parent == nullptr ? "" : slot.parent;
+  e.start_ns = slot.start_ns;
+  e.dur_ns = slot.dur_ns;
+  e.depth = slot.depth;
+  e.seq = slot.seq;
+  e.tid = tid;
+  return e;
+}
+
+/// Copy one recorder's retained events (oldest first). Caller holds the
+/// registry mutex; the owning thread must be quiesced for exact results.
+void snapshot_into(const ThreadRecorder& rec, FlightThreadSnapshot& out) {
+  out.slot = rec.slot_index;
+  out.os_tid = rec.os_tid;
+  out.name = rec.name;
+  const std::uint64_t head = rec.head.load(std::memory_order_relaxed);
+  const std::size_t cap = rec.ring.size();
+  out.recorded = head;
+  const std::uint64_t retained = std::min<std::uint64_t>(head, cap);
+  out.dropped = head - retained;
+  out.events.reserve(static_cast<std::size_t>(retained));
+  const std::uint64_t begin = head - retained;
+  for (std::uint64_t i = begin; i < head; ++i) {
+    out.events.push_back(to_event(rec.ring[static_cast<std::size_t>(i % cap)], rec.os_tid));
+  }
+}
 
 }  // namespace
+
+std::uint64_t trace_now_ns() noexcept {
+  // Pin the epoch before reading the clock (unspecified evaluation order):
+  // if this is the first call in the process, reading the clock first would
+  // subtract a later epoch and wrap around.
+  const std::uint64_t epoch = epoch_ns();
+  return now_ns() - epoch;
+}
+
+SpanContext current_span_context() noexcept {
+  if (!t_open_spans.empty()) {
+    const auto base = t_inherited.name != nullptr ? t_inherited.depth + 1 : 0u;
+    return SpanContext{t_open_spans.back(),
+                       base + static_cast<std::uint32_t>(t_open_spans.size()) - 1};
+  }
+  return t_inherited;
+}
+
+InheritedSpanScope::InheritedSpanScope(SpanContext ctx) noexcept : previous_(t_inherited) {
+  t_inherited = ctx;
+}
+
+InheritedSpanScope::~InheritedSpanScope() { t_inherited = previous_; }
 
 Span::Span(const char* name) noexcept {
   if (!enabled()) return;
   name_ = name;
-  parent_ = t_open_spans.empty() ? nullptr : t_open_spans.back();
-  depth_ = static_cast<std::uint32_t>(t_open_spans.size());
+  parent_ = t_open_spans.empty() ? t_inherited.name : t_open_spans.back();
+  const std::uint32_t base = t_inherited.name != nullptr ? t_inherited.depth + 1 : 0u;
+  depth_ = base + static_cast<std::uint32_t>(t_open_spans.size());
   t_open_spans.push_back(name);
   // Pin the epoch before reading the clock: the two calls have unspecified
   // evaluation order in an expression, and the very first span must not see
@@ -53,10 +205,8 @@ Span::~Span() {
   if (name_ == nullptr) return;
   const std::uint64_t end_ns = now_ns() - epoch_ns();
   if (!t_open_spans.empty() && t_open_spans.back() == name_) t_open_spans.pop_back();
-  TraceBuffer& buffer = trace_buffer();
-  const std::lock_guard<std::mutex> lock(buffer.mutex);
-  buffer.events.push_back(TraceEvent{name_, parent_ == nullptr ? "" : parent_, start_ns_,
-                                     end_ns - start_ns_, depth_, buffer.next_seq++});
+  const std::uint64_t seq = registry().next_seq.fetch_add(1, std::memory_order_relaxed);
+  recorder().record(name_, parent_, start_ns_, end_ns - start_ns_, depth_, seq);
 }
 
 ScopedTimer::ScopedTimer(Histogram& histogram) noexcept {
@@ -76,17 +226,66 @@ ScopedTimer::~ScopedTimer() {
   histogram_->record(static_cast<double>(now_ns() - start_ns_) * 1e-3);
 }
 
+void set_thread_name(std::string name) {
+  if (t_recorder != nullptr) {
+    const std::lock_guard<std::mutex> lock(registry().mutex);
+    t_recorder->name = std::move(name);
+    return;
+  }
+  t_pending_name = std::move(name);
+  t_has_pending_name = true;
+}
+
+std::size_t flight_capacity() noexcept {
+  FlightRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.capacity;
+}
+
+void set_flight_capacity(std::size_t events_per_thread) {
+  FlightRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.capacity = clamp_capacity(events_per_thread);
+  // Resize in place; retained history is dropped (capacity changes happen at
+  // startup or between test phases, never mid-recording).
+  for (ThreadRecorder* rec : reg.recorders) {
+    rec->ring.assign(reg.capacity, FlightSlot{});
+    rec->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<FlightThreadSnapshot> flight_snapshot() {
+  FlightRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<FlightThreadSnapshot> out(reg.recorders.size());
+  for (std::size_t i = 0; i < reg.recorders.size(); ++i) {
+    snapshot_into(*reg.recorders[i], out[i]);
+  }
+  return out;
+}
+
+std::uint64_t dropped_events() {
+  std::uint64_t total = 0;
+  for (const FlightThreadSnapshot& t : flight_snapshot()) total += t.dropped;
+  return total;
+}
+
 std::vector<TraceEvent> trace_events() {
-  TraceBuffer& buffer = trace_buffer();
-  const std::lock_guard<std::mutex> lock(buffer.mutex);
-  return buffer.events;
+  std::vector<TraceEvent> out;
+  for (FlightThreadSnapshot& t : flight_snapshot()) {
+    out.insert(out.end(), std::make_move_iterator(t.events.begin()),
+               std::make_move_iterator(t.events.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  return out;
 }
 
 void clear_trace() {
-  TraceBuffer& buffer = trace_buffer();
-  const std::lock_guard<std::mutex> lock(buffer.mutex);
-  buffer.events.clear();
-  buffer.next_seq = 0;
+  FlightRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (ThreadRecorder* rec : reg.recorders) rec->head.store(0, std::memory_order_relaxed);
+  reg.next_seq.store(0, std::memory_order_relaxed);
 }
 
 std::map<std::string, SpanAggregate> span_aggregates() {
@@ -100,6 +299,28 @@ std::map<std::string, SpanAggregate> span_aggregates() {
     agg.total_us += us;
   }
   return out;
+}
+
+std::uint64_t rss_high_water_kb() {
+  std::uint64_t kb = 0;
+#if defined(__linux__)
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      unsigned long long value = 0;
+      if (std::sscanf(line, "VmHWM: %llu kB", &value) == 1) {
+        kb = value;
+        break;
+      }
+    }
+    std::fclose(f);
+  }
+#endif
+  if (kb > 0 && enabled()) {
+    static Gauge& gauge = MetricsRegistry::global().gauge("process.rss_hwm_kb");
+    gauge.set(static_cast<double>(kb));
+  }
+  return kb;
 }
 
 }  // namespace ranycast::obs

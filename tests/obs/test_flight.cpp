@@ -1,0 +1,231 @@
+// The flight recorder: per-thread bounded rings must never lose a span
+// silently (retained + dropped == recorded), preserve thread identity, and
+// inherit span parentage across pool dispatch — at worker counts {1, 2, hw}.
+#include "ranycast/obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ranycast/exec/pool.hpp"
+#include "ranycast/io/json.hpp"
+#include "ranycast/obs/metrics.hpp"
+#include "ranycast/obs/report.hpp"
+#include "ranycast/obs/span.hpp"
+
+namespace ranycast::obs {
+namespace {
+
+class FlightTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    original_capacity_ = flight_capacity();
+    set_enabled(true);
+    reset_all();
+  }
+  void TearDown() override {
+    reset_all();
+    set_flight_capacity(original_capacity_);
+    set_enabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_{false};
+  std::size_t original_capacity_{0};
+};
+
+std::uint64_t total_recorded(const std::vector<FlightThreadSnapshot>& threads) {
+  std::uint64_t total = 0;
+  for (const auto& t : threads) total += t.recorded;
+  return total;
+}
+
+TEST_F(FlightTest, EveryCompletionIsRetainedOrCountedDropped) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span outer("flight.outer");
+        Span inner("flight.inner");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto snapshot = flight_snapshot();
+  std::uint64_t retained = 0;
+  for (const auto& t : snapshot) {
+    EXPECT_EQ(t.events.size() + t.dropped, t.recorded) << "thread " << t.name;
+    retained += t.events.size();
+  }
+  // 4 threads x 500 iterations x 2 spans, exact: rings are per-thread, so
+  // concurrent completions cannot race each other's slots.
+  EXPECT_EQ(total_recorded(snapshot),
+            static_cast<std::uint64_t>(kThreads) * kPerThread * 2);
+  EXPECT_EQ(retained + dropped_events(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread * 2);
+}
+
+TEST_F(FlightTest, OverflowKeepsTheMostRecentWindow) {
+  set_flight_capacity(64);
+  ASSERT_EQ(flight_capacity(), 64u);
+  constexpr int kSpans = 200;
+  for (int i = 0; i < kSpans; ++i) Span span("flight.overflow");
+
+  const auto snapshot = flight_snapshot();
+  const auto it = std::find_if(snapshot.begin(), snapshot.end(), [](const auto& t) {
+    return t.recorded == kSpans;
+  });
+  ASSERT_NE(it, snapshot.end());
+  EXPECT_EQ(it->events.size(), 64u);
+  EXPECT_EQ(it->dropped, static_cast<std::uint64_t>(kSpans) - 64u);
+  EXPECT_GE(dropped_events(), it->dropped);
+  // Oldest-first within the retained window, and it is the *latest* window:
+  // sequence numbers are strictly increasing and end at the last completion.
+  for (std::size_t i = 1; i < it->events.size(); ++i) {
+    EXPECT_LT(it->events[i - 1].seq, it->events[i].seq);
+  }
+}
+
+TEST_F(FlightTest, CapacityIsClampedToDocumentedBounds) {
+  set_flight_capacity(1);
+  EXPECT_EQ(flight_capacity(), 64u);
+  set_flight_capacity(std::size_t{1} << 40);
+  EXPECT_EQ(flight_capacity(), std::size_t{1} << 22);
+}
+
+TEST_F(FlightTest, ThreadNamesAndOsTidsSurviveIntoSnapshots) {
+  std::thread helper([] {
+    set_thread_name("flight.helper");
+    Span span("flight.named");
+  });
+  helper.join();
+
+  const auto snapshot = flight_snapshot();
+  const auto it = std::find_if(snapshot.begin(), snapshot.end(), [](const auto& t) {
+    return t.name == "flight.helper";
+  });
+  ASSERT_NE(it, snapshot.end());
+  EXPECT_NE(it->os_tid, 0u);
+  ASSERT_EQ(it->events.size(), 1u);
+  EXPECT_EQ(it->events[0].name, "flight.named");
+  EXPECT_EQ(it->events[0].tid, it->os_tid);
+  // Distinct threads never share a tid within one snapshot... unless the OS
+  // recycled it, which a just-joined helper cannot have hit here.
+  for (const auto& other : snapshot) {
+    if (other.slot != it->slot) {
+      EXPECT_NE(other.os_tid, it->os_tid);
+    }
+  }
+}
+
+TEST_F(FlightTest, PoolWorkersInheritTheEnqueuingSpanAsParent) {
+  auto& pool = exec::ThreadPool::global();
+  const unsigned original = pool.worker_count();
+
+  std::vector<unsigned> sweep{1, 2};
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  if (hardware != 1 && hardware != 2) sweep.push_back(hardware);
+
+  for (const unsigned workers : sweep) {
+    pool.resize(workers);
+    clear_trace();
+    constexpr std::size_t kItems = 64;
+    {
+      Span outer("flight.dispatch");
+      pool.parallel_for(kItems, [](std::size_t) { Span item("flight.item"); });
+    }
+    const auto events = trace_events();
+    std::size_t items_seen = 0;
+    for (const auto& e : events) {
+      if (e.name != std::string("flight.item")) continue;
+      ++items_seen;
+      EXPECT_EQ(e.parent, "flight.dispatch") << workers << " workers";
+      EXPECT_EQ(e.depth, 1u) << workers << " workers";
+    }
+    // Default capacity is far above kItems: nothing may drop here.
+    EXPECT_EQ(items_seen, kItems) << workers << " workers";
+  }
+  pool.resize(original);
+}
+
+TEST_F(FlightTest, PoolTelemetryAccountsEveryItemExactly) {
+  auto& pool = exec::ThreadPool::global();
+  const unsigned original = pool.worker_count();
+  pool.resize(2);  // fresh stats slots
+
+  constexpr std::size_t kItems = 1000;
+  pool.parallel_for(kItems, [](std::size_t) {});
+  const auto stats = pool.worker_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  std::uint64_t items = 0, chunks = 0;
+  for (const auto& s : stats) {
+    items += s.items;
+    chunks += s.chunks;
+  }
+  EXPECT_EQ(items, kItems);
+  EXPECT_GE(chunks, 1u);
+
+  pool.publish_stats();
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().gauge("exec.pool.items").value(),
+                   static_cast<double>(kItems));
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().gauge("exec.pool.workers").value(), 2.0);
+  pool.resize(original);
+}
+
+TEST_F(FlightTest, FlightNdjsonCarriesThreadIdentityPerLine) {
+  set_thread_name("flight.ndjson");
+  { Span span("flight.nd_span"); }
+  const std::string ndjson = flight_ndjson();
+  ASSERT_FALSE(ndjson.empty());
+  std::size_t start = 0;
+  bool saw_span = false;
+  while (start < ndjson.size()) {
+    const auto end = ndjson.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const auto line = io::parse_json_or_throw(ndjson.substr(start, end - start));
+    ASSERT_TRUE(line.is_object());
+    EXPECT_TRUE(line.find("name")->is_string());
+    EXPECT_TRUE(line.find("dur_ns")->is_number());
+    EXPECT_TRUE(line.find("tid")->is_number());
+    EXPECT_TRUE(line.find("thread")->is_string());
+    if (line.find("name")->as_string() == "flight.nd_span") {
+      saw_span = true;
+      EXPECT_EQ(line.find("thread")->as_string(), "flight.ndjson");
+    }
+    start = end + 1;
+  }
+  EXPECT_TRUE(saw_span);
+}
+
+TEST_F(FlightTest, RssHighWaterIsSampledIntoTheGauge) {
+  const std::uint64_t kb = rss_high_water_kb();
+#if defined(__linux__)
+  EXPECT_GT(kb, 0u);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().gauge("process.rss_hwm_kb").value(),
+                   static_cast<double>(kb));
+#else
+  (void)kb;
+#endif
+}
+
+TEST_F(FlightTest, ClearTraceResetsRingsAndSequenceNumbers) {
+  { Span span("flight.before_clear"); }
+  EXPECT_FALSE(trace_events().empty());
+  clear_trace();
+  EXPECT_TRUE(trace_events().empty());
+  EXPECT_EQ(dropped_events(), 0u);
+  { Span span("flight.after_clear"); }
+  const auto events = trace_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 0u);
+}
+
+}  // namespace
+}  // namespace ranycast::obs

@@ -45,15 +45,21 @@ def load_times(path):
             f"{path}: no 'benchmarks' array — this is not google-benchmark "
             f"JSON output (--benchmark_out_format=json).")
     times = {}
+    skipped = 0
     for b in doc["benchmarks"]:
         # Skip aggregate rows (mean/median/stddev) of repeated runs.
         if not isinstance(b, dict) or b.get("run_type") == "aggregate":
             continue
         try:
             times[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
-        except (KeyError, TypeError, ValueError) as e:
-            raise BenchFileError(
-                f"{path}: malformed benchmark entry {b!r} ({e}).") from e
+        except (KeyError, TypeError, ValueError):
+            # Entries without a name/real_time are telemetry rows (obs
+            # counters, journal samples) riding along in the same file, not
+            # benchmarks — note and skip them rather than refusing the file.
+            skipped += 1
+    if skipped:
+        print(f"      note  {path}: skipped {skipped} non-benchmark "
+              f"(telemetry) entr{'y' if skipped == 1 else 'ies'}")
     return times
 
 

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Schema check for exported Chrome traceEvents JSON.
+
+Usage: check_trace.py TRACE.json [--min-events N]
+
+Validates what Perfetto / chrome://tracing silently tolerate but we do not:
+
+  * the document is an object with a "traceEvents" array
+  * every event has "ph", "ts", "pid" and "tid" fields of the right type
+  * "X" complete events carry a non-negative "dur"
+  * async "b"/"e" events are balanced per (cat, id): every begin has an end,
+    every end a begin, and no end precedes its begin in file order
+
+Exits 0 when the trace is well-formed, 1 with a diagnostic otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"B", "E", "X", "i", "I", "C", "b", "e", "n", "s", "t", "f", "M"}
+
+
+def fail(message):
+    print(f"check_trace: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="require at least this many events (default 1)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return fail(f"{args.trace}: {exc}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return fail(f"{args.trace}: expected an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if len(events) < args.min_events:
+        return fail(f"{args.trace}: {len(events)} events, expected >= {args.min_events}")
+
+    open_async = {}  # (cat, id) -> open begin count
+    for n, e in enumerate(events):
+        where = f"{args.trace}: event {n}"
+        if not isinstance(e, dict):
+            return fail(f"{where}: not an object")
+        ph = e.get("ph")
+        if not isinstance(ph, str) or ph not in KNOWN_PHASES:
+            return fail(f"{where}: bad or missing 'ph' ({ph!r})")
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(e.get(key), (int, float)) or isinstance(e.get(key), bool):
+                return fail(f"{where}: bad or missing '{key}' ({e.get(key)!r})")
+        if not isinstance(e.get("name"), str):
+            return fail(f"{where}: bad or missing 'name'")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+                return fail(f"{where}: 'X' event needs a non-negative 'dur' ({dur!r})")
+        if ph in ("b", "e"):
+            if "id" not in e:
+                return fail(f"{where}: async '{ph}' event has no 'id'")
+            key = (e.get("cat"), e["id"])
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) == 0:
+                    return fail(f"{where}: async 'e' for {key} precedes its 'b'")
+                open_async[key] -= 1
+
+    unbalanced = {k: v for k, v in open_async.items() if v != 0}
+    if unbalanced:
+        return fail(f"{args.trace}: unbalanced async events: {unbalanced}")
+
+    counts = {}
+    for e in events:
+        counts[e["ph"]] = counts.get(e["ph"], 0) + 1
+    summary = ", ".join(f"{ph}:{n}" for ph, n in sorted(counts.items()))
+    print(f"check_trace: {args.trace} OK ({len(events)} events; {summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,13 @@
 # asserts the deadline path: an already-expired --deadline must exit 3 and
 # mark the report truncated.
 #
+# Every run also writes a run journal (--journal). When python3 is
+# available the journals are validated too: the killed run's journal must
+# be parseable NDJSON covering exactly the completed steps, and the resumed
+# journal must carry exactly one "resumed" marker and dedup to the same
+# step set as the baseline's. The resumed run additionally exports a
+# Chrome trace (--trace-out) checked with check_trace.py.
+#
 # Usage: ci_kill_resume.sh CHAOS_BINARY SCENARIO_JSON [WORKDIR]
 #
 # CHAOS_EXTRA_FLAGS (env, optional): extra flags appended to every chaos
@@ -26,6 +33,7 @@ CHAOS="$1"
 SCENARIO="$2"
 WORKDIR="${3:-$(mktemp -d)}"
 mkdir -p "$WORKDIR"
+TOOLS_DIR="$(cd "$(dirname "$0")" && pwd)"
 
 SIZING=(--stubs 400 --probes 1200 --seed 2023)
 read -r -a EXTRA <<< "${CHAOS_EXTRA_FLAGS:-}"
@@ -34,29 +42,79 @@ ABORT_AT=2
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 
+# journal_steps FILE -> "<distinct chaos_step indexes> <resumed markers>";
+# exits non-zero on any unparseable line (the journal is fsync'd at step
+# granularity, so even a killed run leaves only whole lines behind).
+journal_steps() {
+  python3 - "$1" <<'PY'
+import json, sys
+steps, resumed = set(), 0
+with open(sys.argv[1]) as f:
+    for n, raw in enumerate(f, 1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            e = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            sys.exit(f"{sys.argv[1]}:{n}: invalid journal line: {exc}")
+        if e.get("type") == "chaos_step":
+            steps.add(e["index"])
+        elif e.get("type") == "resumed":
+            resumed += 1
+print(len(steps), resumed)
+PY
+}
+
 echo "== 1/4 uninterrupted baseline =="
 "$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
   --format json --out "$WORKDIR/baseline.json" \
+  --journal "$WORKDIR/baseline.ndjson" \
   || fail "baseline run exited $?"
 
 echo "== 2/4 checkpointed run, killed after step $ABORT_AT =="
-rm -f "$WORKDIR/run.ck"
+rm -f "$WORKDIR/run.ck" "$WORKDIR/run.ndjson"
 "$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
   --format json --out "$WORKDIR/killed.json" \
+  --journal "$WORKDIR/run.ndjson" \
   --checkpoint "$WORKDIR/run.ck" --abort-after "$ABORT_AT"
 rc=$?
 [ "$rc" -eq 137 ] || fail "expected the aborted run to exit 137, got $rc"
 [ -s "$WORKDIR/run.ck" ] || fail "no checkpoint left behind after the kill"
 
+if command -v python3 >/dev/null 2>&1; then
+  KILLED=$(journal_steps "$WORKDIR/run.ndjson") \
+    || fail "killed run's journal is not valid NDJSON"
+  [ "$KILLED" = "$ABORT_AT 0" ] \
+    || fail "killed journal: expected '$ABORT_AT 0' (steps, resume markers), got '$KILLED'"
+  echo "killed journal is valid NDJSON covering exactly $ABORT_AT completed step(s)"
+fi
+
 echo "== 3/4 resume from the checkpoint =="
 "$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
   --format json --out "$WORKDIR/resumed.json" \
+  --journal "$WORKDIR/run.ndjson" --trace-out "$WORKDIR/run.trace.json" \
   --checkpoint "$WORKDIR/run.ck" --resume \
   || fail "resume exited $?"
 
 cmp "$WORKDIR/baseline.json" "$WORKDIR/resumed.json" \
   || fail "resumed report differs from the uninterrupted baseline"
 echo "resumed report is byte-identical to the baseline"
+
+if command -v python3 >/dev/null 2>&1; then
+  BASE=$(journal_steps "$WORKDIR/baseline.ndjson") \
+    || fail "baseline journal is not valid NDJSON"
+  FULL=$(journal_steps "$WORKDIR/run.ndjson") \
+    || fail "resumed journal is not valid NDJSON"
+  [ "${BASE#* }" = "0" ] || fail "baseline journal has resume markers: $BASE"
+  [ "${FULL#* }" = "1" ] \
+    || fail "resumed journal: expected exactly one resume marker, got '${FULL#* }'"
+  [ "${FULL%% *}" = "${BASE%% *}" ] \
+    || fail "resumed journal steps (${FULL%% *}) differ from baseline (${BASE%% *})"
+  echo "resumed journal carries one resume marker and the baseline's step set"
+  python3 "$TOOLS_DIR/check_trace.py" "$WORKDIR/run.trace.json" \
+    || fail "exported trace failed check_trace.py"
+fi
 
 echo "== 4/4 expired deadline truncates with exit 3 =="
 "$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \

@@ -2,7 +2,7 @@
 //
 //   ranycast-chaos --scenario FILE [--config FILE] [--cdn NAME] [--stubs N]
 //                  [--probes N] [--seed N] [--format table|json] [--out FILE]
-//                  [--describe] [--obs]
+//                  [--describe] [--obs] [--journal FILE] [--trace-out FILE]
 //                  [--transient] [--mrai-ms N] [--proc-ms N] [--damping]
 //                  [--dns-ttl-ms N] [--max-events N]
 //                  [--deadline SECONDS] [--stall-timeout SECONDS]
@@ -33,6 +33,14 @@
 // --resume — the resumed report is byte-identical to an uninterrupted one.
 // --abort-after N hard-kills the process (as SIGKILL would) after N
 // completed steps; it exists for crash-recovery tests and CI.
+//
+// --journal FILE appends the structured NDJSON run journal (run_manifest,
+// phase markers, one chaos_step per measured step, transient_window under
+// --transient, checkpoint/resumed/stopped from guard), fsync'd at step
+// granularity — readable up to the last completed step after SIGKILL.
+// --trace-out FILE additionally converts journal + flight recorder into
+// Chrome traceEvents JSON for ui.perfetto.dev (docs/observability.md);
+// both flags imply --obs.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -45,7 +53,11 @@
 #include "ranycast/chaos/engine.hpp"
 #include "ranycast/chaos/scenario.hpp"
 #include "ranycast/core/flags.hpp"
+#include "ranycast/exec/pool.hpp"
+#include "ranycast/flight/flight.hpp"
 #include "ranycast/io/config.hpp"
+#include "ranycast/obs/flight.hpp"
+#include "ranycast/obs/journal.hpp"
 #include "ranycast/obs/metrics.hpp"
 #include "ranycast/obs/report.hpp"
 #include "ranycast/tangled/testbed.hpp"
@@ -105,6 +117,7 @@ int main(int argc, char** argv) {
   const flags::Parser args(argc, argv);
   for (const auto& bad : args.unknown({"scenario", "config", "cdn", "stubs", "probes",
                                        "seed", "format", "out", "describe", "obs",
+                                       "journal", "trace-out",
                                        "transient", "mrai-ms", "proc-ms", "damping",
                                        "dns-ttl-ms", "max-events",
                                        "deadline", "stall-timeout", "checkpoint",
@@ -142,9 +155,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (args.has("obs")) obs::set_enabled(true);
+  // Journal / trace export imply observability: both are useless without
+  // the recorder running.
+  const auto trace_out = args.get("trace-out");
+  std::string journal_path = args.get_or("journal", std::string());
+  if (journal_path.empty() && trace_out) journal_path = *trace_out + ".journal.ndjson";
+  if (args.has("obs") || !journal_path.empty()) obs::set_enabled(true);
+  obs::set_thread_name("main");
   obs::MetricsRegistry::global().set_label("tool", "ranycast-chaos");
   obs::MetricsRegistry::global().set_label("chaos.plan", plan->name);
+
+  obs::Journal journal;
+  if (!journal_path.empty()) {
+    // A fresh run starts a fresh journal; --resume appends to the previous
+    // attempt's (run_sweep writes the explicit resume marker).
+    if (!journal.open(journal_path, /*append=*/args.has("resume"))) {
+      std::fprintf(stderr, "%s\n", journal.error().c_str());
+      return 2;
+    }
+    obs::set_journal(&journal);
+  }
 
   lab::LabConfig config;
   if (const auto path = args.get("config")) {
@@ -170,9 +200,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  using F = obs::JournalField;
+  obs::journal_event(
+      "run_manifest",
+      {F::str("tool", "ranycast-chaos"), F::str("scenario", *scenario_path),
+       F::str("plan", plan->name), F::str("cdn", cdn_name),
+       F::u64_field("stubs", static_cast<std::uint64_t>(config.world.stub_count)),
+       F::u64_field("probes", static_cast<std::uint64_t>(config.census.total_probes)),
+       F::u64_field("seed", config.seed),
+       F::u64_field("planned_steps", plan->events.size()),
+       F::bool_field("transient", args.has("transient")),
+       F::bool_field("resume", args.has("resume"))},
+      /*durable=*/true);
+
+  obs::journal_event("phase_begin", {F::str("phase", "lab.build")});
   auto laboratory = lab::Lab::create(config);
   const auto& handle = laboratory.add_deployment(*spec);
   chaos::Engine engine(laboratory, handle);
+  obs::journal_event("phase_end", {F::str("phase", "lab.build")}, /*durable=*/true);
 
   if (args.has("transient")) {
     converge::Config ccfg;
@@ -189,6 +234,7 @@ int main(int argc, char** argv) {
 
   const bool guarded = args.has("deadline") || args.has("stall-timeout") ||
                        args.has("checkpoint") || args.has("resume");
+  obs::journal_event("phase_begin", {F::str("phase", "chaos.run")});
   chaos::ChaosReport report;
   bool truncated = false;
   if (guarded) {
@@ -238,6 +284,11 @@ int main(int argc, char** argv) {
     }
     report = std::move(*outcome);
   }
+  obs::journal_event("phase_end",
+                     {F::str("phase", "chaos.run"),
+                      F::u64_field("completed_steps", report.completed_steps),
+                      F::bool_field("truncated", truncated)},
+                     /*durable=*/true);
 
   std::string rendered = format == "json" ? chaos::report_to_json(report).dump(2) + "\n"
                                           : render_table(report);
@@ -256,6 +307,30 @@ int main(int argc, char** argv) {
   }
 
   if (obs::enabled()) {
+    exec::ThreadPool::global().publish_stats();
+    obs::rss_high_water_kb();
+  }
+  if (journal.is_open()) {
+    obs::set_journal(nullptr);
+    journal.close();
+  }
+  if (trace_out) {
+    auto loaded = flight::load_journal(journal_path);
+    if (!loaded) {
+      std::fprintf(stderr, "trace export: %s\n", loaded.error().c_str());
+      return 2;
+    }
+    const std::string trace = flight::chrome_trace(*loaded, obs::flight_snapshot());
+    std::ofstream tf(*trace_out, std::ios::binary | std::ios::trunc);
+    if (!tf) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out->c_str());
+      return 2;
+    }
+    tf << trace;
+    std::fprintf(stderr, "[obs] wrote %s\n", trace_out->c_str());
+  }
+
+  if (obs::enabled() && args.has("obs")) {
     const double wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
             .count();

@@ -1,7 +1,7 @@
 // ranycast-experiment — run a paper experiment from a JSON configuration.
 //
 //   ranycast-experiment [--config FILE] [--experiment NAME] [--format table|csv]
-//                       [--dump-config] [--obs]
+//                       [--dump-config] [--obs] [--journal FILE] [--trace-out FILE]
 //                       [--cdn NAME] [--region N] [--trials N]
 //                       [--stubs N] [--probes N] [--seed N]
 //                       [--deadline SECONDS] [--stall-timeout SECONDS]
@@ -25,8 +25,13 @@
 // --checkpoint/--resume continue a killed campaign with a final report
 // identical to an uninterrupted run. --abort-after N hard-kills the process
 // after N trials (crash-recovery tests and CI).
+//
+// --journal FILE appends the structured NDJSON run journal; --trace-out FILE
+// also writes a Chrome/Perfetto trace of the run (docs/observability.md).
+// Both imply --obs recording.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "ranycast/guard/runtime.hpp"
@@ -37,8 +42,12 @@
 #include "ranycast/analysis/table.hpp"
 #include "ranycast/cdn/catalog.hpp"
 #include "ranycast/core/flags.hpp"
+#include "ranycast/exec/pool.hpp"
+#include "ranycast/flight/flight.hpp"
 #include "ranycast/io/config.hpp"
 #include "ranycast/lab/comparison.hpp"
+#include "ranycast/obs/flight.hpp"
+#include "ranycast/obs/journal.hpp"
 #include "ranycast/obs/metrics.hpp"
 #include "ranycast/obs/report.hpp"
 #include "ranycast/tangled/study.hpp"
@@ -215,11 +224,24 @@ int main(int argc, char** argv) {
        args.unknown({"config", "experiment", "format", "dump-config", "obs", "cdn",
                      "region", "trials", "stubs", "probes", "seed", "deadline",
                      "stall-timeout", "checkpoint", "checkpoint-every", "resume",
-                     "abort-after"})) {
+                     "abort-after", "journal", "trace-out"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
     return 2;
   }
-  if (args.has("obs")) obs::set_enabled(true);
+  const auto trace_out = args.get("trace-out");
+  std::string journal_path = args.get_or("journal", std::string());
+  if (journal_path.empty() && trace_out) journal_path = *trace_out + ".journal.ndjson";
+  if (args.has("obs") || !journal_path.empty()) obs::set_enabled(true);
+  obs::set_thread_name("main");
+
+  obs::Journal journal;
+  if (!journal_path.empty()) {
+    if (!journal.open(journal_path, /*append=*/args.has("resume"))) {
+      std::fprintf(stderr, "%s\n", journal.error().c_str());
+      return 2;
+    }
+    obs::set_journal(&journal);
+  }
 
   lab::LabConfig config;
   if (const auto path = args.get("config")) {
@@ -247,7 +269,18 @@ int main(int argc, char** argv) {
 
   const bool csv = args.get_or("format", std::string("table")) == "csv";
   const std::string experiment = args.get_or("experiment", std::string("table3"));
+  using F = obs::JournalField;
+  obs::journal_event(
+      "run_manifest",
+      {F::str("tool", "ranycast-experiment"), F::str("experiment", experiment),
+       F::u64_field("stubs", static_cast<std::uint64_t>(config.world.stub_count)),
+       F::u64_field("probes", static_cast<std::uint64_t>(config.census.total_probes)),
+       F::u64_field("seed", config.seed)},
+      /*durable=*/true);
+  obs::journal_event("phase_begin", {F::str("phase", "lab.build")});
   auto laboratory = lab::Lab::create(config);
+  obs::journal_event("phase_end", {F::str("phase", "lab.build")}, /*durable=*/true);
+  obs::journal_event("phase_begin", {F::str("phase", "experiment." + experiment)});
   std::optional<int> rc;
   if (experiment == "table3") rc = run_table3(laboratory, csv);
   if (experiment == "fig6c") rc = run_fig6c(laboratory, csv);
@@ -257,6 +290,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown experiment '%s' (table3|fig6c|causes|stability)\n",
                  experiment.c_str());
     return 2;
+  }
+  obs::journal_event("phase_end",
+                     {F::str("phase", "experiment." + experiment),
+                      F::i64_field("exit_code", *rc)},
+                     /*durable=*/true);
+  if (obs::enabled()) {
+    exec::ThreadPool::global().publish_stats();
+    obs::rss_high_water_kb();
+  }
+  if (journal.is_open()) {
+    obs::set_journal(nullptr);
+    journal.close();
+  }
+  if (trace_out) {
+    auto loaded = flight::load_journal(journal_path);
+    if (!loaded) {
+      std::fprintf(stderr, "trace export: %s\n", loaded.error().c_str());
+      return 2;
+    }
+    const std::string trace = flight::chrome_trace(*loaded, obs::flight_snapshot());
+    std::ofstream tf(*trace_out, std::ios::binary | std::ios::trunc);
+    if (!tf) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out->c_str());
+      return 2;
+    }
+    tf << trace;
+    std::fprintf(stderr, "[obs] wrote %s\n", trace_out->c_str());
   }
   if (args.has("obs")) std::fprintf(stderr, "%s\n", obs::json_report().c_str());
   return *rc;

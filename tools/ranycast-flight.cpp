@@ -1,0 +1,96 @@
+// ranycast-flight — run-journal and flight-recorder forensics.
+//
+//   ranycast-flight export    --journal FILE [--flight FILE] --out FILE
+//   ranycast-flight summarize --journal FILE
+//   ranycast-flight tail      --journal FILE [--last N]
+//
+// export converts a run journal (the NDJSON stream `ranycast-chaos
+// --journal` / `ranycast-experiment --journal` write) plus an optional
+// flight-recorder span dump (obs::flight_ndjson()) into Chrome traceEvents
+// JSON: open the file in ui.perfetto.dev or chrome://tracing. Spans render
+// as duration events on their real thread, chaos steps and blackhole
+// windows as async tracks, step duration and RSS as counter tracks.
+//
+// summarize prints an event-type rollup, distinct chaos steps, resume
+// markers and the stop reason; tail prints the last N (default 10) events.
+// Both work on journals of killed runs — a cut final line is counted, not
+// fatal.
+#include <cstdio>
+#include <fstream>
+
+#include "ranycast/core/flags.hpp"
+#include "ranycast/flight/flight.hpp"
+
+using namespace ranycast;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ranycast-flight export --journal FILE [--flight FILE] --out FILE\n"
+               "       ranycast-flight summarize --journal FILE\n"
+               "       ranycast-flight tail --journal FILE [--last N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const flags::Parser args(argc, argv);
+  for (const auto& bad : args.unknown({"journal", "flight", "out", "last"})) {
+    std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
+    return 2;
+  }
+  if (args.positional().size() != 1) return usage();
+  const std::string& command = args.positional().front();
+  if (command != "export" && command != "summarize" && command != "tail") {
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  }
+  const auto journal_path = args.get("journal");
+  if (!journal_path) {
+    std::fprintf(stderr, "--journal FILE is required\n");
+    return 2;
+  }
+  auto journal = flight::load_journal(*journal_path);
+  if (!journal) {
+    std::fprintf(stderr, "%s\n", journal.error().c_str());
+    return 2;
+  }
+
+  if (command == "summarize") {
+    std::fputs(flight::summarize(*journal).c_str(), stdout);
+    return 0;
+  }
+  if (command == "tail") {
+    const auto n = static_cast<std::size_t>(args.get_or("last", std::int64_t{10}));
+    std::fputs(flight::tail(*journal, n).c_str(), stdout);
+    return 0;
+  }
+
+  // export
+  const auto out_path = args.get("out");
+  if (!out_path) {
+    std::fprintf(stderr, "export requires --out FILE\n");
+    return 2;
+  }
+  std::vector<obs::FlightThreadSnapshot> threads;
+  if (const auto flight_path = args.get("flight")) {
+    auto loaded = flight::load_flight_dump(*flight_path);
+    if (!loaded) {
+      std::fprintf(stderr, "%s\n", loaded.error().c_str());
+      return 2;
+    }
+    threads = std::move(*loaded);
+  }
+  const std::string trace = flight::chrome_trace(*journal, threads);
+  std::ofstream out(*out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path->c_str());
+    return 2;
+  }
+  out << trace;
+  std::fprintf(stderr, "wrote %s (%zu journal events, %zu threads)\n", out_path->c_str(),
+               journal->events.size(), threads.size());
+  return 0;
+}
