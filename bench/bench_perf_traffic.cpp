@@ -1,0 +1,122 @@
+// Traffic-plane performance benchmarks (google-benchmark): per-group flow
+// generation over the exec pool, the capacity/overload solve under both
+// policies, and a full chaos step with traffic recording enabled. The JSON
+// baseline lives in bench/BENCH_perf_traffic.json and CI gates on these
+// counters via tools/check_bench_regression.py --require.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ranycast/atlas/grouping.hpp"
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/chaos/plan.hpp"
+#include "ranycast/lab/lab.hpp"
+#include "ranycast/traffic/flows.hpp"
+#include "ranycast/traffic/solver.hpp"
+
+using namespace ranycast;
+
+namespace {
+
+lab::LabConfig bench_config() {
+  lab::LabConfig config;
+  config.world.stub_count = 1200;
+  config.census.total_probes = 5000;
+  return config;
+}
+
+void BM_TrafficFlowGen(benchmark::State& state) {
+  auto laboratory = lab::Lab::create(bench_config());
+  const auto retained = laboratory.census().retained();
+  const auto groups = atlas::group_probes(retained);
+  const traffic::TrafficConfig cfg;
+  for (auto _ : state) {
+    const auto set = traffic::generate_flows(groups, retained, cfg);
+    benchmark::DoNotOptimize(set.total_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(retained.size()));
+}
+BENCHMARK(BM_TrafficFlowGen)->Unit(benchmark::kMillisecond);
+
+// The solve on a live catchment; capacity is squeezed so the policy layer
+// actually runs (Shed walks relaxation waves, Spill drops).
+void solve_bench(benchmark::State& state, traffic::OverloadPolicy policy) {
+  auto laboratory = lab::Lab::create(bench_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  const auto retained = laboratory.census().retained();
+  const auto groups = atlas::group_probes(retained);
+  traffic::TrafficConfig cfg;
+  cfg.policy = policy;
+  cfg.demand_scale = 1.5;
+  cfg.default_site_capacity_mbps = 450.0;
+  const auto flows = traffic::generate_flows(groups, retained, cfg);
+
+  const std::size_t site_count = im6.deployment.sites().size();
+  const std::size_t region_count = im6.deployment.regions().size();
+  std::vector<traffic::ProbeAssign> assign(retained.size());
+  for (std::size_t i = 0; i < retained.size(); ++i) {
+    const atlas::Probe& p = *retained[i];
+    const auto answer = laboratory.dns_lookup(p, im6, dns::QueryMode::Ldns);
+    const bgp::Route* route = im6.route_for(p.asn, answer.region);
+    if (route == nullptr) continue;
+    assign[i].site = route->origin_site;
+    if (policy != traffic::OverloadPolicy::Shed) continue;
+    for (std::size_t r = 0; r < region_count; ++r) {
+      if (r == answer.region) continue;
+      const bgp::Route* alt = im6.route_for(p.asn, r);
+      if (alt == nullptr || alt->origin_site == assign[i].site) continue;
+      assign[i].alternates.push_back(alt->origin_site);
+    }
+  }
+
+  for (auto _ : state) {
+    const auto out = traffic::solve(flows, assign, site_count, cfg);
+    benchmark::DoNotOptimize(out.served_mbps);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flows.flows.size()));
+}
+
+void BM_TrafficSolveSpill(benchmark::State& state) {
+  solve_bench(state, traffic::OverloadPolicy::Spill);
+}
+BENCHMARK(BM_TrafficSolveSpill)->Unit(benchmark::kMillisecond);
+
+void BM_TrafficSolveShed(benchmark::State& state) {
+  solve_bench(state, traffic::OverloadPolicy::Shed);
+}
+BENCHMARK(BM_TrafficSolveShed)->Unit(benchmark::kMillisecond);
+
+// End to end: one withdraw/restore chaos pair with traffic recording on —
+// what a chaos_overload.json step actually costs.
+void BM_TrafficChaosStep(benchmark::State& state) {
+  auto laboratory = lab::Lab::create(bench_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  chaos::Engine engine(laboratory, im6);
+  traffic::TrafficConfig cfg;
+  cfg.policy = traffic::OverloadPolicy::Shed;
+  cfg.default_site_capacity_mbps = 450.0;
+  engine.enable_traffic(cfg);
+
+  chaos::FaultPlan plan;
+  plan.name = "bench";
+  chaos::FaultEvent e;
+  e.kind = chaos::FaultKind::SiteWithdraw;
+  e.site = SiteId{16};
+  plan.events.push_back(e);
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::SiteRestore;
+  e.site = SiteId{16};
+  plan.events.push_back(e);
+
+  for (auto _ : state) {
+    auto report = engine.run(plan);
+    benchmark::DoNotOptimize(report.has_value());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_TrafficChaosStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,6 +1,7 @@
 #include "ranycast/analysis/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace ranycast::analysis {
@@ -41,7 +42,11 @@ std::string TextTable::render() const {
 }
 
 namespace {
+// A NaN or infinity in a report cell is an undefined quantity (a rate over
+// an empty population, utilization of a zero-capacity site), not a number
+// that happens to be odd — print it as `n/a` instead of "nan"/"inf".
 std::string fmt_double(double v, int decimals) {
+  if (!std::isfinite(v)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
   return buf;
@@ -51,6 +56,7 @@ std::string fmt_double(double v, int decimals) {
 std::string fmt_ms(double ms, int decimals) { return fmt_double(ms, decimals); }
 
 std::string fmt_pct(double fraction, int decimals) {
+  if (!std::isfinite(fraction)) return "n/a";
   return fmt_double(fraction * 100.0, decimals) + "%";
 }
 

@@ -17,12 +17,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ranycast/atlas/grouping.hpp"
 #include "ranycast/chaos/plan.hpp"
 #include "ranycast/converge/plane.hpp"
 #include "ranycast/core/expected.hpp"
 #include "ranycast/guard/runtime.hpp"
 #include "ranycast/guard/sweep.hpp"
 #include "ranycast/lab/lab.hpp"
+#include "ranycast/traffic/flows.hpp"
+#include "ranycast/traffic/report.hpp"
 
 namespace ranycast::chaos {
 
@@ -84,6 +87,9 @@ struct ChaosReport {
   /// Transient convergence of every completed step, parallel to `steps`.
   /// Empty unless Engine::enable_transient was called before the run.
   std::vector<converge::StepTransient> transient;
+  /// Traffic accounting of every completed step, parallel to `steps`.
+  /// Empty unless Engine::enable_traffic was called before the run.
+  std::vector<traffic::StepTraffic> traffic;
 };
 
 /// Outcome of a supervised run: the (possibly partial) report plus how the
@@ -107,6 +113,14 @@ class Engine {
   /// checkpoint fingerprint, so a transient run never resumes from (or into)
   /// a steady-only checkpoint.
   void enable_transient(const converge::Config& cfg);
+
+  /// Record flow-level load for every subsequent step: each step solves the
+  /// traffic model against the pre-fault and post-fault catchments, filling
+  /// ChaosReport::traffic alongside ChaosReport::steps with per-site
+  /// utilization, shed/dropped-flow and cascade-depth accounting. The
+  /// traffic config is folded into the guarded checkpoint fingerprint, so a
+  /// traffic run never resumes from (or into) a load-free checkpoint.
+  void enable_traffic(const traffic::TrafficConfig& cfg);
 
   /// Apply every event of the plan in order. Fails (without measuring
   /// further) on an unappliable event: unknown site/region/IXP/database
@@ -136,10 +150,20 @@ class Engine {
   void ensure_plane();
   /// snapshot → apply → snapshot → reduce for one event; shared between
   /// run() and run_guarded(). When transient recording is on, also runs the
-  /// convergence plane for the step and appends to *transient_out.
+  /// convergence plane for the step and appends to *transient_out; when
+  /// traffic is on, solves the load model around the fault and appends to
+  /// *traffic_out.
   core::Expected<StepReport, std::string> execute_step(
       const FaultPlan& plan, std::size_t index, std::vector<ProbeView>& before,
-      std::vector<ProbeView>& after, std::vector<converge::StepTransient>* transient_out);
+      std::vector<ProbeView>& after, std::vector<converge::StepTransient>* transient_out,
+      std::vector<traffic::StepTraffic>* traffic_out);
+  /// The window's flows under the current surge scale (cached: regenerated
+  /// only when a traffic_surge/_restore event changes the scale).
+  const traffic::FlowSet& current_flows();
+  /// Solve the traffic model against one measurement pass's catchment.
+  /// Must run while the routes the views were snapshotted from are still
+  /// live (route_for supplies the shed alternates).
+  traffic::TrafficSolve solve_traffic(const std::vector<ProbeView>& views);
 
   lab::Lab& lab_;
   lab::DeploymentHandle* handle_;
@@ -148,6 +172,13 @@ class Engine {
   std::unordered_map<std::size_t, std::vector<SiteId>> withdrawn_regions_;
   std::optional<converge::Config> transient_cfg_;
   std::unique_ptr<converge::Plane> plane_;
+  std::optional<traffic::TrafficConfig> traffic_cfg_;
+  /// Current arrival-rate multiplier (mutated by traffic_surge/_restore;
+  /// restored on resume by the fast-forward replay like every other fault).
+  double surge_scale_{1.0};
+  std::vector<atlas::ProbeGroup> probe_groups_;  ///< built lazily, stable per run
+  bool groups_built_{false};
+  std::optional<std::pair<std::uint64_t, traffic::FlowSet>> flow_cache_;
 };
 
 }  // namespace ranycast::chaos

@@ -33,6 +33,8 @@ enum class FaultKind : std::uint8_t {
   GeoDbRestore,    ///< geolocation DB back to its configured error profile
   MeasurementDegrade,  ///< packet loss + resolver timeouts on the probe plane
   MeasurementRestore,  ///< measurement plane back to lossless
+  TrafficSurge,        ///< demand spike: scales the traffic plane's arrivals
+  TrafficRestore,      ///< demand back to the configured baseline
 };
 
 std::string_view to_string(FaultKind k) noexcept;
@@ -52,6 +54,7 @@ struct FaultEvent {
   std::size_t region{0};
   std::size_t db{0};
   /// GeoDbStale: extra block-granular wrong-country probability.
+  /// TrafficSurge: the arrival-rate multiplier to install (> 0).
   double magnitude{0.0};
   /// MeasurementDegrade: the degradation profile to install.
   lab::MeasurementFaults faults{};

@@ -43,4 +43,10 @@ core::Expected<FaultPlan, io::ConfigError> load_plan(const std::string& path);
 /// same seed + same plan dumps byte-identical documents).
 io::Json report_to_json(const ChaosReport& report);
 
+/// Read the scenario's optional "traffic" block (see traffic/config.hpp for
+/// the schema): nullopt when the scenario declares none, a validated config
+/// when it does, an error if the block is malformed.
+core::Expected<std::optional<traffic::TrafficConfig>, io::ConfigError> traffic_from_scenario(
+    const io::Json& json, std::string_view file = {});
+
 }  // namespace ranycast::chaos

@@ -1,5 +1,8 @@
 #include "ranycast/chaos/engine.hpp"
 
+#include <bit>
+#include <cmath>
+
 #include "ranycast/analysis/stats.hpp"
 #include "ranycast/core/crc32.hpp"
 #include "ranycast/core/rng.hpp"
@@ -7,6 +10,7 @@
 #include "ranycast/io/config.hpp"
 #include "ranycast/obs/journal.hpp"
 #include "ranycast/obs/span.hpp"
+#include "ranycast/traffic/solver.hpp"
 
 namespace ranycast::chaos {
 
@@ -80,6 +84,52 @@ void write_transient(guard::ByteWriter& w, const converge::StepTransient& s) {
   w.u8(s.oscillating ? 1 : 0);
 }
 
+void write_site_load(guard::ByteWriter& w, const traffic::SiteLoad& s) {
+  w.f64(s.capacity_mbps);
+  w.f64(s.offered_mbps);
+  w.f64(s.served_mbps);
+  w.f64(s.shed_out_mbps);
+  w.f64(s.dropped_mbps);
+  w.f64(s.utilization);
+  w.f64(s.queue_delay_ms);
+  w.u64(s.flows_offered);
+  w.u64(s.flows_served);
+  w.u64(s.flows_shed_out);
+  w.u64(s.flows_shed_in);
+  w.u64(s.flows_dropped);
+  w.u8(s.overloaded ? 1 : 0);
+}
+
+void write_traffic(guard::ByteWriter& w, const traffic::StepTraffic& t) {
+  w.u64(t.index);
+  w.str(t.event);
+  w.u64(t.solve.sites.size());
+  for (const traffic::SiteLoad& s : t.solve.sites) write_site_load(w, s);
+  w.f64(t.solve.offered_mbps);
+  w.f64(t.solve.served_mbps);
+  w.f64(t.solve.shed_mbps);
+  w.f64(t.solve.dropped_mbps);
+  w.u64(t.solve.flows_offered);
+  w.u64(t.solve.flows_served);
+  w.u64(t.solve.flows_shed);
+  w.u64(t.solve.flows_dropped);
+  w.u64(t.solve.flows_unrouted);
+  w.f64(t.solve.unrouted_mbps);
+  w.u64(t.solve.overloaded_sites);
+  w.u64(t.solve.cascade_depth);
+  w.f64(t.solve.max_utilization);
+  w.f64(t.solve.mean_utilization);
+  w.f64(t.solve.queue_delay_p50_ms);
+  w.f64(t.solve.queue_delay_p90_ms);
+  w.f64(t.solve.queue_delay_max_ms);
+  w.f64(t.before_max_utilization);
+  w.f64(t.before_mean_utilization);
+  w.u64(t.tipped_sites);
+  w.u64(t.cascade_depth);
+  w.f64(t.inflated_p50_ms);
+  w.f64(t.inflated_p90_ms);
+}
+
 StepReport read_step(guard::ByteReader& r) {
   StepReport s;
   s.index = r.u64();
@@ -101,6 +151,60 @@ StepReport read_step(guard::ByteReader& r) {
   s.degraded_dns_answers = r.u64();
   s.lost_pings = r.u64();
   return s;
+}
+
+traffic::SiteLoad read_site_load(guard::ByteReader& r) {
+  traffic::SiteLoad s;
+  s.capacity_mbps = r.f64();
+  s.offered_mbps = r.f64();
+  s.served_mbps = r.f64();
+  s.shed_out_mbps = r.f64();
+  s.dropped_mbps = r.f64();
+  s.utilization = r.f64();
+  s.queue_delay_ms = r.f64();
+  s.flows_offered = r.u64();
+  s.flows_served = r.u64();
+  s.flows_shed_out = r.u64();
+  s.flows_shed_in = r.u64();
+  s.flows_dropped = r.u64();
+  s.overloaded = r.u8() != 0;
+  return s;
+}
+
+traffic::StepTraffic read_traffic(guard::ByteReader& r) {
+  traffic::StepTraffic t;
+  t.index = r.u64();
+  t.event = r.str();
+  const std::uint64_t sites = r.u64();
+  if (!r.ok()) return t;
+  t.solve.sites.reserve(sites);
+  for (std::uint64_t i = 0; i < sites && r.ok(); ++i) {
+    t.solve.sites.push_back(read_site_load(r));
+  }
+  t.solve.offered_mbps = r.f64();
+  t.solve.served_mbps = r.f64();
+  t.solve.shed_mbps = r.f64();
+  t.solve.dropped_mbps = r.f64();
+  t.solve.flows_offered = r.u64();
+  t.solve.flows_served = r.u64();
+  t.solve.flows_shed = r.u64();
+  t.solve.flows_dropped = r.u64();
+  t.solve.flows_unrouted = r.u64();
+  t.solve.unrouted_mbps = r.f64();
+  t.solve.overloaded_sites = r.u64();
+  t.solve.cascade_depth = r.u64();
+  t.solve.max_utilization = r.f64();
+  t.solve.mean_utilization = r.f64();
+  t.solve.queue_delay_p50_ms = r.f64();
+  t.solve.queue_delay_p90_ms = r.f64();
+  t.solve.queue_delay_max_ms = r.f64();
+  t.before_max_utilization = r.f64();
+  t.before_mean_utilization = r.f64();
+  t.tipped_sites = r.u64();
+  t.cascade_depth = r.u64();
+  t.inflated_p50_ms = r.f64();
+  t.inflated_p90_ms = r.f64();
+  return t;
 }
 
 converge::RegionTransient read_region_transient(guard::ByteReader& r) {
@@ -196,6 +300,32 @@ void journal_step(const StepReport& s, std::uint64_t dur_ns) {
        F::u64_field("lost_pings", s.lost_pings), F::u64_field("dur_ns", dur_ns)});
 }
 
+/// One journal line per measured step when traffic is on, right after the
+/// step's chaos_step line (same dedup-by-index contract on resume).
+void journal_traffic(const traffic::StepTraffic& t) {
+  if (obs::journal() == nullptr) return;
+  using F = obs::JournalField;
+  obs::journal_event(
+      "traffic_step",
+      {F::u64_field("index", t.index), F::str("event", t.event),
+       F::f64_field("offered_mbps", t.solve.offered_mbps),
+       F::f64_field("served_mbps", t.solve.served_mbps),
+       F::f64_field("shed_mbps", t.solve.shed_mbps),
+       F::f64_field("dropped_mbps", t.solve.dropped_mbps),
+       F::u64_field("flows_offered", t.solve.flows_offered),
+       F::u64_field("flows_shed", t.solve.flows_shed),
+       F::u64_field("flows_dropped", t.solve.flows_dropped),
+       F::u64_field("flows_unrouted", t.solve.flows_unrouted),
+       F::u64_field("overloaded_sites", t.solve.overloaded_sites),
+       F::u64_field("tipped_sites", t.tipped_sites),
+       F::u64_field("cascade_depth", t.cascade_depth),
+       F::f64_field("max_utilization", t.solve.max_utilization),
+       F::f64_field("mean_utilization", t.solve.mean_utilization),
+       F::f64_field("queue_delay_p90_ms", t.solve.queue_delay_p90_ms),
+       F::f64_field("inflated_p50_ms", t.inflated_p50_ms),
+       F::f64_field("inflated_p90_ms", t.inflated_p90_ms)});
+}
+
 }  // namespace
 
 /// What one probe saw during a measurement pass. Routes are captured by
@@ -215,6 +345,58 @@ Engine::Engine(lab::Lab& laboratory, const lab::DeploymentHandle& handle)
 void Engine::enable_transient(const converge::Config& cfg) {
   transient_cfg_ = cfg;
   plane_.reset();
+}
+
+void Engine::enable_traffic(const traffic::TrafficConfig& cfg) {
+  traffic_cfg_ = cfg;
+  flow_cache_.reset();
+  groups_built_ = false;
+}
+
+const traffic::FlowSet& Engine::current_flows() {
+  if (!groups_built_) {
+    probe_groups_ = atlas::group_probes(lab_.census().retained());
+    groups_built_ = true;
+  }
+  // Demand only changes when a traffic_surge/_restore event moves the scale;
+  // key the cache on the exact bits so equal scales never regenerate.
+  const std::uint64_t key = std::bit_cast<std::uint64_t>(surge_scale_);
+  if (!flow_cache_ || flow_cache_->first != key) {
+    flow_cache_.emplace(key, traffic::generate_flows(probe_groups_, lab_.census().retained(),
+                                                     *traffic_cfg_, surge_scale_));
+  }
+  return flow_cache_->second;
+}
+
+traffic::TrafficSolve Engine::solve_traffic(const std::vector<ProbeView>& views) {
+  const traffic::FlowSet& flows = current_flows();
+  const auto& dep = handle_->deployment;
+  const std::size_t regions = dep.regions().size();
+  const bool shed = traffic_cfg_->policy == traffic::OverloadPolicy::Shed;
+  // Per-probe assignment is pure in (view, live routes): disjoint slots, so
+  // the fan-out is worker-count independent like every other snapshot pass.
+  std::vector<traffic::ProbeAssign> assign(views.size());
+  exec::ThreadPool::global().parallel_for(views.size(), [&](std::size_t i) {
+    const ProbeView& v = views[i];
+    if (!v.routed) return;
+    traffic::ProbeAssign pa;
+    pa.site = v.site;
+    if (shed) {
+      // DNS can steer this client to any other regional prefix it still has
+      // a route to; the shed targets are those prefixes' catchment sites
+      // (region order — deterministic).
+      for (std::size_t r2 = 0; r2 < regions; ++r2) {
+        if (r2 == v.answer.region) continue;
+        const bgp::Route* route = handle_->route_for(v.probe->asn, r2);
+        if (route == nullptr || route->origin_site == v.site) continue;
+        bool dup = false;
+        for (SiteId existing : pa.alternates) dup = dup || existing == route->origin_site;
+        if (!dup) pa.alternates.push_back(route->origin_site);
+      }
+    }
+    assign[i] = std::move(pa);
+  });
+  return traffic::solve(flows, assign, dep.sites().size(), *traffic_cfg_);
 }
 
 void Engine::ensure_plane() {
@@ -354,6 +536,19 @@ std::string Engine::apply(const FaultEvent& e) {
       lab_.set_measurement_faults(std::nullopt);
       reroute = false;
       break;
+    case FaultKind::TrafficSurge:
+      // Appliable with or without the traffic plane (so resume fast-forward
+      // replays it unconditionally); without the plane it is a routing no-op.
+      if (!std::isfinite(e.magnitude) || e.magnitude <= 0.0) {
+        return "traffic_surge scale must be positive and finite";
+      }
+      surge_scale_ = e.magnitude;
+      reroute = false;
+      break;
+    case FaultKind::TrafficRestore:
+      surge_scale_ = 1.0;
+      reroute = false;
+      break;
   }
   if (reroute) lab_.resolve(*handle_);
   return "";
@@ -361,7 +556,8 @@ std::string Engine::apply(const FaultEvent& e) {
 
 core::Expected<StepReport, std::string> Engine::execute_step(
     const FaultPlan& plan, std::size_t index, std::vector<ProbeView>& before,
-    std::vector<ProbeView>& after, std::vector<converge::StepTransient>* transient_out) {
+    std::vector<ProbeView>& after, std::vector<converge::StepTransient>* transient_out,
+    std::vector<traffic::StepTraffic>* traffic_out) {
   static obs::Counter& steps_counter = metrics().counter("chaos.steps");
   static obs::Histogram& step_us = metrics().histogram("chaos.step.total_us");
   const FaultEvent& event = plan.events[index];
@@ -381,6 +577,13 @@ core::Expected<StepReport, std::string> Engine::execute_step(
   }
 
   snapshot(before);
+  const bool traffic_on = traffic_cfg_.has_value() && traffic_out != nullptr;
+  traffic::TrafficSolve before_solve;
+  if (traffic_on) {
+    // Solved pre-apply: the shed alternates come from route_for, which the
+    // fault's re-solve is about to invalidate.
+    before_solve = solve_traffic(before);
+  }
   if (const std::string err = apply(event); !err.empty()) {
     return core::unexpected("step " + std::to_string(index) + " (" + describe(event) +
                             "): " + err);
@@ -468,7 +671,52 @@ core::Expected<StepReport, std::string> Engine::execute_step(
     }
     transient_out->push_back(plane_->step(index, describe(event), deltas, refs));
   }
+
+  if (traffic_on) {
+    static obs::Gauge& util_max = metrics().gauge("traffic.max_utilization");
+    static obs::Gauge& util_mean = metrics().gauge("traffic.mean_utilization");
+    static obs::Counter& shed_flows = metrics().counter("traffic.flows_shed");
+    static obs::Counter& dropped_flows = metrics().counter("traffic.flows_dropped");
+    static obs::Histogram& delay_hist = metrics().histogram("traffic.queue_delay_ms");
+    traffic::StepTraffic t;
+    t.index = index;
+    t.event = describe(event);
+    t.solve = solve_traffic(after);
+    t.before_max_utilization = before_solve.max_utilization;
+    t.before_mean_utilization = before_solve.mean_utilization;
+    const double threshold = traffic_cfg_->admission_threshold;
+    const std::size_t site_count =
+        std::min(before_solve.sites.size(), t.solve.sites.size());
+    for (std::size_t s = 0; s < site_count; ++s) {
+      const traffic::SiteLoad& b = before_solve.sites[s];
+      const traffic::SiteLoad& a = t.solve.sites[s];
+      if (a.capacity_mbps > 0.0 && b.utilization <= threshold && a.utilization > threshold) {
+        ++t.tipped_sites;
+      }
+    }
+    // Depth 0: absorbed. 1: the fault itself tipped sites. >1: shedding off
+    // the tipped sites overloaded further neighbors in turn.
+    t.cascade_depth = (t.tipped_sites > 0 ? 1 : 0) + t.solve.cascade_depth;
+    std::vector<double> inflated;
+    inflated.reserve(after.size());
+    for (const ProbeView& a : after) {
+      if (!a.routed || !a.rtt) continue;
+      const std::size_t s = value(a.site);
+      const double wait =
+          s < t.solve.sites.size() ? t.solve.sites[s].queue_delay_ms : 0.0;
+      inflated.push_back(a.rtt->ms + wait);
+      delay_hist.record(wait);
+    }
+    t.inflated_p50_ms = analysis::percentile(inflated, 50);
+    t.inflated_p90_ms = analysis::percentile(inflated, 90);
+    util_max.set(t.solve.max_utilization);
+    util_mean.set(t.solve.mean_utilization);
+    shed_flows.add(t.solve.flows_shed);
+    dropped_flows.add(t.solve.flows_dropped);
+    traffic_out->push_back(std::move(t));
+  }
   journal_step(step, obs::trace_now_ns() - step_start_ns);
+  if (traffic_on) journal_traffic(traffic_out->back());
   return step;
 }
 
@@ -489,7 +737,7 @@ core::Expected<ChaosReport, std::string> Engine::run(const FaultPlan& plan) {
 
   std::vector<ProbeView> before, after;
   for (std::size_t i = 0; i < plan.events.size(); ++i) {
-    auto step = execute_step(plan, i, before, after, &report.transient);
+    auto step = execute_step(plan, i, before, after, &report.transient, &report.traffic);
     if (!step) return core::unexpected(std::move(step).error());
     report.steps.push_back(std::move(*step));
     report.completed_steps = i + 1;
@@ -521,11 +769,16 @@ core::Expected<GuardedChaosRun, std::string> Engine::run_guarded(
   if (transient_cfg_) {
     fingerprint = hash_combine(fingerprint, converge::fingerprint(*transient_cfg_));
   }
+  // Same for traffic: demand, capacities and policy are part of the
+  // experiment's identity.
+  if (traffic_cfg_) {
+    fingerprint = hash_combine(fingerprint, traffic::fingerprint(*traffic_cfg_));
+  }
 
   std::vector<ProbeView> before, after;
   guard::SweepHooks hooks;
   hooks.process = [&](std::size_t i) {
-    auto step = execute_step(plan, i, before, after, &report.transient);
+    auto step = execute_step(plan, i, before, after, &report.transient, &report.traffic);
     if (!step) throw StepFailure(std::move(step).error());
     report.steps.push_back(std::move(*step));
   };
@@ -535,6 +788,10 @@ core::Expected<GuardedChaosRun, std::string> Engine::run_guarded(
     if (transient_cfg_) {
       w.u64(report.transient.size());
       for (const converge::StepTransient& t : report.transient) write_transient(w, t);
+    }
+    if (traffic_cfg_) {
+      w.u64(report.traffic.size());
+      for (const traffic::StepTraffic& t : report.traffic) write_traffic(w, t);
     }
   };
   hooks.load = [&](guard::ByteReader& r) {
@@ -558,6 +815,17 @@ core::Expected<GuardedChaosRun, std::string> Engine::run_guarded(
       for (const converge::StepTransient& t : report.transient) {
         if (t.oscillating) return false;
       }
+    }
+    if (traffic_cfg_) {
+      const std::uint64_t tcount = r.u64();
+      if (!r.ok() || tcount != count) return false;
+      report.traffic.clear();
+      report.traffic.reserve(tcount);
+      for (std::uint64_t i = 0; i < tcount; ++i) report.traffic.push_back(read_traffic(r));
+      // The surge scale and flow cache are rebuilt by the fast-forward
+      // replay below (traffic_surge events are appliable mutations like any
+      // other fault), so no traffic-plane state travels outside the steps.
+      flow_cache_.reset();
     }
     if (!r.ok() || !r.at_end()) return false;
     // The plane (if any) must cold-start after the replay below, on the
@@ -590,6 +858,10 @@ core::Expected<GuardedChaosRun, std::string> Engine::run_guarded(
   if (transient_cfg_ && report.transient.size() != report.steps.size()) {
     return core::unexpected(policy.path +
                             ": transient records disagree with the step list");
+  }
+  if (traffic_cfg_ && report.traffic.size() != report.steps.size()) {
+    return core::unexpected(policy.path +
+                            ": traffic records disagree with the step list");
   }
   report.completed_steps = out.sweep.completed;
   report.truncated = !out.sweep.complete();

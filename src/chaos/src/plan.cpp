@@ -21,6 +21,8 @@ std::string_view to_string(FaultKind k) noexcept {
     case FaultKind::GeoDbRestore: return "geodb_restore";
     case FaultKind::MeasurementDegrade: return "measurement_degrade";
     case FaultKind::MeasurementRestore: return "measurement_restore";
+    case FaultKind::TrafficSurge: return "traffic_surge";
+    case FaultKind::TrafficRestore: return "traffic_restore";
   }
   return "unknown";
 }
@@ -72,6 +74,11 @@ std::string describe(const FaultEvent& e) {
              " max_retries=" + std::to_string(e.faults.max_retries);
       break;
     case FaultKind::MeasurementRestore:
+      break;
+    case FaultKind::TrafficSurge:
+      out += " scale=" + fmt(e.magnitude);
+      break;
+    case FaultKind::TrafficRestore:
       break;
   }
   if (!e.label.empty()) out += " '" + e.label + "'";

@@ -1,6 +1,9 @@
 #include "ranycast/chaos/scenario.hpp"
 
+#include <cmath>
+
 #include "ranycast/converge/report.hpp"
+#include "ranycast/traffic/config.hpp"
 
 namespace ranycast::chaos {
 
@@ -40,6 +43,8 @@ constexpr KindSpec kKinds[] = {
     {"geodb_restore", FaultKind::GeoDbRestore},
     {"measurement_degrade", FaultKind::MeasurementDegrade},
     {"measurement_restore", FaultKind::MeasurementRestore},
+    {"traffic_surge", FaultKind::TrafficSurge},
+    {"traffic_restore", FaultKind::TrafficRestore},
 };
 
 /// The matching *Up kind for a flap's second half.
@@ -170,6 +175,16 @@ core::Expected<FaultEvent, io::ConfigError> event_from_json(const io::Json& obj,
     }
     case FaultKind::MeasurementRestore:
       break;
+    case FaultKind::TrafficSurge: {
+      event.magnitude = obj.number_or("scale", 0.0);
+      if (!(event.magnitude > 0.0) || !std::isfinite(event.magnitude)) {
+        return core::unexpected(
+            field_error(file, base + "scale", "surge scale must be positive and finite"));
+      }
+      break;
+    }
+    case FaultKind::TrafficRestore:
+      break;
   }
   return event;
 }
@@ -263,7 +278,27 @@ io::Json report_to_json(const ChaosReport& report) {
     }
     out["transient"] = io::Json(std::move(transient));
   }
+  if (!report.traffic.empty()) {
+    io::JsonArray traffic;
+    traffic.reserve(report.traffic.size());
+    for (const traffic::StepTraffic& t : report.traffic) {
+      traffic.push_back(traffic::step_to_json(t));
+    }
+    out["traffic"] = io::Json(std::move(traffic));
+  }
   return io::Json(std::move(out));
+}
+
+core::Expected<std::optional<traffic::TrafficConfig>, io::ConfigError> traffic_from_scenario(
+    const io::Json& json, std::string_view file) {
+  if (!json.is_object()) {
+    return core::unexpected(field_error(file, "", "scenario must be a JSON object"));
+  }
+  const io::Json* block = json.find("traffic");
+  if (block == nullptr) return std::optional<traffic::TrafficConfig>{};
+  auto cfg = traffic::config_from_json(*block, file, "traffic.");
+  if (!cfg) return core::unexpected(std::move(cfg).error());
+  return std::optional<traffic::TrafficConfig>{std::move(*cfg)};
 }
 
 }  // namespace ranycast::chaos

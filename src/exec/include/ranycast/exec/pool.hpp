@@ -167,6 +167,7 @@ class ThreadPool {
   std::condition_variable work_cv_;   // signals a new job generation
   std::condition_variable done_cv_;   // signals job completion
   std::uint64_t generation_{0};
+  unsigned active_{0};  ///< workers currently inside run_chunks
   bool shutdown_{false};
   Job job_;
   std::exception_ptr first_error_;

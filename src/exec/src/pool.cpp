@@ -97,11 +97,21 @@ void ThreadPool::worker_loop(unsigned worker_index) {
       if (shutdown_) return;
       seen_generation = generation_;
       parent_ctx = job_.parent_ctx;
+      // Registered before the lock drops: parallel_for treats active_ > 0 as
+      // "a worker may still be reading job_" and won't touch the fields.
+      ++active_;
     }
-    // Spans opened by job items on this worker nest under the span that was
-    // open on the enqueuing thread, so cross-thread flame graphs line up.
-    const obs::InheritedSpanScope inherit(parent_ctx);
-    run_chunks(worker_index);
+    {
+      // Spans opened by job items on this worker nest under the span that was
+      // open on the enqueuing thread, so cross-thread flame graphs line up.
+      const obs::InheritedSpanScope inherit(parent_ctx);
+      run_chunks(worker_index);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    done_cv_.notify_all();
   }
 }
 
@@ -150,13 +160,12 @@ void ThreadPool::run_chunks(unsigned worker_index) {
           std::memory_order_relaxed);
     }
   }
-  if (completed_here > 0 &&
-      job_.done.fetch_add(completed_here, std::memory_order_acq_rel) + completed_here ==
-          job_.total) {
-    // Last chunk: wake the caller. The lock orders the notify after the
-    // caller's wait predicate check.
-    const std::lock_guard<std::mutex> lock(mutex_);
-    done_cv_.notify_all();
+  if (completed_here > 0) {
+    // Completion is signalled from the caller (worker 0 checks the predicate
+    // directly) and from worker_loop's active_-decrement; signalling here too
+    // would let the caller return and republish job_ while a straggler that
+    // claimed no items is still reading the fields.
+    job_.done.fetch_add(completed_here, std::memory_order_acq_rel);
   }
 }
 
@@ -173,7 +182,11 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
 
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
+    // A worker that woke late for the *previous* generation may still be
+    // draining its (empty) cursor loop; job_ must stay frozen until it is
+    // out, or it could observe a half-published next job.
+    done_cv_.wait(lock, [&] { return active_ == 0; });
     job_.fn = &fn;
     job_.cancel = cancel;
     job_.total = n;
@@ -193,7 +206,9 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   run_chunks(0);
 
   std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return job_.done.load(std::memory_order_acquire) == job_.total; });
+  done_cv_.wait(lock, [&] {
+    return active_ == 0 && job_.done.load(std::memory_order_acquire) == job_.total;
+  });
   job_.fn = nullptr;
   job_.cancel = nullptr;
   if (first_error_) {

@@ -1,0 +1,48 @@
+// JSON bindings and validation for the traffic block of scenario/experiment
+// configs — the same Expected-based, file:offset:field error surface the
+// LabConfig loader has.
+//
+// Schema (all members optional, unknown keys ignored):
+//   "traffic": {
+//     "flows_per_probe_per_s": 2.0,
+//     "window_s": 1.0,
+//     "demand_scale": 1.0,
+//     "default_site_capacity_mbps": 600.0,
+//     "site_capacity_mbps": [800, 600, ...],        // by site id
+//     "policy": "spill" | "shed",
+//     "admission_threshold": 0.95,
+//     "max_rho": 0.99,
+//     "max_shed_waves": 8,
+//     "seed": 8059164,
+//     "flow_sizes": {"bytes": [...], "prob": [...]}  // empirical CDF knots
+//   }
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ranycast/core/expected.hpp"
+#include "ranycast/io/config.hpp"
+#include "ranycast/io/json.hpp"
+#include "ranycast/traffic/model.hpp"
+
+namespace ranycast::traffic {
+
+/// Bind a parsed "traffic" JSON object. `file` labels errors; `base` is the
+/// dotted prefix of the block within its document (e.g. "traffic.").
+core::Expected<TrafficConfig, io::ConfigError> config_from_json(const io::Json& json,
+                                                                std::string_view file = {},
+                                                                const std::string& base = "traffic.");
+
+/// Exact inverse of the reader for covered keys (manifests, round-trips).
+io::Json config_to_json(const TrafficConfig& cfg);
+
+/// Range-check a TrafficConfig: capacities > 0, rates finite and
+/// non-negative, window positive, thresholds in (0, 1], CDF strictly
+/// monotone and normalized. Returns the first violation with `field` naming
+/// the offending key (validated on every load; callable directly for
+/// programmatically-built configs).
+std::optional<io::ConfigError> validate(const TrafficConfig& cfg, std::string_view file = {},
+                                        const std::string& base = "traffic.");
+
+}  // namespace ranycast::traffic

@@ -1,0 +1,50 @@
+// Deterministic per-probe-group flow generation.
+//
+// Demand is generated per <city, AS> probe group (the paper's §3.1 unit, so
+// one heavily instrumented network cannot dominate the load picture): each
+// group draws a Poisson flow count for the measurement window from its own
+// forked RNG stream — seeded by group identity, not group position — and
+// flow sizes from the configured empirical CDF. Generation fans out over the
+// exec pool with one output slot per group and a serial in-order
+// concatenation, so the produced FlowSet is byte-identical for any worker
+// count, and a group's draw stream never perturbs another's.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ranycast/atlas/grouping.hpp"
+#include "ranycast/atlas/probe.hpp"
+#include "ranycast/traffic/model.hpp"
+
+namespace ranycast::traffic {
+
+/// One flow of offered load, attributed to the retained probe whose vantage
+/// point generated it (index into the lab's retained-probe array — the same
+/// index space the chaos engine snapshots).
+struct Flow {
+  std::uint32_t probe{0};
+  double bytes{0.0};
+};
+
+struct FlowSet {
+  std::vector<Flow> flows;
+  double total_bytes{0.0};
+  std::size_t groups{0};        ///< groups that produced at least the chance to
+  std::size_t empty_groups{0};  ///< groups skipped (no members — guarded, no 0-div)
+};
+
+/// Total offered load of a set over the window, in megabits per second.
+double offered_mbps(const FlowSet& set, const TrafficConfig& cfg) noexcept;
+
+/// Generate the window's flows. `retained` is the lab's retained-probe array
+/// (defines the Flow::probe index space); `groups` the <city, AS> grouping of
+/// exactly those probes. `surge_scale` multiplies the arrival rate on top of
+/// cfg.demand_scale (driven by traffic_surge chaos events). Deterministic in
+/// (cfg.seed, groups, surge_scale); independent of worker count.
+FlowSet generate_flows(std::span<const atlas::ProbeGroup> groups,
+                       std::span<const atlas::Probe* const> retained,
+                       const TrafficConfig& cfg, double surge_scale = 1.0);
+
+}  // namespace ranycast::traffic

@@ -1,0 +1,89 @@
+#include "ranycast/traffic/flows.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "ranycast/core/rng.hpp"
+#include "ranycast/exec/pool.hpp"
+
+namespace ranycast::traffic {
+
+namespace {
+
+/// Poisson draw: Knuth's product method for small means, rounded normal
+/// approximation above (one draw, so the stream stays short and stable).
+std::size_t poisson(Rng& rng, double mean) {
+  if (!(mean > 0.0)) return 0;
+  if (mean < 32.0) {
+    const double limit = std::exp(-mean);
+    double product = rng.uniform();
+    std::size_t n = 0;
+    while (product > limit) {
+      product *= rng.uniform();
+      ++n;
+    }
+    return n;
+  }
+  const double draw = rng.normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::size_t>(std::llround(draw));
+}
+
+}  // namespace
+
+double offered_mbps(const FlowSet& set, const TrafficConfig& cfg) noexcept {
+  if (!(cfg.window_s > 0.0)) return 0.0;
+  return set.total_bytes * 8.0 / cfg.window_s / 1e6;
+}
+
+FlowSet generate_flows(std::span<const atlas::ProbeGroup> groups,
+                       std::span<const atlas::Probe* const> retained,
+                       const TrafficConfig& cfg, double surge_scale) {
+  // Flow::probe indexes the retained array; group members are pointers into
+  // it, so build the reverse map once (serial — the map itself is read-only
+  // during the fan-out).
+  std::unordered_map<const atlas::Probe*, std::uint32_t> index_of;
+  index_of.reserve(retained.size());
+  for (std::size_t i = 0; i < retained.size(); ++i) {
+    index_of.emplace(retained[i], static_cast<std::uint32_t>(i));
+  }
+
+  std::vector<std::vector<Flow>> per_group(groups.size());
+  exec::ThreadPool::global().parallel_for(groups.size(), [&](std::size_t g) {
+    const atlas::ProbeGroup& group = groups[g];
+    if (group.members.empty()) return;  // guarded: no members, no rate, no 0-div
+    // The stream is seeded by group *identity* (<city, AS>), not position:
+    // the same group draws the same flows even if the grouping around it
+    // changes.
+    const std::uint64_t identity =
+        hash_combine(static_cast<std::uint64_t>(value(group.city)),
+                     static_cast<std::uint64_t>(value(group.asn)));
+    Rng rng(hash_combine(cfg.seed, identity));
+    const double lambda = static_cast<double>(group.members.size()) *
+                          cfg.flows_per_probe_per_s * cfg.window_s * cfg.demand_scale *
+                          surge_scale;
+    const std::size_t count = poisson(rng, lambda);
+    std::vector<Flow>& out = per_group[g];
+    out.reserve(count);
+    for (std::size_t j = 0; j < count; ++j) {
+      const atlas::Probe* member = group.members[j % group.members.size()];
+      const auto it = index_of.find(member);
+      if (it == index_of.end()) continue;  // member outside the retained array
+      out.push_back(Flow{it->second, cfg.flow_sizes.sample(rng.uniform())});
+    }
+  });
+
+  // In-order concatenation: the flow list is a pure function of the group
+  // order, never of worker scheduling.
+  FlowSet set;
+  for (const auto& flows : per_group) {
+    if (flows.empty()) continue;
+    for (const Flow& f : flows) set.total_bytes += f.bytes;
+    set.flows.insert(set.flows.end(), flows.begin(), flows.end());
+  }
+  for (const atlas::ProbeGroup& g : groups) {
+    g.members.empty() ? ++set.empty_groups : ++set.groups;
+  }
+  return set;
+}
+
+}  // namespace ranycast::traffic

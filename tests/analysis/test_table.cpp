@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace ranycast::analysis {
 namespace {
 
@@ -52,6 +54,17 @@ TEST(Format, Percentages) {
 TEST(Format, KmAndCount) {
   EXPECT_EQ(fmt_km(1234.56), "1235");
   EXPECT_EQ(fmt_count(42), "42");
+}
+
+TEST(Format, NonFiniteValuesRenderAsNotAvailable) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(fmt_ms(nan), "n/a");
+  EXPECT_EQ(fmt_ms(inf, 2), "n/a");
+  EXPECT_EQ(fmt_ms(-inf), "n/a");
+  EXPECT_EQ(fmt_pct(nan), "n/a");
+  EXPECT_EQ(fmt_pct(inf, 0), "n/a");
+  EXPECT_EQ(fmt_km(nan), "n/a");
 }
 
 }  // namespace

@@ -1,0 +1,140 @@
+// Shed-vs-spill end to end on a purpose-built world: a deployment whose
+// LatAm region has exactly one site. When that site overloads, pure anycast
+// (Spill) can only drop — its clients have nowhere else inside the regional
+// prefix — while DNS-steered shedding re-answers them onto the US prefix.
+// The two policies must leave measurably different utilization and
+// drop/shed accounting behind.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ranycast/cdn/builder.hpp"
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/chaos/plan.hpp"
+#include "ranycast/lab/lab.hpp"
+#include "ranycast/traffic/model.hpp"
+
+namespace ranycast::traffic {
+namespace {
+
+cdn::DeploymentSpec solo_latam() {
+  cdn::DeploymentSpec spec;
+  spec.name = "solo-latam";
+  spec.asn = make_asn(64999);
+  spec.region_names = {"US", "LatAm"};
+  for (const char* iata : {"IAD", "ORD", "DFW", "LAX", "SEA", "MIA"}) {
+    spec.sites.push_back(cdn::SiteSpec{iata, {0}});
+  }
+  spec.sites.push_back(cdn::SiteSpec{"GRU", {1}});  // the region's only site
+  spec.area_defaults = {0, 0, 1, 0};                // LatAm -> GRU, rest -> US
+  return spec;
+}
+
+class SoloRegionTest : public ::testing::Test {
+ protected:
+  static lab::Lab make_lab() {
+    lab::LabConfig config;
+    config.world.stub_count = 400;
+    config.census.total_probes = 1200;
+    return lab::Lab::create(config);
+  }
+
+  // A one-event plan so the engine produces exactly one traffic solve; the
+  // surge itself is a no-op (scale 1), the step is the measurement.
+  static chaos::FaultPlan one_step() {
+    chaos::FaultPlan plan;
+    plan.name = "solo-latam-overload";
+    chaos::FaultEvent e;
+    e.kind = chaos::FaultKind::TrafficSurge;
+    e.magnitude = 1.0;
+    plan.events.push_back(e);
+    return plan;
+  }
+
+  chaos::ChaosReport run_with(OverloadPolicy policy, double gru_capacity_mbps) {
+    auto laboratory = make_lab();
+    const auto& dep = laboratory.add_deployment(solo_latam());
+    chaos::Engine engine(laboratory, dep);
+    TrafficConfig cfg;
+    cfg.policy = policy;
+    cfg.site_capacity_mbps.assign(dep.deployment.sites().size(),
+                                  cfg.default_site_capacity_mbps);
+    cfg.site_capacity_mbps[gru_] = gru_capacity_mbps;
+    engine.enable_traffic(cfg);
+    auto report = engine.run(one_step());
+    EXPECT_TRUE(report.has_value());
+    EXPECT_EQ(report->traffic.size(), 1u);
+    return std::move(*report);
+  }
+
+  SoloRegionTest() {
+    auto laboratory = make_lab();
+    const auto& dep = laboratory.add_deployment(solo_latam());
+    gru_ = dep.deployment.sites().size() - 1;  // GRU is declared last
+    chaos::Engine engine(laboratory, dep);
+    engine.enable_traffic(TrafficConfig{});
+    const auto report = engine.run(one_step());
+    EXPECT_TRUE(report.has_value());
+    if (report.has_value() && report->traffic.size() == 1) {
+      gru_offered_mbps_ = report->traffic[0].solve.sites[gru_].offered_mbps;
+    }
+  }
+
+  std::size_t gru_{0};
+  double gru_offered_mbps_{0.0};
+};
+
+TEST_F(SoloRegionTest, GruServesItsRegionAlone) {
+  ASSERT_GT(gru_offered_mbps_, 1.0) << "no LatAm demand reached GRU";
+}
+
+TEST_F(SoloRegionTest, SpillDropsWhereShedSteersCrossRegion) {
+  // Size GRU so its own catchment overloads it.
+  const double tight = gru_offered_mbps_ * 0.6;
+  const auto spill = run_with(OverloadPolicy::Spill, tight);
+  const auto shed = run_with(OverloadPolicy::Shed, tight);
+  const auto& spill_solve = spill.traffic[0].solve;
+  const auto& shed_solve = shed.traffic[0].solve;
+
+  // Spill: the region's clients have no alternate site, flows die at GRU.
+  EXPECT_GT(spill_solve.sites[gru_].flows_dropped, 0u);
+  EXPECT_EQ(spill_solve.flows_shed, 0u);
+
+  // Shed: excess is re-answered onto the US prefix instead of dropped.
+  EXPECT_GT(shed_solve.sites[gru_].flows_shed_out, 0u);
+  EXPECT_LT(shed_solve.sites[gru_].flows_dropped,
+            spill_solve.sites[gru_].flows_dropped);
+
+  // Shed landed that load on US sites.
+  std::size_t shed_in = 0;
+  for (std::size_t s = 0; s < gru_; ++s) shed_in += shed_solve.sites[s].flows_shed_in;
+  EXPECT_GT(shed_in, 0u);
+
+  // The per-site utilization pictures differ measurably: the US sites carry
+  // the steered load under shed, and spill's drops never get served at all.
+  double spill_us_util = 0.0, shed_us_util = 0.0;
+  for (std::size_t s = 0; s < gru_; ++s) {
+    spill_us_util += spill_solve.sites[s].utilization;
+    shed_us_util += shed_solve.sites[s].utilization;
+  }
+  EXPECT_GT(shed_us_util, spill_us_util);
+  EXPECT_GT(spill_solve.dropped_mbps, shed_solve.dropped_mbps);
+  EXPECT_GT(shed_solve.served_mbps, spill_solve.served_mbps);
+}
+
+TEST_F(SoloRegionTest, SameSeedSamePolicyIsByteStable) {
+  const double tight = gru_offered_mbps_ * 0.6;
+  const auto a = run_with(OverloadPolicy::Shed, tight);
+  const auto b = run_with(OverloadPolicy::Shed, tight);
+  const auto& sa = a.traffic[0].solve;
+  const auto& sb = b.traffic[0].solve;
+  ASSERT_EQ(sa.sites.size(), sb.sites.size());
+  for (std::size_t s = 0; s < sa.sites.size(); ++s) {
+    EXPECT_EQ(sa.sites[s].served_mbps, sb.sites[s].served_mbps);
+    EXPECT_EQ(sa.sites[s].flows_shed_out, sb.sites[s].flows_shed_out);
+  }
+}
+
+}  // namespace
+}  // namespace ranycast::traffic

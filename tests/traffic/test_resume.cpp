@@ -1,0 +1,237 @@
+// Kill/resume determinism with traffic recording enabled: a chaos run
+// killed at any step must resume to a report — steady AND traffic sections,
+// including the surge scale a traffic_surge event installed before the kill
+// — byte-identical to an uninterrupted run, at worker counts {1, 2,
+// hardware}. A traffic checkpoint also must not resume into a traffic-less
+// run (or vice versa): the traffic config is part of the fingerprint.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/chaos/scenario.hpp"
+#include "ranycast/exec/pool.hpp"
+#include "ranycast/traffic/model.hpp"
+
+namespace ranycast::traffic {
+namespace {
+
+namespace fs = std::filesystem;
+
+lab::LabConfig tiny_config() {
+  lab::LabConfig config;
+  config.world.stub_count = 400;
+  config.census.total_probes = 1200;
+  config.seed = 2023;
+  return config;
+}
+
+TrafficConfig tight_traffic() {
+  TrafficConfig cfg;
+  // Small enough that withdrawals under surge actually shed/drop, so the
+  // resume has non-trivial traffic bytes to reproduce.
+  cfg.default_site_capacity_mbps = 450.0;
+  cfg.policy = OverloadPolicy::Shed;
+  return cfg;
+}
+
+/// Surge, withdraw the load-bearing sites, restore: the resume replay has
+/// to reconstruct both the engine's undo state and the installed surge
+/// scale, or the regenerated flows diverge.
+chaos::FaultPlan overload_plan() {
+  chaos::FaultPlan plan;
+  plan.name = "traffic-resume";
+  chaos::FaultEvent e;
+
+  e.kind = chaos::FaultKind::TrafficSurge;
+  e.magnitude = 1.4;
+  plan.events.push_back(e);
+
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::SiteWithdraw;
+  e.site = SiteId{16};
+  plan.events.push_back(e);
+
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::SiteRestore;
+  e.site = SiteId{16};
+  plan.events.push_back(e);
+
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::TrafficRestore;
+  plan.events.push_back(e);
+
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::SiteWithdraw;
+  e.site = SiteId{22};
+  plan.events.push_back(e);
+
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::SiteRestore;
+  e.site = SiteId{22};
+  plan.events.push_back(e);
+
+  return plan;
+}
+
+std::string checkpoint_path(const std::string& tag) {
+  const auto dir = fs::temp_directory_path() / "ranycast_traffic_resume";
+  fs::create_directories(dir);
+  return (dir / (tag + ".ck")).string();
+}
+
+std::string baseline_json() {
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  chaos::Engine engine(laboratory, im6);
+  engine.enable_traffic(tight_traffic());
+  guard::Supervisor supervisor;
+  guard::CheckpointPolicy policy;
+  auto outcome = engine.run_guarded(overload_plan(), supervisor, policy);
+  EXPECT_TRUE(outcome.has_value()) << outcome.error();
+  if (!outcome) return {};
+  EXPECT_EQ(outcome->report.traffic.size(), outcome->report.steps.size());
+  return chaos::report_to_json(outcome->report).dump(2);
+}
+
+std::string abort_and_resume_json(std::size_t abort_at, const std::string& tag) {
+  const std::string ck = checkpoint_path(tag);
+  fs::remove(ck);
+  {
+    auto laboratory = lab::Lab::create(tiny_config());
+    const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+    chaos::Engine engine(laboratory, im6);
+    engine.enable_traffic(tight_traffic());
+    guard::Supervisor supervisor;
+    guard::CheckpointPolicy policy;
+    policy.path = ck;
+    policy.after_step = [&](std::size_t done, std::size_t) {
+      if (done == abort_at) supervisor.cancel();
+    };
+    auto first = engine.run_guarded(overload_plan(), supervisor, policy);
+    EXPECT_TRUE(first.has_value()) << first.error();
+    if (!first) return {};
+    EXPECT_TRUE(first->report.truncated);
+    EXPECT_EQ(first->report.steps.size(), abort_at);
+    EXPECT_EQ(first->report.traffic.size(), abort_at);
+  }
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  chaos::Engine engine(laboratory, im6);
+  engine.enable_traffic(tight_traffic());
+  guard::Supervisor supervisor;
+  guard::CheckpointPolicy policy;
+  policy.path = ck;
+  policy.resume = true;
+  auto second = engine.run_guarded(overload_plan(), supervisor, policy);
+  EXPECT_TRUE(second.has_value()) << second.error();
+  if (!second) return {};
+  EXPECT_TRUE(second->sweep.resumed);
+  EXPECT_EQ(second->sweep.resumed_from, abort_at);
+  EXPECT_FALSE(second->report.truncated);
+  fs::remove(ck);
+  return chaos::report_to_json(second->report).dump(2);
+}
+
+TEST(TrafficResume, TrafficReportByteIdenticalAtEveryAbortPoint) {
+  const std::string expected = baseline_json();
+  ASSERT_FALSE(expected.empty());
+  EXPECT_NE(expected.find("\"traffic\""), std::string::npos);
+  const std::size_t n = overload_plan().events.size();
+  // abort_at == 1 kills mid-surge: the resumed run must re-install the
+  // 1.4x scale from the checkpoint, not regenerate baseline demand.
+  for (const std::size_t abort_at : {std::size_t{1}, n / 2, n - 1}) {
+    EXPECT_EQ(abort_and_resume_json(abort_at, "abort_" + std::to_string(abort_at)),
+              expected)
+        << "aborted after step " << abort_at;
+  }
+}
+
+TEST(TrafficResume, TrafficReportByteIdenticalAcrossWorkerCounts) {
+  auto& pool = exec::ThreadPool::global();
+  const unsigned original = pool.worker_count();
+
+  pool.resize(1);
+  const std::string expected = baseline_json();
+  const std::size_t n = overload_plan().events.size();
+
+  std::vector<unsigned> sweep{1, 2};
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  if (hardware != 2 && hardware != 1) sweep.push_back(hardware);
+  for (const unsigned workers : sweep) {
+    pool.resize(workers);
+    EXPECT_EQ(baseline_json(), expected) << workers << " workers, uninterrupted";
+    EXPECT_EQ(abort_and_resume_json(n / 2, "threads_" + std::to_string(workers)),
+              expected)
+        << workers << " workers, abort at " << n / 2;
+  }
+  pool.resize(original);
+}
+
+TEST(TrafficResume, SteadyCheckpointDoesNotResumeIntoTrafficRun) {
+  const std::string ck = checkpoint_path("steady_to_traffic");
+  fs::remove(ck);
+  {
+    auto laboratory = lab::Lab::create(tiny_config());
+    const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+    chaos::Engine engine(laboratory, im6);  // traffic-less checkpoint
+    guard::Supervisor supervisor;
+    guard::CheckpointPolicy policy;
+    policy.path = ck;
+    policy.after_step = [&](std::size_t done, std::size_t) {
+      if (done == 2) supervisor.cancel();
+    };
+    ASSERT_TRUE(engine.run_guarded(overload_plan(), supervisor, policy).has_value());
+  }
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  chaos::Engine engine(laboratory, im6);
+  engine.enable_traffic(tight_traffic());  // fingerprint now differs
+  guard::Supervisor supervisor;
+  guard::CheckpointPolicy policy;
+  policy.path = ck;
+  policy.resume = true;
+  auto outcome = engine.run_guarded(overload_plan(), supervisor, policy);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_NE(outcome.error().find("fingerprint"), std::string::npos) << outcome.error();
+  fs::remove(ck);
+}
+
+TEST(TrafficResume, DifferentCapacityModelDoesNotResume) {
+  const std::string ck = checkpoint_path("other_capacity");
+  fs::remove(ck);
+  {
+    auto laboratory = lab::Lab::create(tiny_config());
+    const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+    chaos::Engine engine(laboratory, im6);
+    engine.enable_traffic(tight_traffic());
+    guard::Supervisor supervisor;
+    guard::CheckpointPolicy policy;
+    policy.path = ck;
+    policy.after_step = [&](std::size_t done, std::size_t) {
+      if (done == 2) supervisor.cancel();
+    };
+    ASSERT_TRUE(engine.run_guarded(overload_plan(), supervisor, policy).has_value());
+  }
+  auto laboratory = lab::Lab::create(tiny_config());
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  chaos::Engine engine(laboratory, im6);
+  TrafficConfig other = tight_traffic();
+  other.default_site_capacity_mbps = 900.0;  // different capacity model
+  engine.enable_traffic(other);
+  guard::Supervisor supervisor;
+  guard::CheckpointPolicy policy;
+  policy.path = ck;
+  policy.resume = true;
+  auto outcome = engine.run_guarded(overload_plan(), supervisor, policy);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_NE(outcome.error().find("fingerprint"), std::string::npos) << outcome.error();
+  fs::remove(ck);
+}
+
+}  // namespace
+}  // namespace ranycast::traffic

@@ -5,6 +5,8 @@
 //                  [--describe] [--obs] [--journal FILE] [--trace-out FILE]
 //                  [--transient] [--mrai-ms N] [--proc-ms N] [--damping]
 //                  [--dns-ttl-ms N] [--max-events N]
+//                  [--traffic] [--traffic-policy spill|shed]
+//                  [--traffic-capacity-mbps N] [--traffic-scale X]
 //                  [--deadline SECONDS] [--stall-timeout SECONDS]
 //                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
 //                  [--abort-after N]
@@ -25,6 +27,13 @@
 // to reconverge, and the table output a second "transient convergence"
 // section. --mrai-ms / --proc-ms / --damping / --dns-ttl-ms / --max-events
 // tune the plane's timers.
+//
+// --traffic runs every step through the flow-level load plane
+// (docs/traffic.md): the report gains per-site utilization, shed/dropped
+// flow and cascade-depth accounting, and the table output a "traffic"
+// section plus the final per-site serving state. The scenario file may
+// declare a "traffic" block with the full model; the flags enable it with
+// defaults and override its policy / default capacity / demand scale.
 //
 // Guard flags (docs/reliability.md) run the timeline under a supervisor:
 // --deadline time-boxes the run (a truncated report is still emitted, with
@@ -61,6 +70,7 @@
 #include "ranycast/obs/metrics.hpp"
 #include "ranycast/obs/report.hpp"
 #include "ranycast/tangled/testbed.hpp"
+#include "ranycast/traffic/config.hpp"
 
 using namespace ranycast;
 
@@ -93,6 +103,45 @@ std::string render_transient_table(const chaos::ChaosReport& report) {
   return table.render();
 }
 
+std::string render_traffic_table(const chaos::ChaosReport& report) {
+  analysis::TextTable table({"#", "event", "offered", "served", "shed", "dropped",
+                             "util max", "hot", "tipped", "cascade", "q p90",
+                             "p50+q"});
+  for (const traffic::StepTraffic& t : report.traffic) {
+    table.add_row({std::to_string(t.index), t.event,
+                   analysis::fmt_ms(t.solve.offered_mbps, 0),
+                   analysis::fmt_ms(t.solve.served_mbps, 0),
+                   analysis::fmt_count(t.solve.flows_shed),
+                   analysis::fmt_count(t.solve.flows_dropped),
+                   analysis::fmt_pct(t.solve.max_utilization),
+                   analysis::fmt_count(t.solve.overloaded_sites),
+                   analysis::fmt_count(t.tipped_sites),
+                   analysis::fmt_count(t.cascade_depth),
+                   analysis::fmt_ms(t.solve.queue_delay_p90_ms, 2),
+                   analysis::fmt_ms(t.inflated_p50_ms)});
+  }
+  return table.render();
+}
+
+/// Final serving state, one row per site. Utilization and queueing delay of
+/// a zero-capacity site are undefined, not zero — rendered as `n/a`.
+std::string render_site_table(const traffic::TrafficSolve& solve) {
+  analysis::TextTable table({"site", "cap mbps", "offered", "served", "shed out",
+                             "dropped", "util", "q delay", "hot"});
+  for (std::size_t i = 0; i < solve.sites.size(); ++i) {
+    const traffic::SiteLoad& s = solve.sites[i];
+    const bool has_capacity = s.capacity_mbps > 0.0;
+    table.add_row({std::to_string(i), analysis::fmt_ms(s.capacity_mbps, 0),
+                   analysis::fmt_ms(s.offered_mbps, 0), analysis::fmt_ms(s.served_mbps, 0),
+                   analysis::fmt_count(s.flows_shed_out),
+                   analysis::fmt_count(s.flows_dropped),
+                   has_capacity ? analysis::fmt_pct(s.utilization) : "n/a",
+                   has_capacity ? analysis::fmt_ms(s.queue_delay_ms, 2) : "n/a",
+                   s.overloaded ? "YES" : "no"});
+  }
+  return table.render();
+}
+
 std::string render_table(const chaos::ChaosReport& report) {
   analysis::TextTable table({"#", "event", "affected", "survive", "churn", "p50 before",
                              "p50 after", "in-area", "x-region", "dns-degraded",
@@ -120,6 +169,8 @@ int main(int argc, char** argv) {
                                        "journal", "trace-out",
                                        "transient", "mrai-ms", "proc-ms", "damping",
                                        "dns-ttl-ms", "max-events",
+                                       "traffic", "traffic-policy",
+                                       "traffic-capacity-mbps", "traffic-scale",
                                        "deadline", "stall-timeout", "checkpoint",
                                        "checkpoint-every", "resume", "abort-after"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
@@ -135,10 +186,49 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--scenario FILE is required\n");
     return 2;
   }
-  auto plan = chaos::load_plan(*scenario_path);
+  auto scenario_json = io::load_json(*scenario_path);
+  if (!scenario_json) {
+    std::fprintf(stderr, "scenario error: %s\n",
+                 scenario_json.error().to_string().c_str());
+    return 2;
+  }
+  auto plan = chaos::plan_from_json(*scenario_json, *scenario_path);
   if (!plan) {
     std::fprintf(stderr, "scenario error: %s\n", plan.error().to_string().c_str());
     return 2;
+  }
+  auto scenario_traffic = chaos::traffic_from_scenario(*scenario_json, *scenario_path);
+  if (!scenario_traffic) {
+    std::fprintf(stderr, "scenario error: %s\n",
+                 scenario_traffic.error().to_string().c_str());
+    return 2;
+  }
+  std::optional<traffic::TrafficConfig> traffic_cfg = std::move(*scenario_traffic);
+  const bool traffic_flags = args.has("traffic") || args.has("traffic-policy") ||
+                             args.has("traffic-capacity-mbps") ||
+                             args.has("traffic-scale");
+  if (traffic_flags && !traffic_cfg) traffic_cfg.emplace();
+  if (traffic_cfg) {
+    if (const auto policy = args.get("traffic-policy")) {
+      if (*policy == "spill") {
+        traffic_cfg->policy = traffic::OverloadPolicy::Spill;
+      } else if (*policy == "shed") {
+        traffic_cfg->policy = traffic::OverloadPolicy::Shed;
+      } else {
+        std::fprintf(stderr, "unknown traffic policy '%s' (spill|shed)\n", policy->c_str());
+        return 2;
+      }
+    }
+    if (args.has("traffic-capacity-mbps")) {
+      traffic_cfg->default_site_capacity_mbps = args.get_or("traffic-capacity-mbps", 600.0);
+    }
+    if (args.has("traffic-scale")) {
+      traffic_cfg->demand_scale = args.get_or("traffic-scale", 1.0);
+    }
+    if (auto err = traffic::validate(*traffic_cfg, *scenario_path)) {
+      std::fprintf(stderr, "traffic config error: %s\n", err->to_string().c_str());
+      return 2;
+    }
   }
   if (args.has("describe")) {
     std::printf("plan '%s' (%zu events)\n", plan->name.c_str(), plan->events.size());
@@ -210,6 +300,7 @@ int main(int argc, char** argv) {
        F::u64_field("seed", config.seed),
        F::u64_field("planned_steps", plan->events.size()),
        F::bool_field("transient", args.has("transient")),
+       F::bool_field("traffic", traffic_cfg.has_value()),
        F::bool_field("resume", args.has("resume"))},
       /*durable=*/true);
 
@@ -231,6 +322,7 @@ int main(int argc, char** argv) {
     ccfg.max_events = static_cast<std::uint64_t>(args.get_or("max-events", std::int64_t{0}));
     engine.enable_transient(ccfg);
   }
+  if (traffic_cfg) engine.enable_traffic(*traffic_cfg);
 
   const bool guarded = args.has("deadline") || args.has("stall-timeout") ||
                        args.has("checkpoint") || args.has("resume");
@@ -294,6 +386,11 @@ int main(int argc, char** argv) {
                                           : render_table(report);
   if (format == "table" && !report.transient.empty()) {
     rendered += "\ntransient convergence\n" + render_transient_table(report);
+  }
+  if (format == "table" && !report.traffic.empty()) {
+    rendered += "\ntraffic (" + std::string(traffic::to_string(traffic_cfg->policy)) +
+                ")\n" + render_traffic_table(report);
+    rendered += "\nfinal serving state\n" + render_site_table(report.traffic.back().solve);
   }
   if (const auto out_path = args.get("out")) {
     std::ofstream out(*out_path, std::ios::binary);

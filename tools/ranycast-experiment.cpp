@@ -4,6 +4,8 @@
 //                       [--dump-config] [--obs] [--journal FILE] [--trace-out FILE]
 //                       [--cdn NAME] [--region N] [--trials N]
 //                       [--stubs N] [--probes N] [--seed N]
+//                       [--traffic-policy spill|shed] [--traffic-capacity-mbps X]
+//                       [--traffic-scale X]
 //                       [--deadline SECONDS] [--stall-timeout SECONDS]
 //                       [--checkpoint FILE] [--checkpoint-every K] [--resume]
 //                       [--abort-after N]
@@ -13,6 +15,9 @@
 //   fig6c      ReOpt regional vs global anycast on the Tangled testbed
 //   causes     §5.4 latency-reduction cause classification
 //   stability  §5.3 catchment stability across --trials tie-break seeds
+//   traffic    failover under load: surge demand, withdraw the busiest site,
+//              and report per-step utilization/shed/drop accounting under the
+//              chosen overload policy (docs/traffic.md)
 //
 // The configuration schema is documented in ranycast/io/config.hpp; any
 // omitted key keeps the library default, so {} is a valid config.
@@ -41,6 +46,8 @@
 #include "ranycast/analysis/stats.hpp"
 #include "ranycast/analysis/table.hpp"
 #include "ranycast/cdn/catalog.hpp"
+#include "ranycast/chaos/engine.hpp"
+#include "ranycast/chaos/plan.hpp"
 #include "ranycast/core/flags.hpp"
 #include "ranycast/exec/pool.hpp"
 #include "ranycast/flight/flight.hpp"
@@ -51,6 +58,7 @@
 #include "ranycast/obs/metrics.hpp"
 #include "ranycast/obs/report.hpp"
 #include "ranycast/tangled/study.hpp"
+#include "ranycast/traffic/config.hpp"
 
 using namespace ranycast;
 
@@ -136,6 +144,108 @@ std::optional<cdn::DeploymentSpec> spec_by_name(const std::string& name) {
   if (name == "edgio3") return cdn::catalog::edgio3();
   if (name == "edgio4") return cdn::catalog::edgio4();
   return std::nullopt;
+}
+
+// Failover under load (docs/traffic.md): install a demand surge, withdraw
+// the deployment's busiest site, restore it, and let the traffic plane
+// account for where the displaced load went under the chosen policy.
+int run_traffic(lab::Lab& laboratory, bool csv, const flags::Parser& args) {
+  const std::string cdn_name = args.get_or("cdn", std::string("imperva6"));
+  const auto spec = spec_by_name(cdn_name);
+  if (!spec) {
+    std::fprintf(stderr, "unknown CDN '%s'\n", cdn_name.c_str());
+    return 2;
+  }
+  const auto& handle = laboratory.add_deployment(*spec);
+  traffic::TrafficConfig cfg;
+  const std::string policy = args.get_or("traffic-policy", std::string("spill"));
+  if (policy == "shed") {
+    cfg.policy = traffic::OverloadPolicy::Shed;
+  } else if (policy != "spill") {
+    std::fprintf(stderr, "unknown --traffic-policy '%s' (spill|shed)\n", policy.c_str());
+    return 2;
+  }
+  cfg.default_site_capacity_mbps =
+      args.get_or("traffic-capacity-mbps", cfg.default_site_capacity_mbps);
+  cfg.demand_scale = args.get_or("traffic-scale", cfg.demand_scale);
+  if (const auto err = traffic::validate(cfg, "<flags>")) {
+    std::fprintf(stderr, "traffic config error: %s\n", err->to_string().c_str());
+    return 2;
+  }
+
+  // The busiest site is the interesting victim: its catchment is what the
+  // surge piles onto and what the withdrawal displaces.
+  std::unordered_map<std::uint16_t, int> counts;
+  for (const atlas::Probe* p : laboratory.census().retained()) {
+    const auto answer = laboratory.dns_lookup(*p, handle, dns::QueryMode::Ldns);
+    const bgp::Route* r = handle.route_for(p->asn, answer.region);
+    if (r != nullptr) counts[value(r->origin_site)]++;
+  }
+  std::uint16_t victim = 0;
+  int best = -1;
+  for (const auto& [site, count] : counts) {
+    if (count > best || (count == best && site < victim)) {
+      best = count;
+      victim = site;
+    }
+  }
+
+  chaos::FaultPlan plan;
+  plan.name = "failover-under-load";
+  chaos::FaultEvent e;
+  e.kind = chaos::FaultKind::TrafficSurge;
+  e.magnitude = 1.45;
+  e.label = "demand surge";
+  plan.events.push_back(e);
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::SiteWithdraw;
+  e.site = SiteId{victim};
+  e.label = "busiest site fails";
+  plan.events.push_back(e);
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::SiteRestore;
+  e.site = SiteId{victim};
+  plan.events.push_back(e);
+  e = chaos::FaultEvent{};
+  e.kind = chaos::FaultKind::TrafficRestore;
+  plan.events.push_back(e);
+
+  chaos::Engine engine(laboratory, handle);
+  engine.enable_traffic(cfg);
+  auto report = engine.run(plan);
+  if (!report) {
+    std::fprintf(stderr, "traffic experiment error: %s\n", report.error().c_str());
+    return 2;
+  }
+
+  analysis::CsvWriter out({"step", "event", "offered_mbps", "served_mbps", "shed_mbps",
+                           "dropped_mbps", "max_utilization", "overloaded_sites",
+                           "cascade_depth", "queue_delay_p90_ms"});
+  analysis::TextTable table({"#", "event", "offered", "served", "shed", "dropped",
+                             "util max", "hot", "cascade", "q p90"});
+  for (const auto& t : report->traffic) {
+    const auto& s = t.solve;
+    out.add_row({std::to_string(t.index), t.event, std::to_string(s.offered_mbps),
+                 std::to_string(s.served_mbps), std::to_string(s.shed_mbps),
+                 std::to_string(s.dropped_mbps), std::to_string(s.max_utilization),
+                 std::to_string(s.overloaded_sites), std::to_string(t.cascade_depth),
+                 std::to_string(s.queue_delay_p90_ms)});
+    table.add_row({std::to_string(t.index), t.event, analysis::fmt_ms(s.offered_mbps, 0),
+                   analysis::fmt_ms(s.served_mbps, 0), analysis::fmt_ms(s.shed_mbps, 0),
+                   analysis::fmt_ms(s.dropped_mbps, 0),
+                   analysis::fmt_pct(s.max_utilization, 1),
+                   analysis::fmt_count(s.overloaded_sites),
+                   analysis::fmt_count(t.cascade_depth),
+                   analysis::fmt_ms(s.queue_delay_p90_ms, 2)});
+  }
+  if (csv) {
+    out.write(std::cout);
+  } else {
+    std::printf("policy: %s, victim site: %u\n%s",
+                std::string(traffic::to_string(cfg.policy)).c_str(), victim,
+                table.render().c_str());
+  }
+  return 0;
 }
 
 void print_stability(const resilience::StabilityReport& report, bool csv) {
@@ -224,7 +334,8 @@ int main(int argc, char** argv) {
        args.unknown({"config", "experiment", "format", "dump-config", "obs", "cdn",
                      "region", "trials", "stubs", "probes", "seed", "deadline",
                      "stall-timeout", "checkpoint", "checkpoint-every", "resume",
-                     "abort-after", "journal", "trace-out"})) {
+                     "abort-after", "journal", "trace-out", "traffic-policy",
+                     "traffic-capacity-mbps", "traffic-scale"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
     return 2;
   }
@@ -286,8 +397,9 @@ int main(int argc, char** argv) {
   if (experiment == "fig6c") rc = run_fig6c(laboratory, csv);
   if (experiment == "causes") rc = run_causes(laboratory, csv);
   if (experiment == "stability") rc = run_stability(laboratory, csv, args);
+  if (experiment == "traffic") rc = run_traffic(laboratory, csv, args);
   if (!rc) {
-    std::fprintf(stderr, "unknown experiment '%s' (table3|fig6c|causes|stability)\n",
+    std::fprintf(stderr, "unknown experiment '%s' (table3|fig6c|causes|stability|traffic)\n",
                  experiment.c_str());
     return 2;
   }
