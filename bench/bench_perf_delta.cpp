@@ -1,0 +1,171 @@
+// Incremental vs full re-solve on the paper-preset world (google-benchmark):
+// the two canonical chaos steps — one site withdrawn/restored and one
+// transit link flapped — timed as a full solve_anycast and as a
+// DeltaSolver::resolve splice. tools/check_bench_regression.py gates
+// Full/Delta >= 5x on the single-fault steps in CI.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "ranycast/bgp/delta_solver.hpp"
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/lab/lab.hpp"
+
+using namespace ranycast;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+/// Paper-preset world plus the imperva6 regional deployment; every
+/// benchmark mutates the same prepared inputs so full and delta time the
+/// identical step sequence.
+struct Setup {
+  lab::Lab laboratory;
+  cdn::Deployment deployment;
+  std::size_t region{0};
+  std::vector<bgp::OriginAttachment> full;     ///< region's origin set
+  std::vector<bgp::OriginAttachment> without;  ///< minus one site
+  std::vector<bgp::OriginChange> withdraw, restore;
+  Asn link_a{kInvalidAsn}, link_b{kInvalidAsn};
+
+  Setup()
+      : laboratory(lab::Lab::create({})),
+        deployment(cdn::build_deployment(cdn::catalog::imperva6(), laboratory.world(),
+                                         laboratory.registry())) {
+    // The region with the most origins: the worst case for the full solve
+    // and the most representative single-site locality for the delta.
+    std::size_t best = 0;
+    for (std::size_t r = 0; r < deployment.regions().size(); ++r) {
+      const auto origins = deployment.origins_for_region(r);
+      if (origins.size() > best) {
+        best = origins.size();
+        region = r;
+      }
+    }
+    full = deployment.origins_for_region(region);
+    const SiteId victim = full.front().site;
+    for (const auto& o : full) {
+      if (o.site != victim) without.push_back(o);
+    }
+    withdraw = bgp::diff_origin_changes(full, without);
+    restore = bgp::diff_origin_changes(without, full);
+
+    // A transit adjacency of the withdrawn site's attachment point.
+    const auto& g = laboratory.world().graph;
+    const auto holder = g.index_of(full.front().neighbor);
+    for (const topo::Edge& e : g.nodes()[*holder].edges) {
+      if (e.rel == topo::Rel::Provider || e.rel == topo::Rel::Customer) {
+        link_a = full.front().neighbor;
+        link_b = e.neighbor;
+        break;
+      }
+    }
+  }
+};
+
+Setup& setup() {
+  static Setup s;
+  return s;
+}
+
+void BM_FullSiteWithdrawStep(benchmark::State& state) {
+  Setup& s = setup();
+  bool down = false;
+  for (auto _ : state) {
+    down = !down;
+    auto outcome = bgp::solve_anycast(s.laboratory.world().graph, s.deployment.asn(),
+                                      down ? s.without : s.full, kSeed);
+    benchmark::DoNotOptimize(outcome.reachable_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.laboratory.world().graph.nodes().size()));
+}
+BENCHMARK(BM_FullSiteWithdrawStep)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaSiteWithdrawStep(benchmark::State& state) {
+  Setup& s = setup();
+  bgp::DeltaSolver solver(s.laboratory.world().graph, s.deployment.asn(), 1);
+  solver.prime(0, s.full, kSeed);
+  bool down = false;
+  for (auto _ : state) {
+    down = !down;
+    auto outcome = solver.resolve(0, down ? s.without : s.full,
+                                  down ? s.withdraw : s.restore, {});
+    benchmark::DoNotOptimize(outcome.reachable_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(s.laboratory.world().graph.nodes().size()));
+}
+BENCHMARK(BM_DeltaSiteWithdrawStep)->Unit(benchmark::kMillisecond);
+
+void BM_FullLinkFlapStep(benchmark::State& state) {
+  Setup& s = setup();
+  auto& g = s.laboratory.graph_mut();
+  bool up = true;
+  for (auto _ : state) {
+    up = !up;
+    g.set_link_state(s.link_a, s.link_b, up);
+    auto outcome = bgp::solve_anycast(g, s.deployment.asn(), s.full, kSeed);
+    benchmark::DoNotOptimize(outcome.reachable_count());
+  }
+  g.set_link_state(s.link_a, s.link_b, true);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.nodes().size()));
+}
+BENCHMARK(BM_FullLinkFlapStep)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaLinkFlapStep(benchmark::State& state) {
+  Setup& s = setup();
+  auto& g = s.laboratory.graph_mut();
+  bgp::DeltaSolver solver(g, s.deployment.asn(), 1);
+  solver.prime(0, s.full, kSeed);
+  bool up = true;
+  for (auto _ : state) {
+    up = !up;
+    g.set_link_state(s.link_a, s.link_b, up);
+    const bgp::LinkDelta delta{s.link_a, s.link_b, up};
+    auto outcome = solver.resolve(0, s.full, {}, {&delta, 1});
+    benchmark::DoNotOptimize(outcome.reachable_count());
+  }
+  g.set_link_state(s.link_a, s.link_b, true);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.nodes().size()));
+}
+BENCHMARK(BM_DeltaLinkFlapStep)->Unit(benchmark::kMillisecond);
+
+/// All-regions step re-solve as chaos::Engine performs it, for scale
+/// context next to the single-region numbers above (not ratio-gated: the
+/// derived-deployment path shares the prime across regions).
+void BM_DeltaAllRegionsSiteWithdraw(benchmark::State& state) {
+  Setup& s = setup();
+  const std::size_t regions = s.deployment.regions().size();
+  bgp::DeltaSolver solver(s.laboratory.world().graph, s.deployment.asn(), regions);
+  std::vector<std::vector<bgp::OriginAttachment>> full(regions), without(regions);
+  std::vector<std::vector<bgp::OriginChange>> withdraw(regions), restore(regions);
+  const SiteId victim = s.full.front().site;
+  for (std::size_t r = 0; r < regions; ++r) {
+    full[r] = s.deployment.origins_for_region(r);
+    for (const auto& o : full[r]) {
+      if (o.site != victim) without[r].push_back(o);
+    }
+    withdraw[r] = bgp::diff_origin_changes(full[r], without[r]);
+    restore[r] = bgp::diff_origin_changes(without[r], full[r]);
+    solver.prime(r, full[r], hash_combine(kSeed, r));
+  }
+  bool down = false;
+  for (auto _ : state) {
+    down = !down;
+    std::size_t reachable = 0;
+    for (std::size_t r = 0; r < regions; ++r) {
+      auto outcome = solver.resolve(r, down ? without[r] : full[r],
+                                    down ? withdraw[r] : restore[r], {});
+      reachable += outcome.reachable_count();
+    }
+    benchmark::DoNotOptimize(reachable);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(regions));
+}
+BENCHMARK(BM_DeltaAllRegionsSiteWithdraw)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Incremental anycast re-solving: O(affected) chaos steps.
+//
+// The full solver (solve_anycast) recomputes every AS's selection from
+// scratch after each topology event, even when the event touched a single
+// site, link or route server. BGP itself converges incrementally — only
+// ASes whose best route or candidate set can change re-decide — and the
+// DeltaSolver mirrors that: it retains the three per-stage selection planes
+// of the previous solve as parallel SoA arrays keyed by dense node index,
+// and on a topology/origination delta propagates a withdrawal/announcement
+// frontier outward from the changed edges with a worklist fixpoint
+// (Ramalingam–Reps style: each inconsistent node is re-decided from its
+// neighbors' current values in global key order).
+//
+// Equality guarantee: the spliced outcome is byte-identical to a
+// from-scratch solve_anycast over the mutated inputs. The selection keys
+// (class, path length, ingress distance, 64-bit tie-break hash, node) are
+// strictly monotone along export chains — extending a route lengthens it —
+// so the selection fixpoint is unique and the frontier propagation and the
+// full Dijkstra land on the same one. The guarantee is enforced three ways:
+// always-on differential tests (tests/bgp/test_delta_solver.cpp), the
+// chaos soak's per-step report byte-equality (tests/chaos/test_delta_soak),
+// and a sampled in-engine verify mode (DeltaConfig::verify_every) that
+// re-solves from scratch every Nth step and self-heals on mismatch.
+//
+// Fallback: when the frontier exceeds fallback_frac of all nodes (e.g. a
+// regional withdrawal invalidating most of the plane) the incremental pass
+// aborts and a full SoA solve re-primes the state — never slower than the
+// non-delta path by more than the abandoned frontier walk.
+//
+// Concurrency: one DeltaSolver belongs to one deployment; distinct regions
+// hold distinct planes/arenas and may be resolved concurrently. Mutation
+// (resolve/prime) and measurement (route_for on emitted outcomes) must be
+// serialized per region, exactly like lab::Lab::resolve.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ranycast/bgp/solver.hpp"
+
+namespace ranycast::bgp {
+
+/// One inter-AS adjacency state change (already applied to the graph).
+struct LinkDelta {
+  Asn a{kInvalidAsn};
+  Asn b{kInvalidAsn};
+  bool up{true};
+};
+
+/// One origination change: a site announcement appearing (announce) or
+/// disappearing (withdraw) from a region's origin set.
+struct OriginChange {
+  bool announce{true};
+  OriginAttachment origin{};
+};
+
+/// A topology/origination delta covering every region of one deployment.
+/// The graph mutation must already be applied; `origins[r]` lists region
+/// r's origination changes (missing trailing regions mean "no change").
+struct SolveDelta {
+  std::vector<LinkDelta> links;
+  std::vector<std::vector<OriginChange>> origins;
+
+  bool empty() const noexcept {
+    if (!links.empty()) return false;
+    for (const auto& r : origins) {
+      if (!r.empty()) return false;
+    }
+    return true;
+  }
+};
+
+struct DeltaConfig {
+  /// Master switch consulted by the call sites (chaos::Engine,
+  /// resilience::fail_site); the solver itself always works when invoked.
+  bool enabled{false};
+  /// Fall back to a full re-solve when the touched frontier exceeds this
+  /// fraction of all ASes.
+  double fallback_frac{0.25};
+  /// When nonzero, every Nth resolve of each region also runs a
+  /// from-scratch solve, compares outcomes and self-heals on mismatch.
+  std::uint32_t verify_every{0};
+};
+
+/// Accounting for one resolve (or a merge over regions/steps).
+struct DeltaStats {
+  std::size_t regions{0};        ///< regions resolved
+  std::size_t delta_regions{0};  ///< solved incrementally
+  std::size_t full_regions{0};   ///< primed or fell back to full
+  std::size_t affected_ases{0};  ///< final-plane entries that changed
+  std::size_t touched_ases{0};   ///< frontier size across all stages
+  std::size_t verified{0};       ///< sampled differential verifications run
+  std::size_t mismatches{0};     ///< verifications that disagreed (self-healed)
+
+  void merge(const DeltaStats& o) noexcept {
+    regions += o.regions;
+    delta_regions += o.delta_regions;
+    full_regions += o.full_regions;
+    affected_ases += o.affected_ases;
+    touched_ases += o.touched_ases;
+    verified += o.verified;
+    mismatches += o.mismatches;
+  }
+};
+
+/// Order-preserving multiset diff of two origin sets: withdrawals (in
+/// `before` order) followed by announcements (in `after` order). This is
+/// how chaos::Engine turns a site/attachment/region mutation into a
+/// SolveDelta without knowing which fault produced it.
+std::vector<OriginChange> diff_origin_changes(std::span<const OriginAttachment> before,
+                                              std::span<const OriginAttachment> after);
+
+/// Retained per-deployment incremental state: one selection-plane set per
+/// region. prime() runs the full SoA solve and installs the planes;
+/// resolve() splices only the affected entries.
+class DeltaSolver {
+ public:
+  DeltaSolver(const topo::Graph& graph, Asn cdn_asn, std::size_t regions,
+              DeltaConfig cfg = {});
+  ~DeltaSolver();
+
+  DeltaSolver(DeltaSolver&&) noexcept;
+  DeltaSolver& operator=(DeltaSolver&&) noexcept;
+  DeltaSolver(const DeltaSolver&) = delete;
+  DeltaSolver& operator=(const DeltaSolver&) = delete;
+
+  /// Full SoA solve of one region; resets that region's planes and arena.
+  /// The outcome is byte-identical to solve_anycast(graph, asn, origins,
+  /// seed). Counts as a full region in `stats`.
+  RoutingOutcome prime(std::size_t region, std::span<const OriginAttachment> origins,
+                       std::uint64_t seed, DeltaStats* stats = nullptr);
+
+  bool primed(std::size_t region) const noexcept;
+
+  /// Incremental re-solve of a primed region. `origins` is the post-delta
+  /// origin set; `changes`/`links` describe how it and the graph moved
+  /// since the previous prime()/resolve(). Falls back to a full re-prime
+  /// when the frontier exceeds the configured threshold.
+  RoutingOutcome resolve(std::size_t region, std::span<const OriginAttachment> origins,
+                         std::span<const OriginChange> changes,
+                         std::span<const LinkDelta> links, DeltaStats* stats = nullptr);
+
+  /// Deep copy (planes + arenas), for deriving a deployment from a base
+  /// one (resilience::fail_site reuses the base's primed planes).
+  std::unique_ptr<DeltaSolver> clone() const;
+
+  const DeltaConfig& config() const noexcept { return cfg_; }
+  std::size_t region_count() const noexcept { return regions_.size(); }
+
+ private:
+  struct RegionState;
+
+  const topo::Graph* graph_;
+  Asn cdn_asn_;
+  DeltaConfig cfg_;
+  std::vector<std::unique_ptr<RegionState>> regions_;
+};
+
+}  // namespace ranycast::bgp

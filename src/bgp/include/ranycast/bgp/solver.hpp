@@ -48,6 +48,13 @@ class RoutingOutcome {
 
   RoutingOutcome(const topo::Graph* graph, Asn origin_asn, std::vector<Entry> entries,
                  PathArena arena);
+  /// Shared-arena variant (incremental delta re-solves): the outcome keeps
+  /// the arena alive but does not own it exclusively. The producer (the
+  /// DeltaSolver's master arena) may keep appending — appends never move or
+  /// mutate existing nodes, and all access is index-based, so entries
+  /// referencing earlier nodes stay valid for the outcome's lifetime.
+  RoutingOutcome(const topo::Graph* graph, Asn origin_asn, std::vector<Entry> entries,
+                 std::shared_ptr<const PathArena> arena);
   ~RoutingOutcome();
 
   RoutingOutcome(RoutingOutcome&& other) noexcept;
@@ -75,7 +82,7 @@ class RoutingOutcome {
   const topo::Graph* graph_{nullptr};
   Asn origin_asn_{kInvalidAsn};
   std::vector<Entry> entries_;  // indexed by dense node index
-  PathArena arena_;
+  std::shared_ptr<const PathArena> arena_;
   /// Lazily materialized Routes, CAS-installed; slot i covers entries_[i].
   mutable std::unique_ptr<std::atomic<const Route*>[]> cache_;
 };

@@ -1,12 +1,6 @@
 #include "ranycast/bgp/solver.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <queue>
-
-#include "ranycast/core/rng.hpp"
-#include "ranycast/geo/gazetteer.hpp"
-#include "ranycast/obs/span.hpp"
 
 namespace ranycast::bgp {
 
@@ -25,9 +19,19 @@ std::string_view to_string(RouteClass c) noexcept {
 }
 
 // ---- RoutingOutcome ---------------------------------------------------------
+//
+// The solver itself (solve_anycast and the incremental DeltaSolver) lives in
+// delta_solver.cpp; both paths share one SoA engine so a delta re-solve and a
+// from-scratch solve cannot drift apart.
 
 RoutingOutcome::RoutingOutcome(const topo::Graph* graph, Asn origin_asn,
                                std::vector<Entry> entries, PathArena arena)
+    : RoutingOutcome(graph, origin_asn, std::move(entries),
+                     std::make_shared<const PathArena>(std::move(arena))) {}
+
+RoutingOutcome::RoutingOutcome(const topo::Graph* graph, Asn origin_asn,
+                               std::vector<Entry> entries,
+                               std::shared_ptr<const PathArena> arena)
     : graph_(graph),
       origin_asn_(origin_asn),
       entries_(std::move(entries)),
@@ -77,7 +81,7 @@ const Route* RoutingOutcome::materialize(std::size_t idx) const noexcept {
   fresh->origin_site = e.origin_site;
   fresh->origin_asn = origin_asn_;
   fresh->cls = e.cls;
-  arena_.materialize(e.path, fresh->as_path, fresh->geo_path);
+  arena_->materialize(e.path, fresh->as_path, fresh->geo_path);
   fresh->ingress_km = e.ingress_km;
   fresh->tiebreak = e.tiebreak;
   const Route* expected = nullptr;
@@ -107,268 +111,6 @@ std::size_t RoutingOutcome::reachable_count() const noexcept {
   return static_cast<std::size_t>(
       std::count_if(entries_.begin(), entries_.end(),
                     [](const Entry& e) { return e.path != PathArena::kNone; }));
-}
-
-// ---- solver -----------------------------------------------------------------
-
-namespace {
-
-/// A candidate route in flight: a parent-indexed path reference plus the
-/// incrementally maintained selection keys. ~48 bytes, trivially copyable —
-/// heap operations and stage hand-offs never touch the heap-allocated paths.
-struct CompactRoute {
-  std::uint32_t path{PathArena::kNone};  ///< arena node of the last hop
-  std::uint16_t len{0};                  ///< == as_path length
-  CityId last_city{kInvalidCity};        ///< geo_path.back(), for nearest-exit
-  SiteId origin_site{kInvalidSite};
-  RouteClass cls{RouteClass::Provider};
-  double ingress_km{0.0};
-  /// Running hash over (seed, origin city, as_path...): appending a hop is
-  /// one hash_combine instead of rehashing the whole path.
-  std::uint64_t hash_base{0};
-  std::uint64_t tiebreak{0};
-
-  bool valid() const noexcept { return path != PathArena::kNone; }
-};
-
-/// Candidate ordering inside one local-pref class: shorter AS path first,
-/// then the deterministic tie-break hash.
-struct HeapKey {
-  std::size_t len;
-  double ingress_km;
-  std::uint64_t tiebreak;
-  std::size_t node;  // dense index of the AS this candidate is for
-
-  bool operator>(const HeapKey& o) const noexcept {
-    if (len != o.len) return len > o.len;
-    if (ingress_km != o.ingress_km) return ingress_km > o.ingress_km;
-    if (tiebreak != o.tiebreak) return tiebreak > o.tiebreak;
-    return node > o.node;
-  }
-};
-
-struct CandidateHeap {
-  struct Entry {
-    HeapKey key;
-    CompactRoute route;
-    bool operator>(const Entry& o) const noexcept { return key > o.key; }
-  };
-
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-
-  void push(std::size_t node, const CompactRoute& route) {
-    heap.push(Entry{HeapKey{route.len, route.ingress_km, route.tiebreak, node}, route});
-  }
-
-  bool empty() const { return heap.empty(); }
-
-  std::pair<HeapKey, CompactRoute> pop() {
-    Entry top = heap.top();
-    heap.pop();
-    return {top.key, top.route};
-  }
-};
-
-/// Pick the interconnection point of `edge` nearest to the route's current
-/// ingress city (nearest-exit within the exporting AS).
-CityId egress_city(const geo::Gazetteer& gaz, CityId from, const topo::Edge& edge) {
-  if (edge.cities.size() == 1) return edge.cities.front();
-  CityId best = edge.cities.front();
-  double best_km = std::numeric_limits<double>::infinity();
-  for (CityId c : edge.cities) {
-    const double d = gaz.distance(from, c).km;
-    if (d < best_km) {
-      best_km = d;
-      best = c;
-    }
-  }
-  return best;
-}
-
-}  // namespace
-
-RoutingOutcome solve_anycast(const topo::Graph& graph, Asn cdn_asn,
-                             std::span<const OriginAttachment> origins, std::uint64_t seed) {
-  using topo::AsNode;
-  const auto nodes = graph.nodes();
-  const std::size_t n = nodes.size();
-  const auto& gaz = geo::Gazetteer::world();
-
-  static obs::Histogram& h_total =
-      obs::MetricsRegistry::global().histogram("bgp.solve.total_us");
-  obs::Span solve_span("bgp.solve");
-  obs::ScopedTimer solve_timer(h_total);
-  // Route-selection decision tallies, accumulated locally (plain increments
-  // in the comparator) and flushed to the registry once at the end — each
-  // concurrent solve owns its tallies, the flush is an atomic add.
-  std::uint64_t hot_potato_decisions = 0;
-  std::uint64_t tiebreak_hash_decisions = 0;
-
-  PathArena arena;
-
-  // Stage results, indexed by dense node index; .valid() gates occupancy.
-  std::vector<CompactRoute> customer_best(n);
-  std::vector<CompactRoute> stage2_best(n);  // customer or peer
-  std::vector<CompactRoute> final_best(n);
-
-  // The tie-break hash matches the historical route_tiebreak() exactly: it
-  // folds the origination *city* (not the deployment-local SiteId — the same
-  // physical announcement must resolve ties identically in every deployment
-  // it appears in), then every as_path hop in order, then the holder ASN.
-  auto seed_route = [&](const OriginAttachment& o, RouteClass cls, const AsNode& holder) {
-    CompactRoute r;
-    r.origin_site = o.site;
-    r.cls = cls;
-    r.path = arena.append(PathArena::kNone, cdn_asn, o.site_city);
-    r.len = 1;
-    r.last_city = o.site_city;
-    r.ingress_km = gaz.distance(holder.home_city, o.site_city).km;
-    r.hash_base = hash_combine(hash_combine(seed, value(o.site_city)), value(cdn_asn));
-    r.tiebreak = hash_combine(r.hash_base, value(holder.asn));
-    return r;
-  };
-
-  /// Extend a route across an edge into the AS `next` (the receiver): one
-  /// arena append, one distance lookup, one hash_combine.
-  auto extend = [&](const CompactRoute& r, Asn via, const topo::Edge& edge, RouteClass cls,
-                    const AsNode& next) {
-    const CityId egress = egress_city(gaz, r.last_city, edge);
-    CompactRoute out;
-    out.origin_site = r.origin_site;
-    out.cls = cls;
-    out.path = arena.append(r.path, via, egress);
-    out.len = static_cast<std::uint16_t>(r.len + 1);
-    out.last_city = egress;
-    out.ingress_km = gaz.distance(next.home_city, egress).km;
-    out.hash_base = hash_combine(r.hash_base, value(via));
-    out.tiebreak = hash_combine(out.hash_base, value(next.asn));
-    return out;
-  };
-
-  // ---- Stage 1: customer routes climb to providers ------------------------
-  {
-    obs::Span stage_span("bgp.solve.customer");
-    static obs::Histogram& h_stage =
-        obs::MetricsRegistry::global().histogram("bgp.solve.stage_customer_us");
-    obs::ScopedTimer stage_timer(h_stage);
-    CandidateHeap heap;
-    for (const OriginAttachment& o : origins) {
-      if (o.neighbor_rel != topo::Rel::Customer) continue;
-      const auto idx = graph.index_of(o.neighbor);
-      if (!idx) continue;
-      heap.push(*idx, seed_route(o, RouteClass::Customer, nodes[*idx]));
-    }
-    while (!heap.empty()) {
-      auto [key, route] = heap.pop();
-      if (customer_best[key.node].valid()) continue;  // finalized with a better key
-      const AsNode& holder = nodes[key.node];
-      customer_best[key.node] = route;
-      for (const topo::Edge& e : holder.edges) {
-        if (!e.up) continue;  // failed adjacency (chaos engine)
-        if (e.rel != topo::Rel::Provider) continue;  // climb only
-        const auto nidx = graph.index_of(e.neighbor);
-        if (!nidx || customer_best[*nidx].valid()) continue;
-        heap.push(*nidx, extend(route, holder.asn, e, RouteClass::Customer, nodes[*nidx]));
-      }
-    }
-  }
-
-  // Preference comparison across classes: higher class wins, then shorter
-  // path, then lower tie-break.
-  auto better = [&](const CompactRoute& a, const CompactRoute& b) {
-    if (a.cls != b.cls) return static_cast<int>(a.cls) > static_cast<int>(b.cls);
-    if (a.len != b.len) return a.len < b.len;
-    if (a.ingress_km != b.ingress_km) {  // hot potato
-      ++hot_potato_decisions;
-      return a.ingress_km < b.ingress_km;
-    }
-    ++tiebreak_hash_decisions;
-    return a.tiebreak < b.tiebreak;
-  };
-
-  // ---- Stage 2: peer routes -----------------------------------------------
-  {
-    obs::Span stage_span("bgp.solve.peer");
-    static obs::Histogram& h_stage =
-        obs::MetricsRegistry::global().histogram("bgp.solve.stage_peer_us");
-    obs::ScopedTimer stage_timer(h_stage);
-    // Direct peer originations first.
-    for (const OriginAttachment& o : origins) {
-      if (!topo::is_peer(o.neighbor_rel)) continue;
-      const auto idx = graph.index_of(o.neighbor);
-      if (!idx) continue;
-      const CompactRoute r = seed_route(o, class_of(o.neighbor_rel), nodes[*idx]);
-      if (!stage2_best[*idx].valid() || better(r, stage2_best[*idx])) stage2_best[*idx] = r;
-    }
-    // Then routes exported by peers: a peer exports only its customer routes.
-    for (std::size_t i = 0; i < n; ++i) {
-      const AsNode& holder = nodes[i];
-      for (const topo::Edge& e : holder.edges) {
-        if (!e.up) continue;  // failed adjacency (chaos engine)
-        if (!topo::is_peer(e.rel)) continue;
-        const auto nidx = graph.index_of(e.neighbor);
-        if (!nidx || !customer_best[*nidx].valid()) continue;
-        const CompactRoute cand =
-            extend(customer_best[*nidx], e.neighbor, e, class_of(e.rel), holder);
-        if (!stage2_best[i].valid() || better(cand, stage2_best[i])) stage2_best[i] = cand;
-      }
-    }
-    // Customer routes dominate peer routes. (Compact copy: a few words, not
-    // a full Route with two vectors as before.)
-    for (std::size_t i = 0; i < n; ++i) {
-      if (customer_best[i].valid() &&
-          (!stage2_best[i].valid() || better(customer_best[i], stage2_best[i]))) {
-        stage2_best[i] = customer_best[i];
-      }
-    }
-  }
-
-  // ---- Stage 3: provider routes descend to customers -----------------------
-  {
-    obs::Span stage_span("bgp.solve.provider");
-    static obs::Histogram& h_stage =
-        obs::MetricsRegistry::global().histogram("bgp.solve.stage_provider_us");
-    obs::ScopedTimer stage_timer(h_stage);
-    CandidateHeap heap;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!stage2_best[i].valid()) continue;
-      // Seed with the AS's own best; it will be finalized first for itself.
-      heap.push(i, stage2_best[i]);
-    }
-    // Provider-side direct originations (the CDN buying transit) were handled
-    // in stage 1; nothing to seed here.
-    while (!heap.empty()) {
-      auto [key, route] = heap.pop();
-      if (final_best[key.node].valid()) continue;
-      final_best[key.node] = route;
-      const AsNode& holder = nodes[key.node];
-      for (const topo::Edge& e : holder.edges) {
-        if (!e.up) continue;  // failed adjacency (chaos engine)
-        if (e.rel != topo::Rel::Customer) continue;  // descend only
-        const auto nidx = graph.index_of(e.neighbor);
-        if (!nidx || final_best[*nidx].valid() || stage2_best[*nidx].valid()) continue;
-        heap.push(*nidx, extend(route, holder.asn, e, RouteClass::Provider, nodes[*nidx]));
-      }
-    }
-  }
-
-  if (obs::enabled()) {
-    auto& registry = obs::MetricsRegistry::global();
-    registry.counter("bgp.solve.calls").add(1);
-    registry.counter("bgp.solve.nodes").add(n);
-    registry.counter("bgp.solve.select.hot_potato").add(hot_potato_decisions);
-    registry.counter("bgp.solve.select.tiebreak_hash").add(tiebreak_hash_decisions);
-    registry.counter("bgp.solve.arena_nodes").add(arena.size());
-  }
-
-  std::vector<RoutingOutcome::Entry> entries(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const CompactRoute& r = final_best[i];
-    if (!r.valid()) continue;
-    entries[i] = RoutingOutcome::Entry{r.path, r.len, r.origin_site, r.cls, r.ingress_km,
-                                       r.tiebreak};
-  }
-  return RoutingOutcome{&graph, cdn_asn, std::move(entries), std::move(arena)};
 }
 
 }  // namespace ranycast::bgp

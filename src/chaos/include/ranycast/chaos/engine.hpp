@@ -122,6 +122,20 @@ class Engine {
   /// traffic run never resumes from (or into) a load-free checkpoint.
   void enable_traffic(const traffic::TrafficConfig& cfg);
 
+  /// Route every subsequent re-solve through the incremental delta solver
+  /// (bgp::DeltaSolver via Lab::resolve_delta): each fault is turned into a
+  /// topology/origination delta and only the affected ASes re-decide.
+  /// Purely an optimization — step reports, checkpoints and resume
+  /// fingerprints are byte-identical with it on or off; per-step locality
+  /// lands in the chaos.delta.* counters and journal fields.
+  void enable_delta(const bgp::DeltaConfig& cfg);
+
+  /// Accounting of the last applied step's delta re-solve; nullopt when the
+  /// step did not reroute or the delta path is off.
+  const std::optional<bgp::DeltaStats>& last_step_delta() const noexcept {
+    return last_step_delta_;
+  }
+
   /// Apply every event of the plan in order. Fails (without measuring
   /// further) on an unappliable event: unknown site/region/IXP/database
   /// index, a restore with no matching withdrawal, or an unknown adjacency.
@@ -179,6 +193,7 @@ class Engine {
   std::vector<atlas::ProbeGroup> probe_groups_;  ///< built lazily, stable per run
   bool groups_built_{false};
   std::optional<std::pair<std::uint64_t, traffic::FlowSet>> flow_cache_;
+  std::optional<bgp::DeltaStats> last_step_delta_;
 };
 
 }  // namespace ranycast::chaos

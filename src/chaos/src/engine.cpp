@@ -279,25 +279,33 @@ struct StepFailure : std::runtime_error {
 /// journal's chaos_step events after dedup by index are exactly the report's
 /// steps (a mid-step kill can leave one duplicate index before the resume
 /// marker; consumers keep the last occurrence).
-void journal_step(const StepReport& s, std::uint64_t dur_ns) {
+void journal_step(const StepReport& s, std::uint64_t dur_ns,
+                  const std::optional<bgp::DeltaStats>& delta) {
   if (obs::journal() == nullptr) return;
   using F = obs::JournalField;
-  obs::journal_event(
-      "chaos_step",
-      {F::u64_field("index", s.index), F::str("event", s.event),
-       F::u64_field("probes", s.probes), F::u64_field("routes_before", s.routes_before),
-       F::u64_field("routes_after", s.routes_after), F::u64_field("moved", s.moved),
-       F::u64_field("lost", s.lost), F::u64_field("gained", s.gained),
-       F::u64_field("affected_probes", s.affected_probes),
-       F::u64_field("still_served", s.still_served),
-       F::u64_field("failover_in_region", s.failover_in_region),
-       F::u64_field("cross_region", s.cross_region),
-       F::f64_field("before_p50_ms", s.before_p50_ms),
-       F::f64_field("before_p90_ms", s.before_p90_ms),
-       F::f64_field("after_p50_ms", s.after_p50_ms),
-       F::f64_field("after_p90_ms", s.after_p90_ms),
-       F::u64_field("degraded_dns_answers", s.degraded_dns_answers),
-       F::u64_field("lost_pings", s.lost_pings), F::u64_field("dur_ns", dur_ns)});
+  std::vector<F> fields{
+      F::u64_field("index", s.index), F::str("event", s.event),
+      F::u64_field("probes", s.probes), F::u64_field("routes_before", s.routes_before),
+      F::u64_field("routes_after", s.routes_after), F::u64_field("moved", s.moved),
+      F::u64_field("lost", s.lost), F::u64_field("gained", s.gained),
+      F::u64_field("affected_probes", s.affected_probes),
+      F::u64_field("still_served", s.still_served),
+      F::u64_field("failover_in_region", s.failover_in_region),
+      F::u64_field("cross_region", s.cross_region),
+      F::f64_field("before_p50_ms", s.before_p50_ms),
+      F::f64_field("before_p90_ms", s.before_p90_ms),
+      F::f64_field("after_p50_ms", s.after_p50_ms),
+      F::f64_field("after_p90_ms", s.after_p90_ms),
+      F::u64_field("degraded_dns_answers", s.degraded_dns_answers),
+      F::u64_field("lost_pings", s.lost_pings), F::u64_field("dur_ns", dur_ns)};
+  // Delta-locality accounting, present only on steps re-solved through the
+  // incremental path (the report format itself is delta-independent).
+  if (delta) {
+    fields.push_back(F::u64_field("delta_affected_ases", delta->affected_ases));
+    fields.push_back(F::u64_field("delta_fallback_full", delta->full_regions));
+    fields.push_back(F::u64_field("delta_regions", delta->delta_regions));
+  }
+  obs::journal_event("chaos_step", fields);
 }
 
 /// One journal line per measured step when traffic is on, right after the
@@ -351,6 +359,11 @@ void Engine::enable_traffic(const traffic::TrafficConfig& cfg) {
   traffic_cfg_ = cfg;
   flow_cache_.reset();
   groups_built_ = false;
+}
+
+void Engine::enable_delta(const bgp::DeltaConfig& cfg) {
+  lab_.set_delta_config(cfg);
+  last_step_delta_.reset();
 }
 
 const traffic::FlowSet& Engine::current_flows() {
@@ -436,6 +449,15 @@ std::string Engine::apply(const FaultEvent& e) {
   const auto sites = handle_->deployment.sites().size();
   const auto regions = handle_->deployment.regions().size();
   bool reroute = true;  // most faults change routing; geo-DB/measurement don't
+  last_step_delta_.reset();
+  // Incremental path: describe the mutation to the solver instead of only
+  // performing it. Origin sets are captured around the switch (works for
+  // every fault kind uniformly); link-state faults also record the toggled
+  // adjacencies.
+  const bool delta_on = lab_.delta_config().enabled;
+  bgp::SolveDelta delta;
+  std::vector<std::vector<bgp::OriginAttachment>> origins_before;
+  if (delta_on) origins_before = converge::origins_by_region(dep);
   switch (e.kind) {
     case FaultKind::SiteWithdraw: {
       if (value(e.site) >= sites) return "unknown site " + std::to_string(value(e.site));
@@ -465,10 +487,12 @@ std::string Engine::apply(const FaultEvent& e) {
     }
     case FaultKind::LinkDown:
     case FaultKind::LinkUp: {
-      if (!lab_.graph_mut().set_link_state(e.a, e.b, e.kind == FaultKind::LinkUp)) {
+      const bool up = e.kind == FaultKind::LinkUp;
+      if (!lab_.graph_mut().set_link_state(e.a, e.b, up)) {
         return "no adjacency between AS" + std::to_string(value(e.a)) + " and AS" +
                std::to_string(value(e.b));
       }
+      if (delta_on) delta.links.push_back(bgp::LinkDelta{e.a, e.b, up});
       break;
     }
     case FaultKind::RouteServerDown:
@@ -476,7 +500,13 @@ std::string Engine::apply(const FaultEvent& e) {
       if (e.ixp >= lab_.world().graph.ixps().size()) {
         return "unknown IXP " + std::to_string(e.ixp);
       }
-      lab_.graph_mut().set_route_server_state(e.ixp, e.kind == FaultKind::RouteServerUp);
+      const bool up = e.kind == FaultKind::RouteServerUp;
+      lab_.graph_mut().set_route_server_state(e.ixp, up);
+      if (delta_on) {
+        for (const auto& [a, b] : lab_.world().graph.route_server_peerings(e.ixp)) {
+          delta.links.push_back(bgp::LinkDelta{a, b, up});
+        }
+      }
       break;
     }
     case FaultKind::RegionWithdraw: {
@@ -550,7 +580,27 @@ std::string Engine::apply(const FaultEvent& e) {
       reroute = false;
       break;
   }
-  if (reroute) lab_.resolve(*handle_);
+  if (reroute) {
+    if (delta_on) {
+      const auto origins_after = converge::origins_by_region(dep);
+      delta.origins.resize(origins_after.size());
+      for (std::size_t r = 0; r < origins_after.size(); ++r) {
+        delta.origins[r] = bgp::diff_origin_changes(origins_before[r], origins_after[r]);
+      }
+      const bgp::DeltaStats stats = lab_.resolve_delta(*handle_, delta);
+      last_step_delta_ = stats;
+      if (obs::enabled()) {
+        auto& reg = metrics();
+        reg.counter("chaos.delta.steps").add(1);
+        reg.counter("chaos.delta.affected_ases").add(stats.affected_ases);
+        reg.counter("chaos.delta.fallback_full").add(stats.full_regions);
+        reg.histogram("chaos.delta.affected_ases")
+            .record(static_cast<double>(stats.affected_ases));
+      }
+    } else {
+      lab_.resolve(*handle_);
+    }
+  }
   return "";
 }
 
@@ -715,7 +765,7 @@ core::Expected<StepReport, std::string> Engine::execute_step(
     dropped_flows.add(t.solve.flows_dropped);
     traffic_out->push_back(std::move(t));
   }
-  journal_step(step, obs::trace_now_ns() - step_start_ns);
+  journal_step(step, obs::trace_now_ns() - step_start_ns, last_step_delta_);
   if (traffic_on) journal_traffic(traffic_out->back());
   return step;
 }

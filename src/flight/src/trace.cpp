@@ -138,10 +138,23 @@ std::string summarize(const JournalFile& journal) {
   std::map<std::string, std::size_t> by_type;
   std::set<std::uint64_t> step_indexes;
   std::string stop_reason;
+  // Delta-locality rollup over the chaos_step events that carry the
+  // incremental-resolve fields (runs with --delta): how local each fault
+  // actually was, and how often the frontier fell back to a full solve.
+  std::size_t delta_steps = 0;
+  std::uint64_t delta_affected = 0;
+  std::uint64_t delta_fallbacks = 0;
   for (const JournalEvent& e : journal.events) {
     ++by_type[e.type.empty() ? "<untyped>" : e.type];
     if (e.type == "chaos_step") {
       step_indexes.insert(static_cast<std::uint64_t>(e.fields.number_or("index", 0.0)));
+      if (e.fields.find("delta_affected_ases") != nullptr) {
+        ++delta_steps;
+        delta_affected +=
+            static_cast<std::uint64_t>(e.fields.number_or("delta_affected_ases", 0.0));
+        delta_fallbacks +=
+            static_cast<std::uint64_t>(e.fields.number_or("delta_fallback_full", 0.0));
+      }
     }
     if (e.type == "stopped") stop_reason = e.fields.string_or("reason", "unknown");
   }
@@ -157,6 +170,15 @@ std::string summarize(const JournalFile& journal) {
   }
   std::snprintf(buf, sizeof buf, "chaos steps: %zu distinct\n", step_indexes.size());
   out += buf;
+  if (delta_steps > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "delta re-solves: %zu steps, %llu affected ASes (mean %.1f/step), "
+                  "%llu full fallbacks\n",
+                  delta_steps, static_cast<unsigned long long>(delta_affected),
+                  static_cast<double>(delta_affected) / static_cast<double>(delta_steps),
+                  static_cast<unsigned long long>(delta_fallbacks));
+    out += buf;
+  }
   std::snprintf(buf, sizeof buf, "resume markers: %zu\n", journal.resume_markers);
   out += buf;
   if (!stop_reason.empty()) out += "stopped: " + stop_reason + "\n";

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ranycast/atlas/census.hpp"
+#include "ranycast/bgp/delta_solver.hpp"
 #include "ranycast/bgp/path_metrics.hpp"
 #include "ranycast/bgp/solver.hpp"
 #include "ranycast/cdn/builder.hpp"
@@ -31,6 +32,11 @@ namespace ranycast::lab {
 struct DeploymentHandle {
   cdn::Deployment deployment;
   std::vector<bgp::RoutingOutcome> outcomes;  ///< one per region
+  /// Retained incremental-solver state (selection planes per region);
+  /// created lazily by Lab::resolve_delta / add_deployment_derived when the
+  /// delta path is enabled, null otherwise. A full resolve() discards it
+  /// (the planes would be stale against the re-solved outcomes).
+  std::unique_ptr<bgp::DeltaSolver> delta;
 
   const bgp::Route* route_for(Asn client, std::size_t region) const {
     return outcomes[region].route_for(client);
@@ -122,7 +128,33 @@ class Lab {
   /// with the same per-region tie-break salts as the original solve — the
   /// re-solve-after-mutation operation the chaos engine is built on. The
   /// routes referenced by earlier route_for() calls are invalidated.
+  /// Discards any retained incremental-solver state on the handle.
   void resolve(DeploymentHandle& handle) const;
+
+  // ---- incremental delta re-solving (see bgp/delta_solver.hpp) ----
+
+  /// Runtime knob, deliberately outside LabConfig: the delta path is an
+  /// optimization, not a semantic, so it must not enter config fingerprints
+  /// (chaos resume compares them). Also settable via the environment:
+  /// RANYCAST_DELTA=1 enables, RANYCAST_DELTA_VERIFY=N samples an in-engine
+  /// differential check every Nth region resolve.
+  void set_delta_config(const bgp::DeltaConfig& cfg) noexcept { delta_cfg_ = cfg; }
+  const bgp::DeltaConfig& delta_config() const noexcept { return delta_cfg_; }
+
+  /// resolve(), but told what changed: re-decides only the ASes the delta
+  /// can affect, splicing into outcomes byte-identical to a full resolve().
+  /// Primes the handle's solver state on first use; falls back to resolve()
+  /// when the delta path is disabled. Returns per-step accounting.
+  bgp::DeltaStats resolve_delta(DeploymentHandle& handle, const bgp::SolveDelta& delta) const;
+
+  /// Register a deployment derived from `base` by `delta` (e.g. a site
+  /// failure: resilience::fail_site), reusing base's primed selection
+  /// planes instead of solving every region from scratch. `base`'s
+  /// outcomes are left untouched. Falls back to add_deployment when the
+  /// delta path is disabled or the region sets are incompatible.
+  const DeploymentHandle& add_deployment_derived(const DeploymentHandle& base,
+                                                 cdn::Deployment deployment,
+                                                 const bgp::SolveDelta& delta);
 
   // ---- measurement-plane degradation (chaos engine) ----
 
@@ -212,6 +244,7 @@ class Lab {
   std::array<std::unique_ptr<dns::GeoDatabase>, 3> geo_dbs_;
   std::deque<DeploymentHandle> deployments_;  // deque: stable references
   std::optional<MeasurementFaults> measurement_faults_;
+  bgp::DeltaConfig delta_cfg_;
 };
 
 }  // namespace ranycast::lab

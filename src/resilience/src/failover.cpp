@@ -32,8 +32,17 @@ FailoverReport fail_site(lab::Lab& lab, const lab::DeploymentHandle& before, Sit
   report.failed_site = site;
   report.failed_city = before.deployment.site(site).city;
 
-  const auto& after =
-      lab.add_deployment(withdraw_site(before.deployment, site, lab.registry()));
+  // The derived deployment differs from the base only by the failed site's
+  // originations, so describe exactly that and let the lab reuse the base's
+  // primed selection planes (no-op when the delta path is disabled).
+  cdn::Deployment derived = withdraw_site(before.deployment, site, lab.registry());
+  bgp::SolveDelta delta;
+  delta.origins.resize(derived.regions().size());
+  for (std::size_t r = 0; r < derived.regions().size(); ++r) {
+    delta.origins[r] = bgp::diff_origin_changes(before.deployment.origins_for_region(r),
+                                                derived.origins_for_region(r));
+  }
+  const auto& after = lab.add_deployment_derived(before, std::move(derived), delta);
 
   std::vector<double> before_ms, after_ms;
   for (const atlas::Probe* p : lab.census().retained()) {

@@ -133,6 +133,12 @@ class Graph {
   /// Returns the number of adjacencies whose state changed.
   std::size_t set_route_server_state(std::size_t ixp_index, bool up) noexcept;
 
+  /// The member pairs whose adjacency set_route_server_state toggles (same
+  /// filter, independent of current edge state), each pair once with a < b.
+  /// Used to turn a route-server fault into a link delta for incremental
+  /// re-solving.
+  std::vector<std::pair<Asn, Asn>> route_server_peerings(std::size_t ixp_index) const;
+
  private:
   std::vector<AsNode> nodes_;
   std::vector<Ixp> ixps_;

@@ -148,4 +148,23 @@ std::size_t Graph::set_route_server_state(std::size_t ixp_index, bool up) noexce
   return changed / 2;
 }
 
+std::vector<std::pair<Asn, Asn>> Graph::route_server_peerings(std::size_t ixp_index) const {
+  std::vector<std::pair<Asn, Asn>> out;
+  if (ixp_index >= ixps_.size()) return out;
+  const Ixp& ixp = ixps_[ixp_index];
+  for (const Asn member : ixp.members) {
+    const AsNode* node = find(member);
+    if (node == nullptr) continue;
+    for (const Edge& e : node->edges) {
+      if (e.rel != Rel::PeerRouteServer) continue;
+      if (member >= e.neighbor) continue;  // emit each pair once
+      if (std::find(ixp.members.begin(), ixp.members.end(), e.neighbor) == ixp.members.end())
+        continue;
+      if (std::find(e.cities.begin(), e.cities.end(), ixp.city) == e.cities.end()) continue;
+      out.emplace_back(member, e.neighbor);
+    }
+  }
+  return out;
+}
+
 }  // namespace ranycast::topo

@@ -1,0 +1,48 @@
+// fail_site derives its deployment through lab::add_deployment_derived,
+// which reuses the base deployment's primed selection planes when the delta
+// path is on. The FailoverReport must not depend on that switch: identical
+// labs with delta on and off must produce field-identical reports.
+#include <gtest/gtest.h>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/resilience/failover.hpp"
+
+namespace ranycast::resilience {
+namespace {
+
+FailoverReport run_fail_site(bool delta, SiteId site) {
+  lab::LabConfig config;
+  config.world.stub_count = 600;
+  config.census.total_probes = 1800;
+  config.seed = 2023;
+  auto laboratory = lab::Lab::create(config);
+  if (delta) {
+    bgp::DeltaConfig cfg;
+    cfg.enabled = true;
+    cfg.verify_every = 1;  // belt and braces: in-engine differential too
+    laboratory.set_delta_config(cfg);
+  }
+  const auto& im6 = laboratory.add_deployment(cdn::catalog::imperva6());
+  return fail_site(laboratory, im6, site);
+}
+
+TEST(FailoverDelta, ReportIdenticalWithDeltaOnAndOff) {
+  for (const std::uint16_t site : {std::uint16_t{0}, std::uint16_t{3}}) {
+    SCOPED_TRACE("site " + std::to_string(site));
+    const FailoverReport full = run_fail_site(false, SiteId{site});
+    const FailoverReport delta = run_fail_site(true, SiteId{site});
+    EXPECT_EQ(delta.failed_site, full.failed_site);
+    EXPECT_EQ(delta.failed_city, full.failed_city);
+    EXPECT_EQ(delta.affected_probes, full.affected_probes);
+    EXPECT_EQ(delta.still_served, full.still_served);
+    EXPECT_EQ(delta.failover_in_region, full.failover_in_region);
+    EXPECT_EQ(delta.cross_region, full.cross_region);
+    EXPECT_EQ(delta.before_p50_ms, full.before_p50_ms);
+    EXPECT_EQ(delta.after_p50_ms, full.after_p50_ms);
+    EXPECT_EQ(delta.before_p90_ms, full.before_p90_ms);
+    EXPECT_EQ(delta.after_p90_ms, full.after_p90_ms);
+  }
+}
+
+}  // namespace
+}  // namespace ranycast::resilience

@@ -5,6 +5,15 @@ Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
                               [--filter BM_AnycastSolve] [--all]
                               [--require BM_Name ...]
+                              [--assert-ratio NUM_NAME DEN_NAME MIN ...]
+
+--assert-ratio gates a speedup *within* the current run: real_time of
+NUM_NAME divided by real_time of DEN_NAME must be at least MIN. Unlike the
+baseline comparison it is machine-independent (both sides ran on the same
+box moments apart), so it can enforce algorithmic guarantees — e.g. the
+incremental delta re-solve being >= 5x faster than the full solve:
+
+    --assert-ratio BM_FullSiteWithdrawStep BM_DeltaSiteWithdrawStep 5
 
 Fails (exit 1) when any benchmark matching --filter is slower than the
 baseline's real_time by more than the threshold fraction. Benchmarks present
@@ -78,6 +87,11 @@ def main():
                          "and is always gated (repeatable); a missing "
                          "required benchmark fails the check instead of "
                          "being a drift note")
+    ap.add_argument("--assert-ratio", action="append", default=[], nargs=3,
+                    metavar=("NUM_NAME", "DEN_NAME", "MIN"),
+                    help="require real_time[NUM_NAME] / real_time[DEN_NAME] "
+                         ">= MIN in the CURRENT run (repeatable); both names "
+                         "must be present there")
     args = ap.parse_args()
 
     try:
@@ -137,6 +151,32 @@ def main():
         print(f"      note  {name}: only in baseline")
     for name in sorted(set(cur) - set(base)):
         print(f"      note  {name}: only in current run")
+
+    for num_name, den_name, min_str in args.assert_ratio:
+        try:
+            min_ratio = float(min_str)
+        except ValueError:
+            print(f"error: --assert-ratio minimum '{min_str}' is not a number")
+            return 1
+        absent = [n for n in (num_name, den_name) if n not in cur]
+        if absent:
+            for n in absent:
+                print(f"error: --assert-ratio benchmark '{n}' is missing "
+                      f"from the current run {args.current}")
+            failures.append(f"{num_name}/{den_name}")
+            continue
+        n_time, n_unit = cur[num_name]
+        d_time, d_unit = cur[den_name]
+        if n_unit != d_unit:
+            print(f"error: --assert-ratio unit mismatch ({num_name} in "
+                  f"{n_unit}, {den_name} in {d_unit})")
+            return 1
+        ratio = n_time / d_time if d_time > 0 else float("inf")
+        verdict = "OK" if ratio >= min_ratio else "TOO SLOW"
+        print(f"{verdict:>10}  {num_name} / {den_name}: {ratio:.1f}x "
+              f"(required >= {min_ratio:g}x)")
+        if ratio < min_ratio:
+            failures.append(f"{num_name}/{den_name}")
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed more than "

@@ -7,6 +7,7 @@
 //                  [--dns-ttl-ms N] [--max-events N]
 //                  [--traffic] [--traffic-policy spill|shed]
 //                  [--traffic-capacity-mbps N] [--traffic-scale X]
+//                  [--delta] [--delta-verify N] [--delta-threshold X]
 //                  [--deadline SECONDS] [--stall-timeout SECONDS]
 //                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
 //                  [--abort-after N]
@@ -34,6 +35,14 @@
 // section plus the final per-site serving state. The scenario file may
 // declare a "traffic" block with the full model; the flags enable it with
 // defaults and override its policy / default capacity / demand scale.
+//
+// --delta re-solves each step through the incremental delta solver
+// (docs/performance.md, "Incremental re-solve"): only the ASes the fault
+// can affect re-decide, with identical reports, checkpoints and resume
+// fingerprints — an optimization knob, never a semantic one.
+// --delta-verify N additionally re-solves from scratch every Nth region
+// resolve and compares; --delta-threshold X sets the fallback-to-full
+// frontier fraction (default 0.25). Either flag implies --delta.
 //
 // Guard flags (docs/reliability.md) run the timeline under a supervisor:
 // --deadline time-boxes the run (a truncated report is still emitted, with
@@ -171,6 +180,7 @@ int main(int argc, char** argv) {
                                        "dns-ttl-ms", "max-events",
                                        "traffic", "traffic-policy",
                                        "traffic-capacity-mbps", "traffic-scale",
+                                       "delta", "delta-verify", "delta-threshold",
                                        "deadline", "stall-timeout", "checkpoint",
                                        "checkpoint-every", "resume", "abort-after"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
@@ -301,6 +311,8 @@ int main(int argc, char** argv) {
        F::u64_field("planned_steps", plan->events.size()),
        F::bool_field("transient", args.has("transient")),
        F::bool_field("traffic", traffic_cfg.has_value()),
+       F::bool_field("delta", args.has("delta") || args.has("delta-verify") ||
+                                  args.has("delta-threshold")),
        F::bool_field("resume", args.has("resume"))},
       /*durable=*/true);
 
@@ -323,6 +335,17 @@ int main(int argc, char** argv) {
     engine.enable_transient(ccfg);
   }
   if (traffic_cfg) engine.enable_traffic(*traffic_cfg);
+  // --delta switches the step re-solves to the incremental solver; purely
+  // an optimization, so reports/checkpoints are byte-identical either way
+  // (which is exactly what tests/chaos/test_delta_soak.cpp asserts).
+  if (args.has("delta") || args.has("delta-verify") || args.has("delta-threshold")) {
+    bgp::DeltaConfig dcfg;
+    dcfg.enabled = true;
+    dcfg.verify_every =
+        static_cast<std::uint32_t>(args.get_or("delta-verify", std::int64_t{0}));
+    dcfg.fallback_frac = args.get_or("delta-threshold", dcfg.fallback_frac);
+    engine.enable_delta(dcfg);
+  }
 
   const bool guarded = args.has("deadline") || args.has("stall-timeout") ||
                        args.has("checkpoint") || args.has("resume");
