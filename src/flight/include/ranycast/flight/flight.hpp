@@ -40,12 +40,25 @@ struct JournalEvent {
 struct JournalFile {
   std::vector<JournalEvent> events;  ///< in file order
   std::size_t malformed_lines{0};    ///< unparseable lines (a SIGKILL can cut the tail)
+  std::size_t corrupt_lines{0};      ///< lines whose CRC-32 tag failed validation
+  bool truncated_tail{false};        ///< the FINAL line was malformed (kill-cut)
   std::size_t resume_markers{0};     ///< "resumed" events seen
+
+  /// Whether this journal shows damage beyond a benign kill-cut tail: any
+  /// CRC failure, or a malformed line that is not the final one.
+  bool damaged() const noexcept {
+    return corrupt_lines > 0 ||
+           malformed_lines > static_cast<std::size_t>(truncated_tail ? 1 : 0);
+  }
 };
 
-/// Reads an NDJSON journal. Unparseable lines are counted, not fatal — the
-/// journal of a killed run must stay readable up to the last completed step.
-/// Fails only when the file cannot be read at all.
+/// Reads an NDJSON journal. Damaged lines are skipped and counted, not
+/// fatal — the journal of a killed run must stay readable up to the last
+/// completed step. Lines carrying the writer's `,"crc":"xxxxxxxx"}` tag are
+/// CRC-checked first: a mismatch (mid-file bit rot, spliced garbage) counts
+/// as corrupt_lines even when the damaged line still parses as JSON.
+/// Tag-less parseable lines are legacy journals and accepted. Fails only
+/// when the file cannot be read at all.
 core::Expected<JournalFile, std::string> load_journal(const std::string& path);
 
 /// Reads an obs::flight_ndjson() dump back into per-thread snapshots

@@ -1,23 +1,60 @@
+#include <cstdlib>
 #include <fstream>
 #include <map>
 
+#include "ranycast/core/crc32.hpp"
 #include "ranycast/flight/flight.hpp"
+#include "ranycast/obs/journal.hpp"
 
 namespace ranycast::flight {
+
+namespace {
+
+enum class CrcCheck { NoTag, Valid, Mismatch };
+
+/// Validate the writer's fixed-width `,"crc":"xxxxxxxx"}` line tail (see
+/// obs::kJournalCrcTagSize): CRC-32 over every byte before the tag.
+CrcCheck check_line_crc(const std::string& line) {
+  constexpr std::size_t kTag = obs::kJournalCrcTagSize;
+  if (line.size() < kTag + 2) return CrcCheck::NoTag;
+  const std::size_t tag_at = line.size() - kTag;
+  if (line.compare(tag_at, 8, ",\"crc\":\"") != 0 ||
+      line.compare(line.size() - 2, 2, "\"}") != 0) {
+    return CrcCheck::NoTag;
+  }
+  const std::string hex = line.substr(tag_at + 8, 8);
+  if (hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return CrcCheck::NoTag;
+  }
+  const auto stored = static_cast<std::uint32_t>(std::strtoul(hex.c_str(), nullptr, 16));
+  const std::uint32_t computed = core::crc32(line.data(), tag_at);
+  return stored == computed ? CrcCheck::Valid : CrcCheck::Mismatch;
+}
+
+}  // namespace
 
 core::Expected<JournalFile, std::string> load_journal(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return core::unexpected("cannot read journal '" + path + "'");
   JournalFile out;
   std::string line;
+  bool last_was_malformed = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    last_was_malformed = false;
+    // The CRC tag is checked before parsing: flipped bytes can still yield
+    // valid JSON with a silently wrong value, and only the checksum knows.
+    if (check_line_crc(line) == CrcCheck::Mismatch) {
+      ++out.corrupt_lines;
+      continue;
+    }
     auto parsed = io::parse_json(line);
     if (std::holds_alternative<io::JsonParseError>(parsed) ||
         !std::get<io::Json>(parsed).is_object()) {
       // A SIGKILL can cut the last line short; count and move on so the
       // journal stays readable up to the last completed step.
       ++out.malformed_lines;
+      last_was_malformed = true;
       continue;
     }
     JournalEvent e;
@@ -27,6 +64,9 @@ core::Expected<JournalFile, std::string> load_journal(const std::string& path) {
     if (e.type == "resumed") ++out.resume_markers;
     out.events.push_back(std::move(e));
   }
+  // A malformed FINAL line is the expected signature of a kill-cut tail;
+  // malformed lines elsewhere are genuine damage (see JournalFile::damaged).
+  out.truncated_tail = last_was_malformed;
   return out;
 }
 

@@ -160,10 +160,11 @@ std::string summarize(const JournalFile& journal) {
   }
   std::string out;
   char buf[160];
-  std::snprintf(buf, sizeof buf, "events: %zu (%zu malformed line%s)\n",
+  std::snprintf(buf, sizeof buf, "events: %zu (%zu malformed line%s, %zu corrupt)\n",
                 journal.events.size(), journal.malformed_lines,
-                journal.malformed_lines == 1 ? "" : "s");
+                journal.malformed_lines == 1 ? "" : "s", journal.corrupt_lines);
   out += buf;
+  if (journal.truncated_tail) out += "  (final line truncated: kill-cut tail)\n";
   for (const auto& [type, count] : by_type) {
     std::snprintf(buf, sizeof buf, "  %-18s %zu\n", type.c_str(), count);
     out += buf;

@@ -35,7 +35,12 @@ enum class CheckpointKind : std::uint32_t {
   ChaosTimeline = 1,
   StabilityTrials = 2,
   MeasurementSweep = 3,
+  /// The lineage manifest written at the policy path by CheckpointChain:
+  /// its payload lists the rotating generation files (see chain.hpp).
+  ChainManifest = 4,
 };
+
+std::string_view to_string(CheckpointKind kind) noexcept;
 
 /// Append-only little-endian encoder for checkpoint payloads.
 class ByteWriter {
@@ -105,15 +110,50 @@ class ByteReader {
   bool ok_{true};
 };
 
-/// Atomically persist a checkpoint (tmp + fsync + rename).
+/// Header facts of a validated envelope (CRC, magic and version already
+/// checked; kind and fingerprint NOT matched against any expectation).
+struct CheckpointInfo {
+  std::uint32_t format{0};
+  CheckpointKind kind{CheckpointKind::ChaosTimeline};
+  std::uint64_t fingerprint{0};
+  std::uint64_t payload_size{0};
+  std::uint64_t file_size{0};
+};
+
+/// A checkpoint whose envelope validated, before kind/fingerprint matching.
+struct InspectedCheckpoint {
+  CheckpointInfo info;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize the full checkpoint envelope (header + payload + CRC) without
+/// touching disk. `write_checkpoint(path, ...)` is `encode_checkpoint` +
+/// `vfs::write_file_atomic`; CheckpointChain uses the bytes directly so the
+/// manifest can record each generation's exact size and CRC.
+std::vector<std::uint8_t> encode_checkpoint(CheckpointKind kind,
+                                            std::uint64_t fingerprint,
+                                            std::span<const std::uint8_t> payload);
+
+/// Atomically persist a checkpoint (tmp + fsync + rename + parent-dir
+/// fsync, all through ranycast::vfs so injected faults are exercised).
 core::Expected<std::monostate, GuardError> write_checkpoint(
     const std::string& path, CheckpointKind kind, std::uint64_t fingerprint,
     std::span<const std::uint8_t> payload);
 
+/// Read and validate the envelope (Io / TransientIo on read failure,
+/// Corrupt on short/garbled file or CRC mismatch, VersionMismatch on a
+/// foreign format version) but accept any kind and fingerprint. This is
+/// how CheckpointChain tells a legacy single-file checkpoint from a chain
+/// manifest, and how `ranycast-flight verify` inspects without a run.
+core::Expected<InspectedCheckpoint, GuardError> read_checkpoint_unchecked(
+    const std::string& path);
+
+/// Header facts only; same validation as read_checkpoint_unchecked.
+core::Expected<CheckpointInfo, GuardError> inspect_checkpoint(const std::string& path);
+
 /// Read and fully validate a checkpoint; returns the payload bytes.
-/// Rejects: unreadable file (Io), short/garbled envelope or CRC mismatch
-/// (Corrupt), other format version (VersionMismatch), other kind (Corrupt)
-/// and other fingerprint (FingerprintMismatch).
+/// Rejects everything read_checkpoint_unchecked rejects, plus a mismatched
+/// kind (Corrupt) and a mismatched fingerprint (FingerprintMismatch).
 core::Expected<std::vector<std::uint8_t>, GuardError> read_checkpoint(
     const std::string& path, CheckpointKind expected_kind,
     std::uint64_t expected_fingerprint);

@@ -11,11 +11,13 @@
 #include <string_view>
 
 #include "ranycast/io/config.hpp"
+#include "ranycast/vfs/vfs.hpp"
 
 namespace ranycast::guard {
 
 enum class GuardErrorKind : std::uint8_t {
-  Io,                   ///< checkpoint file unreadable / unwritable
+  Io,                   ///< hard I/O failure (missing file, permissions, EBADF)
+  TransientIo,          ///< retryable I/O failure (ENOSPC, EINTR, transient EIO)
   Corrupt,              ///< bad magic, truncated envelope or CRC mismatch
   VersionMismatch,      ///< checkpoint written by a different format version
   FingerprintMismatch,  ///< checkpoint belongs to a different config/seed/plan
@@ -27,16 +29,33 @@ enum class GuardErrorKind : std::uint8_t {
 
 std::string_view to_string(GuardErrorKind kind) noexcept;
 
+/// How a failure should be handled, not just what it was:
+///   TransientIo  — worth a bounded-backoff retry of the whole operation
+///   CorruptState — stored state is damaged; quarantine and fall back to an
+///                  older checkpoint generation, never retry in place
+///   Fatal        — configuration/identity/stop conditions; surface to the
+///                  caller unchanged
+enum class GuardSeverity : std::uint8_t { TransientIo, CorruptState, Fatal };
+
+GuardSeverity severity(GuardErrorKind kind) noexcept;
+std::string_view to_string(GuardSeverity severity) noexcept;
+
 struct GuardError {
   GuardErrorKind kind{GuardErrorKind::Io};
   std::string path;  ///< checkpoint file or resource; "" when not file-bound
   std::string message;
+
+  GuardSeverity severity() const noexcept { return guard::severity(kind); }
 
   /// "chaos.ckpt: [corrupt] CRC mismatch (stored 0x1234, computed 0x5678)"
   std::string to_string() const;
 
   /// Fold a configuration-loading failure into the guard taxonomy.
   static GuardError from(const io::ConfigError& err);
+
+  /// Fold a vfs I/O failure into the guard taxonomy: retryable errnos map
+  /// to TransientIo, everything else to Io.
+  static GuardError from(const vfs::IoError& err);
 };
 
 }  // namespace ranycast::guard

@@ -13,6 +13,7 @@
 // instead of hanging forever. See docs/reliability.md.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -38,11 +39,23 @@ struct RunLimits {
   double poll_interval_s{0.02};
 };
 
+/// Bounded exponential backoff for transient I/O failures. An attempt is
+/// retried only while the failure's severity is GuardSeverity::TransientIo;
+/// corrupt state and fatal errors surface immediately.
+struct RetryPolicy {
+  std::size_t max_attempts{4};    ///< total tries, including the first
+  double initial_backoff_ms{1.0};
+  double multiplier{4.0};
+  double max_backoff_ms{200.0};
+};
+
 /// When and where a runner persists progress.
 struct CheckpointPolicy {
-  std::string path;      ///< checkpoint file; empty disables checkpointing
+  std::string path;      ///< chain manifest path; empty disables checkpointing
   std::size_t every{1};  ///< persist after every k-th completed step
   bool resume{false};    ///< load `path` (if present) before running
+  std::size_t keep{3};   ///< checkpoint generations retained in the chain
+  RetryPolicy retry;     ///< transient-I/O retry for checkpoint writes/reads
   /// Invoked after every completed step with (completed, planned) — the
   /// CLI progress hook; tests also use it to force aborts at exact steps.
   std::function<void(std::size_t, std::size_t)> after_step;
@@ -91,5 +104,40 @@ class Supervisor {
   bool shutdown_{false};
   std::thread watchdog_;
 };
+
+namespace detail {
+/// Counter hook ("guard.recovery.retries") and backoff sleep, kept out of
+/// the template so the header stays light.
+void note_retry_and_backoff(double backoff_ms);
+}  // namespace detail
+
+/// Run `op` (returning core::Expected<T, GuardError>) with bounded
+/// exponential-backoff retry on TransientIo failures. Stops early when the
+/// supervisor wants to stop (returning its stop error), and annotates the
+/// final failure with the attempt count. Corrupt/fatal errors are never
+/// retried — corrupt state is the chain's job to heal, not a retry's.
+template <typename Fn>
+auto retry_transient(Supervisor& supervisor, const RetryPolicy& policy, Fn&& op)
+    -> decltype(op()) {
+  const std::size_t max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  double backoff_ms = policy.initial_backoff_ms;
+  for (std::size_t attempt = 1;; ++attempt) {
+    auto result = op();
+    if (result) return result;
+    if (result.error().severity() != GuardSeverity::TransientIo ||
+        attempt >= max_attempts) {
+      if (attempt > 1) {
+        result.error().message += " (after " + std::to_string(attempt) + " attempts)";
+      }
+      return result;
+    }
+    if (supervisor.should_stop()) {
+      using ResultT = decltype(op());
+      return ResultT(core::unexpected(supervisor.stop_error()));
+    }
+    detail::note_retry_and_backoff(backoff_ms);
+    backoff_ms = std::min(backoff_ms * policy.multiplier, policy.max_backoff_ms);
+  }
+}
 
 }  // namespace ranycast::guard

@@ -1,13 +1,13 @@
 #include "ranycast/guard/checkpoint.hpp"
 
+#include <sys/stat.h>
+
 #include <bit>
-#include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <sys/stat.h>
-#include <unistd.h>
 
 #include "ranycast/core/crc32.hpp"
+#include "ranycast/vfs/vfs.hpp"
 
 namespace ranycast::guard {
 
@@ -27,11 +27,64 @@ GuardError make_error(GuardErrorKind kind, const std::string& path, std::string 
   return err;
 }
 
-GuardError io_error(const std::string& path, const std::string& what) {
-  return make_error(GuardErrorKind::Io, path, what + ": " + std::strerror(errno));
+/// Envelope validation shared by every read path: CRC first (no header
+/// field is trusted before it), then magic and format version. Kind and
+/// fingerprint are reported, not matched.
+core::Expected<CheckpointInfo, GuardError> validate_envelope(
+    const std::string& path, std::span<const std::uint8_t> raw) {
+  if (raw.size() < kHeaderSize + kCrcSize) {
+    return core::unexpected(make_error(GuardErrorKind::Corrupt, path,
+                                       "file too short to be a checkpoint (" +
+                                           std::to_string(raw.size()) + " bytes)"));
+  }
+  const std::size_t body = raw.size() - kCrcSize;
+  const std::uint32_t computed = core::crc32(raw.data(), body);
+  ByteReader crc_reader(raw.subspan(body));
+  const std::uint32_t stored = crc_reader.u32();
+  if (computed != stored) {
+    char msg[96];
+    std::snprintf(msg, sizeof msg, "CRC mismatch (stored 0x%08x, computed 0x%08x)", stored,
+                  computed);
+    return core::unexpected(make_error(GuardErrorKind::Corrupt, path, msg));
+  }
+
+  ByteReader reader(raw.first(body));
+  std::uint8_t magic[4];
+  for (auto& b : magic) b = reader.u8();
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return core::unexpected(
+        make_error(GuardErrorKind::Corrupt, path, "bad magic: not a guard checkpoint"));
+  }
+  CheckpointInfo info;
+  info.format = reader.u32();
+  if (info.format != kCheckpointFormatVersion) {
+    return core::unexpected(make_error(
+        GuardErrorKind::VersionMismatch, path,
+        "format version " + std::to_string(info.format) + " (this build reads version " +
+            std::to_string(kCheckpointFormatVersion) + ")"));
+  }
+  info.kind = static_cast<CheckpointKind>(reader.u32());
+  info.fingerprint = reader.u64();
+  info.payload_size = reader.u64();
+  info.file_size = raw.size();
+  if (!reader.ok() || info.payload_size != reader.remaining()) {
+    return core::unexpected(
+        make_error(GuardErrorKind::Corrupt, path, "payload size does not match file size"));
+  }
+  return info;
 }
 
 }  // namespace
+
+std::string_view to_string(CheckpointKind kind) noexcept {
+  switch (kind) {
+    case CheckpointKind::ChaosTimeline: return "chaos-timeline";
+    case CheckpointKind::StabilityTrials: return "stability-trials";
+    case CheckpointKind::MeasurementSweep: return "measurement-sweep";
+    case CheckpointKind::ChainManifest: return "chain-manifest";
+  }
+  return "unknown";
+}
 
 void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
@@ -54,9 +107,9 @@ std::string ByteReader::str() {
   return out;
 }
 
-core::Expected<std::monostate, GuardError> write_checkpoint(
-    const std::string& path, CheckpointKind kind, std::uint64_t fingerprint,
-    std::span<const std::uint8_t> payload) {
+std::vector<std::uint8_t> encode_checkpoint(CheckpointKind kind,
+                                            std::uint64_t fingerprint,
+                                            std::span<const std::uint8_t> payload) {
   ByteWriter envelope;
   envelope.bytes(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(kMagic), sizeof kMagic));
@@ -67,96 +120,59 @@ core::Expected<std::monostate, GuardError> write_checkpoint(
   envelope.bytes(payload);
   const std::uint32_t crc = core::crc32(envelope.data().data(), envelope.data().size());
   envelope.u32(crc);
+  return envelope.take();
+}
 
-  // tmp + fsync + rename: a crash at any point leaves either the previous
-  // checkpoint or a complete new one, never a torn file under `path`.
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return core::unexpected(io_error(tmp, "cannot open for writing"));
-  const auto& bytes = envelope.data();
-  const bool wrote = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  const bool flushed = wrote && std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
-  if (std::fclose(f) != 0 || !flushed) {
-    ::unlink(tmp.c_str());
-    return core::unexpected(io_error(tmp, "write failed"));
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
-    return core::unexpected(io_error(path, "rename failed"));
-  }
+core::Expected<std::monostate, GuardError> write_checkpoint(
+    const std::string& path, CheckpointKind kind, std::uint64_t fingerprint,
+    std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(kind, fingerprint, payload);
+  auto written = vfs::write_file_atomic(path, std::span<const std::uint8_t>(bytes));
+  if (!written) return core::unexpected(GuardError::from(written.error()));
   return std::monostate{};
+}
+
+core::Expected<InspectedCheckpoint, GuardError> read_checkpoint_unchecked(
+    const std::string& path) {
+  auto raw = vfs::read_file(path);
+  if (!raw) return core::unexpected(GuardError::from(raw.error()));
+  auto info = validate_envelope(path, std::span<const std::uint8_t>(*raw));
+  if (!info) return core::unexpected(std::move(info).error());
+  InspectedCheckpoint out;
+  out.info = *info;
+  out.payload.assign(raw->begin() + static_cast<std::ptrdiff_t>(kHeaderSize),
+                     raw->end() - static_cast<std::ptrdiff_t>(kCrcSize));
+  return out;
+}
+
+core::Expected<CheckpointInfo, GuardError> inspect_checkpoint(const std::string& path) {
+  auto inspected = read_checkpoint_unchecked(path);
+  if (!inspected) return core::unexpected(std::move(inspected).error());
+  return inspected->info;
 }
 
 core::Expected<std::vector<std::uint8_t>, GuardError> read_checkpoint(
     const std::string& path, CheckpointKind expected_kind,
     std::uint64_t expected_fingerprint) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return core::unexpected(io_error(path, "cannot open checkpoint"));
-  std::vector<std::uint8_t> raw;
-  std::uint8_t buf[1 << 16];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
-    raw.insert(raw.end(), buf, buf + n);
-  }
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) return core::unexpected(io_error(path, "read failed"));
-
-  if (raw.size() < kHeaderSize + kCrcSize) {
-    return core::unexpected(make_error(GuardErrorKind::Corrupt, path,
-                                       "file too short to be a checkpoint (" +
-                                           std::to_string(raw.size()) + " bytes)"));
-  }
-  // Validate the CRC before trusting any header field.
-  const std::size_t body = raw.size() - kCrcSize;
-  const std::uint32_t computed = core::crc32(raw.data(), body);
-  const std::span<const std::uint8_t> raw_span(raw.data(), raw.size());
-  ByteReader crc_reader(raw_span.subspan(body));
-  const std::uint32_t stored = crc_reader.u32();
-  if (computed != stored) {
-    char msg[96];
-    std::snprintf(msg, sizeof msg, "CRC mismatch (stored 0x%08x, computed 0x%08x)", stored,
-                  computed);
-    return core::unexpected(make_error(GuardErrorKind::Corrupt, path, msg));
-  }
-
-  ByteReader reader(raw_span.first(body));
-  std::uint8_t magic[4];
-  for (auto& b : magic) b = reader.u8();
-  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
-    return core::unexpected(
-        make_error(GuardErrorKind::Corrupt, path, "bad magic: not a guard checkpoint"));
-  }
-  const std::uint32_t version = reader.u32();
-  if (version != kCheckpointFormatVersion) {
+  auto inspected = read_checkpoint_unchecked(path);
+  if (!inspected) return core::unexpected(std::move(inspected).error());
+  const CheckpointInfo& info = inspected->info;
+  if (info.kind != expected_kind) {
     return core::unexpected(make_error(
-        GuardErrorKind::VersionMismatch, path,
-        "format version " + std::to_string(version) + " (this build reads version " +
-            std::to_string(kCheckpointFormatVersion) + ")"));
+        GuardErrorKind::Corrupt, path,
+        "checkpoint kind " + std::to_string(static_cast<std::uint32_t>(info.kind)) +
+            " does not match this runner"));
   }
-  const std::uint32_t kind = reader.u32();
-  if (kind != static_cast<std::uint32_t>(expected_kind)) {
-    return core::unexpected(make_error(GuardErrorKind::Corrupt, path,
-                                       "checkpoint kind " + std::to_string(kind) +
-                                           " does not match this runner"));
-  }
-  const std::uint64_t fingerprint = reader.u64();
-  if (fingerprint != expected_fingerprint) {
+  if (info.fingerprint != expected_fingerprint) {
     char msg[128];
     std::snprintf(msg, sizeof msg,
                   "fingerprint 0x%016llx was taken from a different config/seed/plan "
                   "(expected 0x%016llx)",
-                  static_cast<unsigned long long>(fingerprint),
+                  static_cast<unsigned long long>(info.fingerprint),
                   static_cast<unsigned long long>(expected_fingerprint));
     return core::unexpected(make_error(GuardErrorKind::FingerprintMismatch, path, msg));
   }
-  const std::uint64_t payload_size = reader.u64();
-  if (!reader.ok() || payload_size != reader.remaining()) {
-    return core::unexpected(
-        make_error(GuardErrorKind::Corrupt, path, "payload size does not match file size"));
-  }
-  return std::vector<std::uint8_t>(raw.begin() + static_cast<std::ptrdiff_t>(kHeaderSize),
-                                   raw.begin() + static_cast<std::ptrdiff_t>(body));
+  return std::move(inspected->payload);
 }
 
 bool checkpoint_exists(const std::string& path) noexcept {

@@ -5,6 +5,7 @@ namespace ranycast::guard {
 std::string_view to_string(GuardErrorKind kind) noexcept {
   switch (kind) {
     case GuardErrorKind::Io: return "io";
+    case GuardErrorKind::TransientIo: return "transient-io";
     case GuardErrorKind::Corrupt: return "corrupt";
     case GuardErrorKind::VersionMismatch: return "version-mismatch";
     case GuardErrorKind::FingerprintMismatch: return "fingerprint-mismatch";
@@ -23,6 +24,41 @@ std::string GuardError::to_string() const {
   out += "] ";
   out += message;
   return out;
+}
+
+GuardSeverity severity(GuardErrorKind kind) noexcept {
+  switch (kind) {
+    case GuardErrorKind::TransientIo:
+      return GuardSeverity::TransientIo;
+    case GuardErrorKind::Corrupt:
+    case GuardErrorKind::VersionMismatch:
+      return GuardSeverity::CorruptState;
+    case GuardErrorKind::Io:
+    case GuardErrorKind::FingerprintMismatch:
+    case GuardErrorKind::Config:
+    case GuardErrorKind::Cancelled:
+    case GuardErrorKind::DeadlineExpired:
+    case GuardErrorKind::Stalled:
+      break;
+  }
+  return GuardSeverity::Fatal;
+}
+
+std::string_view to_string(GuardSeverity severity) noexcept {
+  switch (severity) {
+    case GuardSeverity::TransientIo: return "transient-io";
+    case GuardSeverity::CorruptState: return "corrupt-state";
+    case GuardSeverity::Fatal: return "fatal";
+  }
+  return "unknown";
+}
+
+GuardError GuardError::from(const vfs::IoError& err) {
+  GuardError g;
+  g.kind = err.retryable() ? GuardErrorKind::TransientIo : GuardErrorKind::Io;
+  g.path = err.path;
+  g.message = err.to_string();
+  return g;
 }
 
 GuardError GuardError::from(const io::ConfigError& err) {

@@ -1,6 +1,7 @@
 #include "ranycast/guard/runtime.hpp"
 
 #include <chrono>
+#include <thread>
 
 #include "ranycast/obs/metrics.hpp"
 
@@ -14,6 +15,19 @@ obs::Counter& heartbeat_counter() {
 }
 
 }  // namespace
+
+namespace detail {
+
+void note_retry_and_backoff(double backoff_ms) {
+  static obs::Counter& retries =
+      obs::MetricsRegistry::global().counter("guard.recovery.retries");
+  retries.add();
+  if (backoff_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff_ms));
+  }
+}
+
+}  // namespace detail
 
 Supervisor::Supervisor(const RunLimits& limits)
     : limits_(limits),

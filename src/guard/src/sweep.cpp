@@ -1,21 +1,11 @@
 #include "ranycast/guard/sweep.hpp"
 
+#include "ranycast/guard/chain.hpp"
 #include "ranycast/obs/journal.hpp"
 
 namespace ranycast::guard {
 
 namespace {
-
-core::Expected<std::monostate, GuardError> persist(const std::string& path,
-                                                   std::uint64_t fingerprint,
-                                                   std::size_t cursor,
-                                                   const SweepHooks& hooks) {
-  ByteWriter payload;
-  payload.u64(cursor);
-  if (hooks.save) hooks.save(payload);
-  return write_checkpoint(path, CheckpointKind::MeasurementSweep, fingerprint,
-                          payload.data());
-}
 
 const char* reason_name(StopReason reason) {
   switch (reason) {
@@ -38,12 +28,15 @@ core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
   SweepResult result;
   result.total = total;
 
+  CheckpointChain chain(policy.path, policy.keep);
+
   std::size_t start = 0;
-  if (policy.resume && !policy.path.empty() && checkpoint_exists(policy.path)) {
-    auto payload = read_checkpoint(policy.path, CheckpointKind::MeasurementSweep,
-                                   fingerprint);
-    if (!payload) return core::unexpected(std::move(payload).error());
-    ByteReader reader(*payload);
+  if (policy.resume && !policy.path.empty() && chain_exists(policy.path)) {
+    auto recovered = retry_transient(supervisor, policy.retry, [&] {
+      return chain.read(CheckpointKind::MeasurementSweep, fingerprint);
+    });
+    if (!recovered) return core::unexpected(std::move(recovered).error());
+    ByteReader reader(recovered->payload);
     const std::uint64_t cursor = reader.u64();
     if (!reader.ok() || cursor > total || !hooks.load || !hooks.load(reader)) {
       GuardError err;
@@ -58,9 +51,15 @@ core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
     // The explicit resume marker: everything after this line in the journal
     // was produced by the resumed process; everything before it (including a
     // possibly duplicated step from a mid-step kill) by earlier attempts.
+    // `generation`/`fallbacks`/`quarantined` record how the chain recovered:
+    // a clean resume reads the newest generation with zero fallbacks.
     obs::journal_event("resumed",
                        {F::u64_field("cursor", cursor), F::u64_field("total", total),
-                        F::str("checkpoint", policy.path)},
+                        F::str("checkpoint", policy.path),
+                        F::u64_field("generation", recovered->generation),
+                        F::u64_field("fallbacks", recovered->fallbacks),
+                        F::u64_field("quarantined", recovered->quarantined),
+                        F::bool_field("legacy", recovered->legacy)},
                        /*durable=*/true);
   }
 
@@ -83,11 +82,17 @@ core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
     // step.
     if (obs::Journal* j = obs::journal()) j->sync();
     if (!policy.path.empty() && ((i + 1) % every == 0 || i + 1 == total)) {
-      if (auto written = persist(policy.path, fingerprint, i + 1, hooks); !written) {
-        return core::unexpected(std::move(written).error());
-      }
+      ByteWriter payload;
+      payload.u64(i + 1);
+      if (hooks.save) hooks.save(payload);
+      auto written = retry_transient(supervisor, policy.retry, [&] {
+        return chain.write(CheckpointKind::MeasurementSweep, fingerprint,
+                           payload.data());
+      });
+      if (!written) return core::unexpected(std::move(written).error());
       obs::journal_event("checkpoint",
-                         {F::u64_field("cursor", i + 1), F::str("path", policy.path)},
+                         {F::u64_field("cursor", i + 1), F::str("path", policy.path),
+                          F::u64_field("generation", *written)},
                          /*durable=*/true);
     }
     // After the checkpoint is durable: a crash inside this hook (tests use

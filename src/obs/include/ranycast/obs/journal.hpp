@@ -12,9 +12,17 @@
 //   run_manifest, phase_begin, phase_end, chaos_step, transient_window,
 //   checkpoint, resumed, stopped, bench_sample
 //
+// Every line ends with a self-checking tag `,"crc":"xxxxxxxx"}` — a CRC-32
+// (as 8 lowercase hex digits) over all preceding bytes of the line. Readers
+// (ranycast::flight) recompute it to tell three failure modes apart:
+// mid-file bit rot (crc mismatch → the line is skipped and counted), a
+// kill-cut final line (no tag, unparseable → truncated tail), and legacy
+// journals written before the tag existed (no tag, parseable → accepted).
+//
 // The journal deliberately lives in obs (below ranycast::io): it writes
 // JSON with its own tiny emitter and parses nothing. Reading journals back
-// is ranycast::flight's job.
+// is ranycast::flight's job. All writes go through ranycast::vfs so fault
+// plans can torture the journal path too.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +30,12 @@
 #include <string_view>
 #include <vector>
 
+#include "ranycast/vfs/vfs.hpp"
+
 namespace ranycast::obs {
+
+/// Byte length of the per-line CRC tag: `,"crc":"` + 8 hex + `"}`.
+inline constexpr std::size_t kJournalCrcTagSize = 18;
 
 /// One typed key/value in a journal event.
 struct JournalField {
@@ -62,7 +75,7 @@ class Journal {
   /// Returns false (and records error()) on failure.
   bool open(const std::string& path, bool append);
   void close();
-  bool is_open() const noexcept { return fd_ >= 0; }
+  bool is_open() const noexcept { return file_.is_open(); }
   const std::string& path() const noexcept { return path_; }
   const std::string& error() const noexcept { return error_; }
 
@@ -78,7 +91,7 @@ class Journal {
   std::uint64_t events_written() const noexcept { return events_written_; }
 
  private:
-  int fd_{-1};
+  vfs::File file_;
   std::string path_;
   std::string error_;
   std::uint64_t events_written_{0};

@@ -1,15 +1,11 @@
 #include "ranycast/obs/journal.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <atomic>
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <utility>
 
+#include "ranycast/core/crc32.hpp"
 #include "ranycast/obs/span.hpp"
 
 namespace ranycast::obs {
@@ -131,22 +127,20 @@ JournalField JournalField::raw(std::string key, std::string json) {
 Journal::~Journal() { close(); }
 
 Journal::Journal(Journal&& other) noexcept
-    : fd_(other.fd_),
+    : file_(std::move(other.file_)),
       path_(std::move(other.path_)),
       error_(std::move(other.error_)),
       events_written_(other.events_written_) {
-  other.fd_ = -1;
   other.events_written_ = 0;
 }
 
 Journal& Journal::operator=(Journal&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = other.fd_;
+    file_ = std::move(other.file_);
     path_ = std::move(other.path_);
     error_ = std::move(other.error_);
     events_written_ = other.events_written_;
-    other.fd_ = -1;
     other.events_written_ = 0;
   }
   return *this;
@@ -154,14 +148,12 @@ Journal& Journal::operator=(Journal&& other) noexcept {
 
 bool Journal::open(const std::string& path, bool append) {
   close();
-  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
-  if (!append) flags |= O_TRUNC;
-  const int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) {
-    error_ = "cannot open journal '" + path + "': " + std::strerror(errno);
+  auto file = vfs::File::open_append(path, /*truncate=*/!append);
+  if (!file) {
+    error_ = "cannot open journal '" + path + "': " + file.error().to_string();
     return false;
   }
-  fd_ = fd;
+  file_ = std::move(*file);
   path_ = path;
   error_.clear();
   events_written_ = 0;
@@ -169,16 +161,15 @@ bool Journal::open(const std::string& path, bool append) {
 }
 
 void Journal::close() {
-  if (fd_ >= 0) {
-    ::fsync(fd_);
-    ::close(fd_);
-    fd_ = -1;
+  if (file_.is_open()) {
+    (void)file_.sync();
+    (void)file_.close();
   }
 }
 
 bool Journal::event(std::string_view type, const std::vector<JournalField>& fields,
                     bool durable) {
-  if (fd_ < 0) return false;
+  if (!file_.is_open()) return false;
   std::string line = "{\"type\":";
   append_escaped(line, type);
   line += ",\"ts_ns\":";
@@ -192,19 +183,22 @@ bool Journal::event(std::string_view type, const std::vector<JournalField>& fiel
     line += ',';
     append_field(line, f);
   }
-  line += "}\n";
+  // Self-checking tail: CRC-32 over everything composed so far, emitted as
+  // the line's final field. Readers recompute it to detect mid-file rot.
+  {
+    const std::uint32_t crc = core::crc32(line.data(), line.size());
+    char tag[kJournalCrcTagSize + 1];
+    std::snprintf(tag, sizeof tag, ",\"crc\":\"%08x\"}", crc);
+    line += tag;
+  }
+  line += '\n';
 
   // One write per line: with O_APPEND, lines from concurrent writers (or a
-  // resumed process) never interleave mid-line for writes of this size.
-  std::size_t off = 0;
-  while (off < line.size()) {
-    const ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      error_ = "journal write failed: " + std::string(std::strerror(errno));
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
+  // resumed process) never interleave mid-line for writes of this size. The
+  // vfs loop absorbs EINTR and short writes.
+  if (auto written = file_.write_all(line); !written) {
+    error_ = "journal write failed: " + written.error().to_string();
+    return false;
   }
   ++events_written_;
   if (durable) return sync();
@@ -212,9 +206,9 @@ bool Journal::event(std::string_view type, const std::vector<JournalField>& fiel
 }
 
 bool Journal::sync() {
-  if (fd_ < 0) return false;
-  if (::fsync(fd_) != 0) {
-    error_ = "journal fsync failed: " + std::string(std::strerror(errno));
+  if (!file_.is_open()) return false;
+  if (auto synced = file_.sync(); !synced) {
+    error_ = "journal fsync failed: " + synced.error().to_string();
     return false;
   }
   return true;

@@ -8,6 +8,7 @@
 
 #include "ranycast/obs/flight.hpp"
 #include "ranycast/obs/span.hpp"
+#include "ranycast/vfs/vfs.hpp"
 
 namespace ranycast::obs {
 
@@ -266,10 +267,16 @@ bool write_bench_report(std::string_view bench_name, double wall_ms) {
     }
     path = (std::filesystem::path(dir) / path).string();
   }
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) return false;
-  file << out;
-  return file.good();
+  // Atomic replace (tmp + fsync + rename + parent-dir fsync): a report file
+  // is either the complete previous run or the complete new one, and a
+  // crash never leaves a torn JSON for the collector to choke on.
+  auto written = vfs::write_file_atomic(path, std::string_view(out));
+  if (!written) {
+    std::fprintf(stderr, "[obs] bench report write failed: %s\n",
+                 written.error().to_string().c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace ranycast::obs

@@ -1,0 +1,102 @@
+// Deterministic I/O fault injection: a seeded plan of storage-level damage
+// applied underneath every vfs primitive.
+//
+// A FaultPlan is a vector of per-operation probabilities plus an optional
+// ENOSPC byte budget. While a ScopedFaultPlan is installed, each vfs
+// primitive draws one decision per opportunity from a counter-indexed
+// splitmix64 stream, so the same seed over the same operation sequence
+// injects exactly the same faults — runs are replayable, and the torture
+// soak can bisect a failing seed.
+//
+// The injected fault classes mirror what crash-consistency studies show
+// real filesystems do to atomic-rename protocols:
+//
+//   short write    write() commits a prefix; the caller's loop must finish it
+//   EINTR          write() returns -1/EINTR; the loop must retry
+//   write EIO      write() fails outright (transient device error)
+//   ENOSPC         writes fail once a cumulative byte budget is exhausted,
+//                  leaving a REAL partial file behind (a torn tmp file)
+//   fsync EIO      fsync() fails; dirty pages may be gone (fsyncgate) — the
+//                  only safe retry is rewriting the file from scratch
+//   torn rename    rename() "succeeds" but the destination is truncated to
+//                  a prefix, simulating a crash window where the rename
+//                  survived and the data blocks did not (no dir fsync)
+//   bit-flip read  one bit of the bytes read back is flipped (bit rot /
+//                  torn sector) — downstream CRCs must refuse the data
+//   close EIO      close() reports deferred write failure
+//
+// Injection never touches paths outside the plan's path_filter, never
+// crashes the process, and keeps per-class counts (FaultStats) so tests can
+// assert that a storm actually exercised the paths it claims to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ranycast::vfs {
+
+struct FaultPlan {
+  std::uint64_t seed{0};
+
+  double p_open_fail{0.0};     ///< open() fails with EIO
+  double p_eintr{0.0};         ///< write() returns EINTR
+  double p_short_write{0.0};   ///< write() commits only a prefix
+  double p_write_fail{0.0};    ///< write() fails with EIO
+  double p_fsync_fail{0.0};    ///< fsync()/fdatasync() fails with EIO
+  double p_rename_fail{0.0};   ///< rename() fails with EIO
+  double p_torn_rename{0.0};   ///< rename() succeeds but tears the destination
+  double p_read_fail{0.0};     ///< read() fails with EIO
+  double p_bitflip_read{0.0};  ///< one bit of the read-back bytes is flipped
+  double p_close_fail{0.0};    ///< close() fails with EIO
+
+  /// Cumulative bytes the plan lets through before simulated ENOSPC;
+  /// negative = unlimited. The budget is shared across all writes, so a
+  /// long run eventually "fills the disk".
+  std::int64_t enospc_after_bytes{-1};
+
+  /// Only paths containing this substring are faulted ("" = every path).
+  std::string path_filter;
+
+  /// A balanced storm at `intensity` in [0,1]: every fault class enabled,
+  /// scaled so intensity 1.0 breaks roughly every other operation.
+  static FaultPlan storm(std::uint64_t seed, double intensity);
+};
+
+/// Per-class injection counts, readable while the plan is installed.
+struct FaultStats {
+  std::uint64_t decisions{0};  ///< fault opportunities consulted
+  std::uint64_t open_fail{0};
+  std::uint64_t eintr{0};
+  std::uint64_t short_write{0};
+  std::uint64_t write_fail{0};
+  std::uint64_t enospc{0};
+  std::uint64_t fsync_fail{0};
+  std::uint64_t rename_fail{0};
+  std::uint64_t torn_rename{0};
+  std::uint64_t read_fail{0};
+  std::uint64_t bitflip_read{0};
+  std::uint64_t close_fail{0};
+
+  std::uint64_t injected() const noexcept {
+    return open_fail + eintr + short_write + write_fail + enospc + fsync_fail +
+           rename_fail + torn_rename + read_fail + bitflip_read + close_fail;
+  }
+};
+
+/// Installs `plan` process-wide for its lifetime (RAII; nesting is a
+/// programming error and asserts). All vfs primitives consult the active
+/// plan; with none installed they are plain checked syscalls.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan);
+  ~ScopedFaultPlan();
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  FaultStats stats() const;
+};
+
+/// Whether a fault plan is currently installed.
+bool faults_active() noexcept;
+
+}  // namespace ranycast::vfs

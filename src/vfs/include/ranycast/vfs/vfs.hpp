@@ -1,0 +1,134 @@
+// The durability-critical I/O layer: POSIX primitives with typed errors and
+// deterministic fault injection.
+//
+// Everything the repo must not lose on a crash — guard checkpoints, the run
+// journal, bench reports — goes through this API instead of raw
+// fopen/write/rename. That buys three things:
+//
+//   1. One hardened implementation of the boring-but-subtle loops: write_all
+//      retries EINTR and short writes, write_file_atomic stages through a
+//      tmp file, fsyncs the data AND the parent directory after the rename
+//      (without the directory fsync, ext4/btrfs may forget the rename on
+//      power loss — the classic atomic-rename pitfall from "All File
+//      Systems Are Not Created Equal"), and propagates close() failure
+//      instead of swallowing it.
+//   2. Typed, retry-classified errors: IoError carries the errno, the
+//      operation and the path; retryable() tells guard whether bounded
+//      backoff (ENOSPC clearing, transient EIO) is worth attempting.
+//   3. A seeded fault plan (see fault.hpp) can be injected underneath every
+//      primitive, so the crash-safety story is exercised against short
+//      writes, failed fsyncs, ENOSPC, torn renames and bit-rot — not just
+//      clean SIGKILLs on a healthy filesystem.
+//
+// vfs sits below ranycast::obs (the journal writes through it) and depends
+// only on ranycast::core.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "ranycast/core/expected.hpp"
+
+namespace ranycast::vfs {
+
+/// A failed I/O primitive: which operation, on which path, with which errno.
+/// `injected` marks faults produced by the active fault plan, so logs can
+/// distinguish simulated storms from real disk trouble.
+struct IoError {
+  std::string op;    ///< "open", "write", "fsync", "rename", "read", "close", "fsync_dir"
+  std::string path;
+  int err{0};        ///< errno value
+  bool injected{false};
+
+  /// Errors worth a bounded-backoff retry of the whole operation: EINTR,
+  /// EAGAIN, ENOSPC (space can be freed) and EIO (transient device hiccup).
+  /// Note a *failed fsync* is only retryable as a from-scratch rewrite of
+  /// the file — the kernel may have dropped the dirty pages — which is how
+  /// guard uses it (the checkpoint writer always rewrites the whole tmp
+  /// file on retry).
+  bool retryable() const noexcept;
+
+  /// "write ck.tmp: No space left on device [injected]"
+  std::string to_string() const;
+};
+
+template <typename T>
+using Result = core::Expected<T, IoError>;
+
+/// Move-only owned file descriptor with checked primitives. All methods
+/// consult the active fault plan (if any) before touching the real fd.
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+
+  /// Open for writing, truncating any existing file.
+  static Result<File> create(const std::string& path);
+  /// Open (creating if needed) for O_APPEND writes; truncates first when
+  /// `truncate` (a fresh journal) and appends otherwise (--resume).
+  static Result<File> open_append(const std::string& path, bool truncate);
+  static Result<File> open_read(const std::string& path);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Write every byte, looping over EINTR and short writes. On failure the
+  /// file may hold a prefix of `data` — callers staging through a tmp file
+  /// must discard it.
+  Result<std::monostate> write_all(std::span<const std::uint8_t> data);
+  Result<std::monostate> write_all(std::string_view data);
+
+  /// fsync the fd.
+  Result<std::monostate> sync();
+
+  /// Read the remaining contents to EOF.
+  Result<std::vector<std::uint8_t>> read_all();
+
+  /// Close and propagate failure (NFS/quota errors surface at close; a
+  /// swallowed close error is silent data loss). Idempotent; the destructor
+  /// falls back to a best-effort close.
+  Result<std::monostate> close();
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  friend Result<File> detail_open_with(const std::string&, int, const char*);
+
+  int fd_{-1};
+  std::string path_;
+};
+
+/// fsync a directory, making previously renamed/created entries durable.
+Result<std::monostate> fsync_dir(const std::string& dir);
+
+/// fsync the parent directory of `path` — required after std::rename for
+/// the new name to survive a power loss on ext4/btrfs.
+Result<std::monostate> fsync_parent_dir(const std::string& path);
+
+Result<std::monostate> rename_file(const std::string& from, const std::string& to);
+
+Result<std::monostate> remove_file(const std::string& path);
+
+bool exists(const std::string& path) noexcept;
+
+/// Slurp a whole file (fault plan may inject read failures or bit flips —
+/// downstream CRCs must catch the latter).
+Result<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+/// The one true atomic-write protocol: write "<path>.tmp", fsync it, close
+/// it (checked), rename over `path`, fsync the parent directory. On any
+/// failure the tmp file is unlinked and `path` still holds its previous
+/// contents (or still does not exist).
+Result<std::monostate> write_file_atomic(const std::string& path,
+                                         std::span<const std::uint8_t> bytes);
+Result<std::monostate> write_file_atomic(const std::string& path, std::string_view text);
+
+}  // namespace ranycast::vfs

@@ -1,0 +1,169 @@
+#include "ranycast/vfs/fault.hpp"
+
+#include <atomic>
+#include <cassert>
+
+#include "fault_state.hpp"
+
+namespace ranycast::vfs {
+
+namespace detail {
+
+namespace {
+
+/// The installed plan. Written only by ScopedFaultPlan's constructor and
+/// destructor (nesting asserts), read by every vfs primitive.
+struct FaultState {
+  FaultPlan plan;
+  std::atomic<std::uint64_t> op_index{0};
+  std::atomic<std::int64_t> byte_budget{0};
+
+  std::atomic<std::uint64_t> decisions{0};
+  std::atomic<std::uint64_t> counts[kFaultKindCount]{};
+};
+
+std::atomic<FaultState*> g_state{nullptr};
+
+/// splitmix64: one independent 64-bit draw per (seed, op index, kind).
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double probability_of(const FaultPlan& plan, FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::OpenFail: return plan.p_open_fail;
+    case FaultKind::Eintr: return plan.p_eintr;
+    case FaultKind::ShortWrite: return plan.p_short_write;
+    case FaultKind::WriteFail: return plan.p_write_fail;
+    case FaultKind::FsyncFail: return plan.p_fsync_fail;
+    case FaultKind::RenameFail: return plan.p_rename_fail;
+    case FaultKind::TornRename: return plan.p_torn_rename;
+    case FaultKind::ReadFail: return plan.p_read_fail;
+    case FaultKind::BitflipRead: return plan.p_bitflip_read;
+    case FaultKind::CloseFail: return plan.p_close_fail;
+    case FaultKind::Enospc: break;  // budget-driven, not probability-driven
+  }
+  return 0.0;
+}
+
+bool path_matches(const FaultPlan& plan, const std::string& path) noexcept {
+  return plan.path_filter.empty() || path.find(plan.path_filter) != std::string::npos;
+}
+
+}  // namespace
+
+bool should_inject(FaultKind kind, const std::string& path) {
+  FaultState* s = g_state.load(std::memory_order_acquire);
+  if (s == nullptr || !path_matches(s->plan, path)) return false;
+  const double p = probability_of(s->plan, kind);
+  if (p <= 0.0) return false;
+  s->decisions.fetch_add(1, std::memory_order_relaxed);
+  // Counter-indexed stream: op N's decision depends only on (seed, N, kind),
+  // never on wall time or address-space layout.
+  const std::uint64_t idx = s->op_index.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h =
+      mix(s->plan.seed ^ mix(idx) ^ (static_cast<std::uint64_t>(kind) * 0xD6E8FEB86659FD93ull));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= p) return false;
+  s->counts[static_cast<std::size_t>(kind)].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t draw(const std::string& path) {
+  FaultState* s = g_state.load(std::memory_order_acquire);
+  if (s == nullptr) return 0;
+  (void)path;
+  const std::uint64_t idx = s->op_index.fetch_add(1, std::memory_order_relaxed);
+  return mix(s->plan.seed ^ mix(idx ^ 0xA5A5A5A5A5A5A5A5ull));
+}
+
+std::size_t write_allowance(std::size_t want, const std::string& path, bool* enospc) {
+  *enospc = false;
+  FaultState* s = g_state.load(std::memory_order_acquire);
+  if (s == nullptr || s->plan.enospc_after_bytes < 0 || !path_matches(s->plan, path)) {
+    return want;
+  }
+  // Claim bytes from the shared budget; whatever cannot be claimed is the
+  // part of the write the "full disk" refuses.
+  std::int64_t before = s->byte_budget.load(std::memory_order_relaxed);
+  std::int64_t grant;
+  do {
+    grant = before < static_cast<std::int64_t>(want) ? before
+                                                     : static_cast<std::int64_t>(want);
+    if (grant < 0) grant = 0;
+  } while (!s->byte_budget.compare_exchange_weak(before, before - grant,
+                                                 std::memory_order_relaxed));
+  if (grant < static_cast<std::int64_t>(want)) {
+    *enospc = true;
+    s->counts[static_cast<std::size_t>(FaultKind::Enospc)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return static_cast<std::size_t>(grant);
+}
+
+}  // namespace detail
+
+FaultPlan FaultPlan::storm(std::uint64_t seed, double intensity) {
+  if (intensity < 0.0) intensity = 0.0;
+  if (intensity > 1.0) intensity = 1.0;
+  FaultPlan plan;
+  plan.seed = seed;
+  // Scaled so intensity 1.0 disturbs roughly every other opportunity while
+  // keeping each class individually observable at moderate intensities.
+  plan.p_open_fail = 0.02 * intensity;
+  plan.p_eintr = 0.10 * intensity;
+  plan.p_short_write = 0.10 * intensity;
+  plan.p_write_fail = 0.04 * intensity;
+  plan.p_fsync_fail = 0.06 * intensity;
+  plan.p_rename_fail = 0.04 * intensity;
+  plan.p_torn_rename = 0.06 * intensity;
+  plan.p_read_fail = 0.03 * intensity;
+  plan.p_bitflip_read = 0.08 * intensity;
+  plan.p_close_fail = 0.02 * intensity;
+  return plan;
+}
+
+ScopedFaultPlan::ScopedFaultPlan(const FaultPlan& plan) {
+  assert(detail::g_state.load() == nullptr && "fault plans do not nest");
+  auto* state = new detail::FaultState;
+  state->plan = plan;
+  state->byte_budget.store(plan.enospc_after_bytes, std::memory_order_relaxed);
+  detail::g_state.store(state, std::memory_order_release);
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  detail::FaultState* state = detail::g_state.exchange(nullptr, std::memory_order_acq_rel);
+  delete state;
+}
+
+FaultStats ScopedFaultPlan::stats() const {
+  FaultStats out;
+  detail::FaultState* s = detail::g_state.load(std::memory_order_acquire);
+  if (s == nullptr) return out;
+  using detail::FaultKind;
+  const auto count = [&](FaultKind k) {
+    return s->counts[static_cast<std::size_t>(k)].load(std::memory_order_relaxed);
+  };
+  out.decisions = s->decisions.load(std::memory_order_relaxed);
+  out.open_fail = count(FaultKind::OpenFail);
+  out.eintr = count(FaultKind::Eintr);
+  out.short_write = count(FaultKind::ShortWrite);
+  out.write_fail = count(FaultKind::WriteFail);
+  out.enospc = count(FaultKind::Enospc);
+  out.fsync_fail = count(FaultKind::FsyncFail);
+  out.rename_fail = count(FaultKind::RenameFail);
+  out.torn_rename = count(FaultKind::TornRename);
+  out.read_fail = count(FaultKind::ReadFail);
+  out.bitflip_read = count(FaultKind::BitflipRead);
+  out.close_fail = count(FaultKind::CloseFail);
+  return out;
+}
+
+bool faults_active() noexcept {
+  return detail::g_state.load(std::memory_order_acquire) != nullptr;
+}
+
+}  // namespace ranycast::vfs

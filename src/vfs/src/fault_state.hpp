@@ -1,0 +1,41 @@
+// Internal fault-injection hooks shared between fault.cpp (the state and
+// decision stream) and vfs.cpp (the primitives that consult it). Not part
+// of the public vfs API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ranycast::vfs::detail {
+
+enum class FaultKind : std::uint8_t {
+  OpenFail,
+  Eintr,
+  ShortWrite,
+  WriteFail,
+  Enospc,
+  FsyncFail,
+  RenameFail,
+  TornRename,
+  ReadFail,
+  BitflipRead,
+  CloseFail,
+};
+
+inline constexpr std::size_t kFaultKindCount = 11;
+
+/// Whether this fault fires for `path` now (consumes one decision from the
+/// deterministic stream; always false with no plan installed).
+bool should_inject(FaultKind kind, const std::string& path);
+
+/// One auxiliary 64-bit draw (tear fractions, bit positions). 0 with no
+/// plan installed.
+std::uint64_t draw(const std::string& path);
+
+/// ENOSPC budget: how many of `want` bytes the "disk" still accepts.
+/// Sets *enospc when the full amount could not be granted. Returns `want`
+/// unchanged when no budget-limited plan is active.
+std::size_t write_allowance(std::size_t want, const std::string& path, bool* enospc);
+
+}  // namespace ranycast::vfs::detail

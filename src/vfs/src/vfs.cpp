@@ -1,0 +1,271 @@
+#include "ranycast/vfs/vfs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "fault_state.hpp"
+
+namespace ranycast::vfs {
+
+namespace {
+
+using detail::FaultKind;
+
+IoError make_error(const char* op, const std::string& path, int err,
+                   bool injected = false) {
+  IoError e;
+  e.op = op;
+  e.path = path;
+  e.err = err;
+  e.injected = injected;
+  return e;
+}
+
+core::Unexpected<IoError> fail(const char* op, const std::string& path, int err,
+                               bool injected = false) {
+  return core::unexpected(make_error(op, path, err, injected));
+}
+
+std::string parent_dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Result<File> detail_open_with(const std::string& path, int flags, const char* op) {
+  if (detail::should_inject(FaultKind::OpenFail, path)) {
+    return fail(op, path, EIO, /*injected=*/true);
+  }
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return fail(op, path, errno);
+  return File(fd, path);
+}
+
+bool IoError::retryable() const noexcept {
+  return err == EINTR || err == EAGAIN || err == ENOSPC || err == EIO;
+}
+
+std::string IoError::to_string() const {
+  std::string out = op;
+  if (!path.empty()) {
+    out += ' ';
+    out += path;
+  }
+  out += ": ";
+  out += std::strerror(err);
+  if (injected) out += " [injected]";
+  return out;
+}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+File::File(File&& other) noexcept : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<File> File::create(const std::string& path) {
+  return detail_open_with(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, "open");
+}
+
+Result<File> File::open_append(const std::string& path, bool truncate) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  return detail_open_with(path, flags, "open");
+}
+
+Result<File> File::open_read(const std::string& path) {
+  return detail_open_with(path, O_RDONLY | O_CLOEXEC, "open");
+}
+
+Result<std::monostate> File::write_all(std::span<const std::uint8_t> data) {
+  if (fd_ < 0) return fail("write", path_, EBADF);
+  std::size_t off = 0;
+  while (off < data.size()) {
+    std::size_t want = data.size() - off;
+    // Injected damage, in escalating order: an interrupted syscall (the
+    // loop must retry), a hard device error, a full disk (which tears the
+    // file at a REAL byte boundary — the prefix is genuinely on disk), and
+    // a short write (the loop must finish the remainder).
+    if (detail::should_inject(FaultKind::Eintr, path_)) continue;
+    if (detail::should_inject(FaultKind::WriteFail, path_)) {
+      return fail("write", path_, EIO, /*injected=*/true);
+    }
+    bool enospc = false;
+    std::size_t allow = detail::write_allowance(want, path_, &enospc);
+    if (enospc && allow == 0) return fail("write", path_, ENOSPC, /*injected=*/true);
+    if (!enospc && allow > 1 && detail::should_inject(FaultKind::ShortWrite, path_)) {
+      allow = (allow + 1) / 2;
+    }
+    const ssize_t n = ::write(fd_, data.data() + off, allow);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("write", path_, errno);
+    }
+    off += static_cast<std::size_t>(n);
+    if (enospc) return fail("write", path_, ENOSPC, /*injected=*/true);
+  }
+  return std::monostate{};
+}
+
+Result<std::monostate> File::write_all(std::string_view data) {
+  return write_all(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Result<std::monostate> File::sync() {
+  if (fd_ < 0) return fail("fsync", path_, EBADF);
+  if (detail::should_inject(FaultKind::FsyncFail, path_)) {
+    return fail("fsync", path_, EIO, /*injected=*/true);
+  }
+  if (::fsync(fd_) != 0) return fail("fsync", path_, errno);
+  return std::monostate{};
+}
+
+Result<std::vector<std::uint8_t>> File::read_all() {
+  if (fd_ < 0) return fail("read", path_, EBADF);
+  if (detail::should_inject(FaultKind::ReadFail, path_)) {
+    return fail("read", path_, EIO, /*injected=*/true);
+  }
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("read", path_, errno);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  if (!out.empty() && detail::should_inject(FaultKind::BitflipRead, path_)) {
+    const std::uint64_t bit = detail::draw(path_) % (out.size() * 8);
+    out[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  return out;
+}
+
+Result<std::monostate> File::close() {
+  if (fd_ < 0) return std::monostate{};
+  const int fd = fd_;
+  fd_ = -1;
+  const bool injected = detail::should_inject(FaultKind::CloseFail, path_);
+  // Close the real descriptor either way — an injected failure simulates a
+  // deferred writeback error, not a leaked fd.
+  const int rc = ::close(fd);
+  if (injected) return fail("close", path_, EIO, /*injected=*/true);
+  if (rc != 0) return fail("close", path_, errno);
+  return std::monostate{};
+}
+
+Result<std::monostate> fsync_dir(const std::string& dir) {
+  if (detail::should_inject(FaultKind::FsyncFail, dir)) {
+    return fail("fsync_dir", dir, EIO, /*injected=*/true);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return fail("fsync_dir", dir, errno);
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) return fail("fsync_dir", dir, saved);
+  return std::monostate{};
+}
+
+Result<std::monostate> fsync_parent_dir(const std::string& path) {
+  return fsync_dir(parent_dir_of(path));
+}
+
+Result<std::monostate> rename_file(const std::string& from, const std::string& to) {
+  if (detail::should_inject(FaultKind::RenameFail, to)) {
+    return fail("rename", to, EIO, /*injected=*/true);
+  }
+  const bool torn = detail::should_inject(FaultKind::TornRename, to);
+  if (::rename(from.c_str(), to.c_str()) != 0) return fail("rename", to, errno);
+  if (torn) {
+    // Simulated crash window: the directory entry survived, the data blocks
+    // did not (rename without a parent-directory fsync on a journaling FS).
+    // The caller sees success; only a validated read-back can catch this.
+    struct stat st{};
+    if (::stat(to.c_str(), &st) == 0 && st.st_size > 0) {
+      const auto keep = static_cast<off_t>(
+          detail::draw(to) % static_cast<std::uint64_t>(st.st_size));
+      (void)::truncate(to.c_str(), keep);
+    }
+  }
+  return std::monostate{};
+}
+
+Result<std::monostate> remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return fail("unlink", path, errno);
+  }
+  return std::monostate{};
+}
+
+bool exists(const std::string& path) noexcept {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Result<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  auto file = File::open_read(path);
+  if (!file) return core::unexpected(std::move(file).error());
+  auto bytes = file->read_all();
+  if (!bytes) return core::unexpected(std::move(bytes).error());
+  return std::move(*bytes);
+}
+
+Result<std::monostate> write_file_atomic(const std::string& path,
+                                         std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  auto cleanup_fail = [&](IoError err) -> Result<std::monostate> {
+    (void)::unlink(tmp.c_str());
+    return core::unexpected(std::move(err));
+  };
+  auto file = File::create(tmp);
+  if (!file) return cleanup_fail(std::move(file).error());
+  if (auto written = file->write_all(bytes); !written) {
+    (void)file->close();
+    return cleanup_fail(std::move(written).error());
+  }
+  if (auto synced = file->sync(); !synced) {
+    (void)file->close();
+    return cleanup_fail(std::move(synced).error());
+  }
+  // A failed close is a failed write (deferred writeback errors surface
+  // here) — never rename a file the kernel would not vouch for.
+  if (auto closed = file->close(); !closed) return cleanup_fail(std::move(closed).error());
+  if (auto renamed = rename_file(tmp, path); !renamed) {
+    return cleanup_fail(std::move(renamed).error());
+  }
+  // The rename itself is not durable until the parent directory is synced:
+  // without this, a crash can roll `path` back to its previous contents.
+  return fsync_parent_dir(path);
+}
+
+Result<std::monostate> write_file_atomic(const std::string& path, std::string_view text) {
+  return write_file_atomic(path, std::span<const std::uint8_t>(
+                                     reinterpret_cast<const std::uint8_t*>(text.data()),
+                                     text.size()));
+}
+
+}  // namespace ranycast::vfs

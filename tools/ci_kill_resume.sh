@@ -1,13 +1,21 @@
 #!/usr/bin/env bash
 # Kill/resume integration check for the guard runtime.
 #
-# Runs ranycast-chaos three ways against the same scenario and seed:
+# Runs ranycast-chaos against the same scenario and seed:
 #   1. uninterrupted                          -> baseline report
 #   2. checkpointing, hard-killed mid-run     -> must exit 137, leave a checkpoint
 #   3. resumed from that checkpoint           -> must exit 0
-# and then byte-compares the resumed report against the baseline. Also
-# asserts the deadline path: an already-expired --deadline must exit 3 and
-# mark the report truncated.
+# and then byte-compares the resumed report against the baseline. Then the
+# self-healing path:
+#   4. a fresh kill, the NEWEST checkpoint generation corrupted in place
+#      -> resume must quarantine it, fall back to the previous generation
+#         and still produce a byte-identical report
+# Also asserts the deadline path: an already-expired --deadline must exit 3
+# and mark the report truncated.
+#
+# FLIGHT_BIN (env, optional): path to ranycast-flight; when set, `verify`
+# runs against the corrupted chain (must exit 4) and the healthy journal
+# (must exit 0).
 #
 # Every run also writes a run journal (--journal). When python3 is
 # available the journals are validated too: the killed run's journal must
@@ -66,14 +74,14 @@ print(len(steps), resumed)
 PY
 }
 
-echo "== 1/4 uninterrupted baseline =="
+echo "== 1/5 uninterrupted baseline =="
 "$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
   --format json --out "$WORKDIR/baseline.json" \
   --journal "$WORKDIR/baseline.ndjson" \
   || fail "baseline run exited $?"
 
-echo "== 2/4 checkpointed run, killed after step $ABORT_AT =="
-rm -f "$WORKDIR/run.ck" "$WORKDIR/run.ndjson"
+echo "== 2/5 checkpointed run, killed after step $ABORT_AT =="
+rm -f "$WORKDIR/run.ck" "$WORKDIR/run.ck.g"* "$WORKDIR/run.ndjson"
 "$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
   --format json --out "$WORKDIR/killed.json" \
   --journal "$WORKDIR/run.ndjson" \
@@ -90,7 +98,7 @@ if command -v python3 >/dev/null 2>&1; then
   echo "killed journal is valid NDJSON covering exactly $ABORT_AT completed step(s)"
 fi
 
-echo "== 3/4 resume from the checkpoint =="
+echo "== 3/5 resume from the checkpoint =="
 "$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
   --format json --out "$WORKDIR/resumed.json" \
   --journal "$WORKDIR/run.ndjson" --trace-out "$WORKDIR/run.trace.json" \
@@ -116,7 +124,53 @@ if command -v python3 >/dev/null 2>&1; then
     || fail "exported trace failed check_trace.py"
 fi
 
-echo "== 4/4 expired deadline truncates with exit 3 =="
+echo "== 4/5 corrupt newest generation: quarantine + fallback resume =="
+rm -f "$WORKDIR/run2.ck" "$WORKDIR/run2.ck.g"* "$WORKDIR/run2.ndjson"
+"$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
+  --format json --out "$WORKDIR/killed2.json" \
+  --journal "$WORKDIR/run2.ndjson" \
+  --checkpoint "$WORKDIR/run2.ck" --abort-after "$ABORT_AT"
+rc=$?
+[ "$rc" -eq 137 ] || fail "expected the second aborted run to exit 137, got $rc"
+
+NEWEST_GEN=$(ls "$WORKDIR"/run2.ck.g* 2>/dev/null | sort -V | tail -1)
+[ -n "$NEWEST_GEN" ] || fail "no checkpoint generation files found next to run2.ck"
+# Flip one payload byte in place (read-modify-write, so the byte is
+# guaranteed to change): the envelope CRC must catch it on resume.
+cur=$(od -An -tu1 -j40 -N1 "$NEWEST_GEN" | tr -d ' ')
+[ -n "$cur" ] || fail "could not read byte 40 of $NEWEST_GEN"
+printf "$(printf '\\%03o' $(( (cur + 1) % 256 )))" \
+  | dd of="$NEWEST_GEN" bs=1 seek=40 count=1 conv=notrunc status=none \
+  || fail "could not corrupt $NEWEST_GEN"
+
+if [ -n "${FLIGHT_BIN:-}" ]; then
+  "$FLIGHT_BIN" verify --checkpoint "$WORKDIR/run2.ck"
+  rc=$?
+  [ "$rc" -eq 4 ] || fail "flight verify on corrupted chain: expected exit 4, got $rc"
+  echo "flight verify detected the corrupted generation (exit 4)"
+fi
+
+"$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
+  --format json --out "$WORKDIR/resumed2.json" \
+  --journal "$WORKDIR/run2.ndjson" \
+  --checkpoint "$WORKDIR/run2.ck" --resume \
+  || fail "resume after generation corruption exited $?"
+
+cmp "$WORKDIR/baseline.json" "$WORKDIR/resumed2.json" \
+  || fail "fallback-resumed report differs from the uninterrupted baseline"
+[ -s "$NEWEST_GEN.quarantined" ] \
+  || fail "corrupt generation was not quarantined (expected $NEWEST_GEN.quarantined)"
+grep -q '"type":"checkpoint_quarantined"' "$WORKDIR/run2.ndjson" \
+  || fail "journal carries no checkpoint_quarantined marker"
+echo "corrupt generation quarantined, resume fell back and matches the baseline"
+
+if [ -n "${FLIGHT_BIN:-}" ]; then
+  "$FLIGHT_BIN" verify --journal "$WORKDIR/run2.ndjson" \
+    || fail "flight verify on the healthy resumed journal exited $?"
+  echo "flight verify passed on the resumed journal"
+fi
+
+echo "== 5/5 expired deadline truncates with exit 3 =="
 "$CHAOS" --scenario "$SCENARIO" "${SIZING[@]}" \
   --format json --out "$WORKDIR/truncated.json" --deadline 0.000001
 rc=$?

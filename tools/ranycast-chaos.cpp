@@ -9,7 +9,7 @@
 //                  [--traffic-capacity-mbps N] [--traffic-scale X]
 //                  [--delta] [--delta-verify N] [--delta-threshold X]
 //                  [--deadline SECONDS] [--stall-timeout SECONDS]
-//                  [--checkpoint FILE] [--checkpoint-every K] [--resume]
+//                  [--checkpoint FILE] [--checkpoint-every K] [--checkpoint-keep K] [--resume]
 //                  [--abort-after N]
 //
 // Loads a JSON fault plan (schema in docs/resilience.md), builds a
@@ -182,7 +182,8 @@ int main(int argc, char** argv) {
                                        "traffic-capacity-mbps", "traffic-scale",
                                        "delta", "delta-verify", "delta-threshold",
                                        "deadline", "stall-timeout", "checkpoint",
-                                       "checkpoint-every", "resume", "abort-after"})) {
+                                       "checkpoint-every", "checkpoint-keep", "resume",
+                                       "abort-after"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
     return 2;
   }
@@ -359,6 +360,7 @@ int main(int argc, char** argv) {
     guard::CheckpointPolicy policy;
     policy.path = args.get_or("checkpoint", std::string());
     policy.every = static_cast<std::size_t>(args.get_or("checkpoint-every", std::int64_t{1}));
+    policy.keep = static_cast<std::size_t>(args.get_or("checkpoint-keep", std::int64_t{3}));
     policy.resume = args.has("resume");
     if (policy.resume && policy.path.empty()) {
       std::fprintf(stderr, "--resume requires --checkpoint FILE\n");

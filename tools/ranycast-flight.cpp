@@ -3,6 +3,7 @@
 //   ranycast-flight export    --journal FILE [--flight FILE] --out FILE
 //   ranycast-flight summarize --journal FILE
 //   ranycast-flight tail      --journal FILE [--last N]
+//   ranycast-flight verify    [--journal FILE] [--checkpoint PATH]
 //
 // export converts a run journal (the NDJSON stream `ranycast-chaos
 // --journal` / `ranycast-experiment --journal` write) plus an optional
@@ -15,38 +16,98 @@
 // markers and the stop reason; tail prints the last N (default 10) events.
 // Both work on journals of killed runs — a cut final line is counted, not
 // fatal.
+//
+// verify checks integrity offline: every journal line's CRC-32 tag, and/or
+// a checkpoint chain's manifest + generation files (sizes, CRCs, envelopes).
+// A benign kill-cut final journal line is reported but not an error.
+// Exit codes: 0 intact, 2 usage/unreadable, 4 corruption detected.
 #include <cstdio>
 #include <fstream>
 
 #include "ranycast/core/flags.hpp"
 #include "ranycast/flight/flight.hpp"
+#include "ranycast/guard/chain.hpp"
 
 using namespace ranycast;
 
 namespace {
 
+constexpr int kExitCorrupt = 4;
+
 int usage() {
   std::fprintf(stderr,
                "usage: ranycast-flight export --journal FILE [--flight FILE] --out FILE\n"
                "       ranycast-flight summarize --journal FILE\n"
-               "       ranycast-flight tail --journal FILE [--last N]\n");
+               "       ranycast-flight tail --journal FILE [--last N]\n"
+               "       ranycast-flight verify [--journal FILE] [--checkpoint PATH]\n");
   return 2;
+}
+
+int run_verify(const std::optional<std::string>& journal_path,
+               const std::optional<std::string>& checkpoint_path) {
+  if (!journal_path && !checkpoint_path) {
+    std::fprintf(stderr, "verify needs --journal and/or --checkpoint\n");
+    return 2;
+  }
+  bool corrupt = false;
+
+  if (journal_path) {
+    auto journal = flight::load_journal(*journal_path);
+    if (!journal) {
+      std::fprintf(stderr, "%s\n", journal.error().c_str());
+      return 2;
+    }
+    std::printf("journal %s: %zu events, %zu corrupt line%s, %zu malformed%s\n",
+                journal_path->c_str(), journal->events.size(), journal->corrupt_lines,
+                journal->corrupt_lines == 1 ? "" : "s", journal->malformed_lines,
+                journal->truncated_tail ? " (kill-cut tail)" : "");
+    if (journal->damaged()) corrupt = true;
+  }
+
+  if (checkpoint_path) {
+    auto report = guard::chain_verify(*checkpoint_path);
+    if (!report) {
+      std::fprintf(stderr, "%s\n", report.error().to_string().c_str());
+      return 2;
+    }
+    std::printf("checkpoint %s: %zu generation%s, %zu valid%s, %zu quarantined\n",
+                checkpoint_path->c_str(), report->generations,
+                report->generations == 1 ? "" : "s", report->valid,
+                report->legacy ? " (legacy single-file)" : "", report->quarantined);
+    for (const std::string& problem : report->problems) {
+      std::printf("  problem: %s\n", problem.c_str());
+    }
+    if (!report->ok() || !report->problems.empty()) corrupt = true;
+  }
+
+  if (corrupt) {
+    std::printf("verify: CORRUPT\n");
+    return kExitCorrupt;
+  }
+  std::printf("verify: ok\n");
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const flags::Parser args(argc, argv);
-  for (const auto& bad : args.unknown({"journal", "flight", "out", "last"})) {
+  for (const auto& bad : args.unknown({"journal", "flight", "out", "last", "checkpoint"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
     return 2;
   }
   if (args.positional().size() != 1) return usage();
   const std::string& command = args.positional().front();
-  if (command != "export" && command != "summarize" && command != "tail") {
+  if (command != "export" && command != "summarize" && command != "tail" &&
+      command != "verify") {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
   }
+
+  if (command == "verify") {
+    return run_verify(args.get("journal"), args.get("checkpoint"));
+  }
+
   const auto journal_path = args.get("journal");
   if (!journal_path) {
     std::fprintf(stderr, "--journal FILE is required\n");
