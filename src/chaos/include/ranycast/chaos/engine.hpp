@@ -154,6 +154,14 @@ class Engine {
       const FaultPlan& plan, guard::Supervisor& supervisor,
       const guard::CheckpointPolicy& policy);
 
+  /// Apply one fault event — mutation plus re-solve — WITHOUT measuring a
+  /// step. This is the world-drift hook the serving plane (serve::Server)
+  /// builds on: its refresher advances the world one event per snapshot
+  /// build, and its resume path fast-forwards by re-applying the
+  /// already-consumed prefix, exactly like run_guarded's own replay.
+  /// Returns "" on success, else the error message.
+  std::string apply_event(const FaultEvent& e) { return apply(e); }
+
  private:
   struct ProbeView;  // per-probe snapshot (answer, route, rtt)
 

@@ -52,6 +52,19 @@ struct JournalFile {
   }
 };
 
+/// How one journal line classified during parsing.
+enum class LineStatus {
+  Event,      ///< parsed (and CRC-validated when tagged)
+  Corrupt,    ///< carries a CRC tag that does not match the bytes
+  Malformed,  ///< not parseable JSON (e.g. a kill-cut or mid-append tail)
+};
+
+/// Classify and parse one journal line. The CRC tag is checked before the
+/// JSON parse (flipped bytes can still be valid JSON); `out` is filled only
+/// when the result is LineStatus::Event. Shared by load_journal and
+/// JournalTailer so both agree on what a committed line is.
+LineStatus parse_journal_line(const std::string& line, JournalEvent& out);
+
 /// Reads an NDJSON journal. Damaged lines are skipped and counted, not
 /// fatal — the journal of a killed run must stay readable up to the last
 /// completed step. Lines carrying the writer's `,"crc":"xxxxxxxx"}` tag are
@@ -82,5 +95,42 @@ std::string summarize(const JournalFile& journal);
 
 /// The last `n` journal events, one rendered line each (most recent last).
 std::string tail(const JournalFile& journal, std::size_t n);
+
+/// One journal event rendered the way `tail` renders it (ts, type, fields).
+std::string render_event(const JournalEvent& event);
+
+/// Incremental reader for a journal a live writer is still appending to.
+///
+/// Each poll() reads the bytes appended since the last poll and consumes
+/// ONLY newline-terminated lines: a partial tail — the writer caught
+/// mid-append, or the torn final write of a killed process that might still
+/// be completed by a retrying vfs write loop — is left unconsumed and
+/// retried on the next poll instead of being miscounted as malformed. The
+/// byte offset only ever advances past committed lines, so every committed
+/// line is surfaced exactly once across any interleaving with the writer.
+/// A file that shrank below the committed offset (rotation / truncation)
+/// resets the reader to the start and is reported via Poll::rotated.
+class JournalTailer {
+ public:
+  explicit JournalTailer(std::string path) : path_(std::move(path)) {}
+
+  struct Poll {
+    std::vector<JournalEvent> events;  ///< newly committed lines, file order
+    std::size_t corrupt_lines{0};      ///< committed lines failing their CRC tag
+    std::size_t malformed_lines{0};    ///< committed but unparseable lines
+    bool rotated{false};               ///< file shrank; reader restarted at 0
+  };
+
+  /// Never fails on a missing file (a writer may not have created it yet):
+  /// that is an empty poll. Fails only on a read error.
+  core::Expected<Poll, std::string> poll();
+
+  /// Committed byte offset: everything before it has been surfaced.
+  std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_{0};
+};
 
 }  // namespace ranycast::flight

@@ -33,6 +33,21 @@ CrcCheck check_line_crc(const std::string& line) {
 
 }  // namespace
 
+LineStatus parse_journal_line(const std::string& line, JournalEvent& out) {
+  // The CRC tag is checked before parsing: flipped bytes can still yield
+  // valid JSON with a silently wrong value, and only the checksum knows.
+  if (check_line_crc(line) == CrcCheck::Mismatch) return LineStatus::Corrupt;
+  auto parsed = io::parse_json(line);
+  if (std::holds_alternative<io::JsonParseError>(parsed) ||
+      !std::get<io::Json>(parsed).is_object()) {
+    return LineStatus::Malformed;
+  }
+  out.fields = std::move(std::get<io::Json>(parsed));
+  out.type = out.fields.string_or("type", "");
+  out.ts_ns = static_cast<std::uint64_t>(out.fields.number_or("ts_ns", 0.0));
+  return LineStatus::Event;
+}
+
 core::Expected<JournalFile, std::string> load_journal(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return core::unexpected("cannot read journal '" + path + "'");
@@ -42,25 +57,20 @@ core::Expected<JournalFile, std::string> load_journal(const std::string& path) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     last_was_malformed = false;
-    // The CRC tag is checked before parsing: flipped bytes can still yield
-    // valid JSON with a silently wrong value, and only the checksum knows.
-    if (check_line_crc(line) == CrcCheck::Mismatch) {
-      ++out.corrupt_lines;
-      continue;
-    }
-    auto parsed = io::parse_json(line);
-    if (std::holds_alternative<io::JsonParseError>(parsed) ||
-        !std::get<io::Json>(parsed).is_object()) {
-      // A SIGKILL can cut the last line short; count and move on so the
-      // journal stays readable up to the last completed step.
-      ++out.malformed_lines;
-      last_was_malformed = true;
-      continue;
-    }
     JournalEvent e;
-    e.fields = std::move(std::get<io::Json>(parsed));
-    e.type = e.fields.string_or("type", "");
-    e.ts_ns = static_cast<std::uint64_t>(e.fields.number_or("ts_ns", 0.0));
+    switch (parse_journal_line(line, e)) {
+      case LineStatus::Corrupt:
+        ++out.corrupt_lines;
+        continue;
+      case LineStatus::Malformed:
+        // A SIGKILL can cut the last line short; count and move on so the
+        // journal stays readable up to the last completed step.
+        ++out.malformed_lines;
+        last_was_malformed = true;
+        continue;
+      case LineStatus::Event:
+        break;
+    }
     if (e.type == "resumed") ++out.resume_markers;
     out.events.push_back(std::move(e));
   }

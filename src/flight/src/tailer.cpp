@@ -1,0 +1,58 @@
+#include <fstream>
+
+#include "ranycast/flight/flight.hpp"
+
+namespace ranycast::flight {
+
+core::Expected<JournalTailer::Poll, std::string> JournalTailer::poll() {
+  Poll out;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return out;  // not created yet: an empty poll, not an error
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (size < offset_) {
+    // The file shrank under us: rotated or truncated. Restart from byte 0 —
+    // surfacing the new file's lines beats silently waiting past its end.
+    out.rotated = true;
+    offset_ = 0;
+  }
+  if (size == offset_) return out;
+  in.seekg(static_cast<std::streamoff>(offset_), std::ios::beg);
+  std::string chunk(static_cast<std::size_t>(size - offset_), '\0');
+  in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  if (in.gcount() <= 0) {
+    return core::unexpected("cannot read journal '" + path_ + "' at offset " +
+                            std::to_string(offset_));
+  }
+  chunk.resize(static_cast<std::size_t>(in.gcount()));
+
+  // Consume only newline-terminated lines. Anything after the last newline
+  // is a line the writer has not committed yet (mid-append, or the torn
+  // final write of a killed process): leave it for the next poll, where it
+  // is either completed or — if the writer is truly gone — stays pending
+  // for a final load_journal to account as a kill-cut tail.
+  std::size_t consumed = 0;
+  for (;;) {
+    const std::size_t nl = chunk.find('\n', consumed);
+    if (nl == std::string::npos) break;
+    const std::string line = chunk.substr(consumed, nl - consumed);
+    consumed = nl + 1;
+    if (line.empty()) continue;
+    JournalEvent e;
+    switch (parse_journal_line(line, e)) {
+      case LineStatus::Corrupt:
+        ++out.corrupt_lines;
+        break;
+      case LineStatus::Malformed:
+        ++out.malformed_lines;
+        break;
+      case LineStatus::Event:
+        out.events.push_back(std::move(e));
+        break;
+    }
+  }
+  offset_ += consumed;
+  return out;
+}
+
+}  // namespace ranycast::flight

@@ -186,15 +186,17 @@ std::string summarize(const JournalFile& journal) {
   return out;
 }
 
+std::string render_event(const JournalEvent& event) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%12.3fms  ", to_us(event.ts_ns) / 1000.0);
+  return std::string(buf) + event.fields.dump();
+}
+
 std::string tail(const JournalFile& journal, std::size_t n) {
   std::string out;
   const std::size_t begin = journal.events.size() > n ? journal.events.size() - n : 0;
   for (std::size_t i = begin; i < journal.events.size(); ++i) {
-    const JournalEvent& e = journal.events[i];
-    char buf[48];
-    std::snprintf(buf, sizeof buf, "%12.3fms  ", to_us(e.ts_ns) / 1000.0);
-    out += buf;
-    out += e.fields.dump();
+    out += render_event(journal.events[i]);
     out += '\n';
   }
   return out;

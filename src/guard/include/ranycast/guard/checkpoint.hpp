@@ -38,6 +38,9 @@ enum class CheckpointKind : std::uint32_t {
   /// The lineage manifest written at the policy path by CheckpointChain:
   /// its payload lists the rotating generation files (see chain.hpp).
   ChainManifest = 4,
+  /// The serving plane's complete state (serve::Server::save): snapshots,
+  /// ladder history, admission model, world-drift cursor.
+  ServeState = 5,
 };
 
 std::string_view to_string(CheckpointKind kind) noexcept;

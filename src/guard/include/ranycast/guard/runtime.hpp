@@ -17,7 +17,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -25,6 +27,7 @@
 
 #include "ranycast/exec/pool.hpp"
 #include "ranycast/guard/cancel.hpp"
+#include "ranycast/guard/checkpoint.hpp"
 #include "ranycast/guard/error.hpp"
 
 namespace ranycast::guard {
@@ -56,6 +59,10 @@ struct CheckpointPolicy {
   bool resume{false};    ///< load `path` (if present) before running
   std::size_t keep{3};   ///< checkpoint generations retained in the chain
   RetryPolicy retry;     ///< transient-I/O retry for checkpoint writes/reads
+  /// Payload kind run_sweep stamps on (and demands from) the chain: batch
+  /// sweeps keep the default; the serving plane uses ServeState so a sweep
+  /// checkpoint can never be resumed as serving state or vice versa.
+  CheckpointKind kind{CheckpointKind::MeasurementSweep};
   /// Invoked after every completed step with (completed, planned) — the
   /// CLI progress hook; tests also use it to force aborts at exact steps.
   std::function<void(std::size_t, std::size_t)> after_step;
@@ -103,6 +110,33 @@ class Supervisor {
   std::condition_variable cv_;
   bool shutdown_{false};
   std::thread watchdog_;
+};
+
+/// Graceful-shutdown bridge from POSIX signals to cooperative cancellation.
+///
+/// While alive, SIGTERM and SIGINT request Cancelled on the supervisor's
+/// token instead of killing the process with the default disposition: the
+/// run stops at the next step boundary, run_sweep flushes a final durable
+/// checkpoint plus the `stopped` journal line, and the tool exits 3 with a
+/// truncated report — resumable with --resume. The handler is
+/// async-signal-safe (CancellationToken::request is atomics only). The
+/// previous dispositions are restored on destruction; at most one instance
+/// may be alive per process (last writer wins on the registered
+/// supervisor).
+class ScopedSignalCancel {
+ public:
+  explicit ScopedSignalCancel(Supervisor& supervisor);
+  ~ScopedSignalCancel();
+
+  ScopedSignalCancel(const ScopedSignalCancel&) = delete;
+  ScopedSignalCancel& operator=(const ScopedSignalCancel&) = delete;
+
+  /// How many SIGTERM/SIGINT deliveries the handler absorbed (diagnostics).
+  static std::uint64_t signals_seen() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 namespace detail {

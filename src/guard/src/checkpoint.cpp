@@ -82,6 +82,7 @@ std::string_view to_string(CheckpointKind kind) noexcept {
     case CheckpointKind::StabilityTrials: return "stability-trials";
     case CheckpointKind::MeasurementSweep: return "measurement-sweep";
     case CheckpointKind::ChainManifest: return "chain-manifest";
+    case CheckpointKind::ServeState: return "serve-state";
   }
   return "unknown";
 }

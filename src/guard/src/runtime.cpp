@@ -1,5 +1,7 @@
 #include "ranycast/guard/runtime.hpp"
 
+#include <csignal>
+
 #include <chrono>
 #include <thread>
 
@@ -12,6 +14,20 @@ namespace {
 obs::Counter& heartbeat_counter() {
   static obs::Counter& c = obs::MetricsRegistry::global().counter("guard.heartbeats");
   return c;
+}
+
+// The signal bridge: one process-wide supervisor slot plus a delivery
+// count. Both are lock-free atomics — the handler may run at any point,
+// including inside malloc, so it must not take locks or allocate.
+std::atomic<Supervisor*> g_signal_supervisor{nullptr};
+std::atomic<std::uint64_t> g_signals_seen{0};
+
+extern "C" void ranycast_guard_signal_handler(int /*signum*/) {
+  g_signals_seen.fetch_add(1, std::memory_order_relaxed);
+  if (Supervisor* s = g_signal_supervisor.load(std::memory_order_acquire)) {
+    // CancellationToken::request is a CAS + atomic store: async-signal-safe.
+    s->cancel();
+  }
 }
 
 }  // namespace
@@ -86,6 +102,34 @@ GuardError Supervisor::stop_error() const {
       break;
   }
   return err;
+}
+
+struct ScopedSignalCancel::Impl {
+  struct sigaction old_term {};
+  struct sigaction old_int {};
+};
+
+ScopedSignalCancel::ScopedSignalCancel(Supervisor& supervisor)
+    : impl_(std::make_unique<Impl>()) {
+  g_signal_supervisor.store(&supervisor, std::memory_order_release);
+  struct sigaction action {};
+  action.sa_handler = &ranycast_guard_signal_handler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: an interrupted blocking write surfaces EINTR, which the
+  // vfs write loops already retry — and the run notices the cancel sooner.
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, &impl_->old_term);
+  sigaction(SIGINT, &action, &impl_->old_int);
+}
+
+ScopedSignalCancel::~ScopedSignalCancel() {
+  sigaction(SIGTERM, &impl_->old_term, nullptr);
+  sigaction(SIGINT, &impl_->old_int, nullptr);
+  g_signal_supervisor.store(nullptr, std::memory_order_release);
+}
+
+std::uint64_t ScopedSignalCancel::signals_seen() noexcept {
+  return g_signals_seen.load(std::memory_order_relaxed);
 }
 
 void Supervisor::watchdog_loop() {

@@ -33,7 +33,7 @@ core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
   std::size_t start = 0;
   if (policy.resume && !policy.path.empty() && chain_exists(policy.path)) {
     auto recovered = retry_transient(supervisor, policy.retry, [&] {
-      return chain.read(CheckpointKind::MeasurementSweep, fingerprint);
+      return chain.read(policy.kind, fingerprint);
     });
     if (!recovered) return core::unexpected(std::move(recovered).error());
     ByteReader reader(recovered->payload);
@@ -65,6 +65,23 @@ core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
 
   const std::size_t every = policy.every == 0 ? 1 : policy.every;
   result.completed = start;
+  std::size_t checkpointed = start;  ///< cursor covered by the newest generation
+  const auto write_checkpoint_at = [&](std::size_t cursor)
+      -> core::Expected<std::monostate, GuardError> {
+    ByteWriter payload;
+    payload.u64(cursor);
+    if (hooks.save) hooks.save(payload);
+    auto written = retry_transient(supervisor, policy.retry, [&] {
+      return chain.write(policy.kind, fingerprint, payload.data());
+    });
+    if (!written) return core::unexpected(std::move(written).error());
+    checkpointed = cursor;
+    obs::journal_event("checkpoint",
+                       {F::u64_field("cursor", cursor), F::str("path", policy.path),
+                        F::u64_field("generation", *written)},
+                       /*durable=*/true);
+    return std::monostate{};
+  };
   for (std::size_t i = start; i < total; ++i) {
     if (supervisor.should_stop()) break;
     try {
@@ -82,18 +99,8 @@ core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
     // step.
     if (obs::Journal* j = obs::journal()) j->sync();
     if (!policy.path.empty() && ((i + 1) % every == 0 || i + 1 == total)) {
-      ByteWriter payload;
-      payload.u64(i + 1);
-      if (hooks.save) hooks.save(payload);
-      auto written = retry_transient(supervisor, policy.retry, [&] {
-        return chain.write(CheckpointKind::MeasurementSweep, fingerprint,
-                           payload.data());
-      });
+      auto written = write_checkpoint_at(i + 1);
       if (!written) return core::unexpected(std::move(written).error());
-      obs::journal_event("checkpoint",
-                         {F::u64_field("cursor", i + 1), F::str("path", policy.path),
-                          F::u64_field("generation", *written)},
-                         /*durable=*/true);
     }
     // After the checkpoint is durable: a crash inside this hook (tests use
     // it to simulate SIGKILL at exact steps) loses nothing.
@@ -101,6 +108,15 @@ core::Expected<SweepResult, GuardError> run_sweep(std::size_t total,
   }
   if (result.completed < total) {
     result.stopped = supervisor.stop_reason();
+    // A cooperative stop (SIGTERM -> Supervisor::cancel, deadline, stall)
+    // flushes the steps completed since the last cadence boundary before
+    // reporting: the whole point of stopping gracefully is that a later
+    // --resume continues from here, not from the previous multiple of
+    // `every`. Best effort — if the final write fails, the cadence
+    // checkpoint still stands.
+    if (!policy.path.empty() && result.completed > checkpointed) {
+      (void)write_checkpoint_at(result.completed);
+    }
     obs::journal_event("stopped",
                        {F::str("reason", reason_name(result.stopped)),
                         F::u64_field("completed", result.completed),

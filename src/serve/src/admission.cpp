@@ -1,0 +1,115 @@
+#include "ranycast/serve/admission.hpp"
+
+#include <algorithm>
+
+namespace ranycast::serve {
+
+namespace {
+constexpr std::uint64_t kMicroPerToken = 1'000'000;
+constexpr std::uint64_t kNsPerSecond = 1'000'000'000;
+}  // namespace
+
+std::string_view to_string(AdmitDecision decision) noexcept {
+  switch (decision) {
+    case AdmitDecision::Admit: return "admit";
+    case AdmitDecision::ShedQueue: return "shed_queue";
+    case AdmitDecision::ShedDeadline: return "shed_deadline";
+    case AdmitDecision::ShedRate: return "shed_rate";
+  }
+  return "unknown";
+}
+
+TokenBucket::TokenBucket(double rate_per_s, std::uint32_t burst)
+    : capacity_e6_(std::uint64_t{burst} * kMicroPerToken),
+      rate_e6_per_s_(rate_per_s <= 0.0
+                         ? 0
+                         : static_cast<std::uint64_t>(rate_per_s * kMicroPerToken)),
+      tokens_e6_(capacity_e6_) {}
+
+bool TokenBucket::take(std::uint64_t now_ns) {
+  if (now_ns > last_refill_ns_) {
+    const std::uint64_t dt_ns = now_ns - last_refill_ns_;
+    // 128-bit intermediate: rate_e6 * dt_ns overflows u64 within seconds at
+    // realistic rates.
+    const auto earned = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(rate_e6_per_s_) * dt_ns / kNsPerSecond);
+    tokens_e6_ = std::min(capacity_e6_, tokens_e6_ + earned);
+    // Advance the refill clock only by the nanoseconds actually converted,
+    // so sub-token remainders are not silently discarded at high tick rates.
+    if (rate_e6_per_s_ > 0) {
+      const auto consumed_ns = static_cast<std::uint64_t>(
+          static_cast<unsigned __int128>(earned) * kNsPerSecond / rate_e6_per_s_);
+      last_refill_ns_ += std::min(dt_ns, std::max<std::uint64_t>(consumed_ns, 0));
+      if (tokens_e6_ == capacity_e6_) last_refill_ns_ = now_ns;  // full: no debt to keep
+    } else {
+      last_refill_ns_ = now_ns;
+    }
+  }
+  if (tokens_e6_ < kMicroPerToken) return false;
+  tokens_e6_ -= kMicroPerToken;
+  return true;
+}
+
+void TokenBucket::encode(guard::ByteWriter& w) const {
+  w.u64(capacity_e6_);
+  w.u64(rate_e6_per_s_);
+  w.u64(tokens_e6_);
+  w.u64(last_refill_ns_);
+}
+
+bool TokenBucket::decode(guard::ByteReader& r) {
+  capacity_e6_ = r.u64();
+  rate_e6_per_s_ = r.u64();
+  tokens_e6_ = r.u64();
+  last_refill_ns_ = r.u64();
+  return r.ok() && tokens_e6_ <= capacity_e6_;
+}
+
+Admission::Admission(const AdmissionConfig& cfg)
+    : cfg_(cfg), bucket_(cfg.rate_qps, cfg.burst) {}
+
+std::uint32_t Admission::queue_depth(std::uint64_t now_ns) const noexcept {
+  if (queue_free_at_ns_ <= now_ns || cfg_.service_time_ns == 0) return 0;
+  const std::uint64_t backlog_ns = queue_free_at_ns_ - now_ns;
+  return static_cast<std::uint32_t>(
+      (backlog_ns + cfg_.service_time_ns - 1) / cfg_.service_time_ns);
+}
+
+Admitted Admission::offer(std::uint64_t now_ns, std::uint64_t budget_us,
+                          std::uint64_t extra_service_ns) {
+  // Fixed decision order — depth, deadline, rate — so replays shed the same
+  // queries for the same reasons.
+  Admitted out;
+  if (queue_depth(now_ns) >= cfg_.max_queue_depth) {
+    out.decision = AdmitDecision::ShedQueue;
+    return out;
+  }
+  const std::uint64_t start_ns = std::max(queue_free_at_ns_, now_ns);
+  const std::uint64_t wait_ns = start_ns - now_ns;
+  const std::uint64_t predicted_ns = wait_ns + cfg_.service_time_ns + extra_service_ns;
+  if (predicted_ns > budget_us * 1000) {
+    out.decision = AdmitDecision::ShedDeadline;
+    return out;
+  }
+  if (!bucket_.take(now_ns)) {
+    out.decision = AdmitDecision::ShedRate;
+    return out;
+  }
+  queue_free_at_ns_ = start_ns + cfg_.service_time_ns + extra_service_ns;
+  out.decision = AdmitDecision::Admit;
+  out.latency_ns = predicted_ns;
+  return out;
+}
+
+void Admission::encode(guard::ByteWriter& w) const {
+  bucket_.encode(w);
+  w.u64(queue_free_at_ns_);
+}
+
+bool Admission::decode(guard::ByteReader& r) {
+  if (!bucket_.decode(r)) return false;
+  queue_free_at_ns_ = r.u64();
+  return r.ok();
+}
+
+}  // namespace ranycast::serve

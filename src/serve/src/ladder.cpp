@@ -1,0 +1,77 @@
+#include "ranycast/serve/ladder.hpp"
+
+namespace ranycast::serve {
+
+std::string_view to_string(LadderRung rung) noexcept {
+  switch (rung) {
+    case LadderRung::Fresh: return "fresh";
+    case LadderRung::Stale: return "stale";
+    case LadderRung::Frozen: return "frozen";
+    case LadderRung::Reject: return "reject";
+  }
+  return "unknown";
+}
+
+LadderRung ladder_rung(const LadderConfig& cfg, const LadderHealth& health) noexcept {
+  if (!health.has_snapshot) return LadderRung::Reject;
+  if (health.age_ns > cfg.reject_after_age_ns) return LadderRung::Reject;
+  if (health.consecutive_failures >= cfg.freeze_after_failures ||
+      health.age_ns > cfg.stale_max_age_ns) {
+    return LadderRung::Frozen;
+  }
+  if (health.age_ns > cfg.fresh_max_age_ns) return LadderRung::Stale;
+  return LadderRung::Fresh;
+}
+
+bool Ladder::advance(std::uint64_t now_ns, const LadderHealth& health,
+                     std::string_view reason, LadderTransition* out) {
+  const LadderRung next = ladder_rung(cfg_, health);
+  if (next == rung_) return false;
+  LadderTransition t;
+  t.at_ns = now_ns;
+  t.from = rung_;
+  t.to = next;
+  t.reason = std::string(reason);
+  rung_ = next;
+  transitions_.push_back(t);
+  if (out != nullptr) *out = std::move(t);
+  return true;
+}
+
+void Ladder::encode(guard::ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(rung_));
+  w.u64(transitions_.size());
+  for (const LadderTransition& t : transitions_) {
+    w.u64(t.at_ns);
+    w.u8(static_cast<std::uint8_t>(t.from));
+    w.u8(static_cast<std::uint8_t>(t.to));
+    w.str(t.reason);
+  }
+}
+
+bool Ladder::decode(guard::ByteReader& r) {
+  const std::uint8_t rung = r.u8();
+  if (rung > static_cast<std::uint8_t>(LadderRung::Reject)) return false;
+  rung_ = static_cast<LadderRung>(rung);
+  const std::uint64_t count = r.u64();
+  if (!r.ok() || count > r.remaining()) return false;
+  transitions_.clear();
+  transitions_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    LadderTransition t;
+    t.at_ns = r.u64();
+    const std::uint8_t from = r.u8();
+    const std::uint8_t to = r.u8();
+    if (from > static_cast<std::uint8_t>(LadderRung::Reject) ||
+        to > static_cast<std::uint8_t>(LadderRung::Reject)) {
+      return false;
+    }
+    t.from = static_cast<LadderRung>(from);
+    t.to = static_cast<LadderRung>(to);
+    t.reason = r.str();
+    transitions_.push_back(std::move(t));
+  }
+  return r.ok();
+}
+
+}  // namespace ranycast::serve

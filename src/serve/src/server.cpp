@@ -1,0 +1,414 @@
+#include "ranycast/serve/server.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "ranycast/core/crc32.hpp"
+#include "ranycast/core/rng.hpp"
+#include "ranycast/io/config.hpp"
+#include "ranycast/obs/journal.hpp"
+#include "ranycast/obs/metrics.hpp"
+
+namespace ranycast::serve {
+
+namespace {
+
+using ranycast::hash_combine;
+
+obs::Counter& status_counter(QueryStatus status) {
+  static obs::Counter& served = obs::MetricsRegistry::global().counter("serve.served");
+  static obs::Counter& shed_queue =
+      obs::MetricsRegistry::global().counter("serve.shed.queue");
+  static obs::Counter& shed_deadline =
+      obs::MetricsRegistry::global().counter("serve.shed.deadline");
+  static obs::Counter& shed_rate =
+      obs::MetricsRegistry::global().counter("serve.shed.rate");
+  static obs::Counter& rejected = obs::MetricsRegistry::global().counter("serve.rejected");
+  switch (status) {
+    case QueryStatus::Served: return served;
+    case QueryStatus::ShedQueue: return shed_queue;
+    case QueryStatus::ShedDeadline: return shed_deadline;
+    case QueryStatus::ShedRate: return shed_rate;
+    case QueryStatus::Rejected: break;
+  }
+  return rejected;
+}
+
+std::uint64_t crc_of(std::string_view s) {
+  return core::crc32(s.data(), s.size());
+}
+
+}  // namespace
+
+std::string_view to_string(QueryStatus status) noexcept {
+  switch (status) {
+    case QueryStatus::Served: return "served";
+    case QueryStatus::ShedQueue: return "shed_queue";
+    case QueryStatus::ShedDeadline: return "shed_deadline";
+    case QueryStatus::ShedRate: return "shed_rate";
+    case QueryStatus::Rejected: return "rejected";
+  }
+  return "unknown";
+}
+
+void LatencyDigest::record_ns(std::uint64_t latency_ns) {
+  const std::uint64_t us = (latency_ns + 999) / 1000;
+  std::size_t bucket = kBuckets - 1;
+  for (std::size_t i = 0; i < std::size(kBoundsUs); ++i) {
+    if (us <= kBoundsUs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++buckets_[bucket];
+  ++count_;
+  sum_us_ += us;
+  max_us_ = std::max(max_us_, us);
+}
+
+std::uint64_t LatencyDigest::quantile_us(double q) const noexcept {
+  if (count_ == 0) return 0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(std::ceil(clamped * static_cast<double>(count_)));
+  target = std::clamp<std::uint64_t>(target, 1, count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      return i < std::size(kBoundsUs) ? kBoundsUs[i] : max_us_;
+    }
+  }
+  return max_us_;
+}
+
+void LatencyDigest::encode(guard::ByteWriter& w) const {
+  for (std::uint64_t b : buckets_) w.u64(b);
+  w.u64(count_);
+  w.u64(sum_us_);
+  w.u64(max_us_);
+}
+
+bool LatencyDigest::decode(guard::ByteReader& r) {
+  std::uint64_t total = 0;
+  for (std::uint64_t& b : buckets_) {
+    b = r.u64();
+    total += b;
+  }
+  count_ = r.u64();
+  sum_us_ = r.u64();
+  max_us_ = r.u64();
+  return r.ok() && total == count_;
+}
+
+Server::Server(lab::Lab& laboratory, const lab::DeploymentHandle& handle, ServeConfig cfg)
+    : lab_(laboratory),
+      handle_(handle),
+      cfg_(std::move(cfg)),
+      engine_(laboratory, handle),
+      ladder_(cfg_.ladder),
+      admission_(cfg_.admission) {}
+
+std::uint64_t Server::fingerprint() const {
+  std::uint64_t h = io::config_fingerprint(lab_.config());
+  h = hash_combine(h, crc_of(handle_.deployment.name()));
+  h = hash_combine(h, crc_of(cfg_.world_plan.name));
+  for (const chaos::FaultEvent& e : cfg_.world_plan.events) {
+    h = hash_combine(h, crc_of(chaos::describe(e)));
+  }
+  h = hash_combine(h, cfg_.faults.fingerprint());
+  h = hash_combine(h, cfg_.seed);
+  h = hash_combine(h, cfg_.refresh_interval_ns);
+  h = hash_combine(h, cfg_.build_time_ns);
+  h = hash_combine(h, cfg_.ladder.fresh_max_age_ns);
+  h = hash_combine(h, cfg_.ladder.stale_max_age_ns);
+  h = hash_combine(h, cfg_.ladder.reject_after_age_ns);
+  h = hash_combine(h, cfg_.ladder.freeze_after_failures);
+  h = hash_combine(h, std::bit_cast<std::uint64_t>(cfg_.admission.rate_qps));
+  h = hash_combine(h, cfg_.admission.burst);
+  h = hash_combine(h, cfg_.admission.max_queue_depth);
+  h = hash_combine(h, cfg_.admission.service_time_ns);
+  return h;
+}
+
+LadderHealth Server::health_at(std::uint64_t now_ns) const {
+  LadderHealth health;
+  std::shared_ptr<const WorldSnapshot> snap;
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snap = snapshot_;
+  }
+  health.has_snapshot = snap != nullptr;
+  if (snap) {
+    // Staleness is measured on the (possibly skewed) staleness clock; the
+    // scheduler keeps running on plain virtual time.
+    const std::uint64_t s_now = cfg_.faults.staleness_now_ns(now_ns);
+    health.age_ns = s_now > snap->built_at_ns ? s_now - snap->built_at_ns : 0;
+  }
+  health.consecutive_failures = consecutive_failures_;
+  return health;
+}
+
+void Server::journal_transition(const LadderTransition& t) const {
+  using F = obs::JournalField;
+  // Durable: the ladder history is part of the crash story — a restart must
+  // be able to reconstruct every rung the dead process admitted to.
+  obs::journal_event("serve_ladder",
+                     {F::u64_field("at_ns", t.at_ns),
+                      F::str("from", std::string(to_string(t.from))),
+                      F::str("to", std::string(to_string(t.to))),
+                      F::str("reason", t.reason)},
+                     /*durable=*/true);
+}
+
+void Server::advance_ladder(std::uint64_t now_ns, std::string_view reason) {
+  LadderTransition t;
+  if (ladder_.advance(now_ns, health_at(now_ns), reason, &t)) {
+    journal_transition(t);
+  }
+}
+
+std::string Server::start_build(std::uint64_t t_ns) {
+  build_started_ns_ = t_ns;
+  build_will_fail_ = cfg_.faults.build_fails(t_ns);
+  build_done_at_ns_ = t_ns + cfg_.build_time_ns + cfg_.faults.stall_extra_ns(t_ns);
+  next_build_at_ns_ = t_ns + std::max<std::uint64_t>(cfg_.refresh_interval_ns, 1);
+  building_ = true;
+  pending_.reset();
+  if (!build_will_fail_) {
+    // The world drifts one chaos event per successful build start: a failed
+    // build consumes nothing, so the retry rebuilds against the same world.
+    if (world_events_applied_ < cfg_.world_plan.events.size()) {
+      const chaos::FaultEvent& e =
+          cfg_.world_plan.events[static_cast<std::size_t>(world_events_applied_)];
+      std::string err = engine_.apply_event(e);
+      if (!err.empty()) {
+        building_ = false;
+        return err;
+      }
+      ++world_events_applied_;
+      ++stats_.world_events_applied;
+    }
+    WorldSnapshot snap =
+        build_snapshot(lab_, handle_, epoch_counter_ + 1, build_done_at_ns_);
+    pending_ = std::make_shared<const WorldSnapshot>(std::move(snap));
+  }
+  return {};
+}
+
+void Server::finish_build() {
+  using F = obs::JournalField;
+  const std::uint64_t done_ns = build_done_at_ns_;
+  building_ = false;
+  if (build_will_fail_ || pending_ == nullptr) {
+    ++consecutive_failures_;
+    ++stats_.builds_failed;
+    pending_.reset();
+    obs::journal_event("serve_build",
+                       {F::u64_field("at_ns", done_ns), F::bool_field("ok", false),
+                        F::u64_field("failures", consecutive_failures_)},
+                       /*durable=*/true);
+    advance_ladder(done_ns, "refresh_failure");
+    return;
+  }
+  const std::uint64_t epoch = pending_->epoch;
+  if (crash_hook_) crash_hook_("pre_publish", epoch);
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = pending_;
+  }
+  if (crash_hook_) crash_hook_("post_publish", epoch);
+  epoch_counter_ = epoch;
+  const std::uint64_t snapshot_fp = pending_->fingerprint;
+  pending_.reset();
+  consecutive_failures_ = 0;
+  ++stats_.epochs_published;
+  obs::journal_event("serve_epoch",
+                     {F::u64_field("epoch", epoch), F::u64_field("at_ns", done_ns),
+                      F::u64_field("fingerprint", snapshot_fp),
+                      F::u64_field("world_events", world_events_applied_)},
+                     /*durable=*/true);
+  advance_ladder(done_ns, "published");
+}
+
+core::Expected<std::monostate, std::string> Server::tick(std::uint64_t now_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (;;) {
+    if (building_) {
+      if (now_ns < build_done_at_ns_) break;
+      finish_build();
+      continue;
+    }
+    if (now_ns >= next_build_at_ns_) {
+      std::string err = start_build(next_build_at_ns_);
+      if (!err.empty()) return core::unexpected(std::move(err));
+      continue;
+    }
+    break;
+  }
+  advance_ladder(now_ns, "tick");
+  return std::monostate{};
+}
+
+QueryResult Server::query(std::uint64_t client, std::uint64_t now_ns,
+                          std::uint64_t budget_us) {
+  static obs::Counter& queries = obs::MetricsRegistry::global().counter("serve.queries");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.queries;
+  queries.add();
+  advance_ladder(now_ns, "query");
+  QueryResult result;
+  result.rung = ladder_.rung();
+  if (result.rung == LadderRung::Reject) {
+    result.status = QueryStatus::Rejected;
+    ++stats_.rejected;
+    status_counter(result.status).add();
+    return result;
+  }
+  const Admitted admitted =
+      admission_.offer(now_ns, budget_us, cfg_.faults.query_extra_ns(now_ns));
+  switch (admitted.decision) {
+    case AdmitDecision::ShedQueue:
+      result.status = QueryStatus::ShedQueue;
+      ++stats_.shed_queue;
+      break;
+    case AdmitDecision::ShedDeadline:
+      result.status = QueryStatus::ShedDeadline;
+      ++stats_.shed_deadline;
+      break;
+    case AdmitDecision::ShedRate:
+      result.status = QueryStatus::ShedRate;
+      ++stats_.shed_rate;
+      break;
+    case AdmitDecision::Admit: {
+      std::shared_ptr<const WorldSnapshot> snap;
+      {
+        const std::lock_guard<std::mutex> pin_lock(snapshot_mutex_);
+        snap = snapshot_;
+      }
+      // rung != Reject implies a snapshot is published.
+      result.status = QueryStatus::Served;
+      result.epoch = snap->epoch;
+      result.fingerprint = snap->fingerprint;
+      result.latency_us = (admitted.latency_ns + 999) / 1000;
+      if (!snap->entries.empty()) {
+        result.entry = snap->entries[static_cast<std::size_t>(
+            client % snap->entries.size())];
+      }
+      ++stats_.served;
+      latency_.record_ns(admitted.latency_ns);
+      break;
+    }
+  }
+  status_counter(result.status).add();
+  return result;
+}
+
+std::shared_ptr<const WorldSnapshot> Server::pin() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+LadderRung Server::rung() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ladder_.rung();
+}
+
+ServeStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t Server::current_epoch() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_ ? snapshot_->epoch : 0;
+}
+
+void Server::save(guard::ByteWriter& w) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  w.u64(next_build_at_ns_);
+  w.u8(building_ ? 1 : 0);
+  w.u8(build_will_fail_ ? 1 : 0);
+  w.u64(build_started_ns_);
+  w.u64(build_done_at_ns_);
+  w.u64(epoch_counter_);
+  w.u32(consecutive_failures_);
+  w.u64(world_events_applied_);
+  {
+    const std::lock_guard<std::mutex> snap_lock(snapshot_mutex_);
+    w.u8(snapshot_ ? 1 : 0);
+    if (snapshot_) encode_snapshot(w, *snapshot_);
+  }
+  ladder_.encode(w);
+  admission_.encode(w);
+  latency_.encode(w);
+  w.u64(stats_.queries);
+  w.u64(stats_.served);
+  w.u64(stats_.shed_queue);
+  w.u64(stats_.shed_deadline);
+  w.u64(stats_.shed_rate);
+  w.u64(stats_.rejected);
+  w.u64(stats_.epochs_published);
+  w.u64(stats_.builds_failed);
+  w.u64(stats_.world_events_applied);
+}
+
+bool Server::load(guard::ByteReader& r) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  next_build_at_ns_ = r.u64();
+  const bool was_building = r.u8() != 0;
+  build_will_fail_ = r.u8() != 0;
+  build_started_ns_ = r.u64();
+  build_done_at_ns_ = r.u64();
+  epoch_counter_ = r.u64();
+  consecutive_failures_ = r.u32();
+  world_events_applied_ = r.u64();
+  if (!r.ok() || world_events_applied_ > cfg_.world_plan.events.size()) return false;
+  std::shared_ptr<const WorldSnapshot> restored;
+  if (r.u8() != 0) {
+    auto snap = std::make_shared<WorldSnapshot>();
+    if (!decode_snapshot(r, *snap)) return false;
+    restored = std::move(snap);
+  }
+  if (!ladder_.decode(r) || !admission_.decode(r) || !latency_.decode(r)) return false;
+  stats_.queries = r.u64();
+  stats_.served = r.u64();
+  stats_.shed_queue = r.u64();
+  stats_.shed_deadline = r.u64();
+  stats_.shed_rate = r.u64();
+  stats_.rejected = r.u64();
+  stats_.epochs_published = r.u64();
+  stats_.builds_failed = r.u64();
+  stats_.world_events_applied = r.u64();
+  if (!r.ok()) return false;
+  // Fast-forward the world: re-apply the events the dead process consumed,
+  // in order, so the lab reaches the exact state the checkpoint was taken
+  // in. The mutations are deterministic; measurements are pure in lab
+  // state, so the rebuilt snapshots match byte for byte.
+  for (std::uint64_t i = 0; i < world_events_applied_; ++i) {
+    const std::string err =
+        engine_.apply_event(cfg_.world_plan.events[static_cast<std::size_t>(i)]);
+    if (!err.empty()) return false;
+  }
+  {
+    const std::lock_guard<std::mutex> snap_lock(snapshot_mutex_);
+    snapshot_ = std::move(restored);
+  }
+  // An interrupted in-flight build is restarted from scratch on the next
+  // tick: rebuilding is idempotent (the world event was already consumed and
+  // replayed above), so the published epoch stream is unchanged.
+  building_ = was_building;
+  pending_.reset();
+  if (building_) {
+    if (build_will_fail_) {
+      // Failed builds carry no snapshot; nothing to rebuild.
+    } else {
+      WorldSnapshot snap =
+          build_snapshot(lab_, handle_, epoch_counter_ + 1, build_done_at_ns_);
+      pending_ = std::make_shared<const WorldSnapshot>(std::move(snap));
+    }
+  }
+  return true;
+}
+
+}  // namespace ranycast::serve

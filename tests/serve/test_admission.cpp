@@ -1,0 +1,158 @@
+// Admission control: the fixed shed order, the served-latency-never-exceeds-
+// budget invariant, the integer token bucket, and checkpoint round-trips.
+#include "ranycast/serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ranycast/core/rng.hpp"
+
+namespace ranycast::serve {
+namespace {
+
+AdmissionConfig cfg() {
+  AdmissionConfig c;
+  c.rate_qps = 1000.0;
+  c.burst = 4;
+  c.max_queue_depth = 3;
+  c.service_time_ns = 500'000;  // 500us
+  return c;
+}
+
+TEST(TokenBucket, BurstThenRefillAtRate) {
+  TokenBucket bucket(1000.0, 4);
+  // The bucket starts full: the burst is admitted back to back.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(bucket.take(0)) << i;
+  EXPECT_FALSE(bucket.take(0));
+  // 1000 qps = one token per ms. 999us is not enough...
+  EXPECT_FALSE(bucket.take(999'000));
+  // ...1ms is exactly one token.
+  EXPECT_TRUE(bucket.take(1'000'000));
+  EXPECT_FALSE(bucket.take(1'000'000));
+}
+
+TEST(TokenBucket, SubTokenRemaindersAccumulateAcrossPolls) {
+  TokenBucket bucket(4.0, 1);
+  EXPECT_TRUE(bucket.take(0));
+  // 4 qps polled every 1ms: each poll earns 0.004 of a token. Truncating
+  // per poll would never grant again; the carried remainder must yield
+  // exactly one grant every 250ms.
+  int granted = 0;
+  for (std::uint64_t t = 1; t <= 1'000; ++t) {
+    if (bucket.take(t * 1'000'000)) ++granted;
+  }
+  EXPECT_EQ(granted, 4);
+}
+
+TEST(TokenBucket, EncodeDecodeRoundTrip) {
+  TokenBucket bucket(1000.0, 4);
+  bucket.take(0);
+  bucket.take(250'000);
+
+  guard::ByteWriter w;
+  bucket.encode(w);
+  guard::ByteReader r(w.data());
+  TokenBucket restored;
+  ASSERT_TRUE(restored.decode(r));
+  // Both make identical decisions from here on.
+  for (std::uint64_t t = 300'000; t < 10'000'000; t += 700'000) {
+    EXPECT_EQ(bucket.take(t), restored.take(t)) << t;
+  }
+}
+
+TEST(Admission, AdmitLatencyIsWaitPlusService) {
+  Admission admission(cfg());
+  const auto first = admission.offer(0, 10'000, 0);
+  ASSERT_EQ(first.decision, AdmitDecision::Admit);
+  EXPECT_EQ(first.latency_ns, 500'000u);  // empty queue: pure service time
+  const auto second = admission.offer(0, 10'000, 0);
+  ASSERT_EQ(second.decision, AdmitDecision::Admit);
+  EXPECT_EQ(second.latency_ns, 1'000'000u);  // waits for the first
+}
+
+TEST(Admission, QueueDepthShedsBeforeDeadline) {
+  Admission admission(cfg());
+  // Fill the modeled FIFO: depth 3 admits, the 4th arrival at t=0 sees a
+  // full backlog and is shed on depth — even with an infinite budget.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(admission.offer(0, 1'000'000, 0).decision, AdmitDecision::Admit) << i;
+  }
+  EXPECT_EQ(admission.offer(0, 1'000'000, 0).decision, AdmitDecision::ShedQueue);
+}
+
+TEST(Admission, DeadlineShedsWhenPredictedLatencyExceedsBudget) {
+  Admission admission(cfg());
+  // Empty queue, 500us service vs 400us budget: shed on deadline.
+  EXPECT_EQ(admission.offer(0, 400, 0).decision, AdmitDecision::ShedDeadline);
+  // 500us budget admits exactly.
+  EXPECT_EQ(admission.offer(0, 500, 0).decision, AdmitDecision::Admit);
+  // Injected slow-query penalty counts against the budget too.
+  EXPECT_EQ(admission.offer(10'000'000, 600, 200'000).decision,
+            AdmitDecision::ShedDeadline);
+}
+
+TEST(Admission, RateShedsAfterBurst) {
+  AdmissionConfig c = cfg();
+  c.max_queue_depth = 100;  // keep the queue out of the way
+  Admission admission(c);
+  // Space arrivals a service-time apart so the queue stays empty and the
+  // deadline holds: only the bucket can shed. Burst 4 at 1000 qps.
+  int admitted = 0, rate_shed = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto out = admission.offer(static_cast<std::uint64_t>(i) * 500'000, 10'000, 0);
+    if (out.decision == AdmitDecision::Admit) ++admitted;
+    if (out.decision == AdmitDecision::ShedRate) ++rate_shed;
+  }
+  // 3.5ms elapsed: the initial burst of 4 plus 3 refilled tokens.
+  EXPECT_EQ(admitted, 7);
+  EXPECT_EQ(rate_shed, 1);
+}
+
+TEST(Admission, ServedLatencyNeverExceedsBudgetUnderRandomStorm) {
+  Admission admission(cfg());
+  Rng rng(7);
+  std::uint64_t now = 0;
+  int admitted = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    now += rng.below(400'000);  // arrivals denser than the service rate
+    const std::uint64_t budget_us = 100 + rng.below(3'000);
+    const std::uint64_t extra = rng.chance(0.2) ? rng.below(2'000'000) : 0;
+    const auto out = admission.offer(now, budget_us, extra);
+    if (out.decision != AdmitDecision::Admit) continue;
+    ++admitted;
+    EXPECT_LE(out.latency_ns, budget_us * 1'000)
+        << "arrival " << i << " served over its deadline budget";
+  }
+  EXPECT_GT(admitted, 0);
+}
+
+TEST(Admission, EncodeDecodeRoundTripKeepsDecisions) {
+  Admission admission(cfg());
+  for (int i = 0; i < 5; ++i) admission.offer(static_cast<std::uint64_t>(i) * 100'000, 5'000, 0);
+
+  guard::ByteWriter w;
+  admission.encode(w);
+  guard::ByteReader r(w.data());
+  Admission restored(cfg());
+  ASSERT_TRUE(restored.decode(r));
+
+  Rng rng(11);
+  std::uint64_t now = 500'000;
+  for (int i = 0; i < 2'000; ++i) {
+    now += rng.below(1'000'000);
+    const std::uint64_t budget_us = 200 + rng.below(2'000);
+    const auto a = admission.offer(now, budget_us, 0);
+    const auto b = restored.offer(now, budget_us, 0);
+    EXPECT_EQ(a.decision, b.decision) << i;
+    EXPECT_EQ(a.latency_ns, b.latency_ns) << i;
+  }
+}
+
+TEST(Admission, Names) {
+  EXPECT_EQ(to_string(AdmitDecision::Admit), "admit");
+  EXPECT_EQ(to_string(AdmitDecision::ShedQueue), "shed_queue");
+  EXPECT_EQ(to_string(AdmitDecision::ShedDeadline), "shed_deadline");
+  EXPECT_EQ(to_string(AdmitDecision::ShedRate), "shed_rate");
+}
+
+}  // namespace
+}  // namespace ranycast::serve

@@ -1,0 +1,107 @@
+// The degradation ladder: the pure rung rule, the recorded transition
+// history, and the checkpoint round-trip.
+#include "ranycast/serve/ladder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ranycast::serve {
+namespace {
+
+LadderConfig cfg() {
+  LadderConfig c;
+  c.fresh_max_age_ns = 1'000;
+  c.stale_max_age_ns = 3'000;
+  c.reject_after_age_ns = 10'000;
+  c.freeze_after_failures = 3;
+  return c;
+}
+
+LadderHealth health(bool has, std::uint64_t age, std::uint32_t failures = 0) {
+  return LadderHealth{has, age, failures};
+}
+
+TEST(LadderRule, NoSnapshotRejects) {
+  EXPECT_EQ(ladder_rung(cfg(), health(false, 0)), LadderRung::Reject);
+  // Even a failure-free refresher has nothing to serve.
+  EXPECT_EQ(ladder_rung(cfg(), health(false, 0, 0)), LadderRung::Reject);
+}
+
+TEST(LadderRule, AgeBoundsAreInclusive) {
+  EXPECT_EQ(ladder_rung(cfg(), health(true, 1'000)), LadderRung::Fresh);
+  EXPECT_EQ(ladder_rung(cfg(), health(true, 1'001)), LadderRung::Stale);
+  EXPECT_EQ(ladder_rung(cfg(), health(true, 3'000)), LadderRung::Stale);
+  EXPECT_EQ(ladder_rung(cfg(), health(true, 3'001)), LadderRung::Frozen);
+  EXPECT_EQ(ladder_rung(cfg(), health(true, 10'000)), LadderRung::Frozen);
+  EXPECT_EQ(ladder_rung(cfg(), health(true, 10'001)), LadderRung::Reject);
+}
+
+TEST(LadderRule, FailureStreakForcesFrozenRegardlessOfAge) {
+  EXPECT_EQ(ladder_rung(cfg(), health(true, 0, 3)), LadderRung::Frozen);
+  EXPECT_EQ(ladder_rung(cfg(), health(true, 0, 2)), LadderRung::Fresh);
+  // Reject (outlived even the frozen allowance) still wins over a streak.
+  EXPECT_EQ(ladder_rung(cfg(), health(true, 10'001, 5)), LadderRung::Reject);
+}
+
+TEST(LadderRule, Names) {
+  EXPECT_EQ(to_string(LadderRung::Fresh), "fresh");
+  EXPECT_EQ(to_string(LadderRung::Stale), "stale");
+  EXPECT_EQ(to_string(LadderRung::Frozen), "frozen");
+  EXPECT_EQ(to_string(LadderRung::Reject), "reject");
+}
+
+TEST(Ladder, AdvanceRecordsOnlyRealTransitions) {
+  Ladder ladder(cfg());
+  EXPECT_EQ(ladder.rung(), LadderRung::Reject);
+
+  // Same rung: no transition recorded.
+  LadderTransition t;
+  EXPECT_FALSE(ladder.advance(10, health(false, 0), "tick", &t));
+  EXPECT_TRUE(ladder.transitions().empty());
+
+  ASSERT_TRUE(ladder.advance(20, health(true, 0), "published", &t));
+  EXPECT_EQ(t.from, LadderRung::Reject);
+  EXPECT_EQ(t.to, LadderRung::Fresh);
+  EXPECT_EQ(t.at_ns, 20u);
+  EXPECT_EQ(t.reason, "published");
+
+  ASSERT_TRUE(ladder.advance(30, health(true, 2'000), "tick", &t));
+  EXPECT_EQ(t.to, LadderRung::Stale);
+  ASSERT_TRUE(ladder.advance(40, health(true, 5'000), "tick", &t));
+  EXPECT_EQ(t.to, LadderRung::Frozen);
+  ASSERT_TRUE(ladder.advance(50, health(true, 20'000), "tick", &t));
+  EXPECT_EQ(t.to, LadderRung::Reject);
+
+  // Recovery climbs straight back to Fresh.
+  ASSERT_TRUE(ladder.advance(60, health(true, 0), "published", &t));
+  EXPECT_EQ(t.from, LadderRung::Reject);
+  EXPECT_EQ(t.to, LadderRung::Fresh);
+  EXPECT_EQ(ladder.transitions().size(), 5u);
+}
+
+TEST(Ladder, EncodeDecodeRoundTripsHistory) {
+  Ladder ladder(cfg());
+  ladder.advance(20, health(true, 0), "published");
+  ladder.advance(40, health(true, 5'000), "tick");
+
+  guard::ByteWriter w;
+  ladder.encode(w);
+  guard::ByteReader r(w.data());
+  Ladder restored(cfg());
+  ASSERT_TRUE(restored.decode(r));
+  EXPECT_EQ(restored.rung(), ladder.rung());
+  ASSERT_EQ(restored.transitions().size(), 2u);
+  EXPECT_EQ(restored.transitions()[0], ladder.transitions()[0]);
+  EXPECT_EQ(restored.transitions()[1], ladder.transitions()[1]);
+}
+
+TEST(Ladder, DecodeRejectsGarbage) {
+  guard::ByteWriter w;
+  w.u64(0xffff'ffff'ffff'ffffull);  // absurd transition count
+  w.u8(9);                          // invalid rung
+  guard::ByteReader r(w.data());
+  Ladder ladder(cfg());
+  EXPECT_FALSE(ladder.decode(r));
+}
+
+}  // namespace
+}  // namespace ranycast::serve

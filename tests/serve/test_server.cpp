@@ -1,0 +1,345 @@
+// serve::Server behaviour: refresher cadence, world drift, every fault kind,
+// and the always-on differential test — an independent re-implementation of
+// the refresher + ladder spec predicts the server's recorded transitions
+// from the fault timeline alone, and the histories must match exactly.
+#include "ranycast/serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/chaos/scenario.hpp"
+
+namespace ranycast::serve {
+namespace {
+
+lab::LabConfig small_config() {
+  lab::LabConfig config;
+  config.world.stub_count = 400;
+  config.census.total_probes = 1200;
+  return config;
+}
+
+ServeConfig fast_serve_config() {
+  ServeConfig cfg;
+  cfg.refresh_interval_ns = 1'000'000'000;   // build every 1s
+  cfg.build_time_ns = 200'000'000;           // 200ms to build
+  cfg.ladder.fresh_max_age_ns = 2'000'000'000;
+  cfg.ladder.stale_max_age_ns = 5'000'000'000;
+  cfg.ladder.reject_after_age_ns = 20'000'000'000;
+  cfg.ladder.freeze_after_failures = 2;
+  cfg.admission.rate_qps = 100'000.0;  // admission out of the way by default
+  cfg.admission.burst = 1'000;
+  cfg.admission.max_queue_depth = 1'000;
+  cfg.admission.service_time_ns = 500'000;
+  return cfg;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest()
+      : lab_(lab::Lab::create(small_config())),
+        im6_(&lab_.add_deployment(cdn::catalog::imperva6())) {}
+
+  lab::Lab lab_;
+  const lab::DeploymentHandle* im6_;
+};
+
+TEST_F(ServerTest, QueriesBeforeFirstPublishAreRejected) {
+  Server server(lab_, *im6_, fast_serve_config());
+  const QueryResult r = server.query(0, 0, 2'000);
+  EXPECT_EQ(r.status, QueryStatus::Rejected);
+  EXPECT_EQ(r.rung, LadderRung::Reject);
+  EXPECT_EQ(r.epoch, 0u);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST_F(ServerTest, RefresherPublishesOnCadence) {
+  Server server(lab_, *im6_, fast_serve_config());
+  for (std::uint64_t t = 0; t <= 4'000'000'000; t += 100'000'000) {
+    ASSERT_TRUE(server.tick(t).has_value());
+  }
+  // Builds start at 0s,1s,2s,3s,4s and publish 200ms later; the 4s build is
+  // still in flight at the 4s tick.
+  EXPECT_EQ(server.stats().epochs_published, 4u);
+  EXPECT_EQ(server.current_epoch(), 4u);
+  EXPECT_EQ(server.rung(), LadderRung::Fresh);
+  ASSERT_FALSE(server.transitions().empty());
+  EXPECT_EQ(server.transitions().front().from, LadderRung::Reject);
+  EXPECT_EQ(server.transitions().front().to, LadderRung::Fresh);
+  EXPECT_EQ(server.transitions().front().at_ns, 200'000'000u);
+
+  const QueryResult r = server.query(17, 4'000'000'000, 2'000);
+  EXPECT_EQ(r.status, QueryStatus::Served);
+  EXPECT_EQ(r.epoch, 4u);
+  EXPECT_LE(r.latency_us, 2'000u);
+  auto snap = server.pin();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->fingerprint, snapshot_fingerprint(*snap));
+}
+
+TEST_F(ServerTest, WorldDriftConsumesOneEventPerSuccessfulBuild) {
+  ServeConfig cfg = fast_serve_config();
+  cfg.world_plan = chaos::single_site_withdrawal(SiteId{0});
+  chaos::FaultEvent restore;
+  restore.kind = chaos::FaultKind::SiteRestore;
+  restore.site = SiteId{0};
+  cfg.world_plan.events.push_back(restore);
+  Server server(lab_, *im6_, cfg);
+
+  // Epoch 1 (build started at 0) consumes the withdrawal; epoch 2 consumes
+  // the restore; epoch 3 finds the plan exhausted and consumes nothing.
+  ASSERT_TRUE(server.tick(200'000'000).has_value());
+  const auto withdrawn = server.pin();
+  ASSERT_NE(withdrawn, nullptr);
+  EXPECT_EQ(server.stats().world_events_applied, 1u);
+
+  ASSERT_TRUE(server.tick(1'200'000'000).has_value());
+  const auto restored = server.pin();
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(server.stats().world_events_applied, 2u);
+  // Withdrawing a live site must move catchments: the epochs differ.
+  EXPECT_NE(withdrawn->fingerprint, restored->fingerprint);
+
+  ASSERT_TRUE(server.tick(2'200'000'000).has_value());
+  EXPECT_EQ(server.stats().world_events_applied, 2u);
+  EXPECT_EQ(server.pin()->fingerprint, restored->fingerprint);
+}
+
+TEST_F(ServerTest, BuildFailureStreakFreezesThenRecovers) {
+  ServeConfig cfg = fast_serve_config();
+  // Builds started in [0.5s, 2.5s) fail: the 1s and 2s builds. Streak of 2
+  // hits freeze_after_failures; the 3s build succeeds and recovers.
+  cfg.faults.events.push_back(
+      {ServeFaultKind::BuildFail, 500'000'000, 2'000'000'000, 0, 0});
+  Server server(lab_, *im6_, cfg);
+  for (std::uint64_t t = 0; t <= 3'300'000'000; t += 100'000'000) {
+    ASSERT_TRUE(server.tick(t).has_value());
+  }
+  EXPECT_EQ(server.stats().builds_failed, 2u);
+  EXPECT_EQ(server.stats().epochs_published, 2u);
+  EXPECT_EQ(server.rung(), LadderRung::Fresh);
+
+  std::vector<std::string> rungs;
+  for (const LadderTransition& t : server.transitions()) {
+    rungs.push_back(std::string(to_string(t.from)) + ">" + std::string(to_string(t.to)));
+  }
+  EXPECT_EQ(rungs, (std::vector<std::string>{"reject>fresh", "fresh>frozen",
+                                             "frozen>fresh"}));
+  // The freeze lands exactly when the second failed build completes.
+  EXPECT_EQ(server.transitions()[1].at_ns, 2'200'000'000u);
+  EXPECT_EQ(server.transitions()[1].reason, "refresh_failure");
+}
+
+TEST_F(ServerTest, ClockSkewAgesTheSnapshotIntoReject) {
+  ServeConfig cfg = fast_serve_config();
+  cfg.world_plan.events.clear();
+  // From 1.5s the staleness clock reads 25s late: the freshest possible
+  // snapshot is instantly older than reject_after (20s).
+  cfg.faults.events.push_back({ServeFaultKind::ClockSkew, 1'500'000'000, 0, 0,
+                               25'000'000'000});
+  Server server(lab_, *im6_, cfg);
+  ASSERT_TRUE(server.tick(0).has_value());
+  ASSERT_TRUE(server.tick(300'000'000).has_value());
+  EXPECT_EQ(server.query(1, 1'000'000'000, 2'000).status, QueryStatus::Served);
+
+  const QueryResult r = server.query(1, 1'600'000'000, 2'000);
+  EXPECT_EQ(r.status, QueryStatus::Rejected);
+  EXPECT_EQ(r.rung, LadderRung::Reject);
+  // The snapshot itself is still published — only its honesty changed.
+  EXPECT_NE(server.pin(), nullptr);
+}
+
+TEST_F(ServerTest, SlowQueryWindowShedsOnDeadline) {
+  ServeConfig cfg = fast_serve_config();
+  // Queries arriving in [1s, 2s) cost 5ms extra against a 2ms budget.
+  cfg.faults.events.push_back(
+      {ServeFaultKind::SlowQuery, 1'000'000'000, 1'000'000'000, 5'000'000, 0});
+  Server server(lab_, *im6_, cfg);
+  ASSERT_TRUE(server.tick(0).has_value());
+  ASSERT_TRUE(server.tick(300'000'000).has_value());
+
+  EXPECT_EQ(server.query(1, 900'000'000, 2'000).status, QueryStatus::Served);
+  EXPECT_EQ(server.query(1, 1'500'000'000, 2'000).status, QueryStatus::ShedDeadline);
+  EXPECT_EQ(server.query(1, 2'100'000'000, 2'000).status, QueryStatus::Served);
+  EXPECT_EQ(server.stats().shed_deadline, 1u);
+}
+
+TEST_F(ServerTest, StatsPartitionQueries) {
+  ServeConfig cfg = fast_serve_config();
+  cfg.admission.rate_qps = 10.0;
+  cfg.admission.burst = 2;
+  Server server(lab_, *im6_, cfg);
+  ASSERT_TRUE(server.tick(0).has_value());
+  ASSERT_TRUE(server.tick(300'000'000).has_value());
+  for (int i = 0; i < 50; ++i) {
+    server.query(static_cast<std::uint64_t>(i), 400'000'000, 2'000);
+  }
+  const ServeStats s = server.stats();
+  EXPECT_EQ(s.queries, 50u);
+  EXPECT_EQ(s.served + s.shed_queue + s.shed_deadline + s.shed_rate + s.rejected,
+            s.queries);
+  EXPECT_GT(s.shed_rate, 0u);  // 10 qps cannot admit 50 back-to-back arrivals
+  EXPECT_EQ(server.latency().count(), s.served);
+}
+
+// ---------------------------------------------------------------------------
+// The always-on differential: an independent refresher + ladder simulator.
+// It re-implements the documented rules (not by calling ladder_rung) and
+// replays the exact same advance points the server uses — build completions,
+// tick times, query arrivals — predicting the full transition history from
+// (config, fault plan) alone.
+// ---------------------------------------------------------------------------
+
+class LadderOracle {
+ public:
+  explicit LadderOracle(const ServeConfig& cfg) : cfg_(cfg) {}
+
+  void on_publish(std::uint64_t done_ns) {
+    has_snapshot_ = true;
+    built_at_ns_ = done_ns;
+    failures_ = 0;
+    evaluate(done_ns, "published");
+  }
+  void on_failure(std::uint64_t done_ns) {
+    ++failures_;
+    evaluate(done_ns, "refresh_failure");
+  }
+  void evaluate(std::uint64_t now_ns, std::string_view reason) {
+    const LadderRung next = rung_at(now_ns);
+    if (next == rung_) return;
+    transitions_.push_back({now_ns, rung_, next, std::string(reason)});
+    rung_ = next;
+  }
+  const std::vector<LadderTransition>& transitions() const { return transitions_; }
+
+ private:
+  // Deliberately re-derived from docs/serving.md, not from ladder_rung().
+  LadderRung rung_at(std::uint64_t now_ns) const {
+    if (!has_snapshot_) return LadderRung::Reject;
+    const std::int64_t skew = cfg_.faults.skew_ns(now_ns);
+    const std::int64_t shifted = static_cast<std::int64_t>(now_ns) + skew;
+    const std::uint64_t s_now =
+        shifted < 0 ? 0 : static_cast<std::uint64_t>(shifted);
+    const std::uint64_t age = s_now > built_at_ns_ ? s_now - built_at_ns_ : 0;
+    if (age > cfg_.ladder.reject_after_age_ns) return LadderRung::Reject;
+    if (failures_ >= cfg_.ladder.freeze_after_failures ||
+        age > cfg_.ladder.stale_max_age_ns) {
+      return LadderRung::Frozen;
+    }
+    return age > cfg_.ladder.fresh_max_age_ns ? LadderRung::Stale : LadderRung::Fresh;
+  }
+
+  const ServeConfig& cfg_;
+  bool has_snapshot_{false};
+  std::uint64_t built_at_ns_{0};
+  std::uint32_t failures_{0};
+  LadderRung rung_{LadderRung::Reject};
+  std::vector<LadderTransition> transitions_;
+};
+
+/// Predict every ladder transition of a (tick, queries) drive from the
+/// timeline alone: same refresher scheduling rules, same advance points.
+std::vector<LadderTransition> predict_transitions(const ServeConfig& cfg,
+                                                  std::size_t ticks,
+                                                  std::uint64_t tick_ns,
+                                                  std::size_t queries_per_tick) {
+  LadderOracle oracle(cfg);
+  bool building = false, will_fail = false;
+  std::uint64_t done = 0, next_build = 0;
+  for (std::size_t i = 0; i < ticks; ++i) {
+    const std::uint64_t now = static_cast<std::uint64_t>(i) * tick_ns;
+    for (;;) {
+      if (building) {
+        if (now < done) break;
+        building = false;
+        if (will_fail) {
+          oracle.on_failure(done);
+        } else {
+          oracle.on_publish(done);
+        }
+        continue;
+      }
+      if (now >= next_build) {
+        const std::uint64_t start = next_build;
+        will_fail = cfg.faults.build_fails(start);
+        done = start + cfg.build_time_ns + cfg.faults.stall_extra_ns(start);
+        next_build = start + std::max<std::uint64_t>(cfg.refresh_interval_ns, 1);
+        building = true;
+        continue;
+      }
+      break;
+    }
+    oracle.evaluate(now, "tick");
+    const std::uint64_t stride =
+        queries_per_tick == 0 ? tick_ns : tick_ns / queries_per_tick;
+    for (std::size_t q = 0; q < queries_per_tick; ++q) {
+      oracle.evaluate(now + q * stride, "query");
+    }
+  }
+  return oracle.transitions();
+}
+
+TEST_F(ServerTest, DifferentialLadderMatchesFaultTimeline) {
+  ServeConfig cfg = fast_serve_config();
+  cfg.ladder.fresh_max_age_ns = 1'500'000'000;
+  cfg.ladder.stale_max_age_ns = 4'000'000'000;
+  cfg.ladder.reject_after_age_ns = 9'000'000'000;
+  // A hand-built gauntlet: a stall wedges the 2s build for 6s (Fresh ->
+  // Stale -> Frozen while it drags), failures follow, skew ages the world.
+  cfg.faults.events.push_back(
+      {ServeFaultKind::BuildStall, 1'900'000'000, 400'000'000, 6'000'000'000, 0});
+  cfg.faults.events.push_back(
+      {ServeFaultKind::BuildFail, 8'500'000'000, 2'000'000'000, 0, 0});
+  cfg.faults.events.push_back(
+      {ServeFaultKind::ClockSkew, 13'000'000'000, 0, 0, 3'000'000'000});
+
+  const std::size_t ticks = 160;
+  const std::uint64_t tick_ns = 100'000'000;
+  const std::size_t qpt = 3;
+
+  Server server(lab_, *im6_, cfg);
+  for (std::size_t i = 0; i < ticks; ++i) {
+    const std::uint64_t now = static_cast<std::uint64_t>(i) * tick_ns;
+    ASSERT_TRUE(server.tick(now).has_value());
+    const std::uint64_t stride = tick_ns / qpt;
+    for (std::size_t q = 0; q < qpt; ++q) {
+      server.query(q, now + q * stride, 2'000);
+    }
+  }
+
+  const auto predicted = predict_transitions(cfg, ticks, tick_ns, qpt);
+  ASSERT_EQ(server.transitions().size(), predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    EXPECT_EQ(server.transitions()[i], predicted[i]) << "transition " << i;
+  }
+  // The gauntlet must actually exercise the ladder, not tiptoe around it.
+  EXPECT_GE(predicted.size(), 4u);
+}
+
+TEST_F(ServerTest, DifferentialLadderMatchesSeededStorms) {
+  for (const std::uint64_t seed : {11ull, 97ull, 1234ull}) {
+    ServeConfig cfg = fast_serve_config();
+    cfg.ladder.fresh_max_age_ns = 1'200'000'000;
+    cfg.ladder.stale_max_age_ns = 3'000'000'000;
+    cfg.ladder.reject_after_age_ns = 8'000'000'000;
+    const std::size_t ticks = 120;
+    const std::uint64_t tick_ns = 100'000'000;
+    cfg.faults = FaultPlan::storm(seed, ticks * tick_ns, 0.8);
+    ASSERT_FALSE(cfg.faults.empty()) << seed;
+
+    Server server(lab_, *im6_, cfg);
+    for (std::size_t i = 0; i < ticks; ++i) {
+      const std::uint64_t now = static_cast<std::uint64_t>(i) * tick_ns;
+      ASSERT_TRUE(server.tick(now).has_value()) << seed;
+      server.query(i, now, 2'000);
+    }
+    const auto predicted = predict_transitions(cfg, ticks, tick_ns, 1);
+    EXPECT_EQ(server.transitions(), predicted) << "storm seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ranycast::serve

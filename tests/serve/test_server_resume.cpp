@@ -1,0 +1,180 @@
+// Crash-restart: save() mid-run, load() into a fresh server over a fresh
+// lab, and the continued answer stream is byte-identical — including when
+// the checkpoint lands during an in-flight (or failing) build.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/chaos/plan.hpp"
+#include "ranycast/core/rng.hpp"
+#include "ranycast/serve/server.hpp"
+
+namespace ranycast::serve {
+namespace {
+
+lab::LabConfig small_config() {
+  lab::LabConfig config;
+  config.world.stub_count = 400;
+  config.census.total_probes = 1200;
+  return config;
+}
+
+ServeConfig resume_config() {
+  ServeConfig cfg;
+  cfg.refresh_interval_ns = 1'000'000'000;
+  cfg.build_time_ns = 500'000'000;  // long builds: checkpoints land mid-build
+  cfg.ladder.fresh_max_age_ns = 2'000'000'000;
+  cfg.ladder.stale_max_age_ns = 5'000'000'000;
+  cfg.ladder.reject_after_age_ns = 20'000'000'000;
+  cfg.admission.rate_qps = 50.0;  // low enough that the bucket state matters
+  cfg.admission.burst = 8;
+  cfg.admission.max_queue_depth = 16;
+  cfg.admission.service_time_ns = 500'000;
+  cfg.world_plan = chaos::single_site_withdrawal(SiteId{0});
+  return cfg;
+}
+
+std::string render(const QueryResult& r) {
+  char line[160];
+  std::snprintf(line, sizeof line, "%s,%s,%llu,%016llx,%llu,%u,%u,%u,%.6f",
+                std::string(to_string(r.status)).c_str(),
+                std::string(to_string(r.rung)).c_str(),
+                static_cast<unsigned long long>(r.epoch),
+                static_cast<unsigned long long>(r.fingerprint),
+                static_cast<unsigned long long>(r.latency_us), r.entry.address,
+                r.entry.region, r.entry.site, r.entry.rtt_ms);
+  return line;
+}
+
+constexpr std::uint64_t kTickNs = 100'000'000;
+constexpr std::size_t kQueriesPerTick = 3;
+
+/// Drive ticks [from, to) with the tool's arrival pattern, appending one
+/// rendered line per query.
+void drive(Server& server, std::size_t from, std::size_t to,
+           std::vector<std::string>& out) {
+  for (std::size_t i = from; i < to; ++i) {
+    const std::uint64_t now = static_cast<std::uint64_t>(i) * kTickNs;
+    ASSERT_TRUE(server.tick(now).has_value()) << "tick " << i;
+    const std::uint64_t stride = kTickNs / kQueriesPerTick;
+    for (std::size_t q = 0; q < kQueriesPerTick; ++q) {
+      const std::uint64_t client = hash_combine(hash_combine(2023, i), q);
+      out.push_back(render(server.query(client, now + q * stride, 2'000)));
+    }
+  }
+}
+
+class ServerResumeTest : public ::testing::Test {
+ protected:
+  static ServeConfig faulty_config() {
+    ServeConfig cfg = resume_config();
+    cfg.faults.events.push_back(
+        {ServeFaultKind::BuildFail, 1'500'000'000, 1'000'000'000, 0, 0});
+    cfg.faults.events.push_back(
+        {ServeFaultKind::SlowQuery, 2'500'000'000, 500'000'000, 5'000'000, 0});
+    return cfg;
+  }
+
+  /// Uninterrupted baseline vs save-at-`cut`/load-into-fresh-world resume.
+  void expect_resume_identical(std::size_t cut, std::size_t total) {
+    const ServeConfig cfg = faulty_config();
+
+    lab::Lab baseline_lab = lab::Lab::create(small_config());
+    Server baseline(baseline_lab,
+                    baseline_lab.add_deployment(cdn::catalog::imperva6()), cfg);
+    std::vector<std::string> expected;
+    drive(baseline, 0, total, expected);
+
+    lab::Lab first_lab = lab::Lab::create(small_config());
+    Server first(first_lab, first_lab.add_deployment(cdn::catalog::imperva6()),
+                 cfg);
+    std::vector<std::string> answers;
+    drive(first, 0, cut, answers);
+    guard::ByteWriter w;
+    first.save(w);
+
+    // The "restarted process": fresh lab, fresh server, state from bytes.
+    lab::Lab second_lab = lab::Lab::create(small_config());
+    Server second(second_lab,
+                  second_lab.add_deployment(cdn::catalog::imperva6()), cfg);
+    guard::ByteReader r(w.data());
+    ASSERT_TRUE(second.load(r)) << "cut " << cut;
+    EXPECT_EQ(second.fingerprint(), first.fingerprint());
+    drive(second, cut, total, answers);
+
+    ASSERT_EQ(answers.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(answers[i], expected[i]) << "cut " << cut << " answer " << i;
+    }
+    EXPECT_EQ(second.transitions(), baseline.transitions()) << "cut " << cut;
+    EXPECT_EQ(second.latency().quantile_us(0.99),
+              baseline.latency().quantile_us(0.99));
+  }
+};
+
+TEST_F(ServerResumeTest, ResumeAnywhereIsByteIdentical) {
+  // Cuts chosen to land in every interesting refresher phase: idle, mid
+  // successful build, mid failing build (the 1.5-2.5s BuildFail window),
+  // and inside the slow-query window.
+  for (const std::size_t cut : {3u, 12u, 17u, 21u, 27u}) {
+    expect_resume_identical(cut, 35);
+  }
+}
+
+TEST_F(ServerResumeTest, SaveLoadPreservesInFlightBuild) {
+  const ServeConfig cfg = resume_config();
+  lab::Lab lab_a = lab::Lab::create(small_config());
+  Server a(lab_a, lab_a.add_deployment(cdn::catalog::imperva6()), cfg);
+  // t=1.2s: the 1s build (500ms long) is in flight.
+  ASSERT_TRUE(a.tick(600'000'000).has_value());
+  ASSERT_TRUE(a.tick(1'200'000'000).has_value());
+  ASSERT_EQ(a.current_epoch(), 1u);
+
+  guard::ByteWriter w;
+  a.save(w);
+  lab::Lab lab_b = lab::Lab::create(small_config());
+  Server b(lab_b, lab_b.add_deployment(cdn::catalog::imperva6()), cfg);
+  guard::ByteReader r(w.data());
+  ASSERT_TRUE(b.load(r));
+
+  // The restored in-flight build publishes at its original done-time.
+  ASSERT_TRUE(b.tick(1'600'000'000).has_value());
+  EXPECT_EQ(b.current_epoch(), 2u);
+  ASSERT_TRUE(a.tick(1'600'000'000).has_value());
+  EXPECT_EQ(b.pin()->fingerprint, a.pin()->fingerprint);
+  EXPECT_EQ(b.pin()->built_at_ns, a.pin()->built_at_ns);
+}
+
+TEST_F(ServerResumeTest, LoadRejectsTruncatedAndCorruptPayloads) {
+  lab::Lab lab_a = lab::Lab::create(small_config());
+  Server a(lab_a, lab_a.add_deployment(cdn::catalog::imperva6()), resume_config());
+  ASSERT_TRUE(a.tick(200'000'000).has_value());
+  guard::ByteWriter w;
+  a.save(w);
+  const std::vector<std::uint8_t> bytes(w.data().begin(), w.data().end());
+
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{9}, bytes.size() / 2, bytes.size() - 1}) {
+    lab::Lab lab_b = lab::Lab::create(small_config());
+    Server b(lab_b, lab_b.add_deployment(cdn::catalog::imperva6()),
+             resume_config());
+    guard::ByteReader r(std::span<const std::uint8_t>(bytes.data(), keep));
+    EXPECT_FALSE(b.load(r)) << "kept " << keep << " bytes";
+  }
+
+  // A corrupt snapshot body must be caught by the content fingerprint.
+  std::vector<std::uint8_t> corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x04;
+  lab::Lab lab_c = lab::Lab::create(small_config());
+  Server c(lab_c, lab_c.add_deployment(cdn::catalog::imperva6()),
+           resume_config());
+  guard::ByteReader r(corrupt);
+  EXPECT_FALSE(c.load(r));
+}
+
+}  // namespace
+}  // namespace ranycast::serve

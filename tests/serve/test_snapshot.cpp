@@ -1,0 +1,101 @@
+// WorldSnapshot: deterministic builds (any worker count), content
+// fingerprints, and the exact checkpoint codec round-trip.
+#include "ranycast/serve/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <thread>
+
+#include "ranycast/cdn/catalog.hpp"
+#include "ranycast/exec/pool.hpp"
+
+namespace ranycast::serve {
+namespace {
+
+lab::LabConfig small_config() {
+  lab::LabConfig config;
+  config.world.stub_count = 400;
+  config.census.total_probes = 1200;
+  return config;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest()
+      : lab_(lab::Lab::create(small_config())),
+        im6_(&lab_.add_deployment(cdn::catalog::imperva6())) {}
+
+  lab::Lab lab_;
+  const lab::DeploymentHandle* im6_;
+};
+
+TEST_F(SnapshotTest, CoversEveryRetainedProbe) {
+  const WorldSnapshot snap = build_snapshot(lab_, *im6_, 1, 42);
+  EXPECT_EQ(snap.epoch, 1u);
+  EXPECT_EQ(snap.built_at_ns, 42u);
+  EXPECT_EQ(snap.entries.size(), lab_.census().retained().size());
+  EXPECT_EQ(snap.fingerprint, snapshot_fingerprint(snap));
+
+  std::size_t routed = 0;
+  for (const MapEntry& e : snap.entries) {
+    if (!e.routed) continue;
+    ++routed;
+    EXPECT_NE(e.site, value(kInvalidSite));
+    EXPECT_GT(e.rtt_ms, 0.0);
+  }
+  // A healthy deployment serves the vast majority of the census.
+  EXPECT_GT(routed, snap.entries.size() / 2);
+}
+
+TEST_F(SnapshotTest, RebuildOfSameWorldIsIdentical) {
+  const WorldSnapshot a = build_snapshot(lab_, *im6_, 1, 100);
+  const WorldSnapshot b = build_snapshot(lab_, *im6_, 1, 100);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SnapshotTest, WorkerCountDoesNotChangeContent) {
+  auto& pool = exec::ThreadPool::global();
+  const unsigned original = pool.worker_count();
+  pool.resize(1);
+  const WorldSnapshot baseline = build_snapshot(lab_, *im6_, 1, 0);
+  for (const unsigned workers :
+       {2u, std::max(1u, std::thread::hardware_concurrency())}) {
+    pool.resize(workers);
+    EXPECT_EQ(build_snapshot(lab_, *im6_, 1, 0), baseline) << workers << " workers";
+  }
+  pool.resize(original);
+}
+
+TEST_F(SnapshotTest, FingerprintIgnoresEpochAndBuildTime) {
+  const WorldSnapshot a = build_snapshot(lab_, *im6_, 1, 0);
+  const WorldSnapshot b = build_snapshot(lab_, *im6_, 7, 999);
+  EXPECT_EQ(snapshot_fingerprint(a), snapshot_fingerprint(b));
+}
+
+TEST_F(SnapshotTest, EncodeDecodeRoundTripsExactly) {
+  const WorldSnapshot snap = build_snapshot(lab_, *im6_, 3, 1'000);
+  guard::ByteWriter w;
+  encode_snapshot(w, snap);
+  guard::ByteReader r(w.data());
+  WorldSnapshot restored;
+  ASSERT_TRUE(decode_snapshot(r, restored));
+  EXPECT_EQ(restored, snap);
+}
+
+TEST_F(SnapshotTest, DecodeRefusesCorruptPayload) {
+  const WorldSnapshot snap = build_snapshot(lab_, *im6_, 3, 1'000);
+  guard::ByteWriter w;
+  encode_snapshot(w, snap);
+  std::vector<std::uint8_t> bytes(w.data().begin(), w.data().end());
+  bytes[bytes.size() / 2] ^= 0x10;  // flip one entry byte: fingerprint must catch it
+  guard::ByteReader r(bytes);
+  WorldSnapshot restored;
+  EXPECT_FALSE(decode_snapshot(r, restored));
+
+  guard::ByteReader short_r(std::span<const std::uint8_t>(bytes.data(), 10));
+  EXPECT_FALSE(decode_snapshot(short_r, restored));
+}
+
+}  // namespace
+}  // namespace ranycast::serve

@@ -376,6 +376,10 @@ int main(int argc, char** argv) {
       };
     }
     guard::Supervisor supervisor(limits);
+    // SIGTERM/SIGINT stop the timeline cooperatively at the next step
+    // boundary: the sweep flushes a final checkpoint plus the `stopped`
+    // journal line and the tool exits 3 with a resumable truncated report.
+    const guard::ScopedSignalCancel signal_cancel(supervisor);
     auto outcome = engine.run_guarded(*plan, supervisor, policy);
     if (!outcome) {
       std::fprintf(stderr, "chaos error: %s\n", outcome.error().c_str());

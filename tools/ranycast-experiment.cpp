@@ -306,6 +306,9 @@ int run_stability(lab::Lab& laboratory, bool csv, const flags::Parser& args) {
     };
   }
   guard::Supervisor supervisor(limits);
+  // SIGTERM/SIGINT cancel cooperatively: a final checkpoint and `stopped`
+  // journal line are flushed, and the exit-3 truncated run resumes cleanly.
+  const guard::ScopedSignalCancel signal_cancel(supervisor);
   auto outcome = resilience::catchment_stability_guarded(laboratory, handle.deployment,
                                                          region, trials, supervisor, policy);
   if (!outcome) {

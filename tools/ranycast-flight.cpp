@@ -3,6 +3,7 @@
 //   ranycast-flight export    --journal FILE [--flight FILE] --out FILE
 //   ranycast-flight summarize --journal FILE
 //   ranycast-flight tail      --journal FILE [--last N]
+//   ranycast-flight tail      --journal FILE --follow [--poll-ms N] [--max-polls N]
 //   ranycast-flight verify    [--journal FILE] [--checkpoint PATH]
 //
 // export converts a run journal (the NDJSON stream `ranycast-chaos
@@ -17,12 +18,20 @@
 // Both work on journals of killed runs — a cut final line is counted, not
 // fatal.
 //
+// tail --follow streams events as a live writer appends them, polling every
+// --poll-ms (default 200) for --max-polls polls (default unbounded). Only
+// newline-terminated lines are consumed: a concurrently-appending writer's
+// partial tail is retried on the next poll, never printed corrupt and never
+// double-printed. Exits 0 when --max-polls is exhausted.
+//
 // verify checks integrity offline: every journal line's CRC-32 tag, and/or
 // a checkpoint chain's manifest + generation files (sizes, CRCs, envelopes).
 // A benign kill-cut final journal line is reported but not an error.
 // Exit codes: 0 intact, 2 usage/unreadable, 4 corruption detected.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
 #include "ranycast/core/flags.hpp"
 #include "ranycast/flight/flight.hpp"
@@ -39,6 +48,8 @@ int usage() {
                "usage: ranycast-flight export --journal FILE [--flight FILE] --out FILE\n"
                "       ranycast-flight summarize --journal FILE\n"
                "       ranycast-flight tail --journal FILE [--last N]\n"
+               "       ranycast-flight tail --journal FILE --follow [--poll-ms N]"
+               " [--max-polls N]\n"
                "       ranycast-flight verify [--journal FILE] [--checkpoint PATH]\n");
   return 2;
 }
@@ -88,11 +99,33 @@ int run_verify(const std::optional<std::string>& journal_path,
   return 0;
 }
 
+int run_follow(const std::string& journal_path, std::int64_t poll_ms,
+               std::int64_t max_polls) {
+  flight::JournalTailer tailer(journal_path);
+  for (std::int64_t i = 0; max_polls <= 0 || i < max_polls; ++i) {
+    if (i != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms < 1 ? 1 : poll_ms));
+    }
+    auto polled = tailer.poll();
+    if (!polled) {
+      std::fprintf(stderr, "%s\n", polled.error().c_str());
+      return 2;
+    }
+    if (polled->rotated) std::fprintf(stderr, "journal rotated; restarting from 0\n");
+    for (const flight::JournalEvent& e : polled->events) {
+      std::printf("%s\n", flight::render_event(e).c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const flags::Parser args(argc, argv);
-  for (const auto& bad : args.unknown({"journal", "flight", "out", "last", "checkpoint"})) {
+  for (const auto& bad : args.unknown({"journal", "flight", "out", "last", "checkpoint",
+                                       "follow", "poll-ms", "max-polls"})) {
     std::fprintf(stderr, "unknown flag --%s\n", bad.c_str());
     return 2;
   }
@@ -112,6 +145,10 @@ int main(int argc, char** argv) {
   if (!journal_path) {
     std::fprintf(stderr, "--journal FILE is required\n");
     return 2;
+  }
+  if (command == "tail" && args.has("follow")) {
+    return run_follow(*journal_path, args.get_or("poll-ms", std::int64_t{200}),
+                      args.get_or("max-polls", std::int64_t{0}));
   }
   auto journal = flight::load_journal(*journal_path);
   if (!journal) {
